@@ -1,0 +1,502 @@
+// Package ssr's root benchmark harness: one benchmark per figure of the
+// paper's evaluation, each running the corresponding experiment at Quick
+// scale and reporting the figure's headline quantity as a custom metric,
+// plus ablation benchmarks for the design choices called out in DESIGN.md.
+//
+// Regenerate everything with:
+//
+//	go test -bench=. -benchmem
+//
+// For paper-scale dimensions run the experiment binary instead:
+//
+//	go run ./cmd/ssrexp -scale full
+package ssr
+
+import (
+	"testing"
+	"time"
+
+	"ssr/internal/cluster"
+	"ssr/internal/core"
+	"ssr/internal/dag"
+	"ssr/internal/driver"
+	"ssr/internal/experiments"
+	"ssr/internal/sim"
+	"ssr/internal/stats"
+	"ssr/internal/workload"
+)
+
+func quick() experiments.Params { return experiments.QuickParams() }
+
+func BenchmarkFig1(b *testing.B) {
+	var kmSlowdown float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig1(42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		kmSlowdown = res.Rows[0].Slowdown
+	}
+	b.ReportMetric(kmSlowdown, "kmeans-slowdown")
+}
+
+func BenchmarkFig4(b *testing.B) {
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig4(quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst = 0
+		for _, row := range res.Rows {
+			if row.Slowdown > worst {
+				worst = row.Slowdown
+			}
+		}
+	}
+	b.ReportMetric(worst, "worst-slowdown")
+}
+
+func BenchmarkFig5(b *testing.B) {
+	var samples int
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig5(quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		samples = len(res.Contended)
+	}
+	b.ReportMetric(float64(samples), "samples")
+}
+
+func BenchmarkFig6(b *testing.B) {
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig6(42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst = 0
+		for _, row := range res.Rows {
+			if row.Measured > worst {
+				worst = row.Measured
+			}
+		}
+	}
+	b.ReportMetric(worst, "worst-task-slowdown")
+}
+
+func BenchmarkFig8(b *testing.B) {
+	var u float64
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig8()
+		u = res.Rows[0].Points[5].Utilization
+	}
+	b.ReportMetric(u, "EU-alpha1.1-N20-P0.5")
+}
+
+func BenchmarkFig10(b *testing.B) {
+	var reduction float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig10(quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			if row.Alpha == 1.6 && row.N == 200 {
+				reduction = row.ReductionPct
+			}
+		}
+	}
+	b.ReportMetric(reduction, "reduction-pct-a1.6-N200")
+}
+
+func BenchmarkFig12(b *testing.B) {
+	var worstSSR float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig12(quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		worstSSR = 0
+		for _, row := range res.Rows {
+			if row.SSR && row.Slowdown > worstSSR {
+				worstSSR = row.Slowdown
+			}
+		}
+	}
+	b.ReportMetric(worstSSR, "worst-ssr-slowdown")
+}
+
+func BenchmarkFig13(b *testing.B) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig13(42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = float64(res.JCT1None) / float64(res.JCT1SSR)
+	}
+	b.ReportMetric(speedup, "pipelined-speedup")
+}
+
+func BenchmarkFig14(b *testing.B) {
+	var improvement float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig14(quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			if row.App == "kmeans" && row.P == 0.2 {
+				improvement = row.UtilImprovement
+			}
+		}
+	}
+	b.ReportMetric(improvement, "util-improvement-pct-P0.2")
+}
+
+func BenchmarkFig15(b *testing.B) {
+	var sqlSSR float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig15(quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			if row.Suite == "SQL" && row.Setting == "standard" && row.SSR {
+				sqlSSR = row.Slowdown
+			}
+		}
+	}
+	b.ReportMetric(sqlSSR, "sql-ssr-slowdown")
+}
+
+func BenchmarkFig16(b *testing.B) {
+	var spread float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig16(quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		spread = res.Rows[len(res.Rows)-1].Slowdown - res.Rows[0].Slowdown
+	}
+	b.ReportMetric(spread, "slowdown-spread-R1-vs-R0.1")
+}
+
+func BenchmarkFig17(b *testing.B) {
+	var reduction float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig17(quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			if row.Alpha == 1.6 {
+				reduction = row.ReductionPct
+			}
+		}
+	}
+	b.ReportMetric(reduction, "jct-reduction-pct-a1.6")
+}
+
+func BenchmarkBackgroundImpact(b *testing.B) {
+	var delta float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.BackgroundImpact(quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		delta = res.MeanDeltaPct
+	}
+	b.ReportMetric(delta, "bg-delta-pct")
+}
+
+// --- Ablations -----------------------------------------------------------
+
+// ablationRun executes a canonical contention scenario (one KMeans-like
+// foreground job vs a batch backlog on 50 slots) under the given options
+// and returns the foreground slowdown and the reserved-idle slot-time.
+func ablationRun(b *testing.B, opts driver.Options, reshape float64, fgSpec workload.MLSpec) (float64, time.Duration) {
+	b.Helper()
+	const (
+		nodes   = 25
+		perNode = 2
+		seed    = 99
+	)
+	eng := sim.New()
+	cl, err := cluster.New(nodes, perNode)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := driver.New(eng, cl, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fg, err := fgSpec.Build(1, 10, 45*time.Second, stats.Stream(seed, "fg"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if reshape > 1 {
+		fg, err = workload.ParetoReshape(fg, reshape, stats.Stream(seed, "reshape"))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	bgCfg := workload.BackgroundConfig{
+		Jobs:           60,
+		Window:         3 * time.Minute,
+		MeanTask:       40 * time.Second,
+		Alpha:          1.6,
+		DurationScale:  1,
+		MaxParallelism: 30,
+	}
+	bg, err := workload.Background(bgCfg, 100, 1, stats.Stream(seed, "bg"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := d.Submit(fg); err != nil {
+		b.Fatal(err)
+	}
+	for _, j := range bg {
+		if err := d.Submit(j); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := d.Run(); err != nil {
+		b.Fatal(err)
+	}
+	st, _ := d.Result(fg.ID)
+	alone, err := driver.AloneJCT(fg, nodes, perNode, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return float64(st.JCT()) / float64(alone), d.Usage().ReservedIdleTime()
+}
+
+func ssrAblationOpts() driver.Options {
+	return driver.Options{Mode: driver.ModeSSR, SSR: core.DefaultConfig()}
+}
+
+// BenchmarkAblationReservationModes compares the four reservation policies
+// on the same scenario: none, timeout-based, static, and SSR (the paper's
+// Sec. III-A baselines vs the contribution).
+func BenchmarkAblationReservationModes(b *testing.B) {
+	modes := []struct {
+		name string
+		opts driver.Options
+	}{
+		{name: "none", opts: driver.Options{Mode: driver.ModeNone}},
+		{name: "timeout", opts: driver.Options{Mode: driver.ModeTimeout, Timeout: 10 * time.Second}},
+		{name: "static", opts: driver.Options{
+			Mode: driver.ModeStatic, StaticSlots: 20, StaticMinPriority: 10,
+		}},
+		{name: "ssr", opts: ssrAblationOpts()},
+	}
+	for _, m := range modes {
+		m := m
+		b.Run(m.name, func(b *testing.B) {
+			var slow float64
+			for i := 0; i < b.N; i++ {
+				slow, _ = ablationRun(b, m.opts, 0, workload.KMeans)
+			}
+			b.ReportMetric(slow, "fg-slowdown")
+		})
+	}
+}
+
+// BenchmarkAblationDeadline quantifies the deadline knob on heavy-tailed
+// tasks: utilization loss at P=1 vs P=0.5.
+func BenchmarkAblationDeadline(b *testing.B) {
+	for _, p := range []float64{1.0, 0.5} {
+		p := p
+		name := "P1.0"
+		if p < 1 {
+			name = "P0.5"
+		}
+		b.Run(name, func(b *testing.B) {
+			var idle time.Duration
+			var slow float64
+			for i := 0; i < b.N; i++ {
+				opts := ssrAblationOpts()
+				opts.SSR.IsolationP = p
+				slow, idle = ablationRun(b, opts, 1.6, workload.KMeans)
+			}
+			b.ReportMetric(idle.Seconds(), "reserved-idle-slot-s")
+			b.ReportMetric(slow, "fg-slowdown")
+		})
+	}
+}
+
+// BenchmarkAblationMitigation measures straggler mitigation on vs off for
+// a heavy-tailed foreground job.
+func BenchmarkAblationMitigation(b *testing.B) {
+	for _, mit := range []bool{false, true} {
+		mit := mit
+		name := "off"
+		if mit {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			var slow float64
+			for i := 0; i < b.N; i++ {
+				opts := ssrAblationOpts()
+				opts.SSR.MitigateStragglers = mit
+				slow, _ = ablationRun(b, opts, 1.6, workload.KMeans)
+			}
+			b.ReportMetric(slow, "fg-slowdown")
+		})
+	}
+}
+
+// BenchmarkAblationParallelismAwareness compares Algorithm 1's Case-2
+// handling (known downstream parallelism, early release of m-n slots)
+// against the Case-1 reserve-all fallback, on a shrinking-parallelism job.
+func BenchmarkAblationParallelismAwareness(b *testing.B) {
+	shrink := func(known bool) *dag.Job {
+		rng := stats.Stream(5, "shrink")
+		dist, err := stats.LogNormalWithMean(0.4, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		phase := func(tasks int) dag.PhaseSpec {
+			ds := make([]time.Duration, tasks)
+			for i := range ds {
+				ds[i] = time.Duration(dist.Sample(rng) * float64(time.Second))
+			}
+			return dag.PhaseSpec{Durations: ds}
+		}
+		opts := []dag.Option{dag.WithSubmit(45 * time.Second)}
+		if known {
+			opts = append(opts, dag.WithKnownParallelism())
+		}
+		j, err := dag.Chain(1, "shrinking", 10, []dag.PhaseSpec{
+			phase(20), phase(20), phase(5), phase(5), phase(5),
+		}, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return j
+	}
+	for _, known := range []bool{false, true} {
+		known := known
+		name := "reserve-all"
+		if known {
+			name = "parallelism-aware"
+		}
+		b.Run(name, func(b *testing.B) {
+			var idle time.Duration
+			for i := 0; i < b.N; i++ {
+				eng := sim.New()
+				cl, err := cluster.New(25, 2)
+				if err != nil {
+					b.Fatal(err)
+				}
+				d, err := driver.New(eng, cl, ssrAblationOpts())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := d.Submit(shrink(known)); err != nil {
+					b.Fatal(err)
+				}
+				bg, err := workload.Background(workload.BackgroundConfig{
+					Jobs: 40, Window: 3 * time.Minute, MeanTask: 40 * time.Second,
+					Alpha: 1.6, DurationScale: 1, MaxParallelism: 30,
+				}, 100, 1, stats.Stream(5, "bg"))
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, j := range bg {
+					if err := d.Submit(j); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := d.Run(); err != nil {
+					b.Fatal(err)
+				}
+				idle = d.Usage().ReservedIdleTime()
+			}
+			b.ReportMetric(idle.Seconds(), "reserved-idle-slot-s")
+		})
+	}
+}
+
+// BenchmarkAblationPreReservation compares SQL-style growing-parallelism
+// jobs with pre-reservation effectively on (R=0.1) vs off (R=1).
+func BenchmarkAblationPreReservation(b *testing.B) {
+	for _, r := range []float64{0.1, 1.0} {
+		r := r
+		name := "R0.1"
+		if r == 1.0 {
+			name = "R1.0"
+		}
+		b.Run(name, func(b *testing.B) {
+			var slow float64
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.Fig16(quick())
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, row := range res.Rows {
+					if row.R == r {
+						slow = row.Slowdown
+					}
+				}
+			}
+			b.ReportMetric(slow, "sql-slowdown")
+		})
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw discrete-event throughput on a
+// large-scale contention run (4000 slots, ~2800 background jobs), reporting
+// simulated events per second of wall time.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	var events uint64
+	var elapsed time.Duration
+	for i := 0; i < b.N; i++ {
+		eng := sim.New()
+		cl, err := cluster.New(1000, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d, err := driver.New(eng, cl, ssrAblationOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		bg, err := workload.Background(workload.BackgroundConfig{
+			Jobs: 2800, Window: 10 * time.Minute, MeanTask: 60 * time.Second,
+			Alpha: 1.6, DurationScale: 1, MaxParallelism: 60,
+		}, 1, 1, stats.Stream(3, "bench-bg"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, j := range bg {
+			if err := d.Submit(j); err != nil {
+				b.Fatal(err)
+			}
+		}
+		start := time.Now()
+		if err := d.Run(); err != nil {
+			b.Fatal(err)
+		}
+		elapsed += time.Since(start)
+		events += eng.Events()
+	}
+	if elapsed > 0 {
+		b.ReportMetric(float64(events)/elapsed.Seconds(), "events/s")
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/run")
+}
+
+func BenchmarkMitigationComparison(b *testing.B) {
+	var gapVsSpec float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.MitigationComparison(quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		gapVsSpec = res.Rows[2].FgSlowdown - res.Rows[1].FgSlowdown
+	}
+	b.ReportMetric(gapVsSpec, "speculation-minus-reserved")
+}

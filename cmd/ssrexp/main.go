@@ -1,0 +1,142 @@
+// Command ssrexp regenerates the paper's evaluation figures on the
+// simulator and prints their rows.
+//
+// Usage:
+//
+//	ssrexp [-scale quick|full] [-seed N] [-list] [fig...]
+//
+// With no figure arguments it runs the complete set. Figure names: fig1,
+// fig4, fig5, fig6, fig8, fig10, fig12, fig13, fig14, fig15, fig16, fig17,
+// bgimpact, mitcompare.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"ssr/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ssrexp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ssrexp", flag.ContinueOnError)
+	var (
+		scaleName = fs.String("scale", "full", "experiment scale: quick or full")
+		seed      = fs.Int64("seed", 42, "random seed")
+		list      = fs.Bool("list", false, "list available experiments and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var scale experiments.Scale
+	switch *scaleName {
+	case "quick":
+		scale = experiments.Quick
+	case "full":
+		scale = experiments.Full
+	default:
+		return fmt.Errorf("unknown scale %q (want quick or full)", *scaleName)
+	}
+	params := experiments.Params{Seed: *seed, Scale: scale}
+
+	type exp struct {
+		name string
+		desc string
+		run  func() (fmt.Stringer, error)
+	}
+	all := []exp{
+		{name: "fig1", desc: "motivation: KMeans vs SVM, priority scheduling fails", run: func() (fmt.Stringer, error) {
+			return experiments.Fig1(*seed)
+		}},
+		{name: "fig4", desc: "foreground slowdown vs contention level", run: func() (fmt.Stringer, error) {
+			return experiments.Fig4(params)
+		}},
+		{name: "fig5", desc: "KMeans running tasks over time", run: func() (fmt.Stringer, error) {
+			return experiments.Fig5(params)
+		}},
+		{name: "fig6", desc: "task slowdown without data locality", run: func() (fmt.Stringer, error) {
+			return experiments.Fig6(*seed)
+		}},
+		{name: "fig8", desc: "analytic isolation/utilization trade-off (Eq. 4)", run: func() (fmt.Stringer, error) {
+			return experiments.Fig8(), nil
+		}},
+		{name: "fig10", desc: "numerical straggler-mitigation speedup", run: func() (fmt.Stringer, error) {
+			return experiments.Fig10(params)
+		}},
+		{name: "fig12", desc: "slowdown with and without SSR", run: func() (fmt.Stringer, error) {
+			return experiments.Fig12(params)
+		}},
+		{name: "fig13", desc: "fair-scheduler allocations over time", run: func() (fmt.Stringer, error) {
+			return experiments.Fig13(*seed)
+		}},
+		{name: "fig14", desc: "measured isolation/utilization trade-off", run: func() (fmt.Stringer, error) {
+			return experiments.Fig14(params)
+		}},
+		{name: "fig15", desc: "large-scale simulation slowdowns", run: func() (fmt.Stringer, error) {
+			return experiments.Fig15(params)
+		}},
+		{name: "fig16", desc: "SQL slowdown vs pre-reservation threshold", run: func() (fmt.Stringer, error) {
+			return experiments.Fig16(params)
+		}},
+		{name: "fig17", desc: "JCT reduction from straggler mitigation", run: func() (fmt.Stringer, error) {
+			return experiments.Fig17(params)
+		}},
+		{name: "bgimpact", desc: "impact of SSR on background jobs", run: func() (fmt.Stringer, error) {
+			return experiments.BackgroundImpact(params)
+		}},
+		{name: "mitcompare", desc: "reserved-slot mitigation vs status-quo speculation", run: func() (fmt.Stringer, error) {
+			return experiments.MitigationComparison(params)
+		}},
+	}
+	byName := make(map[string]exp, len(all))
+	for _, e := range all {
+		byName[e.name] = e
+	}
+
+	if *list {
+		for _, e := range all {
+			fmt.Printf("%-9s %s\n", e.name, e.desc)
+		}
+		return nil
+	}
+
+	selected := fs.Args()
+	if len(selected) == 0 {
+		for _, e := range all {
+			selected = append(selected, e.name)
+		}
+	}
+	var unknown []string
+	for _, name := range selected {
+		if _, ok := byName[strings.ToLower(name)]; !ok {
+			unknown = append(unknown, name)
+		}
+	}
+	if len(unknown) > 0 {
+		sort.Strings(unknown)
+		return fmt.Errorf("unknown experiments: %s", strings.Join(unknown, ", "))
+	}
+
+	for _, name := range selected {
+		e := byName[strings.ToLower(name)]
+		start := time.Now()
+		res, err := e.run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.name, err)
+		}
+		fmt.Println(res)
+		fmt.Printf("(%s completed in %v at %s scale)\n\n", e.name, time.Since(start).Round(time.Millisecond), scale)
+	}
+	return nil
+}

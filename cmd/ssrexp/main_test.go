@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+// silence routes the run's stdout to /dev/null for the duration of a test.
+func silence(t *testing.T) {
+	t.Helper()
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatalf("open devnull: %v", err)
+	}
+	os.Stdout = devnull
+	t.Cleanup(func() {
+		os.Stdout = old
+		if err := devnull.Close(); err != nil {
+			t.Errorf("close devnull: %v", err)
+		}
+	})
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	silence(t)
+	if err := run([]string{"-scale", "quick", "fig8"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunSeveralExperiments(t *testing.T) {
+	silence(t)
+	if err := run([]string{"-scale", "quick", "fig1", "fig13"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunCaseInsensitiveNames(t *testing.T) {
+	silence(t)
+	if err := run([]string{"-scale", "quick", "FIG8"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestList(t *testing.T) {
+	silence(t)
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatalf("run -list: %v", err)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	silence(t)
+	if err := run([]string{"nope", "fig8", "alsonope"}); err == nil {
+		t.Error("unknown experiment names should error")
+	}
+}
+
+func TestBadScale(t *testing.T) {
+	silence(t)
+	if err := run([]string{"-scale", "medium", "fig8"}); err == nil {
+		t.Error("unknown scale should error")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	silence(t)
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Error("bad flag should error")
+	}
+}

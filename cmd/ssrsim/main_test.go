@@ -1,0 +1,136 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// silence routes the run's stdout to /dev/null for the duration of a test.
+func silence(t *testing.T) {
+	t.Helper()
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatalf("open devnull: %v", err)
+	}
+	os.Stdout = devnull
+	t.Cleanup(func() {
+		os.Stdout = old
+		if err := devnull.Close(); err != nil {
+			t.Errorf("close devnull: %v", err)
+		}
+	})
+}
+
+// tiny returns fast-running base arguments.
+func tiny(extra ...string) []string {
+	base := []string{"-nodes", "4", "-slots", "2", "-bg", "5", "-window", "30s"}
+	return append(base, extra...)
+}
+
+func TestRunModes(t *testing.T) {
+	silence(t)
+	tests := [][]string{
+		tiny("-mode", "none", "-suite", "none"),
+		tiny("-mode", "ssr", "-suite", "none"),
+		tiny("-mode", "ssr", "-suite", "none", "-p", "0.5", "-mitigate"),
+		tiny("-mode", "timeout", "-suite", "none", "-timeout", "5s"),
+		tiny("-mode", "static", "-suite", "none", "-static", "2"),
+	}
+	for _, args := range tests {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestRunSuites(t *testing.T) {
+	silence(t)
+	// Bigger cluster so the ML suites fit.
+	for _, suite := range []string{"ml", "ml2x", "sql"} {
+		args := []string{"-nodes", "30", "-slots", "2", "-bg", "5",
+			"-window", "60s", "-mode", "ssr", "-suite", suite}
+		if err := run(args); err != nil {
+			t.Errorf("suite %s: %v", suite, err)
+		}
+	}
+}
+
+func TestRunVerbose(t *testing.T) {
+	silence(t)
+	if err := run(tiny("-suite", "none", "-v")); err != nil {
+		t.Fatalf("run -v: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	silence(t)
+	if err := run(tiny("-mode", "bogus")); err == nil {
+		t.Error("bad mode should error")
+	}
+	if err := run(tiny("-suite", "bogus")); err == nil {
+		t.Error("bad suite should error")
+	}
+	if err := run([]string{"-not-a-flag"}); err == nil {
+		t.Error("bad flag should error")
+	}
+	if err := run(tiny("-mode", "ssr", "-p", "7")); err == nil {
+		t.Error("invalid P should error")
+	}
+}
+
+func TestRunTraceExports(t *testing.T) {
+	silence(t)
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "trace.csv")
+	jsonPath := filepath.Join(dir, "trace.json")
+	if err := run(tiny("-suite", "none", "-trace", csvPath, "-gantt")); err != nil {
+		t.Fatalf("run -trace csv: %v", err)
+	}
+	if err := run(tiny("-suite", "none", "-trace", jsonPath)); err != nil {
+		t.Fatalf("run -trace json: %v", err)
+	}
+	csvData, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatalf("read csv: %v", err)
+	}
+	if !strings.HasPrefix(string(csvData), "job,jobName") {
+		t.Errorf("csv missing header: %q", string(csvData[:40]))
+	}
+	jsonData, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("read json: %v", err)
+	}
+	if !strings.HasPrefix(strings.TrimSpace(string(jsonData)), "[") {
+		t.Error("json trace should be an array")
+	}
+}
+
+func TestRunTraceToBadPath(t *testing.T) {
+	silence(t)
+	if err := run(tiny("-suite", "none", "-trace", "/definitely/not/a/dir/x.csv")); err == nil {
+		t.Error("unwritable trace path should error")
+	}
+}
+
+func TestRunJobsFileRoundTrip(t *testing.T) {
+	silence(t)
+	dir := t.TempDir()
+	wl := filepath.Join(dir, "workload.csv")
+	// Dump a synthesized workload, then feed it back in as foreground.
+	if err := run(tiny("-suite", "none", "-dumpjobs", wl)); err != nil {
+		t.Fatalf("run -dumpjobs: %v", err)
+	}
+	if err := run([]string{"-nodes", "8", "-slots", "2", "-bg", "0",
+		"-window", "30s", "-jobs", wl, "-mode", "ssr"}); err != nil {
+		t.Fatalf("run -jobs: %v", err)
+	}
+	if err := run(tiny("-jobs", filepath.Join(dir, "missing.csv"))); err == nil {
+		t.Error("missing jobs file should error")
+	}
+	if err := run(tiny("-suite", "none", "-dumpjobs", "/no/such/dir/x.csv")); err == nil {
+		t.Error("unwritable dump path should error")
+	}
+}

@@ -1,0 +1,124 @@
+// Navigating the isolation/utilization trade-off (the paper's Sec. IV-B):
+// sweep the operator knob P — the probability that a phase retains its
+// slots through the barrier — and watch the reservation deadline shorten,
+// the reserved-idle loss shrink, and the foreground slowdown grow. The
+// analytic bound (Eq. 4) is printed next to the measured values.
+//
+// Run with: go run ./examples/tradeoff
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"ssr/internal/cluster"
+	"ssr/internal/core"
+	"ssr/internal/driver"
+	"ssr/internal/model"
+	"ssr/internal/sim"
+	"ssr/internal/stats"
+	"ssr/internal/workload"
+)
+
+const (
+	nodes   = 25
+	perNode = 2
+	alpha   = 1.6
+	seed    = 21
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("KMeans (Pareto 1.6 tasks) vs batch backlog; sweeping isolation P")
+	fmt.Println()
+	fmt.Printf("%-6s %-10s %-14s %-12s %s\n",
+		"P", "slowdown", "reserved-idle", "E[U] bound", "deadline for N=20, tm=2s")
+	baselineIdle := time.Duration(0)
+	for i, p := range []float64{1.0, 0.8, 0.6, 0.4, 0.2} {
+		slow, idle, err := simulate(p)
+		if err != nil {
+			return err
+		}
+		if i == 0 {
+			baselineIdle = idle
+		}
+		saved := "-"
+		if baselineIdle > 0 && i > 0 {
+			saved = fmt.Sprintf("-%.0f%%", 100*(float64(baselineIdle)-float64(idle))/float64(baselineIdle))
+		}
+		deadline := "none (hold to barrier)"
+		if p < 1 {
+			d := model.Deadline(p, 2.0, alpha, 20)
+			deadline = fmt.Sprintf("%.1fs", d)
+		}
+		fmt.Printf("%-6.1f %-10.2f %-8v (%s)  %-12.2f %s\n",
+			p, slow, idle.Round(time.Second), saved,
+			model.UtilizationAtIsolation(p, alpha, 20), deadline)
+	}
+	fmt.Println()
+	fmt.Println("Stricter isolation (P -> 1) pins the slots through the longest")
+	fmt.Println("straggler; looser isolation returns them early and the job risks")
+	fmt.Println("re-acquiring slots cold. Operators pick P; Eq. 2 yields the deadline.")
+	return nil
+}
+
+// simulate runs one contended KMeans at isolation level p and returns its
+// slowdown and the run's reserved-idle slot-time.
+func simulate(p float64) (float64, time.Duration, error) {
+	eng := sim.New()
+	cl, err := cluster.New(nodes, perNode)
+	if err != nil {
+		return 0, 0, err
+	}
+	cfg := core.DefaultConfig()
+	cfg.IsolationP = p
+	cfg.Alpha = alpha
+	opts := driver.Options{Mode: driver.ModeSSR, SSR: cfg}
+	d, err := driver.New(eng, cl, opts)
+	if err != nil {
+		return 0, 0, err
+	}
+	base, err := workload.KMeans.Build(1, 10, 45*time.Second, stats.Stream(seed, "fg"))
+	if err != nil {
+		return 0, 0, err
+	}
+	fg, err := workload.ParetoReshape(base, alpha, stats.Stream(seed, "reshape"))
+	if err != nil {
+		return 0, 0, err
+	}
+	bgCfg := workload.BackgroundConfig{
+		Jobs:           60,
+		Window:         3 * time.Minute,
+		MeanTask:       40 * time.Second,
+		Alpha:          1.6,
+		DurationScale:  1,
+		MaxParallelism: 30,
+	}
+	bg, err := workload.Background(bgCfg, 100, 1, stats.Stream(seed, "bg"))
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := d.Submit(fg); err != nil {
+		return 0, 0, err
+	}
+	for _, j := range bg {
+		if err := d.Submit(j); err != nil {
+			return 0, 0, err
+		}
+	}
+	if err := d.Run(); err != nil {
+		return 0, 0, err
+	}
+	st, _ := d.Result(fg.ID)
+	alone, err := driver.AloneJCT(fg, nodes, perNode, opts)
+	if err != nil {
+		return 0, 0, err
+	}
+	return float64(st.JCT()) / float64(alone), d.Usage().ReservedIdleTime(), nil
+}

@@ -1,0 +1,3 @@
+module ssr
+
+go 1.22

@@ -1,0 +1,131 @@
+package cluster
+
+import "ssr/internal/dag"
+
+// PhaseKey identifies one phase of one job, for locality bookkeeping.
+type PhaseKey struct {
+	Job   dag.JobID
+	Phase int
+}
+
+// NoSlot marks a task whose executing slot has not been recorded.
+const NoSlot = SlotID(-1)
+
+// LocalityRegistry records which slot executed each task of each phase,
+// i.e. where a phase's output partitions (and a warm JVM for that job)
+// live. Downstream tasks scheduled onto these slots run at the
+// PROCESS_LOCAL level; anywhere else they pay the remote-fetch + cold-JVM
+// penalty that Fig. 6 of the paper quantifies.
+type LocalityRegistry struct {
+	byPhase map[PhaseKey][]SlotID // indexed by task index; NoSlot if unset
+	byJob   map[dag.JobID][]PhaseKey
+}
+
+// NewLocalityRegistry returns an empty registry.
+func NewLocalityRegistry() *LocalityRegistry {
+	return &LocalityRegistry{
+		byPhase: make(map[PhaseKey][]SlotID),
+		byJob:   make(map[dag.JobID][]PhaseKey),
+	}
+}
+
+// Record notes that task taskIdx (of a phase with total tasks) executed on
+// slot.
+func (r *LocalityRegistry) Record(key PhaseKey, taskIdx, total int, slot SlotID) {
+	slots := r.byPhase[key]
+	if slots == nil {
+		slots = make([]SlotID, total)
+		for i := range slots {
+			slots[i] = NoSlot
+		}
+		r.byJob[key.Job] = append(r.byJob[key.Job], key)
+		r.byPhase[key] = slots
+	}
+	if taskIdx >= 0 && taskIdx < len(slots) {
+		slots[taskIdx] = slot
+	}
+}
+
+// TaskSlots returns the per-task slot assignment of a recorded phase
+// (entry i is where task i's output lives, NoSlot if never recorded). The
+// returned slice is shared; callers must not mutate it.
+func (r *LocalityRegistry) TaskSlots(key PhaseKey) []SlotID {
+	return r.byPhase[key]
+}
+
+// SlotsFor returns the distinct slots holding the given phase's output, in
+// task order of first use.
+func (r *LocalityRegistry) SlotsFor(key PhaseKey) []SlotID {
+	raw := r.byPhase[key]
+	if len(raw) == 0 {
+		return nil
+	}
+	var out []SlotID
+	seen := make(map[SlotID]bool, len(raw))
+	for _, s := range raw {
+		if s == NoSlot || seen[s] {
+			continue
+		}
+		seen[s] = true
+		out = append(out, s)
+	}
+	return out
+}
+
+// PreferredSlots returns the union of slots holding the outputs of the
+// given phase's upstream dependencies — the PROCESS_LOCAL placement set for
+// that phase's tasks. Root phases have no preference (nil).
+func (r *LocalityRegistry) PreferredSlots(job *dag.Job, phase int) []SlotID {
+	deps := job.Phase(phase).Deps
+	if len(deps) == 0 {
+		return nil
+	}
+	if len(deps) == 1 {
+		return r.SlotsFor(PhaseKey{Job: job.ID, Phase: deps[0]})
+	}
+	var out []SlotID
+	seen := make(map[SlotID]bool)
+	for _, dep := range deps {
+		for _, s := range r.SlotsFor(PhaseKey{Job: job.ID, Phase: dep}) {
+			if !seen[s] {
+				seen[s] = true
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+// NarrowPrefs returns the per-task preferred slot for a narrow-dependency
+// phase: task i of the downstream phase reads the partition task i of the
+// single upstream phase produced (an iterative job updating a cached RDD,
+// the paper's Fig. 3a). ok is false unless the phase has exactly one
+// upstream dependency with the same degree of parallelism and recorded
+// placements. The returned slice is shared; callers must not mutate it.
+func (r *LocalityRegistry) NarrowPrefs(job *dag.Job, phase int) ([]SlotID, bool) {
+	ph := job.Phase(phase)
+	if len(ph.Deps) != 1 {
+		return nil, false
+	}
+	dep := job.Phase(ph.Deps[0])
+	if dep.Parallelism() != ph.Parallelism() {
+		return nil, false
+	}
+	slots := r.byPhase[PhaseKey{Job: job.ID, Phase: dep.ID}]
+	if len(slots) != ph.Parallelism() {
+		return nil, false
+	}
+	return slots, true
+}
+
+// ForgetJob drops all entries of a completed job, bounding memory use over
+// long simulations.
+func (r *LocalityRegistry) ForgetJob(job dag.JobID) {
+	for _, key := range r.byJob[job] {
+		delete(r.byPhase, key)
+	}
+	delete(r.byJob, job)
+}
+
+// Phases returns the number of phases currently tracked.
+func (r *LocalityRegistry) Phases() int { return len(r.byPhase) }

@@ -1,0 +1,157 @@
+package cluster
+
+import (
+	"testing"
+
+	"ssr/internal/dag"
+)
+
+func mustSized(t *testing.T, nodes int, sizes []int) *Cluster {
+	t.Helper()
+	c, err := NewSized(nodes, sizes)
+	if err != nil {
+		t.Fatalf("NewSized: %v", err)
+	}
+	return c
+}
+
+func TestNewSizedValidation(t *testing.T) {
+	if _, err := NewSized(0, []int{1}); err == nil {
+		t.Error("zero nodes should error")
+	}
+	if _, err := NewSized(1, nil); err == nil {
+		t.Error("no slot sizes should error")
+	}
+	if _, err := NewSized(1, []int{1, 0}); err == nil {
+		t.Error("zero size should error")
+	}
+	if _, err := NewSized(1, []int{1, -2}); err == nil {
+		t.Error("negative size should error")
+	}
+}
+
+func TestNewSizedLayout(t *testing.T) {
+	c := mustSized(t, 2, []int{1, 4, 2})
+	if c.NumSlots() != 6 {
+		t.Fatalf("NumSlots = %d, want 6", c.NumSlots())
+	}
+	if c.MaxSlotSize() != 4 {
+		t.Errorf("MaxSlotSize = %d, want 4", c.MaxSlotSize())
+	}
+	wantSizes := []int{1, 4, 2, 1, 4, 2}
+	for i, want := range wantSizes {
+		if got := c.Slot(SlotID(i)).Size; got != want {
+			t.Errorf("slot %d size = %d, want %d", i, got, want)
+		}
+	}
+	// Homogeneous constructor yields size-1 everywhere.
+	h := mustCluster(t, 1, 3)
+	if h.MaxSlotSize() != 1 {
+		t.Errorf("homogeneous MaxSlotSize = %d, want 1", h.MaxSlotSize())
+	}
+}
+
+func TestAcquireFreeBestFit(t *testing.T) {
+	// Sizes per node: 1, 2, 4 -> slots 0(1), 1(2), 2(4).
+	c := mustSized(t, 1, []int{1, 2, 4})
+	// Demand 1 takes the smallest adequate slot first.
+	id, ok := c.AcquireFree(1)
+	if !ok || id != 0 {
+		t.Fatalf("AcquireFree(1) = %d/%v, want 0", id, ok)
+	}
+	// Next demand 1 best-fits to the size-2 slot.
+	id, ok = c.AcquireFree(1)
+	if !ok || id != 1 {
+		t.Fatalf("second AcquireFree(1) = %d/%v, want 1", id, ok)
+	}
+	// Demand 3 needs the size-4 slot.
+	id, ok = c.AcquireFree(3)
+	if !ok || id != 2 {
+		t.Fatalf("AcquireFree(3) = %d/%v, want 2", id, ok)
+	}
+	// Nothing big enough remains.
+	if _, ok := c.AcquireFree(1); ok {
+		t.Error("exhausted cluster should fail")
+	}
+}
+
+func TestAcquireFreeTooBigDemand(t *testing.T) {
+	c := mustSized(t, 1, []int{1, 2})
+	if _, ok := c.AcquireFree(3); ok {
+		t.Error("demand above every slot size should fail")
+	}
+}
+
+func TestSizedReservedAcquisition(t *testing.T) {
+	c := mustSized(t, 1, []int{1, 2})
+	a, _ := c.AcquireFree(1) // slot 0 (size 1)
+	b, _ := c.AcquireFree(2) // slot 1 (size 2)
+	res := Reservation{Job: 1, Priority: 5}
+	if err := c.Reserve(a, res); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Reserve(b, res); err != nil {
+		t.Fatal(err)
+	}
+	// Demand 2 must skip the size-1 reservation.
+	id, ok := c.AcquireReservedFor(1, 2)
+	if !ok || id != b {
+		t.Fatalf("AcquireReservedFor(1,2) = %d/%v, want %d", id, ok, b)
+	}
+	// Demand 2 with only the small reservation left fails.
+	if _, ok := c.AcquireReservedFor(1, 2); ok {
+		t.Error("no big reservation should remain")
+	}
+	// Demand 1 still finds the small one.
+	if id, ok := c.AcquireReservedFor(1, 1); !ok || id != a {
+		t.Errorf("AcquireReservedFor(1,1) = %d/%v, want %d", id, ok, a)
+	}
+}
+
+func TestSizedOverride(t *testing.T) {
+	c := mustSized(t, 1, []int{1, 2})
+	a, _ := c.AcquireFree(1)
+	b, _ := c.AcquireFree(2)
+	if err := c.Reserve(a, Reservation{Job: 1, Priority: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Reserve(b, Reservation{Job: 2, Priority: 3}); err != nil {
+		t.Fatal(err)
+	}
+	// A priority-5 task demanding size 2 must override job 2's slot even
+	// though job 1 has the lower priority (its slot is too small).
+	id, ok := c.AcquireOverride(5, 2)
+	if !ok || id != b {
+		t.Fatalf("AcquireOverride(5,2) = %d/%v, want %d", id, ok, b)
+	}
+}
+
+func TestSizedTryAcquire(t *testing.T) {
+	c := mustSized(t, 1, []int{1, 2})
+	if c.TryAcquire(0, 1, 1, 2) {
+		t.Error("TryAcquire must respect slot size")
+	}
+	if !c.TryAcquire(1, 1, 1, 2) {
+		t.Error("TryAcquire on an adequate slot should succeed")
+	}
+}
+
+func TestSizedReserveAnyFree(t *testing.T) {
+	c := mustSized(t, 1, []int{1, 1, 2})
+	res := Reservation{Job: 9, Priority: 4}
+	id, ok := c.ReserveAnyFree(res, 2)
+	if !ok || id != 2 {
+		t.Fatalf("ReserveAnyFree(2) = %d/%v, want slot 2", id, ok)
+	}
+	if _, ok := c.ReserveAnyFree(res, 2); ok {
+		t.Error("no second size-2 slot exists")
+	}
+	// Size-1 capture best-fits to the small slots.
+	id, ok = c.ReserveAnyFree(res, 1)
+	if !ok || id != 0 {
+		t.Fatalf("ReserveAnyFree(1) = %d/%v, want slot 0", id, ok)
+	}
+	if got := c.ReservedCount(dag.JobID(9)); got != 2 {
+		t.Errorf("ReservedCount = %d, want 2", got)
+	}
+}

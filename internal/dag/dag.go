@@ -1,0 +1,375 @@
+// Package dag models workflow jobs as directed acyclic graphs of phases.
+//
+// A job runs in pipelined phases; each phase holds parallel tasks, and a
+// barrier separates a phase from its downstream phases: no downstream task
+// may start before every task of every upstream phase has completed
+// (Sec. II-A of the paper). Spark stages, Tez vertices and Dryad stages all
+// map onto this model.
+//
+// Jobs are immutable once built: all runtime state (task attempts, phase
+// progress, reservations) lives in the driver. Task durations — including
+// the duration a speculative copy would take — are pre-drawn at construction
+// time so that a job performs identical work whether simulated alone or in
+// contention, which is what makes the paper's slowdown metric well-defined.
+package dag
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// JobID identifies a job within a simulation.
+type JobID int64
+
+// Priority orders jobs for the scheduler; higher values are served first.
+// The paper's foreground (latency-sensitive) jobs get higher priorities than
+// background (batch) jobs.
+type Priority int
+
+// Task is a single unit of work within a phase.
+type Task struct {
+	// Index is the task's position within its phase, starting at 0.
+	Index int
+	// Duration is the task's base runtime at full data locality. The
+	// actual simulated runtime may be longer if the task runs on a slot
+	// without its input data (Sec. II-B, Case 2).
+	Duration time.Duration
+	// CopyDuration is the pre-drawn base runtime of the speculative copy
+	// that straggler mitigation (Sec. IV-C) would launch for this task.
+	CopyDuration time.Duration
+}
+
+// Phase is a set of parallel tasks separated from its downstream phases by
+// a barrier.
+type Phase struct {
+	// ID is the phase's index within the job.
+	ID int
+	// Tasks are the phase's parallel tasks; len(Tasks) is the phase's
+	// degree of parallelism (the paper's m and n).
+	Tasks []Task
+	// Deps lists the IDs of upstream phases that must complete before
+	// this phase may start.
+	Deps []int
+	// Demand is the slot size each task of this phase needs. Frameworks
+	// like Tez let resource demands differ across phases (Sec. III-C);
+	// Spark-style jobs use uniform demand 1.
+	Demand int
+}
+
+// Parallelism returns the phase's degree of parallelism.
+func (p *Phase) Parallelism() int { return len(p.Tasks) }
+
+// PhaseSpec describes one phase when building a job.
+type PhaseSpec struct {
+	// Durations are the base task durations; one task per entry.
+	Durations []time.Duration
+	// CopyDurations optionally gives the speculative-copy runtime per
+	// task. When nil, each task's copy duration defaults to its primary
+	// duration.
+	CopyDurations []time.Duration
+	// Deps lists upstream phase indices within the job.
+	Deps []int
+	// Demand is the slot size each task needs; zero means 1.
+	Demand int
+}
+
+// Class distinguishes the two workload roles in the paper's experiments.
+type Class int
+
+// Workload classes.
+const (
+	// Foreground marks latency-sensitive, high-priority jobs.
+	Foreground Class = iota + 1
+	// Background marks latency-tolerant, low-priority batch jobs.
+	Background
+)
+
+func (c Class) String() string {
+	switch c {
+	case Foreground:
+		return "foreground"
+	case Background:
+		return "background"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Job is an immutable workflow DAG of phases.
+type Job struct {
+	// ID identifies the job.
+	ID JobID
+	// Name is a human-readable label ("kmeans", "bg-17", ...).
+	Name string
+	// Priority orders the job against others; higher wins.
+	Priority Priority
+	// Class tags the job as foreground or background.
+	Class Class
+	// Submit is the virtual time the job arrives at the scheduler.
+	Submit time.Duration
+	// ParallelismKnown reports whether the scheduler may use each
+	// phase's downstream degree of parallelism a priori (Algorithm 1,
+	// Case 2). Recurring production jobs and jobs with user-specified
+	// parallelism set this; ad-hoc jobs do not.
+	ParallelismKnown bool
+
+	phases   []*Phase
+	children [][]int
+	topo     []int
+}
+
+var (
+	errNoPhases = errors.New("dag: job needs at least one phase")
+	errCycle    = errors.New("dag: phase dependencies contain a cycle")
+)
+
+// Option configures optional job attributes at construction.
+type Option func(*Job)
+
+// WithClass sets the job's workload class.
+func WithClass(c Class) Option { return func(j *Job) { j.Class = c } }
+
+// WithSubmit sets the job's submission time.
+func WithSubmit(at time.Duration) Option { return func(j *Job) { j.Submit = at } }
+
+// WithKnownParallelism marks the downstream degree of parallelism as known
+// a priori to the scheduler.
+func WithKnownParallelism() Option { return func(j *Job) { j.ParallelismKnown = true } }
+
+// NewJob builds and validates a job from phase specifications.
+func NewJob(id JobID, name string, priority Priority, specs []PhaseSpec, opts ...Option) (*Job, error) {
+	if len(specs) == 0 {
+		return nil, errNoPhases
+	}
+	j := &Job{
+		ID:       id,
+		Name:     name,
+		Priority: priority,
+		Class:    Foreground,
+		phases:   make([]*Phase, 0, len(specs)),
+		children: make([][]int, len(specs)),
+	}
+	for _, opt := range opts {
+		opt(j)
+	}
+	for pi, spec := range specs {
+		if len(spec.Durations) == 0 {
+			return nil, fmt.Errorf("dag: job %q phase %d has no tasks", name, pi)
+		}
+		if spec.CopyDurations != nil && len(spec.CopyDurations) != len(spec.Durations) {
+			return nil, fmt.Errorf("dag: job %q phase %d has %d copy durations for %d tasks",
+				name, pi, len(spec.CopyDurations), len(spec.Durations))
+		}
+		demand := spec.Demand
+		if demand == 0 {
+			demand = 1
+		}
+		if demand < 0 {
+			return nil, fmt.Errorf("dag: job %q phase %d has negative demand %d", name, pi, spec.Demand)
+		}
+		ph := &Phase{ID: pi, Tasks: make([]Task, len(spec.Durations)), Demand: demand}
+		for ti, d := range spec.Durations {
+			if d <= 0 {
+				return nil, fmt.Errorf("dag: job %q phase %d task %d has non-positive duration %v",
+					name, pi, ti, d)
+			}
+			cd := d
+			if spec.CopyDurations != nil {
+				cd = spec.CopyDurations[ti]
+				if cd <= 0 {
+					return nil, fmt.Errorf("dag: job %q phase %d task %d has non-positive copy duration %v",
+						name, pi, ti, cd)
+				}
+			}
+			ph.Tasks[ti] = Task{Index: ti, Duration: d, CopyDuration: cd}
+		}
+		seen := make(map[int]bool, len(spec.Deps))
+		for _, dep := range spec.Deps {
+			if dep < 0 || dep >= len(specs) {
+				return nil, fmt.Errorf("dag: job %q phase %d depends on out-of-range phase %d", name, pi, dep)
+			}
+			if dep == pi {
+				return nil, fmt.Errorf("dag: job %q phase %d depends on itself", name, pi)
+			}
+			if seen[dep] {
+				continue
+			}
+			seen[dep] = true
+			ph.Deps = append(ph.Deps, dep)
+			j.children[dep] = append(j.children[dep], pi)
+		}
+		j.phases = append(j.phases, ph)
+	}
+	topo, err := j.topoSort()
+	if err != nil {
+		return nil, fmt.Errorf("dag: job %q: %w", name, err)
+	}
+	j.topo = topo
+	return j, nil
+}
+
+// Chain builds a linear pipeline: each phase depends on the previous one.
+// This is the dominant shape in the paper (Fig. 2).
+func Chain(id JobID, name string, priority Priority, phases []PhaseSpec, opts ...Option) (*Job, error) {
+	specs := make([]PhaseSpec, len(phases))
+	for i, p := range phases {
+		specs[i] = p
+		if i > 0 {
+			specs[i].Deps = []int{i - 1}
+		}
+	}
+	return NewJob(id, name, priority, specs, opts...)
+}
+
+// NumPhases returns the number of phases.
+func (j *Job) NumPhases() int { return len(j.phases) }
+
+// Phase returns the phase with the given ID; it panics on out-of-range IDs,
+// which indicate a programming error.
+func (j *Job) Phase(id int) *Phase { return j.phases[id] }
+
+// Phases returns the job's phases in ID order. The returned slice is shared;
+// callers must not mutate it.
+func (j *Job) Phases() []*Phase { return j.phases }
+
+// Children returns the IDs of the phases directly downstream of phase id.
+// The returned slice is shared; callers must not mutate it.
+func (j *Job) Children(id int) []int { return j.children[id] }
+
+// IsFinal reports whether phase id has no downstream phases.
+func (j *Job) IsFinal(id int) bool { return len(j.children[id]) == 0 }
+
+// Roots returns the IDs of phases with no dependencies, in ID order.
+func (j *Job) Roots() []int {
+	var roots []int
+	for _, p := range j.phases {
+		if len(p.Deps) == 0 {
+			roots = append(roots, p.ID)
+		}
+	}
+	return roots
+}
+
+// TopoOrder returns the phase IDs in a dependency-respecting order.
+// The returned slice is shared; callers must not mutate it.
+func (j *Job) TopoOrder() []int { return j.topo }
+
+// DownstreamParallelism returns the paper's n for phase id: the total
+// degree of parallelism of the phases directly downstream of it. It returns
+// 0 for final phases.
+func (j *Job) DownstreamParallelism(id int) int {
+	n := 0
+	for _, c := range j.children[id] {
+		n += len(j.phases[c].Tasks)
+	}
+	return n
+}
+
+// MaxDemand returns the largest per-task slot demand of any phase.
+func (j *Job) MaxDemand() int {
+	m := 1
+	for _, p := range j.phases {
+		if p.Demand > m {
+			m = p.Demand
+		}
+	}
+	return m
+}
+
+// TotalTasks returns the number of tasks across all phases.
+func (j *Job) TotalTasks() int {
+	n := 0
+	for _, p := range j.phases {
+		n += len(p.Tasks)
+	}
+	return n
+}
+
+// MaxParallelism returns the largest degree of parallelism of any phase.
+func (j *Job) MaxParallelism() int {
+	m := 0
+	for _, p := range j.phases {
+		if len(p.Tasks) > m {
+			m = len(p.Tasks)
+		}
+	}
+	return m
+}
+
+// SerialWork returns the sum of all base task durations: the work the job
+// would perform on a single slot at full locality.
+func (j *Job) SerialWork() time.Duration {
+	var sum time.Duration
+	for _, p := range j.phases {
+		for _, t := range p.Tasks {
+			sum += t.Duration
+		}
+	}
+	return sum
+}
+
+// CriticalPath returns a lower bound on the job's completion time: the
+// longest dependency chain of phases, where each phase contributes its
+// slowest task. No scheduler can beat this with original attempts only.
+func (j *Job) CriticalPath() time.Duration {
+	longest := make([]time.Duration, len(j.phases))
+	var best time.Duration
+	for _, id := range j.topo {
+		p := j.phases[id]
+		var slowest time.Duration
+		for _, t := range p.Tasks {
+			if t.Duration > slowest {
+				slowest = t.Duration
+			}
+		}
+		var upstream time.Duration
+		for _, dep := range p.Deps {
+			if longest[dep] > upstream {
+				upstream = longest[dep]
+			}
+		}
+		longest[id] = upstream + slowest
+		if longest[id] > best {
+			best = longest[id]
+		}
+	}
+	return best
+}
+
+func (j *Job) topoSort() ([]int, error) {
+	n := len(j.phases)
+	indeg := make([]int, n)
+	for _, p := range j.phases {
+		indeg[p.ID] = len(p.Deps)
+	}
+	// Kahn's algorithm with a FIFO over phase IDs; ties resolve in ID
+	// order because children are appended in ID order.
+	queue := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	order := make([]int, 0, n)
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		order = append(order, id)
+		for _, c := range j.children[id] {
+			indeg[c]--
+			if indeg[c] == 0 {
+				queue = append(queue, c)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, errCycle
+	}
+	return order, nil
+}
+
+func (j *Job) String() string {
+	return fmt.Sprintf("job %d %q (prio=%d, %d phases, %d tasks)",
+		j.ID, j.Name, j.Priority, j.NumPhases(), j.TotalTasks())
+}

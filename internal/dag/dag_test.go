@@ -1,0 +1,328 @@
+package dag
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func sec(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
+
+func uniformSpec(tasks int, dur time.Duration, deps ...int) PhaseSpec {
+	ds := make([]time.Duration, tasks)
+	for i := range ds {
+		ds[i] = dur
+	}
+	return PhaseSpec{Durations: ds, Deps: deps}
+}
+
+func mustChain(t *testing.T, phases ...PhaseSpec) *Job {
+	t.Helper()
+	j, err := Chain(1, "test", 10, phases)
+	if err != nil {
+		t.Fatalf("Chain: %v", err)
+	}
+	return j
+}
+
+func TestNewJobValidation(t *testing.T) {
+	tests := []struct {
+		name  string
+		specs []PhaseSpec
+	}{
+		{name: "no phases", specs: nil},
+		{name: "empty phase", specs: []PhaseSpec{{}}},
+		{name: "zero duration", specs: []PhaseSpec{{Durations: []time.Duration{0}}}},
+		{name: "negative duration", specs: []PhaseSpec{{Durations: []time.Duration{-time.Second}}}},
+		{
+			name: "copy length mismatch",
+			specs: []PhaseSpec{{
+				Durations:     []time.Duration{time.Second, time.Second},
+				CopyDurations: []time.Duration{time.Second},
+			}},
+		},
+		{
+			name: "zero copy duration",
+			specs: []PhaseSpec{{
+				Durations:     []time.Duration{time.Second},
+				CopyDurations: []time.Duration{0},
+			}},
+		},
+		{
+			name: "out of range dep",
+			specs: []PhaseSpec{
+				{Durations: []time.Duration{time.Second}, Deps: []int{5}},
+			},
+		},
+		{
+			name: "negative dep",
+			specs: []PhaseSpec{
+				{Durations: []time.Duration{time.Second}, Deps: []int{-1}},
+			},
+		},
+		{
+			name: "self dep",
+			specs: []PhaseSpec{
+				{Durations: []time.Duration{time.Second}, Deps: []int{0}},
+			},
+		},
+		{
+			name: "cycle",
+			specs: []PhaseSpec{
+				{Durations: []time.Duration{time.Second}, Deps: []int{1}},
+				{Durations: []time.Duration{time.Second}, Deps: []int{0}},
+			},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewJob(1, "bad", 1, tt.specs); err == nil {
+				t.Error("want validation error, got nil")
+			}
+		})
+	}
+}
+
+func TestNewJobDefaultsCopyDurations(t *testing.T) {
+	j, err := NewJob(1, "j", 1, []PhaseSpec{
+		{Durations: []time.Duration{sec(1), sec(2)}},
+	})
+	if err != nil {
+		t.Fatalf("NewJob: %v", err)
+	}
+	for _, task := range j.Phase(0).Tasks {
+		if task.CopyDuration != task.Duration {
+			t.Errorf("task %d copy %v != duration %v", task.Index, task.CopyDuration, task.Duration)
+		}
+	}
+}
+
+func TestNewJobDedupesDeps(t *testing.T) {
+	j, err := NewJob(1, "j", 1, []PhaseSpec{
+		uniformSpec(1, sec(1)),
+		{Durations: []time.Duration{sec(1)}, Deps: []int{0, 0, 0}},
+	})
+	if err != nil {
+		t.Fatalf("NewJob: %v", err)
+	}
+	if got := len(j.Phase(1).Deps); got != 1 {
+		t.Errorf("deps = %d, want 1 after dedupe", got)
+	}
+	if got := len(j.Children(0)); got != 1 {
+		t.Errorf("children = %d, want 1 after dedupe", got)
+	}
+}
+
+func TestChainTopology(t *testing.T) {
+	j := mustChain(t,
+		uniformSpec(4, sec(1)),
+		uniformSpec(4, sec(2)),
+		uniformSpec(2, sec(3)),
+	)
+	if j.NumPhases() != 3 {
+		t.Fatalf("NumPhases = %d, want 3", j.NumPhases())
+	}
+	if got := j.Roots(); len(got) != 1 || got[0] != 0 {
+		t.Errorf("Roots = %v, want [0]", got)
+	}
+	if !j.IsFinal(2) || j.IsFinal(0) || j.IsFinal(1) {
+		t.Error("final-phase detection wrong")
+	}
+	if got := j.Children(0); len(got) != 1 || got[0] != 1 {
+		t.Errorf("Children(0) = %v, want [1]", got)
+	}
+	order := j.TopoOrder()
+	want := []int{0, 1, 2}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("TopoOrder = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestDownstreamParallelism(t *testing.T) {
+	j := mustChain(t,
+		uniformSpec(4, sec(1)),
+		uniformSpec(8, sec(1)),
+		uniformSpec(2, sec(1)),
+	)
+	if got := j.DownstreamParallelism(0); got != 8 {
+		t.Errorf("DownstreamParallelism(0) = %d, want 8", got)
+	}
+	if got := j.DownstreamParallelism(1); got != 2 {
+		t.Errorf("DownstreamParallelism(1) = %d, want 2", got)
+	}
+	if got := j.DownstreamParallelism(2); got != 0 {
+		t.Errorf("DownstreamParallelism(final) = %d, want 0", got)
+	}
+}
+
+func TestDiamondDAG(t *testing.T) {
+	//      0
+	//    /   \
+	//   1     2
+	//    \   /
+	//      3
+	j, err := NewJob(1, "diamond", 1, []PhaseSpec{
+		uniformSpec(2, sec(1)),
+		uniformSpec(3, sec(1), 0),
+		uniformSpec(4, sec(1), 0),
+		uniformSpec(5, sec(1), 1, 2),
+	})
+	if err != nil {
+		t.Fatalf("NewJob: %v", err)
+	}
+	if got := j.DownstreamParallelism(0); got != 7 {
+		t.Errorf("DownstreamParallelism(0) = %d, want 3+4", got)
+	}
+	order := j.TopoOrder()
+	pos := make(map[int]int, len(order))
+	for i, id := range order {
+		pos[id] = i
+	}
+	if pos[0] > pos[1] || pos[0] > pos[2] || pos[1] > pos[3] || pos[2] > pos[3] {
+		t.Errorf("TopoOrder %v violates dependencies", order)
+	}
+	if got := j.Roots(); len(got) != 1 || got[0] != 0 {
+		t.Errorf("Roots = %v, want [0]", got)
+	}
+}
+
+func TestTotalAndMaxParallelism(t *testing.T) {
+	j := mustChain(t, uniformSpec(4, sec(1)), uniformSpec(8, sec(1)))
+	if got := j.TotalTasks(); got != 12 {
+		t.Errorf("TotalTasks = %d, want 12", got)
+	}
+	if got := j.MaxParallelism(); got != 8 {
+		t.Errorf("MaxParallelism = %d, want 8", got)
+	}
+}
+
+func TestSerialWork(t *testing.T) {
+	j := mustChain(t, uniformSpec(2, sec(3)), uniformSpec(3, sec(2)))
+	if got, want := j.SerialWork(), sec(12); got != want {
+		t.Errorf("SerialWork = %v, want %v", got, want)
+	}
+}
+
+func TestCriticalPathChain(t *testing.T) {
+	j := mustChain(t,
+		PhaseSpec{Durations: []time.Duration{sec(1), sec(5)}},
+		PhaseSpec{Durations: []time.Duration{sec(2), sec(3)}},
+	)
+	if got, want := j.CriticalPath(), sec(8); got != want {
+		t.Errorf("CriticalPath = %v, want %v", got, want)
+	}
+}
+
+func TestCriticalPathDiamond(t *testing.T) {
+	j, err := NewJob(1, "diamond", 1, []PhaseSpec{
+		{Durations: []time.Duration{sec(1)}},
+		{Durations: []time.Duration{sec(10)}, Deps: []int{0}},
+		{Durations: []time.Duration{sec(2)}, Deps: []int{0}},
+		{Durations: []time.Duration{sec(1)}, Deps: []int{1, 2}},
+	})
+	if err != nil {
+		t.Fatalf("NewJob: %v", err)
+	}
+	if got, want := j.CriticalPath(), sec(12); got != want {
+		t.Errorf("CriticalPath = %v, want %v (through the slow branch)", got, want)
+	}
+}
+
+func TestOptions(t *testing.T) {
+	j, err := NewJob(7, "opt", 3, []PhaseSpec{uniformSpec(1, sec(1))},
+		WithClass(Background), WithSubmit(sec(42)), WithKnownParallelism())
+	if err != nil {
+		t.Fatalf("NewJob: %v", err)
+	}
+	if j.Class != Background {
+		t.Errorf("Class = %v, want Background", j.Class)
+	}
+	if j.Submit != sec(42) {
+		t.Errorf("Submit = %v, want 42s", j.Submit)
+	}
+	if !j.ParallelismKnown {
+		t.Error("ParallelismKnown not set")
+	}
+	if j.Class.String() != "background" || Foreground.String() != "foreground" {
+		t.Error("Class.String wrong")
+	}
+	if Class(99).String() == "" {
+		t.Error("unknown Class should still stringify")
+	}
+	if j.String() == "" {
+		t.Error("Job.String should be non-empty")
+	}
+}
+
+func TestDefaultClassForeground(t *testing.T) {
+	j := mustChain(t, uniformSpec(1, sec(1)))
+	if j.Class != Foreground {
+		t.Errorf("default Class = %v, want Foreground", j.Class)
+	}
+}
+
+// Property: for random DAGs (deps always point to lower indices, so they are
+// acyclic by construction), the topological order respects every edge and
+// the critical path is at least the slowest phase and at most the serial
+// work.
+func TestRandomDAGProperties(t *testing.T) {
+	prop := func(seed int64, np uint8) bool {
+		n := int(np)%8 + 1
+		rng := rand.New(rand.NewSource(seed))
+		specs := make([]PhaseSpec, n)
+		for i := range specs {
+			tasks := rng.Intn(5) + 1
+			ds := make([]time.Duration, tasks)
+			for ti := range ds {
+				ds[ti] = time.Duration(rng.Intn(1000)+1) * time.Millisecond
+			}
+			var deps []int
+			for d := 0; d < i; d++ {
+				if rng.Intn(3) == 0 {
+					deps = append(deps, d)
+				}
+			}
+			specs[i] = PhaseSpec{Durations: ds, Deps: deps}
+		}
+		j, err := NewJob(1, "rand", 1, specs)
+		if err != nil {
+			return false
+		}
+		pos := make(map[int]int, n)
+		for i, id := range j.TopoOrder() {
+			pos[id] = i
+		}
+		if len(pos) != n {
+			return false
+		}
+		for _, p := range j.Phases() {
+			for _, dep := range p.Deps {
+				if pos[dep] >= pos[p.ID] {
+					return false
+				}
+			}
+		}
+		cp := j.CriticalPath()
+		if cp > j.SerialWork() {
+			return false
+		}
+		for _, p := range j.Phases() {
+			var slowest time.Duration
+			for _, task := range p.Tasks {
+				if task.Duration > slowest {
+					slowest = task.Duration
+				}
+			}
+			if cp < slowest {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,50 @@
+package dag_test
+
+import (
+	"fmt"
+	"time"
+
+	"ssr/internal/dag"
+)
+
+// Chain builds the common pipelined-phases shape: every phase depends on
+// the previous one, with a barrier in between.
+func ExampleChain() {
+	sec := func(s int) time.Duration { return time.Duration(s) * time.Second }
+	job, err := dag.Chain(1, "etl", 10, []dag.PhaseSpec{
+		{Durations: []time.Duration{sec(2), sec(3)}},
+		{Durations: []time.Duration{sec(1), sec(1), sec(1), sec(1)}},
+	}, dag.WithKnownParallelism())
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(job)
+	fmt.Printf("downstream of phase 0: %d tasks\n", job.DownstreamParallelism(0))
+	fmt.Printf("critical path: %v\n", job.CriticalPath())
+	// Output:
+	// job 1 "etl" (prio=10, 2 phases, 6 tasks)
+	// downstream of phase 0: 4 tasks
+	// critical path: 4s
+}
+
+// NewJob expresses general DAGs; here a diamond whose two middle phases
+// both read phase 0's output and feed phase 3.
+func ExampleNewJob() {
+	sec := []time.Duration{time.Second}
+	job, err := dag.NewJob(7, "diamond", 5, []dag.PhaseSpec{
+		{Durations: sec},
+		{Durations: sec, Deps: []int{0}},
+		{Durations: sec, Deps: []int{0}},
+		{Durations: sec, Deps: []int{1, 2}},
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("topological order:", job.TopoOrder())
+	fmt.Println("final phase:", job.IsFinal(3))
+	// Output:
+	// topological order: [0 1 2 3]
+	// final phase: true
+}

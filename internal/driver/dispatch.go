@@ -1,0 +1,273 @@
+package driver
+
+import (
+	"sort"
+
+	"ssr/internal/cluster"
+	"ssr/internal/dag"
+)
+
+// scheduleDispatch coalesces dispatch requests raised during the current
+// event into a single dispatch pass at the same virtual instant.
+func (d *Driver) scheduleDispatch() {
+	if d.dispatchScheduled {
+		return
+	}
+	d.dispatchScheduled = true
+	d.eng.At(d.eng.Now(), func() {
+		d.dispatchScheduled = false
+		d.dispatch()
+	})
+}
+
+// dispatch is the TaskSchedulerImpl role: match queued tasks (and
+// pre-reservation requests) to available slots until nothing more can be
+// placed. The loop terminates because every iteration either consumes a
+// slot or exits:
+//
+//   - pre-reservers outranking the best queued item capture free slots;
+//   - the best queued item is served from preferred / own-reserved / free
+//     / override slots;
+//   - if the best item cannot be served there are no free slots left, and
+//     only jobs holding their own reservations can still place — handled
+//     by a bounded sweep over reservation-holding jobs.
+func (d *Driver) dispatch() {
+	for {
+		it := d.opts.Queue.Best()
+		if it == nil {
+			d.servePreReservers(nil)
+			break
+		}
+		pr, ok := it.(*phaseRun)
+		if !ok {
+			panic("driver: foreign item in scheduling queue")
+		}
+		prio := pr.Priority()
+		d.servePreReservers(&prio)
+		if !d.serveOne(pr) {
+			break
+		}
+	}
+	// Jobs holding reservations can place their queued tasks regardless
+	// of queue order; sweep them so a blocked high-priority head of the
+	// queue cannot starve them.
+	for _, jobID := range d.cl.ReservedJobs() {
+		jr := d.jobsByID[jobID]
+		if jr == nil || jr.finished {
+			continue
+		}
+		for _, pr := range jr.phases {
+			if pr == nil {
+				continue
+			}
+			for pr.placeable() {
+				slot, ok := d.cl.AcquireReservedFor(jobID, pr.demand)
+				if !ok {
+					break
+				}
+				idx, local, ok := pr.nextTaskIdxFor(slot)
+				if !ok {
+					d.mustReserve(slot, cluster.Reservation{
+						Job: jobID, Priority: jr.job.Priority, Phase: pr.phase.ID,
+					})
+					break
+				}
+				d.assign(pr, idx, slot, local)
+			}
+		}
+	}
+}
+
+// serveOne places one task of pr, trying placement sources from best to
+// worst: preferred slots, the job's own reserved slots, free slots, then
+// overriding a lower-priority reservation. It reports whether a task was
+// placed.
+func (d *Driver) serveOne(pr *phaseRun) bool {
+	job := pr.jr.job
+	// Preferred slots first (locality-constrained tasks).
+	if pr.queuedConstrained() > 0 {
+		for _, s := range pr.preferred {
+			if hasLocal(pr, s) && d.cl.TryAcquire(s, job.ID, job.Priority, pr.demand) {
+				idx, ok := pr.takeConstrainedFor(s)
+				if !ok {
+					break
+				}
+				d.assign(pr, idx, s, true)
+				return true
+			}
+		}
+	}
+	// The job's own reserved slots.
+	if slot, ok := d.cl.AcquireReservedFor(job.ID, pr.demand); ok {
+		if idx, local, ok := pr.nextTaskIdxFor(slot); ok {
+			d.assign(pr, idx, slot, local)
+			return true
+		}
+		// No placeable task after all (only constrained tasks still in
+		// their locality wait): re-reserve and bail.
+		d.mustReserve(slot, cluster.Reservation{
+			Job: job.ID, Priority: job.Priority, Phase: pr.phase.ID,
+		})
+		return false
+	}
+	// Any free slot.
+	if slot, ok := d.cl.AcquireFree(pr.demand); ok {
+		if idx, local, ok := pr.nextTaskIdxFor(slot); ok {
+			d.assign(pr, idx, slot, local)
+			return true
+		}
+		if err := d.cl.Release(slot); err != nil {
+			panic("driver: release of just-acquired slot failed: " + err.Error())
+		}
+		return false
+	}
+	// Override a strictly lower-priority reservation.
+	if slot, ok := d.cl.AcquireOverride(job.Priority, pr.demand); ok {
+		if idx, local, ok := pr.nextTaskIdxFor(slot); ok {
+			d.assign(pr, idx, slot, local)
+			return true
+		}
+		if err := d.cl.Release(slot); err != nil {
+			panic("driver: release of just-acquired slot failed: " + err.Error())
+		}
+		return false
+	}
+	return false
+}
+
+// servePreReservers lets phases with outstanding pre-reservation quota
+// capture free slots. When minPrio is non-nil only phases with a strictly
+// higher priority capture (a queued equal-priority task beats a
+// pre-reservation); with nil every pre-reserver is served.
+func (d *Driver) servePreReservers(minPrio *dag.Priority) {
+	if len(d.preReservers) == 0 {
+		return
+	}
+	// Highest priority first; ties by job then phase for determinism.
+	sort.SliceStable(d.preReservers, func(i, j int) bool {
+		a, b := d.preReservers[i], d.preReservers[j]
+		if a.Priority() != b.Priority() {
+			return a.Priority() > b.Priority()
+		}
+		if a.JobID() != b.JobID() {
+			return a.JobID() < b.JobID()
+		}
+		return a.PhaseID() < b.PhaseID()
+	})
+	kept := d.preReservers[:0]
+	for _, pr := range d.preReservers {
+		if pr.preWant > 0 && (minPrio == nil || pr.Priority() > *minPrio) {
+			res := cluster.Reservation{
+				Job:      pr.jr.job.ID,
+				Priority: pr.jr.job.Priority,
+				Phase:    pr.phase.ID,
+			}
+			for pr.preWant > 0 {
+				slot, ok := d.cl.ReserveAnyFree(res, pr.preSize())
+				if !ok {
+					break
+				}
+				pr.preWant--
+				d.notifyWaiters(slot)
+			}
+		}
+		if pr.preWant > 0 {
+			kept = append(kept, pr)
+		} else {
+			pr.inPreReservers = false
+		}
+	}
+	// Zero dangling tail pointers for GC.
+	for i := len(kept); i < len(d.preReservers); i++ {
+		d.preReservers[i] = nil
+	}
+	d.preReservers = kept
+}
+
+// addPreReserver registers a phase with outstanding pre-reservation quota.
+func (d *Driver) addPreReserver(pr *phaseRun) {
+	if !pr.inPreReservers && pr.preWant > 0 {
+		pr.inPreReservers = true
+		d.preReservers = append(d.preReservers, pr)
+	}
+}
+
+// dropPreReserver cancels a phase's outstanding quota (its barrier cleared
+// or the job finished).
+func (d *Driver) dropPreReserver(pr *phaseRun) {
+	pr.preWant = 0
+	if !pr.inPreReservers {
+		return
+	}
+	pr.inPreReservers = false
+	for i, x := range d.preReservers {
+		if x == pr {
+			d.preReservers = append(d.preReservers[:i], d.preReservers[i+1:]...)
+			return
+		}
+	}
+}
+
+// notifyWaiters offers a slot that just became Free or Reserved to phases
+// still inside their locality wait that prefer this very slot. The
+// highest-priority eligible waiter wins; stale entries are pruned.
+func (d *Driver) notifyWaiters(slot cluster.SlotID) {
+	ws := d.waiters[slot]
+	if len(ws) == 0 {
+		return
+	}
+	kept := ws[:0]
+	for _, pr := range ws {
+		if pr.localityOpen || pr.queuedConstrained() == 0 || pr.jr.finished {
+			continue // stale: no longer waiting on preferred slots
+		}
+		kept = append(kept, pr)
+	}
+	for i := len(kept); i < len(ws); i++ {
+		ws[i] = nil
+	}
+	if len(kept) == 0 {
+		delete(d.waiters, slot)
+		return
+	}
+	d.waiters[slot] = kept
+
+	best := -1
+	for i := range kept {
+		if !hasLocal(kept[i], slot) {
+			continue
+		}
+		if best < 0 || kept[i].Priority() > kept[best].Priority() {
+			best = i
+		}
+	}
+	if best < 0 {
+		return
+	}
+	pr := kept[best]
+	job := pr.jr.job
+	if hasLocal(pr, slot) && d.cl.TryAcquire(slot, job.ID, job.Priority, pr.demand) {
+		if idx, ok := pr.takeConstrainedFor(slot); ok {
+			d.assign(pr, idx, slot, true)
+		} else if err := d.cl.Release(slot); err != nil {
+			panic("driver: release of just-acquired slot failed: " + err.Error())
+		}
+	}
+}
+
+// mustReserve reserves a slot, panicking on state-machine violations that
+// would indicate a driver bug.
+func (d *Driver) mustReserve(slot cluster.SlotID, res cluster.Reservation) {
+	if err := d.cl.Reserve(slot, res); err != nil {
+		panic("driver: reserve failed: " + err.Error())
+	}
+	d.notifyWaiters(slot)
+}
+
+// mustRelease releases a slot, panicking on state-machine violations.
+func (d *Driver) mustRelease(slot cluster.SlotID) {
+	if err := d.cl.Release(slot); err != nil {
+		panic("driver: release failed: " + err.Error())
+	}
+	d.notifyWaiters(slot)
+}

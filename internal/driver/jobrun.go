@@ -1,0 +1,426 @@
+package driver
+
+import (
+	"fmt"
+	"time"
+
+	"ssr/internal/cluster"
+	"ssr/internal/core"
+	"ssr/internal/dag"
+	"ssr/internal/metrics"
+	"ssr/internal/sched"
+	"ssr/internal/sim"
+)
+
+// jobRun is the runtime state of one submitted job (DAGScheduler role).
+type jobRun struct {
+	d   *Driver
+	job *dag.Job
+
+	phases     []*phaseRun // indexed by phase ID; nil until the phase is ready
+	depsLeft   []int
+	phasesDone int
+	running    int // busy slots currently held (originals + copies)
+	finished   bool
+
+	stats metrics.JobStats
+}
+
+func newJobRun(d *Driver, job *dag.Job) *jobRun {
+	jr := &jobRun{
+		d:        d,
+		job:      job,
+		phases:   make([]*phaseRun, job.NumPhases()),
+		depsLeft: make([]int, job.NumPhases()),
+	}
+	for _, p := range job.Phases() {
+		jr.depsLeft[p.ID] = len(p.Deps)
+	}
+	jr.stats = metrics.JobStats{Job: job, Submit: job.Submit}
+	return jr
+}
+
+// activate fires at the job's submission time.
+func (jr *jobRun) activate() {
+	for _, root := range jr.job.Roots() {
+		jr.d.submitPhase(jr, root)
+	}
+	jr.d.scheduleDispatch()
+}
+
+// taskState tracks one task's attempts within a phase.
+type taskState struct {
+	done bool
+	orig *attempt
+	dup  *attempt
+}
+
+// attempt is one execution of a task (original or speculative copy) on a
+// slot.
+type attempt struct {
+	pr      *phaseRun
+	taskIdx int
+	isCopy  bool
+	local   bool
+	slot    cluster.SlotID
+	start   sim.Time
+	timer   *sim.Timer
+}
+
+// phaseRun is the runtime state of one phase (TaskSetManager role). It
+// implements sched.Item so the scheduling queue can order it.
+type phaseRun struct {
+	jr    *jobRun
+	phase *dag.Phase
+
+	tracker *core.PhaseTracker
+	start   sim.Time
+	// demand is the slot capacity each task of this phase needs;
+	// downDemand is the largest demand among direct downstream phases
+	// (what a reserved slot must fit to be worth holding, Sec. III-C).
+	demand     int
+	downDemand int
+
+	// Wide (shuffle-like) dependency: tasks with index below
+	// constrained prefer any of the upstream slots; the rest run
+	// anywhere at full speed.
+	preferred   []cluster.SlotID
+	prefSet     map[cluster.SlotID]bool
+	constrained int
+
+	// Narrow (one-to-one) dependency: task i prefers exactly the slot
+	// that produced upstream partition i (iterative jobs updating a
+	// cached RDD — the paper's Fig. 3a). All tasks are constrained.
+	narrow     bool
+	taskPref   []cluster.SlotID
+	prefBySlot map[cluster.SlotID][]int
+	pending    []bool
+	consLeft   int
+	anyScan    int
+
+	// consQ/freeQ hold not-yet-started task indices of a wide phase;
+	// heads advance as tasks are placed.
+	consQ, consHead int
+	freeQ, freeHead int
+
+	tasks        []taskState
+	runningTasks int
+	done         int
+
+	localityOpen  bool
+	localityTimer *sim.Timer
+	deadlineTimer *sim.Timer
+	specTimer     *sim.Timer
+	doneDurations []time.Duration
+
+	inQueue        bool
+	preWant        int
+	inPreReservers bool
+}
+
+var _ sched.Item = (*phaseRun)(nil)
+
+// JobID implements sched.Item.
+func (pr *phaseRun) JobID() dag.JobID { return pr.jr.job.ID }
+
+// PhaseID implements sched.Item.
+func (pr *phaseRun) PhaseID() int { return pr.phase.ID }
+
+// Priority implements sched.Item.
+func (pr *phaseRun) Priority() dag.Priority { return pr.jr.job.Priority }
+
+// ReadyTime implements sched.Item.
+func (pr *phaseRun) ReadyTime() time.Duration { return pr.start }
+
+// JobRunning implements sched.Item.
+func (pr *phaseRun) JobRunning() int { return pr.jr.running }
+
+// preSize returns the slot capacity a pre-reservation for this phase's
+// downstream computation must have.
+func (pr *phaseRun) preSize() int {
+	if pr.downDemand > 0 {
+		return pr.downDemand
+	}
+	return 1
+}
+
+// queuedConstrained returns the number of unplaced locality-constrained
+// tasks.
+func (pr *phaseRun) queuedConstrained() int {
+	if pr.narrow {
+		return pr.consLeft
+	}
+	return pr.consQ - pr.consHead
+}
+
+// queuedFree returns the number of unplaced unconstrained tasks.
+func (pr *phaseRun) queuedFree() int { return pr.freeQ - pr.freeHead }
+
+// queued returns the total number of unplaced tasks.
+func (pr *phaseRun) queued() int { return pr.queuedConstrained() + pr.queuedFree() }
+
+// isConstrained reports whether task idx has a locality preference.
+func (pr *phaseRun) isConstrained(idx int) bool {
+	if pr.narrow {
+		return true
+	}
+	return idx < pr.constrained
+}
+
+// placeable reports whether the phase currently has a task the general
+// dispatch loop may place on an arbitrary slot.
+func (pr *phaseRun) placeable() bool {
+	return pr.queuedFree() > 0 || (pr.localityOpen && pr.queuedConstrained() > 0)
+}
+
+// popNarrow consumes pending narrow task idx.
+func (pr *phaseRun) popNarrow(idx int) {
+	pr.pending[idx] = false
+	pr.consLeft--
+}
+
+// nextTaskIdxFor pops the next task index for a placement onto an
+// already-acquired arbitrary slot, and reports whether the placement honors
+// the task's data locality. Unconstrained tasks go first; constrained ones
+// follow once the locality wait is over, preferring a task whose partition
+// lives on this very slot.
+func (pr *phaseRun) nextTaskIdxFor(slot cluster.SlotID) (int, bool, bool) {
+	if pr.queuedFree() > 0 {
+		idx := pr.constrained + pr.freeHead
+		pr.freeHead++
+		return idx, true, true
+	}
+	if !pr.localityOpen || pr.queuedConstrained() == 0 {
+		return 0, false, false
+	}
+	if pr.narrow {
+		// A pending task local to this slot wins; otherwise pop the
+		// next pending task (remote).
+		for _, idx := range pr.prefBySlot[slot] {
+			if pr.pending[idx] {
+				pr.popNarrow(idx)
+				return idx, true, true
+			}
+		}
+		for ; pr.anyScan < len(pr.pending); pr.anyScan++ {
+			if pr.pending[pr.anyScan] {
+				idx := pr.anyScan
+				pr.popNarrow(idx)
+				return idx, false, true
+			}
+		}
+		return 0, false, false
+	}
+	idx := pr.consHead
+	pr.consHead++
+	return idx, pr.prefSet[slot], true
+}
+
+// takeConstrainedFor pops a constrained task that is local to the given
+// slot, for the preferred-slot placement paths. It reports false when no
+// pending constrained task treats the slot as local.
+func (pr *phaseRun) takeConstrainedFor(slot cluster.SlotID) (int, bool) {
+	if pr.narrow {
+		for _, idx := range pr.prefBySlot[slot] {
+			if pr.pending[idx] {
+				pr.popNarrow(idx)
+				return idx, true
+			}
+		}
+		return 0, false
+	}
+	if pr.queuedConstrained() > 0 && pr.prefSet[slot] {
+		idx := pr.consHead
+		pr.consHead++
+		return idx, true
+	}
+	return 0, false
+}
+
+// submitPhase makes a phase's task set schedulable (the barrier upstream of
+// it has cleared, or it is a root phase of a newly submitted job).
+func (d *Driver) submitPhase(jr *jobRun, pid int) {
+	job := jr.job
+	phase := job.Phase(pid)
+	m := phase.Parallelism()
+
+	n := core.UnknownParallelism
+	if job.ParallelismKnown {
+		n = job.DownstreamParallelism(pid)
+	}
+	cfg := d.ssrConfig()
+	if job.Priority < d.opts.ReserveMinPriority {
+		cfg = core.Disabled()
+	}
+	tracker, err := core.NewPhaseTracker(cfg, m, n, job.IsFinal(pid))
+	if err != nil {
+		// Options and job were validated up front; a failure here is
+		// a programming error worth surfacing loudly in simulation.
+		panic(fmt.Sprintf("driver: phase tracker for job %d phase %d: %v", job.ID, pid, err))
+	}
+
+	pr := &phaseRun{
+		jr:      jr,
+		phase:   phase,
+		tracker: tracker,
+		start:   d.eng.Now(),
+		tasks:   make([]taskState, m),
+		demand:  phase.Demand,
+	}
+	for _, child := range job.Children(pid) {
+		if cd := job.Phase(child).Demand; cd > pr.downDemand {
+			pr.downDemand = cd
+		}
+	}
+	if taskPref, ok := d.loc.NarrowPrefs(job, pid); ok {
+		pr.narrow = true
+		pr.taskPref = taskPref
+		pr.prefBySlot = make(map[cluster.SlotID][]int, m)
+		pr.pending = make([]bool, m)
+		for idx, s := range taskPref {
+			pr.prefBySlot[s] = append(pr.prefBySlot[s], idx)
+			pr.pending[idx] = true
+		}
+		pr.consLeft = m
+		for s := range pr.prefBySlot {
+			pr.preferred = append(pr.preferred, s)
+		}
+	} else {
+		pr.preferred = d.loc.PreferredSlots(job, pid)
+		pr.constrained = len(pr.preferred)
+		if pr.constrained > m {
+			pr.constrained = m
+		}
+		if pr.constrained > 0 {
+			pr.prefSet = make(map[cluster.SlotID]bool, len(pr.preferred))
+			for _, s := range pr.preferred {
+				pr.prefSet[s] = true
+			}
+		}
+		pr.consQ = pr.constrained
+		pr.freeQ = m - pr.constrained
+	}
+	pr.localityOpen = pr.queuedConstrained() == 0
+	jr.phases[pid] = pr
+
+	if !pr.localityOpen {
+		for _, s := range pr.preferred {
+			d.waiters[s] = append(d.waiters[s], pr)
+		}
+		pr.localityTimer = d.eng.After(d.opts.LocalityWait, func() { d.openLocality(pr) })
+		// Constrained tasks may start immediately on preferred slots
+		// that are idle (typically the job's own reserved slots).
+		d.placePreferred(pr)
+	}
+	d.syncQueue(pr)
+	d.startSpeculation(pr)
+	// A phase fully placed at submission with surplus reserved slots
+	// left over (a shrinking transition under Case 1's n = m guess)
+	// satisfies the mitigation trigger immediately.
+	if pr.queued() == 0 {
+		d.maybeMitigate(pr)
+	}
+}
+
+// openLocality ends the phase's locality wait: constrained tasks accept any
+// slot (at the locality penalty) from now on.
+func (d *Driver) openLocality(pr *phaseRun) {
+	pr.localityOpen = true
+	pr.localityTimer = nil
+	d.syncQueue(pr)
+	d.scheduleDispatch()
+}
+
+// syncQueue adds or removes the phase from the scheduling queue according
+// to whether it has arbitrary-slot-placeable work.
+func (d *Driver) syncQueue(pr *phaseRun) {
+	if pr.placeable() && !pr.inQueue {
+		pr.inQueue = true
+		d.opts.Queue.Add(pr)
+	} else if !pr.placeable() && pr.inQueue {
+		pr.inQueue = false
+		d.opts.Queue.Remove(pr)
+	}
+}
+
+// placePreferred assigns constrained tasks to currently takeable preferred
+// slots (free, reserved for this job, or reserved at lower priority). For
+// narrow phases each slot serves the task(s) whose partitions it holds;
+// for wide phases any preferred slot serves any constrained task.
+func (d *Driver) placePreferred(pr *phaseRun) {
+	job := pr.jr.job
+	for _, s := range pr.preferred {
+		if pr.queuedConstrained() == 0 {
+			return
+		}
+		for hasLocal(pr, s) && d.cl.TryAcquire(s, job.ID, job.Priority, pr.demand) {
+			idx, ok := pr.takeConstrainedFor(s)
+			if !ok {
+				// Unreachable: hasLocal guarded it. Put the slot back.
+				if err := d.cl.Release(s); err != nil {
+					panic(fmt.Sprintf("driver: release: %v", err))
+				}
+				return
+			}
+			d.assign(pr, idx, s, true)
+		}
+	}
+}
+
+// hasLocal reports whether the phase has a pending constrained task local
+// to the given slot.
+func hasLocal(pr *phaseRun, slot cluster.SlotID) bool {
+	if pr.narrow {
+		for _, idx := range pr.prefBySlot[slot] {
+			if pr.pending[idx] {
+				return true
+			}
+		}
+		return false
+	}
+	return pr.queuedConstrained() > 0 && pr.prefSet[slot]
+}
+
+// assign starts the original attempt of task idx on an already-acquired
+// (Busy) slot. local reports whether the placement honors the task's data
+// locality.
+func (d *Driver) assign(pr *phaseRun, idx int, slot cluster.SlotID, local bool) {
+	jr := pr.jr
+	task := pr.phase.Tasks[idx]
+	dur := task.Duration
+	constrained := pr.isConstrained(idx)
+	if d.opts.ForceRemote && constrained {
+		local = false
+	}
+	if constrained && !local {
+		dur = time.Duration(float64(dur) * d.opts.LocalityFactor)
+		jr.stats.AnyPlacements++
+	} else {
+		jr.stats.LocalPlacements++
+	}
+	att := &attempt{pr: pr, taskIdx: idx, local: local || !constrained, slot: slot, start: d.eng.Now()}
+	att.timer = d.eng.After(dur, func() { d.onFinish(att) })
+	pr.tasks[idx].orig = att
+	d.slotOwner[slot] = att
+	pr.runningTasks++
+	jr.running++
+	d.recordTimeline(jr)
+	d.syncQueue(pr)
+}
+
+// launchCopy starts a speculative copy of task idx on a reserved slot the
+// cluster just handed us (already Busy). Copies always run at the base copy
+// duration: the reserved slot executed this phase's tasks moments ago, so
+// its JVM is warm and the shuffle inputs are equally remote either way
+// (Sec. IV-C's interference-free property).
+func (d *Driver) launchCopy(pr *phaseRun, idx int, slot cluster.SlotID) {
+	jr := pr.jr
+	task := pr.phase.Tasks[idx]
+	att := &attempt{pr: pr, taskIdx: idx, isCopy: true, local: true, slot: slot, start: d.eng.Now()}
+	att.timer = d.eng.After(task.CopyDuration, func() { d.onFinish(att) })
+	pr.tasks[idx].dup = att
+	d.slotOwner[slot] = att
+	jr.running++
+	jr.stats.CopiesLaunched++
+	d.recordTimeline(jr)
+}

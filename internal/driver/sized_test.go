@@ -1,0 +1,192 @@
+package driver
+
+import (
+	"testing"
+	"time"
+
+	"ssr/internal/cluster"
+	"ssr/internal/core"
+	"ssr/internal/dag"
+	"ssr/internal/sim"
+)
+
+// sizedEnv builds a driver over a heterogeneous cluster.
+func sizedEnv(t *testing.T, nodes int, sizes []int, opts Options) *env {
+	t.Helper()
+	eng := sim.New()
+	cl, err := cluster.NewSized(nodes, sizes)
+	if err != nil {
+		t.Fatalf("NewSized: %v", err)
+	}
+	d, err := New(eng, cl, opts)
+	if err != nil {
+		t.Fatalf("driver.New: %v", err)
+	}
+	return &env{eng: eng, cl: cl, d: d}
+}
+
+// demandChain builds a chain whose phases carry explicit slot demands.
+func demandChain(t *testing.T, id dag.JobID, prio dag.Priority, phases []dag.PhaseSpec, opts ...dag.Option) *dag.Job {
+	t.Helper()
+	j, err := dag.Chain(id, "sized", prio, phases, opts...)
+	if err != nil {
+		t.Fatalf("Chain: %v", err)
+	}
+	return j
+}
+
+func TestSubmitRejectsOversizedDemand(t *testing.T) {
+	e := sizedEnv(t, 1, []int{1, 2}, Options{})
+	j := demandChain(t, 1, 5, []dag.PhaseSpec{
+		{Durations: durations(1), Demand: 3},
+	})
+	if err := e.d.Submit(j); err == nil {
+		t.Error("demand above the largest slot must be rejected at submit")
+	}
+}
+
+func TestSizedPlacementRespectsDemand(t *testing.T) {
+	// One size-1 and one size-2 slot; a demand-2 job must use the big
+	// slot even though the small one is free.
+	e := sizedEnv(t, 1, []int{1, 2}, Options{})
+	j := demandChain(t, 1, 5, []dag.PhaseSpec{
+		{Durations: durations(2, 2), Demand: 2},
+	})
+	e.mustSubmit(t, j)
+	e.mustRun(t)
+	// Both tasks serialize on the single size-2 slot: JCT 4.
+	if got := e.jct(t, 1); got != sec(4) {
+		t.Errorf("JCT = %v, want 4s (serialized on the one big slot)", got)
+	}
+	e.checkClean(t)
+}
+
+// TestSecIIICReleaseAndRightSize reproduces the Sec. III-C behavior: when
+// the downstream phase demands bigger slots than the current one uses,
+// completions release the undersized slots immediately (instead of
+// reserving them) and pre-reserve right-sized slots.
+func TestSecIIICReleaseAndRightSize(t *testing.T) {
+	// Slots: 0,1 of size 1; 2,3 of size 2.
+	opts := Options{Mode: ModeSSR, SSR: core.DefaultConfig(), LocalityFactor: 1}
+	e := sizedEnv(t, 1, []int{1, 1, 2, 2}, opts)
+	fg := demandChain(t, 1, 10, []dag.PhaseSpec{
+		{Durations: durations(1, 4), Demand: 1},
+		{Durations: durations(2, 2), Demand: 2},
+	})
+	// Low-priority background fills the big slots until t=10 and keeps
+	// a backlog of two more tasks.
+	bg := chain(t, 2, "bg", 1, []dag.PhaseSpec{
+		{Durations: durations(10, 10, 10, 10)},
+	})
+	e.mustSubmit(t, fg, bg)
+	e.mustRun(t)
+
+	// fg phase 0 runs on the small slots 0,1; bg takes 2,3 (0-10) with
+	// two tasks queued. At t=1 and t=4 the fg completions release their
+	// undersized slots (Sec. III-C) — the queued bg tasks pick them up
+	// at 1-11 and 4-14 — while fg pre-reserves big slots (none free
+	// until 10). At t=10 the big slots free and fg (higher priority)
+	// runs phase 1 there, 10-12.
+	if got := e.jct(t, 1); got != sec(12) {
+		t.Errorf("fg JCT = %v, want 12s", got)
+	}
+	if got := e.jct(t, 2); got != sec(14) {
+		t.Errorf("bg JCT = %v, want 14s (small slots released to it early)", got)
+	}
+	e.checkClean(t)
+}
+
+// TestSecIIICPreReservesFreeBigSlot: with a free right-sized slot
+// available at the completion moment, the release-and-re-reserve rule
+// captures it before any equal-or-lower-priority work can.
+func TestSecIIICPreReservesFreeBigSlot(t *testing.T) {
+	opts := Options{Mode: ModeSSR, SSR: core.DefaultConfig(), LocalityFactor: 1}
+	e := sizedEnv(t, 1, []int{1, 1, 2, 2}, opts)
+	fg := demandChain(t, 1, 10, []dag.PhaseSpec{
+		{Durations: durations(1, 4), Demand: 1},
+		{Durations: durations(2, 2), Demand: 2},
+	})
+	// One bg task occupies one big slot; the other big slot stays free
+	// and is captured by the pre-reservation at t=1. A second bg job
+	// arrives at t=2 and must not get the captured slot.
+	bg1 := chain(t, 2, "bg1", 1, []dag.PhaseSpec{{Durations: durations(10)}})
+	bg2 := chain(t, 3, "bg2", 1, []dag.PhaseSpec{{Durations: durations(10)}},
+		dag.WithSubmit(sec(2)))
+	e.mustSubmit(t, fg, bg1, bg2)
+	e.mustRun(t)
+
+	// fg holds both small slots from t=0; bg1 runs on big slot 2
+	// (0-10). t=1: the fg completion releases small slot 0 (Sec. III-C)
+	// and captures free big slot 3. t=2: bg2 arrives and must settle
+	// for released slot 0 (2-12) — the captured slot is fenced. t=4:
+	// barrier; phase 1's tasks are pinned (narrow) to the undersized
+	// slots 0-1, so they sit out the 3s locality wait, then run on the
+	// captured slot: 7-9 and (after its release) 9-11.
+	if got := e.jct(t, 1); got != sec(11) {
+		t.Errorf("fg JCT = %v, want 11s", got)
+	}
+	if got := e.jct(t, 3); got != sec(10) {
+		t.Errorf("bg2 JCT = %v, want 10s (used the released small slot)", got)
+	}
+	e.checkClean(t)
+}
+
+func TestSizedMitigationUsesAdequateSlots(t *testing.T) {
+	// Mitigation copies must respect the phase demand: a reserved
+	// size-1 slot cannot host a demand-2 copy.
+	cfg := core.DefaultConfig()
+	cfg.MitigateStragglers = true
+	opts := Options{Mode: ModeSSR, SSR: cfg, LocalityFactor: 1}
+	e := sizedEnv(t, 1, []int{2, 2, 2, 2}, opts)
+	j, err := dag.Chain(1, "big", 10, []dag.PhaseSpec{
+		{Durations: durations(1, 1, 1, 50), CopyDurations: durations(1, 1, 1, 2), Demand: 2},
+		{Durations: durations(1), Demand: 2},
+	})
+	if err != nil {
+		t.Fatalf("Chain: %v", err)
+	}
+	e.mustSubmit(t, j)
+	e.mustRun(t)
+	// All slots are size 2, so mitigation works as usual: straggler's
+	// copy finishes at 3, phase 1 at 4.
+	st, _ := e.d.Result(1)
+	if st.CopiesWon != 1 {
+		t.Errorf("CopiesWon = %d, want 1", st.CopiesWon)
+	}
+	e.checkClean(t)
+}
+
+func TestSizedAloneBaseline(t *testing.T) {
+	// A homogeneous-size-2 cluster behaves exactly like a size-1 one
+	// for demand-1 jobs.
+	e := sizedEnv(t, 1, []int{2, 2}, Options{})
+	j := chain(t, 1, "j", 5, []dag.PhaseSpec{
+		{Durations: durations(1, 2)},
+		{Durations: durations(1, 1)},
+	})
+	e.mustSubmit(t, j)
+	e.mustRun(t)
+	if got := e.jct(t, 1); got != sec(3) {
+		t.Errorf("JCT = %v, want 3s", got)
+	}
+	e.checkClean(t)
+}
+
+func TestSizedDeterminism(t *testing.T) {
+	run := func() time.Duration {
+		opts := Options{Mode: ModeSSR, SSR: core.DefaultConfig()}
+		e := sizedEnv(t, 2, []int{1, 2, 4}, opts)
+		j := demandChain(t, 1, 5, []dag.PhaseSpec{
+			{Durations: durations(1, 2, 1), Demand: 1},
+			{Durations: durations(2, 2), Demand: 2},
+			{Durations: durations(3), Demand: 4},
+		})
+		bg := chain(t, 2, "bg", 1, []dag.PhaseSpec{{Durations: durations(5, 5, 5)}})
+		e.mustSubmit(t, j, bg)
+		e.mustRun(t)
+		return e.jct(t, 1)
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("nondeterministic sized run: %v vs %v", a, b)
+	}
+}

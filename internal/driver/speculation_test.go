@@ -1,0 +1,192 @@
+package driver
+
+import (
+	"testing"
+	"time"
+
+	"ssr/internal/core"
+	"ssr/internal/dag"
+)
+
+func TestSpeculationConfigValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		cfg     SpeculationConfig
+		wantErr bool
+	}{
+		{name: "disabled ignores fields", cfg: SpeculationConfig{Quantile: -5}, wantErr: false},
+		{name: "defaults valid", cfg: DefaultSpeculation(), wantErr: false},
+		{name: "bad quantile", cfg: SpeculationConfig{Enabled: true, Quantile: 1.5, Multiplier: 2, Interval: time.Second}, wantErr: true},
+		{name: "bad multiplier", cfg: SpeculationConfig{Enabled: true, Quantile: 0.5, Multiplier: 0.5, Interval: time.Second}, wantErr: true},
+		{name: "bad interval", cfg: SpeculationConfig{Enabled: true, Quantile: 0.5, Multiplier: 2}, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.cfg.validate()
+			if gotErr := err != nil; gotErr != tt.wantErr {
+				t.Errorf("validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestSpeculationRescuesStraggler(t *testing.T) {
+	opts := Options{
+		Mode: ModeNone,
+		Speculation: SpeculationConfig{
+			Enabled:    true,
+			Quantile:   0.5,
+			Multiplier: 2,
+			Interval:   sec(0.5),
+		},
+	}
+	e := newEnv(t, 1, 4, opts)
+	j, err := dag.Chain(1, "straggly", 10, []dag.PhaseSpec{
+		{Durations: durations(1, 1, 1, 100), CopyDurations: durations(1, 1, 1, 2)},
+		{Durations: durations(1, 1, 1, 1)},
+	})
+	if err != nil {
+		t.Fatalf("Chain: %v", err)
+	}
+	e.mustSubmit(t, j)
+	e.mustRun(t)
+	// t=1: three tasks done (75% >= 50%), median 1s, threshold 2s. At
+	// the t=2.5 scan the straggler has run 2.5s > 2s: a copy launches
+	// on freed slot 0 (root phase: unconstrained, so no penalty) and
+	// wins at 4.5. The straggler's output now lives on slot 0, which
+	// phase-1 task 0 also prefers: tasks 0-2 run 4.5-5.5 and task 3
+	// reruns on slot 0 at 5.5-6.5.
+	if got := e.jct(t, 1); got != sec(6.5) {
+		t.Errorf("JCT = %v, want 6.5s", got)
+	}
+	st, _ := e.d.Result(1)
+	if st.CopiesLaunched != 1 || st.CopiesWon != 1 {
+		t.Errorf("copies = %d/%d, want 1 launched, 1 won", st.CopiesWon, st.CopiesLaunched)
+	}
+	e.checkClean(t)
+}
+
+func TestSpeculationOffByDefault(t *testing.T) {
+	e := newEnv(t, 1, 4, Options{Mode: ModeNone})
+	j, err := dag.Chain(1, "straggly", 10, []dag.PhaseSpec{
+		{Durations: durations(1, 1, 1, 50), CopyDurations: durations(1, 1, 1, 2)},
+	})
+	if err != nil {
+		t.Fatalf("Chain: %v", err)
+	}
+	e.mustSubmit(t, j)
+	e.mustRun(t)
+	st, _ := e.d.Result(1)
+	if st.CopiesLaunched != 0 {
+		t.Errorf("CopiesLaunched = %d, want 0", st.CopiesLaunched)
+	}
+	if got := e.jct(t, 1); got != sec(50) {
+		t.Errorf("JCT = %v, want 50s", got)
+	}
+}
+
+func TestSpeculationWaitsForQuantile(t *testing.T) {
+	// With quantile 1.0 speculation can never trigger (the phase is
+	// done by the time every task completed).
+	opts := Options{
+		Mode: ModeNone,
+		Speculation: SpeculationConfig{
+			Enabled:    true,
+			Quantile:   1.0,
+			Multiplier: 1.5,
+			Interval:   sec(0.5),
+		},
+	}
+	e := newEnv(t, 1, 4, opts)
+	j, err := dag.Chain(1, "j", 10, []dag.PhaseSpec{
+		{Durations: durations(1, 1, 1, 20), CopyDurations: durations(1, 1, 1, 1)},
+	})
+	if err != nil {
+		t.Fatalf("Chain: %v", err)
+	}
+	e.mustSubmit(t, j)
+	e.mustRun(t)
+	st, _ := e.d.Result(1)
+	if st.CopiesLaunched != 0 {
+		t.Errorf("CopiesLaunched = %d, want 0 at quantile 1.0", st.CopiesLaunched)
+	}
+	e.checkClean(t)
+}
+
+func TestSpeculationCopyPaysColdPenalty(t *testing.T) {
+	// A narrow downstream task's speculative copy lands on a foreign
+	// slot and pays the locality factor — the paper's JVM warm-up
+	// argument against status-quo speculation (Sec. IV-C).
+	opts := Options{
+		Mode:           ModeNone,
+		LocalityFactor: 5,
+		Speculation: SpeculationConfig{
+			Enabled:    true,
+			Quantile:   0.5,
+			Multiplier: 2,
+			Interval:   sec(0.5),
+		},
+	}
+	e := newEnv(t, 1, 8, opts)
+	// Phase 1 is narrow: its straggler's copy duration is 2s, but the
+	// copy runs cold at 5x = 10s, so it cannot beat the 12s original.
+	j, err := dag.Chain(1, "j", 10, []dag.PhaseSpec{
+		{Durations: durations(1, 1, 1, 1)},
+		{Durations: durations(1, 1, 1, 12), CopyDurations: durations(1, 1, 1, 2)},
+	})
+	if err != nil {
+		t.Fatalf("Chain: %v", err)
+	}
+	e.mustSubmit(t, j)
+	e.mustRun(t)
+	st, _ := e.d.Result(1)
+	if st.CopiesLaunched == 0 {
+		t.Fatal("expected a speculative copy for the phase-1 straggler")
+	}
+	// Copy launched at the first scan past threshold (t=1+2.5=3.5),
+	// cold: 3.5+10 = 13.5 > original's 13. The original wins.
+	if st.CopiesWon != 0 {
+		t.Errorf("CopiesWon = %d, want 0 (cold copy loses)", st.CopiesWon)
+	}
+	if got := e.jct(t, 1); got != sec(13) {
+		t.Errorf("JCT = %v, want 13s (original finishes first)", got)
+	}
+	e.checkClean(t)
+}
+
+func TestSpeculationComparedToReservedSlotMitigation(t *testing.T) {
+	// The same straggler scenario under (a) SSR + reserved-slot
+	// mitigation and (b) plain scheduling + status-quo speculation:
+	// the reserved-slot copies run warm and win; speculation's cold
+	// copies are slower.
+	build := func() *dag.Job {
+		j, err := dag.Chain(1, "j", 10, []dag.PhaseSpec{
+			{Durations: durations(1, 1, 1, 1)},
+			{Durations: durations(1, 1, 1, 40), CopyDurations: durations(1, 1, 1, 2)},
+			{Durations: durations(1, 1, 1, 1)},
+		})
+		if err != nil {
+			t.Fatalf("Chain: %v", err)
+		}
+		return j
+	}
+	cfg := core.DefaultConfig()
+	cfg.MitigateStragglers = true
+	eSSR := newEnv(t, 1, 8, Options{Mode: ModeSSR, SSR: cfg, LocalityFactor: 5})
+	eSSR.mustSubmit(t, build())
+	eSSR.mustRun(t)
+
+	eSpec := newEnv(t, 1, 8, Options{
+		Mode:           ModeNone,
+		LocalityFactor: 5,
+		Speculation:    DefaultSpeculation(),
+	})
+	eSpec.mustSubmit(t, build())
+	eSpec.mustRun(t)
+
+	ssrJCT := eSSR.jct(t, 1)
+	specJCT := eSpec.jct(t, 1)
+	if ssrJCT >= specJCT {
+		t.Errorf("reserved-slot mitigation (%v) should beat cold speculation (%v)", ssrJCT, specJCT)
+	}
+}

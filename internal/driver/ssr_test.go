@@ -1,0 +1,487 @@
+package driver
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ssr/internal/cluster"
+	"ssr/internal/core"
+	"ssr/internal/dag"
+	"ssr/internal/sched"
+	"ssr/internal/sim"
+)
+
+// deadlineScenario runs a foreground job with a long straggler against a
+// backlogged background job at the given isolation level P.
+func deadlineScenario(t *testing.T, p float64) (fg, bg time.Duration) {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.IsolationP = p
+	cfg.Alpha = 1.6
+	e := newEnv(t, 1, 4, Options{Mode: ModeSSR, SSR: cfg})
+	fgJob := chain(t, 1, "fg", 10, []dag.PhaseSpec{
+		{Durations: durations(1, 1, 1, 30)},
+		{Durations: durations(5, 5, 5, 5)},
+	})
+	bgJob := chain(t, 2, "bg", 1, []dag.PhaseSpec{
+		{Durations: durations(20, 20, 20, 20, 20, 20, 20, 20)},
+	})
+	e.mustSubmit(t, fgJob, bgJob)
+	e.mustRun(t)
+	defer e.checkClean(t)
+	return e.jct(t, 1), e.jct(t, 2)
+}
+
+func TestDeadlineExpiryTradesIsolationForUtilization(t *testing.T) {
+	fgStrict, bgStrict := deadlineScenario(t, 1.0)
+	fgLoose, bgLoose := deadlineScenario(t, 0.5)
+
+	// P=1: reservations held through the 30s straggler; phase 1 runs
+	// 30-35 at full locality.
+	if fgStrict != sec(35) {
+		t.Errorf("fg JCT at P=1 = %v, want 35s", fgStrict)
+	}
+	// P=0.5 with t_m=1s, alpha=1.6, N=4 gives a ~3.2s deadline: the
+	// three early slots expire and go to background tasks, delaying fg.
+	if fgLoose <= fgStrict {
+		t.Errorf("fg JCT at P=0.5 = %v, want worse than %v", fgLoose, fgStrict)
+	}
+	// Under per-task locality, the released slots host background tasks
+	// through two waves; the phase-1 tasks trickle back onto their own
+	// slots or pay the 5x penalty elsewhere: JCT lands around a minute.
+	if fgLoose < sec(50) || fgLoose > sec(70) {
+		t.Errorf("fg JCT at P=0.5 = %v, want ~60s", fgLoose)
+	}
+	// The background job benefits from the released slots.
+	if bgLoose >= bgStrict {
+		t.Errorf("bg JCT at P=0.5 = %v, want better than %v at P=1", bgLoose, bgStrict)
+	}
+}
+
+func TestStragglerMitigationCutsPhaseTime(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.MitigateStragglers = true
+	e := newEnv(t, 1, 4, Options{Mode: ModeSSR, SSR: cfg})
+	j, err := dag.Chain(1, "straggly", 10, []dag.PhaseSpec{
+		{
+			Durations:     durations(1, 1, 1, 100),
+			CopyDurations: durations(1, 1, 1, 2),
+		},
+		{Durations: durations(1, 1, 1, 1)},
+	})
+	if err != nil {
+		t.Fatalf("Chain: %v", err)
+	}
+	e.mustSubmit(t, j)
+	e.mustRun(t)
+	// Three tasks finish at t=1 freeing reserved slots; after the second
+	// completion 2 reserved >= 2 ongoing, so copies launch at t=1. The
+	// straggler's copy takes 2s: phase 0 ends at t=3. The straggler's
+	// output now lives on the copy's slot, so phase-1 tasks 1 and 3
+	// both prefer it: task 1 runs 3-4, task 3 reruns there 4-5 — and a
+	// third copy launches for it at t=4 on the straggler's old slot
+	// (still reserved), finishing at the same instant. JCT 5.
+	if got := e.jct(t, 1); got != sec(5) {
+		t.Errorf("JCT = %v, want 5s (copy beat the 100s straggler)", got)
+	}
+	st, _ := e.d.Result(1)
+	if st.CopiesLaunched != 3 {
+		t.Errorf("CopiesLaunched = %d, want 3", st.CopiesLaunched)
+	}
+	if st.CopiesWon != 1 {
+		t.Errorf("CopiesWon = %d, want 1 (the straggler's copy)", st.CopiesWon)
+	}
+	e.checkClean(t)
+}
+
+func TestStragglerMitigationOffByDefault(t *testing.T) {
+	e := newEnv(t, 1, 4, Options{Mode: ModeSSR, SSR: core.DefaultConfig()})
+	j, err := dag.Chain(1, "straggly", 10, []dag.PhaseSpec{
+		{Durations: durations(1, 1, 1, 100), CopyDurations: durations(1, 1, 1, 2)},
+		{Durations: durations(1, 1, 1, 1)},
+	})
+	if err != nil {
+		t.Fatalf("Chain: %v", err)
+	}
+	e.mustSubmit(t, j)
+	e.mustRun(t)
+	if got := e.jct(t, 1); got != sec(101) {
+		t.Errorf("JCT = %v, want 101s without mitigation", got)
+	}
+	st, _ := e.d.Result(1)
+	if st.CopiesLaunched != 0 {
+		t.Errorf("CopiesLaunched = %d, want 0", st.CopiesLaunched)
+	}
+}
+
+func TestMitigationUselessCopyDoesNoHarm(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.MitigateStragglers = true
+	e := newEnv(t, 1, 4, Options{Mode: ModeSSR, SSR: cfg})
+	j, err := dag.Chain(1, "j", 10, []dag.PhaseSpec{
+		{
+			Durations:     durations(1, 1, 1, 10),
+			CopyDurations: durations(1, 1, 1, 500), // copy slower than the original
+		},
+		{Durations: durations(1, 1, 1, 1)},
+	})
+	if err != nil {
+		t.Fatalf("Chain: %v", err)
+	}
+	e.mustSubmit(t, j)
+	e.mustRun(t)
+	if got := e.jct(t, 1); got != sec(11) {
+		t.Errorf("JCT = %v, want 11s (original wins, copy killed)", got)
+	}
+	st, _ := e.d.Result(1)
+	if st.CopiesWon != 0 {
+		t.Errorf("CopiesWon = %d, want 0", st.CopiesWon)
+	}
+	e.checkClean(t)
+}
+
+// preReserveScenario: phase 0 has m=2, phase 1 has n=4 (known). Background
+// slots free mid-phase; with pre-reservation the job captures them early.
+func preReserveScenario(t *testing.T, r float64) time.Duration {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.PreReserveThreshold = r
+	e := newEnv(t, 1, 4, Options{Mode: ModeSSR, SSR: cfg})
+	fg, err := dag.Chain(1, "fg", 10, []dag.PhaseSpec{
+		{Durations: durations(1, 4)},
+		{Durations: durations(5, 5, 5, 5)},
+	}, dag.WithKnownParallelism())
+	if err != nil {
+		t.Fatalf("Chain: %v", err)
+	}
+	bg := chain(t, 2, "bg", 1, []dag.PhaseSpec{
+		{Durations: durations(2, 2, 20, 20)},
+	})
+	e.mustSubmit(t, fg, bg)
+	e.mustRun(t)
+	defer e.checkClean(t)
+	return e.jct(t, 1)
+}
+
+func TestPreReservationAcceleratesGrowingPhases(t *testing.T) {
+	// R=0.4: after the first completion (fraction 0.5 > 0.4) the job
+	// captures the two slots bg frees at t=2; phase 1 starts on four
+	// slots at t=4 and ends at 9.
+	if got := preReserveScenario(t, 0.4); got != sec(9) {
+		t.Errorf("JCT with pre-reservation = %v, want 9s", got)
+	}
+	// R=1: pre-reservation never triggers; the two extra tasks wait for
+	// phase 1's own slots to free: JCT 14.
+	if got := preReserveScenario(t, 1.0); got != sec(14) {
+		t.Errorf("JCT without pre-reservation = %v, want 14s", got)
+	}
+}
+
+func TestTimeoutReservationHoldsAndExpires(t *testing.T) {
+	e := newEnv(t, 1, 2, Options{Mode: ModeTimeout, Timeout: sec(2)})
+	a := chain(t, 1, "a", 5, []dag.PhaseSpec{
+		{Durations: durations(1, 10)},
+		{Durations: durations(1, 1)},
+	})
+	b := chain(t, 2, "b", 5, []dag.PhaseSpec{{Durations: durations(5)}})
+	e.mustSubmit(t, a, b)
+	e.mustRun(t)
+	// Slot 0 frees at t=1 and is blindly reserved for a until t=3; b
+	// (equal priority) waits and runs 3-8.
+	if got := e.jct(t, 2); got != sec(8) {
+		t.Errorf("b JCT = %v, want 8s (blocked by the blind reservation)", got)
+	}
+	// a's phase 1 starts at 10: slot 1 frees then (local), slot 0 is
+	// free since 8: both tasks run 10-11.
+	if got := e.jct(t, 1); got != sec(11) {
+		t.Errorf("a JCT = %v, want 11s", got)
+	}
+	e.checkClean(t)
+}
+
+func TestTimeoutReservationBridgesFastBarrier(t *testing.T) {
+	// When the barrier clears within the timeout, the job keeps its
+	// slots like SSR would.
+	e := newEnv(t, 1, 2, Options{Mode: ModeTimeout, Timeout: sec(3)})
+	a := chain(t, 1, "a", 5, []dag.PhaseSpec{
+		{Durations: durations(1, 2)},
+		{Durations: durations(1, 1)},
+	})
+	b := chain(t, 2, "b", 5, []dag.PhaseSpec{{Durations: durations(10, 10)}})
+	e.mustSubmit(t, a, b)
+	e.mustRun(t)
+	if got := e.jct(t, 1); got != sec(3) {
+		t.Errorf("a JCT = %v, want 3s (slots held through the barrier)", got)
+	}
+	e.checkClean(t)
+}
+
+func TestStaticReservationFencesSlots(t *testing.T) {
+	e := newEnv(t, 1, 2, Options{
+		Mode:              ModeStatic,
+		StaticSlots:       1,
+		StaticMinPriority: 5,
+	})
+	bg := chain(t, 1, "bg", 1, []dag.PhaseSpec{{Durations: durations(10, 10)}})
+	fg := chain(t, 2, "fg", 5, []dag.PhaseSpec{{Durations: durations(1)}},
+		dag.WithSubmit(sec(2)))
+	e.mustSubmit(t, bg, fg)
+	e.mustRun(t)
+	// bg may only use slot 1: serial execution, JCT 20.
+	if got := e.jct(t, 1); got != sec(20) {
+		t.Errorf("bg JCT = %v, want 20s (fenced off the static slot)", got)
+	}
+	// fg takes the fenced slot immediately at t=2.
+	if got := e.jct(t, 2); got != sec(1) {
+		t.Errorf("fg JCT = %v, want 1s", got)
+	}
+	e.checkClean(t)
+}
+
+func TestStaticReservationReestablishedAfterUse(t *testing.T) {
+	e := newEnv(t, 1, 2, Options{
+		Mode:              ModeStatic,
+		StaticSlots:       1,
+		StaticMinPriority: 5,
+	})
+	fg1 := chain(t, 1, "fg1", 5, []dag.PhaseSpec{{Durations: durations(1)}})
+	bg := chain(t, 2, "bg", 1, []dag.PhaseSpec{{Durations: durations(5, 5)}})
+	fg2 := chain(t, 3, "fg2", 5, []dag.PhaseSpec{{Durations: durations(1)}},
+		dag.WithSubmit(sec(3)))
+	e.mustSubmit(t, fg1, bg, fg2)
+	e.mustRun(t)
+	// fg1 takes the unfenced slot 1 (free slots are preferred over
+	// overriding the fence), so bg serializes on slot 1 from t=1:
+	// tasks 1-6 and 6-11. fg2 overrides the fence at t=3.
+	if got := e.jct(t, 3); got != sec(1) {
+		t.Errorf("fg2 JCT = %v, want 1s (fenced slot available to fg)", got)
+	}
+	if got := e.jct(t, 2); got != sec(11) {
+		t.Errorf("bg JCT = %v, want 11s (serial on the open slot)", got)
+	}
+	e.checkClean(t)
+}
+
+func TestDiamondDAGRuns(t *testing.T) {
+	e := newEnv(t, 2, 4, Options{Mode: ModeSSR, SSR: core.DefaultConfig()})
+	j, err := dag.NewJob(1, "diamond", 5, []dag.PhaseSpec{
+		{Durations: durations(1, 1)},
+		{Durations: durations(3, 3), Deps: []int{0}},
+		{Durations: durations(2, 2), Deps: []int{0}},
+		{Durations: durations(1, 1), Deps: []int{1, 2}},
+	})
+	if err != nil {
+		t.Fatalf("NewJob: %v", err)
+	}
+	e.mustSubmit(t, j)
+	e.mustRun(t)
+	// Phases 1 and 2 both prefer the two slots that ran phase 0, so
+	// under the locality model they serialize on them: phase 1 runs
+	// 1-4, phase 2 picks the slots up at 4 (notified at phase 1's
+	// completion, still within locality rules) and runs 4-6, phase 3
+	// runs 6-7. Spreading phase 2 to the six idle slots would cost the
+	// 5x locality penalty and finish later.
+	if got := e.jct(t, 1); got != sec(7) {
+		t.Errorf("JCT = %v, want 7s", got)
+	}
+	e.checkClean(t)
+}
+
+// Fig. 13's shape: under fair sharing, a pipelined job loses its share at
+// each barrier without SSR and keeps it with SSR.
+func fairShareScenario(t *testing.T, mode Mode) (*env, time.Duration) {
+	t.Helper()
+	opts := Options{
+		Queue:          sched.NewFairQueue(),
+		Mode:           mode,
+		SSR:            core.DefaultConfig(),
+		RecordTimeline: true,
+	}
+	e := newEnv(t, 1, 4, opts)
+	pipelined := chain(t, 1, "pipelined", 5, []dag.PhaseSpec{
+		{Durations: durations(3, 4)},
+		{Durations: durations(3, 4)},
+		{Durations: durations(3, 4)},
+	})
+	mapOnly := chain(t, 2, "maponly", 5, []dag.PhaseSpec{
+		{Durations: durations(4, 4, 4, 4, 4, 4, 4, 4, 4, 4, 4, 4)},
+	})
+	e.mustSubmit(t, pipelined, mapOnly)
+	e.mustRun(t)
+	return e, e.jct(t, 1)
+}
+
+func TestFairSharingWithSSRKeepsShareAcrossBarriers(t *testing.T) {
+	eNone, jctNone := fairShareScenario(t, ModeNone)
+	eSSR, jctSSR := fairShareScenario(t, ModeSSR)
+
+	// Without SSR, the slot freed at t=3 leaks to the map-only job
+	// (a 4s task, until t=7), so when the barrier clears at t=4 the
+	// pipelined job can start only one phase-1 task: share 1 at t=4.5.
+	if got := eNone.d.Timeline().At(1, sec(4)+500*time.Millisecond); got >= 2 {
+		t.Errorf("share without SSR at t=4.5 = %d, want < 2", got)
+	}
+	// With SSR the reserved slot carries the share across the barrier:
+	// both phase-1 tasks run from t=4.
+	if got := eSSR.d.Timeline().At(1, sec(4)+500*time.Millisecond); got != 2 {
+		t.Errorf("share with SSR at t=4.5 = %d, want 2", got)
+	}
+	if jctSSR >= jctNone {
+		t.Errorf("SSR should speed up the pipelined job: %v vs %v", jctSSR, jctNone)
+	}
+	// With SSR the pipelined job proceeds phase to phase unimpeded.
+	if jctSSR != sec(12) {
+		t.Errorf("pipelined JCT with SSR = %v, want 12s", jctSSR)
+	}
+}
+
+func TestUsageAccounting(t *testing.T) {
+	e := newEnv(t, 1, 2, Options{Mode: ModeSSR, SSR: core.DefaultConfig()})
+	j := chain(t, 1, "j", 5, []dag.PhaseSpec{
+		{Durations: durations(1, 4)},
+		{Durations: durations(1, 1)},
+	})
+	e.mustSubmit(t, j)
+	e.mustRun(t)
+	horizon := e.d.Makespan()
+	u := e.d.Usage().Utilization(horizon)
+	if u <= 0 || u > 1 {
+		t.Errorf("utilization = %v, want in (0, 1]", u)
+	}
+	// Slot 0 idles reserved from t=1 to t=4: 3 slot-seconds.
+	if got := e.d.Usage().ReservedIdleTime(); got != sec(3) {
+		t.Errorf("ReservedIdleTime = %v, want 3s", got)
+	}
+}
+
+// minCriticalPath is the critical path where each task contributes
+// min(Duration, CopyDuration) — a lower bound that holds even when
+// straggler mitigation replaces tasks with faster copies.
+func minCriticalPath(j *dag.Job) time.Duration {
+	longest := make([]time.Duration, j.NumPhases())
+	var best time.Duration
+	for _, id := range j.TopoOrder() {
+		p := j.Phase(id)
+		var slowest time.Duration
+		for _, task := range p.Tasks {
+			d := task.Duration
+			if task.CopyDuration < d {
+				d = task.CopyDuration
+			}
+			if d > slowest {
+				slowest = d
+			}
+		}
+		var upstream time.Duration
+		for _, dep := range p.Deps {
+			if longest[dep] > upstream {
+				upstream = longest[dep]
+			}
+		}
+		longest[id] = upstream + slowest
+		if longest[id] > best {
+			best = longest[id]
+		}
+	}
+	return best
+}
+
+// Property: random mixes of jobs and policies always complete, leave the
+// cluster clean, and never beat the per-job critical path.
+func TestDriverRandomWorkloadsInvariants(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		modes := []Options{
+			{Mode: ModeNone},
+			{Mode: ModeSSR, SSR: core.DefaultConfig()},
+			{Mode: ModeSSR, SSR: core.Config{
+				Enabled: true, IsolationP: 0.5, Alpha: 1.6,
+				PreReserveThreshold: 0.3, MitigateStragglers: true,
+			}},
+			{Mode: ModeTimeout, Timeout: sec(2)},
+			{Mode: ModeStatic, StaticSlots: 1, StaticMinPriority: 5},
+		}
+		opts := modes[rng.Intn(len(modes))]
+		eng := sim.New()
+		cl, err := cluster.New(1+rng.Intn(3), 1+rng.Intn(4))
+		if err != nil {
+			return false
+		}
+		if opts.Mode == ModeStatic && cl.NumSlots() < 2 {
+			// Fencing the only slot starves low-priority jobs
+			// forever: a pathological operator configuration, not a
+			// scheduling scenario.
+			opts = Options{Mode: ModeNone}
+		}
+		d, err := New(eng, cl, opts)
+		if err != nil {
+			return false
+		}
+		njobs := 1 + rng.Intn(5)
+		jobs := make([]*dag.Job, 0, njobs)
+		for ji := 0; ji < njobs; ji++ {
+			nphases := 1 + rng.Intn(4)
+			specs := make([]dag.PhaseSpec, nphases)
+			for pi := range specs {
+				m := 1 + rng.Intn(5)
+				ds := make([]time.Duration, m)
+				cs := make([]time.Duration, m)
+				for ti := range ds {
+					ds[ti] = time.Duration(1+rng.Intn(5000)) * time.Millisecond
+					cs[ti] = time.Duration(1+rng.Intn(5000)) * time.Millisecond
+				}
+				specs[pi] = dag.PhaseSpec{Durations: ds, CopyDurations: cs}
+				if pi > 0 {
+					specs[pi].Deps = []int{pi - 1}
+				}
+			}
+			var jopts []dag.Option
+			if rng.Intn(2) == 0 {
+				jopts = append(jopts, dag.WithKnownParallelism())
+			}
+			jopts = append(jopts, dag.WithSubmit(time.Duration(rng.Intn(5000))*time.Millisecond))
+			job, err := dag.NewJob(dag.JobID(ji+1), "rnd", dag.Priority(1+rng.Intn(9)), specs, jopts...)
+			if err != nil {
+				return false
+			}
+			jobs = append(jobs, job)
+			if err := d.Submit(job); err != nil {
+				return false
+			}
+		}
+		if err := d.Run(); err != nil {
+			return false
+		}
+		if cl.CountState(cluster.Busy) != 0 {
+			return false
+		}
+		wantReserved := 0
+		if opts.Mode == ModeStatic {
+			wantReserved = opts.StaticSlots
+		}
+		if cl.CountState(cluster.Reserved) != wantReserved {
+			return false
+		}
+		for _, job := range jobs {
+			st, ok := d.Result(job.ID)
+			if !ok || st.Finish < st.Submit {
+				return false
+			}
+			// With straggler mitigation a fast copy can beat the
+			// primary-duration critical path; bound by the
+			// min(primary, copy) critical path instead.
+			if st.JCT() < minCriticalPath(job) {
+				return false
+			}
+			if st.TasksRun != job.TotalTasks() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,184 @@
+package driver
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"ssr/internal/core"
+	"ssr/internal/dag"
+	"ssr/internal/model"
+	"ssr/internal/stats"
+)
+
+// TestMitigationMatchesAnalyticModel cross-validates the simulator against
+// the paper's Sec. IV-C model: for a phase of N tasks on N slots with
+// straggler mitigation, the simulated phase completion time must equal
+//
+//	T' = t_(ceil(N/2)) + max_k min{ t_(k) - t_(ceil(N/2)), t'_(k) }
+//
+// because the driver launches copies exactly when the reserved slots can
+// cover the on-going tasks — i.e. at the ceil(N/2)-th completion, the
+// model's assumption.
+func TestMitigationMatchesAnalyticModel(t *testing.T) {
+	rng := stats.NewRNG(77)
+	dist := stats.Pareto{Alpha: 1.6, Xm: 1}
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(20)
+		durs := make([]time.Duration, n)
+		copies := make([]time.Duration, n)
+		dursSec := make([]float64, n)
+		for i := range durs {
+			d := dist.Sample(rng)
+			c := dist.Sample(rng)
+			durs[i] = time.Duration(d * float64(time.Second))
+			copies[i] = time.Duration(c * float64(time.Second))
+			dursSec[i] = durs[i].Seconds()
+		}
+		// The analytic model consumes copy durations by *rank* of the
+		// original; sort the (dur, copy) pairs accordingly.
+		type pair struct{ d, c float64 }
+		pairs := make([]pair, n)
+		for i := range pairs {
+			pairs[i] = pair{d: dursSec[i], c: copies[i].Seconds()}
+		}
+		for i := 1; i < len(pairs); i++ {
+			for j := i; j > 0 && pairs[j].d < pairs[j-1].d; j-- {
+				pairs[j], pairs[j-1] = pairs[j-1], pairs[j]
+			}
+		}
+		rankDur := make([]float64, n)
+		rankCopy := make([]float64, n)
+		for i, p := range pairs {
+			rankDur[i] = p.d
+			rankCopy[i] = p.c
+		}
+		want := model.MitigatedPhaseTime(rankDur, rankCopy)
+
+		// Simulate: two-phase job (mitigation needs a non-final phase)
+		// alone on n slots; the 1ms second phase adds a fixed epsilon.
+		cfg := core.DefaultConfig()
+		cfg.MitigateStragglers = true
+		e := newEnv(t, 1, n, Options{Mode: ModeSSR, SSR: cfg})
+		job, err := dag.Chain(1, "model", 10, []dag.PhaseSpec{
+			{Durations: durs, CopyDurations: copies},
+			{Durations: []time.Duration{time.Millisecond}},
+		})
+		if err != nil {
+			t.Fatalf("Chain: %v", err)
+		}
+		e.mustSubmit(t, job)
+		e.mustRun(t)
+		got := (e.jct(t, 1) - time.Millisecond).Seconds()
+		if math.Abs(got-want) > 1e-6 {
+			t.Fatalf("trial %d (n=%d): simulated phase time %.9f != model %.9f",
+				trial, n, got, want)
+		}
+	}
+}
+
+// TestEmpiricalIsolationMatchesEq2 cross-validates the deadline pipeline
+// against Eq. 2: with Pareto(alpha, tm) task durations and isolation level
+// P, the fraction of phases whose reservation survives to the barrier
+// should approximate P. The estimator noise comes from approximating tm by
+// the first-finishing task (the paper's own estimator), so the tolerance
+// is loose.
+func TestEmpiricalIsolationMatchesEq2(t *testing.T) {
+	const (
+		p      = 0.7
+		alphaT = 1.6
+		n      = 20
+		trials = 300
+	)
+	rng := stats.NewRNG(123)
+	dist := stats.Pareto{Alpha: alphaT, Xm: 2}
+	effective := 0
+	for trial := 0; trial < trials; trial++ {
+		durs := make([]time.Duration, n)
+		for i := range durs {
+			durs[i] = time.Duration(dist.Sample(rng) * float64(time.Second))
+		}
+		cfg := core.DefaultConfig()
+		cfg.IsolationP = p
+		cfg.Alpha = alphaT
+		e := newEnv(t, 1, n, Options{Mode: ModeSSR, SSR: cfg})
+		job, err := dag.Chain(1, "iso", 10, []dag.PhaseSpec{
+			{Durations: durs},
+			{Durations: []time.Duration{time.Millisecond}},
+		})
+		if err != nil {
+			t.Fatalf("Chain: %v", err)
+		}
+		e.mustSubmit(t, job)
+		e.mustRun(t)
+		st, _ := e.d.Result(1)
+		if st.DeadlineExpiries == 0 {
+			effective++
+		}
+	}
+	got := float64(effective) / trials
+	if math.Abs(got-p) > 0.12 {
+		t.Errorf("empirical isolation = %.3f, want ~%.2f (Eq. 2)", got, p)
+	}
+}
+
+// TestDeadlineNeverExpiresAtStrictIsolation: P=1 must never release slots.
+func TestDeadlineNeverExpiresAtStrictIsolation(t *testing.T) {
+	rng := stats.NewRNG(5)
+	dist := stats.Pareto{Alpha: 1.2, Xm: 1} // very heavy tail
+	for trial := 0; trial < 30; trial++ {
+		durs := make([]time.Duration, 10)
+		for i := range durs {
+			durs[i] = time.Duration(dist.Sample(rng) * float64(time.Second))
+		}
+		e := newEnv(t, 1, 10, Options{Mode: ModeSSR, SSR: core.DefaultConfig()})
+		job, err := dag.Chain(1, "strict", 10, []dag.PhaseSpec{
+			{Durations: durs},
+			{Durations: []time.Duration{time.Millisecond}},
+		})
+		if err != nil {
+			t.Fatalf("Chain: %v", err)
+		}
+		e.mustSubmit(t, job)
+		e.mustRun(t)
+		st, _ := e.d.Result(1)
+		if st.DeadlineExpiries != 0 {
+			t.Fatalf("P=1 run recorded %d deadline expiries", st.DeadlineExpiries)
+		}
+	}
+}
+
+// TestAloneChainNeverLosesLocality: with at least as many slots as the
+// widest phase, a chain job running alone always places every constrained
+// task on its preferred slot — the locality model must never charge a
+// penalty without contention.
+func TestAloneChainNeverLosesLocality(t *testing.T) {
+	rng := stats.NewRNG(31)
+	for trial := 0; trial < 60; trial++ {
+		nphases := 1 + rng.Intn(5)
+		maxPar := 0
+		specs := make([]dag.PhaseSpec, nphases)
+		for pi := range specs {
+			m := 1 + rng.Intn(8)
+			if m > maxPar {
+				maxPar = m
+			}
+			ds := make([]time.Duration, m)
+			for ti := range ds {
+				ds[ti] = time.Duration(1+rng.Intn(4000)) * time.Millisecond
+			}
+			specs[pi] = dag.PhaseSpec{Durations: ds}
+		}
+		job, err := dag.Chain(1, "alone", 5, specs)
+		if err != nil {
+			t.Fatalf("Chain: %v", err)
+		}
+		e := newEnv(t, 1, maxPar, Options{Mode: ModeNone})
+		e.mustSubmit(t, job)
+		e.mustRun(t)
+		st, _ := e.d.Result(1)
+		if st.AnyPlacements != 0 {
+			t.Fatalf("trial %d: alone run lost locality %d times", trial, st.AnyPlacements)
+		}
+	}
+}

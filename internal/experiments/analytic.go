@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"ssr/internal/model"
+	"ssr/internal/stats"
+)
+
+// Fig8Row is one curve of the numerical isolation/utilization trade-off.
+type Fig8Row struct {
+	Alpha  float64
+	N      int
+	Points []model.TradeoffPoint
+}
+
+// Fig8Result holds the Eq. 4 trade-off curves of Fig. 8.
+type Fig8Result struct {
+	Rows []Fig8Row
+}
+
+// Fig8 evaluates the analytical isolation/utilization trade-off (Eq. 4)
+// for the paper's parameter grid: degree of parallelism 20 and 200, tail
+// shapes from heavy (alpha=1.1) to light (alpha=2.5).
+func Fig8() Fig8Result {
+	alphas := []float64{1.1, 1.3, 1.6, 2.0, 2.5}
+	ns := []int{20, 200}
+	var res Fig8Result
+	for _, n := range ns {
+		for _, a := range alphas {
+			res.Rows = append(res.Rows, Fig8Row{
+				Alpha:  a,
+				N:      n,
+				Points: model.TradeoffCurve(a, n, 10),
+			})
+		}
+	}
+	return res
+}
+
+func (r Fig8Result) String() string {
+	var b strings.Builder
+	b.WriteString("Fig 8: utilization lower bound E[U] vs isolation guarantee P (Eq. 4)\n")
+	header := []string{"alpha", "N"}
+	if len(r.Rows) > 0 {
+		for _, p := range r.Rows[0].Points {
+			header = append(header, fmt.Sprintf("P=%.1f", p.P))
+		}
+	}
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		cells := []string{fmt.Sprintf("%.1f", row.Alpha), fmt.Sprintf("%d", row.N)}
+		for _, p := range row.Points {
+			cells = append(cells, f3(p.Utilization))
+		}
+		rows = append(rows, cells)
+	}
+	b.WriteString(table(header, rows))
+	return b.String()
+}
+
+// Fig10Result holds the numerical straggler-mitigation speedups of Fig. 10.
+type Fig10Result struct {
+	Rows []model.SpeedupResult
+}
+
+// Fig10 quantifies the phase-time reduction from straggler mitigation with
+// task durations drawn i.i.d. from Pareto(alpha), across tail shapes and
+// degrees of parallelism. The paper averages 1000 runs per point; Quick
+// uses 200.
+func Fig10(p Params) (Fig10Result, error) {
+	p = p.withDefaults()
+	runs := 1000
+	if p.Scale == Quick {
+		runs = 200
+	}
+	alphas := []float64{1.1, 1.2, 1.4, 1.6, 2.0, 2.5, 3.0}
+	ns := []int{20, 100, 200}
+	rng := stats.Stream(p.Seed, "fig10")
+	var res Fig10Result
+	for _, n := range ns {
+		for _, a := range alphas {
+			r, err := model.SpeedupStudy(a, 2.0, n, runs, rng)
+			if err != nil {
+				return Fig10Result{}, err
+			}
+			res.Rows = append(res.Rows, r)
+		}
+	}
+	return res, nil
+}
+
+func (r Fig10Result) String() string {
+	var b strings.Builder
+	b.WriteString("Fig 10: phase completion time reduction from straggler mitigation\n")
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.1f", row.Alpha),
+			fmt.Sprintf("%d", row.N),
+			fmt.Sprintf("%d", row.Runs),
+			f2(row.MeanT),
+			f2(row.MeanTPrime),
+			pct(row.ReductionPct),
+		})
+	}
+	b.WriteString(table([]string{"alpha", "N", "runs", "E[T]", "E[T']", "reduction"}, rows))
+	return b.String()
+}

@@ -1,0 +1,158 @@
+// Package experiments regenerates every figure of the paper's evaluation
+// (the paper reports all results as figures; it has no numbered tables).
+// Each Fig* function runs the corresponding experiment on the simulator and
+// returns a typed result whose String method prints the same rows/series
+// the paper plots. See DESIGN.md for the per-experiment index and
+// EXPERIMENTS.md for paper-vs-measured numbers.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"ssr/internal/cluster"
+	"ssr/internal/dag"
+	"ssr/internal/driver"
+	"ssr/internal/metrics"
+	"ssr/internal/sim"
+)
+
+// Scale selects the experiment size: Quick for tests and benchmarks, Full
+// for paper-scale runs (Fig. 15-17 use a 4000-slot cluster and 8000
+// background jobs at Full).
+type Scale int
+
+// Scales.
+const (
+	// Quick shrinks clusters and workloads so every experiment runs in
+	// seconds; the qualitative shapes are preserved.
+	Quick Scale = iota + 1
+	// Full reproduces the paper's stated dimensions.
+	Full
+)
+
+func (s Scale) String() string {
+	switch s {
+	case Quick:
+		return "quick"
+	case Full:
+		return "full"
+	default:
+		return fmt.Sprintf("Scale(%d)", int(s))
+	}
+}
+
+// Params are the common experiment inputs.
+type Params struct {
+	// Seed makes the run reproducible.
+	Seed int64
+	// Scale selects Quick or Full dimensions.
+	Scale Scale
+}
+
+// DefaultParams returns Full-scale parameters with a fixed seed.
+func DefaultParams() Params { return Params{Seed: 42, Scale: Full} }
+
+// QuickParams returns Quick-scale parameters with a fixed seed.
+func QuickParams() Params { return Params{Seed: 42, Scale: Quick} }
+
+func (p Params) withDefaults() Params {
+	if p.Scale == 0 {
+		p.Scale = Full
+	}
+	return p
+}
+
+// Priorities used across the experiments.
+const (
+	fgPriority = dag.Priority(10)
+	bgPriority = dag.Priority(1)
+)
+
+// runResult bundles what a contention simulation produced.
+type runResult struct {
+	drv      *driver.Driver
+	stats    map[dag.JobID]metrics.JobStats
+	makespan time.Duration
+}
+
+// runSim builds a cluster, submits all jobs and runs to completion.
+func runSim(nodes, perNode int, opts driver.Options, jobs ...[]*dag.Job) (*runResult, error) {
+	eng := sim.New()
+	cl, err := cluster.New(nodes, perNode)
+	if err != nil {
+		return nil, err
+	}
+	d, err := driver.New(eng, cl, opts)
+	if err != nil {
+		return nil, err
+	}
+	for _, group := range jobs {
+		for _, j := range group {
+			if err := d.Submit(j); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := d.Run(); err != nil {
+		return nil, err
+	}
+	res := &runResult{
+		drv:      d,
+		stats:    make(map[dag.JobID]metrics.JobStats),
+		makespan: d.Makespan(),
+	}
+	for _, st := range d.Results() {
+		res.stats[st.Job.ID] = st
+	}
+	return res, nil
+}
+
+// slowdown computes the paper's metric for one job in a finished run,
+// simulating the job alone on an identical cluster for the baseline.
+func (r *runResult) slowdown(job *dag.Job, nodes, perNode int, opts driver.Options) (float64, error) {
+	st, ok := r.stats[job.ID]
+	if !ok {
+		return 0, fmt.Errorf("experiments: job %d missing from run", job.ID)
+	}
+	alone, err := driver.AloneJCT(job, nodes, perNode, opts)
+	if err != nil {
+		return 0, err
+	}
+	return metrics.Slowdown(st.JCT(), alone), nil
+}
+
+// meanSlowdown averages the slowdown over a set of jobs.
+func (r *runResult) meanSlowdown(jobs []*dag.Job, nodes, perNode int, opts driver.Options) (float64, error) {
+	if len(jobs) == 0 {
+		return 0, fmt.Errorf("experiments: no jobs to average")
+	}
+	var sum float64
+	for _, j := range jobs {
+		s, err := r.slowdown(j, nodes, perNode, opts)
+		if err != nil {
+			return 0, err
+		}
+		sum += s
+	}
+	return sum / float64(len(jobs)), nil
+}
+
+// table renders rows with aligned columns.
+func table(header []string, rows [][]string) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, strings.Join(header, "\t"))
+	for _, row := range rows {
+		fmt.Fprintln(w, strings.Join(row, "\t"))
+	}
+	// Flush cannot fail on a strings.Builder sink.
+	_ = w.Flush()
+	return b.String()
+}
+
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string  { return fmt.Sprintf("%.3f", v) }
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v) }

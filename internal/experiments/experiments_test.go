@@ -1,0 +1,269 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFig1ShowsIsolationFailure(t *testing.T) {
+	res, err := Fig1(42)
+	if err != nil {
+		t.Fatalf("Fig1: %v", err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	km := res.Rows[0]
+	if km.Job != "kmeans" {
+		t.Fatalf("first row = %q, want kmeans", km.Job)
+	}
+	// The paper measures 3.9x; the shape requirement is a significant
+	// slowdown (well above 1.3x) despite the higher priority.
+	if km.Slowdown < 1.3 {
+		t.Errorf("kmeans slowdown = %.2f, want > 1.3 (no isolation)", km.Slowdown)
+	}
+	if !strings.Contains(res.String(), "kmeans") {
+		t.Error("String should include the job rows")
+	}
+}
+
+func TestFig4SlowdownGrowsWithContention(t *testing.T) {
+	res, err := Fig4(QuickParams())
+	if err != nil {
+		t.Fatalf("Fig4: %v", err)
+	}
+	if len(res.Rows) != 9 {
+		t.Fatalf("rows = %d, want 9 (3 apps x 3 settings)", len(res.Rows))
+	}
+	// Per app: alone = 1.0 <= background <= background x2 (allowing
+	// small sampling noise on the upper comparison).
+	byApp := map[string]map[string]float64{}
+	for _, row := range res.Rows {
+		if byApp[row.App] == nil {
+			byApp[row.App] = map[string]float64{}
+		}
+		byApp[row.App][row.Setting] = row.Slowdown
+	}
+	for app, cells := range byApp {
+		if cells["alone"] != 1.0 {
+			t.Errorf("%s alone = %v, want 1.0", app, cells["alone"])
+		}
+		if cells["background"] < 1.0 {
+			t.Errorf("%s background slowdown %v < 1", app, cells["background"])
+		}
+		// The x2 effect saturates once stolen slots push tasks onto the
+		// ANY-placement escape path; require only rough monotonicity.
+		if cells["background x2"] < cells["background"]*0.8 {
+			t.Errorf("%s: x2 slowdown %v should not be far below x1 %v",
+				app, cells["background x2"], cells["background"])
+		}
+	}
+	if res.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestFig5TimelineShowsSlotLoss(t *testing.T) {
+	res, err := Fig5(QuickParams())
+	if err != nil {
+		t.Fatalf("Fig5: %v", err)
+	}
+	if len(res.Alone) != len(res.Contended) || len(res.Alone) == 0 {
+		t.Fatalf("series lengths %d/%d", len(res.Alone), len(res.Contended))
+	}
+	maxAlone, maxCont := 0, 0
+	for i := range res.Alone {
+		if res.Alone[i] > maxAlone {
+			maxAlone = res.Alone[i]
+		}
+		if res.Contended[i] > maxCont {
+			maxCont = res.Contended[i]
+		}
+	}
+	// Alone the job reaches its full degree of parallelism.
+	if maxAlone != 20 {
+		t.Errorf("max running alone = %d, want 20", maxAlone)
+	}
+	if maxCont > 20 {
+		t.Errorf("max running contended = %d, want <= 20", maxCont)
+	}
+	if res.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestFig6MeasuresConfiguredPenalty(t *testing.T) {
+	res, err := Fig6(42)
+	if err != nil {
+		t.Fatalf("Fig6: %v", err)
+	}
+	if len(res.Rows) != 9 {
+		t.Fatalf("rows = %d, want 9 (3 apps x 3 factors)", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		// End-to-end, the downstream pipeline slows by roughly the
+		// configured factor (placement effects allow some slack).
+		if row.Measured < row.Factor*0.5 || row.Measured > row.Factor*1.5 {
+			t.Errorf("%s factor %.0f: measured %.2f, want within 50%% of the factor",
+				row.App, row.Factor, row.Measured)
+		}
+	}
+	if res.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestFig8CurvesMonotone(t *testing.T) {
+	res := Fig8()
+	if len(res.Rows) != 10 {
+		t.Fatalf("rows = %d, want 10 (5 alphas x 2 Ns)", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		for i := 1; i < len(row.Points); i++ {
+			if row.Points[i].Utilization > row.Points[i-1].Utilization+1e-9 {
+				t.Errorf("alpha=%v N=%d: curve not monotone", row.Alpha, row.N)
+			}
+		}
+	}
+	if res.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestFig10HeavierTailsBenefitMore(t *testing.T) {
+	res, err := Fig10(QuickParams())
+	if err != nil {
+		t.Fatalf("Fig10: %v", err)
+	}
+	if len(res.Rows) != 21 {
+		t.Fatalf("rows = %d, want 21 (7 alphas x 3 Ns)", len(res.Rows))
+	}
+	byN := map[int]map[float64]float64{}
+	for _, row := range res.Rows {
+		if byN[row.N] == nil {
+			byN[row.N] = map[float64]float64{}
+		}
+		byN[row.N][row.Alpha] = row.ReductionPct
+	}
+	for n, cells := range byN {
+		if cells[1.1] <= cells[3.0] {
+			t.Errorf("N=%d: reduction at alpha=1.1 (%.1f%%) should exceed alpha=3.0 (%.1f%%)",
+				n, cells[1.1], cells[3.0])
+		}
+	}
+	// The paper's headline: > 50% reduction at alpha=1.6, N >= 100.
+	if got := byN[200][1.6]; got < 50 {
+		t.Errorf("reduction at alpha=1.6, N=200 = %.1f%%, want > 50%%", got)
+	}
+	if res.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestFig12SSRRestoresIsolation(t *testing.T) {
+	res, err := Fig12(QuickParams())
+	if err != nil {
+		t.Fatalf("Fig12: %v", err)
+	}
+	if len(res.Rows) != 12 {
+		t.Fatalf("rows = %d, want 12 (3 apps x 2 settings x 2 modes)", len(res.Rows))
+	}
+	type key struct {
+		app, setting string
+	}
+	ssrVals := map[key]float64{}
+	noneVals := map[key]float64{}
+	for _, row := range res.Rows {
+		k := key{row.App, row.Setting}
+		if row.SSR {
+			ssrVals[k] = row.Slowdown
+		} else {
+			noneVals[k] = row.Slowdown
+		}
+	}
+	for k, ssr := range ssrVals {
+		// The paper reports < 10% slowdown with SSR; allow 15% for the
+		// small quick-scale cluster.
+		if ssr > 1.15 {
+			t.Errorf("%v: SSR slowdown = %.2f, want < 1.15", k, ssr)
+		}
+		if none := noneVals[k]; ssr > none {
+			t.Errorf("%v: SSR (%.2f) should not be worse than no-SSR (%.2f)", k, ssr, none)
+		}
+	}
+	if res.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestFig13SSRPreservesFairShare(t *testing.T) {
+	res, err := Fig13(42)
+	if err != nil {
+		t.Fatalf("Fig13: %v", err)
+	}
+	if res.JCT1SSR >= res.JCT1None {
+		t.Errorf("pipelined JCT with SSR (%v) should beat without (%v)",
+			res.JCT1SSR, res.JCT1None)
+	}
+	// With SSR, job-1 should hold close to its fair share (8 slots)
+	// while it runs; integrate the sampled series over job-1's active
+	// region and compare.
+	activeSamples := 0
+	sumSSR := 0
+	for i, v := range res.Job1SSR {
+		t1 := float64(i) * res.Step.Seconds()
+		if t1 < res.JCT1SSR.Seconds() {
+			activeSamples++
+			sumSSR += v
+		}
+	}
+	if activeSamples > 0 {
+		mean := float64(sumSSR) / float64(activeSamples)
+		if mean < 6.0 {
+			t.Errorf("mean job-1 allocation with SSR = %.1f, want near its share of 8", mean)
+		}
+	}
+	if res.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestFig14TradeoffDirections(t *testing.T) {
+	res, err := Fig14(QuickParams())
+	if err != nil {
+		t.Fatalf("Fig14: %v", err)
+	}
+	if len(res.Rows) != 15 {
+		t.Fatalf("rows = %d, want 15 (3 apps x 5 P levels)", len(res.Rows))
+	}
+	byApp := map[string]map[float64]Fig14Row{}
+	for _, row := range res.Rows {
+		if byApp[row.App] == nil {
+			byApp[row.App] = map[float64]Fig14Row{}
+		}
+		byApp[row.App][row.P] = row
+	}
+	for app, cells := range byApp {
+		// P=1 is the baseline: zero improvement by construction.
+		if imp := cells[1.0].UtilImprovement; imp != 0 {
+			t.Errorf("%s: improvement at P=1 = %v, want 0", app, imp)
+		}
+		// Lower P must not reduce utilization improvement below the
+		// strict baseline, and the loosest setting should show a real
+		// gain on these heavy-tailed workloads.
+		if cells[0.2].UtilImprovement < cells[1.0].UtilImprovement {
+			t.Errorf("%s: improvement at P=0.2 below P=1", app)
+		}
+		if cells[0.2].UtilImprovement <= 0 {
+			t.Errorf("%s: improvement at P=0.2 = %v, want > 0", app, cells[0.2].UtilImprovement)
+		}
+		// Slowdown should not improve when isolation is weakened.
+		if cells[0.2].Slowdown < cells[1.0].Slowdown*0.95 {
+			t.Errorf("%s: slowdown at P=0.2 (%.2f) markedly below P=1 (%.2f)",
+				app, cells[0.2].Slowdown, cells[1.0].Slowdown)
+		}
+	}
+	if res.String() == "" {
+		t.Error("empty String")
+	}
+}

@@ -1,0 +1,37 @@
+package experiments
+
+import "testing"
+
+func TestMitigationComparison(t *testing.T) {
+	res, err := MitigationComparison(QuickParams())
+	if err != nil {
+		t.Fatalf("MitigationComparison: %v", err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(res.Rows))
+	}
+	none, reserved, spec := res.Rows[0], res.Rows[1], res.Rows[2]
+	// The paper's strategy should beat doing nothing.
+	if reserved.FgSlowdown >= none.FgSlowdown {
+		t.Errorf("reserved-slot mitigation (%.2f) should beat no mitigation (%.2f)",
+			reserved.FgSlowdown, none.FgSlowdown)
+	}
+	// And launch copies only it can account for.
+	if reserved.CopiesLaunched == 0 {
+		t.Error("reserved-slot mitigation launched no copies")
+	}
+	if none.CopiesLaunched != 0 {
+		t.Error("no-mitigation run should launch no copies")
+	}
+	if spec.CopiesLaunched == 0 {
+		t.Error("speculation launched no copies")
+	}
+	// The warm reserved-slot copies should not lose to cold speculation.
+	if reserved.FgSlowdown > spec.FgSlowdown+0.05 {
+		t.Errorf("reserved-slot mitigation (%.2f) should be at least as good as speculation (%.2f)",
+			reserved.FgSlowdown, spec.FgSlowdown)
+	}
+	if res.String() == "" {
+		t.Error("empty String")
+	}
+}

@@ -1,0 +1,410 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"ssr/internal/dag"
+	"ssr/internal/driver"
+	"ssr/internal/metrics"
+	"ssr/internal/stats"
+	"ssr/internal/workload"
+)
+
+// largeEnv is the trace-driven simulation setting of Sec. VI-B: a
+// 1000-node, 4000-slot cluster with 8000 mixed background jobs; the
+// locality wait is 3s and a locality miss costs 5x (10x when stressed).
+type largeEnv struct {
+	nodes, perNode int
+	bg             workload.BackgroundConfig
+	fgStagger      time.Duration
+	fgStart        time.Duration
+	sqlScale       int
+}
+
+func envLarge(scale Scale) largeEnv {
+	e := largeEnv{
+		nodes:   1000,
+		perNode: 4,
+		bg: workload.BackgroundConfig{
+			Jobs:   8000,
+			Window: 20 * time.Minute,
+			// The 1000-node simulation uses unscaled trace durations
+			// (only the 50-node deployment scales them down 10x), so
+			// the cluster carries a standing batch backlog and freed
+			// slots are a contended resource.
+			MeanTask:       150 * time.Second,
+			Alpha:          1.6,
+			DurationScale:  1,
+			MaxParallelism: 60,
+		},
+		fgStagger: 20 * time.Second,
+		// TPC-DS plans on a 4000-slot cluster run wide; scale the
+		// suite's per-phase parallelism with the cluster.
+		sqlScale: 4,
+	}
+	if scale == Quick {
+		// A 400-slot cluster at moderate load: free slots exist for a
+		// foreground ramp-up, but slots released at barriers have
+		// takers within seconds.
+		e.nodes = 100
+		e.bg.Jobs = 400
+		e.bg.Window = 10 * time.Minute
+		e.bg.MeanTask = 50 * time.Second
+		e.sqlScale = 1
+	}
+	e.fgStart = e.bg.Window / 4
+	return e
+}
+
+// fgSuite identifies one of the three foreground suites of Fig. 15.
+type fgSuite int
+
+const (
+	suiteML fgSuite = iota + 1
+	suiteML2x
+	suiteSQL
+)
+
+func (s fgSuite) String() string {
+	switch s {
+	case suiteML:
+		return "MLlib"
+	case suiteML2x:
+		return "MLlib 2x parallelism"
+	case suiteSQL:
+		return "SQL"
+	default:
+		return fmt.Sprintf("fgSuite(%d)", int(s))
+	}
+}
+
+// buildSuite synthesizes the foreground jobs of a suite, staggered from
+// env.fgStart.
+func buildSuite(env largeEnv, suite fgSuite, seed int64) ([]*dag.Job, error) {
+	var jobs []*dag.Job
+	at := env.fgStart
+	switch suite {
+	case suiteML, suiteML2x:
+		for i, spec := range workload.MLSuite() {
+			if suite == suiteML2x {
+				spec = spec.ScaleParallelism(2)
+			}
+			j, err := spec.Build(dag.JobID(i+1), fgPriority, at,
+				stats.SubStream(seed, "fg-"+spec.Name, i))
+			if err != nil {
+				return nil, err
+			}
+			jobs = append(jobs, j)
+			at += env.fgStagger
+		}
+	case suiteSQL:
+		for i, q := range workload.SQLQueries(env.sqlScale) {
+			j, err := q.Build(dag.JobID(i+1), fgPriority, at,
+				stats.SubStream(seed, "fg-"+q.Name, i))
+			if err != nil {
+				return nil, err
+			}
+			jobs = append(jobs, j)
+			at += env.fgStagger / 2
+		}
+	default:
+		return nil, fmt.Errorf("experiments: unknown suite %v", suite)
+	}
+	return jobs, nil
+}
+
+// largeSetting is one of the three Fig. 15 experiment settings.
+type largeSetting struct {
+	name           string
+	bgScale        float64
+	localityFactor float64
+}
+
+func largeSettings() []largeSetting {
+	return []largeSetting{
+		{name: "standard", bgScale: 1, localityFactor: 5},
+		{name: "background x2", bgScale: 2, localityFactor: 5},
+		{name: "locality x2", bgScale: 1, localityFactor: 10},
+	}
+}
+
+// runLarge runs one (suite, setting, mode) cell and returns the mean
+// foreground slowdown, plus the full run for further inspection.
+func runLarge(env largeEnv, suite fgSuite, setting largeSetting, ssr bool, seed int64, tweak func(*driver.Options)) (float64, *runResult, []*dag.Job, error) {
+	opts := baseOpts()
+	if ssr {
+		opts = ssrOpts()
+		// Reserve for the latency-sensitive class only; the batch
+		// backlog stays work conserving (the paper's "reservation for
+		// foreground jobs" deployment).
+		opts.ReserveMinPriority = fgPriority
+	}
+	opts.LocalityFactor = setting.localityFactor
+	if tweak != nil {
+		tweak(&opts)
+	}
+	fg, err := buildSuite(env, suite, seed)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	bgCfg := env.bg
+	bgCfg.DurationScale = setting.bgScale
+	bg, err := workload.Background(bgCfg, 10000, bgPriority, stats.Stream(seed, "bg-large"))
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	res, err := runSim(env.nodes, env.perNode, opts, fg, bg)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	mean, err := res.meanSlowdown(fg, env.nodes, env.perNode, opts)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return mean, res, fg, nil
+}
+
+// Fig15Row reports one (suite, setting, mode) cell.
+type Fig15Row struct {
+	Suite    string
+	Setting  string
+	SSR      bool
+	Slowdown float64
+}
+
+// Fig15Result holds the large-scale simulation slowdowns.
+type Fig15Result struct {
+	Rows []Fig15Row
+}
+
+// Fig15 runs the large-scale trace-driven simulation: three foreground
+// suites (MLlib, MLlib with 2x parallelism, SQL) against 8000 mixed
+// background jobs on a 4000-slot cluster, under three settings (standard,
+// prolonged background tasks, doubled locality penalty), with and without
+// SSR.
+func Fig15(p Params) (Fig15Result, error) {
+	p = p.withDefaults()
+	env := envLarge(p.Scale)
+	var out Fig15Result
+	for _, suite := range []fgSuite{suiteML, suiteML2x, suiteSQL} {
+		for _, setting := range largeSettings() {
+			for _, ssr := range []bool{false, true} {
+				mean, _, _, err := runLarge(env, suite, setting, ssr, p.Seed, nil)
+				if err != nil {
+					return Fig15Result{}, err
+				}
+				out.Rows = append(out.Rows, Fig15Row{
+					Suite: suite.String(), Setting: setting.name, SSR: ssr, Slowdown: mean,
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+func (r Fig15Result) String() string {
+	var b strings.Builder
+	b.WriteString("Fig 15: average foreground slowdown in large-scale simulation\n")
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		mode := "w/o SSR"
+		if row.SSR {
+			mode = "w/ SSR"
+		}
+		rows = append(rows, []string{row.Suite, row.Setting, mode, f2(row.Slowdown)})
+	}
+	b.WriteString(table([]string{"suite", "setting", "mode", "avg slowdown"}, rows))
+	return b.String()
+}
+
+// Fig16Row reports the SQL suite slowdown at one pre-reservation
+// threshold.
+type Fig16Row struct {
+	R        float64
+	Slowdown float64
+}
+
+// Fig16Result holds the pre-reservation threshold sweep.
+type Fig16Result struct {
+	Rows []Fig16Row
+}
+
+// Fig16 sweeps the pre-reservation threshold R for the SQL suite (whose
+// queries grow their degree of parallelism across phases): the earlier
+// pre-reservation starts (smaller R), the smaller the slowdown.
+func Fig16(p Params) (Fig16Result, error) {
+	p = p.withDefaults()
+	env := envLarge(p.Scale)
+	setting := largeSettings()[0]
+	var out Fig16Result
+	for _, r := range []float64{0.1, 0.25, 0.5, 0.75, 1.0} {
+		r := r
+		mean, _, _, err := runLarge(env, suiteSQL, setting, true, p.Seed,
+			func(o *driver.Options) { o.SSR.PreReserveThreshold = r })
+		if err != nil {
+			return Fig16Result{}, err
+		}
+		out.Rows = append(out.Rows, Fig16Row{R: r, Slowdown: mean})
+	}
+	return out, nil
+}
+
+func (r Fig16Result) String() string {
+	var b strings.Builder
+	b.WriteString("Fig 16: SQL suite slowdown vs pre-reservation threshold R (with SSR)\n")
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{f2(row.R), f2(row.Slowdown)})
+	}
+	b.WriteString(table([]string{"R", "avg slowdown"}, rows))
+	return b.String()
+}
+
+// Fig17Row reports the JCT reduction from straggler mitigation at one tail
+// shape.
+type Fig17Row struct {
+	Alpha        float64
+	JCTNoMit     time.Duration // mean foreground JCT, SSR without mitigation
+	JCTMit       time.Duration // mean foreground JCT, SSR with mitigation
+	ReductionPct float64
+}
+
+// Fig17Result holds the straggler-mitigation study.
+type Fig17Result struct {
+	Rows []Fig17Row
+}
+
+// Fig17 re-shapes every foreground task duration to Pareto(alpha) with the
+// original per-phase means (the paper's methodology) and measures the
+// average foreground JCT reduction when straggler mitigation uses the
+// reserved slots, across tail shapes.
+func Fig17(p Params) (Fig17Result, error) {
+	p = p.withDefaults()
+	env := envLarge(p.Scale)
+	var out Fig17Result
+	for _, alpha := range []float64{1.2, 1.6, 2.0, 2.5} {
+		jcts := make(map[bool]time.Duration, 2)
+		for _, mitigate := range []bool{false, true} {
+			opts := ssrOpts()
+			opts.ReserveMinPriority = fgPriority
+			opts.SSR.MitigateStragglers = mitigate
+			fg, err := buildSuite(env, suiteML, p.Seed)
+			if err != nil {
+				return Fig17Result{}, err
+			}
+			for i, j := range fg {
+				fg[i], err = workload.ParetoReshape(j, alpha,
+					stats.SubStream(p.Seed, "fig17-reshape", i))
+				if err != nil {
+					return Fig17Result{}, err
+				}
+			}
+			bg, err := workload.Background(env.bg, 10000, bgPriority, stats.Stream(p.Seed, "bg-large"))
+			if err != nil {
+				return Fig17Result{}, err
+			}
+			res, err := runSim(env.nodes, env.perNode, opts, fg, bg)
+			if err != nil {
+				return Fig17Result{}, err
+			}
+			var sum time.Duration
+			for _, j := range fg {
+				sum += res.stats[j.ID].JCT()
+			}
+			jcts[mitigate] = sum / time.Duration(len(fg))
+		}
+		red := 100 * (float64(jcts[false]) - float64(jcts[true])) / float64(jcts[false])
+		out.Rows = append(out.Rows, Fig17Row{
+			Alpha:        alpha,
+			JCTNoMit:     jcts[false],
+			JCTMit:       jcts[true],
+			ReductionPct: red,
+		})
+	}
+	return out, nil
+}
+
+func (r Fig17Result) String() string {
+	var b strings.Builder
+	b.WriteString("Fig 17: average foreground JCT reduction from straggler mitigation\n")
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			f2(row.Alpha),
+			row.JCTNoMit.Round(time.Millisecond).String(),
+			row.JCTMit.Round(time.Millisecond).String(),
+			pct(row.ReductionPct),
+		})
+	}
+	b.WriteString(table([]string{"alpha", "JCT w/o mitigation", "JCT w/ mitigation", "reduction"}, rows))
+	return b.String()
+}
+
+// BackgroundImpactResult quantifies how SSR for foreground jobs affects
+// the background workload (in-text claim: < 0.1% average slowdown).
+type BackgroundImpactResult struct {
+	Jobs          int
+	MeanSlowdown  float64 // mean of JCT(SSR)/JCT(none) across background jobs
+	MeanDeltaPct  float64 // mean percentage change
+	WorstSlowdown float64
+}
+
+// BackgroundImpact runs the standard large-scale setting with and without
+// SSR and compares every background job's JCT between the two runs.
+func BackgroundImpact(p Params) (BackgroundImpactResult, error) {
+	p = p.withDefaults()
+	env := envLarge(p.Scale)
+	setting := largeSettings()[0]
+	_, noneRes, _, err := runLarge(env, suiteML, setting, false, p.Seed, nil)
+	if err != nil {
+		return BackgroundImpactResult{}, err
+	}
+	_, ssrRes, _, err := runLarge(env, suiteML, setting, true, p.Seed, nil)
+	if err != nil {
+		return BackgroundImpactResult{}, err
+	}
+	var (
+		sum   float64
+		count int
+		worst float64
+	)
+	for id, st := range noneRes.stats {
+		if st.Job.Class != dag.Background {
+			continue
+		}
+		ssrStat, ok := ssrRes.stats[id]
+		if !ok || st.JCT() <= 0 {
+			continue
+		}
+		ratio := metrics.Slowdown(ssrStat.JCT(), st.JCT())
+		sum += ratio
+		count++
+		if ratio > worst {
+			worst = ratio
+		}
+	}
+	if count == 0 {
+		return BackgroundImpactResult{}, fmt.Errorf("experiments: no background jobs measured")
+	}
+	mean := sum / float64(count)
+	return BackgroundImpactResult{
+		Jobs:          count,
+		MeanSlowdown:  mean,
+		MeanDeltaPct:  100 * (mean - 1),
+		WorstSlowdown: worst,
+	}, nil
+}
+
+func (r BackgroundImpactResult) String() string {
+	var b strings.Builder
+	b.WriteString("Background impact: effect of SSR on background jobs\n")
+	b.WriteString(table(
+		[]string{"bg jobs", "mean slowdown", "mean delta", "worst"},
+		[][]string{{
+			fmt.Sprintf("%d", r.Jobs), f3(r.MeanSlowdown), pct(r.MeanDeltaPct), f2(r.WorstSlowdown),
+		}},
+	))
+	return b.String()
+}

@@ -1,0 +1,218 @@
+// Package metrics collects the measurements the paper's evaluation reports:
+// job completion times and slowdowns, slot utilization and reserved-idle
+// loss, and running-task timelines (Figs. 5 and 13).
+package metrics
+
+import (
+	"fmt"
+	"time"
+
+	"ssr/internal/cluster"
+	"ssr/internal/dag"
+)
+
+// Slowdown is the paper's primary metric: measured JCT normalized by the
+// minimum JCT when running alone (Sec. VI-A). It returns +Inf-free results:
+// a non-positive baseline yields NaN-free 0 to keep tables readable, which
+// only ever happens on malformed inputs.
+func Slowdown(measured, alone time.Duration) float64 {
+	if alone <= 0 {
+		return 0
+	}
+	return float64(measured) / float64(alone)
+}
+
+// SlotUsage integrates slot-state occupancy over virtual time via the
+// cluster's state listener: how many slot-seconds were spent busy and how
+// many reserved-idle. Utilization is busy time over capacity; reserved-idle
+// time is the utilization loss attributable to slot reservation.
+type SlotUsage struct {
+	now      func() time.Duration
+	slots    int
+	busy     int
+	reserved int
+
+	last         time.Duration
+	busyTime     time.Duration
+	reservedTime time.Duration
+}
+
+// NewSlotUsage creates a usage integrator over a cluster of the given size.
+// now must report the current virtual time (the engine's clock).
+func NewSlotUsage(slots int, now func() time.Duration) *SlotUsage {
+	return &SlotUsage{now: now, slots: slots}
+}
+
+// Listener returns the cluster state listener feeding this integrator.
+func (u *SlotUsage) Listener() cluster.StateListener {
+	return func(_ cluster.SlotID, from, to cluster.SlotState) {
+		u.advance()
+		switch from {
+		case cluster.Busy:
+			u.busy--
+		case cluster.Reserved:
+			u.reserved--
+		}
+		switch to {
+		case cluster.Busy:
+			u.busy++
+		case cluster.Reserved:
+			u.reserved++
+		}
+	}
+}
+
+func (u *SlotUsage) advance() {
+	t := u.now()
+	dt := t - u.last
+	if dt <= 0 {
+		return
+	}
+	u.busyTime += time.Duration(u.busy) * dt
+	u.reservedTime += time.Duration(u.reserved) * dt
+	u.last = t
+}
+
+// BusyTime returns accumulated busy slot-time up to the current clock.
+func (u *SlotUsage) BusyTime() time.Duration {
+	u.advance()
+	return u.busyTime
+}
+
+// ReservedIdleTime returns accumulated reserved-idle slot-time up to the
+// current clock: the paper's utilization loss due to reservation.
+func (u *SlotUsage) ReservedIdleTime() time.Duration {
+	u.advance()
+	return u.reservedTime
+}
+
+// Utilization returns busy slot-time divided by total capacity over the
+// given horizon (0 for an empty horizon).
+func (u *SlotUsage) Utilization(horizon time.Duration) float64 {
+	if horizon <= 0 || u.slots == 0 {
+		return 0
+	}
+	return float64(u.BusyTime()) / float64(horizon) / float64(u.slots)
+}
+
+// ReservedFraction returns reserved-idle slot-time divided by capacity over
+// the horizon.
+func (u *SlotUsage) ReservedFraction(horizon time.Duration) float64 {
+	if horizon <= 0 || u.slots == 0 {
+		return 0
+	}
+	return float64(u.ReservedIdleTime()) / float64(horizon) / float64(u.slots)
+}
+
+// Point is one step of a step-function time series.
+type Point struct {
+	T time.Duration // when the value changed
+	V int           // the value from T (inclusive) onward
+}
+
+// Timeline records per-job running-slot counts as step functions,
+// reproducing the Fig. 5 / Fig. 13 views.
+type Timeline struct {
+	now    func() time.Duration
+	series map[dag.JobID][]Point
+}
+
+// NewTimeline creates a timeline recorder on the given clock.
+func NewTimeline(now func() time.Duration) *Timeline {
+	return &Timeline{now: now, series: make(map[dag.JobID][]Point)}
+}
+
+// Record notes that job's running-slot count changed to v at the current
+// virtual time. Consecutive equal values collapse; several changes at one
+// instant keep only the last.
+func (tl *Timeline) Record(job dag.JobID, v int) {
+	s := tl.series[job]
+	t := tl.now()
+	if n := len(s); n > 0 {
+		if s[n-1].V == v {
+			return
+		}
+		if s[n-1].T == t {
+			s[n-1].V = v
+			// Collapse with the preceding step if it matches now.
+			if n > 1 && s[n-2].V == v {
+				s = s[:n-1]
+			}
+			tl.series[job] = s
+			return
+		}
+	}
+	tl.series[job] = append(s, Point{T: t, V: v})
+}
+
+// Series returns job's step function as a copy.
+func (tl *Timeline) Series(job dag.JobID) []Point {
+	return append([]Point(nil), tl.series[job]...)
+}
+
+// At returns job's value at time t (0 before the first recorded point).
+func (tl *Timeline) At(job dag.JobID, t time.Duration) int {
+	s := tl.series[job]
+	v := 0
+	for _, p := range s {
+		if p.T > t {
+			break
+		}
+		v = p.V
+	}
+	return v
+}
+
+// Integral returns the time integral of job's series over [from, to):
+// slot-seconds held by the job in the window.
+func (tl *Timeline) Integral(job dag.JobID, from, to time.Duration) time.Duration {
+	if to <= from {
+		return 0
+	}
+	s := tl.series[job]
+	var total time.Duration
+	cur := 0
+	last := from
+	for _, p := range s {
+		if p.T <= from {
+			cur = p.V
+			continue
+		}
+		if p.T >= to {
+			break
+		}
+		total += time.Duration(cur) * (p.T - last)
+		cur = p.V
+		last = p.T
+	}
+	total += time.Duration(cur) * (to - last)
+	return total
+}
+
+// Jobs returns the number of jobs with recorded series.
+func (tl *Timeline) Jobs() int { return len(tl.series) }
+
+// JobStats aggregates one job's outcome in a simulation run.
+type JobStats struct {
+	Job             *dag.Job
+	Submit          time.Duration
+	Finish          time.Duration
+	TasksRun        int
+	CopiesLaunched  int
+	CopiesWon       int
+	LocalPlacements int
+	AnyPlacements   int // placements that lost locality (penalized)
+	// DeadlineExpiries counts phases whose slot reservation expired
+	// before the barrier cleared (the reservation was "ineffective" in
+	// the Sec. IV-B sense).
+	DeadlineExpiries int
+}
+
+// JCT returns the job completion time (finish minus submit).
+func (s JobStats) JCT() time.Duration { return s.Finish - s.Submit }
+
+func (s JobStats) String() string {
+	return fmt.Sprintf("%s: jct=%v tasks=%d copies=%d/%d local=%d any=%d",
+		s.Job.Name, s.JCT(), s.TasksRun, s.CopiesWon, s.CopiesLaunched,
+		s.LocalPlacements, s.AnyPlacements)
+}

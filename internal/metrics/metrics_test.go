@@ -1,0 +1,178 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"ssr/internal/cluster"
+	"ssr/internal/dag"
+)
+
+func TestSlowdown(t *testing.T) {
+	if got := Slowdown(20*time.Second, 10*time.Second); got != 2 {
+		t.Errorf("Slowdown = %v, want 2", got)
+	}
+	if got := Slowdown(10*time.Second, 10*time.Second); got != 1 {
+		t.Errorf("Slowdown = %v, want 1", got)
+	}
+	if got := Slowdown(10*time.Second, 0); got != 0 {
+		t.Errorf("Slowdown with zero baseline = %v, want 0", got)
+	}
+}
+
+type fakeClock struct{ t time.Duration }
+
+func (c *fakeClock) now() time.Duration { return c.t }
+
+func TestSlotUsageIntegration(t *testing.T) {
+	clock := &fakeClock{}
+	u := NewSlotUsage(4, clock.now)
+	l := u.Listener()
+
+	// t=0: slot 0 goes busy.
+	l(0, cluster.Free, cluster.Busy)
+	clock.t = 10 * time.Second
+	// t=10: slot 0 busy -> reserved; slot 1 goes busy.
+	l(0, cluster.Busy, cluster.Reserved)
+	l(1, cluster.Free, cluster.Busy)
+	clock.t = 15 * time.Second
+	// t=15: slot 0 reserved -> free.
+	l(0, cluster.Reserved, cluster.Free)
+	clock.t = 20 * time.Second
+
+	// Busy: slot0 for 10s + slot1 for 10s = 20 slot-seconds.
+	if got, want := u.BusyTime(), 20*time.Second; got != want {
+		t.Errorf("BusyTime = %v, want %v", got, want)
+	}
+	// Reserved: slot0 from 10 to 15 = 5 slot-seconds.
+	if got, want := u.ReservedIdleTime(), 5*time.Second; got != want {
+		t.Errorf("ReservedIdleTime = %v, want %v", got, want)
+	}
+	// Utilization over 20s horizon with 4 slots: 20/(20*4) = 0.25.
+	if got := u.Utilization(20 * time.Second); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("Utilization = %v, want 0.25", got)
+	}
+	if got := u.ReservedFraction(20 * time.Second); math.Abs(got-5.0/80.0) > 1e-12 {
+		t.Errorf("ReservedFraction = %v, want 0.0625", got)
+	}
+}
+
+func TestSlotUsageZeroHorizon(t *testing.T) {
+	clock := &fakeClock{}
+	u := NewSlotUsage(4, clock.now)
+	if u.Utilization(0) != 0 || u.ReservedFraction(-time.Second) != 0 {
+		t.Error("degenerate horizons should yield 0")
+	}
+}
+
+func TestTimelineRecordAndAt(t *testing.T) {
+	clock := &fakeClock{}
+	tl := NewTimeline(clock.now)
+	job := dag.JobID(1)
+	tl.Record(job, 4)
+	clock.t = 10 * time.Second
+	tl.Record(job, 2)
+	clock.t = 20 * time.Second
+	tl.Record(job, 0)
+
+	tests := []struct {
+		at   time.Duration
+		want int
+	}{
+		{at: 0, want: 4},
+		{at: 5 * time.Second, want: 4},
+		{at: 10 * time.Second, want: 2},
+		{at: 15 * time.Second, want: 2},
+		{at: 25 * time.Second, want: 0},
+		{at: -time.Second, want: 0},
+	}
+	for _, tt := range tests {
+		if got := tl.At(job, tt.at); got != tt.want {
+			t.Errorf("At(%v) = %d, want %d", tt.at, got, tt.want)
+		}
+	}
+	if tl.At(99, 0) != 0 {
+		t.Error("unknown job should read 0")
+	}
+	if tl.Jobs() != 1 {
+		t.Errorf("Jobs = %d, want 1", tl.Jobs())
+	}
+}
+
+func TestTimelineCollapsesDuplicates(t *testing.T) {
+	clock := &fakeClock{}
+	tl := NewTimeline(clock.now)
+	tl.Record(1, 3)
+	clock.t = time.Second
+	tl.Record(1, 3) // same value: dropped
+	if got := len(tl.Series(1)); got != 1 {
+		t.Errorf("series length = %d, want 1", got)
+	}
+	// Two changes at the same instant keep the last.
+	tl.Record(1, 5)
+	tl.Record(1, 7)
+	s := tl.Series(1)
+	if len(s) != 2 || s[1].V != 7 {
+		t.Errorf("series = %v, want last value 7 at 1s", s)
+	}
+	// Change at same instant back to the previous value collapses away.
+	tl.Record(1, 3)
+	s = tl.Series(1)
+	if len(s) != 1 || s[0].V != 3 {
+		t.Errorf("series = %v, want single step of 3", s)
+	}
+}
+
+func TestTimelineSeriesIsCopy(t *testing.T) {
+	clock := &fakeClock{}
+	tl := NewTimeline(clock.now)
+	tl.Record(1, 3)
+	s := tl.Series(1)
+	s[0].V = 99
+	if tl.At(1, 0) != 3 {
+		t.Error("Series should return a copy")
+	}
+}
+
+func TestTimelineIntegral(t *testing.T) {
+	clock := &fakeClock{}
+	tl := NewTimeline(clock.now)
+	tl.Record(1, 4) // 4 from t=0
+	clock.t = 10 * time.Second
+	tl.Record(1, 2) // 2 from t=10
+	clock.t = 20 * time.Second
+	tl.Record(1, 0) // 0 from t=20
+
+	// Whole window: 4*10 + 2*10 = 60 slot-seconds.
+	if got, want := tl.Integral(1, 0, 30*time.Second), 60*time.Second; got != want {
+		t.Errorf("Integral = %v, want %v", got, want)
+	}
+	// Partial window straddling a step: [5, 15) = 4*5 + 2*5 = 30.
+	if got, want := tl.Integral(1, 5*time.Second, 15*time.Second), 30*time.Second; got != want {
+		t.Errorf("Integral = %v, want %v", got, want)
+	}
+	// Empty and inverted windows.
+	if tl.Integral(1, 5*time.Second, 5*time.Second) != 0 {
+		t.Error("empty window should integrate to 0")
+	}
+	if tl.Integral(1, 10*time.Second, 5*time.Second) != 0 {
+		t.Error("inverted window should integrate to 0")
+	}
+}
+
+func TestJobStats(t *testing.T) {
+	j, err := dag.Chain(1, "stat", 1, []dag.PhaseSpec{
+		{Durations: []time.Duration{time.Second}},
+	})
+	if err != nil {
+		t.Fatalf("Chain: %v", err)
+	}
+	s := JobStats{Job: j, Submit: 2 * time.Second, Finish: 12 * time.Second}
+	if got, want := s.JCT(), 10*time.Second; got != want {
+		t.Errorf("JCT = %v, want %v", got, want)
+	}
+	if s.String() == "" {
+		t.Error("String should be non-empty")
+	}
+}

@@ -1,0 +1,199 @@
+// Package model implements the paper's analytical model of the
+// isolation/utilization trade-off (Sec. IV-B, Eqs. 2-4) and the numerical
+// model of straggler mitigation via reserved slots (Sec. IV-C).
+//
+// Notation follows the paper: task durations are Pareto(alpha, t_m); a phase
+// has N parallel tasks; slots reserved at task completion expire at deadline
+// D; P is the probability that all N tasks finish before D ("the reservation
+// is effective"), used as the isolation guarantee level.
+package model
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ssr/internal/stats"
+)
+
+// Isolation returns P = F(D)^N (Eq. 2): the probability that all N i.i.d.
+// Pareto(alpha, tm) task durations are at most the reservation deadline d.
+func Isolation(d, tm, alpha float64, n int) float64 {
+	if n <= 0 || d <= 0 {
+		return 0
+	}
+	p := stats.Pareto{Alpha: alpha, Xm: tm}
+	return math.Pow(p.CDF(d), float64(n))
+}
+
+// UtilizationLowerBound returns the lower bound of E[U] from Eq. 3, under
+// the pessimistic assumption that every slot stays reserved until the
+// deadline d:
+//
+//	E[U] >= alpha/(alpha-1) * (tm/d) - 1/(alpha-1) * (tm/d)^alpha.
+//
+// It requires alpha > 1 and d >= tm; for d < tm it returns 1 (no slot can
+// even finish a task before the deadline, so no reserved-idle time accrues
+// in the model's accounting).
+func UtilizationLowerBound(d, tm, alpha float64) float64 {
+	if alpha <= 1 {
+		return math.NaN()
+	}
+	if d <= tm {
+		return 1
+	}
+	r := tm / d
+	return alpha/(alpha-1)*r - 1/(alpha-1)*math.Pow(r, alpha)
+}
+
+// UtilizationAtIsolation combines Eqs. 2 and 3 into Eq. 4: the expected
+// utilization lower bound as a function of the isolation guarantee P for a
+// phase of n tasks:
+//
+//	E[U] >= alpha/(alpha-1) * (1-P^(1/n))^(1/alpha) - 1/(alpha-1) * (1-P^(1/n)).
+//
+// It is monotonically decreasing in P: stronger isolation costs utilization.
+func UtilizationAtIsolation(p, alpha float64, n int) float64 {
+	if alpha <= 1 || n <= 0 {
+		return math.NaN()
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	x := 1 - math.Pow(p, 1/float64(n))
+	return alpha/(alpha-1)*math.Pow(x, 1/alpha) - 1/(alpha-1)*x
+}
+
+// Deadline inverts Eq. 2: the reservation deadline that achieves isolation
+// guarantee p for a phase of n tasks with Pareto(alpha, tm) durations:
+//
+//	D = tm * (1 - P^(1/n))^(-1/alpha).
+//
+// For p >= 1 it returns +Inf (hold reservations until the barrier clears);
+// for p <= 0 it returns tm (expire as soon as a task can possibly finish).
+func Deadline(p, tm, alpha float64, n int) float64 {
+	if n <= 0 || tm <= 0 || alpha <= 0 {
+		return math.NaN()
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	if p <= 0 {
+		return tm
+	}
+	x := 1 - math.Pow(p, 1/float64(n))
+	return tm * math.Pow(x, -1/alpha)
+}
+
+// TradeoffPoint is one point on the isolation/utilization trade-off curve.
+type TradeoffPoint struct {
+	P           float64 // isolation guarantee
+	Utilization float64 // E[U] lower bound at this P (Eq. 4)
+}
+
+// TradeoffCurve evaluates Eq. 4 at evenly spaced isolation levels in
+// [0, 1] (steps+1 points), reproducing Fig. 8's curves.
+func TradeoffCurve(alpha float64, n, steps int) []TradeoffPoint {
+	if steps < 1 {
+		steps = 1
+	}
+	pts := make([]TradeoffPoint, 0, steps+1)
+	for i := 0; i <= steps; i++ {
+		p := float64(i) / float64(steps)
+		pts = append(pts, TradeoffPoint{P: p, Utilization: UtilizationAtIsolation(p, alpha, n)})
+	}
+	return pts
+}
+
+// PhaseTime returns the completion time of a phase without straggler
+// mitigation: T = t_(N), the slowest task (durations need not be sorted).
+func PhaseTime(durations []float64) float64 {
+	return stats.MaxFloat(durations)
+}
+
+// MitigatedPhaseTime evaluates the paper's Sec. IV-C model of the phase
+// completion time under straggler mitigation:
+//
+//	T' = t_(ceil(N/2)) + max over the remaining tasks of
+//	     min{ t_(k) - t_(ceil(N/2)),  t'_(k) },
+//
+// where t_(k) is the k-th order statistic of the original durations and
+// t'_(k) the duration of the extra copy launched for that task at time
+// t_(ceil(N/2)) (when half the tasks have completed, the reserved slots
+// suffice to duplicate every on-going task). durations and copies must have
+// equal length; copies[i] is consumed for the task holding rank i+1 after
+// sorting. It returns NaN on malformed input.
+func MitigatedPhaseTime(durations, copies []float64) float64 {
+	n := len(durations)
+	if n == 0 || len(copies) != n {
+		return math.NaN()
+	}
+	sorted := stats.OrderStatistics(durations)
+	half := (n + 1) / 2 // ceil(N/2)
+	launch := sorted[half-1]
+	if half == n {
+		return launch
+	}
+	rest := 0.0
+	for k := half; k < n; k++ { // zero-based: ranks half+1..n
+		remaining := sorted[k] - launch
+		d := math.Min(remaining, copies[k])
+		if d > rest {
+			rest = d
+		}
+	}
+	return launch + rest
+}
+
+// SpeedupResult summarizes a Monte-Carlo evaluation of straggler
+// mitigation for one (alpha, N) cell of Fig. 10.
+type SpeedupResult struct {
+	Alpha        float64
+	N            int
+	Runs         int
+	MeanT        float64 // mean phase time without mitigation
+	MeanTPrime   float64 // mean phase time with mitigation
+	MeanSpeedup  float64 // mean of T/T' across runs
+	ReductionPct float64 // mean of (T-T')/T across runs, in percent
+}
+
+// SpeedupStudy draws task durations i.i.d. from Pareto(alpha, tm) and
+// evaluates the reduction in phase completion time achieved by straggler
+// mitigation, averaged over runs (Fig. 10 uses 1000 runs per point).
+func SpeedupStudy(alpha, tm float64, n, runs int, rng *rand.Rand) (SpeedupResult, error) {
+	if n <= 0 {
+		return SpeedupResult{}, fmt.Errorf("model: n %d must be positive", n)
+	}
+	if runs <= 0 {
+		return SpeedupResult{}, fmt.Errorf("model: runs %d must be positive", runs)
+	}
+	dist, err := stats.NewPareto(alpha, tm)
+	if err != nil {
+		return SpeedupResult{}, err
+	}
+	res := SpeedupResult{Alpha: alpha, N: n, Runs: runs}
+	var sumT, sumTP, sumSpeedup, sumReduction float64
+	durations := make([]float64, n)
+	copies := make([]float64, n)
+	for r := 0; r < runs; r++ {
+		for i := range durations {
+			durations[i] = dist.Sample(rng)
+			copies[i] = dist.Sample(rng)
+		}
+		tOrig := PhaseTime(durations)
+		tMit := MitigatedPhaseTime(durations, copies)
+		sumT += tOrig
+		sumTP += tMit
+		sumSpeedup += tOrig / tMit
+		sumReduction += (tOrig - tMit) / tOrig
+	}
+	f := float64(runs)
+	res.MeanT = sumT / f
+	res.MeanTPrime = sumTP / f
+	res.MeanSpeedup = sumSpeedup / f
+	res.ReductionPct = 100 * sumReduction / f
+	return res, nil
+}

@@ -1,0 +1,345 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ssr/internal/stats"
+)
+
+func TestIsolationBasics(t *testing.T) {
+	// With d = tm nothing can finish: P = 0.
+	if got := Isolation(2, 2, 1.6, 20); got != 0 {
+		t.Errorf("Isolation at d=tm = %v, want 0", got)
+	}
+	// A huge deadline approaches P = 1.
+	if got := Isolation(1e12, 2, 1.6, 20); got < 0.999 {
+		t.Errorf("Isolation at huge d = %v, want ~1", got)
+	}
+	// Invalid inputs.
+	if got := Isolation(-1, 2, 1.6, 20); got != 0 {
+		t.Errorf("Isolation with negative d = %v, want 0", got)
+	}
+	if got := Isolation(10, 2, 1.6, 0); got != 0 {
+		t.Errorf("Isolation with n=0 = %v, want 0", got)
+	}
+}
+
+func TestIsolationMonotoneInDeadline(t *testing.T) {
+	prev := -1.0
+	for d := 2.0; d < 100; d += 1.0 {
+		p := Isolation(d, 2, 1.6, 20)
+		if p < prev {
+			t.Fatalf("Isolation not monotone at d=%v: %v < %v", d, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestIsolationDecreasesWithN(t *testing.T) {
+	// More tasks means it is harder for all of them to finish by d.
+	p20 := Isolation(10, 2, 1.6, 20)
+	p200 := Isolation(10, 2, 1.6, 200)
+	if p200 >= p20 {
+		t.Errorf("Isolation should decrease with N: P(20)=%v, P(200)=%v", p20, p200)
+	}
+}
+
+func TestDeadlineInvertsIsolation(t *testing.T) {
+	prop := func(seedP, seedA uint16) bool {
+		p := 0.01 + 0.98*float64(seedP)/65535.0 // in (0, 1)
+		alpha := 1.1 + 2.0*float64(seedA)/65535.0
+		const (
+			tm = 2.0
+			n  = 20
+		)
+		d := Deadline(p, tm, alpha, n)
+		back := Isolation(d, tm, alpha, n)
+		return math.Abs(back-p) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeadlineEdges(t *testing.T) {
+	if got := Deadline(1, 2, 1.6, 20); !math.IsInf(got, 1) {
+		t.Errorf("Deadline(P=1) = %v, want +Inf", got)
+	}
+	if got := Deadline(0, 2, 1.6, 20); got != 2 {
+		t.Errorf("Deadline(P=0) = %v, want tm", got)
+	}
+	if got := Deadline(0.5, 0, 1.6, 20); !math.IsNaN(got) {
+		t.Errorf("Deadline with tm=0 = %v, want NaN", got)
+	}
+	if got := Deadline(0.5, 2, 1.6, 0); !math.IsNaN(got) {
+		t.Errorf("Deadline with n=0 = %v, want NaN", got)
+	}
+}
+
+func TestDeadlineGrowsWithP(t *testing.T) {
+	prev := 0.0
+	for p := 0.1; p < 1; p += 0.1 {
+		d := Deadline(p, 2, 1.6, 20)
+		if d <= prev {
+			t.Fatalf("Deadline not increasing at P=%v: %v <= %v", p, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestUtilizationLowerBound(t *testing.T) {
+	// d = tm: bound is 1 (no idle time possible before a task can finish).
+	if got := UtilizationLowerBound(2, 2, 1.6); got != 1 {
+		t.Errorf("bound at d=tm = %v, want 1", got)
+	}
+	// Large d: bound goes to 0.
+	if got := UtilizationLowerBound(1e9, 2, 1.6); got > 1e-3 {
+		t.Errorf("bound at huge d = %v, want ~0", got)
+	}
+	// alpha <= 1 has no finite mean: NaN.
+	if got := UtilizationLowerBound(10, 2, 1.0); !math.IsNaN(got) {
+		t.Errorf("bound with alpha=1 = %v, want NaN", got)
+	}
+}
+
+func TestUtilizationBoundWithinUnitInterval(t *testing.T) {
+	for d := 2.0; d < 1000; d *= 1.3 {
+		u := UtilizationLowerBound(d, 2, 1.6)
+		if u < 0 || u > 1 {
+			t.Fatalf("bound out of [0,1] at d=%v: %v", d, u)
+		}
+	}
+}
+
+func TestUtilizationAtIsolationExtremes(t *testing.T) {
+	// P = 0: no isolation, no utilization loss.
+	if got := UtilizationAtIsolation(0, 1.6, 20); math.Abs(got-1) > 1e-12 {
+		t.Errorf("E[U] at P=0 = %v, want 1", got)
+	}
+	// P = 1: the bound collapses to 0 (arbitrarily low utilization).
+	if got := UtilizationAtIsolation(1, 1.6, 20); math.Abs(got) > 1e-12 {
+		t.Errorf("E[U] at P=1 = %v, want 0", got)
+	}
+	// Out-of-range P is clamped.
+	if got := UtilizationAtIsolation(-0.5, 1.6, 20); math.Abs(got-1) > 1e-12 {
+		t.Errorf("E[U] at P=-0.5 = %v, want clamp to 1", got)
+	}
+	if got := UtilizationAtIsolation(1.5, 1.6, 20); math.Abs(got) > 1e-12 {
+		t.Errorf("E[U] at P=1.5 = %v, want clamp to 0", got)
+	}
+	if got := UtilizationAtIsolation(0.5, 1.0, 20); !math.IsNaN(got) {
+		t.Errorf("E[U] with alpha=1 = %v, want NaN", got)
+	}
+	if got := UtilizationAtIsolation(0.5, 1.6, 0); !math.IsNaN(got) {
+		t.Errorf("E[U] with n=0 = %v, want NaN", got)
+	}
+}
+
+// Eq. 4 is monotonically decreasing in P (the paper's key trade-off claim).
+func TestUtilizationMonotoneDecreasingInP(t *testing.T) {
+	for _, alpha := range []float64{1.1, 1.6, 2.5} {
+		for _, n := range []int{20, 200} {
+			prev := math.Inf(1)
+			for i := 0; i <= 100; i++ {
+				p := float64(i) / 100
+				u := UtilizationAtIsolation(p, alpha, n)
+				if u > prev+1e-12 {
+					t.Fatalf("alpha=%v n=%d: E[U] increased at P=%v: %v > %v", alpha, n, p, u, prev)
+				}
+				prev = u
+			}
+		}
+	}
+}
+
+// Fig. 8: the trade-off is sharper (lower utilization at the same P) for
+// heavier tails (smaller alpha) and for larger N.
+func TestTradeoffSharperForHeavierTails(t *testing.T) {
+	const p = 0.8
+	uHeavy := UtilizationAtIsolation(p, 1.1, 20)
+	uLight := UtilizationAtIsolation(p, 2.5, 20)
+	if uHeavy >= uLight {
+		t.Errorf("heavier tail should give lower utilization: alpha=1.1 -> %v, alpha=2.5 -> %v", uHeavy, uLight)
+	}
+	uSmallN := UtilizationAtIsolation(p, 1.6, 20)
+	uLargeN := UtilizationAtIsolation(p, 1.6, 200)
+	if uLargeN >= uSmallN {
+		t.Errorf("larger N should give lower utilization: N=20 -> %v, N=200 -> %v", uSmallN, uLargeN)
+	}
+}
+
+func TestTradeoffCurve(t *testing.T) {
+	pts := TradeoffCurve(1.6, 20, 10)
+	if len(pts) != 11 {
+		t.Fatalf("len = %d, want 11", len(pts))
+	}
+	if pts[0].P != 0 || pts[10].P != 1 {
+		t.Errorf("endpoints %v, %v, want 0 and 1", pts[0].P, pts[10].P)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Utilization > pts[i-1].Utilization+1e-12 {
+			t.Errorf("curve not monotone at %d", i)
+		}
+	}
+	if got := TradeoffCurve(1.6, 20, 0); len(got) != 2 {
+		t.Errorf("steps<1 should clamp to 1, got %d points", len(got))
+	}
+}
+
+func TestPhaseTime(t *testing.T) {
+	if got := PhaseTime([]float64{3, 9, 1}); got != 9 {
+		t.Errorf("PhaseTime = %v, want 9", got)
+	}
+	if !math.IsNaN(PhaseTime(nil)) {
+		t.Error("PhaseTime of empty should be NaN")
+	}
+}
+
+func TestMitigatedPhaseTimeExample(t *testing.T) {
+	// 4 tasks: t = [1, 2, 10, 20]; copies launch at t_(2) = 2.
+	// Copies for ranks 3, 4 take 1 each: both finish at 3.
+	// T' = 2 + max(min(10-2, 1), min(20-2, 1)) = 3.
+	durations := []float64{10, 1, 20, 2}
+	copies := []float64{99, 99, 1, 1} // rank-indexed: ranks 3 and 4 get 1
+	got := MitigatedPhaseTime(durations, copies)
+	if math.Abs(got-3) > 1e-12 {
+		t.Errorf("T' = %v, want 3", got)
+	}
+}
+
+func TestMitigatedPhaseTimeCopySlower(t *testing.T) {
+	// If the copies are slower than the originals' remaining time, the
+	// original finish times dictate T' = T.
+	durations := []float64{1, 2, 3, 4}
+	copies := []float64{100, 100, 100, 100}
+	got := MitigatedPhaseTime(durations, copies)
+	if math.Abs(got-4) > 1e-12 {
+		t.Errorf("T' = %v, want 4 (copies useless)", got)
+	}
+}
+
+func TestMitigatedPhaseTimeSingleTask(t *testing.T) {
+	// N=1: half = 1 = n, so T' = t_(1).
+	got := MitigatedPhaseTime([]float64{7}, []float64{1})
+	if got != 7 {
+		t.Errorf("T' = %v, want 7", got)
+	}
+}
+
+func TestMitigatedPhaseTimeOddN(t *testing.T) {
+	// N=3: half = ceil(3/2) = 2, launch at t_(2).
+	durations := []float64{1, 2, 30}
+	copies := []float64{0, 0, 5}
+	got := MitigatedPhaseTime(durations, copies)
+	if math.Abs(got-7) > 1e-12 { // 2 + min(28, 5)
+		t.Errorf("T' = %v, want 7", got)
+	}
+}
+
+func TestMitigatedPhaseTimeMalformed(t *testing.T) {
+	if !math.IsNaN(MitigatedPhaseTime(nil, nil)) {
+		t.Error("empty input should be NaN")
+	}
+	if !math.IsNaN(MitigatedPhaseTime([]float64{1, 2}, []float64{1})) {
+		t.Error("length mismatch should be NaN")
+	}
+}
+
+// Property: mitigation never hurts: T' <= T, and T' >= t_(ceil(N/2)).
+func TestMitigationNeverHurts(t *testing.T) {
+	rng := stats.NewRNG(5)
+	dist := stats.Pareto{Alpha: 1.6, Xm: 1}
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(50)
+		durations := make([]float64, n)
+		copies := make([]float64, n)
+		for i := range durations {
+			durations[i] = dist.Sample(rng)
+			copies[i] = dist.Sample(rng)
+		}
+		tOrig := PhaseTime(durations)
+		tMit := MitigatedPhaseTime(durations, copies)
+		if tMit > tOrig+1e-9 {
+			t.Fatalf("mitigation hurt: T'=%v > T=%v", tMit, tOrig)
+		}
+		half := stats.OrderStatistics(durations)[(n+1)/2-1]
+		if tMit < half-1e-9 {
+			t.Fatalf("T'=%v below launch time %v", tMit, half)
+		}
+	}
+}
+
+func TestSpeedupStudy(t *testing.T) {
+	rng := stats.NewRNG(9)
+	res, err := SpeedupStudy(1.6, 2, 100, 400, rng)
+	if err != nil {
+		t.Fatalf("SpeedupStudy: %v", err)
+	}
+	if res.MeanTPrime >= res.MeanT {
+		t.Errorf("mitigation should reduce mean phase time: T'=%v, T=%v", res.MeanTPrime, res.MeanT)
+	}
+	// Fig. 10: for alpha=1.6 and high parallelism the reduction exceeds 50%.
+	if res.ReductionPct < 40 {
+		t.Errorf("reduction = %.1f%%, expected substantial (>40%%) for alpha=1.6, N=100", res.ReductionPct)
+	}
+	if res.MeanSpeedup < 1 {
+		t.Errorf("mean speedup %v < 1", res.MeanSpeedup)
+	}
+}
+
+func TestSpeedupStudyHeavierTailBenefitsMore(t *testing.T) {
+	rng := stats.NewRNG(10)
+	heavy, err := SpeedupStudy(1.2, 2, 50, 400, rng)
+	if err != nil {
+		t.Fatalf("SpeedupStudy: %v", err)
+	}
+	light, err := SpeedupStudy(3.0, 2, 50, 400, rng)
+	if err != nil {
+		t.Fatalf("SpeedupStudy: %v", err)
+	}
+	if heavy.ReductionPct <= light.ReductionPct {
+		t.Errorf("heavy tail should benefit more: alpha=1.2 -> %.1f%%, alpha=3.0 -> %.1f%%",
+			heavy.ReductionPct, light.ReductionPct)
+	}
+}
+
+func TestSpeedupStudyValidation(t *testing.T) {
+	rng := stats.NewRNG(1)
+	if _, err := SpeedupStudy(1.6, 2, 0, 10, rng); err == nil {
+		t.Error("n=0 should error")
+	}
+	if _, err := SpeedupStudy(1.6, 2, 10, 0, rng); err == nil {
+		t.Error("runs=0 should error")
+	}
+	if _, err := SpeedupStudy(-1, 2, 10, 10, rng); err == nil {
+		t.Error("invalid alpha should error")
+	}
+}
+
+// Empirical check of Eq. 3: under the "all slots reserved until the
+// deadline" accounting, a slot whose task takes t contributes t/D of a
+// busy period if it finishes by D and a full busy period otherwise; the
+// closed form must lower-bound the empirical mean.
+func TestUtilizationBoundHoldsEmpirically(t *testing.T) {
+	rng := stats.NewRNG(17)
+	dist := stats.Pareto{Alpha: 1.6, Xm: 2}
+	for _, d := range []float64{3, 5, 10, 50, 200} {
+		bound := UtilizationLowerBound(d, 2, 1.6)
+		var sum float64
+		const n = 40000
+		for i := 0; i < n; i++ {
+			x := dist.Sample(rng)
+			if x <= d {
+				sum += x / d
+			} else {
+				sum += 1
+			}
+		}
+		empirical := sum / n
+		if empirical+0.02 < bound {
+			t.Errorf("D=%v: empirical E[U] %.4f below bound %.4f", d, empirical, bound)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+// Package sched provides the job-ordering policies the driver uses to hand
+// out freed slots: strict priority scheduling (the paper's main setting,
+// where foreground jobs outrank background jobs) and fair sharing (Spark's
+// Fair Scheduler, used in the Fig. 13 experiment), plus the queue machinery
+// shared by both.
+//
+// A queue holds schedulable items — phases whose tasks may accept any slot.
+// Phases still inside their data-locality wait are not queued here; the
+// driver parks them on a per-slot waiter index instead and only enqueues
+// them when the wait expires.
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"ssr/internal/dag"
+)
+
+// Item is a schedulable unit: one phase of one job with at least one
+// not-yet-started task. The driver's phase runtime implements it.
+type Item interface {
+	// JobID identifies the owning job.
+	JobID() dag.JobID
+	// PhaseID identifies the phase within the job.
+	PhaseID() int
+	// Priority is the owning job's scheduling priority.
+	Priority() dag.Priority
+	// ReadyTime is when the phase became schedulable (for FIFO order).
+	ReadyTime() time.Duration
+	// JobRunning returns the number of slots the owning job currently
+	// occupies; fair sharing balances this count across jobs.
+	JobRunning() int
+}
+
+// Queue orders schedulable items for slot hand-out.
+type Queue interface {
+	// Name identifies the policy ("priority", "fair").
+	Name() string
+	// Add enqueues an item. Adding an item twice is an error in the
+	// caller; implementations may panic on it in tests but are not
+	// required to detect it.
+	Add(Item)
+	// Remove drops an item (all tasks placed, or phase aborted).
+	// Removing an absent item is a no-op.
+	Remove(Item)
+	// Best returns the item to serve next without removing it, or nil
+	// when the queue is empty.
+	Best() Item
+	// Len returns the number of queued items.
+	Len() int
+}
+
+// PriorityQueue serves the highest-priority item first; ties break by
+// ready time, then job ID, then phase ID (FIFO within a priority level).
+// All operations are O(1) amortized except the rare bucket creation; the
+// implementation relies on the fact that items arrive in nondecreasing
+// ReadyTime order (simulation time only moves forward).
+type PriorityQueue struct {
+	buckets map[dag.Priority]*bucket
+	// prios is kept sorted descending.
+	prios []dag.Priority
+	size  int
+}
+
+type bucket struct {
+	items   []Item // append order == ready order
+	head    int
+	removed map[Item]bool
+}
+
+// NewPriorityQueue returns an empty priority queue.
+func NewPriorityQueue() *PriorityQueue {
+	return &PriorityQueue{buckets: make(map[dag.Priority]*bucket)}
+}
+
+// Name implements Queue.
+func (q *PriorityQueue) Name() string { return "priority" }
+
+// Len implements Queue.
+func (q *PriorityQueue) Len() int { return q.size }
+
+// Add implements Queue.
+func (q *PriorityQueue) Add(it Item) {
+	p := it.Priority()
+	b := q.buckets[p]
+	if b == nil {
+		b = &bucket{removed: make(map[Item]bool)}
+		q.buckets[p] = b
+		i := sort.Search(len(q.prios), func(i int) bool { return q.prios[i] <= p })
+		q.prios = append(q.prios, 0)
+		copy(q.prios[i+1:], q.prios[i:])
+		q.prios[i] = p
+	}
+	b.items = append(b.items, it)
+	q.size++
+}
+
+// Remove implements Queue.
+func (q *PriorityQueue) Remove(it Item) {
+	b := q.buckets[it.Priority()]
+	if b == nil {
+		return
+	}
+	// Tombstone; Best skims tombstones off the head lazily.
+	for i := b.head; i < len(b.items); i++ {
+		if b.items[i] == it {
+			if b.removed[it] {
+				return
+			}
+			b.removed[it] = true
+			q.size--
+			return
+		}
+	}
+}
+
+// Best implements Queue.
+func (q *PriorityQueue) Best() Item {
+	for pi := 0; pi < len(q.prios); pi++ {
+		b := q.buckets[q.prios[pi]]
+		for b.head < len(b.items) {
+			it := b.items[b.head]
+			if !b.removed[it] {
+				return it
+			}
+			delete(b.removed, it)
+			b.items[b.head] = nil
+			b.head++
+		}
+		// Bucket drained: compact it but keep it for reuse.
+		b.items = b.items[:0]
+		b.head = 0
+	}
+	return nil
+}
+
+// FairQueue serves the item whose job holds the fewest running slots,
+// implementing max-min fair sharing over slot counts (equal job weights,
+// like Spark's default fair pools). Ties break by job ID then phase ID.
+// Best is O(n); the fair experiments use few concurrent jobs.
+type FairQueue struct {
+	items []Item
+}
+
+// NewFairQueue returns an empty fair queue.
+func NewFairQueue() *FairQueue { return &FairQueue{} }
+
+// Name implements Queue.
+func (q *FairQueue) Name() string { return "fair" }
+
+// Len implements Queue.
+func (q *FairQueue) Len() int { return len(q.items) }
+
+// Add implements Queue.
+func (q *FairQueue) Add(it Item) { q.items = append(q.items, it) }
+
+// Remove implements Queue.
+func (q *FairQueue) Remove(it Item) {
+	for i, x := range q.items {
+		if x == it {
+			q.items = append(q.items[:i], q.items[i+1:]...)
+			return
+		}
+	}
+}
+
+// Best implements Queue.
+func (q *FairQueue) Best() Item {
+	var best Item
+	for _, it := range q.items {
+		if best == nil || less(it, best) {
+			best = it
+		}
+	}
+	return best
+}
+
+func less(a, b Item) bool {
+	if a.JobRunning() != b.JobRunning() {
+		return a.JobRunning() < b.JobRunning()
+	}
+	if a.JobID() != b.JobID() {
+		return a.JobID() < b.JobID()
+	}
+	return a.PhaseID() < b.PhaseID()
+}
+
+// Compile-time interface checks.
+var (
+	_ Queue = (*PriorityQueue)(nil)
+	_ Queue = (*FairQueue)(nil)
+)
+
+// String describes the queue contents for debugging.
+func String(q Queue) string {
+	return fmt.Sprintf("%s queue (%d items)", q.Name(), q.Len())
+}

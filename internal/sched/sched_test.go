@@ -1,0 +1,268 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ssr/internal/dag"
+)
+
+// fakeItem implements Item for tests.
+type fakeItem struct {
+	job     dag.JobID
+	phase   int
+	prio    dag.Priority
+	ready   time.Duration
+	running int
+}
+
+func (f *fakeItem) JobID() dag.JobID         { return f.job }
+func (f *fakeItem) PhaseID() int             { return f.phase }
+func (f *fakeItem) Priority() dag.Priority   { return f.prio }
+func (f *fakeItem) ReadyTime() time.Duration { return f.ready }
+func (f *fakeItem) JobRunning() int          { return f.running }
+
+func TestPriorityQueueEmpty(t *testing.T) {
+	q := NewPriorityQueue()
+	if q.Best() != nil {
+		t.Error("Best of empty queue should be nil")
+	}
+	if q.Len() != 0 {
+		t.Error("Len of empty queue should be 0")
+	}
+	if q.Name() != "priority" {
+		t.Error("wrong name")
+	}
+}
+
+func TestPriorityQueueOrdersByPriority(t *testing.T) {
+	q := NewPriorityQueue()
+	low := &fakeItem{job: 1, prio: 1}
+	high := &fakeItem{job: 2, prio: 9}
+	mid := &fakeItem{job: 3, prio: 5}
+	q.Add(low)
+	q.Add(high)
+	q.Add(mid)
+	if q.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", q.Len())
+	}
+	want := []*fakeItem{high, mid, low}
+	for _, w := range want {
+		got := q.Best()
+		if got != w {
+			t.Fatalf("Best = %+v, want %+v", got, w)
+		}
+		q.Remove(got)
+	}
+	if q.Best() != nil {
+		t.Error("queue should be empty")
+	}
+}
+
+func TestPriorityQueueFIFOWithinPriority(t *testing.T) {
+	q := NewPriorityQueue()
+	a := &fakeItem{job: 5, prio: 3, ready: 1}
+	b := &fakeItem{job: 2, prio: 3, ready: 2}
+	c := &fakeItem{job: 9, prio: 3, ready: 3}
+	q.Add(a)
+	q.Add(b)
+	q.Add(c)
+	for _, w := range []*fakeItem{a, b, c} {
+		got := q.Best()
+		if got != w {
+			t.Fatalf("Best = %+v, want %+v (FIFO within priority)", got, w)
+		}
+		q.Remove(got)
+	}
+}
+
+func TestPriorityQueueBestIsIdempotent(t *testing.T) {
+	q := NewPriorityQueue()
+	a := &fakeItem{job: 1, prio: 1}
+	q.Add(a)
+	if q.Best() != a || q.Best() != a {
+		t.Error("Best should not remove the item")
+	}
+	if q.Len() != 1 {
+		t.Error("Len should remain 1 after Best")
+	}
+}
+
+func TestPriorityQueueRemoveMiddle(t *testing.T) {
+	q := NewPriorityQueue()
+	a := &fakeItem{job: 1, prio: 3}
+	b := &fakeItem{job: 2, prio: 3}
+	c := &fakeItem{job: 3, prio: 3}
+	q.Add(a)
+	q.Add(b)
+	q.Add(c)
+	q.Remove(b)
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", q.Len())
+	}
+	if got := q.Best(); got != a {
+		t.Fatalf("Best = %+v, want a", got)
+	}
+	q.Remove(a)
+	if got := q.Best(); got != c {
+		t.Fatalf("Best = %+v, want c (b was removed)", got)
+	}
+}
+
+func TestPriorityQueueRemoveAbsentNoop(t *testing.T) {
+	q := NewPriorityQueue()
+	a := &fakeItem{job: 1, prio: 3}
+	q.Remove(a) // absent, no bucket
+	q.Add(a)
+	q.Remove(a)
+	q.Remove(a) // double remove must not corrupt size
+	if q.Len() != 0 {
+		t.Errorf("Len = %d, want 0", q.Len())
+	}
+	if q.Best() != nil {
+		t.Error("queue should be empty")
+	}
+}
+
+func TestPriorityQueueBucketReuse(t *testing.T) {
+	q := NewPriorityQueue()
+	a := &fakeItem{job: 1, prio: 2}
+	q.Add(a)
+	q.Remove(a)
+	if q.Best() != nil {
+		t.Fatal("should be empty")
+	}
+	// Re-adding to a drained bucket must work.
+	b := &fakeItem{job: 2, prio: 2}
+	q.Add(b)
+	if got := q.Best(); got != b {
+		t.Fatalf("Best = %+v, want b", got)
+	}
+}
+
+func TestPriorityQueueNegativePriorities(t *testing.T) {
+	q := NewPriorityQueue()
+	a := &fakeItem{job: 1, prio: -5}
+	b := &fakeItem{job: 2, prio: 0}
+	q.Add(a)
+	q.Add(b)
+	if got := q.Best(); got != b {
+		t.Fatalf("Best = %+v, want the zero-priority item", got)
+	}
+}
+
+func TestFairQueueBalancesRunning(t *testing.T) {
+	q := NewFairQueue()
+	a := &fakeItem{job: 1, running: 5}
+	b := &fakeItem{job: 2, running: 2}
+	q.Add(a)
+	q.Add(b)
+	if got := q.Best(); got != b {
+		t.Fatalf("Best = %+v, want the job with fewer running slots", got)
+	}
+	// Shares change dynamically; Best reflects the live counts.
+	b.running = 9
+	if got := q.Best(); got != a {
+		t.Fatalf("Best = %+v, want a after b's share grew", got)
+	}
+}
+
+func TestFairQueueTieBreak(t *testing.T) {
+	q := NewFairQueue()
+	a := &fakeItem{job: 2, phase: 1, running: 3}
+	b := &fakeItem{job: 2, phase: 0, running: 3}
+	c := &fakeItem{job: 1, phase: 5, running: 3}
+	q.Add(a)
+	q.Add(b)
+	q.Add(c)
+	if got := q.Best(); got != c {
+		t.Fatalf("Best = %+v, want lowest job ID on tie", got)
+	}
+	q.Remove(c)
+	if got := q.Best(); got != b {
+		t.Fatalf("Best = %+v, want lowest phase ID on job tie", got)
+	}
+}
+
+func TestFairQueueRemove(t *testing.T) {
+	q := NewFairQueue()
+	a := &fakeItem{job: 1}
+	q.Add(a)
+	q.Remove(a)
+	if q.Len() != 0 || q.Best() != nil {
+		t.Error("remove failed")
+	}
+	q.Remove(a) // no-op
+	if q.Name() != "fair" {
+		t.Error("wrong name")
+	}
+}
+
+func TestStringHelper(t *testing.T) {
+	if s := String(NewPriorityQueue()); s == "" {
+		t.Error("String should describe the queue")
+	}
+}
+
+// Property: the priority queue always returns a maximal-priority item, and
+// among items of that priority the earliest-added one.
+func TestPriorityQueueProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := NewPriorityQueue()
+		type entry struct {
+			it    *fakeItem
+			order int
+		}
+		var live []entry
+		order := 0
+		for op := 0; op < 300; op++ {
+			switch rng.Intn(3) {
+			case 0, 1:
+				it := &fakeItem{
+					job:   dag.JobID(rng.Intn(50)),
+					phase: rng.Intn(3),
+					prio:  dag.Priority(rng.Intn(5)),
+					ready: time.Duration(order),
+				}
+				q.Add(it)
+				live = append(live, entry{it: it, order: order})
+				order++
+			case 2:
+				if len(live) == 0 {
+					continue
+				}
+				i := rng.Intn(len(live))
+				q.Remove(live[i].it)
+				live = append(live[:i], live[i+1:]...)
+			}
+			if q.Len() != len(live) {
+				return false
+			}
+			best := q.Best()
+			if len(live) == 0 {
+				if best != nil {
+					return false
+				}
+				continue
+			}
+			// Determine the expected item.
+			want := live[0]
+			for _, e := range live[1:] {
+				if e.it.prio > want.it.prio ||
+					(e.it.prio == want.it.prio && e.order < want.order) {
+					want = e
+				}
+			}
+			if best != want.it {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,204 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains a virtual clock and a priority queue of scheduled
+// callbacks. Events that share a timestamp fire in the order they were
+// scheduled (FIFO by sequence number), which makes every run fully
+// deterministic. The engine is single-threaded by design: determinism and
+// reproducibility matter more than parallelism for scheduler simulation.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Time is a virtual timestamp, measured as an offset from the start of the
+// simulation. The zero value is the beginning of simulated time.
+type Time = time.Duration
+
+// ErrHalted is returned by Run when the engine was stopped via Halt before
+// the event queue drained.
+var ErrHalted = errors.New("sim: engine halted")
+
+// Timer is a handle to a scheduled event. It can be used to cancel the event
+// before it fires.
+type Timer struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	canceled bool
+	fired    bool
+}
+
+// At reports the virtual time the timer is scheduled to fire.
+func (t *Timer) At() Time { return t.at }
+
+// Cancel prevents the timer from firing. Canceling an already-fired or
+// already-canceled timer is a no-op. Cancel reports whether the timer was
+// live (i.e., this call canceled it).
+func (t *Timer) Cancel() bool {
+	if t.fired || t.canceled {
+		return false
+	}
+	t.canceled = true
+	t.fn = nil // release closure for GC
+	return true
+}
+
+// Live reports whether the timer is still pending (not fired, not canceled).
+func (t *Timer) Live() bool { return !t.fired && !t.canceled }
+
+// Engine is a discrete-event simulator. The zero value is ready to use.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   timerHeap
+	halted  bool
+	stepped uint64
+}
+
+// New returns a fresh engine with the clock at zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Events returns the number of events fired so far.
+func (e *Engine) Events() uint64 { return e.stepped }
+
+// Pending returns the number of events currently scheduled.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at virtual time t. Scheduling in the past (t less
+// than Now) is an error: the event fires immediately at the current time
+// instead, preserving causality, and At reports this by clamping. To keep
+// call sites simple the clamp is silent; use Schedule for a checked variant.
+func (e *Engine) At(t Time, fn func()) *Timer {
+	if t < e.now {
+		t = e.now
+	}
+	tm := &Timer{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, tm)
+	return tm
+}
+
+// Schedule schedules fn to run at virtual time t and returns an error if t
+// is in the past.
+func (e *Engine) Schedule(t Time, fn func()) (*Timer, error) {
+	if t < e.now {
+		return nil, fmt.Errorf("sim: schedule at %v before now %v", t, e.now)
+	}
+	return e.At(t, fn), nil
+}
+
+// After schedules fn to run d after the current virtual time. Negative
+// delays are clamped to zero.
+func (e *Engine) After(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Halt stops the run loop after the currently executing event returns.
+func (e *Engine) Halt() { e.halted = true }
+
+// Step fires the next pending event, advancing the clock to its timestamp.
+// It reports whether an event fired (false when the queue is empty or only
+// canceled timers remain).
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		tm, ok := heap.Pop(&e.queue).(*Timer)
+		if !ok {
+			panic("sim: heap contained a non-timer element")
+		}
+		if tm.canceled {
+			continue
+		}
+		e.now = tm.at
+		tm.fired = true
+		fn := tm.fn
+		tm.fn = nil
+		e.stepped++
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue is empty or Halt is called. It returns
+// ErrHalted if halted, nil otherwise.
+func (e *Engine) Run() error {
+	e.halted = false
+	for !e.halted {
+		if !e.Step() {
+			return nil
+		}
+	}
+	return ErrHalted
+}
+
+// RunUntil fires events with timestamps at or before deadline, then advances
+// the clock to deadline (if the clock is behind it). Events scheduled after
+// deadline remain pending.
+func (e *Engine) RunUntil(deadline Time) error {
+	e.halted = false
+	for !e.halted {
+		tm := e.peek()
+		if tm == nil || tm.at > deadline {
+			if e.now < deadline {
+				e.now = deadline
+			}
+			return nil
+		}
+		e.Step()
+	}
+	return ErrHalted
+}
+
+// peek returns the next live timer without firing it, discarding canceled
+// timers it encounters on the way.
+func (e *Engine) peek() *Timer {
+	for len(e.queue) > 0 {
+		tm := e.queue[0]
+		if !tm.canceled {
+			return tm
+		}
+		heap.Pop(&e.queue)
+	}
+	return nil
+}
+
+// timerHeap orders timers by (at, seq).
+type timerHeap []*Timer
+
+func (h timerHeap) Len() int { return len(h) }
+
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h timerHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *timerHeap) Push(x any) {
+	tm, ok := x.(*Timer)
+	if !ok {
+		panic("sim: pushed a non-timer element")
+	}
+	*h = append(*h, tm)
+}
+
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	tm := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return tm
+}

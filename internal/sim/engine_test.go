@@ -1,0 +1,326 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineZeroValueReady(t *testing.T) {
+	var e Engine
+	fired := false
+	e.At(5*time.Second, func() { fired = true })
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !fired {
+		t.Error("event did not fire")
+	}
+	if got, want := e.Now(), 5*time.Second; got != want {
+		t.Errorf("Now() = %v, want %v", got, want)
+	}
+}
+
+func TestEngineFiresInTimestampOrder(t *testing.T) {
+	e := New()
+	var order []int
+	e.At(3*time.Second, func() { order = append(order, 3) })
+	e.At(1*time.Second, func() { order = append(order, 1) })
+	e.At(2*time.Second, func() { order = append(order, 2) })
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestEngineTiesFIFO(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(time.Second, func() { order = append(order, i) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		if order[i] != i {
+			t.Fatalf("ties not FIFO: order = %v", order)
+		}
+	}
+}
+
+func TestEngineAfterRelative(t *testing.T) {
+	e := New()
+	var at Time
+	e.At(10*time.Second, func() {
+		e.After(5*time.Second, func() { at = e.Now() })
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if want := 15 * time.Second; at != want {
+		t.Errorf("fired at %v, want %v", at, want)
+	}
+}
+
+func TestEngineNegativeAfterClamps(t *testing.T) {
+	e := New()
+	e.At(10*time.Second, func() {
+		tm := e.After(-time.Second, func() {})
+		if tm.At() != 10*time.Second {
+			t.Errorf("negative After scheduled at %v, want now", tm.At())
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestEnginePastAtClamps(t *testing.T) {
+	e := New()
+	var firedAt Time = -1
+	e.At(10*time.Second, func() {
+		e.At(3*time.Second, func() { firedAt = e.Now() })
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if firedAt != 10*time.Second {
+		t.Errorf("past-scheduled event fired at %v, want clamp to 10s", firedAt)
+	}
+}
+
+func TestEngineScheduleRejectsPast(t *testing.T) {
+	e := New()
+	e.At(10*time.Second, func() {
+		if _, err := e.Schedule(3*time.Second, func() {}); err == nil {
+			t.Error("Schedule in the past: want error, got nil")
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestTimerCancel(t *testing.T) {
+	e := New()
+	fired := false
+	tm := e.At(time.Second, func() { fired = true })
+	if !tm.Live() {
+		t.Error("timer should be live before firing")
+	}
+	if !tm.Cancel() {
+		t.Error("Cancel of a live timer should report true")
+	}
+	if tm.Cancel() {
+		t.Error("second Cancel should report false")
+	}
+	if tm.Live() {
+		t.Error("canceled timer should not be live")
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fired {
+		t.Error("canceled event fired")
+	}
+}
+
+func TestTimerCancelAfterFire(t *testing.T) {
+	e := New()
+	tm := e.At(time.Second, func() {})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if tm.Cancel() {
+		t.Error("Cancel after fire should report false")
+	}
+	if tm.Live() {
+		t.Error("fired timer should not be live")
+	}
+}
+
+func TestEngineHalt(t *testing.T) {
+	e := New()
+	count := 0
+	for i := 1; i <= 5; i++ {
+		e.At(time.Duration(i)*time.Second, func() {
+			count++
+			if count == 2 {
+				e.Halt()
+			}
+		})
+	}
+	if err := e.Run(); err != ErrHalted {
+		t.Fatalf("Run = %v, want ErrHalted", err)
+	}
+	if count != 2 {
+		t.Errorf("fired %d events before halt, want 2", count)
+	}
+	// Resume: remaining events still fire.
+	if err := e.Run(); err != nil {
+		t.Fatalf("resumed Run: %v", err)
+	}
+	if count != 5 {
+		t.Errorf("fired %d events total, want 5", count)
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := New()
+	var fired []Time
+	for i := 1; i <= 5; i++ {
+		d := time.Duration(i) * time.Second
+		e.At(d, func() { fired = append(fired, d) })
+	}
+	if err := e.RunUntil(3 * time.Second); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if len(fired) != 3 {
+		t.Errorf("fired %d events, want 3", len(fired))
+	}
+	if e.Now() != 3*time.Second {
+		t.Errorf("Now = %v, want 3s", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Errorf("Pending = %d, want 2", e.Pending())
+	}
+	// Advances the clock even past the last event.
+	if err := e.RunUntil(100 * time.Second); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if e.Now() != 100*time.Second {
+		t.Errorf("Now = %v, want 100s", e.Now())
+	}
+	if len(fired) != 5 {
+		t.Errorf("fired %d events, want 5", len(fired))
+	}
+}
+
+func TestEngineStepEmptyQueue(t *testing.T) {
+	e := New()
+	if e.Step() {
+		t.Error("Step on empty queue should report false")
+	}
+	tm := e.At(time.Second, func() {})
+	tm.Cancel()
+	if e.Step() {
+		t.Error("Step with only canceled timers should report false")
+	}
+}
+
+func TestEngineEventCounting(t *testing.T) {
+	e := New()
+	for i := 0; i < 7; i++ {
+		e.At(time.Duration(i)*time.Millisecond, func() {})
+	}
+	canceled := e.At(time.Second, func() {})
+	canceled.Cancel()
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if e.Events() != 7 {
+		t.Errorf("Events = %d, want 7 (canceled timers do not count)", e.Events())
+	}
+}
+
+func TestEngineCascade(t *testing.T) {
+	// Events scheduling further events, a chain of 1000.
+	e := New()
+	depth := 0
+	var step func()
+	step = func() {
+		depth++
+		if depth < 1000 {
+			e.After(time.Millisecond, step)
+		}
+	}
+	e.At(0, step)
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if depth != 1000 {
+		t.Errorf("cascade depth = %d, want 1000", depth)
+	}
+	if want := 999 * time.Millisecond; e.Now() != want {
+		t.Errorf("Now = %v, want %v", e.Now(), want)
+	}
+}
+
+// TestEngineRandomOrderProperty: regardless of insertion order, events fire
+// in nondecreasing timestamp order.
+func TestEngineRandomOrderProperty(t *testing.T) {
+	prop := func(seed int64, n uint8) bool {
+		count := int(n)%64 + 1
+		rng := rand.New(rand.NewSource(seed))
+		e := New()
+		var fired []Time
+		for i := 0; i < count; i++ {
+			d := time.Duration(rng.Intn(1000)) * time.Millisecond
+			e.At(d, func() { fired = append(fired, d) })
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		if len(fired) != count {
+			return false
+		}
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEngineDeterminism: the same schedule of events produces the same
+// trajectory, event for event.
+func TestEngineDeterminism(t *testing.T) {
+	run := func() []Time {
+		rng := rand.New(rand.NewSource(42))
+		e := New()
+		var fired []Time
+		var spawn func()
+		spawn = func() {
+			fired = append(fired, e.Now())
+			if len(fired) < 500 {
+				e.After(time.Duration(rng.Intn(100))*time.Millisecond, spawn)
+			}
+		}
+		e.At(0, spawn)
+		e.At(0, spawn)
+		if err := e.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return fired
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("different lengths: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("divergence at event %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func BenchmarkEngineScheduleAndRun(b *testing.B) {
+	b.ReportAllocs()
+	for n := 0; n < b.N; n++ {
+		e := New()
+		for i := 0; i < 1000; i++ {
+			e.At(time.Duration(i%97)*time.Millisecond, func() {})
+		}
+		if err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

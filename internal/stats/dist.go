@@ -1,0 +1,266 @@
+// Package stats provides the statistical substrate for the reproduction:
+// probability distributions with analytic CDFs and quantiles (most notably
+// the Pareto distribution the paper's workload model rests on), seeded and
+// forkable random-number streams, summary statistics, and order-statistic
+// helpers.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Distribution is a one-dimensional continuous probability distribution over
+// non-negative values (task durations, inter-arrival gaps, ...).
+type Distribution interface {
+	// Sample draws one value using the supplied source of randomness.
+	Sample(r *rand.Rand) float64
+	// Mean returns the expected value. It returns +Inf for distributions
+	// without a finite mean (e.g. Pareto with alpha <= 1).
+	Mean() float64
+	// String describes the distribution and its parameters.
+	String() string
+}
+
+// Quantiler is implemented by distributions with an analytic inverse CDF.
+type Quantiler interface {
+	// Quantile returns the value at probability p in [0, 1).
+	Quantile(p float64) float64
+}
+
+// CDFer is implemented by distributions with an analytic CDF.
+type CDFer interface {
+	// CDF returns P(X <= x).
+	CDF(x float64) float64
+}
+
+// Pareto is the Pareto (type I) distribution with shape Alpha and scale Xm
+// (the minimum value). Production task durations are well modeled by Pareto
+// with alpha in [1, 2] (Sec. IV-B of the paper); a smaller alpha means a
+// heavier tail.
+type Pareto struct {
+	Alpha float64 // shape; tail is heavier for smaller values; must be > 0
+	Xm    float64 // scale; the minimum value; must be > 0
+}
+
+// NewPareto returns a Pareto distribution, validating its parameters.
+func NewPareto(alpha, xm float64) (Pareto, error) {
+	if alpha <= 0 || math.IsNaN(alpha) || math.IsInf(alpha, 0) {
+		return Pareto{}, fmt.Errorf("stats: pareto alpha %v must be a positive finite number", alpha)
+	}
+	if xm <= 0 || math.IsNaN(xm) || math.IsInf(xm, 0) {
+		return Pareto{}, fmt.Errorf("stats: pareto scale %v must be a positive finite number", xm)
+	}
+	return Pareto{Alpha: alpha, Xm: xm}, nil
+}
+
+// ParetoWithMean returns the Pareto distribution with the given shape whose
+// mean equals mean. It requires alpha > 1 (otherwise the mean is infinite).
+func ParetoWithMean(alpha, mean float64) (Pareto, error) {
+	if alpha <= 1 {
+		return Pareto{}, fmt.Errorf("stats: pareto with alpha %v <= 1 has no finite mean", alpha)
+	}
+	if mean <= 0 || math.IsNaN(mean) || math.IsInf(mean, 0) {
+		return Pareto{}, fmt.Errorf("stats: mean %v must be a positive finite number", mean)
+	}
+	return Pareto{Alpha: alpha, Xm: mean * (alpha - 1) / alpha}, nil
+}
+
+// Sample draws via inverse-transform sampling.
+func (p Pareto) Sample(r *rand.Rand) float64 {
+	// 1-Float64() is in (0, 1], avoiding a division by zero.
+	u := 1 - r.Float64()
+	return p.Xm / math.Pow(u, 1/p.Alpha)
+}
+
+// CDF returns P(X <= x) = 1 - (xm/x)^alpha for x >= xm, 0 otherwise (Eq. 1).
+func (p Pareto) CDF(x float64) float64 {
+	if x < p.Xm {
+		return 0
+	}
+	return 1 - math.Pow(p.Xm/x, p.Alpha)
+}
+
+// PDF returns the density at x.
+func (p Pareto) PDF(x float64) float64 {
+	if x < p.Xm {
+		return 0
+	}
+	return p.Alpha * math.Pow(p.Xm, p.Alpha) / math.Pow(x, p.Alpha+1)
+}
+
+// Quantile returns the value at probability q in [0, 1).
+func (p Pareto) Quantile(q float64) float64 {
+	if q <= 0 {
+		return p.Xm
+	}
+	if q >= 1 {
+		return math.Inf(1)
+	}
+	return p.Xm / math.Pow(1-q, 1/p.Alpha)
+}
+
+// Mean returns alpha*xm/(alpha-1) for alpha > 1, +Inf otherwise.
+func (p Pareto) Mean() float64 {
+	if p.Alpha <= 1 {
+		return math.Inf(1)
+	}
+	return p.Alpha * p.Xm / (p.Alpha - 1)
+}
+
+func (p Pareto) String() string {
+	return fmt.Sprintf("Pareto(alpha=%g, xm=%g)", p.Alpha, p.Xm)
+}
+
+// Exponential is the exponential distribution with the given rate (1/mean).
+type Exponential struct {
+	Rate float64 // must be > 0
+}
+
+// Sample draws an exponential variate.
+func (e Exponential) Sample(r *rand.Rand) float64 { return r.ExpFloat64() / e.Rate }
+
+// CDF returns P(X <= x).
+func (e Exponential) CDF(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	return 1 - math.Exp(-e.Rate*x)
+}
+
+// Quantile returns the value at probability p in [0, 1).
+func (e Exponential) Quantile(p float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	return -math.Log(1-p) / e.Rate
+}
+
+// Mean returns 1/rate.
+func (e Exponential) Mean() float64 { return 1 / e.Rate }
+
+func (e Exponential) String() string { return fmt.Sprintf("Exp(rate=%g)", e.Rate) }
+
+// Uniform is the continuous uniform distribution on [Lo, Hi).
+type Uniform struct {
+	Lo, Hi float64
+}
+
+// Sample draws a uniform variate.
+func (u Uniform) Sample(r *rand.Rand) float64 { return u.Lo + r.Float64()*(u.Hi-u.Lo) }
+
+// CDF returns P(X <= x).
+func (u Uniform) CDF(x float64) float64 {
+	switch {
+	case x < u.Lo:
+		return 0
+	case x >= u.Hi:
+		return 1
+	default:
+		return (x - u.Lo) / (u.Hi - u.Lo)
+	}
+}
+
+// Quantile returns the value at probability p in [0, 1).
+func (u Uniform) Quantile(p float64) float64 { return u.Lo + p*(u.Hi-u.Lo) }
+
+// Mean returns the midpoint.
+func (u Uniform) Mean() float64 { return (u.Lo + u.Hi) / 2 }
+
+func (u Uniform) String() string { return fmt.Sprintf("Uniform[%g, %g)", u.Lo, u.Hi) }
+
+// LogNormal is the log-normal distribution: exp(N(Mu, Sigma^2)). It models
+// the mildly skewed task durations observed on real clusters with few
+// stragglers (the paper's EC2 deployment, Sec. VI-A).
+type LogNormal struct {
+	Mu    float64
+	Sigma float64 // must be >= 0
+}
+
+// LogNormalWithMean returns a log-normal with the given multiplicative
+// spread sigma whose mean equals mean.
+func LogNormalWithMean(sigma, mean float64) (LogNormal, error) {
+	if mean <= 0 || math.IsNaN(mean) || math.IsInf(mean, 0) {
+		return LogNormal{}, fmt.Errorf("stats: mean %v must be a positive finite number", mean)
+	}
+	if sigma < 0 {
+		return LogNormal{}, fmt.Errorf("stats: sigma %v must be non-negative", sigma)
+	}
+	return LogNormal{Mu: math.Log(mean) - sigma*sigma/2, Sigma: sigma}, nil
+}
+
+// Sample draws a log-normal variate.
+func (l LogNormal) Sample(r *rand.Rand) float64 {
+	return math.Exp(l.Mu + l.Sigma*r.NormFloat64())
+}
+
+// Mean returns exp(mu + sigma^2/2).
+func (l LogNormal) Mean() float64 { return math.Exp(l.Mu + l.Sigma*l.Sigma/2) }
+
+func (l LogNormal) String() string {
+	return fmt.Sprintf("LogNormal(mu=%g, sigma=%g)", l.Mu, l.Sigma)
+}
+
+// Deterministic is a point mass at Value. Useful in tests and for
+// locality-free baselines.
+type Deterministic struct {
+	Value float64
+}
+
+// Sample returns the constant value.
+func (d Deterministic) Sample(*rand.Rand) float64 { return d.Value }
+
+// CDF returns the step function at Value.
+func (d Deterministic) CDF(x float64) float64 {
+	if x < d.Value {
+		return 0
+	}
+	return 1
+}
+
+// Quantile returns the constant value.
+func (d Deterministic) Quantile(float64) float64 { return d.Value }
+
+// Mean returns the constant value.
+func (d Deterministic) Mean() float64 { return d.Value }
+
+func (d Deterministic) String() string { return fmt.Sprintf("Const(%g)", d.Value) }
+
+// Scaled wraps a distribution, multiplying every sample by Factor. It is
+// used, e.g., to prolong background task durations by 2x (Fig. 12b).
+type Scaled struct {
+	Dist   Distribution
+	Factor float64
+}
+
+// Sample draws from the underlying distribution and scales the result.
+func (s Scaled) Sample(r *rand.Rand) float64 { return s.Dist.Sample(r) * s.Factor }
+
+// Mean returns the scaled mean.
+func (s Scaled) Mean() float64 { return s.Dist.Mean() * s.Factor }
+
+func (s Scaled) String() string { return fmt.Sprintf("%v x %g", s.Dist, s.Factor) }
+
+// Compile-time interface checks.
+var (
+	_ Distribution = Pareto{}
+	_ Distribution = Exponential{}
+	_ Distribution = Uniform{}
+	_ Distribution = LogNormal{}
+	_ Distribution = Deterministic{}
+	_ Distribution = Scaled{}
+
+	_ Quantiler = Pareto{}
+	_ Quantiler = Exponential{}
+	_ Quantiler = Uniform{}
+	_ Quantiler = Deterministic{}
+
+	_ CDFer = Pareto{}
+	_ CDFer = Exponential{}
+	_ CDFer = Uniform{}
+	_ CDFer = Deterministic{}
+)

@@ -1,0 +1,242 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+const sampleCount = 200000
+
+func sampleMean(t *testing.T, d Distribution, n int) float64 {
+	t.Helper()
+	r := NewRNG(1)
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += d.Sample(r)
+	}
+	return sum / float64(n)
+}
+
+func TestNewParetoValidates(t *testing.T) {
+	tests := []struct {
+		name    string
+		alpha   float64
+		xm      float64
+		wantErr bool
+	}{
+		{name: "valid", alpha: 1.6, xm: 2, wantErr: false},
+		{name: "zero alpha", alpha: 0, xm: 2, wantErr: true},
+		{name: "negative alpha", alpha: -1, xm: 2, wantErr: true},
+		{name: "nan alpha", alpha: math.NaN(), xm: 2, wantErr: true},
+		{name: "inf alpha", alpha: math.Inf(1), xm: 2, wantErr: true},
+		{name: "zero scale", alpha: 2, xm: 0, wantErr: true},
+		{name: "negative scale", alpha: 2, xm: -3, wantErr: true},
+		{name: "nan scale", alpha: 2, xm: math.NaN(), wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewPareto(tt.alpha, tt.xm)
+			if gotErr := err != nil; gotErr != tt.wantErr {
+				t.Errorf("NewPareto(%v, %v) error = %v, wantErr %v", tt.alpha, tt.xm, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestParetoWithMean(t *testing.T) {
+	p, err := ParetoWithMean(1.6, 10)
+	if err != nil {
+		t.Fatalf("ParetoWithMean: %v", err)
+	}
+	if got := p.Mean(); math.Abs(got-10) > 1e-12 {
+		t.Errorf("Mean = %v, want 10", got)
+	}
+	if _, err := ParetoWithMean(1.0, 10); err == nil {
+		t.Error("alpha=1 should be rejected (infinite mean)")
+	}
+	if _, err := ParetoWithMean(2, -1); err == nil {
+		t.Error("negative mean should be rejected")
+	}
+}
+
+func TestParetoCDFQuantileRoundTrip(t *testing.T) {
+	p := Pareto{Alpha: 1.6, Xm: 2}
+	prop := func(u float64) bool {
+		q := math.Abs(u)
+		q -= math.Floor(q) // q in [0, 1)
+		x := p.Quantile(q)
+		return math.Abs(p.CDF(x)-q) < 1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParetoCDFBelowScaleIsZero(t *testing.T) {
+	p := Pareto{Alpha: 2, Xm: 5}
+	if got := p.CDF(4.99); got != 0 {
+		t.Errorf("CDF(4.99) = %v, want 0", got)
+	}
+	if got := p.CDF(5); got != 0 {
+		t.Errorf("CDF(xm) = %v, want 0", got)
+	}
+	if got := p.PDF(4); got != 0 {
+		t.Errorf("PDF below scale = %v, want 0", got)
+	}
+}
+
+func TestParetoSampleAboveScale(t *testing.T) {
+	p := Pareto{Alpha: 1.2, Xm: 3}
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		if x := p.Sample(r); x < p.Xm {
+			t.Fatalf("sample %v below scale %v", x, p.Xm)
+		}
+	}
+}
+
+func TestParetoSampleMeanMatches(t *testing.T) {
+	p := Pareto{Alpha: 3, Xm: 2} // light tail so the sample mean converges
+	want := p.Mean()
+	got := sampleMean(t, p, sampleCount)
+	if math.Abs(got-want)/want > 0.02 {
+		t.Errorf("sample mean %v, analytic %v", got, want)
+	}
+}
+
+func TestParetoInfiniteMean(t *testing.T) {
+	p := Pareto{Alpha: 1, Xm: 2}
+	if !math.IsInf(p.Mean(), 1) {
+		t.Errorf("Mean with alpha=1 = %v, want +Inf", p.Mean())
+	}
+}
+
+func TestParetoQuantileEdges(t *testing.T) {
+	p := Pareto{Alpha: 2, Xm: 3}
+	if got := p.Quantile(0); got != 3 {
+		t.Errorf("Quantile(0) = %v, want xm", got)
+	}
+	if got := p.Quantile(1); !math.IsInf(got, 1) {
+		t.Errorf("Quantile(1) = %v, want +Inf", got)
+	}
+}
+
+func TestParetoEmpiricalCDF(t *testing.T) {
+	p := Pareto{Alpha: 1.6, Xm: 1}
+	r := NewRNG(11)
+	// Empirical fraction under the median should approximate 0.5.
+	median := p.Quantile(0.5)
+	count := 0
+	for i := 0; i < sampleCount; i++ {
+		if p.Sample(r) <= median {
+			count++
+		}
+	}
+	frac := float64(count) / sampleCount
+	if math.Abs(frac-0.5) > 0.01 {
+		t.Errorf("fraction under median = %v, want ~0.5", frac)
+	}
+}
+
+func TestExponential(t *testing.T) {
+	e := Exponential{Rate: 0.5}
+	if got, want := e.Mean(), 2.0; got != want {
+		t.Errorf("Mean = %v, want %v", got, want)
+	}
+	got := sampleMean(t, e, sampleCount)
+	if math.Abs(got-2)/2 > 0.02 {
+		t.Errorf("sample mean %v, want ~2", got)
+	}
+	if e.CDF(-1) != 0 {
+		t.Error("CDF of negative should be 0")
+	}
+	if math.Abs(e.CDF(e.Quantile(0.7))-0.7) > 1e-9 {
+		t.Error("CDF/Quantile round trip failed")
+	}
+	if !math.IsInf(e.Quantile(1), 1) {
+		t.Error("Quantile(1) should be +Inf")
+	}
+}
+
+func TestUniform(t *testing.T) {
+	u := Uniform{Lo: 2, Hi: 6}
+	if got, want := u.Mean(), 4.0; got != want {
+		t.Errorf("Mean = %v, want %v", got, want)
+	}
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		x := u.Sample(r)
+		if x < 2 || x >= 6 {
+			t.Fatalf("sample %v out of [2, 6)", x)
+		}
+	}
+	if u.CDF(1) != 0 || u.CDF(7) != 1 {
+		t.Error("CDF tails wrong")
+	}
+	if got := u.CDF(4); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("CDF(4) = %v, want 0.5", got)
+	}
+	if got := u.Quantile(0.25); math.Abs(got-3) > 1e-12 {
+		t.Errorf("Quantile(0.25) = %v, want 3", got)
+	}
+}
+
+func TestLogNormalWithMean(t *testing.T) {
+	l, err := LogNormalWithMean(0.5, 10)
+	if err != nil {
+		t.Fatalf("LogNormalWithMean: %v", err)
+	}
+	if got := l.Mean(); math.Abs(got-10) > 1e-9 {
+		t.Errorf("analytic mean %v, want 10", got)
+	}
+	got := sampleMean(t, l, sampleCount)
+	if math.Abs(got-10)/10 > 0.02 {
+		t.Errorf("sample mean %v, want ~10", got)
+	}
+	if _, err := LogNormalWithMean(0.5, -1); err == nil {
+		t.Error("negative mean should be rejected")
+	}
+	if _, err := LogNormalWithMean(-0.1, 1); err == nil {
+		t.Error("negative sigma should be rejected")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	d := Deterministic{Value: 7}
+	r := NewRNG(1)
+	if d.Sample(r) != 7 || d.Mean() != 7 || d.Quantile(0.3) != 7 {
+		t.Error("deterministic distribution should always return its value")
+	}
+	if d.CDF(6.9) != 0 || d.CDF(7) != 1 {
+		t.Error("deterministic CDF should step at the value")
+	}
+}
+
+func TestScaled(t *testing.T) {
+	s := Scaled{Dist: Deterministic{Value: 3}, Factor: 2}
+	r := NewRNG(1)
+	if got := s.Sample(r); got != 6 {
+		t.Errorf("Sample = %v, want 6", got)
+	}
+	if got := s.Mean(); got != 6 {
+		t.Errorf("Mean = %v, want 6", got)
+	}
+}
+
+func TestDistributionStrings(t *testing.T) {
+	// Smoke-test that String is implemented and non-empty everywhere.
+	dists := []Distribution{
+		Pareto{Alpha: 1.6, Xm: 2},
+		Exponential{Rate: 1},
+		Uniform{Lo: 0, Hi: 1},
+		LogNormal{Mu: 0, Sigma: 1},
+		Deterministic{Value: 1},
+		Scaled{Dist: Deterministic{Value: 1}, Factor: 2},
+	}
+	for _, d := range dists {
+		if d.String() == "" {
+			t.Errorf("%T has empty String()", d)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package stats
+
+import (
+	"hash/fnv"
+	"math/rand"
+)
+
+// NewRNG returns a deterministic random source seeded with seed.
+func NewRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Stream derives an independent, reproducible random source from a root
+// seed and a string label. Two streams with different labels are
+// statistically independent for simulation purposes, and a stream's draws
+// never perturb its siblings — this is what keeps a job's task durations
+// identical between its "running alone" and "in contention" simulations.
+func Stream(rootSeed int64, label string) *rand.Rand {
+	h := fnv.New64a()
+	// The hash write never fails; FNV's Write always returns nil.
+	_, _ = h.Write([]byte(label))
+	return NewRNG(rootSeed ^ int64(h.Sum64()))
+}
+
+// SubStream derives an independent stream from a root seed, a label and an
+// index, for per-job or per-phase streams.
+func SubStream(rootSeed int64, label string, index int) *rand.Rand {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(label))
+	var buf [8]byte
+	v := uint64(index)
+	for i := range buf {
+		buf[i] = byte(v >> (8 * i))
+	}
+	_, _ = h.Write(buf[:])
+	return NewRNG(rootSeed ^ int64(h.Sum64()))
+}

@@ -1,0 +1,182 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 {
+		t.Errorf("N = %d, want 0", s.N)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{5})
+	if s.N != 1 || s.Mean != 5 || s.Min != 5 || s.Max != 5 || s.Median != 5 {
+		t.Errorf("unexpected summary %+v", s)
+	}
+	if s.Std != 0 {
+		t.Errorf("Std = %v, want 0 for single sample", s.Std)
+	}
+}
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.Mean != 3 {
+		t.Errorf("Mean = %v, want 3", s.Mean)
+	}
+	if s.Median != 3 {
+		t.Errorf("Median = %v, want 3", s.Median)
+	}
+	if s.Min != 1 || s.Max != 5 {
+		t.Errorf("Min/Max = %v/%v, want 1/5", s.Min, s.Max)
+	}
+	// Sample std of 1..5 is sqrt(2.5).
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Errorf("Std = %v, want sqrt(2.5)", s.Std)
+	}
+	if s.String() == "" {
+		t.Error("String should be non-empty")
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{p: 0, want: 10},
+		{p: 1, want: 40},
+		{p: 0.5, want: 25},
+		{p: 1.0 / 3.0, want: 20},
+		{p: -0.5, want: 10},
+		{p: 1.5, want: 40},
+	}
+	for _, tt := range tests {
+		if got := Percentile(sorted, tt.p); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if !math.IsNaN(Percentile(nil, 0.5)) {
+		t.Error("Percentile of empty sample should be NaN")
+	}
+	if got := Percentile([]float64{7}, 0.9); got != 7 {
+		t.Errorf("Percentile of singleton = %v, want 7", got)
+	}
+}
+
+func TestMeanEmptyNaN(t *testing.T) {
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean of empty sample should be NaN")
+	}
+}
+
+func TestMinMaxFloat(t *testing.T) {
+	xs := []float64{3, -1, 4, 1, 5}
+	if got := MaxFloat(xs); got != 5 {
+		t.Errorf("MaxFloat = %v, want 5", got)
+	}
+	if got := MinFloat(xs); got != -1 {
+		t.Errorf("MinFloat = %v, want -1", got)
+	}
+	if !math.IsNaN(MaxFloat(nil)) || !math.IsNaN(MinFloat(nil)) {
+		t.Error("Min/MaxFloat of empty sample should be NaN")
+	}
+}
+
+func TestOrderStatistics(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	got := OrderStatistics(xs)
+	if !sort.Float64sAreSorted(got) {
+		t.Errorf("not sorted: %v", got)
+	}
+	if xs[0] != 3 {
+		t.Error("input mutated")
+	}
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Errorf("got %v, want [1 2 3]", got)
+	}
+}
+
+// Property: mean lies within [min, max] and percentiles are monotone.
+func TestSummaryProperties(t *testing.T) {
+	prop := func(raw []float64) bool {
+		var xs []float64
+		for _, x := range raw {
+			// Keep magnitudes small enough that the sum cannot overflow.
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e100 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		if s.Mean < s.Min-1e-9 || s.Mean > s.Max+1e-9 {
+			return false
+		}
+		return s.Min <= s.Median && s.Median <= s.P90+1e-9 && s.P90 <= s.P99+1e-9 && s.P99 <= s.Max+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStreamIndependence(t *testing.T) {
+	a := Stream(42, "jobs")
+	b := Stream(42, "background")
+	// Streams with different labels should produce different sequences.
+	same := true
+	for i := 0; i < 10; i++ {
+		if a.Float64() != b.Float64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("streams with different labels produced identical sequences")
+	}
+}
+
+func TestStreamReproducible(t *testing.T) {
+	a := Stream(42, "jobs")
+	b := Stream(42, "jobs")
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("identical streams diverged")
+		}
+	}
+}
+
+func TestSubStreamDistinct(t *testing.T) {
+	a := SubStream(42, "job", 1)
+	b := SubStream(42, "job", 2)
+	same := true
+	for i := 0; i < 10; i++ {
+		if a.Float64() != b.Float64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("substreams with different indices produced identical sequences")
+	}
+	c := SubStream(42, "job", 1)
+	d := SubStream(42, "job", 1)
+	for i := 0; i < 50; i++ {
+		if c.Float64() != d.Float64() {
+			t.Fatal("identical substreams diverged")
+		}
+	}
+}

@@ -1,0 +1,238 @@
+// Package trace records per-attempt execution traces of a simulation run
+// and exports them as CSV or JSON, plus a plain-text Gantt rendering for
+// eyeballing schedules. Traces make simulator behavior auditable: every
+// task attempt — original or speculative copy, winner or killed — appears
+// with its slot, timing and locality.
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"ssr/internal/dag"
+)
+
+// Event is one task attempt's execution record.
+type Event struct {
+	Job     dag.JobID     `json:"job"`
+	JobName string        `json:"jobName"`
+	Phase   int           `json:"phase"`
+	Task    int           `json:"task"`
+	Slot    int           `json:"slot"`
+	Copy    bool          `json:"copy"`
+	Local   bool          `json:"local"`
+	Killed  bool          `json:"killed"`
+	Start   time.Duration `json:"startNs"`
+	End     time.Duration `json:"endNs"`
+}
+
+// Recorder accumulates events. The zero value is ready to use.
+type Recorder struct {
+	events []Event
+}
+
+// Append records one event.
+func (r *Recorder) Append(ev Event) { r.events = append(r.events, ev) }
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int { return len(r.events) }
+
+// Events returns the recorded events sorted by (start, job, phase, task).
+// The returned slice is a copy.
+func (r *Recorder) Events() []Event {
+	out := append([]Event(nil), r.events...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Job != b.Job {
+			return a.Job < b.Job
+		}
+		if a.Phase != b.Phase {
+			return a.Phase < b.Phase
+		}
+		return a.Task < b.Task
+	})
+	return out
+}
+
+// WriteCSV emits the trace with a header row. Times are in seconds.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"job", "jobName", "phase", "task", "slot", "copy", "local", "killed", "startSec", "endSec"}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	for _, ev := range r.Events() {
+		rec := []string{
+			strconv.FormatInt(int64(ev.Job), 10),
+			ev.JobName,
+			strconv.Itoa(ev.Phase),
+			strconv.Itoa(ev.Task),
+			strconv.Itoa(ev.Slot),
+			strconv.FormatBool(ev.Copy),
+			strconv.FormatBool(ev.Local),
+			strconv.FormatBool(ev.Killed),
+			strconv.FormatFloat(ev.Start.Seconds(), 'f', 6, 64),
+			strconv.FormatFloat(ev.End.Seconds(), 'f', 6, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("trace: write record: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("trace: flush: %w", err)
+	}
+	return nil
+}
+
+// WriteJSON emits the trace as a JSON array.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r.Events()); err != nil {
+		return fmt.Errorf("trace: encode: %w", err)
+	}
+	return nil
+}
+
+// GanttOptions configures the text rendering.
+type GanttOptions struct {
+	// Width is the number of character columns (default 80).
+	Width int
+	// Slots limits the rendering to slot IDs below this bound; 0 renders
+	// every slot that appears in the trace.
+	Slots int
+}
+
+// Gantt renders the trace as one text row per slot. Each attempt paints
+// its span with the last letter of the job name (uppercase when the
+// placement lost locality, '+' overwritten for killed attempts' spans is
+// avoided by painting killed attempts in lowercase '·' shading).
+func Gantt(events []Event, opts GanttOptions) string {
+	if len(events) == 0 {
+		return "(empty trace)\n"
+	}
+	width := opts.Width
+	if width <= 0 {
+		width = 80
+	}
+	var end time.Duration
+	maxSlot := 0
+	for _, ev := range events {
+		if ev.End > end {
+			end = ev.End
+		}
+		if ev.Slot > maxSlot {
+			maxSlot = ev.Slot
+		}
+	}
+	if opts.Slots > 0 && maxSlot >= opts.Slots {
+		maxSlot = opts.Slots - 1
+	}
+	if end <= 0 {
+		end = time.Second
+	}
+	rows := make([][]byte, maxSlot+1)
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(" ", width))
+	}
+	col := func(t time.Duration) int {
+		c := int(int64(t) * int64(width) / int64(end))
+		if c >= width {
+			c = width - 1
+		}
+		if c < 0 {
+			c = 0
+		}
+		return c
+	}
+	for _, ev := range events {
+		if ev.Slot < 0 || ev.Slot > maxSlot {
+			continue
+		}
+		mark := glyph(ev)
+		from, to := col(ev.Start), col(ev.End)
+		for c := from; c <= to; c++ {
+			rows[ev.Slot][c] = mark
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "time 0 .. %v, one row per slot\n", end.Round(time.Millisecond))
+	for i, row := range rows {
+		fmt.Fprintf(&b, "slot %3d |%s|\n", i, string(row))
+	}
+	return b.String()
+}
+
+// glyph picks the paint character for an event: the job name's trailing
+// letter, uppercased for remote (penalized) placements; killed attempts
+// render as '.'.
+func glyph(ev Event) byte {
+	if ev.Killed {
+		return '.'
+	}
+	name := ev.JobName
+	ch := byte('x')
+	for i := len(name) - 1; i >= 0; i-- {
+		c := name[i]
+		if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') {
+			ch = c
+			break
+		}
+	}
+	if !ev.Local {
+		if ch >= 'a' && ch <= 'z' {
+			ch = ch - 'a' + 'A'
+		}
+	}
+	return ch
+}
+
+// Summary aggregates a trace into per-job counters.
+type Summary struct {
+	Job      dag.JobID
+	JobName  string
+	Attempts int
+	Copies   int
+	Killed   int
+	Remote   int
+	Busy     time.Duration // total attempt runtime, including killed spans
+}
+
+// Summarize groups events by job, sorted by job ID.
+func Summarize(events []Event) []Summary {
+	byJob := make(map[dag.JobID]*Summary)
+	for _, ev := range events {
+		s := byJob[ev.Job]
+		if s == nil {
+			s = &Summary{Job: ev.Job, JobName: ev.JobName}
+			byJob[ev.Job] = s
+		}
+		s.Attempts++
+		if ev.Copy {
+			s.Copies++
+		}
+		if ev.Killed {
+			s.Killed++
+		}
+		if !ev.Local {
+			s.Remote++
+		}
+		s.Busy += ev.End - ev.Start
+	}
+	out := make([]Summary, 0, len(byJob))
+	for _, s := range byJob {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Job < out[j].Job })
+	return out
+}

@@ -1,0 +1,160 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sec(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
+
+func sample() []Event {
+	return []Event{
+		{Job: 2, JobName: "bg", Phase: 0, Task: 0, Slot: 1, Start: sec(1), End: sec(5)},
+		{Job: 1, JobName: "fg", Phase: 0, Task: 0, Slot: 0, Local: true, Start: sec(0), End: sec(2)},
+		{Job: 1, JobName: "fg", Phase: 1, Task: 0, Slot: 0, Local: true, Start: sec(2), End: sec(4)},
+		{Job: 1, JobName: "fg", Phase: 1, Task: 1, Slot: 2, Copy: true, Killed: true, Start: sec(2), End: sec(3)},
+	}
+}
+
+func recorderWith(events []Event) *Recorder {
+	var r Recorder
+	for _, ev := range events {
+		r.Append(ev)
+	}
+	return &r
+}
+
+func TestRecorderSortsEvents(t *testing.T) {
+	r := recorderWith(sample())
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+	got := r.Events()
+	if got[0].Job != 1 || got[0].Start != 0 {
+		t.Errorf("first event = %+v, want fg phase 0 at t=0", got[0])
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Start < got[i-1].Start {
+			t.Fatalf("events not sorted by start: %v", got)
+		}
+	}
+	// Returned slice is a copy.
+	got[0].Job = 99
+	if r.Events()[0].Job == 99 {
+		t.Error("Events should return a copy")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	r := recorderWith(sample())
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("parse CSV: %v", err)
+	}
+	if len(records) != 5 { // header + 4 events
+		t.Fatalf("records = %d, want 5", len(records))
+	}
+	if records[0][0] != "job" || records[0][9] != "endSec" {
+		t.Errorf("unexpected header: %v", records[0])
+	}
+	// First data row is the earliest event (fg task at t=0).
+	if records[1][1] != "fg" || records[1][8] != "0.000000" {
+		t.Errorf("unexpected first row: %v", records[1])
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	r := recorderWith(sample())
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var decoded []Event
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("parse JSON: %v", err)
+	}
+	if len(decoded) != 4 {
+		t.Fatalf("decoded %d events, want 4", len(decoded))
+	}
+	if decoded[0].JobName != "fg" {
+		t.Errorf("first decoded = %+v", decoded[0])
+	}
+}
+
+func TestGantt(t *testing.T) {
+	out := Gantt(sample(), GanttOptions{Width: 40})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header + slots 0..2
+		t.Fatalf("lines = %d, want 4:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "g") {
+		t.Errorf("slot 0 row should contain fg's glyph: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "G") { // bg is remote: uppercase
+		t.Errorf("slot 1 row should contain bg's uppercase glyph: %q", lines[2])
+	}
+	if !strings.Contains(lines[3], ".") {
+		t.Errorf("slot 2 row should render the killed attempt as '.': %q", lines[3])
+	}
+}
+
+func TestGanttRemoteUppercase(t *testing.T) {
+	events := []Event{
+		{Job: 1, JobName: "fg", Slot: 0, Local: false, Start: 0, End: sec(1)},
+	}
+	out := Gantt(events, GanttOptions{Width: 10})
+	if !strings.Contains(out, "G") {
+		t.Errorf("remote placement should render uppercase:\n%s", out)
+	}
+}
+
+func TestGanttEdgeCases(t *testing.T) {
+	if got := Gantt(nil, GanttOptions{}); !strings.Contains(got, "empty") {
+		t.Errorf("empty trace rendering = %q", got)
+	}
+	// Slot bound limits rows.
+	out := Gantt(sample(), GanttOptions{Width: 20, Slots: 1})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Errorf("bounded rendering has %d lines, want 2", len(lines))
+	}
+	// Zero-duration traces do not divide by zero.
+	_ = Gantt([]Event{{Job: 1, JobName: "x", Slot: 0}}, GanttOptions{Width: 10})
+}
+
+func TestGanttGlyphFallback(t *testing.T) {
+	events := []Event{{Job: 1, JobName: "---", Slot: 0, Local: true, Start: 0, End: sec(1)}}
+	out := Gantt(events, GanttOptions{Width: 10})
+	if !strings.Contains(out, "x") {
+		t.Errorf("glyph fallback should be 'x':\n%s", out)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	got := Summarize(sample())
+	if len(got) != 2 {
+		t.Fatalf("summaries = %d, want 2", len(got))
+	}
+	fg := got[0]
+	if fg.Job != 1 || fg.Attempts != 3 || fg.Copies != 1 || fg.Killed != 1 {
+		t.Errorf("fg summary = %+v", fg)
+	}
+	if fg.Busy != sec(5) { // 2 + 2 + 1
+		t.Errorf("fg busy = %v, want 5s", fg.Busy)
+	}
+	bg := got[1]
+	if bg.Job != 2 || bg.Attempts != 1 || bg.Remote != 1 {
+		t.Errorf("bg summary = %+v", bg)
+	}
+	if len(Summarize(nil)) != 0 {
+		t.Error("empty trace should summarize to nothing")
+	}
+}

@@ -1,0 +1,259 @@
+package workload
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"ssr/internal/dag"
+)
+
+// The workload trace format is one CSV row per phase:
+//
+//	job,name,priority,class,known,submit_sec,phase,deps,demand,durations_sec,copy_durations_sec
+//
+// where deps is a semicolon-separated list of upstream phase IDs,
+// durations_sec a semicolon-separated list of per-task durations in
+// seconds, copy_durations_sec an optional matching list for speculative
+// copies (empty means "same as durations"), class is "fg" or "bg", and
+// known is "true" when the scheduler may use the per-phase parallelism a
+// priori (Algorithm 1, Case 2). Rows of one job must share the job-level
+// columns; phases may appear in any order.
+
+var traceHeader = []string{
+	"job", "name", "priority", "class", "known", "submit_sec",
+	"phase", "deps", "demand", "durations_sec", "copy_durations_sec",
+}
+
+// FromCSV parses a workload trace into jobs, sorted by job ID.
+func FromCSV(r io.Reader) ([]*dag.Job, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(traceHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("workload: read trace header: %w", err)
+	}
+	for i, want := range traceHeader {
+		if strings.TrimSpace(header[i]) != want {
+			return nil, fmt.Errorf("workload: trace header column %d is %q, want %q", i, header[i], want)
+		}
+	}
+
+	type jobAcc struct {
+		name     string
+		priority dag.Priority
+		class    dag.Class
+		known    bool
+		submit   time.Duration
+		phases   map[int]dag.PhaseSpec
+	}
+	jobs := make(map[dag.JobID]*jobAcc)
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("workload: read trace: %w", err)
+		}
+		line++
+		jid, err := strconv.ParseInt(rec[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: job id %q: %w", line, rec[0], err)
+		}
+		prio, err := strconv.Atoi(rec[2])
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: priority %q: %w", line, rec[2], err)
+		}
+		class, err := parseClass(rec[3])
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: %w", line, err)
+		}
+		known, err := strconv.ParseBool(strings.TrimSpace(rec[4]))
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: known %q: %w", line, rec[4], err)
+		}
+		submitSec, err := strconv.ParseFloat(rec[5], 64)
+		if err != nil || submitSec < 0 {
+			return nil, fmt.Errorf("workload: line %d: submit_sec %q invalid", line, rec[5])
+		}
+		phase, err := strconv.Atoi(rec[6])
+		if err != nil || phase < 0 {
+			return nil, fmt.Errorf("workload: line %d: phase %q invalid", line, rec[6])
+		}
+		deps, err := parseIntList(rec[7])
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: deps: %w", line, err)
+		}
+		demand := 1
+		if strings.TrimSpace(rec[8]) != "" {
+			demand, err = strconv.Atoi(rec[8])
+			if err != nil {
+				return nil, fmt.Errorf("workload: line %d: demand %q: %w", line, rec[8], err)
+			}
+		}
+		durs, err := parseDurList(rec[9])
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: durations: %w", line, err)
+		}
+		var copies []time.Duration
+		if strings.TrimSpace(rec[10]) != "" {
+			copies, err = parseDurList(rec[10])
+			if err != nil {
+				return nil, fmt.Errorf("workload: line %d: copy durations: %w", line, err)
+			}
+		}
+
+		acc := jobs[dag.JobID(jid)]
+		if acc == nil {
+			acc = &jobAcc{
+				name:     rec[1],
+				priority: dag.Priority(prio),
+				class:    class,
+				known:    known,
+				submit:   time.Duration(submitSec * float64(time.Second)),
+				phases:   make(map[int]dag.PhaseSpec),
+			}
+			jobs[dag.JobID(jid)] = acc
+		}
+		if _, dup := acc.phases[phase]; dup {
+			return nil, fmt.Errorf("workload: line %d: duplicate phase %d for job %d", line, phase, jid)
+		}
+		acc.phases[phase] = dag.PhaseSpec{
+			Durations:     durs,
+			CopyDurations: copies,
+			Deps:          deps,
+			Demand:        demand,
+		}
+	}
+
+	ids := make([]dag.JobID, 0, len(jobs))
+	for id := range jobs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]*dag.Job, 0, len(ids))
+	for _, id := range ids {
+		acc := jobs[id]
+		specs := make([]dag.PhaseSpec, len(acc.phases))
+		for pi := range specs {
+			spec, ok := acc.phases[pi]
+			if !ok {
+				return nil, fmt.Errorf("workload: job %d is missing phase %d", id, pi)
+			}
+			specs[pi] = spec
+		}
+		opts := []dag.Option{dag.WithSubmit(acc.submit), dag.WithClass(acc.class)}
+		if acc.known {
+			opts = append(opts, dag.WithKnownParallelism())
+		}
+		job, err := dag.NewJob(id, acc.name, acc.priority, specs, opts...)
+		if err != nil {
+			return nil, fmt.Errorf("workload: job %d: %w", id, err)
+		}
+		out = append(out, job)
+	}
+	return out, nil
+}
+
+// WriteCSV emits jobs in the workload trace format, one row per phase.
+func WriteCSV(w io.Writer, jobs []*dag.Job) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(traceHeader); err != nil {
+		return fmt.Errorf("workload: write trace header: %w", err)
+	}
+	for _, j := range jobs {
+		class := "fg"
+		if j.Class == dag.Background {
+			class = "bg"
+		}
+		for _, p := range j.Phases() {
+			durs := make([]string, len(p.Tasks))
+			copies := make([]string, len(p.Tasks))
+			for i, task := range p.Tasks {
+				durs[i] = formatSec(task.Duration)
+				copies[i] = formatSec(task.CopyDuration)
+			}
+			deps := make([]string, len(p.Deps))
+			for i, dep := range p.Deps {
+				deps[i] = strconv.Itoa(dep)
+			}
+			rec := []string{
+				strconv.FormatInt(int64(j.ID), 10),
+				j.Name,
+				strconv.Itoa(int(j.Priority)),
+				class,
+				strconv.FormatBool(j.ParallelismKnown),
+				formatSec(j.Submit),
+				strconv.Itoa(p.ID),
+				strings.Join(deps, ";"),
+				strconv.Itoa(p.Demand),
+				strings.Join(durs, ";"),
+				strings.Join(copies, ";"),
+			}
+			if err := cw.Write(rec); err != nil {
+				return fmt.Errorf("workload: write trace row: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("workload: flush trace: %w", err)
+	}
+	return nil
+}
+
+func parseClass(s string) (dag.Class, error) {
+	switch strings.TrimSpace(strings.ToLower(s)) {
+	case "fg", "foreground":
+		return dag.Foreground, nil
+	case "bg", "background":
+		return dag.Background, nil
+	default:
+		return 0, fmt.Errorf("class %q must be fg or bg", s)
+	}
+}
+
+func parseIntList(s string) ([]int, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ";")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("entry %q: %w", p, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func parseDurList(s string) ([]time.Duration, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, errors.New("empty duration list")
+	}
+	parts := strings.Split(s, ";")
+	out := make([]time.Duration, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("entry %q: %w", p, err)
+		}
+		out[i] = time.Duration(v * float64(time.Second))
+	}
+	return out, nil
+}
+
+func formatSec(d time.Duration) string {
+	return strconv.FormatFloat(d.Seconds(), 'f', 9, 64)
+}

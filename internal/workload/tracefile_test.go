@@ -1,0 +1,181 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"ssr/internal/dag"
+	"ssr/internal/stats"
+)
+
+const sampleTrace = `job,name,priority,class,known,submit_sec,phase,deps,demand,durations_sec,copy_durations_sec
+1,query7,10,fg,true,30,0,,1,2.5;3.1;2.2,
+1,query7,10,fg,true,30,1,0,2,4.0;4.4,1.0;1.1
+2,batch-1,1,bg,false,5,0,,1,10;12;9,
+`
+
+func TestFromCSV(t *testing.T) {
+	jobs, err := FromCSV(strings.NewReader(sampleTrace))
+	if err != nil {
+		t.Fatalf("FromCSV: %v", err)
+	}
+	if len(jobs) != 2 {
+		t.Fatalf("jobs = %d, want 2", len(jobs))
+	}
+	q := jobs[0]
+	if q.ID != 1 || q.Name != "query7" || q.Priority != 10 {
+		t.Errorf("job attrs: %+v", q)
+	}
+	if !q.ParallelismKnown {
+		t.Error("known flag lost")
+	}
+	if q.Class != dag.Foreground {
+		t.Errorf("class = %v, want foreground", q.Class)
+	}
+	if q.Submit != 30*time.Second {
+		t.Errorf("submit = %v, want 30s", q.Submit)
+	}
+	if q.NumPhases() != 2 || q.Phase(0).Parallelism() != 3 || q.Phase(1).Parallelism() != 2 {
+		t.Errorf("phase structure wrong")
+	}
+	if q.Phase(1).Demand != 2 {
+		t.Errorf("demand = %d, want 2", q.Phase(1).Demand)
+	}
+	if got := q.Phase(1).Deps; len(got) != 1 || got[0] != 0 {
+		t.Errorf("deps = %v, want [0]", got)
+	}
+	if got := q.Phase(0).Tasks[1].Duration; got != 3100*time.Millisecond {
+		t.Errorf("duration = %v, want 3.1s", got)
+	}
+	// Copy durations: explicit in phase 1, defaulting in phase 0.
+	if got := q.Phase(1).Tasks[0].CopyDuration; got != time.Second {
+		t.Errorf("copy duration = %v, want 1s", got)
+	}
+	if got := q.Phase(0).Tasks[0].CopyDuration; got != 2500*time.Millisecond {
+		t.Errorf("default copy duration = %v, want 2.5s", got)
+	}
+	b := jobs[1]
+	if b.Class != dag.Background || b.ParallelismKnown {
+		t.Errorf("background job attrs wrong: %+v", b)
+	}
+}
+
+func TestFromCSVErrors(t *testing.T) {
+	tests := []struct {
+		name  string
+		trace string
+	}{
+		{name: "bad header", trace: "a,b,c\n"},
+		{
+			name: "bad job id",
+			trace: "job,name,priority,class,known,submit_sec,phase,deps,demand,durations_sec,copy_durations_sec\n" +
+				"x,j,1,fg,false,0,0,,1,1,\n",
+		},
+		{
+			name: "bad class",
+			trace: "job,name,priority,class,known,submit_sec,phase,deps,demand,durations_sec,copy_durations_sec\n" +
+				"1,j,1,purple,false,0,0,,1,1,\n",
+		},
+		{
+			name: "bad durations",
+			trace: "job,name,priority,class,known,submit_sec,phase,deps,demand,durations_sec,copy_durations_sec\n" +
+				"1,j,1,fg,false,0,0,,1,abc,\n",
+		},
+		{
+			name: "empty durations",
+			trace: "job,name,priority,class,known,submit_sec,phase,deps,demand,durations_sec,copy_durations_sec\n" +
+				"1,j,1,fg,false,0,0,,1,,\n",
+		},
+		{
+			name: "duplicate phase",
+			trace: "job,name,priority,class,known,submit_sec,phase,deps,demand,durations_sec,copy_durations_sec\n" +
+				"1,j,1,fg,false,0,0,,1,1,\n" +
+				"1,j,1,fg,false,0,0,,1,2,\n",
+		},
+		{
+			name: "missing phase",
+			trace: "job,name,priority,class,known,submit_sec,phase,deps,demand,durations_sec,copy_durations_sec\n" +
+				"1,j,1,fg,false,0,1,,1,1,\n",
+		},
+		{
+			name: "negative submit",
+			trace: "job,name,priority,class,known,submit_sec,phase,deps,demand,durations_sec,copy_durations_sec\n" +
+				"1,j,1,fg,false,-3,0,,1,1,\n",
+		},
+		{
+			name: "bad deps",
+			trace: "job,name,priority,class,known,submit_sec,phase,deps,demand,durations_sec,copy_durations_sec\n" +
+				"1,j,1,fg,false,0,0,z,1,1,\n",
+		},
+		{
+			name: "bad known",
+			trace: "job,name,priority,class,known,submit_sec,phase,deps,demand,durations_sec,copy_durations_sec\n" +
+				"1,j,1,fg,maybe,0,0,,1,1,\n",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := FromCSV(strings.NewReader(tt.trace)); err == nil {
+				t.Error("want parse error, got nil")
+			}
+		})
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	// Synthesize a mixed workload, write it, read it back, compare.
+	var orig []*dag.Job
+	ml, err := KMeans.Build(1, 10, 7*time.Second, stats.NewRNG(3))
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	orig = append(orig, ml)
+	bg, err := Background(BackgroundConfig{
+		Jobs: 5, Window: time.Minute, MeanTask: 10 * time.Second,
+		Alpha: 1.6, DurationScale: 1, MaxParallelism: 20,
+	}, 100, 1, stats.NewRNG(4))
+	if err != nil {
+		t.Fatalf("Background: %v", err)
+	}
+	orig = append(orig, bg...)
+
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, orig); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	parsed, err := FromCSV(&buf)
+	if err != nil {
+		t.Fatalf("FromCSV: %v", err)
+	}
+	if len(parsed) != len(orig) {
+		t.Fatalf("round trip lost jobs: %d vs %d", len(parsed), len(orig))
+	}
+	for i, want := range orig {
+		got := parsed[i]
+		if got.ID != want.ID || got.Name != want.Name || got.Priority != want.Priority ||
+			got.Class != want.Class || got.ParallelismKnown != want.ParallelismKnown {
+			t.Fatalf("job %d attrs differ: %+v vs %+v", i, got, want)
+		}
+		if got.Submit/time.Microsecond != want.Submit/time.Microsecond {
+			t.Fatalf("job %d submit %v vs %v", i, got.Submit, want.Submit)
+		}
+		if got.NumPhases() != want.NumPhases() {
+			t.Fatalf("job %d phases %d vs %d", i, got.NumPhases(), want.NumPhases())
+		}
+		for pi := 0; pi < want.NumPhases(); pi++ {
+			gp, wp := got.Phase(pi), want.Phase(pi)
+			if gp.Parallelism() != wp.Parallelism() || gp.Demand != wp.Demand {
+				t.Fatalf("job %d phase %d shape differs", i, pi)
+			}
+			for ti := range wp.Tasks {
+				// Durations survive to microsecond precision.
+				if gp.Tasks[ti].Duration/time.Microsecond != wp.Tasks[ti].Duration/time.Microsecond {
+					t.Fatalf("job %d phase %d task %d duration %v vs %v",
+						i, pi, ti, gp.Tasks[ti].Duration, wp.Tasks[ti].Duration)
+				}
+			}
+		}
+	}
+}

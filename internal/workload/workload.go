@@ -1,0 +1,317 @@
+// Package workload synthesizes the jobs the paper evaluates with:
+//
+//   - ML profiles modeled on the SparkBench applications (KMeans, SVM,
+//     PageRank): iterative multi-phase pipelines with a stable degree of
+//     parallelism and mildly skewed task durations.
+//   - SQL profiles modeled on the TPC-DS queries of the big-data benchmark
+//     traces: multi-phase plans whose degree of parallelism changes from
+//     phase to phase (the m != n cases of Algorithm 1).
+//   - Background batch jobs synthesized to match the Google cluster trace
+//     statistics the paper cites: heavy-tailed (Pareto) task durations and
+//     task counts dominated by small jobs, one or two phases, arrivals
+//     spread over a window.
+//
+// Every generator draws from an explicit random source, and jobs pre-draw
+// all task (and speculative-copy) durations, so a generated workload is a
+// pure function of its seed.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"ssr/internal/dag"
+	"ssr/internal/stats"
+)
+
+// MLSpec describes an iterative machine-learning application profile.
+type MLSpec struct {
+	// Name labels generated jobs ("kmeans-3").
+	Name string
+	// Phases is the number of pipelined phases (iterations compile to
+	// one or more phases each).
+	Phases int
+	// Parallelism is the stable per-phase task count.
+	Parallelism int
+	// MeanTask is the mean task duration.
+	MeanTask time.Duration
+	// Sigma is the log-normal spread of task durations; SparkBench
+	// tasks on EC2 show mild skew (roughly sigma 0.3-0.5) with few
+	// stragglers (Sec. VI-A).
+	Sigma float64
+}
+
+// The three SparkBench applications the paper uses as foreground jobs.
+// Phase counts and parallelism follow the paper's setups (degree of
+// parallelism 20 in the Fig. 5 microbenchmark); durations are chosen to
+// give the same order of job lengths as the cluster runs.
+var (
+	// KMeans is the clustering benchmark: one phase per Lloyd iteration.
+	KMeans = MLSpec{Name: "kmeans", Phases: 10, Parallelism: 20, MeanTask: 4 * time.Second, Sigma: 0.4}
+	// SVM is the gradient-descent classifier benchmark.
+	SVM = MLSpec{Name: "svm", Phases: 8, Parallelism: 20, MeanTask: 5 * time.Second, Sigma: 0.4}
+	// PageRank is the graph benchmark: one phase per rank iteration.
+	PageRank = MLSpec{Name: "pagerank", Phases: 12, Parallelism: 20, MeanTask: 3 * time.Second, Sigma: 0.4}
+)
+
+// MLSuite returns the three foreground application profiles.
+func MLSuite() []MLSpec { return []MLSpec{KMeans, SVM, PageRank} }
+
+// ScaleParallelism returns a copy of the spec with the degree of
+// parallelism multiplied by factor (the paper's 2x stress suite).
+func (s MLSpec) ScaleParallelism(factor int) MLSpec {
+	out := s
+	out.Parallelism *= factor
+	out.Name = fmt.Sprintf("%s-x%d", s.Name, factor)
+	return out
+}
+
+// Build synthesizes one job from the profile. Task and copy durations are
+// drawn from the supplied source.
+func (s MLSpec) Build(id dag.JobID, prio dag.Priority, submit time.Duration, rng *rand.Rand) (*dag.Job, error) {
+	if s.Phases <= 0 || s.Parallelism <= 0 {
+		return nil, fmt.Errorf("workload: ml spec %q needs positive phases and parallelism", s.Name)
+	}
+	dist, err := stats.LogNormalWithMean(s.Sigma, s.MeanTask.Seconds())
+	if err != nil {
+		return nil, fmt.Errorf("workload: ml spec %q: %w", s.Name, err)
+	}
+	specs := make([]dag.PhaseSpec, s.Phases)
+	for p := range specs {
+		specs[p] = drawPhase(s.Parallelism, dist, rng)
+	}
+	return dag.Chain(id, s.Name, prio, specs,
+		dag.WithSubmit(submit), dag.WithClass(dag.Foreground), dag.WithKnownParallelism())
+}
+
+// SQLSpec describes a TPC-DS-like query plan with per-phase parallelism.
+type SQLSpec struct {
+	// Name labels generated jobs ("q7").
+	Name string
+	// Parallelisms gives the task count of each pipelined phase.
+	Parallelisms []int
+	// MeanTask is the mean task duration.
+	MeanTask time.Duration
+	// Sigma is the log-normal spread of task durations.
+	Sigma float64
+}
+
+// SQLQueries returns the 20-query suite. The parallelism patterns mix
+// growing, shrinking and stable transitions, mirroring how TPC-DS plans
+// alternate scans (wide) with joins and aggregations (narrow); scale
+// multiplies every phase's parallelism.
+func SQLQueries(scale int) []SQLSpec {
+	if scale < 1 {
+		scale = 1
+	}
+	patterns := [][]int{
+		{8, 16, 4},
+		{16, 8, 8, 2},
+		{4, 12, 12, 6},
+		{20, 10, 5},
+		{6, 6, 18, 9},
+		{10, 20, 20, 4},
+		{12, 3, 12, 3},
+		{8, 8, 8},
+		{16, 4, 16, 8, 2},
+		{5, 15, 10},
+		{24, 12, 6, 3},
+		{6, 18, 6},
+		{10, 5, 20, 10},
+		{14, 14, 7},
+		{4, 8, 16, 8},
+		{18, 6, 12},
+		{8, 24, 8, 4},
+		{12, 12, 24, 6},
+		{20, 5, 10},
+		{9, 27, 9, 3},
+	}
+	out := make([]SQLSpec, len(patterns))
+	for i, pat := range patterns {
+		ps := make([]int, len(pat))
+		for j, p := range pat {
+			ps[j] = p * scale
+		}
+		out[i] = SQLSpec{
+			Name:         fmt.Sprintf("q%d", i+1),
+			Parallelisms: ps,
+			MeanTask:     2 * time.Second,
+			Sigma:        0.5,
+		}
+	}
+	return out
+}
+
+// Build synthesizes one query job. SQL queries are recurring in production
+// (Sec. III-B, Case 2), so the per-phase parallelism is known a priori.
+func (s SQLSpec) Build(id dag.JobID, prio dag.Priority, submit time.Duration, rng *rand.Rand) (*dag.Job, error) {
+	if len(s.Parallelisms) == 0 {
+		return nil, fmt.Errorf("workload: sql spec %q has no phases", s.Name)
+	}
+	dist, err := stats.LogNormalWithMean(s.Sigma, s.MeanTask.Seconds())
+	if err != nil {
+		return nil, fmt.Errorf("workload: sql spec %q: %w", s.Name, err)
+	}
+	specs := make([]dag.PhaseSpec, len(s.Parallelisms))
+	for p, m := range s.Parallelisms {
+		if m <= 0 {
+			return nil, fmt.Errorf("workload: sql spec %q phase %d has parallelism %d", s.Name, p, m)
+		}
+		specs[p] = drawPhase(m, dist, rng)
+	}
+	return dag.Chain(id, s.Name, prio, specs,
+		dag.WithSubmit(submit), dag.WithClass(dag.Foreground), dag.WithKnownParallelism())
+}
+
+// BackgroundConfig parameterizes the Google-trace-like batch synthesizer.
+type BackgroundConfig struct {
+	// Jobs is the number of background jobs to synthesize.
+	Jobs int
+	// Window spreads the submissions uniformly over [0, Window).
+	Window time.Duration
+	// MeanTask is the mean task duration before scaling. The paper's
+	// 50-node runs sample a one-hour Google-trace window with task
+	// runtimes scaled down 10x.
+	MeanTask time.Duration
+	// Alpha is the Pareto shape of task durations; production traces
+	// show alpha in [1, 2], typically 1.6.
+	Alpha float64
+	// DurationScale stretches every task duration (the paper's
+	// "prolonged background jobs, task runtime x2" setting uses 2).
+	DurationScale float64
+	// MaxParallelism caps a job's task count.
+	MaxParallelism int
+}
+
+// DefaultBackground mirrors the paper's 50-node setting: 100 jobs over a
+// (scaled) one-hour window.
+func DefaultBackground() BackgroundConfig {
+	return BackgroundConfig{
+		Jobs:           100,
+		Window:         6 * time.Minute, // one trace-hour scaled 10x down
+		MeanTask:       12 * time.Second,
+		Alpha:          1.6,
+		DurationScale:  1,
+		MaxParallelism: 40,
+	}
+}
+
+func (c BackgroundConfig) validate() error {
+	if c.Jobs < 0 {
+		return fmt.Errorf("workload: background jobs %d must be non-negative", c.Jobs)
+	}
+	if c.Jobs > 0 {
+		if c.Window <= 0 {
+			return fmt.Errorf("workload: background window %v must be positive", c.Window)
+		}
+		if c.Alpha <= 1 {
+			return fmt.Errorf("workload: background alpha %v must exceed 1", c.Alpha)
+		}
+		if c.MeanTask <= 0 {
+			return fmt.Errorf("workload: background mean task %v must be positive", c.MeanTask)
+		}
+		if c.DurationScale <= 0 {
+			return fmt.Errorf("workload: duration scale %v must be positive", c.DurationScale)
+		}
+		if c.MaxParallelism <= 0 {
+			return fmt.Errorf("workload: max parallelism %d must be positive", c.MaxParallelism)
+		}
+	}
+	return nil
+}
+
+// Background synthesizes cfg.Jobs low-priority batch jobs with IDs
+// startID, startID+1, ...
+//
+// Shape statistics follow the workload studies the paper cites: roughly
+// 90% of jobs are small (at most 10 tasks) while the rest grow up to
+// MaxParallelism; 70% are single-phase (map-only), the rest two-phase
+// (map+reduce with a smaller reduce side); durations are Pareto
+// distributed.
+func Background(cfg BackgroundConfig, startID dag.JobID, prio dag.Priority, rng *rand.Rand) ([]*dag.Job, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	dist, err := stats.ParetoWithMean(cfg.Alpha, cfg.MeanTask.Seconds()*cfg.DurationScale)
+	if err != nil {
+		return nil, err
+	}
+	jobs := make([]*dag.Job, 0, cfg.Jobs)
+	for i := 0; i < cfg.Jobs; i++ {
+		submit := time.Duration(rng.Int63n(int64(cfg.Window)))
+		tasks := 1 + rng.Intn(10)
+		if rng.Float64() > 0.9 && cfg.MaxParallelism > 10 {
+			tasks = 11 + rng.Intn(cfg.MaxParallelism-10)
+		}
+		var specs []dag.PhaseSpec
+		if rng.Float64() < 0.7 {
+			specs = []dag.PhaseSpec{drawPhase(tasks, dist, rng)}
+		} else {
+			reduce := tasks / 2
+			if reduce < 1 {
+				reduce = 1
+			}
+			specs = []dag.PhaseSpec{
+				drawPhase(tasks, dist, rng),
+				drawPhase(reduce, dist, rng),
+			}
+		}
+		name := fmt.Sprintf("bg-%d", i)
+		job, err := dag.Chain(startID+dag.JobID(i), name, prio, specs,
+			dag.WithSubmit(submit), dag.WithClass(dag.Background))
+		if err != nil {
+			return nil, fmt.Errorf("workload: background job %d: %w", i, err)
+		}
+		jobs = append(jobs, job)
+	}
+	return jobs, nil
+}
+
+// ParetoReshape rebuilds a job with every phase's task durations redrawn
+// from a Pareto distribution with the given shape and the same per-phase
+// mean as the original (the Fig. 17 methodology). Copy durations are
+// redrawn from the same distribution.
+func ParetoReshape(job *dag.Job, alpha float64, rng *rand.Rand) (*dag.Job, error) {
+	specs := make([]dag.PhaseSpec, job.NumPhases())
+	for _, ph := range job.Phases() {
+		var mean float64
+		for _, task := range ph.Tasks {
+			mean += task.Duration.Seconds()
+		}
+		mean /= float64(len(ph.Tasks))
+		dist, err := stats.ParetoWithMean(alpha, mean)
+		if err != nil {
+			return nil, fmt.Errorf("workload: reshape %q phase %d: %w", job.Name, ph.ID, err)
+		}
+		spec := drawPhase(len(ph.Tasks), dist, rng)
+		spec.Deps = append([]int(nil), ph.Deps...)
+		specs[ph.ID] = spec
+	}
+	opts := []dag.Option{dag.WithSubmit(job.Submit), dag.WithClass(job.Class)}
+	if job.ParallelismKnown {
+		opts = append(opts, dag.WithKnownParallelism())
+	}
+	return dag.NewJob(job.ID, job.Name, job.Priority, specs, opts...)
+}
+
+// drawPhase samples primary and copy durations for one phase.
+func drawPhase(tasks int, dist stats.Distribution, rng *rand.Rand) dag.PhaseSpec {
+	ds := make([]time.Duration, tasks)
+	cs := make([]time.Duration, tasks)
+	for i := range ds {
+		ds[i] = secondsToDuration(dist.Sample(rng))
+		cs[i] = secondsToDuration(dist.Sample(rng))
+	}
+	return dag.PhaseSpec{Durations: ds, CopyDurations: cs}
+}
+
+// secondsToDuration converts seconds to a duration, clamping to at least
+// one millisecond so generated tasks are always valid.
+func secondsToDuration(s float64) time.Duration {
+	d := time.Duration(s * float64(time.Second))
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
+}

@@ -1,0 +1,335 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"ssr/internal/dag"
+	"ssr/internal/stats"
+)
+
+func TestMLSuitePresets(t *testing.T) {
+	suite := MLSuite()
+	if len(suite) != 3 {
+		t.Fatalf("suite size = %d, want 3", len(suite))
+	}
+	names := map[string]bool{}
+	for _, s := range suite {
+		names[s.Name] = true
+		if s.Phases < 2 {
+			t.Errorf("%s: %d phases, want multi-phase", s.Name, s.Phases)
+		}
+		if s.Parallelism != 20 {
+			t.Errorf("%s: parallelism %d, want 20 (paper's Fig. 5 setting)", s.Name, s.Parallelism)
+		}
+	}
+	for _, want := range []string{"kmeans", "svm", "pagerank"} {
+		if !names[want] {
+			t.Errorf("missing %s from suite", want)
+		}
+	}
+}
+
+func TestMLBuild(t *testing.T) {
+	rng := stats.NewRNG(1)
+	j, err := KMeans.Build(7, 10, 5*time.Second, rng)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if j.ID != 7 || j.Priority != 10 || j.Submit != 5*time.Second {
+		t.Errorf("job attrs wrong: %+v", j)
+	}
+	if j.NumPhases() != KMeans.Phases {
+		t.Errorf("phases = %d, want %d", j.NumPhases(), KMeans.Phases)
+	}
+	if !j.ParallelismKnown {
+		t.Error("ML jobs should have known parallelism (stable across phases)")
+	}
+	if j.Class != dag.Foreground {
+		t.Errorf("class = %v, want foreground", j.Class)
+	}
+	for _, p := range j.Phases() {
+		if p.Parallelism() != KMeans.Parallelism {
+			t.Fatalf("phase %d parallelism = %d, want %d", p.ID, p.Parallelism(), KMeans.Parallelism)
+		}
+	}
+	// Chain topology.
+	for pid := 1; pid < j.NumPhases(); pid++ {
+		deps := j.Phase(pid).Deps
+		if len(deps) != 1 || deps[0] != pid-1 {
+			t.Fatalf("phase %d deps = %v, want [%d]", pid, deps, pid-1)
+		}
+	}
+	// Mean duration roughly matches the spec.
+	var sum float64
+	n := 0
+	for _, p := range j.Phases() {
+		for _, task := range p.Tasks {
+			sum += task.Duration.Seconds()
+			n++
+		}
+	}
+	mean := sum / float64(n)
+	want := KMeans.MeanTask.Seconds()
+	if math.Abs(mean-want)/want > 0.3 {
+		t.Errorf("mean task duration %vs, want ~%vs", mean, want)
+	}
+}
+
+func TestMLBuildValidation(t *testing.T) {
+	rng := stats.NewRNG(1)
+	bad := MLSpec{Name: "bad", Phases: 0, Parallelism: 4, MeanTask: time.Second}
+	if _, err := bad.Build(1, 1, 0, rng); err == nil {
+		t.Error("zero phases should error")
+	}
+	bad2 := MLSpec{Name: "bad2", Phases: 2, Parallelism: 2, MeanTask: -time.Second, Sigma: 0.4}
+	if _, err := bad2.Build(1, 1, 0, rng); err == nil {
+		t.Error("negative mean should error")
+	}
+}
+
+func TestMLBuildDeterministic(t *testing.T) {
+	a, err := SVM.Build(1, 5, 0, stats.NewRNG(42))
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	b, err := SVM.Build(1, 5, 0, stats.NewRNG(42))
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	for pid := 0; pid < a.NumPhases(); pid++ {
+		pa, pb := a.Phase(pid), b.Phase(pid)
+		for i := range pa.Tasks {
+			if pa.Tasks[i].Duration != pb.Tasks[i].Duration ||
+				pa.Tasks[i].CopyDuration != pb.Tasks[i].CopyDuration {
+				t.Fatal("same seed should give identical jobs")
+			}
+		}
+	}
+}
+
+func TestScaleParallelism(t *testing.T) {
+	s := KMeans.ScaleParallelism(2)
+	if s.Parallelism != 40 {
+		t.Errorf("parallelism = %d, want 40", s.Parallelism)
+	}
+	if s.Name == KMeans.Name {
+		t.Error("scaled spec should carry a distinct name")
+	}
+	if KMeans.Parallelism != 20 {
+		t.Error("original spec must not be mutated")
+	}
+}
+
+func TestSQLQueries(t *testing.T) {
+	qs := SQLQueries(1)
+	if len(qs) != 20 {
+		t.Fatalf("queries = %d, want 20 (TPC-DS suite size in the traces)", len(qs))
+	}
+	growing, shrinking := false, false
+	for _, q := range qs {
+		if len(q.Parallelisms) < 3 {
+			t.Errorf("%s: %d phases, want >= 3", q.Name, len(q.Parallelisms))
+		}
+		for i := 1; i < len(q.Parallelisms); i++ {
+			if q.Parallelisms[i] > q.Parallelisms[i-1] {
+				growing = true
+			}
+			if q.Parallelisms[i] < q.Parallelisms[i-1] {
+				shrinking = true
+			}
+		}
+	}
+	if !growing || !shrinking {
+		t.Error("suite should contain both growing and shrinking transitions")
+	}
+	// Scaling multiplies parallelism.
+	scaled := SQLQueries(3)
+	if scaled[0].Parallelisms[0] != qs[0].Parallelisms[0]*3 {
+		t.Error("scale not applied")
+	}
+	// Degenerate scale clamps to 1.
+	clamped := SQLQueries(0)
+	if clamped[0].Parallelisms[0] != qs[0].Parallelisms[0] {
+		t.Error("scale < 1 should clamp")
+	}
+}
+
+func TestSQLBuild(t *testing.T) {
+	rng := stats.NewRNG(2)
+	q := SQLQueries(1)[8] // {16, 4, 16, 8, 2}
+	j, err := q.Build(3, 8, 0, rng)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if !j.ParallelismKnown {
+		t.Error("SQL jobs are recurring; parallelism should be known")
+	}
+	for i, want := range q.Parallelisms {
+		if got := j.Phase(i).Parallelism(); got != want {
+			t.Errorf("phase %d parallelism = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestSQLBuildValidation(t *testing.T) {
+	rng := stats.NewRNG(1)
+	bad := SQLSpec{Name: "bad"}
+	if _, err := bad.Build(1, 1, 0, rng); err == nil {
+		t.Error("no phases should error")
+	}
+	bad2 := SQLSpec{Name: "bad2", Parallelisms: []int{4, 0}, MeanTask: time.Second, Sigma: 0.4}
+	if _, err := bad2.Build(1, 1, 0, rng); err == nil {
+		t.Error("zero parallelism should error")
+	}
+}
+
+func TestBackgroundSynthesis(t *testing.T) {
+	cfg := DefaultBackground()
+	rng := stats.NewRNG(3)
+	jobs, err := Background(cfg, 100, 1, rng)
+	if err != nil {
+		t.Fatalf("Background: %v", err)
+	}
+	if len(jobs) != cfg.Jobs {
+		t.Fatalf("jobs = %d, want %d", len(jobs), cfg.Jobs)
+	}
+	singlePhase, small := 0, 0
+	for i, j := range jobs {
+		if j.ID != dag.JobID(100+i) {
+			t.Fatalf("job %d has ID %d, want sequential from 100", i, j.ID)
+		}
+		if j.Priority != 1 {
+			t.Errorf("priority = %d, want 1", j.Priority)
+		}
+		if j.Class != dag.Background {
+			t.Errorf("class = %v, want background", j.Class)
+		}
+		if j.Submit < 0 || j.Submit >= cfg.Window {
+			t.Errorf("submit %v outside window", j.Submit)
+		}
+		if j.NumPhases() == 1 {
+			singlePhase++
+		}
+		if j.Phase(0).Parallelism() <= 10 {
+			small++
+		}
+		if j.NumPhases() == 2 &&
+			j.Phase(1).Parallelism() > j.Phase(0).Parallelism() {
+			t.Errorf("reduce side larger than map side in job %d", i)
+		}
+	}
+	// ~70% single-phase, ~90% small; allow generous slack at n=100.
+	if singlePhase < 55 || singlePhase > 85 {
+		t.Errorf("single-phase jobs = %d, want ~70", singlePhase)
+	}
+	if small < 80 {
+		t.Errorf("small jobs = %d, want ~90", small)
+	}
+}
+
+func TestBackgroundDurationScale(t *testing.T) {
+	cfg := DefaultBackground()
+	cfg.Jobs = 50
+	base, err := Background(cfg, 0, 1, stats.NewRNG(7))
+	if err != nil {
+		t.Fatalf("Background: %v", err)
+	}
+	cfg.DurationScale = 2
+	scaled, err := Background(cfg, 0, 1, stats.NewRNG(7))
+	if err != nil {
+		t.Fatalf("Background: %v", err)
+	}
+	var sumBase, sumScaled time.Duration
+	for i := range base {
+		sumBase += base[i].SerialWork()
+		sumScaled += scaled[i].SerialWork()
+	}
+	ratio := float64(sumScaled) / float64(sumBase)
+	if math.Abs(ratio-2) > 0.01 {
+		t.Errorf("scaled/base work ratio = %v, want 2", ratio)
+	}
+}
+
+func TestBackgroundValidation(t *testing.T) {
+	rng := stats.NewRNG(1)
+	bad := DefaultBackground()
+	bad.Jobs = -1
+	if _, err := Background(bad, 0, 1, rng); err == nil {
+		t.Error("negative jobs should error")
+	}
+	bad = DefaultBackground()
+	bad.Alpha = 1.0
+	if _, err := Background(bad, 0, 1, rng); err == nil {
+		t.Error("alpha <= 1 should error")
+	}
+	bad = DefaultBackground()
+	bad.Window = 0
+	if _, err := Background(bad, 0, 1, rng); err == nil {
+		t.Error("zero window should error")
+	}
+	bad = DefaultBackground()
+	bad.MaxParallelism = 0
+	if _, err := Background(bad, 0, 1, rng); err == nil {
+		t.Error("zero max parallelism should error")
+	}
+	empty := DefaultBackground()
+	empty.Jobs = 0
+	jobs, err := Background(empty, 0, 1, rng)
+	if err != nil || len(jobs) != 0 {
+		t.Errorf("zero jobs should succeed with an empty slice, got %v/%v", jobs, err)
+	}
+}
+
+func TestParetoReshapePreservesStructureAndMean(t *testing.T) {
+	orig, err := KMeans.Build(5, 10, 3*time.Second, stats.NewRNG(11))
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	reshaped, err := ParetoReshape(orig, 1.6, stats.NewRNG(12))
+	if err != nil {
+		t.Fatalf("ParetoReshape: %v", err)
+	}
+	if reshaped.ID != orig.ID || reshaped.Name != orig.Name ||
+		reshaped.Priority != orig.Priority || reshaped.Submit != orig.Submit {
+		t.Error("reshape should preserve identity attributes")
+	}
+	if reshaped.NumPhases() != orig.NumPhases() {
+		t.Fatal("phase count changed")
+	}
+	if !reshaped.ParallelismKnown {
+		t.Error("ParallelismKnown should carry over")
+	}
+	// Per-phase means should match in expectation. Check the overall
+	// mean within sampling tolerance (Pareto 1.6 is high variance, so
+	// compare totals across the whole job loosely).
+	ratio := float64(reshaped.SerialWork()) / float64(orig.SerialWork())
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Errorf("reshaped total work ratio = %v, want within [0.5, 2]", ratio)
+	}
+	for pid := 0; pid < orig.NumPhases(); pid++ {
+		if reshaped.Phase(pid).Parallelism() != orig.Phase(pid).Parallelism() {
+			t.Fatalf("phase %d parallelism changed", pid)
+		}
+	}
+}
+
+func TestParetoReshapeInvalidAlpha(t *testing.T) {
+	orig, err := KMeans.Build(5, 10, 0, stats.NewRNG(11))
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if _, err := ParetoReshape(orig, 1.0, stats.NewRNG(1)); err == nil {
+		t.Error("alpha <= 1 should error")
+	}
+}
+
+func TestSecondsToDurationClamp(t *testing.T) {
+	if got := secondsToDuration(0); got != time.Millisecond {
+		t.Errorf("clamp = %v, want 1ms", got)
+	}
+	if got := secondsToDuration(2.5); got != 2500*time.Millisecond {
+		t.Errorf("convert = %v, want 2.5s", got)
+	}
+}
