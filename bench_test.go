@@ -489,6 +489,20 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.ReportMetric(float64(events)/float64(b.N), "events/run")
 }
 
+func BenchmarkFaultTolerance(b *testing.B) {
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.FaultTolerance(quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Headline: baseline-minus-SSR slowdown gap at the harshest MTTF.
+		n := len(res.Rows)
+		gap = res.Rows[n-2].Slowdown - res.Rows[n-1].Slowdown
+	}
+	b.ReportMetric(gap, "none-minus-ssr-worst-mttf")
+}
+
 func BenchmarkMitigationComparison(b *testing.B) {
 	var gapVsSpec float64
 	for i := 0; i < b.N; i++ {

@@ -7,7 +7,7 @@
 //
 // With no figure arguments it runs the complete set. Figure names: fig1,
 // fig4, fig5, fig6, fig8, fig10, fig12, fig13, fig14, fig15, fig16, fig17,
-// bgimpact, mitcompare.
+// bgimpact, mitcompare, faulttolerance.
 package main
 
 import (
@@ -97,6 +97,9 @@ func run(args []string) error {
 		}},
 		{name: "mitcompare", desc: "reserved-slot mitigation vs status-quo speculation", run: func() (fmt.Stringer, error) {
 			return experiments.MitigationComparison(params)
+		}},
+		{name: "faulttolerance", desc: "fg slowdown vs node MTTF with and without SSR", run: func() (fmt.Stringer, error) {
+			return experiments.FaultTolerance(params)
 		}},
 	}
 	byName := make(map[string]exp, len(all))

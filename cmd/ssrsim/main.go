@@ -18,6 +18,7 @@ import (
 	"ssr/internal/core"
 	"ssr/internal/dag"
 	"ssr/internal/driver"
+	"ssr/internal/faults"
 	"ssr/internal/sim"
 	"ssr/internal/stats"
 	"ssr/internal/trace"
@@ -49,6 +50,8 @@ func run(args []string) error {
 		bgScale   = fs.Float64("bgscale", 1.0, "background task duration scale")
 		locFactor = fs.Float64("locality", 5.0, "locality miss penalty factor")
 		locWait   = fs.Duration("wait", 3*time.Second, "locality wait")
+		mttf      = fs.Duration("mttf", 0, "per-node mean time to failure (0 disables fault injection)")
+		repair    = fs.Duration("repair", 30*time.Second, "node repair time after a crash (0 = permanent)")
 		seed      = fs.Int64("seed", 42, "random seed")
 		verbose   = fs.Bool("v", false, "print every job, not only the foreground")
 		traceOut  = fs.String("trace", "", "write a per-attempt trace to this file (.csv or .json)")
@@ -63,6 +66,11 @@ func run(args []string) error {
 	opts := driver.Options{
 		LocalityWait:   *locWait,
 		LocalityFactor: *locFactor,
+	}
+	if *mttf > 0 {
+		// Survive transient crashes rather than abort: the sweep's
+		// interest is the isolation under churn, not job failures.
+		opts.Retry = driver.RetryPolicy{MaxAttempts: 10}
 	}
 	var rec *trace.Recorder
 	if *traceOut != "" || *gantt {
@@ -167,6 +175,9 @@ func run(args []string) error {
 			return err
 		}
 	}
+	if *mttf > 0 {
+		faults.Poisson{MTTF: *mttf, Repair: *repair, Seed: *seed}.Install(d)
+	}
 	start := time.Now()
 	if err := d.Run(); err != nil {
 		return err
@@ -178,6 +189,9 @@ func run(args []string) error {
 	fmt.Printf("cluster utilization over makespan: %.1f%%, reserved-idle: %.2f%%\n",
 		100*d.Usage().Utilization(d.Makespan()),
 		100*d.Usage().ReservedFraction(d.Makespan()))
+	if fc := d.Faults(); fc.Any() {
+		fmt.Println(fc)
+	}
 
 	for _, j := range fg {
 		st, _ := d.Result(j.ID)

@@ -3,7 +3,7 @@
 // manipulates, and the data-locality registry recording which slots hold
 // which phase outputs.
 //
-// A slot is in one of three states:
+// A slot is in one of four states:
 //
 //   - Free: idle and unreserved — any task may take it (work conservation).
 //   - Reserved: idle but held for a job at that job's priority; only tasks
@@ -12,6 +12,9 @@
 //   - Busy: running a task attempt. Busy slots carry no reservation: the
 //     reservation is consumed when the reserving job's task starts, and
 //     Algorithm 1 decides afresh when the task completes.
+//   - Failed: the hosting node is down. Failed slots accept no tasks and
+//     hold no reservations (failing voids them); RecoverNode returns them
+//     to Free.
 //
 // The package holds no scheduling policy; it only enforces state-machine
 // invariants and provides deterministic, efficient slot lookup.
@@ -38,6 +41,8 @@ const (
 	Reserved
 	// Busy means running a task attempt.
 	Busy
+	// Failed means the hosting node is down.
+	Failed
 )
 
 func (s SlotState) String() string {
@@ -48,6 +53,8 @@ func (s SlotState) String() string {
 		return "reserved"
 	case Busy:
 		return "busy"
+	case Failed:
+		return "failed"
 	default:
 		return fmt.Sprintf("SlotState(%d)", int(s))
 	}
@@ -434,6 +441,64 @@ func (c *Cluster) TotalReserved() int {
 		n += len(jr.slots)
 	}
 	return n
+}
+
+// NodeSlots returns the IDs of the slots hosted by node, or nil when the
+// node is out of range. Slot IDs are contiguous per node.
+func (c *Cluster) NodeSlots(node int) []SlotID {
+	if node < 0 || node >= c.nodes {
+		return nil
+	}
+	out := make([]SlotID, c.perNode)
+	for i := range out {
+		out[i] = SlotID(node*c.perNode + i)
+	}
+	return out
+}
+
+// FailNode marks every slot of node as Failed. Busy slots are returned so
+// the scheduler can kill the attempts running on them; reservations held on
+// the node are voided and returned so the scheduler can re-derive them on
+// surviving slots. Slots already failed are skipped, so failing a dead node
+// twice is a no-op. Free slots may linger in the free heaps; the acquire
+// paths skip any entry whose slot is no longer Free.
+func (c *Cluster) FailNode(node int) (busy []SlotID, voided []Reservation, err error) {
+	if node < 0 || node >= c.nodes {
+		return nil, nil, fmt.Errorf("cluster: fail of unknown node %d", node)
+	}
+	for i := node * c.perNode; i < (node+1)*c.perNode; i++ {
+		s := c.slots[i]
+		switch s.state {
+		case Failed:
+			continue
+		case Busy:
+			busy = append(busy, s.ID)
+		case Reserved:
+			voided = append(voided, s.res)
+			c.consumeReservation(s)
+		}
+		c.transition(s, Failed)
+	}
+	return busy, voided, nil
+}
+
+// RecoverNode returns every Failed slot of node to the free pool and
+// reports the recovered slot IDs. Recovering a healthy node is a no-op.
+func (c *Cluster) RecoverNode(node int) ([]SlotID, error) {
+	if node < 0 || node >= c.nodes {
+		return nil, fmt.Errorf("cluster: recover of unknown node %d", node)
+	}
+	var recovered []SlotID
+	for i := node * c.perNode; i < (node+1)*c.perNode; i++ {
+		s := c.slots[i]
+		if s.state != Failed {
+			continue
+		}
+		c.transition(s, Free)
+		c.pushFree(s)
+		recovered = append(recovered, s.ID)
+	}
+	return recovered, nil
 }
 
 func (c *Cluster) consumeReservation(s *Slot) {

@@ -118,6 +118,30 @@ func (r *LocalityRegistry) NarrowPrefs(job *dag.Job, phase int) ([]SlotID, bool)
 	return slots, true
 }
 
+// EvictSlots clears every record pointing at the given slots (their node
+// failed, so the outputs cached there are lost). Downstream tasks that
+// preferred those slots fall back to ANY placement at the locality penalty
+// — the lost-output model. It returns the number of task records evicted.
+func (r *LocalityRegistry) EvictSlots(slots []SlotID) int {
+	if len(slots) == 0 {
+		return 0
+	}
+	dead := make(map[SlotID]bool, len(slots))
+	for _, s := range slots {
+		dead[s] = true
+	}
+	evicted := 0
+	for _, ts := range r.byPhase {
+		for i, s := range ts {
+			if s != NoSlot && dead[s] {
+				ts[i] = NoSlot
+				evicted++
+			}
+		}
+	}
+	return evicted
+}
+
 // ForgetJob drops all entries of a completed job, bounding memory use over
 // long simulations.
 func (r *LocalityRegistry) ForgetJob(job dag.JobID) {

@@ -109,6 +109,10 @@ type Options struct {
 	// execution — the status-quo straggler mitigation the paper's
 	// reserved-slot strategy is compared against (Sec. IV-C).
 	Speculation SpeculationConfig
+	// Retry governs task re-execution after a node failure kills an
+	// attempt. It only matters when faults are injected (FailNode); a
+	// failure-free run never consults it.
+	Retry RetryPolicy
 	// ForceRemote prices every locality-constrained placement as remote
 	// (locality level ANY), even on a preferred slot. It reproduces the
 	// paper's Fig. 6 methodology of running sampled phases "on
@@ -131,6 +135,7 @@ func (o *Options) withDefaults() Options {
 	if out.LocalityFactor == 0 {
 		out.LocalityFactor = 5.0
 	}
+	out.Retry = out.Retry.withDefaults()
 	return out
 }
 
@@ -160,6 +165,9 @@ func (o *Options) validate() error {
 	default:
 		return fmt.Errorf("driver: unknown mode %v", o.Mode)
 	}
+	if err := o.Retry.validate(); err != nil {
+		return err
+	}
 	return o.Speculation.validate()
 }
 
@@ -183,6 +191,7 @@ type Driver struct {
 
 	usage    *metrics.SlotUsage
 	timeline *metrics.Timeline
+	fc       metrics.FaultCounters
 
 	unfinished        int
 	dispatchScheduled bool
@@ -262,14 +271,20 @@ func (d *Driver) Submit(job *dag.Job) error {
 }
 
 // Run drives the simulation until every submitted job completes. It returns
-// an error if the event queue drains with jobs still unfinished (which
-// indicates a scheduling bug, not a workload property: without preemption
-// every backlogged task eventually gets a slot).
+// an error if the event queue drains with jobs still unfinished. Absent
+// faults that indicates a scheduling bug, not a workload property: without
+// preemption every backlogged task eventually gets a slot. With permanent
+// node failures it can also mean the surviving capacity cannot host the
+// remaining retries; the error distinguishes the two.
 func (d *Driver) Run() error {
 	if err := d.eng.Run(); err != nil {
 		return err
 	}
 	if d.unfinished > 0 {
+		if failed := d.cl.CountState(cluster.Failed); failed > 0 {
+			return fmt.Errorf("driver: %d of %d jobs unfinished with %d slots failed (node failures starved the workload)",
+				d.unfinished, len(d.jobs), failed)
+		}
 		return fmt.Errorf("driver: %d of %d jobs unfinished after event queue drained",
 			d.unfinished, len(d.jobs))
 	}

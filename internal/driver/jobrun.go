@@ -53,6 +53,9 @@ type taskState struct {
 	done bool
 	orig *attempt
 	dup  *attempt
+	// failures counts attempts lost to node failures; at
+	// Options.Retry.MaxAttempts the job is aborted.
+	failures int
 }
 
 // attempt is one execution of a task (original or speculative copy) on a
@@ -107,6 +110,11 @@ type phaseRun struct {
 	runningTasks int
 	done         int
 
+	// retryQ holds task indices whose attempts were killed by a node
+	// failure and whose backoff has elapsed; they are re-placed by the
+	// general dispatch loop ahead of first-time tasks.
+	retryQ []int
+
 	localityOpen  bool
 	localityTimer *sim.Timer
 	deadlineTimer *sim.Timer
@@ -156,8 +164,14 @@ func (pr *phaseRun) queuedConstrained() int {
 // queuedFree returns the number of unplaced unconstrained tasks.
 func (pr *phaseRun) queuedFree() int { return pr.freeQ - pr.freeHead }
 
+// queuedRetry returns the number of fault-killed tasks awaiting
+// re-dispatch (backoff elapsed).
+func (pr *phaseRun) queuedRetry() int { return len(pr.retryQ) }
+
 // queued returns the total number of unplaced tasks.
-func (pr *phaseRun) queued() int { return pr.queuedConstrained() + pr.queuedFree() }
+func (pr *phaseRun) queued() int {
+	return pr.queuedConstrained() + pr.queuedFree() + pr.queuedRetry()
+}
 
 // isConstrained reports whether task idx has a locality preference.
 func (pr *phaseRun) isConstrained(idx int) bool {
@@ -168,9 +182,15 @@ func (pr *phaseRun) isConstrained(idx int) bool {
 }
 
 // placeable reports whether the phase currently has a task the general
-// dispatch loop may place on an arbitrary slot.
+// dispatch loop may place on an arbitrary slot. Aborted jobs place
+// nothing. Retries are immediately placeable: their locality wait was
+// spent on the first attempt, and their preferred slots may be gone.
 func (pr *phaseRun) placeable() bool {
-	return pr.queuedFree() > 0 || (pr.localityOpen && pr.queuedConstrained() > 0)
+	if pr.jr.finished {
+		return false
+	}
+	return pr.queuedRetry() > 0 || pr.queuedFree() > 0 ||
+		(pr.localityOpen && pr.queuedConstrained() > 0)
 }
 
 // popNarrow consumes pending narrow task idx.
@@ -185,6 +205,11 @@ func (pr *phaseRun) popNarrow(idx int) {
 // follow once the locality wait is over, preferring a task whose partition
 // lives on this very slot.
 func (pr *phaseRun) nextTaskIdxFor(slot cluster.SlotID) (int, bool, bool) {
+	if len(pr.retryQ) > 0 {
+		idx := pr.retryQ[0]
+		pr.retryQ = pr.retryQ[1:]
+		return idx, !pr.isConstrained(idx) || pr.localTo(idx, slot), true
+	}
 	if pr.queuedFree() > 0 {
 		idx := pr.constrained + pr.freeHead
 		pr.freeHead++
@@ -214,6 +239,16 @@ func (pr *phaseRun) nextTaskIdxFor(slot cluster.SlotID) (int, bool, bool) {
 	idx := pr.consHead
 	pr.consHead++
 	return idx, pr.prefSet[slot], true
+}
+
+// localTo reports whether placing task idx on slot honors its data
+// locality (for retried tasks, whose preference may have been evicted by
+// the failure that killed them).
+func (pr *phaseRun) localTo(idx int, slot cluster.SlotID) bool {
+	if pr.narrow {
+		return pr.taskPref[idx] == slot
+	}
+	return pr.prefSet[slot]
 }
 
 // takeConstrainedFor pops a constrained task that is local to the given

@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"ssr/internal/cluster"
+	"ssr/internal/dag"
+	"ssr/internal/driver"
+	"ssr/internal/faults"
+	"ssr/internal/metrics"
+	"ssr/internal/sim"
+	"ssr/internal/stats"
+	"ssr/internal/workload"
+)
+
+// faultRepair is how long a crashed node stays down in the fault sweep —
+// a few task lengths, so lost capacity is transient but not negligible.
+const faultRepair = 30 * time.Second
+
+// FaultToleranceRow is one (MTTF, policy) cell of the fault sweep.
+type FaultToleranceRow struct {
+	// MTTF is the per-node mean time to failure; 0 means no faults.
+	MTTF time.Duration
+	// Policy is the reservation policy ("none" or "ssr").
+	Policy string
+	// JCT is the foreground job's completion time under faults.
+	JCT time.Duration
+	// Slowdown is JCT over the fault-free alone baseline.
+	Slowdown float64
+	// Faults are the run's injection and recovery counters.
+	Faults metrics.FaultCounters
+}
+
+// FaultToleranceResult holds the fault-tolerance sweep.
+type FaultToleranceResult struct {
+	// Repair is the fixed per-crash repair time used at every point.
+	Repair time.Duration
+	Rows   []FaultToleranceRow
+}
+
+// FaultTolerance sweeps the foreground slowdown against the per-node MTTF
+// on the 50-node setting, with SSR on and off. Node crashes kill attempts,
+// void reservations and lose cached outputs; the scheduler retries killed
+// tasks and (under SSR) re-issues voided reservations on surviving nodes.
+// The question the sweep answers: does reservation-based isolation survive
+// failures, or do faults erode SSR's advantage over plain priority
+// scheduling? Each cell is a single seeded run, so the whole table is
+// reproducible bit for bit.
+func FaultTolerance(p Params) (FaultToleranceResult, error) {
+	p = p.withDefaults()
+	env := env50(p.Scale)
+	mttfs := []time.Duration{0, 4 * time.Minute, 2 * time.Minute, time.Minute}
+	if p.Scale == Quick {
+		mttfs = []time.Duration{0, 2 * time.Minute, time.Minute}
+	}
+	out := FaultToleranceResult{Repair: faultRepair}
+	for _, mttf := range mttfs {
+		for _, pol := range []struct {
+			name string
+			opts driver.Options
+		}{
+			{name: "none", opts: faultRetryOpts(baseOpts())},
+			{name: "ssr", opts: faultRetryOpts(ssrOpts())},
+		} {
+			row, err := faultCell(env, pol.opts, p.Seed, mttf)
+			if err != nil {
+				return FaultToleranceResult{}, fmt.Errorf("experiments: fault cell mttf=%v policy=%s: %w",
+					mttf, pol.name, err)
+			}
+			row.Policy = pol.name
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+// faultRetryOpts adds the sweep's retry policy: a generous failure budget
+// (jobs should survive transient crashes) with the default backoff.
+func faultRetryOpts(o driver.Options) driver.Options {
+	o.Retry = driver.RetryPolicy{MaxAttempts: 10}
+	return o
+}
+
+// faultCell runs one foreground job against the background workload with a
+// Poisson crash–repair process at the given MTTF and measures the
+// foreground outcome. The slowdown baseline is the fault-free alone JCT, so
+// it prices both contention and fault-induced delay.
+func faultCell(env contentionEnv, opts driver.Options, seed int64, mttf time.Duration) (FaultToleranceRow, error) {
+	spec := workload.KMeans
+	fg, err := spec.Build(1, fgPriority, env.fgSubmit, stats.Stream(seed, "fg-"+spec.Name))
+	if err != nil {
+		return FaultToleranceRow{}, err
+	}
+	bgJobs, err := workload.Background(env.bg, 1000, bgPriority, stats.Stream(seed, "bg"))
+	if err != nil {
+		return FaultToleranceRow{}, err
+	}
+	eng := sim.New()
+	cl, err := cluster.New(env.nodes, env.perNode)
+	if err != nil {
+		return FaultToleranceRow{}, err
+	}
+	d, err := driver.New(eng, cl, opts)
+	if err != nil {
+		return FaultToleranceRow{}, err
+	}
+	for _, j := range append([]*dag.Job{fg}, bgJobs...) {
+		if err := d.Submit(j); err != nil {
+			return FaultToleranceRow{}, err
+		}
+	}
+	if mttf > 0 {
+		faults.Poisson{MTTF: mttf, Repair: faultRepair, Seed: seed}.Install(d)
+	}
+	if err := d.Run(); err != nil {
+		return FaultToleranceRow{}, err
+	}
+	st, ok := d.Result(fg.ID)
+	if !ok {
+		return FaultToleranceRow{}, fmt.Errorf("foreground job missing from results")
+	}
+	if st.Failed {
+		return FaultToleranceRow{}, fmt.Errorf("foreground job aborted (exhausted retries)")
+	}
+	alone, err := driver.AloneJCT(fg, env.nodes, env.perNode, opts)
+	if err != nil {
+		return FaultToleranceRow{}, err
+	}
+	return FaultToleranceRow{
+		MTTF:     mttf,
+		JCT:      st.JCT(),
+		Slowdown: metrics.Slowdown(st.JCT(), alone),
+		Faults:   d.Faults(),
+	}, nil
+}
+
+func fmtMTTF(d time.Duration) string {
+	if d <= 0 {
+		return "inf"
+	}
+	return d.String()
+}
+
+func (r FaultToleranceResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fault tolerance: fg slowdown vs node MTTF (Poisson crashes, repair %v)\n", r.Repair)
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		fc := row.Faults
+		rows = append(rows, []string{
+			fmtMTTF(row.MTTF),
+			row.Policy,
+			row.JCT.Round(time.Millisecond).String(),
+			f2(row.Slowdown),
+			fmt.Sprintf("%d/%d", fc.NodeFailures, fc.NodeRecoveries),
+			fmt.Sprintf("%d", fc.AttemptsKilled),
+			fmt.Sprintf("%d", fc.TasksRetried),
+			fmt.Sprintf("%d/%d", fc.ReservationsVoided, fc.ReservationsReissued),
+			fmt.Sprintf("%d", fc.JobsFailed),
+		})
+	}
+	b.WriteString(table([]string{
+		"mttf", "policy", "fg JCT", "slowdown",
+		"nodes down/up", "kills", "retries", "res voided/reissued", "jobs failed",
+	}, rows))
+	return b.String()
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestFaultToleranceSSRBeatsBaselineAtEveryMTTF(t *testing.T) {
+	res, err := FaultTolerance(QuickParams())
+	if err != nil {
+		t.Fatalf("FaultTolerance: %v", err)
+	}
+	if len(res.Rows)%2 != 0 || len(res.Rows) == 0 {
+		t.Fatalf("rows = %d, want none/ssr pairs", len(res.Rows))
+	}
+	for i := 0; i < len(res.Rows); i += 2 {
+		none, ssr := res.Rows[i], res.Rows[i+1]
+		if none.Policy != "none" || ssr.Policy != "ssr" || none.MTTF != ssr.MTTF {
+			t.Fatalf("row pairing broken: %+v / %+v", none, ssr)
+		}
+		if ssr.Slowdown >= none.Slowdown {
+			t.Errorf("mttf %v: ssr slowdown %.2f not below baseline %.2f",
+				none.MTTF, ssr.Slowdown, none.Slowdown)
+		}
+		if none.MTTF == 0 {
+			if none.Faults.Any() || ssr.Faults.Any() {
+				t.Errorf("mttf inf recorded faults: %v / %v", none.Faults, ssr.Faults)
+			}
+		} else {
+			if none.Faults.NodeFailures == 0 || ssr.Faults.NodeFailures == 0 {
+				t.Errorf("mttf %v: no failures injected", none.MTTF)
+			}
+			if ssr.Faults.ReservationsVoided == 0 || ssr.Faults.ReservationsReissued == 0 {
+				t.Errorf("mttf %v: ssr run voided/reissued %d/%d reservations, want both > 0",
+					ssr.MTTF, ssr.Faults.ReservationsVoided, ssr.Faults.ReservationsReissued)
+			}
+		}
+	}
+	for _, want := range []string{"mttf", "ssr", "inf", "retries"} {
+		if !strings.Contains(res.String(), want) {
+			t.Errorf("String missing %q:\n%s", want, res)
+		}
+	}
+}
+
+func TestFaultToleranceDeterministicPerSeed(t *testing.T) {
+	a, err := FaultTolerance(QuickParams())
+	if err != nil {
+		t.Fatalf("FaultTolerance: %v", err)
+	}
+	b, err := FaultTolerance(QuickParams())
+	if err != nil {
+		t.Fatalf("FaultTolerance: %v", err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed produced different sweeps:\n%v\n%v", a, b)
+	}
+}

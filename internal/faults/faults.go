@@ -1,0 +1,123 @@
+// Package faults injects node failures into a running simulation as
+// first-class discrete events. An injector schedules FailNode/RecoverNode
+// calls on a target (the driver) according to a fault process; all
+// randomness comes from seeded per-node substreams, so a given seed always
+// produces the identical failure trace.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"ssr/internal/cluster"
+	"ssr/internal/sim"
+	"ssr/internal/stats"
+)
+
+// Target is the scheduler-side surface an injector drives. *driver.Driver
+// implements it.
+type Target interface {
+	// Engine returns the simulation engine events are scheduled on.
+	Engine() *sim.Engine
+	// Cluster returns the cluster (for the node count).
+	Cluster() *cluster.Cluster
+	// FailNode takes a node down at the current virtual time.
+	FailNode(node int) error
+	// RecoverNode returns a failed node to service.
+	RecoverNode(node int) error
+	// Unfinished returns the number of jobs still running. Injectors
+	// stop re-arming once it reaches zero so the event queue drains.
+	Unfinished() int
+}
+
+// Injector installs a fault process onto a target before the run starts.
+type Injector interface {
+	Install(t Target)
+}
+
+// Poisson crashes each node independently with exponentially distributed
+// inter-failure times of mean MTTF, measured from the previous recovery
+// (a crash–repair renewal process). A crashed node comes back after the
+// fixed Repair duration; with Repair <= 0 crashes are permanent and each
+// node fails at most once.
+type Poisson struct {
+	// MTTF is the per-node mean time to failure. Zero or negative
+	// disables the injector entirely.
+	MTTF time.Duration
+	// Repair is how long a crashed node stays down. Zero or negative
+	// makes crashes permanent.
+	Repair time.Duration
+	// Seed roots the per-node random substreams.
+	Seed int64
+}
+
+// Install arms one failure timer per node. It must be called before the
+// engine runs.
+func (p Poisson) Install(t Target) {
+	if p.MTTF <= 0 {
+		return
+	}
+	for node := 0; node < t.Cluster().NumNodes(); node++ {
+		rng := stats.SubStream(p.Seed, "faults-poisson", node)
+		p.armFailure(t, node, rng)
+	}
+}
+
+func (p Poisson) armFailure(t Target, node int, rng *rand.Rand) {
+	delay := time.Duration(rng.ExpFloat64() * float64(p.MTTF))
+	t.Engine().After(delay, func() {
+		if t.Unfinished() == 0 {
+			return // workload drained; let the event queue empty out
+		}
+		if err := t.FailNode(node); err != nil {
+			panic(fmt.Sprintf("faults: fail node %d: %v", node, err))
+		}
+		if p.Repair <= 0 {
+			return
+		}
+		t.Engine().After(p.Repair, func() {
+			if t.Unfinished() == 0 {
+				return
+			}
+			if err := t.RecoverNode(node); err != nil {
+				panic(fmt.Sprintf("faults: recover node %d: %v", node, err))
+			}
+			p.armFailure(t, node, rng)
+		})
+	})
+}
+
+// Event is one scripted fault action.
+type Event struct {
+	// At is the virtual time the action fires.
+	At time.Duration
+	// Node is the target node.
+	Node int
+	// Recover selects RecoverNode instead of FailNode.
+	Recover bool
+}
+
+// Script is a one-shot injector replaying a fixed list of fault events —
+// the tool for reproducing a specific failure scenario in tests and
+// examples. Events fire at their own times regardless of order in the
+// slice.
+type Script []Event
+
+// Install schedules every event. It must be called before the engine runs.
+func (s Script) Install(t Target) {
+	for _, ev := range s {
+		ev := ev
+		t.Engine().At(ev.At, func() {
+			var err error
+			if ev.Recover {
+				err = t.RecoverNode(ev.Node)
+			} else {
+				err = t.FailNode(ev.Node)
+			}
+			if err != nil {
+				panic(fmt.Sprintf("faults: scripted event %+v: %v", ev, err))
+			}
+		})
+	}
+}

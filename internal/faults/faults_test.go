@@ -1,0 +1,125 @@
+package faults_test
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"ssr/internal/cluster"
+	"ssr/internal/dag"
+	"ssr/internal/driver"
+	"ssr/internal/faults"
+	"ssr/internal/metrics"
+	"ssr/internal/sim"
+)
+
+func sec(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
+
+func uniform(n int, d time.Duration) []time.Duration {
+	out := make([]time.Duration, n)
+	for i := range out {
+		out[i] = d
+	}
+	return out
+}
+
+// run builds a 4x2 cluster with a small two-job workload, installs the
+// injector, runs to completion, and returns the per-job stats and fault
+// counters.
+func run(t *testing.T, inj faults.Injector) ([]metrics.JobStats, metrics.FaultCounters) {
+	t.Helper()
+	stats, fc, err := tryRun(t, inj)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return stats, fc
+}
+
+func tryRun(t *testing.T, inj faults.Injector) ([]metrics.JobStats, metrics.FaultCounters, error) {
+	t.Helper()
+	eng := sim.New()
+	cl, err := cluster.New(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := driver.New(eng, cl, driver.Options{
+		Retry: driver.RetryPolicy{MaxAttempts: 8, Backoff: 100 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 2; i++ {
+		j, err := dag.Chain(dag.JobID(i), "j", 5, []dag.PhaseSpec{
+			{Durations: uniform(4, sec(3))},
+			{Durations: uniform(4, sec(3))},
+		}, dag.WithSubmit(sec(float64(i-1))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Submit(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if inj != nil {
+		inj.Install(d)
+	}
+	err = d.Run()
+	return d.Results(), d.Faults(), err
+}
+
+func TestScriptFiresAtScheduledTimes(t *testing.T) {
+	script := faults.Script{
+		{At: sec(1), Node: 0},
+		{At: sec(2), Node: 0, Recover: true},
+		{At: sec(2), Node: 3},
+	}
+	stats, fc := run(t, script)
+	if fc.NodeFailures != 2 || fc.NodeRecoveries != 1 {
+		t.Errorf("counters = %v; want 2 failures, 1 recovery", fc)
+	}
+	for _, st := range stats {
+		if st.Failed {
+			t.Errorf("job %d aborted under a mild script", st.Job.ID)
+		}
+	}
+}
+
+func TestPoissonDeterministicPerSeed(t *testing.T) {
+	inj := faults.Poisson{MTTF: sec(10), Repair: sec(2), Seed: 42}
+	statsA, fcA := run(t, inj)
+	statsB, fcB := run(t, inj)
+	if !reflect.DeepEqual(statsA, statsB) {
+		t.Errorf("same seed produced different job stats:\n%v\n%v", statsA, statsB)
+	}
+	if fcA != fcB {
+		t.Errorf("same seed produced different counters: %v vs %v", fcA, fcB)
+	}
+	if fcA.NodeFailures == 0 {
+		t.Error("MTTF of 10s over a ~10s workload should produce failures")
+	}
+	// A different seed produces a different failure trace. (With four
+	// nodes and several renewals the chance of a collision is negligible.)
+	_, fcC := run(t, faults.Poisson{MTTF: sec(10), Repair: sec(2), Seed: 43})
+	if fcA == fcC {
+		t.Errorf("seeds 42 and 43 produced identical counters %v", fcA)
+	}
+}
+
+func TestPoissonDisabledAndPermanentCrash(t *testing.T) {
+	// MTTF <= 0 installs nothing.
+	_, fc := run(t, faults.Poisson{MTTF: 0, Seed: 1})
+	if fc.Any() {
+		t.Errorf("disabled injector recorded faults: %v", fc)
+	}
+	// Repair <= 0 means a node fails at most once and stays down. The
+	// run must terminate either way: jobs complete on the survivors, or
+	// the queue drains and Run reports the starvation. Nodes never come
+	// back.
+	_, fc, err := tryRun(t, faults.Poisson{MTTF: sec(60), Repair: 0, Seed: 7})
+	if err != nil && fc.NodeFailures == 0 {
+		t.Errorf("Run failed without any injected fault: %v", err)
+	}
+	if fc.NodeRecoveries != 0 {
+		t.Errorf("permanent crashes recovered %d times", fc.NodeRecoveries)
+	}
+}

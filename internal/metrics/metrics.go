@@ -206,10 +206,49 @@ type JobStats struct {
 	// before the barrier cleared (the reservation was "ineffective" in
 	// the Sec. IV-B sense).
 	DeadlineExpiries int
+	// AttemptsKilled counts task attempts lost to node failures.
+	AttemptsKilled int
+	// Retries counts task re-queues after a fault killed the task's only
+	// live attempt.
+	Retries int
+	// Failed reports the job was aborted because a task exhausted its
+	// retry budget.
+	Failed bool
 }
 
 // JCT returns the job completion time (finish minus submit).
 func (s JobStats) JCT() time.Duration { return s.Finish - s.Submit }
+
+// FaultCounters aggregates the fault-injection bookkeeping of one run:
+// what failed, what was killed, and how the scheduler recovered.
+type FaultCounters struct {
+	// NodeFailures counts FailNode events that took down a live node.
+	NodeFailures int
+	// NodeRecoveries counts RecoverNode events that revived slots.
+	NodeRecoveries int
+	// AttemptsKilled counts task attempts killed because their slot's
+	// node failed.
+	AttemptsKilled int
+	// TasksRetried counts task re-queues (an attempt died with no live
+	// sibling, and the retry budget allowed another try).
+	TasksRetried int
+	// ReservationsVoided counts reserved-idle slots lost to failures.
+	ReservationsVoided int
+	// ReservationsReissued counts voided reservations converted back
+	// into pre-reservation quota on surviving slots.
+	ReservationsReissued int
+	// JobsFailed counts jobs aborted after a task exhausted its retries.
+	JobsFailed int
+}
+
+// Any reports whether any fault was recorded.
+func (f FaultCounters) Any() bool { return f != FaultCounters{} }
+
+func (f FaultCounters) String() string {
+	return fmt.Sprintf("faults: nodes down=%d up=%d, attempts killed=%d, retries=%d, reservations voided=%d reissued=%d, jobs failed=%d",
+		f.NodeFailures, f.NodeRecoveries, f.AttemptsKilled, f.TasksRetried,
+		f.ReservationsVoided, f.ReservationsReissued, f.JobsFailed)
+}
 
 func (s JobStats) String() string {
 	return fmt.Sprintf("%s: jct=%v tasks=%d copies=%d/%d local=%d any=%d",

@@ -65,9 +65,14 @@ type PriorityQueue struct {
 }
 
 type bucket struct {
-	items   []Item // append order == ready order
-	head    int
-	removed map[Item]bool
+	items []Item // append order == ready order
+	head  int
+	// member holds the items currently enqueued (not yet removed);
+	// removed counts tombstones per item still sitting in items. Counts
+	// (not booleans) keep remove→re-add→remove sequences correct while
+	// stale entries from earlier adds await lazy skimming at the head.
+	member  map[Item]bool
+	removed map[Item]int
 }
 
 // NewPriorityQueue returns an empty priority queue.
@@ -86,34 +91,29 @@ func (q *PriorityQueue) Add(it Item) {
 	p := it.Priority()
 	b := q.buckets[p]
 	if b == nil {
-		b = &bucket{removed: make(map[Item]bool)}
+		b = &bucket{member: make(map[Item]bool), removed: make(map[Item]int)}
 		q.buckets[p] = b
 		i := sort.Search(len(q.prios), func(i int) bool { return q.prios[i] <= p })
 		q.prios = append(q.prios, 0)
 		copy(q.prios[i+1:], q.prios[i:])
 		q.prios[i] = p
 	}
+	b.member[it] = true
 	b.items = append(b.items, it)
 	q.size++
 }
 
-// Remove implements Queue.
+// Remove implements Queue. It is O(1): membership is checked against the
+// bucket's member set and the item is tombstoned by count; Best skims
+// tombstones off the head lazily.
 func (q *PriorityQueue) Remove(it Item) {
 	b := q.buckets[it.Priority()]
-	if b == nil {
+	if b == nil || !b.member[it] {
 		return
 	}
-	// Tombstone; Best skims tombstones off the head lazily.
-	for i := b.head; i < len(b.items); i++ {
-		if b.items[i] == it {
-			if b.removed[it] {
-				return
-			}
-			b.removed[it] = true
-			q.size--
-			return
-		}
-	}
+	delete(b.member, it)
+	b.removed[it]++
+	q.size--
 }
 
 // Best implements Queue.
@@ -122,12 +122,17 @@ func (q *PriorityQueue) Best() Item {
 		b := q.buckets[q.prios[pi]]
 		for b.head < len(b.items) {
 			it := b.items[b.head]
-			if !b.removed[it] {
-				return it
+			if n := b.removed[it]; n > 0 {
+				if n == 1 {
+					delete(b.removed, it)
+				} else {
+					b.removed[it] = n - 1
+				}
+				b.items[b.head] = nil
+				b.head++
+				continue
 			}
-			delete(b.removed, it)
-			b.items[b.head] = nil
-			b.head++
+			return it
 		}
 		// Bucket drained: compact it but keep it for reuse.
 		b.items = b.items[:0]

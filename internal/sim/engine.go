@@ -25,6 +25,7 @@ var ErrHalted = errors.New("sim: engine halted")
 // Timer is a handle to a scheduled event. It can be used to cancel the event
 // before it fires.
 type Timer struct {
+	eng      *Engine
 	at       Time
 	seq      uint64
 	fn       func()
@@ -44,6 +45,10 @@ func (t *Timer) Cancel() bool {
 	}
 	t.canceled = true
 	t.fn = nil // release closure for GC
+	if t.eng != nil {
+		t.eng.canceled++
+		t.eng.maybeCompact()
+	}
 	return true
 }
 
@@ -57,6 +62,10 @@ type Engine struct {
 	queue   timerHeap
 	halted  bool
 	stepped uint64
+	// canceled counts dead (canceled but not yet popped) timers in the
+	// queue; when they outnumber the live ones the heap is compacted so
+	// workloads that cancel en masse do not bloat it.
+	canceled int
 }
 
 // New returns a fresh engine with the clock at zero.
@@ -79,7 +88,7 @@ func (e *Engine) At(t Time, fn func()) *Timer {
 	if t < e.now {
 		t = e.now
 	}
-	tm := &Timer{at: t, seq: e.seq, fn: fn}
+	tm := &Timer{eng: e, at: t, seq: e.seq, fn: fn}
 	e.seq++
 	heap.Push(&e.queue, tm)
 	return tm
@@ -103,8 +112,37 @@ func (e *Engine) After(d time.Duration, fn func()) *Timer {
 	return e.At(e.now+d, fn)
 }
 
-// Halt stops the run loop after the currently executing event returns.
+// Halt stops the run loop after the currently executing event returns. A
+// Halt issued while no run loop is active is remembered: the next Run or
+// RunUntil honors it immediately (returning ErrHalted before firing any
+// event) and clears it.
 func (e *Engine) Halt() { e.halted = true }
+
+// compactMin is the queue length below which canceled timers are left in
+// place: tiny heaps are cheap to drain lazily and not worth rebuilding.
+const compactMin = 32
+
+// maybeCompact rebuilds the heap without its canceled timers once they
+// outnumber the live ones, keeping the queue proportional to the number of
+// pending events rather than the number ever scheduled.
+func (e *Engine) maybeCompact() {
+	if len(e.queue) < compactMin || 2*e.canceled <= len(e.queue) {
+		return
+	}
+	kept := e.queue[:0]
+	for _, tm := range e.queue {
+		if !tm.canceled {
+			kept = append(kept, tm)
+		}
+	}
+	// Zero the tail so dropped timers are collectable.
+	for i := len(kept); i < len(e.queue); i++ {
+		e.queue[i] = nil
+	}
+	e.queue = kept
+	e.canceled = 0
+	heap.Init(&e.queue)
+}
 
 // Step fires the next pending event, advancing the clock to its timestamp.
 // It reports whether an event fired (false when the queue is empty or only
@@ -116,6 +154,7 @@ func (e *Engine) Step() bool {
 			panic("sim: heap contained a non-timer element")
 		}
 		if tm.canceled {
+			e.canceled--
 			continue
 		}
 		e.now = tm.at
@@ -130,23 +169,31 @@ func (e *Engine) Step() bool {
 }
 
 // Run fires events until the queue is empty or Halt is called. It returns
-// ErrHalted if halted, nil otherwise.
+// ErrHalted if halted, nil otherwise. A Halt issued before Run starts is
+// honored immediately; the pending halt is cleared only once it has been
+// honored, so it is never silently lost.
 func (e *Engine) Run() error {
-	e.halted = false
-	for !e.halted {
+	for {
+		if e.halted {
+			e.halted = false
+			return ErrHalted
+		}
 		if !e.Step() {
 			return nil
 		}
 	}
-	return ErrHalted
 }
 
 // RunUntil fires events with timestamps at or before deadline, then advances
 // the clock to deadline (if the clock is behind it). Events scheduled after
-// deadline remain pending.
+// deadline remain pending. Like Run, it honors (and then clears) a Halt
+// issued before the loop started.
 func (e *Engine) RunUntil(deadline Time) error {
-	e.halted = false
-	for !e.halted {
+	for {
+		if e.halted {
+			e.halted = false
+			return ErrHalted
+		}
 		tm := e.peek()
 		if tm == nil || tm.at > deadline {
 			if e.now < deadline {
@@ -156,7 +203,6 @@ func (e *Engine) RunUntil(deadline Time) error {
 		}
 		e.Step()
 	}
-	return ErrHalted
 }
 
 // peek returns the next live timer without firing it, discarding canceled
@@ -168,6 +214,7 @@ func (e *Engine) peek() *Timer {
 			return tm
 		}
 		heap.Pop(&e.queue)
+		e.canceled--
 	}
 	return nil
 }

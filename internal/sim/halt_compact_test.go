@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// A Halt issued before the run loop starts must not be silently dropped:
+// the next Run honors it without firing any event.
+func TestHaltBeforeRunIsHonored(t *testing.T) {
+	e := New()
+	fired := false
+	e.At(time.Second, func() { fired = true })
+	e.Halt()
+	if err := e.Run(); err != ErrHalted {
+		t.Fatalf("Run = %v, want ErrHalted", err)
+	}
+	if fired {
+		t.Fatal("event fired despite a pending pre-run Halt")
+	}
+	// The pending halt was consumed: a second Run proceeds normally.
+	if err := e.Run(); err != nil {
+		t.Fatalf("second Run = %v, want nil", err)
+	}
+	if !fired {
+		t.Fatal("event did not fire on the resumed run")
+	}
+}
+
+func TestHaltBeforeRunUntilIsHonored(t *testing.T) {
+	e := New()
+	fired := false
+	e.At(time.Second, func() { fired = true })
+	e.Halt()
+	if err := e.RunUntil(10 * time.Second); err != ErrHalted {
+		t.Fatalf("RunUntil = %v, want ErrHalted", err)
+	}
+	if fired {
+		t.Fatal("event fired despite a pending pre-run Halt")
+	}
+	if err := e.RunUntil(10 * time.Second); err != nil {
+		t.Fatalf("second RunUntil = %v, want nil", err)
+	}
+	if !fired {
+		t.Fatal("event did not fire on the resumed run")
+	}
+	if e.Now() != 10*time.Second {
+		t.Fatalf("Now = %v, want 10s", e.Now())
+	}
+}
+
+// Mass-canceling timers must shrink the event heap rather than leaving the
+// dead entries to be drained one pop at a time.
+func TestCancelCompactsHeap(t *testing.T) {
+	e := New()
+	const n = 1000
+	timers := make([]*Timer, 0, n)
+	for i := 0; i < n; i++ {
+		timers = append(timers, e.At(time.Duration(i)*time.Second, func() {}))
+	}
+	if got := e.Pending(); got != n {
+		t.Fatalf("Pending = %d, want %d", got, n)
+	}
+	// Cancel three quarters; compaction triggers once dead entries
+	// outnumber live ones, so the heap must end well below n.
+	for i := 0; i < n*3/4; i++ {
+		timers[i].Cancel()
+	}
+	if got, want := e.Pending(), n/4; got > want*2 {
+		t.Fatalf("Pending = %d after mass cancellation, want about %d (heap not compacted)", got, want)
+	}
+	// The surviving timers still fire, in order.
+	fired := 0
+	for e.Step() {
+		fired++
+	}
+	if fired != n/4 {
+		t.Fatalf("fired %d events, want %d", fired, n/4)
+	}
+}
+
+// Small queues are not compacted (not worth rebuilding), but canceled
+// timers must still be skipped correctly.
+func TestCancelSmallQueueStillCorrect(t *testing.T) {
+	e := New()
+	var fired []int
+	t0 := e.At(1*time.Second, func() { fired = append(fired, 0) })
+	e.At(2*time.Second, func() { fired = append(fired, 1) })
+	t2 := e.At(3*time.Second, func() { fired = append(fired, 2) })
+	t0.Cancel()
+	t2.Cancel()
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(fired) != 1 || fired[0] != 1 {
+		t.Fatalf("fired = %v, want [1]", fired)
+	}
+}
