@@ -1,7 +1,7 @@
-// Package ssr's root benchmark harness: one benchmark per figure of the
-// paper's evaluation, each running the corresponding experiment at Quick
-// scale and reporting the figure's headline quantity as a custom metric,
-// plus ablation benchmarks for the design choices called out in DESIGN.md.
+// Package ssr's root benchmark harness: one sub-benchmark per registered
+// experiment, each running at Quick scale and reporting the experiment's
+// headline quantities as custom metrics, a parallel-harness benchmark, and
+// ablation benchmarks for the design choices called out in DESIGN.md.
 //
 // Regenerate everything with:
 //
@@ -13,6 +13,7 @@
 package ssr
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -21,195 +22,56 @@ import (
 	"ssr/internal/dag"
 	"ssr/internal/driver"
 	"ssr/internal/experiments"
+	"ssr/internal/runner"
 	"ssr/internal/sim"
 	"ssr/internal/stats"
 	"ssr/internal/workload"
 )
 
-func quick() experiments.Params { return experiments.QuickParams() }
-
-func BenchmarkFig1(b *testing.B) {
-	var kmSlowdown float64
-	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig1(42)
-		if err != nil {
-			b.Fatal(err)
-		}
-		kmSlowdown = res.Rows[0].Slowdown
-	}
-	b.ReportMetric(kmSlowdown, "kmeans-slowdown")
-}
-
-func BenchmarkFig4(b *testing.B) {
-	var worst float64
-	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig4(quick())
-		if err != nil {
-			b.Fatal(err)
-		}
-		worst = 0
-		for _, row := range res.Rows {
-			if row.Slowdown > worst {
-				worst = row.Slowdown
+// BenchmarkExperiments runs every registered experiment serially at Quick
+// scale, one sub-benchmark each, and reports the experiment's headline
+// metrics (e.g. BenchmarkExperiments/fig1 reports kmeans-slowdown).
+func BenchmarkExperiments(b *testing.B) {
+	p := experiments.QuickParams()
+	for _, e := range experiments.All() {
+		e := e
+		b.Run(e.Name(), func(b *testing.B) {
+			var res *experiments.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = experiments.RunSerial(e, p)
+				if err != nil {
+					b.Fatal(err)
+				}
 			}
-		}
-	}
-	b.ReportMetric(worst, "worst-slowdown")
-}
-
-func BenchmarkFig5(b *testing.B) {
-	var samples int
-	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig5(quick())
-		if err != nil {
-			b.Fatal(err)
-		}
-		samples = len(res.Contended)
-	}
-	b.ReportMetric(float64(samples), "samples")
-}
-
-func BenchmarkFig6(b *testing.B) {
-	var worst float64
-	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig6(42)
-		if err != nil {
-			b.Fatal(err)
-		}
-		worst = 0
-		for _, row := range res.Rows {
-			if row.Measured > worst {
-				worst = row.Measured
+			for _, name := range res.MetricNames() {
+				b.ReportMetric(res.Metrics[name], name)
 			}
-		}
+		})
 	}
-	b.ReportMetric(worst, "worst-task-slowdown")
 }
 
-func BenchmarkFig8(b *testing.B) {
-	var u float64
-	for i := 0; i < b.N; i++ {
-		res := experiments.Fig8()
-		u = res.Rows[0].Points[5].Utilization
-	}
-	b.ReportMetric(u, "EU-alpha1.1-N20-P0.5")
-}
-
-func BenchmarkFig10(b *testing.B) {
-	var reduction float64
-	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig10(quick())
-		if err != nil {
-			b.Fatal(err)
-		}
-		for _, row := range res.Rows {
-			if row.Alpha == 1.6 && row.N == 200 {
-				reduction = row.ReductionPct
+// BenchmarkRunnerParallel measures the experiment harness at several worker
+// counts on cell-rich experiments (fig12: 24 cells, fig14: 45 cells at
+// Quick scale). The workers=1 case is the serial baseline.
+func BenchmarkRunnerParallel(b *testing.B) {
+	p := experiments.QuickParams()
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, name := range []string{"fig12", "fig14"} {
+					e, ok := experiments.Lookup(name)
+					if !ok {
+						b.Fatalf("%s not registered", name)
+					}
+					if _, err := runner.Run(e, p, runner.Options{Parallel: workers}); err != nil {
+						b.Fatal(err)
+					}
+				}
 			}
-		}
+		})
 	}
-	b.ReportMetric(reduction, "reduction-pct-a1.6-N200")
-}
-
-func BenchmarkFig12(b *testing.B) {
-	var worstSSR float64
-	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig12(quick())
-		if err != nil {
-			b.Fatal(err)
-		}
-		worstSSR = 0
-		for _, row := range res.Rows {
-			if row.SSR && row.Slowdown > worstSSR {
-				worstSSR = row.Slowdown
-			}
-		}
-	}
-	b.ReportMetric(worstSSR, "worst-ssr-slowdown")
-}
-
-func BenchmarkFig13(b *testing.B) {
-	var speedup float64
-	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig13(42)
-		if err != nil {
-			b.Fatal(err)
-		}
-		speedup = float64(res.JCT1None) / float64(res.JCT1SSR)
-	}
-	b.ReportMetric(speedup, "pipelined-speedup")
-}
-
-func BenchmarkFig14(b *testing.B) {
-	var improvement float64
-	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig14(quick())
-		if err != nil {
-			b.Fatal(err)
-		}
-		for _, row := range res.Rows {
-			if row.App == "kmeans" && row.P == 0.2 {
-				improvement = row.UtilImprovement
-			}
-		}
-	}
-	b.ReportMetric(improvement, "util-improvement-pct-P0.2")
-}
-
-func BenchmarkFig15(b *testing.B) {
-	var sqlSSR float64
-	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig15(quick())
-		if err != nil {
-			b.Fatal(err)
-		}
-		for _, row := range res.Rows {
-			if row.Suite == "SQL" && row.Setting == "standard" && row.SSR {
-				sqlSSR = row.Slowdown
-			}
-		}
-	}
-	b.ReportMetric(sqlSSR, "sql-ssr-slowdown")
-}
-
-func BenchmarkFig16(b *testing.B) {
-	var spread float64
-	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig16(quick())
-		if err != nil {
-			b.Fatal(err)
-		}
-		spread = res.Rows[len(res.Rows)-1].Slowdown - res.Rows[0].Slowdown
-	}
-	b.ReportMetric(spread, "slowdown-spread-R1-vs-R0.1")
-}
-
-func BenchmarkFig17(b *testing.B) {
-	var reduction float64
-	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig17(quick())
-		if err != nil {
-			b.Fatal(err)
-		}
-		for _, row := range res.Rows {
-			if row.Alpha == 1.6 {
-				reduction = row.ReductionPct
-			}
-		}
-	}
-	b.ReportMetric(reduction, "jct-reduction-pct-a1.6")
-}
-
-func BenchmarkBackgroundImpact(b *testing.B) {
-	var delta float64
-	for i := 0; i < b.N; i++ {
-		res, err := experiments.BackgroundImpact(quick())
-		if err != nil {
-			b.Fatal(err)
-		}
-		delta = res.MeanDeltaPct
-	}
-	b.ReportMetric(delta, "bg-delta-pct")
 }
 
 // --- Ablations -----------------------------------------------------------
@@ -431,15 +293,19 @@ func BenchmarkAblationPreReservation(b *testing.B) {
 			name = "R1.0"
 		}
 		b.Run(name, func(b *testing.B) {
+			e, ok := experiments.Lookup("fig16")
+			if !ok {
+				b.Fatal("fig16 not registered")
+			}
 			var slow float64
 			for i := 0; i < b.N; i++ {
-				res, err := experiments.Fig16(quick())
+				res, err := experiments.RunSerial(e, experiments.QuickParams())
 				if err != nil {
 					b.Fatal(err)
 				}
-				for _, row := range res.Rows {
-					if row.R == r {
-						slow = row.Slowdown
+				for row := range res.Rows {
+					if res.Float(row, "R") == r {
+						slow = res.Float(row, "avg slowdown")
 					}
 				}
 			}
@@ -487,30 +353,4 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		b.ReportMetric(float64(events)/elapsed.Seconds(), "events/s")
 	}
 	b.ReportMetric(float64(events)/float64(b.N), "events/run")
-}
-
-func BenchmarkFaultTolerance(b *testing.B) {
-	var gap float64
-	for i := 0; i < b.N; i++ {
-		res, err := experiments.FaultTolerance(quick())
-		if err != nil {
-			b.Fatal(err)
-		}
-		// Headline: baseline-minus-SSR slowdown gap at the harshest MTTF.
-		n := len(res.Rows)
-		gap = res.Rows[n-2].Slowdown - res.Rows[n-1].Slowdown
-	}
-	b.ReportMetric(gap, "none-minus-ssr-worst-mttf")
-}
-
-func BenchmarkMitigationComparison(b *testing.B) {
-	var gapVsSpec float64
-	for i := 0; i < b.N; i++ {
-		res, err := experiments.MitigationComparison(quick())
-		if err != nil {
-			b.Fatal(err)
-		}
-		gapVsSpec = res.Rows[2].FgSlowdown - res.Rows[1].FgSlowdown
-	}
-	b.ReportMetric(gapVsSpec, "speculation-minus-reserved")
 }

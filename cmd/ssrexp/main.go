@@ -3,36 +3,51 @@
 //
 // Usage:
 //
-//	ssrexp [-scale quick|full] [-seed N] [-list] [fig...]
+//	ssrexp [-scale quick|full] [-seed N] [-parallel N] [-json] [-progress] [-list] [exp...]
 //
-// With no figure arguments it runs the complete set. Figure names: fig1,
-// fig4, fig5, fig6, fig8, fig10, fig12, fig13, fig14, fig15, fig16, fig17,
-// bgimpact, mitcompare, faulttolerance.
+// With no experiment arguments it runs the complete registered set (see
+// -list). Each experiment's independent cells (sweep points and
+// replications) execute on -parallel workers; the output is byte-for-byte
+// identical for every worker count. Tables print to stdout (-json switches
+// to a structured JSON array); timing and progress go to stderr.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
 	"time"
 
 	"ssr/internal/experiments"
+	"ssr/internal/runner"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "ssrexp:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+// namedResult wraps one experiment's table for -json output.
+type namedResult struct {
+	Name   string              `json:"name"`
+	Result *experiments.Result `json:"result"`
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("ssrexp", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
 		scaleName = fs.String("scale", "full", "experiment scale: quick or full")
 		seed      = fs.Int64("seed", 42, "random seed")
+		parallel  = fs.Int("parallel", 0, "worker count for experiment cells (0 = GOMAXPROCS)")
+		asJSON    = fs.Bool("json", false, "emit results as a JSON array instead of text tables")
+		progress  = fs.Bool("progress", false, "report per-cell progress on stderr")
 		list      = fs.Bool("list", false, "list available experiments and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -50,96 +65,55 @@ func run(args []string) error {
 	}
 	params := experiments.Params{Seed: *seed, Scale: scale}
 
-	type exp struct {
-		name string
-		desc string
-		run  func() (fmt.Stringer, error)
-	}
-	all := []exp{
-		{name: "fig1", desc: "motivation: KMeans vs SVM, priority scheduling fails", run: func() (fmt.Stringer, error) {
-			return experiments.Fig1(*seed)
-		}},
-		{name: "fig4", desc: "foreground slowdown vs contention level", run: func() (fmt.Stringer, error) {
-			return experiments.Fig4(params)
-		}},
-		{name: "fig5", desc: "KMeans running tasks over time", run: func() (fmt.Stringer, error) {
-			return experiments.Fig5(params)
-		}},
-		{name: "fig6", desc: "task slowdown without data locality", run: func() (fmt.Stringer, error) {
-			return experiments.Fig6(*seed)
-		}},
-		{name: "fig8", desc: "analytic isolation/utilization trade-off (Eq. 4)", run: func() (fmt.Stringer, error) {
-			return experiments.Fig8(), nil
-		}},
-		{name: "fig10", desc: "numerical straggler-mitigation speedup", run: func() (fmt.Stringer, error) {
-			return experiments.Fig10(params)
-		}},
-		{name: "fig12", desc: "slowdown with and without SSR", run: func() (fmt.Stringer, error) {
-			return experiments.Fig12(params)
-		}},
-		{name: "fig13", desc: "fair-scheduler allocations over time", run: func() (fmt.Stringer, error) {
-			return experiments.Fig13(*seed)
-		}},
-		{name: "fig14", desc: "measured isolation/utilization trade-off", run: func() (fmt.Stringer, error) {
-			return experiments.Fig14(params)
-		}},
-		{name: "fig15", desc: "large-scale simulation slowdowns", run: func() (fmt.Stringer, error) {
-			return experiments.Fig15(params)
-		}},
-		{name: "fig16", desc: "SQL slowdown vs pre-reservation threshold", run: func() (fmt.Stringer, error) {
-			return experiments.Fig16(params)
-		}},
-		{name: "fig17", desc: "JCT reduction from straggler mitigation", run: func() (fmt.Stringer, error) {
-			return experiments.Fig17(params)
-		}},
-		{name: "bgimpact", desc: "impact of SSR on background jobs", run: func() (fmt.Stringer, error) {
-			return experiments.BackgroundImpact(params)
-		}},
-		{name: "mitcompare", desc: "reserved-slot mitigation vs status-quo speculation", run: func() (fmt.Stringer, error) {
-			return experiments.MitigationComparison(params)
-		}},
-		{name: "faulttolerance", desc: "fg slowdown vs node MTTF with and without SSR", run: func() (fmt.Stringer, error) {
-			return experiments.FaultTolerance(params)
-		}},
-	}
-	byName := make(map[string]exp, len(all))
-	for _, e := range all {
-		byName[e.name] = e
-	}
-
 	if *list {
-		for _, e := range all {
-			fmt.Printf("%-9s %s\n", e.name, e.desc)
+		for _, e := range experiments.All() {
+			fmt.Fprintf(stdout, "%-14s %s\n", e.Name(), e.Desc())
 		}
 		return nil
 	}
 
 	selected := fs.Args()
 	if len(selected) == 0 {
-		for _, e := range all {
-			selected = append(selected, e.name)
-		}
+		selected = experiments.Names()
 	}
 	var unknown []string
 	for _, name := range selected {
-		if _, ok := byName[strings.ToLower(name)]; !ok {
+		if _, ok := experiments.Lookup(name); !ok {
 			unknown = append(unknown, name)
 		}
 	}
 	if len(unknown) > 0 {
 		sort.Strings(unknown)
-		return fmt.Errorf("unknown experiments: %s", strings.Join(unknown, ", "))
+		return fmt.Errorf("unknown experiments: %s (registered: %s)",
+			strings.Join(unknown, ", "), strings.Join(experiments.Names(), ", "))
 	}
 
+	var results []namedResult
 	for _, name := range selected {
-		e := byName[strings.ToLower(name)]
-		start := time.Now()
-		res, err := e.run()
-		if err != nil {
-			return fmt.Errorf("%s: %w", e.name, err)
+		e, _ := experiments.Lookup(name)
+		opts := runner.Options{Parallel: *parallel}
+		if *progress {
+			opts.Progress = func(done, total int, key string) {
+				fmt.Fprintf(stderr, "%s: %d/%d %s\n", e.Name(), done, total, key)
+			}
 		}
-		fmt.Println(res)
-		fmt.Printf("(%s completed in %v at %s scale)\n\n", e.name, time.Since(start).Round(time.Millisecond), scale)
+		start := time.Now()
+		res, err := runner.Run(e, params, opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.Name(), err)
+		}
+		fmt.Fprintf(stderr, "(%s completed in %v at %s scale)\n",
+			e.Name(), time.Since(start).Round(time.Millisecond), scale)
+		if *asJSON {
+			results = append(results, namedResult{Name: e.Name(), Result: res})
+			continue
+		}
+		fmt.Fprintln(stdout, res)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(results)
 	}
 	return nil
 }

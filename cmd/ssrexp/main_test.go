@@ -1,72 +1,133 @@
 package main
 
 import (
-	"os"
+	"bytes"
+	"encoding/json"
+	"strings"
 	"testing"
+
+	"ssr/internal/experiments"
 )
 
-// silence routes the run's stdout to /dev/null for the duration of a test.
-func silence(t *testing.T) {
-	t.Helper()
-	old := os.Stdout
-	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
-	if err != nil {
-		t.Fatalf("open devnull: %v", err)
-	}
-	os.Stdout = devnull
-	t.Cleanup(func() {
-		os.Stdout = old
-		if err := devnull.Close(); err != nil {
-			t.Errorf("close devnull: %v", err)
-		}
-	})
+// runCmd invokes run with captured stdout/stderr.
+func runCmd(args ...string) (stdout, stderr string, err error) {
+	var out, errw bytes.Buffer
+	err = run(args, &out, &errw)
+	return out.String(), errw.String(), err
 }
 
 func TestRunSingleExperiment(t *testing.T) {
-	silence(t)
-	if err := run([]string{"-scale", "quick", "fig8"}); err != nil {
+	out, errw, err := runCmd("-scale", "quick", "fig8")
+	if err != nil {
 		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "alpha") {
+		t.Errorf("table missing from stdout:\n%s", out)
+	}
+	if !strings.Contains(errw, "fig8 completed in") {
+		t.Errorf("timing line missing from stderr:\n%s", errw)
 	}
 }
 
 func TestRunSeveralExperiments(t *testing.T) {
-	silence(t)
-	if err := run([]string{"-scale", "quick", "fig1", "fig13"}); err != nil {
+	out, _, err := runCmd("-scale", "quick", "fig1", "fig13")
+	if err != nil {
 		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "kmeans") {
+		t.Errorf("fig1 rows missing:\n%s", out)
 	}
 }
 
 func TestRunCaseInsensitiveNames(t *testing.T) {
-	silence(t)
-	if err := run([]string{"-scale", "quick", "FIG8"}); err != nil {
+	if _, _, err := runCmd("-scale", "quick", "FIG8"); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 }
 
+func TestRunParallelMatchesSerialOutput(t *testing.T) {
+	serial, _, err := runCmd("-scale", "quick", "-parallel", "1", "fig10", "fig8")
+	if err != nil {
+		t.Fatalf("serial run: %v", err)
+	}
+	par, _, err := runCmd("-scale", "quick", "-parallel", "8", "fig10", "fig8")
+	if err != nil {
+		t.Fatalf("parallel run: %v", err)
+	}
+	if serial != par {
+		t.Errorf("parallel stdout differs from serial:\n--- serial\n%s\n--- parallel\n%s", serial, par)
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	out, _, err := runCmd("-scale", "quick", "-json", "fig8", "fig1")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var decoded []struct {
+		Name   string `json:"name"`
+		Result struct {
+			Title   string `json:"title"`
+			Columns []struct{ Name, Kind string }
+			Rows    [][]any
+		} `json:"result"`
+	}
+	if err := json.Unmarshal([]byte(out), &decoded); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, out)
+	}
+	if len(decoded) != 2 || decoded[0].Name != "fig8" || decoded[1].Name != "fig1" {
+		t.Errorf("unexpected JSON shape: %+v", decoded)
+	}
+	if len(decoded[0].Result.Rows) == 0 || len(decoded[0].Result.Columns) == 0 {
+		t.Error("fig8 result missing rows/columns in JSON output")
+	}
+}
+
+func TestRunProgressOnStderr(t *testing.T) {
+	out, errw, err := runCmd("-scale", "quick", "-progress", "fig10")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(errw, "fig10: 1/21") {
+		t.Errorf("progress lines missing from stderr:\n%s", errw)
+	}
+	if strings.Contains(out, "1/21") {
+		t.Error("progress lines leaked to stdout")
+	}
+}
+
 func TestList(t *testing.T) {
-	silence(t)
-	if err := run([]string{"-list"}); err != nil {
+	out, _, err := runCmd("-list")
+	if err != nil {
 		t.Fatalf("run -list: %v", err)
+	}
+	for _, name := range experiments.Names() {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list missing %q:\n%s", name, out)
+		}
 	}
 }
 
 func TestUnknownExperiment(t *testing.T) {
-	silence(t)
-	if err := run([]string{"nope", "fig8", "alsonope"}); err == nil {
-		t.Error("unknown experiment names should error")
+	_, _, err := runCmd("nope", "fig8", "alsonope")
+	if err == nil {
+		t.Fatal("unknown experiment names should error")
+	}
+	for _, want := range []string{"alsonope", "nope", "faulttolerance"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error should mention %q (unknowns plus the registered set): %v", want, err)
+		}
 	}
 }
 
 func TestBadScale(t *testing.T) {
-	silence(t)
-	if err := run([]string{"-scale", "medium", "fig8"}); err == nil {
+	if _, _, err := runCmd("-scale", "medium", "fig8"); err == nil {
 		t.Error("unknown scale should error")
 	}
 }
 
 func TestBadFlag(t *testing.T) {
-	silence(t)
-	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+	if _, _, err := runCmd("-definitely-not-a-flag"); err == nil {
 		t.Error("bad flag should error")
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"ssr/internal/dag"
 	"ssr/internal/driver"
 	"ssr/internal/faults"
+	"ssr/internal/runner"
 	"ssr/internal/sim"
 	"ssr/internal/stats"
 	"ssr/internal/trace"
@@ -52,6 +53,7 @@ func run(args []string) error {
 		locWait   = fs.Duration("wait", 3*time.Second, "locality wait")
 		mttf      = fs.Duration("mttf", 0, "per-node mean time to failure (0 disables fault injection)")
 		repair    = fs.Duration("repair", 30*time.Second, "node repair time after a crash (0 = permanent)")
+		parallel  = fs.Int("parallel", 0, "workers for the per-job baseline simulations (0 = GOMAXPROCS)")
 		seed      = fs.Int64("seed", 42, "random seed")
 		verbose   = fs.Bool("v", false, "print every job, not only the foreground")
 		traceOut  = fs.String("trace", "", "write a per-attempt trace to this file (.csv or .json)")
@@ -193,15 +195,19 @@ func run(args []string) error {
 		fmt.Println(fc)
 	}
 
-	for _, j := range fg {
+	// The baselines replay each foreground job on an empty cluster — one
+	// independent simulation per job, so they parallelize cleanly.
+	alones, err := runner.Map(*parallel, len(fg), func(i int) (time.Duration, error) {
+		return driver.AloneJCT(fg[i], *nodes, *perNode, opts)
+	})
+	if err != nil {
+		return err
+	}
+	for i, j := range fg {
 		st, _ := d.Result(j.ID)
-		alone, err := driver.AloneJCT(j, *nodes, *perNode, opts)
-		if err != nil {
-			return err
-		}
 		fmt.Printf("fg %-12s jct=%-10v alone=%-10v slowdown=%.2f copies=%d/%d local/any=%d/%d\n",
-			j.Name, st.JCT().Round(time.Millisecond), alone.Round(time.Millisecond),
-			float64(st.JCT())/float64(alone), st.CopiesWon, st.CopiesLaunched,
+			j.Name, st.JCT().Round(time.Millisecond), alones[i].Round(time.Millisecond),
+			float64(st.JCT())/float64(alones[i]), st.CopiesWon, st.CopiesLaunched,
 			st.LocalPlacements, st.AnyPlacements)
 	}
 	if *verbose {

@@ -58,6 +58,68 @@ func TestRunSuites(t *testing.T) {
 	}
 }
 
+// capture runs fn with os.Stdout redirected to a pipe and returns what it
+// wrote.
+func capture(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatalf("pipe: %v", err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	done := make(chan string)
+	go func() {
+		var sb strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := r.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		done <- sb.String()
+	}()
+	runErr := fn()
+	if err := w.Close(); err != nil {
+		t.Errorf("close pipe: %v", err)
+	}
+	out := <-done
+	if runErr != nil {
+		t.Fatalf("run: %v\n%s", runErr, out)
+	}
+	return out
+}
+
+func TestRunParallelBaselinesMatchSerial(t *testing.T) {
+	args := func(parallel string) []string {
+		return []string{"-nodes", "30", "-slots", "2", "-bg", "5",
+			"-window", "60s", "-mode", "ssr", "-suite", "ml", "-parallel", parallel}
+	}
+	// Drop the wall-clock line ("... in 12ms ..."), which legitimately
+	// varies between runs; everything else must be byte-identical.
+	strip := func(out string) string {
+		lines := strings.Split(out, "\n")
+		kept := lines[:0]
+		for _, l := range lines {
+			if !strings.HasPrefix(l, "simulated ") {
+				kept = append(kept, l)
+			}
+		}
+		return strings.Join(kept, "\n")
+	}
+	serial := capture(t, func() error { return run(args("1")) })
+	par := capture(t, func() error { return run(args("8")) })
+	if strip(serial) != strip(par) {
+		t.Errorf("parallel output differs from serial:\n--- serial\n%s\n--- parallel\n%s", serial, par)
+	}
+	if !strings.Contains(serial, "fg kmeans") {
+		t.Errorf("missing foreground result lines:\n%s", serial)
+	}
+}
+
 func TestRunVerbose(t *testing.T) {
 	silence(t)
 	if err := run(tiny("-suite", "none", "-v")); err != nil {

@@ -2,109 +2,101 @@ package experiments
 
 import (
 	"fmt"
-	"strings"
 
 	"ssr/internal/model"
 	"ssr/internal/stats"
 )
 
-// Fig8Row is one curve of the numerical isolation/utilization trade-off.
-type Fig8Row struct {
-	Alpha  float64
-	N      int
-	Points []model.TradeoffPoint
-}
+// --- Fig 8 ---------------------------------------------------------------
 
-// Fig8Result holds the Eq. 4 trade-off curves of Fig. 8.
-type Fig8Result struct {
-	Rows []Fig8Row
-}
+// fig8Alphas and fig8Ns form the paper's parameter grid: tail shapes from
+// heavy (alpha=1.1) to light (alpha=2.5), degree of parallelism 20 and 200.
+var (
+	fig8Alphas = []float64{1.1, 1.3, 1.6, 2.0, 2.5}
+	fig8Ns     = []int{20, 200}
+)
 
-// Fig8 evaluates the analytical isolation/utilization trade-off (Eq. 4)
-// for the paper's parameter grid: degree of parallelism 20 and 200, tail
-// shapes from heavy (alpha=1.1) to light (alpha=2.5).
-func Fig8() Fig8Result {
-	alphas := []float64{1.1, 1.3, 1.6, 2.0, 2.5}
-	ns := []int{20, 200}
-	var res Fig8Result
-	for _, n := range ns {
-		for _, a := range alphas {
-			res.Rows = append(res.Rows, Fig8Row{
-				Alpha:  a,
-				N:      n,
-				Points: model.TradeoffCurve(a, n, 10),
-			})
-		}
-	}
-	return res
-}
-
-func (r Fig8Result) String() string {
-	var b strings.Builder
-	b.WriteString("Fig 8: utilization lower bound E[U] vs isolation guarantee P (Eq. 4)\n")
-	header := []string{"alpha", "N"}
-	if len(r.Rows) > 0 {
-		for _, p := range r.Rows[0].Points {
-			header = append(header, fmt.Sprintf("P=%.1f", p.P))
-		}
-	}
-	rows := make([][]string, 0, len(r.Rows))
-	for _, row := range r.Rows {
-		cells := []string{fmt.Sprintf("%.1f", row.Alpha), fmt.Sprintf("%d", row.N)}
-		for _, p := range row.Points {
-			cells = append(cells, f3(p.Utilization))
-		}
-		rows = append(rows, cells)
-	}
-	b.WriteString(table(header, rows))
-	return b.String()
-}
-
-// Fig10Result holds the numerical straggler-mitigation speedups of Fig. 10.
-type Fig10Result struct {
-	Rows []model.SpeedupResult
-}
-
-// Fig10 quantifies the phase-time reduction from straggler mitigation with
-// task durations drawn i.i.d. from Pareto(alpha), across tail shapes and
-// degrees of parallelism. The paper averages 1000 runs per point; Quick
-// uses 200.
-func Fig10(p Params) (Fig10Result, error) {
-	p = p.withDefaults()
-	runs := 1000
-	if p.Scale == Quick {
-		runs = 200
-	}
-	alphas := []float64{1.1, 1.2, 1.4, 1.6, 2.0, 2.5, 3.0}
-	ns := []int{20, 100, 200}
-	rng := stats.Stream(p.Seed, "fig10")
-	var res Fig10Result
-	for _, n := range ns {
-		for _, a := range alphas {
-			r, err := model.SpeedupStudy(a, 2.0, n, runs, rng)
-			if err != nil {
-				return Fig10Result{}, err
+// fig8Experiment evaluates the analytical isolation/utilization trade-off
+// (Eq. 4) over the parameter grid. Pure closed-form evaluation: one cell.
+func fig8Experiment() Experiment {
+	return single("fig8", "analytic utilization lower bound E[U] vs isolation P (Eq. 4)",
+		func(_ Params) (*Result, error) {
+			curve0 := model.TradeoffCurve(fig8Alphas[0], fig8Ns[0], 10)
+			cols := []Column{{"alpha", KindFloat1}, {"N", KindInt}}
+			for _, pt := range curve0 {
+				cols = append(cols, Column{fmt.Sprintf("P=%.1f", pt.P), KindFloat3})
 			}
-			res.Rows = append(res.Rows, r)
-		}
-	}
-	return res, nil
+			res := NewResult("Fig 8: utilization lower bound E[U] vs isolation guarantee P (Eq. 4)", cols...)
+			for _, n := range fig8Ns {
+				for _, a := range fig8Alphas {
+					curve := model.TradeoffCurve(a, n, 10)
+					row := []any{a, n}
+					for _, pt := range curve {
+						row = append(row, pt.Utilization)
+					}
+					res.AddRow(row...)
+					if a == 1.1 && n == 20 {
+						res.Metrics["EU-alpha1.1-N20-P0.5"] = curve[5].Utilization
+					}
+				}
+			}
+			return res, nil
+		})
 }
 
-func (r Fig10Result) String() string {
-	var b strings.Builder
-	b.WriteString("Fig 10: phase completion time reduction from straggler mitigation\n")
-	rows := make([][]string, 0, len(r.Rows))
-	for _, row := range r.Rows {
-		rows = append(rows, []string{
-			fmt.Sprintf("%.1f", row.Alpha),
-			fmt.Sprintf("%d", row.N),
-			fmt.Sprintf("%d", row.Runs),
-			f2(row.MeanT),
-			f2(row.MeanTPrime),
-			pct(row.ReductionPct),
-		})
+// --- Fig 10 --------------------------------------------------------------
+
+// fig10Alphas and fig10Ns form the Monte-Carlo grid of Fig. 10.
+var (
+	fig10Alphas = []float64{1.1, 1.2, 1.4, 1.6, 2.0, 2.5, 3.0}
+	fig10Ns     = []int{20, 100, 200}
+)
+
+// fig10Runs returns the per-point averaging count (paper: 1000).
+func fig10Runs(scale Scale) int {
+	if scale == Quick {
+		return 200
 	}
-	b.WriteString(table([]string{"alpha", "N", "runs", "E[T]", "E[T']", "reduction"}, rows))
-	return b.String()
+	return 1000
+}
+
+// fig10Experiment quantifies the phase-time reduction from straggler
+// mitigation with task durations drawn i.i.d. from Pareto(alpha), across
+// tail shapes and degrees of parallelism. Each (N, alpha) grid point is
+// one cell drawing from its own content-labeled stream, so the estimate
+// at a point never depends on which other points ran, or in what order.
+func fig10Experiment() Experiment {
+	cells := func(p Params) ([]Cell, error) {
+		runs := fig10Runs(p.Scale)
+		var cells []Cell
+		for _, n := range fig10Ns {
+			for _, a := range fig10Alphas {
+				cells = append(cells, Cell{
+					Key: fmt.Sprintf("fig10/N%d/alpha%.1f", n, a),
+					Run: func() (any, error) {
+						rng := stats.Stream(p.Seed, fmt.Sprintf("fig10 n=%d alpha=%.1f", n, a))
+						return model.SpeedupStudy(a, 2.0, n, runs, rng)
+					},
+				})
+			}
+		}
+		return cells, nil
+	}
+	assemble := func(_ Params, values []any) (*Result, error) {
+		res := NewResult("Fig 10: phase completion time reduction from straggler mitigation",
+			Column{"alpha", KindFloat1}, Column{"N", KindInt}, Column{"runs", KindInt},
+			Column{"E[T]", KindFloat2}, Column{"E[T']", KindFloat2}, Column{"reduction", KindPercent})
+		cur := cursor{values: values}
+		for _, n := range fig10Ns {
+			for _, a := range fig10Alphas {
+				row := cur.next().(model.SpeedupResult)
+				if a == 1.6 && n == 200 {
+					res.Metrics["reduction-pct-a1.6-N200"] = row.ReductionPct
+				}
+				res.AddRow(row.Alpha, row.N, row.Runs, row.MeanT, row.MeanTPrime, row.ReductionPct)
+			}
+		}
+		return res, nil
+	}
+	return Define("fig10", "Monte-Carlo straggler-mitigation speedup grid", cells, assemble)
 }

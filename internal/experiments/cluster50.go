@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"strings"
 	"time"
 
 	"ssr/internal/core"
@@ -73,24 +72,21 @@ func runOneForeground(env contentionEnv, spec workload.MLSpec, opts driver.Optio
 	return res.slowdown(fg, env.nodes, env.perNode, opts)
 }
 
-// Fig1Row reports one job of the two-job motivation experiment.
-type Fig1Row struct {
-	Job      string
-	Priority dag.Priority
-	AloneJCT time.Duration
-	JCT      time.Duration
-	Slowdown float64
+// --- Fig 1 ---------------------------------------------------------------
+
+// fig1Row reports one job of the two-job motivation experiment.
+type fig1Row struct {
+	job      string
+	priority dag.Priority
+	alone    time.Duration
+	jct      time.Duration
+	slowdown float64
 }
 
-// Fig1Result holds the Fig. 1 motivation numbers.
-type Fig1Result struct {
-	Rows []Fig1Row
-}
-
-// Fig1 reproduces the motivating experiment: KMeans (high priority) and
+// fig1Run reproduces the motivating experiment: KMeans (high priority) and
 // SVM (low priority) contend on a 4-node, 8-slot cluster with degree of
 // parallelism 8. Priority scheduling alone fails to isolate KMeans.
-func Fig1(seed int64) (Fig1Result, error) {
+func fig1Run(seed int64) ([]fig1Row, error) {
 	const nodes, perNode = 4, 2
 	km := workload.KMeans
 	km.Parallelism = 8
@@ -105,94 +101,66 @@ func Fig1(seed int64) (Fig1Result, error) {
 
 	kmJob, err := km.Build(1, fgPriority, 0, stats.Stream(seed, "fig1-km"))
 	if err != nil {
-		return Fig1Result{}, err
+		return nil, err
 	}
 	svmJob, err := svm.Build(2, bgPriority, 0, stats.Stream(seed, "fig1-svm"))
 	if err != nil {
-		return Fig1Result{}, err
+		return nil, err
 	}
 	opts := baseOpts()
 	res, err := runSim(nodes, perNode, opts, []*dag.Job{kmJob, svmJob})
 	if err != nil {
-		return Fig1Result{}, err
+		return nil, err
 	}
-	var out Fig1Result
+	var rows []fig1Row
 	for _, job := range []*dag.Job{kmJob, svmJob} {
 		alone, err := driver.AloneJCT(job, nodes, perNode, opts)
 		if err != nil {
-			return Fig1Result{}, err
+			return nil, err
 		}
 		st := res.stats[job.ID]
-		out.Rows = append(out.Rows, Fig1Row{
-			Job:      job.Name,
-			Priority: job.Priority,
-			AloneJCT: alone,
-			JCT:      st.JCT(),
-			Slowdown: metrics.Slowdown(st.JCT(), alone),
+		rows = append(rows, fig1Row{
+			job:      job.Name,
+			priority: job.Priority,
+			alone:    alone,
+			jct:      st.JCT(),
+			slowdown: metrics.Slowdown(st.JCT(), alone),
 		})
 	}
-	return out, nil
+	return rows, nil
 }
 
-func (r Fig1Result) String() string {
-	var b strings.Builder
-	b.WriteString("Fig 1: priority scheduling provides no service isolation (8 slots)\n")
-	rows := make([][]string, 0, len(r.Rows))
-	for _, row := range r.Rows {
-		rows = append(rows, []string{
-			row.Job,
-			fmt.Sprintf("%d", row.Priority),
-			row.AloneJCT.Round(time.Millisecond).String(),
-			row.JCT.Round(time.Millisecond).String(),
-			f2(row.Slowdown),
-		})
-	}
-	b.WriteString(table([]string{"job", "priority", "alone JCT", "contended JCT", "slowdown"}, rows))
-	return b.String()
-}
-
-// Fig4Row reports one (application, contention level) cell.
-type Fig4Row struct {
-	App      string
-	Setting  string // "alone", "background", "background x2"
-	Slowdown float64
-}
-
-// Fig4Result holds the Fig. 4 slowdowns.
-type Fig4Result struct {
-	Rows []Fig4Row
-}
-
-// Fig4 measures each SparkBench application against background workloads
-// at three contention levels under plain priority scheduling (no SSR):
-// running alone, with background jobs, and with prolonged (2x) background
-// jobs. Each contended cell averages several runs with re-synthesized
-// workloads.
-func Fig4(p Params) (Fig4Result, error) {
-	p = p.withDefaults()
-	env := env50(p.Scale)
-	opts := baseOpts()
-	runs := fig4Runs(p.Scale)
-	var out Fig4Result
-	for _, spec := range workload.MLSuite() {
-		out.Rows = append(out.Rows, Fig4Row{App: spec.Name, Setting: "alone", Slowdown: 1.0})
-		for _, setting := range []struct {
-			name  string
-			scale float64
-		}{
-			{name: "background", scale: 1},
-			{name: "background x2", scale: 2},
-		} {
-			mean, err := meanOverRuns(runs, p.Seed, func(seed int64) (float64, error) {
-				return runOneForeground(env, spec, opts, seed, setting.scale)
-			})
-			if err != nil {
-				return Fig4Result{}, err
+func fig1Experiment() Experiment {
+	return Define("fig1", "motivation: KMeans vs SVM, priority scheduling fails",
+		func(p Params) ([]Cell, error) {
+			return []Cell{{Key: "fig1", Run: func() (any, error) { return fig1Run(p.Seed) }}}, nil
+		},
+		func(_ Params, values []any) (*Result, error) {
+			rows := values[0].([]fig1Row)
+			res := NewResult("Fig 1: priority scheduling provides no service isolation (8 slots)",
+				Column{"job", KindString},
+				Column{"priority", KindInt},
+				Column{"alone JCT", KindDuration},
+				Column{"contended JCT", KindDuration},
+				Column{"slowdown", KindFloat2})
+			for _, r := range rows {
+				res.AddRow(r.job, int(r.priority), r.alone, r.jct, r.slowdown)
 			}
-			out.Rows = append(out.Rows, Fig4Row{App: spec.Name, Setting: setting.name, Slowdown: mean})
-		}
-	}
-	return out, nil
+			res.Metrics["kmeans-slowdown"] = rows[0].slowdown
+			return res, nil
+		})
+}
+
+// --- Fig 4 ---------------------------------------------------------------
+
+// contentionSettings are the two contended cells of Fig. 4; the "alone"
+// baseline is 1.0 by construction.
+var contentionSettings = []struct {
+	name  string
+	scale float64
+}{
+	{name: "background", scale: 1},
+	{name: "background x2", scale: 2},
 }
 
 // fig4Runs returns the per-cell averaging count for the 50-node figures.
@@ -203,157 +171,164 @@ func fig4Runs(scale Scale) int {
 	return 5
 }
 
-// meanOverRuns averages fn over runs derived seeds.
-func meanOverRuns(runs int, seed int64, fn func(int64) (float64, error)) (float64, error) {
-	var sum float64
-	for r := 0; r < runs; r++ {
-		v, err := fn(seed + int64(r)*104729)
-		if err != nil {
-			return 0, err
+// fig4Experiment measures each SparkBench application against background
+// workloads at three contention levels under plain priority scheduling (no
+// SSR): running alone, with background jobs, and with prolonged (2x)
+// background jobs. Each contended cell averages several replications with
+// re-synthesized workloads; every (app, setting, run) triple is one cell.
+func fig4Experiment() Experiment {
+	cells := func(p Params) ([]Cell, error) {
+		env := env50(p.Scale)
+		opts := baseOpts()
+		seeds := runSeeds(p.Seed, fig4Runs(p.Scale))
+		var cells []Cell
+		for _, spec := range workload.MLSuite() {
+			for _, setting := range contentionSettings {
+				for r, seed := range seeds {
+					cells = append(cells, Cell{
+						Key: fmt.Sprintf("fig4/%s/%s/run%d", spec.Name, setting.name, r),
+						Run: func() (any, error) {
+							return runOneForeground(env, spec, opts, seed, setting.scale)
+						},
+					})
+				}
+			}
 		}
-		sum += v
+		return cells, nil
 	}
-	return sum / float64(runs), nil
-}
-
-func (r Fig4Result) String() string {
-	var b strings.Builder
-	b.WriteString("Fig 4: foreground slowdown vs contention level (work conserving, no SSR)\n")
-	rows := make([][]string, 0, len(r.Rows))
-	for _, row := range r.Rows {
-		rows = append(rows, []string{row.App, row.Setting, f2(row.Slowdown)})
+	assemble := func(p Params, values []any) (*Result, error) {
+		runs := fig4Runs(p.Scale)
+		res := NewResult("Fig 4: foreground slowdown vs contention level (work conserving, no SSR)",
+			Column{"app", KindString}, Column{"setting", KindString}, Column{"slowdown", KindFloat2})
+		cur := cursor{values: values}
+		worst := 0.0
+		for _, spec := range workload.MLSuite() {
+			res.AddRow(spec.Name, "alone", 1.0)
+			for _, setting := range contentionSettings {
+				var sum float64
+				for r := 0; r < runs; r++ {
+					sum += cur.next().(float64)
+				}
+				mean := sum / float64(runs)
+				if mean > worst {
+					worst = mean
+				}
+				res.AddRow(spec.Name, setting.name, mean)
+			}
+		}
+		res.Metrics["worst-slowdown"] = worst
+		return res, nil
 	}
-	b.WriteString(table([]string{"app", "setting", "slowdown"}, rows))
-	return b.String()
+	return Define("fig4", "foreground slowdown vs contention level", cells, assemble)
 }
 
-// Fig5Result holds the KMeans running-task timelines with and without
-// background contention.
-type Fig5Result struct {
-	Step      time.Duration
-	Alone     []int
-	Contended []int
+// --- Fig 5 ---------------------------------------------------------------
+
+// fig5Value is one finished Fig. 5 run with its foreground job.
+type fig5Value struct {
+	res *runResult
+	job *dag.Job
 }
 
-// Fig5 records the number of running KMeans tasks over time (degree of
-// parallelism 20), without and with low-priority background jobs, showing
-// the slot loss at every barrier.
-func Fig5(p Params) (Fig5Result, error) {
-	p = p.withDefaults()
-	env := env50(p.Scale)
-	opts := baseOpts()
-	opts.RecordTimeline = true
-
-	build := func() (*dag.Job, error) {
+// fig5Experiment records the number of running KMeans tasks over time
+// (degree of parallelism 20), without and with low-priority background
+// jobs, showing the slot loss at every barrier. The alone and contended
+// runs are independent cells; sampling happens at assembly.
+func fig5Experiment() Experiment {
+	build := func(p Params, env contentionEnv) (*dag.Job, error) {
 		return workload.KMeans.Build(1, fgPriority, env.fgSubmit, stats.Stream(p.Seed, "fig5-km"))
 	}
-
-	// Alone run.
-	fgAlone, err := build()
-	if err != nil {
-		return Fig5Result{}, err
+	cells := func(p Params) ([]Cell, error) {
+		env := env50(p.Scale)
+		opts := baseOpts()
+		opts.RecordTimeline = true
+		return []Cell{
+			{Key: "fig5/alone", Run: func() (any, error) {
+				fg, err := build(p, env)
+				if err != nil {
+					return nil, err
+				}
+				res, err := runSim(env.nodes, env.perNode, opts, []*dag.Job{fg})
+				if err != nil {
+					return nil, err
+				}
+				return fig5Value{res: res, job: fg}, nil
+			}},
+			{Key: "fig5/contended", Run: func() (any, error) {
+				fg, err := build(p, env)
+				if err != nil {
+					return nil, err
+				}
+				bgJobs, err := workload.Background(env.bg, 1000, bgPriority, stats.Stream(p.Seed, "bg"))
+				if err != nil {
+					return nil, err
+				}
+				res, err := runSim(env.nodes, env.perNode, opts, []*dag.Job{fg}, bgJobs)
+				if err != nil {
+					return nil, err
+				}
+				return fig5Value{res: res, job: fg}, nil
+			}},
+		}, nil
 	}
-	aloneRes, err := runSim(env.nodes, env.perNode, opts, []*dag.Job{fgAlone})
-	if err != nil {
-		return Fig5Result{}, err
-	}
-	// Contended run with an identical foreground job.
-	fg, err := build()
-	if err != nil {
-		return Fig5Result{}, err
-	}
-	bgJobs, err := workload.Background(env.bg, 1000, bgPriority, stats.Stream(p.Seed, "bg"))
-	if err != nil {
-		return Fig5Result{}, err
-	}
-	contRes, err := runSim(env.nodes, env.perNode, opts, []*dag.Job{fg}, bgJobs)
-	if err != nil {
-		return Fig5Result{}, err
-	}
-
-	// Sample both series over the contended job's span.
-	span := contRes.stats[fg.ID].JCT()
-	const samples = 60
-	step := span / samples
-	if step <= 0 {
-		step = time.Second
-	}
-	out := Fig5Result{Step: step}
-	for i := 0; i <= samples; i++ {
-		t := env.fgSubmit + time.Duration(i)*step
-		out.Alone = append(out.Alone, aloneRes.drv.Timeline().At(fgAlone.ID, t))
-		out.Contended = append(out.Contended, contRes.drv.Timeline().At(fg.ID, t))
-	}
-	return out, nil
-}
-
-func (r Fig5Result) String() string {
-	var b strings.Builder
-	b.WriteString("Fig 5: running KMeans tasks over time (sampled)\n")
-	rows := make([][]string, 0, len(r.Alone))
-	for i := range r.Alone {
-		rows = append(rows, []string{
-			(time.Duration(i) * r.Step).Round(time.Millisecond).String(),
-			fmt.Sprintf("%d", r.Alone[i]),
-			fmt.Sprintf("%d", r.Contended[i]),
-		})
-	}
-	b.WriteString(table([]string{"t", "alone", "contended"}, rows))
-	return b.String()
-}
-
-// Fig6Row reports the end-to-end task slowdown at locality level ANY for
-// one application profile and penalty factor.
-type Fig6Row struct {
-	App      string
-	Factor   float64
-	Measured float64 // mean downstream-task slowdown: JCT(ANY)/JCT(LOCAL) per phase
-}
-
-// Fig6Result holds the locality-penalty microbenchmark.
-type Fig6Result struct {
-	Rows []Fig6Row
-}
-
-// Fig6 reproduces the locality microbenchmark: the same application run
-// with every downstream phase placed at PROCESS_LOCAL vs forced to ANY.
-// The paper measures penalties up to two orders of magnitude on EC2; the
-// simulator prices the penalty via the configured factor, and this
-// experiment verifies it end to end (the measured per-phase slowdown
-// equals the configured factor across the sweep).
-func Fig6(seed int64) (Fig6Result, error) {
-	factors := []float64{5, 10, 100}
-	var out Fig6Result
-	for _, spec := range workload.MLSuite() {
-		for _, f := range factors {
-			local := baseOpts()
-			local.LocalityFactor = f
-			remote := local
-			remote.ForceRemote = true
-
-			job, err := spec.Build(1, fgPriority, 0, stats.Stream(seed, "fig6-"+spec.Name))
-			if err != nil {
-				return Fig6Result{}, err
-			}
-			localJCT, err := driver.AloneJCT(job, spec.Parallelism, 1, local)
-			if err != nil {
-				return Fig6Result{}, err
-			}
-			// AloneJCT forces ModeNone but keeps locality params; for
-			// the ANY measurement run the full driver directly.
-			res, err := runSim(spec.Parallelism, 1, remote, []*dag.Job{job})
-			if err != nil {
-				return Fig6Result{}, err
-			}
-			remoteJCT := res.stats[job.ID].JCT()
-			// The first phase has no locality preference, so compare
-			// only the downstream part of the pipeline.
-			firstPhase := phaseOneSpan(job)
-			measured := float64(remoteJCT-firstPhase) / float64(localJCT-firstPhase)
-			out.Rows = append(out.Rows, Fig6Row{App: spec.Name, Factor: f, Measured: measured})
+	assemble := func(p Params, values []any) (*Result, error) {
+		env := env50(p.Scale)
+		alone := values[0].(fig5Value)
+		cont := values[1].(fig5Value)
+		// Sample both series over the contended job's span.
+		span := cont.res.stats[cont.job.ID].JCT()
+		const samples = 60
+		step := span / samples
+		if step <= 0 {
+			step = time.Second
 		}
+		res := NewResult("Fig 5: running KMeans tasks over time (sampled)",
+			Column{"t", KindDuration}, Column{"alone", KindInt}, Column{"contended", KindInt})
+		for i := 0; i <= samples; i++ {
+			t := env.fgSubmit + time.Duration(i)*step
+			res.AddRow(time.Duration(i)*step,
+				alone.res.drv.Timeline().At(alone.job.ID, t),
+				cont.res.drv.Timeline().At(cont.job.ID, t))
+		}
+		res.Metrics["samples"] = float64(len(res.Rows))
+		return res, nil
 	}
-	return out, nil
+	return Define("fig5", "KMeans running tasks over time", cells, assemble)
+}
+
+// --- Fig 6 ---------------------------------------------------------------
+
+// fig6Factors are the swept locality penalty factors.
+var fig6Factors = []float64{5, 10, 100}
+
+// fig6One measures one (application, penalty factor) cell: the same
+// application run with every downstream phase placed at PROCESS_LOCAL vs
+// forced to ANY, returning the mean downstream-task slowdown.
+func fig6One(spec workload.MLSpec, factor float64, seed int64) (float64, error) {
+	local := baseOpts()
+	local.LocalityFactor = factor
+	remote := local
+	remote.ForceRemote = true
+
+	job, err := spec.Build(1, fgPriority, 0, stats.Stream(seed, "fig6-"+spec.Name))
+	if err != nil {
+		return 0, err
+	}
+	localJCT, err := driver.AloneJCT(job, spec.Parallelism, 1, local)
+	if err != nil {
+		return 0, err
+	}
+	// AloneJCT forces ModeNone but keeps locality params; for the ANY
+	// measurement run the full driver directly.
+	res, err := runSim(spec.Parallelism, 1, remote, []*dag.Job{job})
+	if err != nil {
+		return 0, err
+	}
+	remoteJCT := res.stats[job.ID].JCT()
+	// The first phase has no locality preference, so compare only the
+	// downstream part of the pipeline.
+	firstPhase := phaseOneSpan(job)
+	return float64(remoteJCT-firstPhase) / float64(localJCT-firstPhase), nil
 }
 
 // phaseOneSpan returns the duration of the job's root phase when run with
@@ -368,132 +343,171 @@ func phaseOneSpan(job *dag.Job) time.Duration {
 	return slowest
 }
 
-func (r Fig6Result) String() string {
-	var b strings.Builder
-	b.WriteString("Fig 6: task slowdown without data locality (ANY vs PROCESS_LOCAL)\n")
-	rows := make([][]string, 0, len(r.Rows))
-	for _, row := range r.Rows {
-		rows = append(rows, []string{row.App, f2(row.Factor), f2(row.Measured)})
-	}
-	b.WriteString(table([]string{"app", "penalty factor", "measured slowdown"}, rows))
-	return b.String()
-}
-
-// Fig12Row reports one (application, setting, mode) cell.
-type Fig12Row struct {
-	App      string
-	Setting  string // "standard" or "background x2"
-	SSR      bool
-	Slowdown float64
-}
-
-// Fig12Result holds the isolation comparison with and without SSR.
-type Fig12Result struct {
-	Rows []Fig12Row
-}
-
-// Fig12 compares each foreground application's slowdown with and without
-// speculative slot reservation, under standard and prolonged (2x)
-// background workloads. With SSR the paper reports < 10% slowdown.
-func Fig12(p Params) (Fig12Result, error) {
-	p = p.withDefaults()
-	env := env50(p.Scale)
-	var out Fig12Result
-	for _, spec := range workload.MLSuite() {
-		for _, setting := range []struct {
-			name  string
-			scale float64
-		}{
-			{name: "standard", scale: 1},
-			{name: "background x2", scale: 2},
-		} {
-			for _, mode := range []struct {
-				ssr  bool
-				opts driver.Options
-			}{
-				{ssr: false, opts: baseOpts()},
-				{ssr: true, opts: ssrOpts()},
-			} {
-				mean, err := meanOverRuns(fig4Runs(p.Scale), p.Seed, func(seed int64) (float64, error) {
-					return runOneForeground(env, spec, mode.opts, seed, setting.scale)
-				})
-				if err != nil {
-					return Fig12Result{}, err
-				}
-				out.Rows = append(out.Rows, Fig12Row{
-					App: spec.Name, Setting: setting.name, SSR: mode.ssr, Slowdown: mean,
+// fig6Experiment reproduces the locality microbenchmark. The paper
+// measures penalties up to two orders of magnitude on EC2; the simulator
+// prices the penalty via the configured factor, and this experiment
+// verifies it end to end (the measured per-phase slowdown equals the
+// configured factor across the sweep).
+func fig6Experiment() Experiment {
+	cells := func(p Params) ([]Cell, error) {
+		var cells []Cell
+		for _, spec := range workload.MLSuite() {
+			for _, f := range fig6Factors {
+				cells = append(cells, Cell{
+					Key: fmt.Sprintf("fig6/%s/x%g", spec.Name, f),
+					Run: func() (any, error) { return fig6One(spec, f, p.Seed) },
 				})
 			}
 		}
+		return cells, nil
 	}
-	return out, nil
-}
-
-func (r Fig12Result) String() string {
-	var b strings.Builder
-	b.WriteString("Fig 12: foreground slowdown with and without speculative slot reservation\n")
-	rows := make([][]string, 0, len(r.Rows))
-	for _, row := range r.Rows {
-		mode := "w/o SSR"
-		if row.SSR {
-			mode = "w/ SSR"
+	assemble := func(_ Params, values []any) (*Result, error) {
+		res := NewResult("Fig 6: task slowdown without data locality (ANY vs PROCESS_LOCAL)",
+			Column{"app", KindString}, Column{"penalty factor", KindFloat2}, Column{"measured slowdown", KindFloat2})
+		cur := cursor{values: values}
+		worst := 0.0
+		for _, spec := range workload.MLSuite() {
+			for _, f := range fig6Factors {
+				measured := cur.next().(float64)
+				if measured > worst {
+					worst = measured
+				}
+				res.AddRow(spec.Name, f, measured)
+			}
 		}
-		rows = append(rows, []string{row.App, row.Setting, mode, f2(row.Slowdown)})
+		res.Metrics["worst-task-slowdown"] = worst
+		return res, nil
 	}
-	b.WriteString(table([]string{"app", "setting", "mode", "slowdown"}, rows))
-	return b.String()
+	return Define("fig6", "task slowdown without data locality", cells, assemble)
 }
 
-// Fig13Result holds the fair-scheduler allocation timelines.
-type Fig13Result struct {
-	Step time.Duration
-	// Allocations of the pipelined job-1 and map-only job-2 over time,
-	// without and with SSR.
-	Job1None, Job2None []int
-	Job1SSR, Job2SSR   []int
-	JCT1None, JCT1SSR  time.Duration
+// --- Fig 12 --------------------------------------------------------------
+
+// fig12Settings are the contended settings of Fig. 12 (the figure labels
+// the 1x background "standard", unlike Fig. 4).
+var fig12Settings = []struct {
+	name  string
+	scale float64
+}{
+	{name: "standard", scale: 1},
+	{name: "background x2", scale: 2},
 }
 
-// Fig13 runs two synthetic jobs under the fair scheduler: job-1 with three
-// pipelined phases and job-2 map-only. Without SSR job-1 loses its share
-// at every barrier; with SSR it retains it.
-func Fig13(seed int64) (Fig13Result, error) {
+// fig12Modes are the two compared policies.
+var fig12Modes = []struct {
+	name string
+	ssr  bool
+}{
+	{name: "w/o SSR", ssr: false},
+	{name: "w/ SSR", ssr: true},
+}
+
+// fig12Experiment compares each foreground application's slowdown with and
+// without speculative slot reservation, under standard and prolonged (2x)
+// background workloads. With SSR the paper reports < 10% slowdown.
+func fig12Experiment() Experiment {
+	cells := func(p Params) ([]Cell, error) {
+		env := env50(p.Scale)
+		seeds := runSeeds(p.Seed, fig4Runs(p.Scale))
+		var cells []Cell
+		for _, spec := range workload.MLSuite() {
+			for _, setting := range fig12Settings {
+				for _, mode := range fig12Modes {
+					opts := baseOpts()
+					if mode.ssr {
+						opts = ssrOpts()
+					}
+					for r, seed := range seeds {
+						cells = append(cells, Cell{
+							Key: fmt.Sprintf("fig12/%s/%s/ssr=%v/run%d", spec.Name, setting.name, mode.ssr, r),
+							Run: func() (any, error) {
+								return runOneForeground(env, spec, opts, seed, setting.scale)
+							},
+						})
+					}
+				}
+			}
+		}
+		return cells, nil
+	}
+	assemble := func(p Params, values []any) (*Result, error) {
+		runs := fig4Runs(p.Scale)
+		res := NewResult("Fig 12: foreground slowdown with and without speculative slot reservation",
+			Column{"app", KindString}, Column{"setting", KindString},
+			Column{"mode", KindString}, Column{"slowdown", KindFloat2})
+		cur := cursor{values: values}
+		worstSSR := 0.0
+		for _, spec := range workload.MLSuite() {
+			for _, setting := range fig12Settings {
+				for _, mode := range fig12Modes {
+					var sum float64
+					for r := 0; r < runs; r++ {
+						sum += cur.next().(float64)
+					}
+					mean := sum / float64(runs)
+					if mode.ssr && mean > worstSSR {
+						worstSSR = mean
+					}
+					res.AddRow(spec.Name, setting.name, mode.name, mean)
+				}
+			}
+		}
+		res.Metrics["worst-ssr-slowdown"] = worstSSR
+		return res, nil
+	}
+	return Define("fig12", "slowdown with and without SSR", cells, assemble)
+}
+
+// --- Fig 13 --------------------------------------------------------------
+
+// fig13Value is one finished fair-scheduler run with its two jobs.
+type fig13Value struct {
+	res  *runResult
+	jobs []*dag.Job
+}
+
+// fig13MkJobs synthesizes the two fair-share jobs: job-1 with three
+// pipelined phases sized to half the cluster, job-2 map-only.
+func fig13MkJobs(seed int64, share int) ([]*dag.Job, error) {
+	rng := stats.Stream(seed, "fig13")
+	dist, err := stats.LogNormalWithMean(0.3, 5)
+	if err != nil {
+		return nil, err
+	}
+	phase := func(mtasks int) dag.PhaseSpec {
+		ds := make([]time.Duration, mtasks)
+		cs := make([]time.Duration, mtasks)
+		for i := range ds {
+			ds[i] = time.Duration(dist.Sample(rng) * float64(time.Second))
+			cs[i] = ds[i]
+		}
+		return dag.PhaseSpec{Durations: ds, CopyDurations: cs}
+	}
+	job1, err := dag.Chain(1, "pipelined", 5, []dag.PhaseSpec{
+		phase(share), phase(share), phase(share),
+	})
+	if err != nil {
+		return nil, err
+	}
+	job2, err := dag.Chain(2, "maponly", 5, []dag.PhaseSpec{phase(64)})
+	if err != nil {
+		return nil, err
+	}
+	return []*dag.Job{job1, job2}, nil
+}
+
+// fig13Experiment runs two synthetic jobs under the fair scheduler: job-1
+// with three pipelined phases and job-2 map-only. Without SSR job-1 loses
+// its share at every barrier; with SSR it retains it.
+func fig13Experiment() Experiment {
 	const (
 		nodes, perNode = 8, 2
 		share          = 8 // half of the 16 slots
 	)
-	mkJobs := func() ([]*dag.Job, error) {
-		rng := stats.Stream(seed, "fig13")
-		dist, err := stats.LogNormalWithMean(0.3, 5)
+	runMode := func(seed int64, mode driver.Mode) (any, error) {
+		jobs, err := fig13MkJobs(seed, share)
 		if err != nil {
 			return nil, err
-		}
-		phase := func(mtasks int) dag.PhaseSpec {
-			ds := make([]time.Duration, mtasks)
-			cs := make([]time.Duration, mtasks)
-			for i := range ds {
-				ds[i] = time.Duration(dist.Sample(rng) * float64(time.Second))
-				cs[i] = ds[i]
-			}
-			return dag.PhaseSpec{Durations: ds, CopyDurations: cs}
-		}
-		job1, err := dag.Chain(1, "pipelined", 5, []dag.PhaseSpec{
-			phase(share), phase(share), phase(share),
-		})
-		if err != nil {
-			return nil, err
-		}
-		job2, err := dag.Chain(2, "maponly", 5, []dag.PhaseSpec{phase(64)})
-		if err != nil {
-			return nil, err
-		}
-		return []*dag.Job{job1, job2}, nil
-	}
-
-	run := func(mode driver.Mode) (*runResult, []*dag.Job, error) {
-		jobs, err := mkJobs()
-		if err != nil {
-			return nil, nil, err
 		}
 		opts := baseOpts()
 		opts.Queue = sched.NewFairQueue()
@@ -503,134 +517,77 @@ func Fig13(seed int64) (Fig13Result, error) {
 		}
 		opts.RecordTimeline = true
 		res, err := runSim(nodes, perNode, opts, jobs)
-		return res, jobs, err
+		if err != nil {
+			return nil, err
+		}
+		return fig13Value{res: res, jobs: jobs}, nil
 	}
-
-	noneRes, noneJobs, err := run(driver.ModeNone)
-	if err != nil {
-		return Fig13Result{}, err
+	cells := func(p Params) ([]Cell, error) {
+		return []Cell{
+			{Key: "fig13/none", Run: func() (any, error) { return runMode(p.Seed, driver.ModeNone) }},
+			{Key: "fig13/ssr", Run: func() (any, error) { return runMode(p.Seed, driver.ModeSSR) }},
+		}, nil
 	}
-	ssrRes, ssrJobs, err := run(driver.ModeSSR)
-	if err != nil {
-		return Fig13Result{}, err
+	assemble := func(_ Params, values []any) (*Result, error) {
+		none := values[0].(fig13Value)
+		ssr := values[1].(fig13Value)
+		jctNone := none.res.stats[none.jobs[0].ID].JCT()
+		jctSSR := ssr.res.stats[ssr.jobs[0].ID].JCT()
+		span := none.res.makespan
+		if ssr.res.makespan > span {
+			span = ssr.res.makespan
+		}
+		const samples = 60
+		step := span / samples
+		if step <= 0 {
+			step = time.Second
+		}
+		res := NewResult("Fig 13: fair-scheduler slot allocations over time",
+			Column{"t", KindDuration},
+			Column{"job1 w/o", KindInt}, Column{"job2 w/o", KindInt},
+			Column{"job1 w/", KindInt}, Column{"job2 w/", KindInt})
+		res.Notes = append(res.Notes, fmt.Sprintf("pipelined job-1 JCT: w/o SSR %v, w/ SSR %v",
+			jctNone.Round(time.Millisecond), jctSSR.Round(time.Millisecond)))
+		for i := 0; i <= samples; i++ {
+			t := time.Duration(i) * step
+			res.AddRow(t,
+				none.res.drv.Timeline().At(1, t), none.res.drv.Timeline().At(2, t),
+				ssr.res.drv.Timeline().At(1, t), ssr.res.drv.Timeline().At(2, t))
+		}
+		res.Metrics["pipelined-speedup"] = float64(jctNone) / float64(jctSSR)
+		res.Metrics["jct1-none-seconds"] = jctNone.Seconds()
+		res.Metrics["jct1-ssr-seconds"] = jctSSR.Seconds()
+		return res, nil
 	}
-
-	span := noneRes.makespan
-	if ssrRes.makespan > span {
-		span = ssrRes.makespan
-	}
-	const samples = 60
-	step := span / samples
-	if step <= 0 {
-		step = time.Second
-	}
-	out := Fig13Result{
-		Step:     step,
-		JCT1None: noneRes.stats[noneJobs[0].ID].JCT(),
-		JCT1SSR:  ssrRes.stats[ssrJobs[0].ID].JCT(),
-	}
-	for i := 0; i <= samples; i++ {
-		t := time.Duration(i) * step
-		out.Job1None = append(out.Job1None, noneRes.drv.Timeline().At(1, t))
-		out.Job2None = append(out.Job2None, noneRes.drv.Timeline().At(2, t))
-		out.Job1SSR = append(out.Job1SSR, ssrRes.drv.Timeline().At(1, t))
-		out.Job2SSR = append(out.Job2SSR, ssrRes.drv.Timeline().At(2, t))
-	}
-	return out, nil
+	return Define("fig13", "fair-scheduler allocations over time", cells, assemble)
 }
 
-func (r Fig13Result) String() string {
-	var b strings.Builder
-	b.WriteString("Fig 13: fair-scheduler slot allocations over time\n")
-	fmt.Fprintf(&b, "pipelined job-1 JCT: w/o SSR %v, w/ SSR %v\n",
-		r.JCT1None.Round(time.Millisecond), r.JCT1SSR.Round(time.Millisecond))
-	rows := make([][]string, 0, len(r.Job1None))
-	for i := range r.Job1None {
-		rows = append(rows, []string{
-			(time.Duration(i) * r.Step).Round(time.Millisecond).String(),
-			fmt.Sprintf("%d", r.Job1None[i]),
-			fmt.Sprintf("%d", r.Job2None[i]),
-			fmt.Sprintf("%d", r.Job1SSR[i]),
-			fmt.Sprintf("%d", r.Job2SSR[i]),
-		})
-	}
-	b.WriteString(table([]string{"t", "job1 w/o", "job2 w/o", "job1 w/", "job2 w/"}, rows))
-	return b.String()
+// --- Fig 14 --------------------------------------------------------------
+
+// fig14Levels is the swept isolation knob; the strict P=1 cell doubles as
+// the utilization baseline (the simulator is deterministic, so a separate
+// baseline run would reproduce it bit for bit).
+var fig14Levels = []float64{0.2, 0.4, 0.6, 0.8, 1.0}
+
+// fig14Value is one (app, run, P) measurement.
+type fig14Value struct {
+	idle time.Duration
+	slow float64
 }
 
-// Fig14Row reports one (application, isolation level) cell.
-type Fig14Row struct {
-	App             string
-	P               float64
-	Slowdown        float64
-	UtilImprovement float64 // % reduction of reserved-idle loss vs P=1
-}
-
-// Fig14Result holds the measured isolation/utilization trade-off.
-type Fig14Result struct {
-	Rows []Fig14Row
-}
-
-// Fig14 sweeps the isolation knob P and measures, for each foreground
-// application in contention with background jobs, the job slowdown and the
-// utilization improvement (reduction of reserved-idle slot-time) relative
-// to the strict P=1 baseline. Foreground task durations are re-shaped to
-// Pareto (alpha 1.6, same means) so the deadline knob has stragglers to
-// act on, as in production traces. Each data point averages Runs runs
-// (paper: 10).
-func Fig14(p Params) (Fig14Result, error) {
-	p = p.withDefaults()
-	env := env50(p.Scale)
-	runs := 10
-	if p.Scale == Quick {
-		runs = 3
+// fig14Runs returns the per-point averaging count (paper: 10).
+func fig14Runs(scale Scale) int {
+	if scale == Quick {
+		return 3
 	}
-	ps := []float64{0.2, 0.4, 0.6, 0.8, 1.0}
-	var out Fig14Result
-	for _, spec := range workload.MLSuite() {
-		// Per run: a baseline at P=1 plus one run per P level.
-		type acc struct {
-			slow float64
-			util float64
-		}
-		sums := make(map[float64]*acc, len(ps))
-		for _, pv := range ps {
-			sums[pv] = &acc{}
-		}
-		for run := 0; run < runs; run++ {
-			seed := p.Seed + int64(run)*7919
-			baseIdle, _, err := fig14One(env, spec, 1.0, seed)
-			if err != nil {
-				return Fig14Result{}, err
-			}
-			for _, pv := range ps {
-				idle, slow, err := fig14One(env, spec, pv, seed)
-				if err != nil {
-					return Fig14Result{}, err
-				}
-				improvement := 0.0
-				if baseIdle > 0 {
-					improvement = 100 * (float64(baseIdle) - float64(idle)) / float64(baseIdle)
-				}
-				sums[pv].slow += slow
-				sums[pv].util += improvement
-			}
-		}
-		for _, pv := range ps {
-			out.Rows = append(out.Rows, Fig14Row{
-				App:             spec.Name,
-				P:               pv,
-				Slowdown:        sums[pv].slow / float64(runs),
-				UtilImprovement: sums[pv].util / float64(runs),
-			})
-		}
-	}
-	return out, nil
+	return 10
 }
 
 // fig14One runs one foreground application at isolation level pv and
-// returns the reserved-idle slot-time and the job's slowdown.
-func fig14One(env contentionEnv, spec workload.MLSpec, pv float64, seed int64) (time.Duration, float64, error) {
+// returns the reserved-idle slot-time and the job's slowdown. Foreground
+// task durations are re-shaped to Pareto (alpha 1.6, same means) so the
+// deadline knob has stragglers to act on, as in production traces.
+func fig14One(env contentionEnv, spec workload.MLSpec, pv float64, seed int64) (fig14Value, error) {
 	opts := ssrOpts()
 	opts.SSR.IsolationP = pv
 	opts.SSR.Alpha = 1.6
@@ -638,36 +595,85 @@ func fig14One(env contentionEnv, spec workload.MLSpec, pv float64, seed int64) (
 	rng := stats.Stream(seed, "fig14-"+spec.Name)
 	fg, err := spec.Build(1, fgPriority, env.fgSubmit, rng)
 	if err != nil {
-		return 0, 0, err
+		return fig14Value{}, err
 	}
 	fg, err = workload.ParetoReshape(fg, 1.6, stats.Stream(seed, "fig14-reshape-"+spec.Name))
 	if err != nil {
-		return 0, 0, err
+		return fig14Value{}, err
 	}
 	bgJobs, err := workload.Background(env.bg, 1000, bgPriority, stats.Stream(seed, "bg"))
 	if err != nil {
-		return 0, 0, err
+		return fig14Value{}, err
 	}
 	res, err := runSim(env.nodes, env.perNode, opts, []*dag.Job{fg}, bgJobs)
 	if err != nil {
-		return 0, 0, err
+		return fig14Value{}, err
 	}
 	slow, err := res.slowdown(fg, env.nodes, env.perNode, opts)
 	if err != nil {
-		return 0, 0, err
+		return fig14Value{}, err
 	}
-	return res.drv.Usage().ReservedIdleTime(), slow, nil
+	return fig14Value{idle: res.drv.Usage().ReservedIdleTime(), slow: slow}, nil
 }
 
-func (r Fig14Result) String() string {
-	var b strings.Builder
-	b.WriteString("Fig 14: measured trade-off between isolation and utilization\n")
-	rows := make([][]string, 0, len(r.Rows))
-	for _, row := range r.Rows {
-		rows = append(rows, []string{
-			row.App, f2(row.P), f2(row.Slowdown), pct(row.UtilImprovement),
-		})
+// fig14Experiment sweeps the isolation knob P and measures, for each
+// foreground application in contention with background jobs, the job
+// slowdown and the utilization improvement (reduction of reserved-idle
+// slot-time) relative to the strict P=1 baseline. Each data point averages
+// fig14Runs replications; every (app, run, P) triple is one cell.
+func fig14Experiment() Experiment {
+	cells := func(p Params) ([]Cell, error) {
+		env := env50(p.Scale)
+		seeds := runSeeds(p.Seed, fig14Runs(p.Scale))
+		var cells []Cell
+		for _, spec := range workload.MLSuite() {
+			for r, seed := range seeds {
+				for _, pv := range fig14Levels {
+					cells = append(cells, Cell{
+						Key: fmt.Sprintf("fig14/%s/run%d/P%.1f", spec.Name, r, pv),
+						Run: func() (any, error) { return fig14One(env, spec, pv, seed) },
+					})
+				}
+			}
+		}
+		return cells, nil
 	}
-	b.WriteString(table([]string{"app", "P", "slowdown", "util improvement"}, rows))
-	return b.String()
+	assemble := func(p Params, values []any) (*Result, error) {
+		runs := fig14Runs(p.Scale)
+		res := NewResult("Fig 14: measured trade-off between isolation and utilization",
+			Column{"app", KindString}, Column{"P", KindFloat2},
+			Column{"slowdown", KindFloat2}, Column{"util improvement", KindPercent})
+		apps := workload.MLSuite()
+		// value index of (app ai, run r, level pi)
+		at := func(ai, r, pi int) fig14Value {
+			return values[(ai*runs+r)*len(fig14Levels)+pi].(fig14Value)
+		}
+		baseIdx := len(fig14Levels) - 1 // P = 1.0
+		for ai, spec := range apps {
+			type acc struct{ slow, util float64 }
+			sums := make([]acc, len(fig14Levels))
+			for r := 0; r < runs; r++ {
+				baseIdle := at(ai, r, baseIdx).idle
+				for pi := range fig14Levels {
+					v := at(ai, r, pi)
+					improvement := 0.0
+					if baseIdle > 0 {
+						improvement = 100 * (float64(baseIdle) - float64(v.idle)) / float64(baseIdle)
+					}
+					sums[pi].slow += v.slow
+					sums[pi].util += improvement
+				}
+			}
+			for pi, pv := range fig14Levels {
+				slow := sums[pi].slow / float64(runs)
+				util := sums[pi].util / float64(runs)
+				if spec.Name == "kmeans" && pv == 0.2 {
+					res.Metrics["util-improvement-pct-P0.2"] = util
+				}
+				res.AddRow(spec.Name, pv, slow, util)
+			}
+		}
+		return res, nil
+	}
+	return Define("fig14", "measured isolation/utilization trade-off", cells, assemble)
 }

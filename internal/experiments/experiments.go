@@ -1,15 +1,16 @@
 // Package experiments regenerates every figure of the paper's evaluation
 // (the paper reports all results as figures; it has no numbered tables).
-// Each Fig* function runs the corresponding experiment on the simulator and
-// returns a typed result whose String method prints the same rows/series
-// the paper plots. See DESIGN.md for the per-experiment index and
-// EXPERIMENTS.md for paper-vs-measured numbers.
+// Each experiment implements the Experiment interface: Cells splits it
+// into independent units (sweep points and replications) that a runner may
+// execute concurrently, and Assemble folds the cell values into a Result
+// table printing the same rows/series the paper plots. Every experiment
+// registers itself in the package-level Default registry. See DESIGN.md
+// for the per-experiment index and EXPERIMENTS.md for paper-vs-measured
+// numbers.
 package experiments
 
 import (
 	"fmt"
-	"strings"
-	"text/tabwriter"
 	"time"
 
 	"ssr/internal/cluster"
@@ -17,6 +18,7 @@ import (
 	"ssr/internal/driver"
 	"ssr/internal/metrics"
 	"ssr/internal/sim"
+	"ssr/internal/stats"
 )
 
 // Scale selects the experiment size: Quick for tests and benchmarks, Full
@@ -140,19 +142,28 @@ func (r *runResult) meanSlowdown(jobs []*dag.Job, nodes, perNode int, opts drive
 	return sum / float64(len(jobs)), nil
 }
 
-// table renders rows with aligned columns.
-func table(header []string, rows [][]string) string {
-	var b strings.Builder
-	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, strings.Join(header, "\t"))
-	for _, row := range rows {
-		fmt.Fprintln(w, strings.Join(row, "\t"))
+// runSeeds derives one independent root seed per replication. Every
+// run-averaged experiment uses this scheme (stats.SubSeed's FNV mixing)
+// rather than arithmetic like seed+run*prime, so replication seeds never
+// produce correlated stream families and a cell's seed depends only on its
+// run index — never on how many sibling cells ran before it.
+func runSeeds(seed int64, runs int) []int64 {
+	out := make([]int64, runs)
+	for r := range out {
+		out[r] = stats.SubSeed(seed, "run", r)
 	}
-	// Flush cannot fail on a strings.Builder sink.
-	_ = w.Flush()
-	return b.String()
+	return out
 }
 
-func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
-func f3(v float64) string  { return fmt.Sprintf("%.3f", v) }
-func pct(v float64) string { return fmt.Sprintf("%.1f%%", v) }
+// cursor walks assembled cell values in cell order; Assemble functions use
+// it to consume values with the same nested loops that emitted the cells.
+type cursor struct {
+	values []any
+	i      int
+}
+
+func (c *cursor) next() any {
+	v := c.values[c.i]
+	c.i++
+	return v
+}

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"strings"
 	"time"
 
 	"ssr/internal/cluster"
@@ -19,61 +18,35 @@ import (
 // a few task lengths, so lost capacity is transient but not negligible.
 const faultRepair = 30 * time.Second
 
-// FaultToleranceRow is one (MTTF, policy) cell of the fault sweep.
-type FaultToleranceRow struct {
-	// MTTF is the per-node mean time to failure; 0 means no faults.
-	MTTF time.Duration
-	// Policy is the reservation policy ("none" or "ssr").
-	Policy string
-	// JCT is the foreground job's completion time under faults.
-	JCT time.Duration
-	// Slowdown is JCT over the fault-free alone baseline.
-	Slowdown float64
-	// Faults are the run's injection and recovery counters.
-	Faults metrics.FaultCounters
+// faultRow is one (MTTF, policy) cell of the fault sweep.
+type faultRow struct {
+	// mttf is the per-node mean time to failure; 0 means no faults.
+	mttf time.Duration
+	// policy is the reservation policy ("none" or "ssr").
+	policy string
+	// jct is the foreground job's completion time under faults.
+	jct time.Duration
+	// slowdown is jct over the fault-free alone baseline.
+	slowdown float64
+	// faults are the run's injection and recovery counters.
+	faults metrics.FaultCounters
 }
 
-// FaultToleranceResult holds the fault-tolerance sweep.
-type FaultToleranceResult struct {
-	// Repair is the fixed per-crash repair time used at every point.
-	Repair time.Duration
-	Rows   []FaultToleranceRow
+// faultMTTFs returns the swept per-node MTTFs (0 = no faults).
+func faultMTTFs(scale Scale) []time.Duration {
+	if scale == Quick {
+		return []time.Duration{0, 2 * time.Minute, time.Minute}
+	}
+	return []time.Duration{0, 4 * time.Minute, 2 * time.Minute, time.Minute}
 }
 
-// FaultTolerance sweeps the foreground slowdown against the per-node MTTF
-// on the 50-node setting, with SSR on and off. Node crashes kill attempts,
-// void reservations and lose cached outputs; the scheduler retries killed
-// tasks and (under SSR) re-issues voided reservations on surviving nodes.
-// The question the sweep answers: does reservation-based isolation survive
-// failures, or do faults erode SSR's advantage over plain priority
-// scheduling? Each cell is a single seeded run, so the whole table is
-// reproducible bit for bit.
-func FaultTolerance(p Params) (FaultToleranceResult, error) {
-	p = p.withDefaults()
-	env := env50(p.Scale)
-	mttfs := []time.Duration{0, 4 * time.Minute, 2 * time.Minute, time.Minute}
-	if p.Scale == Quick {
-		mttfs = []time.Duration{0, 2 * time.Minute, time.Minute}
-	}
-	out := FaultToleranceResult{Repair: faultRepair}
-	for _, mttf := range mttfs {
-		for _, pol := range []struct {
-			name string
-			opts driver.Options
-		}{
-			{name: "none", opts: faultRetryOpts(baseOpts())},
-			{name: "ssr", opts: faultRetryOpts(ssrOpts())},
-		} {
-			row, err := faultCell(env, pol.opts, p.Seed, mttf)
-			if err != nil {
-				return FaultToleranceResult{}, fmt.Errorf("experiments: fault cell mttf=%v policy=%s: %w",
-					mttf, pol.name, err)
-			}
-			row.Policy = pol.name
-			out.Rows = append(out.Rows, row)
-		}
-	}
-	return out, nil
+// faultPolicies are the compared reservation policies.
+var faultPolicies = []struct {
+	name string
+	opts func() driver.Options
+}{
+	{name: "none", opts: func() driver.Options { return faultRetryOpts(baseOpts()) }},
+	{name: "ssr", opts: func() driver.Options { return faultRetryOpts(ssrOpts()) }},
 }
 
 // faultRetryOpts adds the sweep's retry policy: a generous failure budget
@@ -87,52 +60,52 @@ func faultRetryOpts(o driver.Options) driver.Options {
 // Poisson crash–repair process at the given MTTF and measures the
 // foreground outcome. The slowdown baseline is the fault-free alone JCT, so
 // it prices both contention and fault-induced delay.
-func faultCell(env contentionEnv, opts driver.Options, seed int64, mttf time.Duration) (FaultToleranceRow, error) {
+func faultCell(env contentionEnv, opts driver.Options, seed int64, mttf time.Duration) (faultRow, error) {
 	spec := workload.KMeans
 	fg, err := spec.Build(1, fgPriority, env.fgSubmit, stats.Stream(seed, "fg-"+spec.Name))
 	if err != nil {
-		return FaultToleranceRow{}, err
+		return faultRow{}, err
 	}
 	bgJobs, err := workload.Background(env.bg, 1000, bgPriority, stats.Stream(seed, "bg"))
 	if err != nil {
-		return FaultToleranceRow{}, err
+		return faultRow{}, err
 	}
 	eng := sim.New()
 	cl, err := cluster.New(env.nodes, env.perNode)
 	if err != nil {
-		return FaultToleranceRow{}, err
+		return faultRow{}, err
 	}
 	d, err := driver.New(eng, cl, opts)
 	if err != nil {
-		return FaultToleranceRow{}, err
+		return faultRow{}, err
 	}
 	for _, j := range append([]*dag.Job{fg}, bgJobs...) {
 		if err := d.Submit(j); err != nil {
-			return FaultToleranceRow{}, err
+			return faultRow{}, err
 		}
 	}
 	if mttf > 0 {
 		faults.Poisson{MTTF: mttf, Repair: faultRepair, Seed: seed}.Install(d)
 	}
 	if err := d.Run(); err != nil {
-		return FaultToleranceRow{}, err
+		return faultRow{}, err
 	}
 	st, ok := d.Result(fg.ID)
 	if !ok {
-		return FaultToleranceRow{}, fmt.Errorf("foreground job missing from results")
+		return faultRow{}, fmt.Errorf("foreground job missing from results")
 	}
 	if st.Failed {
-		return FaultToleranceRow{}, fmt.Errorf("foreground job aborted (exhausted retries)")
+		return faultRow{}, fmt.Errorf("foreground job aborted (exhausted retries)")
 	}
 	alone, err := driver.AloneJCT(fg, env.nodes, env.perNode, opts)
 	if err != nil {
-		return FaultToleranceRow{}, err
+		return faultRow{}, err
 	}
-	return FaultToleranceRow{
-		MTTF:     mttf,
-		JCT:      st.JCT(),
-		Slowdown: metrics.Slowdown(st.JCT(), alone),
-		Faults:   d.Faults(),
+	return faultRow{
+		mttf:     mttf,
+		jct:      st.JCT(),
+		slowdown: metrics.Slowdown(st.JCT(), alone),
+		faults:   d.Faults(),
 	}, nil
 }
 
@@ -143,27 +116,58 @@ func fmtMTTF(d time.Duration) string {
 	return d.String()
 }
 
-func (r FaultToleranceResult) String() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "Fault tolerance: fg slowdown vs node MTTF (Poisson crashes, repair %v)\n", r.Repair)
-	rows := make([][]string, 0, len(r.Rows))
-	for _, row := range r.Rows {
-		fc := row.Faults
-		rows = append(rows, []string{
-			fmtMTTF(row.MTTF),
-			row.Policy,
-			row.JCT.Round(time.Millisecond).String(),
-			f2(row.Slowdown),
-			fmt.Sprintf("%d/%d", fc.NodeFailures, fc.NodeRecoveries),
-			fmt.Sprintf("%d", fc.AttemptsKilled),
-			fmt.Sprintf("%d", fc.TasksRetried),
-			fmt.Sprintf("%d/%d", fc.ReservationsVoided, fc.ReservationsReissued),
-			fmt.Sprintf("%d", fc.JobsFailed),
-		})
+// faultToleranceExperiment sweeps the foreground slowdown against the
+// per-node MTTF on the 50-node setting, with SSR on and off. Node crashes
+// kill attempts, void reservations and lose cached outputs; the scheduler
+// retries killed tasks and (under SSR) re-issues voided reservations on
+// surviving nodes. The question the sweep answers: does reservation-based
+// isolation survive failures, or do faults erode SSR's advantage over
+// plain priority scheduling? Each (MTTF, policy) cell is a single seeded
+// run, so the whole table is reproducible bit for bit.
+func faultToleranceExperiment() Experiment {
+	cells := func(p Params) ([]Cell, error) {
+		env := env50(p.Scale)
+		var cells []Cell
+		for _, mttf := range faultMTTFs(p.Scale) {
+			for _, pol := range faultPolicies {
+				cells = append(cells, Cell{
+					Key: fmt.Sprintf("faulttolerance/mttf=%s/%s", fmtMTTF(mttf), pol.name),
+					Run: func() (any, error) {
+						row, err := faultCell(env, pol.opts(), p.Seed, mttf)
+						if err != nil {
+							return nil, fmt.Errorf("experiments: fault cell mttf=%v policy=%s: %w",
+								mttf, pol.name, err)
+						}
+						row.policy = pol.name
+						return row, nil
+					},
+				})
+			}
+		}
+		return cells, nil
 	}
-	b.WriteString(table([]string{
-		"mttf", "policy", "fg JCT", "slowdown",
-		"nodes down/up", "kills", "retries", "res voided/reissued", "jobs failed",
-	}, rows))
-	return b.String()
+	assemble := func(p Params, values []any) (*Result, error) {
+		res := NewResult(fmt.Sprintf("Fault tolerance: fg slowdown vs node MTTF (Poisson crashes, repair %v)", faultRepair),
+			Column{"mttf", KindString}, Column{"policy", KindString},
+			Column{"fg JCT", KindDuration}, Column{"slowdown", KindFloat2},
+			Column{"nodes down/up", KindString}, Column{"kills", KindInt},
+			Column{"retries", KindInt}, Column{"res voided/reissued", KindString},
+			Column{"jobs failed", KindInt})
+		rows := make([]faultRow, len(values))
+		for i, v := range values {
+			rows[i] = v.(faultRow)
+			fc := rows[i].faults
+			res.AddRow(fmtMTTF(rows[i].mttf), rows[i].policy, rows[i].jct, rows[i].slowdown,
+				fmt.Sprintf("%d/%d", fc.NodeFailures, fc.NodeRecoveries),
+				fc.AttemptsKilled, fc.TasksRetried,
+				fmt.Sprintf("%d/%d", fc.ReservationsVoided, fc.ReservationsReissued),
+				fc.JobsFailed)
+		}
+		// At the harshest MTTF, how much worse is plain priority
+		// scheduling than SSR?
+		n := len(rows)
+		res.Metrics["none-minus-ssr-worst-mttf"] = rows[n-2].slowdown - rows[n-1].slowdown
+		return res, nil
+	}
+	return Define("faulttolerance", "fg slowdown vs node MTTF with and without SSR", cells, assemble)
 }

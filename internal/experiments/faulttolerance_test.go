@@ -1,41 +1,59 @@
 package experiments
 
 import (
+	"fmt"
 	"reflect"
 	"strings"
 	"testing"
 )
 
 func TestFaultToleranceSSRBeatsBaselineAtEveryMTTF(t *testing.T) {
-	res, err := FaultTolerance(QuickParams())
-	if err != nil {
-		t.Fatalf("FaultTolerance: %v", err)
-	}
+	res := mustResult(t, "faulttolerance", QuickParams())
 	if len(res.Rows)%2 != 0 || len(res.Rows) == 0 {
 		t.Fatalf("rows = %d, want none/ssr pairs", len(res.Rows))
 	}
+	split := func(row int, col string) (a, b int) { // "a/b" composite cells
+		t.Helper()
+		if _, err := fmt.Sscanf(res.Str(row, col), "%d/%d", &a, &b); err != nil {
+			t.Fatalf("row %d: bad %q cell %q: %v", row, col, res.Str(row, col), err)
+		}
+		return a, b
+	}
 	for i := 0; i < len(res.Rows); i += 2 {
-		none, ssr := res.Rows[i], res.Rows[i+1]
-		if none.Policy != "none" || ssr.Policy != "ssr" || none.MTTF != ssr.MTTF {
-			t.Fatalf("row pairing broken: %+v / %+v", none, ssr)
+		none, ssr := i, i+1
+		if res.Str(none, "policy") != "none" || res.Str(ssr, "policy") != "ssr" ||
+			res.Str(none, "mttf") != res.Str(ssr, "mttf") {
+			t.Fatalf("row pairing broken at %d:\n%s", i, res)
 		}
-		if ssr.Slowdown >= none.Slowdown {
-			t.Errorf("mttf %v: ssr slowdown %.2f not below baseline %.2f",
-				none.MTTF, ssr.Slowdown, none.Slowdown)
+		if res.Float(ssr, "slowdown") >= res.Float(none, "slowdown") {
+			t.Errorf("mttf %s: ssr slowdown %.2f not below baseline %.2f",
+				res.Str(none, "mttf"), res.Float(ssr, "slowdown"), res.Float(none, "slowdown"))
 		}
-		if none.MTTF == 0 {
-			if none.Faults.Any() || ssr.Faults.Any() {
-				t.Errorf("mttf inf recorded faults: %v / %v", none.Faults, ssr.Faults)
+		if res.Str(none, "mttf") == "inf" {
+			for _, row := range []int{none, ssr} {
+				down, up := split(row, "nodes down/up")
+				voided, reissued := split(row, "res voided/reissued")
+				if down != 0 || up != 0 || voided != 0 || reissued != 0 ||
+					res.Int(row, "kills") != 0 || res.Int(row, "retries") != 0 {
+					t.Errorf("mttf inf recorded faults in row %d:\n%s", row, res)
+				}
 			}
 		} else {
-			if none.Faults.NodeFailures == 0 || ssr.Faults.NodeFailures == 0 {
-				t.Errorf("mttf %v: no failures injected", none.MTTF)
+			if down, _ := split(none, "nodes down/up"); down == 0 {
+				t.Errorf("mttf %s: no failures injected in baseline run", res.Str(none, "mttf"))
 			}
-			if ssr.Faults.ReservationsVoided == 0 || ssr.Faults.ReservationsReissued == 0 {
-				t.Errorf("mttf %v: ssr run voided/reissued %d/%d reservations, want both > 0",
-					ssr.MTTF, ssr.Faults.ReservationsVoided, ssr.Faults.ReservationsReissued)
+			if down, _ := split(ssr, "nodes down/up"); down == 0 {
+				t.Errorf("mttf %s: no failures injected in ssr run", res.Str(ssr, "mttf"))
+			}
+			voided, reissued := split(ssr, "res voided/reissued")
+			if voided == 0 || reissued == 0 {
+				t.Errorf("mttf %s: ssr run voided/reissued %d/%d reservations, want both > 0",
+					res.Str(ssr, "mttf"), voided, reissued)
 			}
 		}
+	}
+	if _, ok := res.Metrics["none-minus-ssr-worst-mttf"]; !ok {
+		t.Error("missing none-minus-ssr-worst-mttf metric")
 	}
 	for _, want := range []string{"mttf", "ssr", "inf", "retries"} {
 		if !strings.Contains(res.String(), want) {
@@ -45,13 +63,17 @@ func TestFaultToleranceSSRBeatsBaselineAtEveryMTTF(t *testing.T) {
 }
 
 func TestFaultToleranceDeterministicPerSeed(t *testing.T) {
-	a, err := FaultTolerance(QuickParams())
-	if err != nil {
-		t.Fatalf("FaultTolerance: %v", err)
+	e, ok := Lookup("faulttolerance")
+	if !ok {
+		t.Fatal("faulttolerance not registered")
 	}
-	b, err := FaultTolerance(QuickParams())
+	a, err := RunSerial(e, QuickParams())
 	if err != nil {
-		t.Fatalf("FaultTolerance: %v", err)
+		t.Fatalf("RunSerial: %v", err)
+	}
+	b, err := RunSerial(e, QuickParams())
+	if err != nil {
+		t.Fatalf("RunSerial: %v", err)
 	}
 	if !reflect.DeepEqual(a, b) {
 		t.Errorf("same seed produced different sweeps:\n%v\n%v", a, b)

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"strings"
 	"time"
 
 	"ssr/internal/dag"
@@ -11,85 +10,60 @@ import (
 	"ssr/internal/workload"
 )
 
-// MitigationRow is one strategy's outcome in the straggler-mitigation
+// mitigationRow is one strategy's outcome in the straggler-mitigation
 // comparison.
-type MitigationRow struct {
-	Strategy       string
-	FgSlowdown     float64
-	CopiesLaunched int
-	CopiesWon      int
-	// BgMeanJCT is the mean background JCT, for measuring interference.
-	BgMeanJCT time.Duration
+type mitigationRow struct {
+	strategy       string
+	fgSlowdown     float64
+	copiesLaunched int
+	copiesWon      int
+	// bgMeanJCT is the mean background JCT, for measuring interference.
+	bgMeanJCT time.Duration
 }
 
-// MitigationComparisonResult compares the paper's reserved-slot straggler
-// mitigation (Sec. IV-C) against status-quo progress-based speculative
-// execution, under identical workloads.
-type MitigationComparisonResult struct {
-	Rows []MitigationRow
-}
-
-// MitigationComparison runs a heavy-tailed foreground application against
-// background jobs under three straggler strategies:
+// mitigationStrategies are the three compared straggler strategies:
 //
 //   - "ssr only": reservation without any straggler handling;
 //   - "ssr + reserved-slot mitigation": the paper's strategy — copies on
 //     the job's own reserved (warm) slots;
 //   - "ssr + speculation": the status quo — copies on arbitrary free
 //     (cold) slots, competing with other jobs for capacity.
-//
-// The paper's Sec. IV-C claims reserved-slot mitigation is simpler,
-// interference-free and warm; the speedup and background-interference
-// columns quantify the latter two.
-func MitigationComparison(p Params) (MitigationComparisonResult, error) {
-	p = p.withDefaults()
-	env := env50(p.Scale)
-	strategies := []struct {
-		name  string
-		tweak func(*driver.Options)
-	}{
-		{name: "ssr only", tweak: func(*driver.Options) {}},
-		{name: "ssr + reserved-slot mitigation", tweak: func(o *driver.Options) {
-			o.SSR.MitigateStragglers = true
-		}},
-		{name: "ssr + speculation", tweak: func(o *driver.Options) {
-			o.Speculation = driver.DefaultSpeculation()
-		}},
-	}
-	var out MitigationComparisonResult
-	for _, st := range strategies {
-		row, err := mitigationOne(env, st.name, st.tweak, p.Seed)
-		if err != nil {
-			return MitigationComparisonResult{}, err
-		}
-		out.Rows = append(out.Rows, row)
-	}
-	return out, nil
+var mitigationStrategies = []struct {
+	name  string
+	tweak func(*driver.Options)
+}{
+	{name: "ssr only", tweak: func(*driver.Options) {}},
+	{name: "ssr + reserved-slot mitigation", tweak: func(o *driver.Options) {
+		o.SSR.MitigateStragglers = true
+	}},
+	{name: "ssr + speculation", tweak: func(o *driver.Options) {
+		o.Speculation = driver.DefaultSpeculation()
+	}},
 }
 
-func mitigationOne(env contentionEnv, name string, tweak func(*driver.Options), seed int64) (MitigationRow, error) {
+func mitigationOne(env contentionEnv, name string, tweak func(*driver.Options), seed int64) (mitigationRow, error) {
 	opts := ssrOpts()
 	tweak(&opts)
 
 	base, err := workload.KMeans.Build(1, fgPriority, env.fgSubmit, stats.Stream(seed, "mit-fg"))
 	if err != nil {
-		return MitigationRow{}, err
+		return mitigationRow{}, err
 	}
 	fg, err := workload.ParetoReshape(base, 1.6, stats.Stream(seed, "mit-reshape"))
 	if err != nil {
-		return MitigationRow{}, err
+		return mitigationRow{}, err
 	}
 	bgJobs, err := workload.Background(env.bg, 1000, bgPriority, stats.Stream(seed, "bg"))
 	if err != nil {
-		return MitigationRow{}, err
+		return mitigationRow{}, err
 	}
 	res, err := runSim(env.nodes, env.perNode, opts, []*dag.Job{fg}, bgJobs)
 	if err != nil {
-		return MitigationRow{}, err
+		return mitigationRow{}, err
 	}
 	slow, err := res.slowdown(fg, env.nodes, env.perNode, opts)
 	if err != nil {
-		return MitigationRow{}, err
+		return mitigationRow{}, err
 	}
 	st := res.stats[fg.ID]
 	var bgSum time.Duration
@@ -98,30 +72,48 @@ func mitigationOne(env contentionEnv, name string, tweak func(*driver.Options), 
 		bgSum += res.stats[bj.ID].JCT()
 		bgCount++
 	}
-	row := MitigationRow{
-		Strategy:       name,
-		FgSlowdown:     slow,
-		CopiesLaunched: st.CopiesLaunched,
-		CopiesWon:      st.CopiesWon,
+	row := mitigationRow{
+		strategy:       name,
+		fgSlowdown:     slow,
+		copiesLaunched: st.CopiesLaunched,
+		copiesWon:      st.CopiesWon,
 	}
 	if bgCount > 0 {
-		row.BgMeanJCT = bgSum / time.Duration(bgCount)
+		row.bgMeanJCT = bgSum / time.Duration(bgCount)
 	}
 	return row, nil
 }
 
-func (r MitigationComparisonResult) String() string {
-	var b strings.Builder
-	b.WriteString("Straggler mitigation comparison (Sec. IV-C advantages over the status quo)\n")
-	rows := make([][]string, 0, len(r.Rows))
-	for _, row := range r.Rows {
-		rows = append(rows, []string{
-			row.Strategy,
-			f2(row.FgSlowdown),
-			fmt.Sprintf("%d/%d", row.CopiesWon, row.CopiesLaunched),
-			row.BgMeanJCT.Round(time.Millisecond).String(),
-		})
+// mitigationExperiment runs a heavy-tailed foreground application against
+// background jobs under the three straggler strategies. The paper's
+// Sec. IV-C claims reserved-slot mitigation is simpler, interference-free
+// and warm; the speedup and background-interference columns quantify the
+// latter two. Each strategy is one cell.
+func mitigationExperiment() Experiment {
+	cells := func(p Params) ([]Cell, error) {
+		env := env50(p.Scale)
+		var cells []Cell
+		for _, st := range mitigationStrategies {
+			cells = append(cells, Cell{
+				Key: "mitcompare/" + st.name,
+				Run: func() (any, error) { return mitigationOne(env, st.name, st.tweak, p.Seed) },
+			})
+		}
+		return cells, nil
 	}
-	b.WriteString(table([]string{"strategy", "fg slowdown", "copies won/launched", "bg mean JCT"}, rows))
-	return b.String()
+	assemble := func(_ Params, values []any) (*Result, error) {
+		res := NewResult("Straggler mitigation comparison (Sec. IV-C advantages over the status quo)",
+			Column{"strategy", KindString}, Column{"fg slowdown", KindFloat2},
+			Column{"copies won/launched", KindString}, Column{"bg mean JCT", KindDuration})
+		rows := make([]mitigationRow, len(values))
+		for i, v := range values {
+			rows[i] = v.(mitigationRow)
+			res.AddRow(rows[i].strategy, rows[i].fgSlowdown,
+				fmt.Sprintf("%d/%d", rows[i].copiesWon, rows[i].copiesLaunched),
+				rows[i].bgMeanJCT)
+		}
+		res.Metrics["speculation-minus-reserved"] = rows[2].fgSlowdown - rows[1].fgSlowdown
+		return res, nil
+	}
+	return Define("mitcompare", "reserved-slot mitigation vs status-quo speculation", cells, assemble)
 }

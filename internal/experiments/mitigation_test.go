@@ -1,35 +1,47 @@
 package experiments
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
 
 func TestMitigationComparison(t *testing.T) {
-	res, err := MitigationComparison(QuickParams())
-	if err != nil {
-		t.Fatalf("MitigationComparison: %v", err)
-	}
+	res := mustResult(t, "mitcompare", QuickParams())
 	if len(res.Rows) != 3 {
 		t.Fatalf("rows = %d, want 3", len(res.Rows))
 	}
-	none, reserved, spec := res.Rows[0], res.Rows[1], res.Rows[2]
+	copies := func(row int) (won, launched int) {
+		t.Helper()
+		if _, err := fmt.Sscanf(res.Str(row, "copies won/launched"), "%d/%d", &won, &launched); err != nil {
+			t.Fatalf("row %d: bad copies cell %q: %v", row, res.Str(row, "copies won/launched"), err)
+		}
+		return won, launched
+	}
+	noneSlow := res.Float(0, "fg slowdown")
+	reservedSlow := res.Float(1, "fg slowdown")
+	specSlow := res.Float(2, "fg slowdown")
 	// The paper's strategy should beat doing nothing.
-	if reserved.FgSlowdown >= none.FgSlowdown {
+	if reservedSlow >= noneSlow {
 		t.Errorf("reserved-slot mitigation (%.2f) should beat no mitigation (%.2f)",
-			reserved.FgSlowdown, none.FgSlowdown)
+			reservedSlow, noneSlow)
 	}
 	// And launch copies only it can account for.
-	if reserved.CopiesLaunched == 0 {
+	if _, launched := copies(1); launched == 0 {
 		t.Error("reserved-slot mitigation launched no copies")
 	}
-	if none.CopiesLaunched != 0 {
+	if _, launched := copies(0); launched != 0 {
 		t.Error("no-mitigation run should launch no copies")
 	}
-	if spec.CopiesLaunched == 0 {
+	if _, launched := copies(2); launched == 0 {
 		t.Error("speculation launched no copies")
 	}
 	// The warm reserved-slot copies should not lose to cold speculation.
-	if reserved.FgSlowdown > spec.FgSlowdown+0.05 {
+	if reservedSlow > specSlow+0.05 {
 		t.Errorf("reserved-slot mitigation (%.2f) should be at least as good as speculation (%.2f)",
-			reserved.FgSlowdown, spec.FgSlowdown)
+			reservedSlow, specSlow)
+	}
+	if got := res.Metrics["speculation-minus-reserved"]; got != specSlow-reservedSlow {
+		t.Errorf("speculation-minus-reserved metric = %v, want %v", got, specSlow-reservedSlow)
 	}
 	if res.String() == "" {
 		t.Error("empty String")

@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// A Cell is one independently runnable unit of an experiment: a sweep
+// point, a replication, or a whole run for single-shot experiments. Cells
+// of one experiment never share mutable state and derive their randomness
+// from labeled streams of the experiment's Params, so they may execute in
+// any order — or concurrently — and still produce identical values.
+type Cell struct {
+	// Key identifies the cell in errors and progress output,
+	// e.g. "fig4/kmeans/background/run1".
+	Key string
+	// Run produces the cell's value. The dynamic type is private to the
+	// experiment; Assemble casts it back.
+	Run func() (any, error)
+}
+
+// An Experiment is one reproducible unit of the paper's evaluation. Cells
+// splits it into independent units of work; Assemble folds the cell values
+// (in cell order, regardless of execution order) into the printed table.
+// The split is what lets a runner execute replications and sweep points
+// concurrently while keeping output byte-for-byte identical to a serial
+// run.
+type Experiment interface {
+	// Name is the short CLI name, e.g. "fig14".
+	Name() string
+	// Desc is a one-line description for listings.
+	Desc() string
+	// Cells returns the experiment's independent units of work.
+	Cells(p Params) ([]Cell, error)
+	// Assemble folds the cell values, ordered as returned by Cells, into
+	// the result table.
+	Assemble(p Params, values []any) (*Result, error)
+}
+
+// expDef implements Experiment from plain functions.
+type expDef struct {
+	name, desc string
+	cells      func(Params) ([]Cell, error)
+	assemble   func(Params, []any) (*Result, error)
+}
+
+func (e expDef) Name() string { return e.name }
+func (e expDef) Desc() string { return e.desc }
+func (e expDef) Cells(p Params) ([]Cell, error) {
+	return e.cells(p.withDefaults())
+}
+func (e expDef) Assemble(p Params, values []any) (*Result, error) {
+	return e.assemble(p.withDefaults(), values)
+}
+
+// Define builds an Experiment from plain functions — the idiom every
+// figure in this package uses, and the extension point for new workloads.
+func Define(name, desc string, cells func(Params) ([]Cell, error), assemble func(Params, []any) (*Result, error)) Experiment {
+	return expDef{name: name, desc: desc, cells: cells, assemble: assemble}
+}
+
+// single wraps a one-shot experiment (no useful cell decomposition) as a
+// single cell whose value is the finished *Result.
+func single(name, desc string, run func(Params) (*Result, error)) Experiment {
+	return Define(name, desc,
+		func(p Params) ([]Cell, error) {
+			return []Cell{{Key: name, Run: func() (any, error) { return run(p) }}}, nil
+		},
+		func(_ Params, values []any) (*Result, error) {
+			return values[0].(*Result), nil
+		})
+}
+
+// A Registry holds named experiments in registration order. Lookup is
+// case-insensitive; listing preserves the order figures appear in the
+// paper.
+type Registry struct {
+	order  []Experiment
+	byName map[string]Experiment
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]Experiment{}}
+}
+
+// Register adds an experiment; a duplicate name is an error.
+func (r *Registry) Register(e Experiment) error {
+	key := strings.ToLower(e.Name())
+	if _, dup := r.byName[key]; dup {
+		return fmt.Errorf("experiments: duplicate experiment %q", e.Name())
+	}
+	r.byName[key] = e
+	r.order = append(r.order, e)
+	return nil
+}
+
+// Lookup finds an experiment by case-insensitive name.
+func (r *Registry) Lookup(name string) (Experiment, bool) {
+	e, ok := r.byName[strings.ToLower(name)]
+	return e, ok
+}
+
+// Experiments returns every registered experiment in registration order.
+func (r *Registry) Experiments() []Experiment {
+	out := make([]Experiment, len(r.order))
+	copy(out, r.order)
+	return out
+}
+
+// Names returns the registered names in registration order.
+func (r *Registry) Names() []string {
+	out := make([]string, len(r.order))
+	for i, e := range r.order {
+		out[i] = e.Name()
+	}
+	return out
+}
+
+// Default is the package-level registry holding every figure of the
+// paper's evaluation plus this repository's extensions.
+var Default = NewRegistry()
+
+// Register adds an experiment to the Default registry, panicking on a
+// duplicate name (registration happens at init time; a duplicate is a
+// programming error).
+func Register(e Experiment) {
+	if err := Default.Register(e); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup finds an experiment in the Default registry.
+func Lookup(name string) (Experiment, bool) { return Default.Lookup(name) }
+
+// All returns the Default registry's experiments in registration order.
+func All() []Experiment { return Default.Experiments() }
+
+// Names returns the Default registry's experiment names.
+func Names() []string { return Default.Names() }
+
+// RunSerial executes an experiment's cells in order on the calling
+// goroutine and assembles the result. It is the reference implementation
+// the parallel runner must match byte for byte; tests compare against it.
+func RunSerial(e Experiment, p Params) (*Result, error) {
+	cells, err := e.Cells(p)
+	if err != nil {
+		return nil, err
+	}
+	values := make([]any, len(cells))
+	for i, c := range cells {
+		v, err := c.Run()
+		if err != nil {
+			return nil, fmt.Errorf("cell %s: %w", c.Key, err)
+		}
+		values[i] = v
+	}
+	return e.Assemble(p, values)
+}
+
+// init registers the paper's figures in the order they appear in the
+// evaluation, followed by this repository's extensions. A single explicit
+// list (rather than per-file init functions) keeps `-list` and "run
+// everything" in the canonical order.
+func init() {
+	for _, e := range []Experiment{
+		fig1Experiment(),
+		fig4Experiment(),
+		fig5Experiment(),
+		fig6Experiment(),
+		fig8Experiment(),
+		fig10Experiment(),
+		fig12Experiment(),
+		fig13Experiment(),
+		fig14Experiment(),
+		fig15Experiment(),
+		fig16Experiment(),
+		fig17Experiment(),
+		backgroundImpactExperiment(),
+		mitigationExperiment(),
+		faultToleranceExperiment(),
+	} {
+		Register(e)
+	}
+}

@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// toyExperiment returns a two-cell experiment whose cells record values
+// that Assemble sums, with an optional failure in the second cell.
+func toyExperiment(failSecond bool) Experiment {
+	return Define("toy", "test experiment",
+		func(p Params) ([]Cell, error) {
+			return []Cell{
+				{Key: "toy/a", Run: func() (any, error) { return 1.0, nil }},
+				{Key: "toy/b", Run: func() (any, error) {
+					if failSecond {
+						return nil, errors.New("boom")
+					}
+					return 2.0, nil
+				}},
+			}, nil
+		},
+		func(_ Params, values []any) (*Result, error) {
+			res := NewResult("Toy", Column{"sum", KindFloat2})
+			res.AddRow(values[0].(float64) + values[1].(float64))
+			return res, nil
+		})
+}
+
+func TestRegistryRegisterAndLookup(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.Register(toyExperiment(false)); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if err := reg.Register(toyExperiment(false)); err == nil {
+		t.Error("duplicate Register should error")
+	}
+	if _, ok := reg.Lookup("TOY"); !ok {
+		t.Error("Lookup should be case-insensitive")
+	}
+	if _, ok := reg.Lookup("absent"); ok {
+		t.Error("Lookup found an unregistered experiment")
+	}
+	if names := reg.Names(); len(names) != 1 || names[0] != "toy" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestDefaultRegistryCanonicalOrder(t *testing.T) {
+	want := []string{
+		"fig1", "fig4", "fig5", "fig6", "fig8", "fig10", "fig12", "fig13",
+		"fig14", "fig15", "fig16", "fig17", "bgimpact", "mitcompare",
+		"faulttolerance",
+	}
+	if got := Names(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Default registry order = %v, want %v", got, want)
+	}
+	for _, name := range want {
+		e, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("%s not registered", name)
+		}
+		if e.Name() != name {
+			t.Errorf("Lookup(%q).Name() = %q", name, e.Name())
+		}
+		if e.Desc() == "" {
+			t.Errorf("%s has an empty description", name)
+		}
+	}
+	if len(All()) != len(want) {
+		t.Errorf("All() = %d experiments, want %d", len(All()), len(want))
+	}
+}
+
+func TestRunSerial(t *testing.T) {
+	res, err := RunSerial(toyExperiment(false), QuickParams())
+	if err != nil {
+		t.Fatalf("RunSerial: %v", err)
+	}
+	if got := res.Float(0, "sum"); got != 3.0 {
+		t.Errorf("sum = %v, want 3", got)
+	}
+}
+
+func TestRunSerialWrapsCellError(t *testing.T) {
+	_, err := RunSerial(toyExperiment(true), QuickParams())
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "toy/b") {
+		t.Errorf("error should name the failing cell: %v", err)
+	}
+}
+
+func TestEveryExperimentEnumeratesCells(t *testing.T) {
+	// Every registered experiment must produce at least one cell with a
+	// non-empty unique key — the contract the parallel runner's progress
+	// and error reporting rely on.
+	for _, e := range All() {
+		cells, err := e.Cells(QuickParams())
+		if err != nil {
+			t.Errorf("%s: Cells: %v", e.Name(), err)
+			continue
+		}
+		if len(cells) == 0 {
+			t.Errorf("%s: no cells", e.Name())
+		}
+		seen := map[string]bool{}
+		for _, c := range cells {
+			if c.Key == "" {
+				t.Errorf("%s: cell with empty key", e.Name())
+			}
+			if seen[c.Key] {
+				t.Errorf("%s: duplicate cell key %q", e.Name(), c.Key)
+			}
+			seen[c.Key] = true
+			if c.Run == nil {
+				t.Errorf("%s: cell %q has no Run", e.Name(), c.Key)
+			}
+		}
+	}
+}
+
+func TestCellCountsMatchExpectedDecomposition(t *testing.T) {
+	want := map[string]int{
+		"fig1":           1,
+		"fig4":           3 * 2 * 2, // apps x settings x quick runs
+		"fig5":           2,         // alone + contended
+		"fig6":           3 * 3,     // apps x factors
+		"fig8":           1,         // closed form
+		"fig10":          3 * 7,     // Ns x alphas
+		"fig12":          3 * 2 * 2 * 2,
+		"fig13":          2,         // none + ssr
+		"fig14":          3 * 3 * 5, // apps x quick runs x P levels
+		"fig15":          3 * 3 * 2, // suites x settings x modes
+		"fig16":          5,         // thresholds
+		"fig17":          4 * 2,     // alphas x mitigate
+		"bgimpact":       2,         // none + ssr
+		"mitcompare":     3,         // strategies
+		"faulttolerance": 3 * 2,     // quick MTTFs x policies
+	}
+	for name, n := range want {
+		e, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("%s not registered", name)
+		}
+		cells, err := e.Cells(QuickParams())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(cells) != n {
+			t.Errorf("%s: %d cells, want %d", name, len(cells), n)
+		}
+	}
+}
+
+func TestCellsAreIndependentOfExecutionOrder(t *testing.T) {
+	// Run fig10's cells (cheap Monte-Carlo) in reverse order and check
+	// Assemble produces the same table as the in-order reference — the
+	// core determinism contract behind parallel execution.
+	e, ok := Lookup("fig10")
+	if !ok {
+		t.Fatal("fig10 not registered")
+	}
+	p := QuickParams()
+	ref, err := RunSerial(e, p)
+	if err != nil {
+		t.Fatalf("RunSerial: %v", err)
+	}
+	cells, err := e.Cells(p)
+	if err != nil {
+		t.Fatalf("Cells: %v", err)
+	}
+	values := make([]any, len(cells))
+	for i := len(cells) - 1; i >= 0; i-- {
+		v, err := cells[i].Run()
+		if err != nil {
+			t.Fatalf("cell %s: %v", cells[i].Key, err)
+		}
+		values[i] = v
+	}
+	got, err := e.Assemble(p, values)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	if !reflect.DeepEqual(ref, got) {
+		t.Errorf("reverse-order execution changed the result:\n%s\nvs\n%s", ref, got)
+	}
+	if fmt.Sprint(ref) != fmt.Sprint(got) {
+		t.Error("rendered output differs across execution orders")
+	}
+}

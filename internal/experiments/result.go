@@ -1,0 +1,254 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+)
+
+// Kind says how a Result column's values are typed and rendered.
+type Kind int
+
+// Column kinds. Each kind admits exactly one Go type in AddRow: KindString
+// takes string, KindInt takes int/int64, KindDuration takes time.Duration,
+// and the float kinds take float64 (they differ only in rendering).
+const (
+	// KindString renders verbatim.
+	KindString Kind = iota
+	// KindInt renders as a decimal integer.
+	KindInt
+	// KindFloat1 renders as %.1f.
+	KindFloat1
+	// KindFloat2 renders as %.2f.
+	KindFloat2
+	// KindFloat3 renders as %.3f.
+	KindFloat3
+	// KindPercent renders as %.1f%%.
+	KindPercent
+	// KindDuration renders rounded to the millisecond.
+	KindDuration
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindString:
+		return "string"
+	case KindInt:
+		return "int"
+	case KindFloat1, KindFloat2, KindFloat3:
+		return "float"
+	case KindPercent:
+		return "percent"
+	case KindDuration:
+		return "duration"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Column is one typed column of a Result table.
+type Column struct {
+	Name string
+	Kind Kind
+}
+
+// Result is the uniform output of every experiment: a titled, typed table.
+// It replaces the bespoke per-figure result structs — the rows keep their
+// raw typed values (float64, time.Duration, ...), String renders the same
+// aligned text the figures always printed, and MarshalJSON emits the table
+// structurally for downstream tooling. Metrics carries each experiment's
+// headline scalar quantities (what the per-figure benchmarks report).
+type Result struct {
+	// Title is the first output line, e.g. "Fig 4: ...".
+	Title string
+	// Notes are free-form lines printed between the title and the table.
+	Notes []string
+	// Columns is the typed header.
+	Columns []Column
+	// Rows hold one value per column; the dynamic type of each value is
+	// fixed by the column kind (see AddRow).
+	Rows [][]any
+	// Metrics are named headline quantities, e.g. "kmeans-slowdown".
+	Metrics map[string]float64
+}
+
+// NewResult returns an empty table with the given title and columns.
+func NewResult(title string, cols ...Column) *Result {
+	return &Result{Title: title, Columns: cols, Metrics: map[string]float64{}}
+}
+
+// AddRow appends a row, checking arity and value types against the columns.
+// It panics on mismatch: rows are produced by experiment Assemble code, so
+// a mismatch is a programming error, not an input error.
+func (r *Result) AddRow(vals ...any) {
+	if len(vals) != len(r.Columns) {
+		panic(fmt.Sprintf("experiments: row has %d values, table %q has %d columns",
+			len(vals), r.Title, len(r.Columns)))
+	}
+	row := make([]any, len(vals))
+	for i, v := range vals {
+		switch r.Columns[i].Kind {
+		case KindString:
+			if _, ok := v.(string); !ok {
+				panic(typeMismatch(r.Columns[i], v))
+			}
+			row[i] = v
+		case KindInt:
+			switch n := v.(type) {
+			case int:
+				row[i] = int64(n)
+			case int64:
+				row[i] = n
+			default:
+				panic(typeMismatch(r.Columns[i], v))
+			}
+		case KindFloat1, KindFloat2, KindFloat3, KindPercent:
+			if _, ok := v.(float64); !ok {
+				panic(typeMismatch(r.Columns[i], v))
+			}
+			row[i] = v
+		case KindDuration:
+			if _, ok := v.(time.Duration); !ok {
+				panic(typeMismatch(r.Columns[i], v))
+			}
+			row[i] = v
+		default:
+			panic(fmt.Sprintf("experiments: column %q has unknown kind %d",
+				r.Columns[i].Name, int(r.Columns[i].Kind)))
+		}
+	}
+	r.Rows = append(r.Rows, row)
+}
+
+func typeMismatch(c Column, v any) string {
+	return fmt.Sprintf("experiments: column %q (%v) cannot hold %T", c.Name, c.Kind, v)
+}
+
+// Col returns the index of the named column, or -1 if absent.
+func (r *Result) Col(name string) int {
+	for i, c := range r.Columns {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func (r *Result) cell(row int, col string) any {
+	i := r.Col(col)
+	if i < 0 {
+		panic(fmt.Sprintf("experiments: table %q has no column %q", r.Title, col))
+	}
+	return r.Rows[row][i]
+}
+
+// Str returns a KindString cell. It panics on a missing column or a
+// mismatched kind, like AddRow.
+func (r *Result) Str(row int, col string) string { return r.cell(row, col).(string) }
+
+// Int returns a KindInt cell.
+func (r *Result) Int(row int, col string) int64 { return r.cell(row, col).(int64) }
+
+// Float returns a float-kinded or percent cell.
+func (r *Result) Float(row int, col string) float64 { return r.cell(row, col).(float64) }
+
+// Dur returns a KindDuration cell.
+func (r *Result) Dur(row int, col string) time.Duration { return r.cell(row, col).(time.Duration) }
+
+// formatCell renders one value the way the figures always printed it.
+func formatCell(k Kind, v any) string {
+	switch k {
+	case KindString:
+		return v.(string)
+	case KindInt:
+		return fmt.Sprintf("%d", v.(int64))
+	case KindFloat1:
+		return fmt.Sprintf("%.1f", v.(float64))
+	case KindFloat2:
+		return fmt.Sprintf("%.2f", v.(float64))
+	case KindFloat3:
+		return fmt.Sprintf("%.3f", v.(float64))
+	case KindPercent:
+		return fmt.Sprintf("%.1f%%", v.(float64))
+	case KindDuration:
+		return v.(time.Duration).Round(time.Millisecond).String()
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
+
+// String renders the title, the notes and the aligned table.
+func (r *Result) String() string {
+	var b strings.Builder
+	b.WriteString(r.Title)
+	b.WriteByte('\n')
+	for _, n := range r.Notes {
+		b.WriteString(n)
+		b.WriteByte('\n')
+	}
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	header := make([]string, len(r.Columns))
+	for i, c := range r.Columns {
+		header[i] = c.Name
+	}
+	fmt.Fprintln(w, strings.Join(header, "\t"))
+	for _, row := range r.Rows {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = formatCell(r.Columns[i].Kind, v)
+		}
+		fmt.Fprintln(w, strings.Join(cells, "\t"))
+	}
+	// Flush cannot fail on a strings.Builder sink.
+	_ = w.Flush()
+	return b.String()
+}
+
+// MetricNames returns the metric names in sorted order, for deterministic
+// reporting (benchmarks iterate them).
+func (r *Result) MetricNames() []string {
+	names := make([]string, 0, len(r.Metrics))
+	for name := range r.Metrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// jsonColumn is the wire form of a Column.
+type jsonColumn struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+}
+
+// MarshalJSON emits the table structurally: typed header, raw row values
+// (durations as their String form), notes and metrics. Map keys marshal
+// sorted, so the bytes are deterministic for a deterministic Result.
+func (r *Result) MarshalJSON() ([]byte, error) {
+	cols := make([]jsonColumn, len(r.Columns))
+	for i, c := range r.Columns {
+		cols[i] = jsonColumn{Name: c.Name, Kind: c.Kind.String()}
+	}
+	rows := make([][]any, len(r.Rows))
+	for i, row := range r.Rows {
+		out := make([]any, len(row))
+		for j, v := range row {
+			if d, ok := v.(time.Duration); ok {
+				out[j] = d.String()
+			} else {
+				out[j] = v
+			}
+		}
+		rows[i] = out
+	}
+	return json.Marshal(struct {
+		Title   string             `json:"title"`
+		Notes   []string           `json:"notes,omitempty"`
+		Columns []jsonColumn       `json:"columns"`
+		Rows    [][]any            `json:"rows"`
+		Metrics map[string]float64 `json:"metrics,omitempty"`
+	}{r.Title, r.Notes, cols, rows, r.Metrics})
+}

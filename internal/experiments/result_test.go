@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleResult() *Result {
+	r := NewResult("Sample table",
+		Column{"name", KindString}, Column{"count", KindInt},
+		Column{"ratio", KindFloat2}, Column{"share", KindPercent},
+		Column{"took", KindDuration})
+	r.Notes = append(r.Notes, "a note line")
+	r.AddRow("alpha", 3, 1.5, 42.0, 1500*time.Millisecond)
+	r.AddRow("beta", int64(7), 0.25, 58.0, 2*time.Second)
+	r.Metrics["ratio-spread"] = 1.25
+	return r
+}
+
+func TestResultStringRendering(t *testing.T) {
+	s := sampleResult().String()
+	if !strings.HasPrefix(s, "Sample table\na note line\n") {
+		t.Errorf("title/notes not rendered first:\n%s", s)
+	}
+	for _, want := range []string{"name", "count", "alpha", "1.50", "42.0%", "1.5s", "2s"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestResultAccessors(t *testing.T) {
+	r := sampleResult()
+	if got := r.Str(0, "name"); got != "alpha" {
+		t.Errorf("Str = %q", got)
+	}
+	if got := r.Int(1, "count"); got != 7 {
+		t.Errorf("Int = %d", got)
+	}
+	if got := r.Float(0, "ratio"); got != 1.5 {
+		t.Errorf("Float = %v", got)
+	}
+	if got := r.Dur(1, "took"); got != 2*time.Second {
+		t.Errorf("Dur = %v", got)
+	}
+	if r.Col("missing") != -1 {
+		t.Error("Col should return -1 for a missing column")
+	}
+}
+
+func TestResultAddRowValidation(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewResult("t", Column{"s", KindString}, Column{"n", KindInt})
+	expectPanic("wrong arity", func() { r.AddRow("only one") })
+	expectPanic("wrong type", func() { r.AddRow(1.5, 2) })
+	expectPanic("float into int", func() { r.AddRow("ok", 2.0) })
+	expectPanic("missing column read", func() {
+		r.AddRow("ok", 2)
+		r.Str(0, "nope")
+	})
+}
+
+func TestResultJSONShape(t *testing.T) {
+	b, err := json.Marshal(sampleResult())
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var decoded struct {
+		Title   string `json:"title"`
+		Notes   []string
+		Columns []struct{ Name, Kind string }
+		Rows    [][]any
+		Metrics map[string]float64
+	}
+	if err := json.Unmarshal(b, &decoded); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if decoded.Title != "Sample table" || len(decoded.Rows) != 2 || len(decoded.Columns) != 5 {
+		t.Errorf("unexpected shape: %+v", decoded)
+	}
+	if decoded.Columns[4].Kind != "duration" {
+		t.Errorf("duration column kind = %q", decoded.Columns[4].Kind)
+	}
+	// Durations marshal as their String form.
+	if got := decoded.Rows[0][4]; got != "1.5s" {
+		t.Errorf("duration cell = %v, want 1.5s", got)
+	}
+	if decoded.Metrics["ratio-spread"] != 1.25 {
+		t.Errorf("metrics = %v", decoded.Metrics)
+	}
+	// Deterministic bytes: marshalling twice is identical.
+	b2, _ := json.Marshal(sampleResult())
+	if string(b) != string(b2) {
+		t.Error("MarshalJSON not deterministic")
+	}
+}
+
+func TestMetricNamesSorted(t *testing.T) {
+	r := NewResult("t")
+	r.Metrics["zeta"] = 1
+	r.Metrics["alpha"] = 2
+	r.Metrics["mid"] = 3
+	got := r.MetricNames()
+	want := []string{"alpha", "mid", "zeta"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MetricNames = %v, want %v", got, want)
+		}
+	}
+}

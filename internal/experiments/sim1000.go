@@ -2,7 +2,7 @@ package experiments
 
 import (
 	"fmt"
-	"strings"
+	"sort"
 	"time"
 
 	"ssr/internal/dag"
@@ -166,245 +166,242 @@ func runLarge(env largeEnv, suite fgSuite, setting largeSetting, ssr bool, seed 
 	return mean, res, fg, nil
 }
 
-// Fig15Row reports one (suite, setting, mode) cell.
-type Fig15Row struct {
-	Suite    string
-	Setting  string
-	SSR      bool
-	Slowdown float64
-}
+// --- Fig 15 --------------------------------------------------------------
 
-// Fig15Result holds the large-scale simulation slowdowns.
-type Fig15Result struct {
-	Rows []Fig15Row
-}
+// fig15Suites are the three foreground suites of the large-scale study.
+var fig15Suites = []fgSuite{suiteML, suiteML2x, suiteSQL}
 
-// Fig15 runs the large-scale trace-driven simulation: three foreground
-// suites (MLlib, MLlib with 2x parallelism, SQL) against 8000 mixed
-// background jobs on a 4000-slot cluster, under three settings (standard,
-// prolonged background tasks, doubled locality penalty), with and without
-// SSR.
-func Fig15(p Params) (Fig15Result, error) {
-	p = p.withDefaults()
-	env := envLarge(p.Scale)
-	var out Fig15Result
-	for _, suite := range []fgSuite{suiteML, suiteML2x, suiteSQL} {
-		for _, setting := range largeSettings() {
-			for _, ssr := range []bool{false, true} {
-				mean, _, _, err := runLarge(env, suite, setting, ssr, p.Seed, nil)
-				if err != nil {
-					return Fig15Result{}, err
+// fig15Experiment runs the large-scale trace-driven simulation: three
+// foreground suites (MLlib, MLlib with 2x parallelism, SQL) against 8000
+// mixed background jobs on a 4000-slot cluster, under three settings
+// (standard, prolonged background tasks, doubled locality penalty), with
+// and without SSR. Every (suite, setting, mode) triple is one cell — these
+// are the heaviest simulations in the repository, so the split matters
+// most here.
+func fig15Experiment() Experiment {
+	cells := func(p Params) ([]Cell, error) {
+		env := envLarge(p.Scale)
+		var cells []Cell
+		for _, suite := range fig15Suites {
+			for _, setting := range largeSettings() {
+				for _, mode := range fig12Modes {
+					cells = append(cells, Cell{
+						Key: fmt.Sprintf("fig15/%v/%s/ssr=%v", suite, setting.name, mode.ssr),
+						Run: func() (any, error) {
+							mean, _, _, err := runLarge(env, suite, setting, mode.ssr, p.Seed, nil)
+							return mean, err
+						},
+					})
 				}
-				out.Rows = append(out.Rows, Fig15Row{
-					Suite: suite.String(), Setting: setting.name, SSR: ssr, Slowdown: mean,
+			}
+		}
+		return cells, nil
+	}
+	assemble := func(_ Params, values []any) (*Result, error) {
+		res := NewResult("Fig 15: average foreground slowdown in large-scale simulation",
+			Column{"suite", KindString}, Column{"setting", KindString},
+			Column{"mode", KindString}, Column{"avg slowdown", KindFloat2})
+		cur := cursor{values: values}
+		for _, suite := range fig15Suites {
+			for _, setting := range largeSettings() {
+				for _, mode := range fig12Modes {
+					mean := cur.next().(float64)
+					if suite == suiteSQL && setting.name == "standard" && mode.ssr {
+						res.Metrics["sql-ssr-slowdown"] = mean
+					}
+					res.AddRow(suite.String(), setting.name, mode.name, mean)
+				}
+			}
+		}
+		return res, nil
+	}
+	return Define("fig15", "large-scale simulation: suites x settings x modes", cells, assemble)
+}
+
+// --- Fig 16 --------------------------------------------------------------
+
+// fig16Thresholds is the swept pre-reservation threshold R.
+var fig16Thresholds = []float64{0.1, 0.25, 0.5, 0.75, 1.0}
+
+// fig16Experiment sweeps the pre-reservation threshold R for the SQL suite
+// (whose queries grow their degree of parallelism across phases): the
+// earlier pre-reservation starts (smaller R), the smaller the slowdown.
+func fig16Experiment() Experiment {
+	cells := func(p Params) ([]Cell, error) {
+		env := envLarge(p.Scale)
+		setting := largeSettings()[0]
+		var cells []Cell
+		for _, r := range fig16Thresholds {
+			cells = append(cells, Cell{
+				Key: fmt.Sprintf("fig16/R%.2f", r),
+				Run: func() (any, error) {
+					mean, _, _, err := runLarge(env, suiteSQL, setting, true, p.Seed,
+						func(o *driver.Options) { o.SSR.PreReserveThreshold = r })
+					return mean, err
+				},
+			})
+		}
+		return cells, nil
+	}
+	assemble := func(_ Params, values []any) (*Result, error) {
+		res := NewResult("Fig 16: SQL suite slowdown vs pre-reservation threshold R (with SSR)",
+			Column{"R", KindFloat2}, Column{"avg slowdown", KindFloat2})
+		cur := cursor{values: values}
+		var first, last float64
+		for i, r := range fig16Thresholds {
+			mean := cur.next().(float64)
+			if i == 0 {
+				first = mean
+			}
+			last = mean
+			res.AddRow(r, mean)
+		}
+		res.Metrics["slowdown-spread-R1-vs-R0.1"] = last - first
+		return res, nil
+	}
+	return Define("fig16", "SQL slowdown vs pre-reservation threshold", cells, assemble)
+}
+
+// --- Fig 17 --------------------------------------------------------------
+
+// fig17Alphas are the swept Pareto tail shapes.
+var fig17Alphas = []float64{1.2, 1.6, 2.0, 2.5}
+
+// fig17One runs the MLlib suite with foreground task durations re-shaped
+// to Pareto(alpha) (original per-phase means — the paper's methodology)
+// and returns the mean foreground JCT, with or without straggler
+// mitigation in the reserved slots.
+func fig17One(env largeEnv, alpha float64, mitigate bool, seed int64) (time.Duration, error) {
+	opts := ssrOpts()
+	opts.ReserveMinPriority = fgPriority
+	opts.SSR.MitigateStragglers = mitigate
+	fg, err := buildSuite(env, suiteML, seed)
+	if err != nil {
+		return 0, err
+	}
+	for i, j := range fg {
+		fg[i], err = workload.ParetoReshape(j, alpha,
+			stats.SubStream(seed, "fig17-reshape", i))
+		if err != nil {
+			return 0, err
+		}
+	}
+	bg, err := workload.Background(env.bg, 10000, bgPriority, stats.Stream(seed, "bg-large"))
+	if err != nil {
+		return 0, err
+	}
+	res, err := runSim(env.nodes, env.perNode, opts, fg, bg)
+	if err != nil {
+		return 0, err
+	}
+	var sum time.Duration
+	for _, j := range fg {
+		sum += res.stats[j.ID].JCT()
+	}
+	return sum / time.Duration(len(fg)), nil
+}
+
+// fig17Experiment measures the average foreground JCT reduction when
+// straggler mitigation uses the reserved slots, across tail shapes. Every
+// (alpha, mitigate) pair is one cell.
+func fig17Experiment() Experiment {
+	cells := func(p Params) ([]Cell, error) {
+		env := envLarge(p.Scale)
+		var cells []Cell
+		for _, alpha := range fig17Alphas {
+			for _, mitigate := range []bool{false, true} {
+				cells = append(cells, Cell{
+					Key: fmt.Sprintf("fig17/alpha%.1f/mitigate=%v", alpha, mitigate),
+					Run: func() (any, error) { return fig17One(env, alpha, mitigate, p.Seed) },
 				})
 			}
 		}
+		return cells, nil
 	}
-	return out, nil
-}
-
-func (r Fig15Result) String() string {
-	var b strings.Builder
-	b.WriteString("Fig 15: average foreground slowdown in large-scale simulation\n")
-	rows := make([][]string, 0, len(r.Rows))
-	for _, row := range r.Rows {
-		mode := "w/o SSR"
-		if row.SSR {
-			mode = "w/ SSR"
+	assemble := func(_ Params, values []any) (*Result, error) {
+		res := NewResult("Fig 17: average foreground JCT reduction from straggler mitigation",
+			Column{"alpha", KindFloat2},
+			Column{"JCT w/o mitigation", KindDuration},
+			Column{"JCT w/ mitigation", KindDuration},
+			Column{"reduction", KindPercent})
+		cur := cursor{values: values}
+		for _, alpha := range fig17Alphas {
+			noMit := cur.next().(time.Duration)
+			mit := cur.next().(time.Duration)
+			red := 100 * (float64(noMit) - float64(mit)) / float64(noMit)
+			if alpha == 1.6 {
+				res.Metrics["jct-reduction-pct-a1.6"] = red
+			}
+			res.AddRow(alpha, noMit, mit, red)
 		}
-		rows = append(rows, []string{row.Suite, row.Setting, mode, f2(row.Slowdown)})
+		return res, nil
 	}
-	b.WriteString(table([]string{"suite", "setting", "mode", "avg slowdown"}, rows))
-	return b.String()
+	return Define("fig17", "foreground JCT reduction from straggler mitigation", cells, assemble)
 }
 
-// Fig16Row reports the SQL suite slowdown at one pre-reservation
-// threshold.
-type Fig16Row struct {
-	R        float64
-	Slowdown float64
-}
+// --- Background impact ---------------------------------------------------
 
-// Fig16Result holds the pre-reservation threshold sweep.
-type Fig16Result struct {
-	Rows []Fig16Row
-}
-
-// Fig16 sweeps the pre-reservation threshold R for the SQL suite (whose
-// queries grow their degree of parallelism across phases): the earlier
-// pre-reservation starts (smaller R), the smaller the slowdown.
-func Fig16(p Params) (Fig16Result, error) {
-	p = p.withDefaults()
-	env := envLarge(p.Scale)
-	setting := largeSettings()[0]
-	var out Fig16Result
-	for _, r := range []float64{0.1, 0.25, 0.5, 0.75, 1.0} {
-		r := r
-		mean, _, _, err := runLarge(env, suiteSQL, setting, true, p.Seed,
-			func(o *driver.Options) { o.SSR.PreReserveThreshold = r })
+// backgroundImpactExperiment runs the standard large-scale setting with
+// and without SSR and compares every background job's JCT between the two
+// runs (in-text claim: < 0.1% average slowdown). The two full simulations
+// are independent cells.
+func backgroundImpactExperiment() Experiment {
+	runOne := func(p Params, ssr bool) (any, error) {
+		env := envLarge(p.Scale)
+		setting := largeSettings()[0]
+		_, res, _, err := runLarge(env, suiteML, setting, ssr, p.Seed, nil)
 		if err != nil {
-			return Fig16Result{}, err
+			return nil, err
 		}
-		out.Rows = append(out.Rows, Fig16Row{R: r, Slowdown: mean})
+		return res.stats, nil
 	}
-	return out, nil
-}
-
-func (r Fig16Result) String() string {
-	var b strings.Builder
-	b.WriteString("Fig 16: SQL suite slowdown vs pre-reservation threshold R (with SSR)\n")
-	rows := make([][]string, 0, len(r.Rows))
-	for _, row := range r.Rows {
-		rows = append(rows, []string{f2(row.R), f2(row.Slowdown)})
+	cells := func(p Params) ([]Cell, error) {
+		return []Cell{
+			{Key: "bgimpact/none", Run: func() (any, error) { return runOne(p, false) }},
+			{Key: "bgimpact/ssr", Run: func() (any, error) { return runOne(p, true) }},
+		}, nil
 	}
-	b.WriteString(table([]string{"R", "avg slowdown"}, rows))
-	return b.String()
-}
-
-// Fig17Row reports the JCT reduction from straggler mitigation at one tail
-// shape.
-type Fig17Row struct {
-	Alpha        float64
-	JCTNoMit     time.Duration // mean foreground JCT, SSR without mitigation
-	JCTMit       time.Duration // mean foreground JCT, SSR with mitigation
-	ReductionPct float64
-}
-
-// Fig17Result holds the straggler-mitigation study.
-type Fig17Result struct {
-	Rows []Fig17Row
-}
-
-// Fig17 re-shapes every foreground task duration to Pareto(alpha) with the
-// original per-phase means (the paper's methodology) and measures the
-// average foreground JCT reduction when straggler mitigation uses the
-// reserved slots, across tail shapes.
-func Fig17(p Params) (Fig17Result, error) {
-	p = p.withDefaults()
-	env := envLarge(p.Scale)
-	var out Fig17Result
-	for _, alpha := range []float64{1.2, 1.6, 2.0, 2.5} {
-		jcts := make(map[bool]time.Duration, 2)
-		for _, mitigate := range []bool{false, true} {
-			opts := ssrOpts()
-			opts.ReserveMinPriority = fgPriority
-			opts.SSR.MitigateStragglers = mitigate
-			fg, err := buildSuite(env, suiteML, p.Seed)
-			if err != nil {
-				return Fig17Result{}, err
-			}
-			for i, j := range fg {
-				fg[i], err = workload.ParetoReshape(j, alpha,
-					stats.SubStream(p.Seed, "fig17-reshape", i))
-				if err != nil {
-					return Fig17Result{}, err
-				}
-			}
-			bg, err := workload.Background(env.bg, 10000, bgPriority, stats.Stream(p.Seed, "bg-large"))
-			if err != nil {
-				return Fig17Result{}, err
-			}
-			res, err := runSim(env.nodes, env.perNode, opts, fg, bg)
-			if err != nil {
-				return Fig17Result{}, err
-			}
-			var sum time.Duration
-			for _, j := range fg {
-				sum += res.stats[j.ID].JCT()
-			}
-			jcts[mitigate] = sum / time.Duration(len(fg))
+	assemble := func(_ Params, values []any) (*Result, error) {
+		noneStats := values[0].(map[dag.JobID]metrics.JobStats)
+		ssrStats := values[1].(map[dag.JobID]metrics.JobStats)
+		// Walk jobs in ID order so the float accumulation is
+		// deterministic (map iteration order is not).
+		ids := make([]dag.JobID, 0, len(noneStats))
+		for id := range noneStats {
+			ids = append(ids, id)
 		}
-		red := 100 * (float64(jcts[false]) - float64(jcts[true])) / float64(jcts[false])
-		out.Rows = append(out.Rows, Fig17Row{
-			Alpha:        alpha,
-			JCTNoMit:     jcts[false],
-			JCTMit:       jcts[true],
-			ReductionPct: red,
-		})
-	}
-	return out, nil
-}
-
-func (r Fig17Result) String() string {
-	var b strings.Builder
-	b.WriteString("Fig 17: average foreground JCT reduction from straggler mitigation\n")
-	rows := make([][]string, 0, len(r.Rows))
-	for _, row := range r.Rows {
-		rows = append(rows, []string{
-			f2(row.Alpha),
-			row.JCTNoMit.Round(time.Millisecond).String(),
-			row.JCTMit.Round(time.Millisecond).String(),
-			pct(row.ReductionPct),
-		})
-	}
-	b.WriteString(table([]string{"alpha", "JCT w/o mitigation", "JCT w/ mitigation", "reduction"}, rows))
-	return b.String()
-}
-
-// BackgroundImpactResult quantifies how SSR for foreground jobs affects
-// the background workload (in-text claim: < 0.1% average slowdown).
-type BackgroundImpactResult struct {
-	Jobs          int
-	MeanSlowdown  float64 // mean of JCT(SSR)/JCT(none) across background jobs
-	MeanDeltaPct  float64 // mean percentage change
-	WorstSlowdown float64
-}
-
-// BackgroundImpact runs the standard large-scale setting with and without
-// SSR and compares every background job's JCT between the two runs.
-func BackgroundImpact(p Params) (BackgroundImpactResult, error) {
-	p = p.withDefaults()
-	env := envLarge(p.Scale)
-	setting := largeSettings()[0]
-	_, noneRes, _, err := runLarge(env, suiteML, setting, false, p.Seed, nil)
-	if err != nil {
-		return BackgroundImpactResult{}, err
-	}
-	_, ssrRes, _, err := runLarge(env, suiteML, setting, true, p.Seed, nil)
-	if err != nil {
-		return BackgroundImpactResult{}, err
-	}
-	var (
-		sum   float64
-		count int
-		worst float64
-	)
-	for id, st := range noneRes.stats {
-		if st.Job.Class != dag.Background {
-			continue
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		var (
+			sum   float64
+			count int
+			worst float64
+		)
+		for _, id := range ids {
+			st := noneStats[id]
+			if st.Job.Class != dag.Background {
+				continue
+			}
+			ssrStat, ok := ssrStats[id]
+			if !ok || st.JCT() <= 0 {
+				continue
+			}
+			ratio := metrics.Slowdown(ssrStat.JCT(), st.JCT())
+			sum += ratio
+			count++
+			if ratio > worst {
+				worst = ratio
+			}
 		}
-		ssrStat, ok := ssrRes.stats[id]
-		if !ok || st.JCT() <= 0 {
-			continue
+		if count == 0 {
+			return nil, fmt.Errorf("experiments: no background jobs measured")
 		}
-		ratio := metrics.Slowdown(ssrStat.JCT(), st.JCT())
-		sum += ratio
-		count++
-		if ratio > worst {
-			worst = ratio
-		}
+		mean := sum / float64(count)
+		res := NewResult("Background impact: effect of SSR on background jobs",
+			Column{"bg jobs", KindInt}, Column{"mean slowdown", KindFloat3},
+			Column{"mean delta", KindPercent}, Column{"worst", KindFloat2})
+		res.AddRow(count, mean, 100*(mean-1), worst)
+		res.Metrics["bg-delta-pct"] = 100 * (mean - 1)
+		return res, nil
 	}
-	if count == 0 {
-		return BackgroundImpactResult{}, fmt.Errorf("experiments: no background jobs measured")
-	}
-	mean := sum / float64(count)
-	return BackgroundImpactResult{
-		Jobs:          count,
-		MeanSlowdown:  mean,
-		MeanDeltaPct:  100 * (mean - 1),
-		WorstSlowdown: worst,
-	}, nil
-}
-
-func (r BackgroundImpactResult) String() string {
-	var b strings.Builder
-	b.WriteString("Background impact: effect of SSR on background jobs\n")
-	b.WriteString(table(
-		[]string{"bg jobs", "mean slowdown", "mean delta", "worst"},
-		[][]string{{
-			fmt.Sprintf("%d", r.Jobs), f3(r.MeanSlowdown), pct(r.MeanDeltaPct), f2(r.WorstSlowdown),
-		}},
-	))
-	return b.String()
+	return Define("bgimpact", "effect of SSR on the background workload", cells, assemble)
 }

@@ -3,10 +3,7 @@ package experiments
 import "testing"
 
 func TestFig15SSRHelpsAcrossSuites(t *testing.T) {
-	res, err := Fig15(QuickParams())
-	if err != nil {
-		t.Fatalf("Fig15: %v", err)
-	}
+	res := mustResult(t, "fig15", QuickParams())
 	if len(res.Rows) != 18 {
 		t.Fatalf("rows = %d, want 18 (3 suites x 3 settings x 2 modes)", len(res.Rows))
 	}
@@ -15,12 +12,12 @@ func TestFig15SSRHelpsAcrossSuites(t *testing.T) {
 	}
 	ssrVals := map[key]float64{}
 	noneVals := map[key]float64{}
-	for _, row := range res.Rows {
-		k := key{row.Suite, row.Setting}
-		if row.SSR {
-			ssrVals[k] = row.Slowdown
+	for i := range res.Rows {
+		k := key{res.Str(i, "suite"), res.Str(i, "setting")}
+		if res.Str(i, "mode") == "w/ SSR" {
+			ssrVals[k] = res.Float(i, "avg slowdown")
 		} else {
-			noneVals[k] = row.Slowdown
+			noneVals[k] = res.Float(i, "avg slowdown")
 		}
 	}
 	for k, ssr := range ssrVals {
@@ -47,28 +44,29 @@ func TestFig15SSRHelpsAcrossSuites(t *testing.T) {
 			t.Errorf("%s: locality x2 slowdown %.2f below standard %.2f", suite, locX2, std)
 		}
 	}
+	if _, ok := res.Metrics["sql-ssr-slowdown"]; !ok {
+		t.Error("missing sql-ssr-slowdown metric")
+	}
 	if res.String() == "" {
 		t.Error("empty String")
 	}
 }
 
 func TestFig16SmallerThresholdHelps(t *testing.T) {
-	res, err := Fig16(QuickParams())
-	if err != nil {
-		t.Fatalf("Fig16: %v", err)
-	}
+	res := mustResult(t, "fig16", QuickParams())
 	if len(res.Rows) != 5 {
 		t.Fatalf("rows = %d, want 5", len(res.Rows))
 	}
 	// Earlier pre-reservation (smaller R) should not be worse than the
 	// latest setting; compare the extremes with a small tolerance.
-	first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
-	if first.R >= last.R {
-		t.Fatalf("rows not ordered by R: %v", res.Rows)
+	last := len(res.Rows) - 1
+	if res.Float(0, "R") >= res.Float(last, "R") {
+		t.Fatalf("rows not ordered by R:\n%s", res)
 	}
-	if first.Slowdown > last.Slowdown+0.05 {
+	if res.Float(0, "avg slowdown") > res.Float(last, "avg slowdown")+0.05 {
 		t.Errorf("R=%.2f slowdown %.2f should be <= R=%.2f slowdown %.2f",
-			first.R, first.Slowdown, last.R, last.Slowdown)
+			res.Float(0, "R"), res.Float(0, "avg slowdown"),
+			res.Float(last, "R"), res.Float(last, "avg slowdown"))
 	}
 	if res.String() == "" {
 		t.Error("empty String")
@@ -76,28 +74,28 @@ func TestFig16SmallerThresholdHelps(t *testing.T) {
 }
 
 func TestFig17MitigationReducesJCT(t *testing.T) {
-	res, err := Fig17(QuickParams())
-	if err != nil {
-		t.Fatalf("Fig17: %v", err)
-	}
+	res := mustResult(t, "fig17", QuickParams())
 	if len(res.Rows) != 4 {
 		t.Fatalf("rows = %d, want 4 alphas", len(res.Rows))
 	}
-	for _, row := range res.Rows {
-		if row.ReductionPct < 0 {
-			t.Errorf("alpha=%.1f: mitigation made things worse (%.1f%%)", row.Alpha, row.ReductionPct)
+	for i := range res.Rows {
+		if red := res.Float(i, "reduction"); red < 0 {
+			t.Errorf("alpha=%.1f: mitigation made things worse (%.1f%%)",
+				res.Float(i, "alpha"), red)
 		}
 	}
 	// Heavier tails benefit more: compare the extremes.
-	if res.Rows[0].ReductionPct <= res.Rows[len(res.Rows)-1].ReductionPct {
+	last := len(res.Rows) - 1
+	if res.Float(0, "reduction") <= res.Float(last, "reduction") {
 		t.Errorf("reduction at alpha=%.1f (%.1f%%) should exceed alpha=%.1f (%.1f%%)",
-			res.Rows[0].Alpha, res.Rows[0].ReductionPct,
-			res.Rows[len(res.Rows)-1].Alpha, res.Rows[len(res.Rows)-1].ReductionPct)
+			res.Float(0, "alpha"), res.Float(0, "reduction"),
+			res.Float(last, "alpha"), res.Float(last, "reduction"))
 	}
 	// The paper reports 73% at alpha=1.6; require a substantial effect.
-	for _, row := range res.Rows {
-		if row.Alpha == 1.6 && row.ReductionPct < 20 {
-			t.Errorf("reduction at alpha=1.6 = %.1f%%, want substantial (> 20%%)", row.ReductionPct)
+	for i := range res.Rows {
+		if res.Float(i, "alpha") == 1.6 && res.Float(i, "reduction") < 20 {
+			t.Errorf("reduction at alpha=1.6 = %.1f%%, want substantial (> 20%%)",
+				res.Float(i, "reduction"))
 		}
 	}
 	if res.String() == "" {
@@ -106,17 +104,17 @@ func TestFig17MitigationReducesJCT(t *testing.T) {
 }
 
 func TestBackgroundImpactNegligible(t *testing.T) {
-	res, err := BackgroundImpact(QuickParams())
-	if err != nil {
-		t.Fatalf("BackgroundImpact: %v", err)
+	res := mustResult(t, "bgimpact", QuickParams())
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(res.Rows))
 	}
-	if res.Jobs == 0 {
+	if res.Int(0, "bg jobs") == 0 {
 		t.Fatal("no background jobs measured")
 	}
 	// The paper reports < 0.1% mean slowdown; allow 2% at quick scale
 	// where the cluster is far smaller.
-	if res.MeanDeltaPct > 2.0 {
-		t.Errorf("mean background delta = %.2f%%, want ~0", res.MeanDeltaPct)
+	if delta := res.Float(0, "mean delta"); delta > 2.0 {
+		t.Errorf("mean background delta = %.2f%%, want ~0", delta)
 	}
 	if res.String() == "" {
 		t.Error("empty String")

@@ -1,0 +1,121 @@
+// Package runner executes experiment cells concurrently. An experiment's
+// cells (sweep points and replications) share no mutable state and derive
+// their randomness from content-labeled seed streams, so the runner may
+// execute them in any order on any number of workers; values are assembled
+// in cell order, which makes parallel output byte-for-byte identical to a
+// serial run. See internal/experiments for the cell contract and
+// RunSerial, the single-goroutine reference implementation.
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"ssr/internal/experiments"
+)
+
+// Options configure a parallel experiment run.
+type Options struct {
+	// Parallel is the worker count; 0 or less selects GOMAXPROCS.
+	Parallel int
+	// Progress, if set, is called after each completed cell with the
+	// number of finished cells, the total and the finished cell's key.
+	// Calls are serialized but may arrive in any cell order.
+	Progress func(done, total int, key string)
+}
+
+// CellError reports a failed cell with its position and key.
+type CellError struct {
+	// Index is the cell's position in the experiment's cell order.
+	Index int
+	// Key is the cell's identifying key, e.g. "fig4/kmeans/background/run1".
+	Key string
+	// Err is the cell's failure.
+	Err error
+}
+
+func (e *CellError) Error() string { return fmt.Sprintf("cell %s: %v", e.Key, e.Err) }
+
+func (e *CellError) Unwrap() error { return e.Err }
+
+// workers normalizes a Parallel option to a worker count.
+func workers(parallel int) int {
+	if parallel <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return parallel
+}
+
+// Map runs fn(0..n-1) on up to parallel workers and returns the results in
+// index order. Unlike a fail-fast loop it always runs every index and
+// aggregates every failure (joined in index order), so a sweep reports all
+// broken cells at once rather than the first one scheduled. parallel <= 1
+// runs inline on the calling goroutine, in index order.
+func Map[T any](parallel, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	w := workers(parallel)
+	if w == 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			out[i], errs[i] = fn(i)
+		}
+		return out, errors.Join(errs...)
+	}
+	if w > n {
+		w = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				// Each index writes only its own slot, so the slices
+				// need no locking.
+				out[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out, errors.Join(errs...)
+}
+
+// Run executes one experiment: it enumerates the cells, runs them on the
+// configured workers and assembles the result. The output is identical to
+// experiments.RunSerial for any worker count; on failure the returned
+// error joins one CellError per failed cell, in cell order.
+func Run(e experiments.Experiment, p experiments.Params, opts Options) (*experiments.Result, error) {
+	cells, err := e.Cells(p)
+	if err != nil {
+		return nil, err
+	}
+	var (
+		mu   sync.Mutex
+		done int
+	)
+	values, err := Map(opts.Parallel, len(cells), func(i int) (any, error) {
+		v, err := cells[i].Run()
+		if err != nil {
+			err = &CellError{Index: i, Key: cells[i].Key, Err: err}
+		}
+		if opts.Progress != nil {
+			mu.Lock()
+			done++
+			opts.Progress(done, len(cells), cells[i].Key)
+			mu.Unlock()
+		}
+		return v, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return e.Assemble(p, values)
+}

@@ -1,0 +1,196 @@
+package runner
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"ssr/internal/experiments"
+)
+
+func TestMapPreservesIndexOrder(t *testing.T) {
+	for _, parallel := range []int{1, 2, 8} {
+		got, err := Map(parallel, 100, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("parallel=%d: out[%d] = %d, want %d", parallel, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapAggregatesAllErrors(t *testing.T) {
+	boom3 := errors.New("boom3")
+	boom7 := errors.New("boom7")
+	for _, parallel := range []int{1, 4} {
+		_, err := Map(parallel, 10, func(i int) (int, error) {
+			switch i {
+			case 3:
+				return 0, boom3
+			case 7:
+				return 0, boom7
+			}
+			return i, nil
+		})
+		if !errors.Is(err, boom3) || !errors.Is(err, boom7) {
+			t.Errorf("parallel=%d: error should join both failures, got: %v", parallel, err)
+		}
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	const parallel = 3
+	var cur, peak atomic.Int64
+	var mu sync.Mutex
+	_, err := Map(parallel, 50, func(i int) (int, error) {
+		n := cur.Add(1)
+		mu.Lock()
+		if n > peak.Load() {
+			peak.Store(n)
+		}
+		mu.Unlock()
+		defer cur.Add(-1)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > parallel {
+		t.Errorf("observed %d concurrent calls, want <= %d", p, parallel)
+	}
+}
+
+func TestMapZeroCells(t *testing.T) {
+	got, err := Map(4, 0, func(int) (int, error) { return 0, nil })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestRunReportsCellErrorsInOrder(t *testing.T) {
+	exp := experiments.Define("failing", "test",
+		func(experiments.Params) ([]experiments.Cell, error) {
+			var cells []experiments.Cell
+			for i := 0; i < 6; i++ {
+				cells = append(cells, experiments.Cell{
+					Key: fmt.Sprintf("failing/c%d", i),
+					Run: func() (any, error) {
+						if i%2 == 1 {
+							return nil, fmt.Errorf("odd cell %d", i)
+						}
+						return i, nil
+					},
+				})
+			}
+			return cells, nil
+		},
+		func(experiments.Params, []any) (*experiments.Result, error) {
+			t.Fatal("Assemble must not run when cells fail")
+			return nil, nil
+		})
+	_, err := Run(exp, experiments.QuickParams(), Options{Parallel: 4})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	var ce *CellError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error should expose CellError, got %T: %v", err, err)
+	}
+	for _, key := range []string{"failing/c1", "failing/c3", "failing/c5"} {
+		if !strings.Contains(err.Error(), key) {
+			t.Errorf("error should report %s: %v", key, err)
+		}
+	}
+}
+
+func TestRunProgress(t *testing.T) {
+	var mu sync.Mutex
+	var dones []int
+	keys := map[string]bool{}
+	e, ok := experiments.Lookup("fig10")
+	if !ok {
+		t.Fatal("fig10 not registered")
+	}
+	cells, err := e.Cells(experiments.QuickParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(e, experiments.QuickParams(), Options{
+		Parallel: 4,
+		Progress: func(done, total int, key string) {
+			mu.Lock()
+			defer mu.Unlock()
+			if total != len(cells) {
+				t.Errorf("total = %d, want %d", total, len(cells))
+			}
+			dones = append(dones, done)
+			keys[key] = true
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dones) != len(cells) || len(keys) != len(cells) {
+		t.Fatalf("progress calls = %d distinct keys = %d, want %d", len(dones), len(keys), len(cells))
+	}
+	for i, d := range dones {
+		if d != i+1 {
+			t.Fatalf("done sequence not monotone: %v", dones)
+		}
+	}
+}
+
+// TestParallelMatchesSerialForEveryExperiment is the acceptance test of
+// the harness: for every registered experiment, a parallel run at several
+// worker counts must produce a Result that is deeply equal to the serial
+// reference and renders to identical bytes (text and JSON). Run with
+// -race in CI, this also shakes out shared state between cells.
+func TestParallelMatchesSerialForEveryExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment four times")
+	}
+	p := experiments.QuickParams()
+	for _, e := range experiments.All() {
+		e := e
+		t.Run(e.Name(), func(t *testing.T) {
+			t.Parallel()
+			want, err := experiments.RunSerial(e, p)
+			if err != nil {
+				t.Fatalf("serial: %v", err)
+			}
+			wantText := want.String()
+			wantJSON, err := json.Marshal(want)
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			for _, parallel := range []int{1, 2, 8} {
+				got, err := Run(e, p, Options{Parallel: parallel})
+				if err != nil {
+					t.Fatalf("parallel=%d: %v", parallel, err)
+				}
+				if !reflect.DeepEqual(want, got) {
+					t.Errorf("parallel=%d: Result differs from serial", parallel)
+				}
+				if gotText := got.String(); gotText != wantText {
+					t.Errorf("parallel=%d: text output differs:\n--- serial\n%s\n--- parallel\n%s",
+						parallel, wantText, gotText)
+				}
+				gotJSON, err := json.Marshal(got)
+				if err != nil {
+					t.Fatalf("parallel=%d: marshal: %v", parallel, err)
+				}
+				if string(gotJSON) != string(wantJSON) {
+					t.Errorf("parallel=%d: JSON output differs", parallel)
+				}
+			}
+		})
+	}
+}

@@ -25,7 +25,18 @@ func Stream(rootSeed int64, label string) *rand.Rand {
 // SubStream derives an independent stream from a root seed, a label and an
 // index, for per-job or per-phase streams.
 func SubStream(rootSeed int64, label string, index int) *rand.Rand {
+	return NewRNG(SubSeed(rootSeed, label, index))
+}
+
+// SubSeed derives an independent root seed from a root seed, a label and an
+// index, with the same FNV mixing as SubStream. Use it when a derived
+// computation (a replication of an experiment, say) needs its own root seed
+// to fan out further labeled streams: unlike arithmetic schemes such as
+// seed+k*prime, two SubSeed-derived roots never produce overlapping or
+// correlated stream families.
+func SubSeed(rootSeed int64, label string, index int) int64 {
 	h := fnv.New64a()
+	// The hash write never fails; FNV's Write always returns nil.
 	_, _ = h.Write([]byte(label))
 	var buf [8]byte
 	v := uint64(index)
@@ -33,5 +44,5 @@ func SubStream(rootSeed int64, label string, index int) *rand.Rand {
 		buf[i] = byte(v >> (8 * i))
 	}
 	_, _ = h.Write(buf[:])
-	return NewRNG(rootSeed ^ int64(h.Sum64()))
+	return rootSeed ^ int64(h.Sum64())
 }
