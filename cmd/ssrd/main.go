@@ -1,0 +1,164 @@
+// Command ssrd runs the SSR scheduler as an online daemon: a simulated
+// cluster driven in wall-clock time (with configurable time dilation)
+// behind an HTTP/JSON API.
+//
+//	POST /jobs        submit a workflow job (service.JobSpec)
+//	GET  /jobs        list jobs; GET /jobs/{id} for one
+//	GET  /cluster     per-slot state
+//	GET  /metrics     utilization, counters, online slowdowns
+//	GET  /events      server-sent lifecycle event stream
+//	GET  /healthz     liveness
+//
+// On SIGTERM/SIGINT the daemon drains gracefully: it stops admitting jobs
+// (503 on POST /jobs), gives in-flight jobs the -drain grace to finish,
+// aborts the rest, flushes the trace file if one was requested, and exits 0.
+//
+// Example:
+//
+//	ssrd -addr 127.0.0.1:8347 -nodes 20 -slots 2 -mode ssr -p 0.9 -dilation 100
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ssr/internal/core"
+	"ssr/internal/driver"
+	"ssr/internal/service"
+)
+
+func main() {
+	sigC := make(chan os.Signal, 1)
+	signal.Notify(sigC, syscall.SIGTERM, syscall.SIGINT)
+	if err := run(os.Args[1:], sigC, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "ssrd:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the daemon and blocks until a signal arrives on sigC and the
+// drain completes. ready, when non-nil, is called with the bound address
+// once the listener is up (tests use it with ":0" ports).
+func run(args []string, sigC <-chan os.Signal, ready func(addr string)) error {
+	fs := flag.NewFlagSet("ssrd", flag.ContinueOnError)
+	var (
+		addr      = fs.String("addr", "127.0.0.1:8347", "listen address (host:port; port 0 picks one)")
+		nodes     = fs.Int("nodes", 20, "cluster nodes")
+		perNode   = fs.Int("slots", 2, "slots per node")
+		modeName  = fs.String("mode", "ssr", "reservation mode: none, ssr, timeout, static")
+		isolation = fs.Float64("p", 0.9, "SSR isolation guarantee P in (0, 1]")
+		alpha     = fs.Float64("alpha", 1.6, "operator's Pareto tail estimate for the deadline")
+		threshold = fs.Float64("r", 0.5, "SSR pre-reservation threshold R")
+		mitigate  = fs.Bool("mitigate", false, "use reserved slots as straggler mitigators")
+		timeout   = fs.Duration("timeout", 10*time.Second, "reservation timeout (mode=timeout)")
+		static    = fs.Int("static", 0, "statically fenced slots (mode=static)")
+		dilation  = fs.Float64("dilation", 1, "virtual seconds per wall-clock second")
+		drain     = fs.Duration("drain", 10*time.Second, "grace for in-flight jobs on shutdown before aborting them")
+		traceOut  = fs.String("trace", "", "flush a per-attempt trace to this file on shutdown (.csv or .json)")
+		baseline  = fs.Int("baseline-workers", 2, "workers computing alone-JCT slowdown baselines (negative disables)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := service.Config{
+		Nodes:           *nodes,
+		SlotsPerNode:    *perNode,
+		Dilation:        *dilation,
+		BaselineWorkers: *baseline,
+		RecordTrace:     *traceOut != "",
+	}
+	switch *modeName {
+	case "none":
+		cfg.Driver.Mode = driver.ModeNone
+	case "ssr":
+		cfg.Driver.Mode = driver.ModeSSR
+		cfg.Driver.SSR = core.Config{
+			Enabled:             true,
+			IsolationP:          *isolation,
+			Alpha:               *alpha,
+			PreReserveThreshold: *threshold,
+			MitigateStragglers:  *mitigate,
+		}
+	case "timeout":
+		cfg.Driver.Mode = driver.ModeTimeout
+		cfg.Driver.Timeout = *timeout
+	case "static":
+		cfg.Driver.Mode = driver.ModeStatic
+		cfg.Driver.StaticSlots = *static
+		cfg.Driver.StaticMinPriority = 10
+	default:
+		return fmt.Errorf("unknown mode %q", *modeName)
+	}
+
+	svc, err := service.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: service.NewHandler(svc)}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	fmt.Printf("ssrd: listening on %s (%s)\n", ln.Addr(), svc)
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
+
+	select {
+	case sig := <-sigC:
+		fmt.Printf("ssrd: %v, draining (grace %v)\n", sig, *drain)
+	case err := <-serveErr:
+		return fmt.Errorf("serve: %w", err)
+	}
+
+	// Drain: admission off (POST /jobs answers 503), in-flight jobs get
+	// the grace, stragglers are aborted. Reads and the event stream stay
+	// up throughout so clients observe the abort events.
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	aborted, err := svc.Drain(drainCtx)
+	cancel()
+	if err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if aborted > 0 {
+		fmt.Printf("ssrd: drain grace expired, aborted %d in-flight jobs\n", aborted)
+	} else {
+		fmt.Println("ssrd: drained clean")
+	}
+
+	// Closing the service closes the event bus, which ends every open SSE
+	// stream — otherwise those connections would pin Shutdown until its
+	// timeout.
+	svc.Close()
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	err = srv.Shutdown(shutCtx)
+	cancel()
+	if err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if serr := <-serveErr; serr != nil && !errors.Is(serr, http.ErrServerClosed) {
+		return serr
+	}
+
+	if *traceOut != "" {
+		rec := svc.Trace()
+		if err := rec.WriteFile(*traceOut); err != nil {
+			return err
+		}
+		fmt.Printf("ssrd: flushed %d trace events to %s\n", rec.Len(), *traceOut)
+	}
+	return nil
+}

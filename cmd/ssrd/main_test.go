@@ -1,0 +1,200 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"ssr/internal/service"
+)
+
+// silence routes the daemon's stdout to /dev/null for the duration of a
+// test.
+func silence(t *testing.T) {
+	t.Helper()
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatalf("open devnull: %v", err)
+	}
+	os.Stdout = devnull
+	t.Cleanup(func() {
+		os.Stdout = old
+		if err := devnull.Close(); err != nil {
+			t.Errorf("close devnull: %v", err)
+		}
+	})
+}
+
+// startDaemon runs the daemon on an ephemeral port and returns a client
+// plus the signal channel and exit channel.
+func startDaemon(t *testing.T, extra ...string) (*service.Client, chan os.Signal, chan error) {
+	t.Helper()
+	args := append([]string{"-addr", "127.0.0.1:0"}, extra...)
+	sigC := make(chan os.Signal, 1)
+	readyC := make(chan string, 1)
+	exitC := make(chan error, 1)
+	go func() {
+		exitC <- run(args, sigC, func(addr string) { readyC <- addr })
+	}()
+	select {
+	case addr := <-readyC:
+		return service.NewClient("http://" + addr), sigC, exitC
+	case err := <-exitC:
+		t.Fatalf("daemon exited before ready: %v", err)
+		return nil, nil, nil
+	}
+}
+
+// TestDaemonLifecycle is the end-to-end smoke: start, submit a two-phase
+// job over HTTP, watch it complete, stream events, then SIGTERM and
+// verify a clean drain with a flushed trace.
+func TestDaemonLifecycle(t *testing.T) {
+	silence(t)
+	tracePath := filepath.Join(t.TempDir(), "trace.csv")
+	cli, sigC, exitC := startDaemon(t,
+		"-nodes", "4", "-slots", "2", "-mode", "ssr",
+		"-dilation", "200", "-drain", "5s", "-trace", tracePath)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+
+	// An open SSE stream must not wedge shutdown.
+	streamEnded := make(chan struct{})
+	go func() {
+		defer close(streamEnded)
+		_ = cli.StreamEvents(ctx, 0, func(service.Event) error { return nil })
+	}()
+
+	spec := service.JobSpec{Name: "smoke", Priority: 5, Phases: []service.PhaseSpec{
+		{DurationsMs: []float64{400, 400, 400}},
+		{DurationsMs: []float64{200, 200}, Deps: []int{0}},
+	}}
+	st, err := cli.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := cli.WaitJob(ctx, st.ID, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != service.StateCompleted || final.TasksRun != 5 {
+		t.Fatalf("final status = %+v", final)
+	}
+	cs, err := cli.Cluster(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Slots != 8 || len(cs.SlotList) != 8 {
+		t.Errorf("cluster view = %+v", cs)
+	}
+	ms, err := cli.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.JobsCompleted != 1 || ms.Dilation != 200 {
+		t.Errorf("metrics = %+v", ms)
+	}
+
+	sigC <- syscall.SIGTERM
+	select {
+	case err := <-exitC:
+		if err != nil {
+			t.Fatalf("daemon exit: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+	select {
+	case <-streamEnded:
+	case <-time.After(5 * time.Second):
+		t.Fatal("SSE stream still open after daemon exit")
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatalf("trace not flushed: %v", err)
+	}
+	if !strings.HasPrefix(string(data), "job,jobName") || strings.Count(string(data), "\n") < 6 {
+		t.Errorf("trace content unexpected: %q", string(data))
+	}
+}
+
+// TestDaemonDrainAborts covers the impatient path: SIGTERM with a job that
+// cannot finish inside the grace — the job is aborted, admission answers
+// 503 during the drain, and the daemon still exits 0.
+func TestDaemonDrainAborts(t *testing.T) {
+	silence(t)
+	cli, sigC, exitC := startDaemon(t,
+		"-nodes", "2", "-slots", "1", "-mode", "none",
+		"-dilation", "10", "-drain", "100ms")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	// 60 virtual seconds at dilation 10 = 6s real, far past the grace.
+	long := service.JobSpec{Name: "long", Priority: 1, Phases: []service.PhaseSpec{
+		{DurationsMs: []float64{60000}},
+	}}
+	st, err := cli.Submit(ctx, long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let it start running before signaling.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		got, err := cli.Job(ctx, st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.State == service.StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never started")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	sigC <- syscall.SIGTERM
+	// During the drain window, admission must refuse.
+	refused := false
+	for i := 0; i < 200; i++ {
+		_, err := cli.Submit(ctx, long)
+		if service.IsUnavailable(err) {
+			refused = true
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !refused {
+		t.Error("admission never returned 503 during drain")
+	}
+	select {
+	case err := <-exitC:
+		if err != nil {
+			t.Fatalf("daemon exit: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+}
+
+func TestDaemonBadFlags(t *testing.T) {
+	silence(t)
+	sigC := make(chan os.Signal)
+	if err := run([]string{"-mode", "bogus"}, sigC, nil); err == nil {
+		t.Error("bad mode should error")
+	}
+	if err := run([]string{"-not-a-flag"}, sigC, nil); err == nil {
+		t.Error("bad flag should error")
+	}
+	if err := run([]string{"-addr", "256.0.0.1:-2"}, sigC, nil); err == nil {
+		t.Error("bad address should error")
+	}
+	if err := run([]string{"-mode", "ssr", "-p", "7"}, sigC, nil); err == nil {
+		t.Error("invalid isolation P should error")
+	}
+}

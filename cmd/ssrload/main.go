@@ -1,0 +1,211 @@
+// Command ssrload drives a running ssrd daemon with synthetic workloads
+// and reports client-side completion latencies.
+//
+// Two shapes of load:
+//
+//   - Open loop (-rate > 0): jobs arrive at the target rate with
+//     exponential interarrival gaps, regardless of how fast the service
+//     finishes them — the paper's arrival-process setting.
+//   - Closed loop (-rate 0): -concurrency workers each keep exactly one
+//     job in flight, submitting the next as soon as the last completes.
+//
+// Example:
+//
+//	ssrload -addr http://127.0.0.1:8347 -jobs 200 -rate 20 -suite tiny
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+
+	"ssr/internal/dag"
+	"ssr/internal/service"
+	"ssr/internal/stats"
+	"ssr/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ssrload:", err)
+		os.Exit(1)
+	}
+}
+
+// buildSpecs synthesizes n job specs for the chosen suite.
+func buildSpecs(suite string, n int, prio int, scale float64, seed int64) ([]service.JobSpec, error) {
+	specs := make([]service.JobSpec, 0, n)
+	switch suite {
+	case "tiny":
+		// Small two-phase workflows with jittered task durations: the
+		// shape of the paper's foreground queries, sized so hundreds
+		// drain quickly under dilation.
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < n; i++ {
+			jitter := func(ms float64) float64 { return ms * scale * (0.5 + rng.Float64()) }
+			specs = append(specs, service.JobSpec{
+				Name:     fmt.Sprintf("tiny-%d", i),
+				Priority: prio,
+				Phases: []service.PhaseSpec{
+					{DurationsMs: []float64{jitter(120), jitter(120), jitter(120)}},
+					{DurationsMs: []float64{jitter(60), jitter(60)}, Deps: []int{0}},
+				},
+			})
+		}
+	case "ml":
+		suiteSpecs := workload.MLSuite()
+		for i := 0; i < n; i++ {
+			spec := suiteSpecs[i%len(suiteSpecs)]
+			job, err := spec.Build(dag.JobID(i+1), dag.Priority(prio), 0,
+				stats.SubStream(seed, "ssrload-ml", i))
+			if err != nil {
+				return nil, err
+			}
+			specs = append(specs, service.SpecOf(job))
+		}
+	case "sql":
+		queries := workload.SQLQueries(1)
+		for i := 0; i < n; i++ {
+			q := queries[i%len(queries)]
+			job, err := q.Build(dag.JobID(i+1), dag.Priority(prio), 0,
+				stats.SubStream(seed, "ssrload-sql", i))
+			if err != nil {
+				return nil, err
+			}
+			specs = append(specs, service.SpecOf(job))
+		}
+	default:
+		return nil, fmt.Errorf("unknown suite %q (tiny, ml, sql)", suite)
+	}
+	return specs, nil
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ssrload", flag.ContinueOnError)
+	var (
+		addr    = fs.String("addr", "http://127.0.0.1:8347", "ssrd base URL")
+		jobs    = fs.Int("jobs", 100, "number of jobs to submit")
+		rate    = fs.Float64("rate", 0, "open-loop arrival rate in jobs/sec (0 = closed loop)")
+		conc    = fs.Int("concurrency", 8, "closed-loop in-flight jobs")
+		suite   = fs.String("suite", "tiny", "workload suite: tiny, ml, sql")
+		scale   = fs.Float64("scale", 1.0, "task duration scale for the tiny suite")
+		prio    = fs.Int("prio", 5, "job priority")
+		poll    = fs.Duration("poll", 20*time.Millisecond, "completion poll interval")
+		timeout = fs.Duration("timeout", 5*time.Minute, "overall deadline")
+		seed    = fs.Int64("seed", 42, "random seed (durations and interarrivals)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *jobs <= 0 {
+		return fmt.Errorf("need a positive -jobs, got %d", *jobs)
+	}
+	if *conc <= 0 {
+		return fmt.Errorf("need a positive -concurrency, got %d", *conc)
+	}
+	specs, err := buildSpecs(*suite, *jobs, *prio, *scale, *seed)
+	if err != nil {
+		return err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	cli := service.NewClient(*addr)
+	if _, err := cli.Metrics(ctx); err != nil {
+		return fmt.Errorf("daemon not reachable at %s: %w", *addr, err)
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []float64 // seconds, submit -> terminal, client-observed
+		completed int
+		failed    int
+		refused   int
+	)
+	var wg sync.WaitGroup
+	launch := func(spec service.JobSpec) {
+		defer wg.Done()
+		start := time.Now()
+		st, err := cli.Submit(ctx, spec)
+		if err != nil {
+			mu.Lock()
+			refused++
+			mu.Unlock()
+			return
+		}
+		final, err := cli.WaitJob(ctx, st.ID, *poll)
+		elapsed := time.Since(start).Seconds()
+		mu.Lock()
+		defer mu.Unlock()
+		switch {
+		case err != nil || final.State != service.StateCompleted:
+			failed++
+		default:
+			completed++
+			latencies = append(latencies, elapsed)
+		}
+	}
+
+	wall := time.Now()
+	if *rate > 0 {
+		// Open loop: exponential interarrival gaps at the target rate.
+		arrivals := rand.New(rand.NewSource(*seed + 1))
+		for _, spec := range specs {
+			wg.Add(1)
+			go launch(spec)
+			gap := time.Duration(arrivals.ExpFloat64() / *rate * float64(time.Second))
+			select {
+			case <-time.After(gap):
+			case <-ctx.Done():
+				return fmt.Errorf("deadline passed mid-submission: %w", ctx.Err())
+			}
+		}
+	} else {
+		// Closed loop: a fixed number of jobs in flight at all times.
+		work := make(chan service.JobSpec)
+		for w := 0; w < *conc; w++ {
+			go func() {
+				for spec := range work {
+					launch(spec)
+				}
+			}()
+		}
+		for _, spec := range specs {
+			wg.Add(1)
+			work <- spec
+		}
+		close(work)
+	}
+	wg.Wait()
+	elapsed := time.Since(wall)
+
+	mode := "closed loop"
+	if *rate > 0 {
+		mode = fmt.Sprintf("open loop at %.3g jobs/sec", *rate)
+	}
+	fmt.Printf("ssrload: %s suite %q: %d completed, %d failed, %d refused in %v (%.1f jobs/sec)\n",
+		mode, *suite, completed, failed, refused, elapsed.Round(time.Millisecond),
+		float64(completed+failed)/elapsed.Seconds())
+	if len(latencies) > 0 {
+		s := stats.Summarize(latencies)
+		fmt.Printf("client latency (s): mean=%.3f p50=%.3f p90=%.3f p99=%.3f max=%.3f\n",
+			s.Mean, s.Median, s.P90, s.P99, s.Max)
+	}
+	if ms, err := cli.Metrics(ctx); err == nil {
+		fmt.Printf("server: virtual %.1fs at %gx, utilization %.1f%%, reserved-idle %.2f%%\n",
+			ms.VirtualNowMs/1000, ms.Dilation, 100*ms.Utilization, 100*ms.ReservedFraction)
+		if ms.Slowdowns.Count > 0 {
+			fmt.Printf("server slowdowns: n=%d mean=%.2f p50=%.2f p95=%.2f max=%.2f (dropped %d)\n",
+				ms.Slowdowns.Count, ms.Slowdowns.Mean, ms.Slowdowns.P50,
+				ms.Slowdowns.P95, ms.Slowdowns.Max, ms.Slowdowns.Dropped)
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d jobs did not complete", failed, *jobs)
+	}
+	return nil
+}

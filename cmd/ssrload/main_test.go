@@ -1,0 +1,143 @@
+package main
+
+import (
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"ssr/internal/core"
+	"ssr/internal/driver"
+	"ssr/internal/service"
+)
+
+// silence routes stdout to /dev/null for the duration of a test.
+func silence(t *testing.T) {
+	t.Helper()
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatalf("open devnull: %v", err)
+	}
+	os.Stdout = devnull
+	t.Cleanup(func() {
+		os.Stdout = old
+		if err := devnull.Close(); err != nil {
+			t.Errorf("close devnull: %v", err)
+		}
+	})
+}
+
+// capture runs fn with stdout redirected to a pipe and returns its output.
+func capture(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatalf("pipe: %v", err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	done := make(chan string)
+	go func() {
+		var sb strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := r.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		done <- sb.String()
+	}()
+	runErr := fn()
+	if err := w.Close(); err != nil {
+		t.Errorf("close pipe: %v", err)
+	}
+	out := <-done
+	if runErr != nil {
+		t.Fatalf("run: %v\n%s", runErr, out)
+	}
+	return out
+}
+
+// startService spins an in-process daemon handler for the generator to hit.
+func startService(t *testing.T, dilation float64) string {
+	t.Helper()
+	svc, err := service.New(service.Config{
+		Nodes:        8,
+		SlotsPerNode: 2,
+		Dilation:     dilation,
+		Driver: driver.Options{
+			Mode: driver.ModeSSR,
+			SSR:  core.Config{Enabled: true, IsolationP: 0.9, Alpha: 1.6, PreReserveThreshold: 0.5},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	ts := httptest.NewServer(service.NewHandler(svc))
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+// TestOpenLoopHundredJobs is the load-generator acceptance run: 100 jobs
+// submitted open loop against a dilated service, all completing.
+func TestOpenLoopHundredJobs(t *testing.T) {
+	url := startService(t, 500)
+	out := capture(t, func() error {
+		return run([]string{"-addr", url, "-jobs", "100", "-rate", "400",
+			"-suite", "tiny", "-poll", "5ms", "-timeout", "2m"})
+	})
+	if !strings.Contains(out, "100 completed, 0 failed, 0 refused") {
+		t.Errorf("unexpected summary:\n%s", out)
+	}
+	if !strings.Contains(out, "client latency") || !strings.Contains(out, "utilization") {
+		t.Errorf("missing report sections:\n%s", out)
+	}
+}
+
+func TestClosedLoop(t *testing.T) {
+	url := startService(t, 500)
+	out := capture(t, func() error {
+		return run([]string{"-addr", url, "-jobs", "30", "-concurrency", "6",
+			"-suite", "tiny", "-poll", "5ms", "-timeout", "2m"})
+	})
+	if !strings.Contains(out, "30 completed, 0 failed") {
+		t.Errorf("unexpected summary:\n%s", out)
+	}
+	if !strings.Contains(out, "closed loop") {
+		t.Errorf("missing mode label:\n%s", out)
+	}
+}
+
+func TestSuites(t *testing.T) {
+	// The ml/sql suites carry tens of virtual minutes of work; high
+	// dilation keeps the real-time cost tiny.
+	url := startService(t, 20000)
+	silence(t)
+	for _, suite := range []string{"ml", "sql"} {
+		if err := run([]string{"-addr", url, "-jobs", "3", "-concurrency", "3",
+			"-suite", suite, "-poll", "5ms", "-timeout", "2m"}); err != nil {
+			t.Errorf("suite %s: %v", suite, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	silence(t)
+	if err := run([]string{"-not-a-flag"}); err == nil {
+		t.Error("bad flag should error")
+	}
+	if err := run([]string{"-jobs", "0"}); err == nil {
+		t.Error("zero jobs should error")
+	}
+	if err := run([]string{"-suite", "bogus"}); err == nil {
+		t.Error("bad suite should error")
+	}
+	if err := run([]string{"-addr", "http://127.0.0.1:1", "-jobs", "1", "-timeout", "2s"}); err == nil {
+		t.Error("unreachable daemon should error")
+	}
+}

@@ -11,7 +11,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 	"time"
 
 	"ssr/internal/cluster"
@@ -220,7 +219,7 @@ func run(args []string) error {
 		fmt.Print(trace.Gantt(rec.Events(), trace.GanttOptions{Width: 100, Slots: 64}))
 	}
 	if *traceOut != "" {
-		if err := writeTrace(rec, *traceOut); err != nil {
+		if err := rec.WriteFile(*traceOut); err != nil {
 			return err
 		}
 		fmt.Printf("wrote %d trace events to %s\n", rec.Len(), *traceOut)
@@ -258,24 +257,3 @@ func dumpWorkload(path string, groups ...[]*dag.Job) error {
 	return f.Close()
 }
 
-// writeTrace exports the recorded events in the format implied by the file
-// extension (.json or .csv; anything else defaults to CSV).
-func writeTrace(rec *trace.Recorder, path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer func() {
-		// Close errors surface through the write path below; a second
-		// close is harmless.
-		_ = f.Close()
-	}()
-	if strings.HasSuffix(path, ".json") {
-		if err := rec.WriteJSON(f); err != nil {
-			return err
-		}
-	} else if err := rec.WriteCSV(f); err != nil {
-		return err
-	}
-	return f.Close()
-}

@@ -55,6 +55,10 @@ func (d *Driver) onFinish(att *attempt) {
 			d.traceAttempt(loser, true)
 		}
 	}
+	d.emitAttempt(EventAttemptFinish, att)
+	if haveLoser {
+		d.emitAttempt(EventAttemptKill, loser)
+	}
 	task.orig = nil
 	task.dup = nil
 
@@ -176,6 +180,7 @@ func (d *Driver) expireTimeoutReservation(slot cluster.SlotID, armedAt sim.Time)
 	if err := d.cl.CancelReservation(slot); err != nil {
 		panic("driver: timeout expiry: " + err.Error())
 	}
+	d.emitReservation(EventUnreserve, slot, res)
 	d.notifyWaiters(slot)
 	if jr := d.jobsByID[res.Job]; jr != nil {
 		d.recordTimeline(jr)
@@ -205,6 +210,7 @@ func (d *Driver) expireDeadline(pr *phaseRun) {
 	pr.deadlineTimer = nil
 	pr.tracker.ExpireDeadline()
 	pr.jr.stats.DeadlineExpiries++
+	d.emitPhase(EventDeadlineExpire, pr)
 	d.dropPreReserver(pr)
 	jobID := pr.jr.job.ID
 	for _, slot := range d.cl.ReservedSlots(jobID) {
@@ -215,6 +221,7 @@ func (d *Driver) expireDeadline(pr *phaseRun) {
 		if err := d.cl.CancelReservation(slot); err != nil {
 			panic("driver: deadline expiry: " + err.Error())
 		}
+		d.emitReservation(EventUnreserve, slot, res)
 		d.notifyWaiters(slot)
 	}
 	d.recordTimeline(pr.jr)
@@ -250,6 +257,7 @@ func (d *Driver) maybeMitigate(pr *phaseRun) {
 // schedulable and inherit the job's reserved slots.
 func (d *Driver) onPhaseComplete(pr *phaseRun) {
 	jr := pr.jr
+	d.emitPhase(EventPhaseDone, pr)
 	d.stopSpeculation(pr)
 	if pr.localityTimer != nil {
 		pr.localityTimer.Cancel()
@@ -312,9 +320,11 @@ func (d *Driver) reconcileReservations(jr *jobRun) {
 	}
 	slots := d.cl.ReservedSlots(jr.job.ID)
 	for i := len(slots) - 1; i >= 0 && excess > 0; i-- {
+		res, _ := d.cl.Slot(slots[i]).Reservation()
 		if err := d.cl.CancelReservation(slots[i]); err != nil {
 			panic("driver: reconcile: " + err.Error())
 		}
+		d.emitReservation(EventUnreserve, slots[i], res)
 		d.notifyWaiters(slots[i])
 		excess--
 	}
@@ -329,12 +339,15 @@ func (d *Driver) onJobComplete(jr *jobRun) {
 	jr.stats.Finish = d.eng.Now()
 	d.unfinished--
 	for _, slot := range d.cl.ReservedSlots(jr.job.ID) {
+		res, _ := d.cl.Slot(slot).Reservation()
 		if err := d.cl.CancelReservation(slot); err != nil {
 			panic("driver: job completion: " + err.Error())
 		}
+		d.emitReservation(EventUnreserve, slot, res)
 		d.notifyWaiters(slot)
 	}
 	d.loc.ForgetJob(jr.job.ID)
+	d.emitJob(EventJobDone, jr)
 	d.recordTimeline(jr)
 	d.scheduleDispatch()
 }

@@ -168,6 +168,7 @@ func (d *Driver) servePreReservers(minPrio *dag.Priority) {
 					break
 				}
 				pr.preWant--
+				d.emitReservation(EventReserve, slot, res)
 				d.notifyWaiters(slot)
 			}
 		}
@@ -261,6 +262,7 @@ func (d *Driver) mustReserve(slot cluster.SlotID, res cluster.Reservation) {
 	if err := d.cl.Reserve(slot, res); err != nil {
 		panic("driver: reserve failed: " + err.Error())
 	}
+	d.emitReservation(EventReserve, slot, res)
 	d.notifyWaiters(slot)
 }
 

@@ -105,6 +105,12 @@ type Options struct {
 	// Trace, when non-nil, receives one event per task attempt
 	// (originals and speculative copies, winners and killed losers).
 	Trace *trace.Recorder
+	// OnEvent, when non-nil, receives every scheduler lifecycle event
+	// (job/phase/attempt/reservation transitions) synchronously as it
+	// happens. Handlers run inside the simulation event and must not
+	// re-enter the driver; the online service layer bridges them onto
+	// its event bus.
+	OnEvent func(Event)
 	// Speculation enables Spark-style progress-based speculative
 	// execution — the status-quo straggler mitigation the paper's
 	// reserved-slot strategy is compared against (Sec. IV-C).

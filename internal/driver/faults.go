@@ -129,6 +129,7 @@ func (d *Driver) FailNode(node int) error {
 		if d.opts.Trace != nil {
 			d.traceAttempt(att, true)
 		}
+		d.emitAttempt(EventAttemptKill, att)
 		d.fc.AttemptsKilled++
 		att.pr.jr.stats.AttemptsKilled++
 		d.onAttemptKilled(att)
@@ -292,6 +293,7 @@ func (d *Driver) abortJob(jr *jobRun) {
 				if d.opts.Trace != nil {
 					d.traceAttempt(att, true)
 				}
+				d.emitAttempt(EventAttemptKill, att)
 				// Attempts on already-failed slots have no slot to give
 				// back; the others return to the pool.
 				if d.cl.Slot(att.slot).State() == cluster.Busy {
@@ -305,12 +307,15 @@ func (d *Driver) abortJob(jr *jobRun) {
 		}
 	}
 	for _, slot := range d.cl.ReservedSlots(jr.job.ID) {
+		res, _ := d.cl.Slot(slot).Reservation()
 		if err := d.cl.CancelReservation(slot); err != nil {
 			panic("driver: job abort: " + err.Error())
 		}
+		d.emitReservation(EventUnreserve, slot, res)
 		d.notifyWaiters(slot)
 	}
 	d.loc.ForgetJob(jr.job.ID)
+	d.emitJob(EventJobFail, jr)
 	d.recordTimeline(jr)
 	d.scheduleDispatch()
 }

@@ -40,8 +40,13 @@ func newJobRun(d *Driver, job *dag.Job) *jobRun {
 	return jr
 }
 
-// activate fires at the job's submission time.
+// activate fires at the job's submission time. A job aborted before its
+// arrival (an online drain can do that) stays dead.
 func (jr *jobRun) activate() {
+	if jr.finished {
+		return
+	}
+	jr.d.emitJob(EventJobStart, jr)
 	for _, root := range jr.job.Roots() {
 		jr.d.submitPhase(jr, root)
 	}
@@ -337,6 +342,7 @@ func (d *Driver) submitPhase(jr *jobRun, pid int) {
 	}
 	pr.localityOpen = pr.queuedConstrained() == 0
 	jr.phases[pid] = pr
+	d.emitPhase(EventPhaseStart, pr)
 
 	if !pr.localityOpen {
 		for _, s := range pr.preferred {
@@ -439,6 +445,7 @@ func (d *Driver) assign(pr *phaseRun, idx int, slot cluster.SlotID, local bool) 
 	d.slotOwner[slot] = att
 	pr.runningTasks++
 	jr.running++
+	d.emitAttempt(EventAttemptStart, att)
 	d.recordTimeline(jr)
 	d.syncQueue(pr)
 }
@@ -457,5 +464,6 @@ func (d *Driver) launchCopy(pr *phaseRun, idx int, slot cluster.SlotID) {
 	d.slotOwner[slot] = att
 	jr.running++
 	jr.stats.CopiesLaunched++
+	d.emitAttempt(EventAttemptStart, att)
 	d.recordTimeline(jr)
 }

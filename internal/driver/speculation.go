@@ -146,5 +146,6 @@ func (d *Driver) launchSpecCopy(pr *phaseRun, idx int, slot cluster.SlotID) {
 	d.slotOwner[slot] = att
 	jr.running++
 	jr.stats.CopiesLaunched++
+	d.emitAttempt(EventAttemptStart, att)
 	d.recordTimeline(jr)
 }

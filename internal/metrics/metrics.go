@@ -73,6 +73,12 @@ func (u *SlotUsage) advance() {
 	u.last = t
 }
 
+// BusySlots returns the instantaneous busy-slot gauge.
+func (u *SlotUsage) BusySlots() int { return u.busy }
+
+// ReservedIdleSlots returns the instantaneous reserved-idle gauge.
+func (u *SlotUsage) ReservedIdleSlots() int { return u.reserved }
+
 // BusyTime returns accumulated busy slot-time up to the current clock.
 func (u *SlotUsage) BusyTime() time.Duration {
 	u.advance()

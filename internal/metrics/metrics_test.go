@@ -58,6 +58,114 @@ func TestSlotUsageIntegration(t *testing.T) {
 	}
 }
 
+// TestSlotUsageFailedTransitions covers every transition into and out of
+// the Failed state: a failing busy or reserved slot must stop accruing its
+// slot-time immediately, and recovery (Failed -> Free) must not resurrect
+// any accrual.
+func TestSlotUsageFailedTransitions(t *testing.T) {
+	clock := &fakeClock{}
+	u := NewSlotUsage(4, clock.now)
+	l := u.Listener()
+
+	// t=0: slot 0 busy, slot 1 reserved, slot 2 free.
+	l(0, cluster.Free, cluster.Busy)
+	l(1, cluster.Free, cluster.Reserved)
+	clock.t = 10 * time.Second
+	// t=10: the node hosting slots 0-2 fails.
+	l(0, cluster.Busy, cluster.Failed)
+	l(1, cluster.Reserved, cluster.Failed)
+	l(2, cluster.Free, cluster.Failed)
+	if u.BusySlots() != 0 || u.ReservedIdleSlots() != 0 {
+		t.Errorf("gauges after failure = busy %d reserved %d, want 0/0",
+			u.BusySlots(), u.ReservedIdleSlots())
+	}
+	clock.t = 25 * time.Second
+	// Accrual stopped at the failure: 10s busy, 10s reserved.
+	if got, want := u.BusyTime(), 10*time.Second; got != want {
+		t.Errorf("BusyTime = %v, want %v (failed slot kept accruing)", got, want)
+	}
+	if got, want := u.ReservedIdleTime(), 10*time.Second; got != want {
+		t.Errorf("ReservedIdleTime = %v, want %v (failed slot kept accruing)", got, want)
+	}
+	// t=25: recovery. Failed -> Free is accrual-neutral.
+	l(0, cluster.Failed, cluster.Free)
+	l(1, cluster.Failed, cluster.Free)
+	l(2, cluster.Failed, cluster.Free)
+	clock.t = 30 * time.Second
+	if got, want := u.BusyTime(), 10*time.Second; got != want {
+		t.Errorf("BusyTime after recovery = %v, want %v", got, want)
+	}
+	// t=30: a recovered slot goes busy again and accrues normally.
+	l(0, cluster.Free, cluster.Busy)
+	clock.t = 33 * time.Second
+	if got, want := u.BusyTime(), 13*time.Second; got != want {
+		t.Errorf("BusyTime after re-busy = %v, want %v", got, want)
+	}
+	if u.BusySlots() != 1 {
+		t.Errorf("BusySlots = %d, want 1", u.BusySlots())
+	}
+}
+
+// TestSlotUsageTracksClusterCensus mirrors the cluster package's
+// partition-style fault tests: the integrator's gauges, fed only by the
+// state listener, must match a direct census of the cluster through an
+// acquire/reserve/fail/recover cycle.
+func TestSlotUsageTracksClusterCensus(t *testing.T) {
+	clock := &fakeClock{}
+	c, err := cluster.New(2, 2) // slots 0,1 on node 0; 2,3 on node 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := NewSlotUsage(c.NumSlots(), clock.now)
+	c.SetListener(u.Listener())
+	check := func(step string) {
+		t.Helper()
+		busy, reserved := c.CountState(cluster.Busy), c.CountState(cluster.Reserved)
+		if u.BusySlots() != busy || u.ReservedIdleSlots() != reserved {
+			t.Fatalf("%s: gauges busy %d reserved %d, cluster census %d/%d",
+				step, u.BusySlots(), u.ReservedIdleSlots(), busy, reserved)
+		}
+		free, failed := c.CountState(cluster.Free), c.CountState(cluster.Failed)
+		if free+reserved+busy+failed != c.NumSlots() {
+			t.Fatalf("%s: census %d+%d+%d+%d != %d slots",
+				step, free, reserved, busy, failed, c.NumSlots())
+		}
+	}
+
+	if _, ok := c.AcquireFree(1); !ok {
+		t.Fatal("AcquireFree failed")
+	}
+	if err := c.Reserve(1, cluster.Reservation{Job: 7, Priority: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.AcquireFree(1); !ok {
+		t.Fatal("second AcquireFree failed")
+	}
+	check("after acquire+reserve")
+
+	clock.t = 5 * time.Second
+	if _, _, err := c.FailNode(0); err != nil {
+		t.Fatal(err)
+	}
+	check("after node 0 failure")
+
+	clock.t = 8 * time.Second
+	if _, err := c.RecoverNode(0); err != nil {
+		t.Fatal(err)
+	}
+	check("after node 0 recovery")
+
+	clock.t = 10 * time.Second
+	// Slot-time stopped for node 0's busy and reserved slots at t=5; the
+	// survivor on node 1 accrued the full 10s.
+	if got, want := u.BusyTime(), 15*time.Second; got != want {
+		t.Errorf("BusyTime = %v, want %v", got, want)
+	}
+	if got, want := u.ReservedIdleTime(), 5*time.Second; got != want {
+		t.Errorf("ReservedIdleTime = %v, want %v", got, want)
+	}
+}
+
 func TestSlotUsageZeroHorizon(t *testing.T) {
 	clock := &fakeClock{}
 	u := NewSlotUsage(4, clock.now)

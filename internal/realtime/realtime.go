@@ -1,0 +1,210 @@
+// Package realtime drives a deterministic discrete-event simulation engine
+// against the wall clock, turning the offline simulator into the execution
+// substrate of an online scheduling service.
+//
+// The engine (ssr/internal/sim) is single-threaded by design. The Runner
+// preserves that: one goroutine owns the engine, fires events when their
+// virtual timestamps come due on the wall clock, and executes injected
+// closures (job arrivals, state snapshots) between events. All access to
+// the engine — and to anything hanging off it, like the driver and cluster
+// — must go through Call, which serializes callers onto the loop goroutine.
+//
+// # Time dilation
+//
+// Virtual time advances Dilation times faster than real time: with
+// Dilation 1 a 40-second job takes 40 wall-clock seconds; with Dilation
+// 1000 a simulated day replays in about 86 seconds. The mapping is anchored
+// once at Start, so the virtual clock does not drift when the loop is
+// briefly descheduled; events that have fallen due fire back to back until
+// the loop catches up.
+package realtime
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ssr/internal/sim"
+)
+
+// ErrStopped is returned by Call when the runner has been stopped.
+var ErrStopped = errors.New("realtime: runner stopped")
+
+// Options configures a Runner.
+type Options struct {
+	// Dilation is the virtual-to-real time ratio: how many virtual
+	// seconds elapse per wall-clock second. Zero defaults to 1 (real
+	// time); values above 1 replay faster than real time, values in
+	// (0, 1) slow the simulation down.
+	Dilation float64
+}
+
+func (o Options) withDefaults() (Options, error) {
+	if o.Dilation == 0 {
+		o.Dilation = 1
+	}
+	if o.Dilation < 0 {
+		return o, fmt.Errorf("realtime: dilation %v must be positive", o.Dilation)
+	}
+	return o, nil
+}
+
+type call struct {
+	fn   func()
+	done chan struct{}
+}
+
+// Runner owns a sim.Engine and fires its events in wall-clock time.
+type Runner struct {
+	eng      *sim.Engine
+	dilation float64
+
+	// realAnchor/virtAnchor fix the wall-to-virtual mapping at Start.
+	realAnchor time.Time
+	virtAnchor sim.Time
+
+	calls    chan call
+	stopC    chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+// New creates a runner over the engine. The engine must not be touched by
+// any other goroutine after Start, except through Call.
+func New(eng *sim.Engine, opts Options) (*Runner, error) {
+	o, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{
+		eng:      eng,
+		dilation: o.Dilation,
+		calls:    make(chan call),
+		stopC:    make(chan struct{}),
+		done:     make(chan struct{}),
+	}, nil
+}
+
+// Dilation returns the virtual-to-real time ratio.
+func (r *Runner) Dilation() float64 { return r.dilation }
+
+// Start anchors the clock mapping and launches the loop goroutine. It must
+// be called exactly once.
+func (r *Runner) Start() {
+	r.realAnchor = time.Now()
+	r.virtAnchor = r.eng.Now()
+	go r.loop()
+}
+
+// Stop terminates the loop after the event or call currently executing
+// returns. Pending events stay in the engine unfired. Stop is idempotent
+// and safe from any goroutine; it returns once the loop has exited.
+func (r *Runner) Stop() {
+	r.stopOnce.Do(func() { close(r.stopC) })
+	<-r.done
+}
+
+// Done returns a channel closed when the loop has exited.
+func (r *Runner) Done() <-chan struct{} { return r.done }
+
+// virtualNow maps the current wall clock onto virtual time.
+func (r *Runner) virtualNow() sim.Time {
+	return r.virtAnchor + time.Duration(float64(time.Since(r.realAnchor))*r.dilation)
+}
+
+// realDelay converts a virtual interval into the wall-clock wait for it.
+func (r *Runner) realDelay(dv sim.Time) time.Duration {
+	if dv <= 0 {
+		return 0
+	}
+	return time.Duration(float64(dv) / r.dilation)
+}
+
+// Call runs fn on the loop goroutine, with the engine's virtual clock
+// advanced to the current wall-mapped time (any events that fell due fire
+// first), and returns once fn has completed. fn may safely touch the
+// engine and everything scheduled on it; it must not call back into the
+// Runner. Call returns ErrStopped without running fn if the runner has
+// stopped (or stops before fn is picked up).
+func (r *Runner) Call(fn func()) error {
+	c := call{fn: fn, done: make(chan struct{})}
+	select {
+	case r.calls <- c:
+	case <-r.done:
+		return ErrStopped
+	}
+	select {
+	case <-c.done:
+		return nil
+	case <-r.done:
+		// The loop may have run the call in the same instant it stopped.
+		select {
+		case <-c.done:
+			return nil
+		default:
+			return ErrStopped
+		}
+	}
+}
+
+// Now returns the engine's current virtual time as of this instant. It is
+// safe from any goroutine.
+func (r *Runner) Now() (sim.Time, error) {
+	var t sim.Time
+	err := r.Call(func() { t = r.eng.Now() })
+	return t, err
+}
+
+// loop is the single goroutine with engine access. Each iteration catches
+// the virtual clock up to the wall-mapped time (firing due events), then
+// sleeps until the next event is due, a call arrives, or Stop is issued.
+func (r *Runner) loop() {
+	defer close(r.done)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		// Fire everything that has fallen due. RunUntil also advances
+		// the clock to the target when the queue runs dry, so injected
+		// arrivals are stamped with the current wall-mapped time.
+		r.catchUp()
+		var wake <-chan time.Time
+		if next, ok := r.eng.NextAt(); ok {
+			timer.Reset(r.realDelay(next - r.virtualNow()))
+			wake = timer.C
+		}
+		select {
+		case c := <-r.calls:
+			stopTimer(timer, wake)
+			r.catchUp()
+			c.fn()
+			close(c.done)
+		case <-wake:
+		case <-r.stopC:
+			stopTimer(timer, wake)
+			return
+		}
+	}
+}
+
+func (r *Runner) catchUp() {
+	// The engine is never halted by the runner, so RunUntil cannot fail.
+	if err := r.eng.RunUntil(r.virtualNow()); err != nil {
+		panic("realtime: engine halted under runner: " + err.Error())
+	}
+}
+
+// stopTimer drains a fired-but-unread timer so the next Reset is safe.
+func stopTimer(t *time.Timer, armed <-chan time.Time) {
+	if armed == nil {
+		return
+	}
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package realtime
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"ssr/internal/cluster"
+	"ssr/internal/dag"
+	"ssr/internal/driver"
+	"ssr/internal/sim"
+)
+
+func newRunner(t *testing.T, eng *sim.Engine, opts Options) *Runner {
+	t.Helper()
+	r, err := New(eng, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Start()
+	t.Cleanup(r.Stop)
+	return r
+}
+
+func TestBadDilation(t *testing.T) {
+	if _, err := New(sim.New(), Options{Dilation: -2}); err == nil {
+		t.Error("negative dilation should error")
+	}
+}
+
+// TestEventsRespectWallClock checks that an event scheduled dv into virtual
+// time does not fire before dv/dilation real time has passed.
+func TestEventsRespectWallClock(t *testing.T) {
+	eng := sim.New()
+	fired := make(chan time.Time, 1)
+	// 400ms virtual at dilation 8 = 50ms real.
+	eng.After(400*time.Millisecond, func() { fired <- time.Now() })
+	start := time.Now()
+	r := newRunner(t, eng, Options{Dilation: 8})
+	select {
+	case at := <-fired:
+		if elapsed := at.Sub(start); elapsed < 45*time.Millisecond {
+			t.Errorf("event fired after %v real, want >= ~50ms", elapsed)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("event never fired")
+	}
+	_ = r
+}
+
+// TestDilationAcceleration runs a 10-virtual-second chain far faster than
+// real time.
+func TestDilationAcceleration(t *testing.T) {
+	eng := sim.New()
+	done := make(chan struct{})
+	var chain func(n int)
+	chain = func(n int) {
+		if n == 0 {
+			close(done)
+			return
+		}
+		eng.After(time.Second, func() { chain(n - 1) })
+	}
+	chain(10)
+	start := time.Now()
+	newRunner(t, eng, Options{Dilation: 1000})
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("10 virtual seconds at dilation 1000 did not finish in 5 real seconds")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("took %v real for 10ms-equivalent of virtual work", elapsed)
+	}
+}
+
+// TestCallSerializesConcurrentInjection hammers Call from many goroutines;
+// the loop goroutine is the only engine toucher, so a plain counter and
+// engine scheduling need no locks inside the callbacks.
+func TestCallSerializesConcurrentInjection(t *testing.T) {
+	eng := sim.New()
+	r := newRunner(t, eng, Options{Dilation: 100})
+	const callers, perCaller = 8, 50
+	counter := 0
+	fired := 0
+	var wg sync.WaitGroup
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perCaller; i++ {
+				err := r.Call(func() {
+					counter++
+					eng.After(time.Millisecond, func() { fired++ })
+				})
+				if err != nil {
+					t.Errorf("Call: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Let the scheduled events fire (4ms real at dilation 100 covers the
+	// 1ms-virtual timers plus slack).
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		var got int
+		if err := r.Call(func() { got = fired }); err != nil {
+			t.Fatal(err)
+		}
+		if got == callers*perCaller {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fired = %d, want %d", got, callers*perCaller)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if counter != callers*perCaller {
+		t.Errorf("counter = %d, want %d", counter, callers*perCaller)
+	}
+}
+
+// TestVirtualClockTracksWall checks that idle time advances the virtual
+// clock at the dilation rate, so injected arrivals are stamped correctly.
+func TestVirtualClockTracksWall(t *testing.T) {
+	eng := sim.New()
+	r := newRunner(t, eng, Options{Dilation: 20})
+	time.Sleep(50 * time.Millisecond) // ~1s virtual
+	now, err := r.Now()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if now < 900*time.Millisecond {
+		t.Errorf("virtual now = %v after ~50ms real at dilation 20, want >= ~1s", now)
+	}
+	if now > 30*time.Second {
+		t.Errorf("virtual now = %v, implausibly far ahead", now)
+	}
+}
+
+func TestStopIsIdempotentAndFailsCalls(t *testing.T) {
+	eng := sim.New()
+	r, err := New(eng, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Start()
+	r.Stop()
+	r.Stop()
+	if err := r.Call(func() {}); err != ErrStopped {
+		t.Errorf("Call after Stop = %v, want ErrStopped", err)
+	}
+	if _, err := r.Now(); err != ErrStopped {
+		t.Errorf("Now after Stop = %v, want ErrStopped", err)
+	}
+}
+
+// TestDriverUnderRunner runs a real driver workload on the wall clock:
+// jobs are injected while the loop is live, and completion is observed
+// through polled Calls — the exact shape the online service uses.
+func TestDriverUnderRunner(t *testing.T) {
+	eng := sim.New()
+	cl, err := cluster.New(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := driver.New(eng, cl, driver.Options{Mode: driver.ModeNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := newRunner(t, eng, Options{Dilation: 200})
+
+	durs := []time.Duration{100 * time.Millisecond, 100 * time.Millisecond}
+	for id := dag.JobID(1); id <= 3; id++ {
+		err := r.Call(func() {
+			job, jerr := dag.Chain(id, "rt", 5, []dag.PhaseSpec{{Durations: durs}},
+				dag.WithSubmit(eng.Now()))
+			if jerr != nil {
+				t.Errorf("build job: %v", jerr)
+				return
+			}
+			if serr := d.Submit(job); serr != nil {
+				t.Errorf("submit: %v", serr)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var left int
+		if err := r.Call(func() { left = d.Unfinished() }); err != nil {
+			t.Fatal(err)
+		}
+		if left == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d jobs still unfinished", left)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	for id := dag.JobID(1); id <= 3; id++ {
+		var st, ok = func() (s time.Duration, ok bool) {
+			err := r.Call(func() {
+				if stats, found := d.Result(id); found {
+					s, ok = stats.JCT(), true
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return
+		}()
+		if !ok || st <= 0 {
+			t.Errorf("job %d: jct=%v ok=%v", id, st, ok)
+		}
+	}
+}

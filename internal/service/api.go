@@ -1,0 +1,283 @@
+// Package service runs the SSR scheduler as a long-lived online service:
+// it layers concurrency-safe job admission, state snapshots and an ordered
+// event bus over a driver executing in wall-clock time (internal/realtime),
+// and exposes the whole thing over HTTP/JSON plus server-sent events.
+//
+// The package is split along the paper's prototype boundaries: the driver
+// remains the single-threaded scheduling core; Service is the thread-safe
+// façade every network handler goes through; the wire types in this file
+// are shared by the daemon (cmd/ssrd), the load generator (cmd/ssrload)
+// and the programmatic client.
+package service
+
+import (
+	"fmt"
+	"time"
+
+	"ssr/internal/dag"
+)
+
+// msOf converts a virtual duration/timestamp to wire milliseconds.
+func msOf(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// durOf converts wire milliseconds to a duration.
+func durOf(ms float64) time.Duration { return time.Duration(ms * float64(time.Millisecond)) }
+
+// PhaseSpec describes one phase of a submitted job on the wire.
+type PhaseSpec struct {
+	// DurationsMs gives the base runtime of each task in milliseconds;
+	// its length is the phase's degree of parallelism.
+	DurationsMs []float64 `json:"durationsMs"`
+	// CopyDurationsMs optionally gives per-task speculative-copy
+	// runtimes; empty defaults each copy to its task's duration.
+	CopyDurationsMs []float64 `json:"copyDurationsMs,omitempty"`
+	// Deps lists upstream phase indices within the job.
+	Deps []int `json:"deps,omitempty"`
+	// Demand is the slot size each task needs; zero means 1.
+	Demand int `json:"demand,omitempty"`
+}
+
+// JobSpec is the admission request body: a full workflow DAG with
+// pre-drawn task durations, mirroring dag.Job construction.
+type JobSpec struct {
+	// Name labels the job in statuses, traces and events.
+	Name string `json:"name"`
+	// Priority orders the job against others; higher wins.
+	Priority int `json:"priority"`
+	// Class is "foreground" (default) or "background".
+	Class string `json:"class,omitempty"`
+	// ParallelismKnown lets the scheduler use downstream parallelism a
+	// priori (recurring production jobs; Algorithm 1, Case 2).
+	ParallelismKnown bool `json:"parallelismKnown,omitempty"`
+	// Phases is the workflow DAG.
+	Phases []PhaseSpec `json:"phases"`
+}
+
+// Validate checks the spec without building it.
+func (s JobSpec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("service: job needs a name")
+	}
+	if len(s.Phases) == 0 {
+		return fmt.Errorf("service: job %q has no phases", s.Name)
+	}
+	switch s.Class {
+	case "", "foreground", "background":
+	default:
+		return fmt.Errorf("service: job %q class %q must be foreground or background", s.Name, s.Class)
+	}
+	for i, ph := range s.Phases {
+		if len(ph.DurationsMs) == 0 {
+			return fmt.Errorf("service: job %q phase %d has no tasks", s.Name, i)
+		}
+		if len(ph.CopyDurationsMs) != 0 && len(ph.CopyDurationsMs) != len(ph.DurationsMs) {
+			return fmt.Errorf("service: job %q phase %d has %d copy durations for %d tasks",
+				s.Name, i, len(ph.CopyDurationsMs), len(ph.DurationsMs))
+		}
+		for _, ms := range ph.DurationsMs {
+			if ms <= 0 {
+				return fmt.Errorf("service: job %q phase %d has a non-positive task duration", s.Name, i)
+			}
+		}
+		for _, dep := range ph.Deps {
+			if dep < 0 || dep >= len(s.Phases) {
+				return fmt.Errorf("service: job %q phase %d dep %d out of range", s.Name, i, dep)
+			}
+		}
+	}
+	return nil
+}
+
+// build constructs the immutable dag.Job for an admitted spec. The full
+// DAG validation (acyclicity, positive durations) happens in dag.NewJob.
+func (s JobSpec) build(id dag.JobID, submit time.Duration) (*dag.Job, error) {
+	specs := make([]dag.PhaseSpec, len(s.Phases))
+	for i, ph := range s.Phases {
+		ds := make([]time.Duration, len(ph.DurationsMs))
+		for j, ms := range ph.DurationsMs {
+			ds[j] = durOf(ms)
+		}
+		var cs []time.Duration
+		if len(ph.CopyDurationsMs) > 0 {
+			cs = make([]time.Duration, len(ph.CopyDurationsMs))
+			for j, ms := range ph.CopyDurationsMs {
+				cs[j] = durOf(ms)
+			}
+		}
+		specs[i] = dag.PhaseSpec{
+			Durations:     ds,
+			CopyDurations: cs,
+			Deps:          append([]int(nil), ph.Deps...),
+			Demand:        ph.Demand,
+		}
+	}
+	class := dag.Foreground
+	if s.Class == "background" {
+		class = dag.Background
+	}
+	opts := []dag.Option{dag.WithSubmit(submit), dag.WithClass(class)}
+	if s.ParallelismKnown {
+		opts = append(opts, dag.WithKnownParallelism())
+	}
+	return dag.NewJob(id, s.Name, dag.Priority(s.Priority), specs, opts...)
+}
+
+// SpecOf converts a built dag.Job back into its wire form, so workload
+// generators (internal/workload) can feed the online API.
+func SpecOf(job *dag.Job) JobSpec {
+	spec := JobSpec{
+		Name:             job.Name,
+		Priority:         int(job.Priority),
+		ParallelismKnown: job.ParallelismKnown,
+		Phases:           make([]PhaseSpec, job.NumPhases()),
+	}
+	if job.Class == dag.Background {
+		spec.Class = "background"
+	} else {
+		spec.Class = "foreground"
+	}
+	for _, ph := range job.Phases() {
+		ps := PhaseSpec{
+			DurationsMs:     make([]float64, len(ph.Tasks)),
+			CopyDurationsMs: make([]float64, len(ph.Tasks)),
+			Deps:            append([]int(nil), ph.Deps...),
+			Demand:          ph.Demand,
+		}
+		for i, task := range ph.Tasks {
+			ps.DurationsMs[i] = msOf(task.Duration)
+			ps.CopyDurationsMs[i] = msOf(task.CopyDuration)
+		}
+		spec.Phases[ph.ID] = ps
+	}
+	return spec
+}
+
+// Job states reported by JobStatus.State. A job is admitted as
+// StatePending, becomes StateRunning when it activates at its virtual
+// arrival time, and ends in StateCompleted or StateFailed (abort).
+const (
+	StatePending   = "pending"
+	StateRunning   = "running"
+	StateCompleted = "completed"
+	StateFailed    = "failed"
+)
+
+// TerminalState reports whether a JobStatus.State value is terminal.
+func TerminalState(state string) bool {
+	return state == StateCompleted || state == StateFailed
+}
+
+// PhaseStatus describes one in-flight phase of a running job.
+type PhaseStatus struct {
+	ID        int `json:"id"`
+	TasksDone int `json:"tasksDone"`
+	Tasks     int `json:"tasks"`
+	Running   int `json:"running"`
+	// DeadlineMs is the virtual time the phase's reservation deadline
+	// expires, or negative when no deadline is armed.
+	DeadlineMs float64 `json:"deadlineMs"`
+}
+
+// JobStatus is the wire view of one job.
+type JobStatus struct {
+	ID          int64   `json:"id"`
+	Name        string  `json:"name"`
+	State       string  `json:"state"`
+	Priority    int     `json:"priority"`
+	SubmittedMs float64 `json:"submittedMs"`
+	FinishedMs  float64 `json:"finishedMs,omitempty"`
+	// JCTMs is the virtual job completion time (finish - submit), set
+	// once terminal.
+	JCTMs          float64       `json:"jctMs,omitempty"`
+	PhasesDone     int           `json:"phasesDone"`
+	NumPhases      int           `json:"numPhases"`
+	RunningSlots   int           `json:"runningSlots"`
+	ReservedIdle   int           `json:"reservedIdle"`
+	TasksRun       int           `json:"tasksRun"`
+	CopiesLaunched int           `json:"copiesLaunched,omitempty"`
+	CopiesWon      int           `json:"copiesWon,omitempty"`
+	Phases         []PhaseStatus `json:"phases,omitempty"`
+}
+
+// SlotStatus is the wire view of one cluster slot.
+type SlotStatus struct {
+	ID    int    `json:"id"`
+	Node  int    `json:"node"`
+	Size  int    `json:"size"`
+	State string `json:"state"`
+	// ReservedJob/ReservedPhase identify the reservation holder when
+	// State is "reserved".
+	ReservedJob   int64 `json:"reservedJob,omitempty"`
+	ReservedPhase int   `json:"reservedPhase,omitempty"`
+}
+
+// ClusterStatus is the wire view of the whole cluster.
+type ClusterStatus struct {
+	Nodes    int          `json:"nodes"`
+	Slots    int          `json:"slots"`
+	Free     int          `json:"free"`
+	Reserved int          `json:"reserved"`
+	Busy     int          `json:"busy"`
+	Failed   int          `json:"failed"`
+	SlotList []SlotStatus `json:"slotList"`
+}
+
+// SlowdownStats summarizes online slowdowns: each completed job's virtual
+// JCT normalized by its alone-JCT baseline (simulated out of band on an
+// empty cluster of the same shape — the paper's primary metric).
+type SlowdownStats struct {
+	Count int     `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	Max   float64 `json:"max"`
+	// Dropped counts completed jobs whose baseline was skipped because
+	// the baseline queue was full.
+	Dropped int `json:"dropped,omitempty"`
+}
+
+// MetricsStatus is the wire view of GET /metrics.
+type MetricsStatus struct {
+	VirtualNowMs float64 `json:"virtualNowMs"`
+	Dilation     float64 `json:"dilation"`
+	Slots        int     `json:"slots"`
+
+	BusySlots     int `json:"busySlots"`
+	ReservedSlots int `json:"reservedSlots"`
+	FailedSlots   int `json:"failedSlots"`
+
+	// Utilization is busy slot-time over capacity since start;
+	// ReservedFraction is the reserved-idle loss over the same horizon
+	// (metrics.SlotUsage integrated on the virtual clock).
+	Utilization      float64 `json:"utilization"`
+	ReservedFraction float64 `json:"reservedFraction"`
+	BusySlotSec      float64 `json:"busySlotSec"`
+	ReservedIdleSec  float64 `json:"reservedIdleSec"`
+
+	JobsSubmitted int `json:"jobsSubmitted"`
+	JobsRunning   int `json:"jobsRunning"`
+	JobsCompleted int `json:"jobsCompleted"`
+	JobsFailed    int `json:"jobsFailed"`
+
+	EventsPublished uint64 `json:"eventsPublished"`
+	Draining        bool   `json:"draining"`
+
+	Slowdowns SlowdownStats `json:"slowdowns"`
+}
+
+// Event is one scheduler lifecycle event on the wire (SSE data payload).
+// Seq is a contiguous bus sequence number; TimeMs is virtual time. Phase,
+// Task, Slot, Copy and Local are meaningful only for the event types that
+// concern them (phase/attempt/reservation events).
+type Event struct {
+	Seq     uint64  `json:"seq"`
+	TimeMs  float64 `json:"timeMs"`
+	Type    string  `json:"type"`
+	Job     int64   `json:"job"`
+	JobName string  `json:"jobName,omitempty"`
+	Phase   int     `json:"phase"`
+	Task    int     `json:"task"`
+	Slot    int     `json:"slot"`
+	Copy    bool    `json:"copy,omitempty"`
+	Local   bool    `json:"local,omitempty"`
+}

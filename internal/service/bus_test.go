@@ -1,0 +1,122 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func busEvent(job int64, typ string) Event {
+	return Event{Type: typ, Job: job}
+}
+
+func TestBusSequencesAndReplay(t *testing.T) {
+	b := NewBus(64)
+	for i := 1; i <= 10; i++ {
+		if seq := b.Publish(busEvent(int64(i), "job_start")); seq != uint64(i) {
+			t.Fatalf("publish %d got seq %d", i, seq)
+		}
+	}
+	if b.Published() != 10 {
+		t.Errorf("Published = %d, want 10", b.Published())
+	}
+	replay, sub := b.Subscribe(4, 16)
+	defer sub.Cancel()
+	if len(replay) != 7 || replay[0].Seq != 4 || replay[6].Seq != 10 {
+		t.Fatalf("replay since 4 = %d events [%v..]", len(replay), replay[0].Seq)
+	}
+	// Live delivery continues the sequence with no gap.
+	b.Publish(busEvent(11, "job_done"))
+	ev := <-sub.C
+	if ev.Seq != 11 {
+		t.Errorf("live event seq = %d, want 11", ev.Seq)
+	}
+}
+
+func TestBusRingEviction(t *testing.T) {
+	b := NewBus(4)
+	for i := 1; i <= 10; i++ {
+		b.Publish(busEvent(int64(i), "e"))
+	}
+	replay, sub := b.Subscribe(0, 1)
+	sub.Cancel()
+	if len(replay) != 4 || replay[0].Seq != 7 || replay[3].Seq != 10 {
+		t.Fatalf("ring retained %d events starting at %d, want 4 starting at 7",
+			len(replay), replay[0].Seq)
+	}
+}
+
+func TestBusDropsLaggingSubscriber(t *testing.T) {
+	b := NewBus(64)
+	_, sub := b.Subscribe(0, 2)
+	for i := 0; i < 5; i++ {
+		b.Publish(busEvent(int64(i), "e"))
+	}
+	if b.Dropped() != 1 {
+		t.Errorf("Dropped = %d, want 1", b.Dropped())
+	}
+	// The two buffered events are still readable, then the channel closes.
+	got := 0
+	for range sub.C {
+		got++
+	}
+	if got != 2 {
+		t.Errorf("read %d buffered events before close, want 2", got)
+	}
+	// Resume from the last seen sequence number.
+	replay, sub2 := b.Subscribe(3, 16)
+	defer sub2.Cancel()
+	if len(replay) != 3 {
+		t.Errorf("resume replay = %d events, want 3", len(replay))
+	}
+}
+
+// TestBusConcurrentPublishSubscribe checks order under racing publishers:
+// every subscriber sees a strictly increasing sequence with no duplicates.
+func TestBusConcurrentPublishSubscribe(t *testing.T) {
+	b := NewBus(1 << 12)
+	const publishers, each = 4, 200
+	_, sub := b.Subscribe(0, publishers*each+1)
+	var wg sync.WaitGroup
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				b.Publish(busEvent(int64(p), fmt.Sprintf("e%d", i)))
+			}
+		}(p)
+	}
+	wg.Wait()
+	b.Close()
+	var last uint64
+	n := 0
+	for ev := range sub.C {
+		if ev.Seq <= last {
+			t.Fatalf("sequence went backwards: %d after %d", ev.Seq, last)
+		}
+		last = ev.Seq
+		n++
+	}
+	if n != publishers*each {
+		t.Errorf("subscriber saw %d events, want %d", n, publishers*each)
+	}
+}
+
+func TestBusCloseIdempotent(t *testing.T) {
+	b := NewBus(4)
+	_, sub := b.Subscribe(0, 1)
+	b.Close()
+	b.Close()
+	if _, open := <-sub.C; open {
+		t.Error("subscription channel should be closed")
+	}
+	if seq := b.Publish(busEvent(1, "e")); seq != 0 {
+		t.Errorf("publish after close returned seq %d, want 0", seq)
+	}
+	// Subscribing after close yields a closed channel, not a hang.
+	_, sub2 := b.Subscribe(0, 1)
+	if _, open := <-sub2.C; open {
+		t.Error("post-close subscription should be closed")
+	}
+}

@@ -1,0 +1,197 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client is a programmatic client for the ssrd HTTP API, used by the load
+// generator (cmd/ssrload), the example client and the end-to-end tests.
+type Client struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8347".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// NewClient returns a client for the daemon at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// apiError is a non-2xx response decoded from the error body.
+type apiError struct {
+	Status int
+	Msg    string
+}
+
+func (e *apiError) Error() string {
+	return fmt.Sprintf("service: http %d: %s", e.Status, e.Msg)
+}
+
+// IsUnavailable reports whether err is a 503 — the daemon refusing
+// admission because it is draining.
+func IsUnavailable(err error) bool {
+	var ae *apiError
+	return errors.As(err, &ae) && ae.Status == http.StatusServiceUnavailable
+}
+
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var eb errorBody
+		msg := resp.Status
+		if json.NewDecoder(resp.Body).Decode(&eb) == nil && eb.Error != "" {
+			msg = eb.Error
+		}
+		return &apiError{Status: resp.StatusCode, Msg: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit admits a job and returns its initial status (including the
+// assigned ID).
+func (c *Client) Submit(ctx context.Context, spec JobSpec) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodPost, "/jobs", spec, &st)
+	return st, err
+}
+
+// Job fetches one job's status.
+func (c *Client) Job(ctx context.Context, id int64) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodGet, fmt.Sprintf("/jobs/%d", id), nil, &st)
+	return st, err
+}
+
+// Jobs lists every admitted job.
+func (c *Client) Jobs(ctx context.Context) ([]JobStatus, error) {
+	var out []JobStatus
+	err := c.do(ctx, http.MethodGet, "/jobs", nil, &out)
+	return out, err
+}
+
+// Cluster fetches the per-slot cluster view.
+func (c *Client) Cluster(ctx context.Context) (ClusterStatus, error) {
+	var cs ClusterStatus
+	err := c.do(ctx, http.MethodGet, "/cluster", nil, &cs)
+	return cs, err
+}
+
+// Metrics fetches the service metrics view.
+func (c *Client) Metrics(ctx context.Context) (MetricsStatus, error) {
+	var ms MetricsStatus
+	err := c.do(ctx, http.MethodGet, "/metrics", nil, &ms)
+	return ms, err
+}
+
+// WaitJob polls until the job reaches a terminal state, the poll interval
+// defaulting to 10ms when interval is zero or negative.
+func (c *Client) WaitJob(ctx context.Context, id int64, interval time.Duration) (JobStatus, error) {
+	if interval <= 0 {
+		interval = 10 * time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		if TerminalState(st.State) {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-ticker.C:
+		}
+	}
+}
+
+// StreamEvents opens the SSE stream starting at sequence number since
+// (0 replays all retained history) and calls fn for every event, in bus
+// order. It returns when ctx is canceled, the stream ends, or fn returns a
+// non-nil error (which it propagates).
+func (c *Client) StreamEvents(ctx context.Context, since uint64, fn func(Event) error) error {
+	url := fmt.Sprintf("%s/events?since=%d", c.BaseURL, since)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var eb errorBody
+		msg := resp.Status
+		if json.NewDecoder(resp.Body).Decode(&eb) == nil && eb.Error != "" {
+			msg = eb.Error
+		}
+		return &apiError{Status: resp.StatusCode, Msg: msg}
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var data []byte
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if len(data) > 0 {
+				var ev Event
+				if err := json.Unmarshal(data, &ev); err != nil {
+					return fmt.Errorf("service: bad event payload: %w", err)
+				}
+				if err := fn(ev); err != nil {
+					return err
+				}
+				data = data[:0]
+			}
+		case strings.HasPrefix(line, "data:"):
+			data = append(data, strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " ")...)
+		}
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		return err
+	}
+	return nil
+}

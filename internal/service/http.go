@@ -1,0 +1,184 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"ssr/internal/realtime"
+)
+
+// errorBody is the JSON shape of every non-2xx response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorBody{Error: err.Error()})
+}
+
+// NewHandler exposes a Service over HTTP/JSON:
+//
+//	POST /jobs        admit a JobSpec; 201 with the initial JobStatus
+//	GET  /jobs        list all jobs
+//	GET  /jobs/{id}   one job's status
+//	GET  /cluster     per-slot cluster state
+//	GET  /metrics     utilization, counters, slowdowns
+//	GET  /events      server-sent event stream (Last-Event-ID resume)
+//	GET  /healthz     liveness
+//
+// Submission during a drain returns 503 Service Unavailable.
+func NewHandler(svc *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		var spec JobSpec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decode job spec: %w", err))
+			return
+		}
+		st, err := svc.Submit(spec)
+		switch {
+		case errors.Is(err, ErrDraining) || errors.Is(err, realtime.ErrStopped):
+			writeError(w, http.StatusServiceUnavailable, err)
+		case err != nil:
+			writeError(w, http.StatusBadRequest, err)
+		default:
+			writeJSON(w, http.StatusCreated, st)
+		}
+	})
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+		list, err := svc.List()
+		if err != nil {
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, list)
+	})
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad job id %q", r.PathValue("id")))
+			return
+		}
+		st, found, err := svc.Status(id)
+		switch {
+		case err != nil:
+			writeError(w, http.StatusServiceUnavailable, err)
+		case !found:
+			writeError(w, http.StatusNotFound, fmt.Errorf("no job %d", id))
+		default:
+			writeJSON(w, http.StatusOK, st)
+		}
+	})
+	mux.HandleFunc("GET /cluster", func(w http.ResponseWriter, r *http.Request) {
+		cs, err := svc.Cluster()
+		if err != nil {
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, cs)
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		ms, err := svc.Metrics()
+		if err != nil {
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, ms)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /events", func(w http.ResponseWriter, r *http.Request) {
+		serveEvents(svc, w, r)
+	})
+	return mux
+}
+
+// serveEvents streams the bus as server-sent events. The client resumes
+// after a disconnect by sending Last-Event-ID (or ?since=N): replay starts
+// at the first retained event past it, then continues live with no gap.
+func serveEvents(svc *Service, w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, errors.New("response writer cannot stream"))
+		return
+	}
+	since := uint64(0)
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		if n, err := strconv.ParseUint(v, 10, 64); err == nil {
+			since = n + 1
+		}
+	}
+	if v := r.URL.Query().Get("since"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad since %q", v))
+			return
+		}
+		since = n
+	}
+	replay, sub := svc.Subscribe(since, 1024)
+	defer sub.Cancel()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	for _, ev := range replay {
+		if err := writeSSE(w, ev); err != nil {
+			return
+		}
+	}
+	flusher.Flush()
+	for {
+		select {
+		case ev, open := <-sub.C:
+			if !open {
+				return // dropped for lagging, or the bus closed
+			}
+			if err := writeSSE(w, ev); err != nil {
+				return
+			}
+			// Drain whatever else is already buffered before flushing,
+			// so a burst costs one flush instead of hundreds.
+			for {
+				select {
+				case ev, open := <-sub.C:
+					if !open {
+						return
+					}
+					if err := writeSSE(w, ev); err != nil {
+						return
+					}
+					continue
+				default:
+				}
+				break
+			}
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// writeSSE frames one event: id is the bus sequence number, event the
+// lifecycle type, data the full JSON payload.
+func writeSSE(w http.ResponseWriter, ev Event) error {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data)
+	return err
+}

@@ -1,0 +1,497 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"ssr/internal/cluster"
+	"ssr/internal/dag"
+	"ssr/internal/driver"
+	"ssr/internal/metrics"
+	"ssr/internal/realtime"
+	"ssr/internal/sim"
+	"ssr/internal/stats"
+	"ssr/internal/trace"
+)
+
+// ErrDraining is returned by Submit once a drain has begun.
+var ErrDraining = errors.New("service: draining, not admitting jobs")
+
+// Config assembles an online scheduling service.
+type Config struct {
+	// Nodes and SlotsPerNode size the simulated cluster.
+	Nodes        int
+	SlotsPerNode int
+	// Driver configures the scheduling policy. Trace and OnEvent set here
+	// are honored alongside the service's own wiring.
+	Driver driver.Options
+	// Dilation is the virtual-to-real time ratio (realtime.Options).
+	Dilation float64
+	// BusCapacity bounds event-replay history. Default 65536.
+	BusCapacity int
+	// BaselineWorkers sizes the pool computing alone-JCT slowdown
+	// baselines out of band. Default 2; negative disables slowdowns.
+	BaselineWorkers int
+	// BaselineQueue bounds pending baseline requests; completed jobs
+	// beyond it are counted as dropped. Default 256.
+	BaselineQueue int
+	// RecordTrace attaches a trace.Recorder capturing every task attempt,
+	// exportable at shutdown.
+	RecordTrace bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.BusCapacity == 0 {
+		c.BusCapacity = 1 << 16
+	}
+	if c.BaselineWorkers == 0 {
+		c.BaselineWorkers = 2
+	}
+	if c.BaselineQueue <= 0 {
+		c.BaselineQueue = 256
+	}
+	return c
+}
+
+// jobEntry is the service-side record of one admitted job. It is touched
+// only on the runner's loop goroutine (Submit and the event hook both run
+// there), so it needs no lock of its own.
+type jobEntry struct {
+	job   *dag.Job
+	state string
+}
+
+type baselineReq struct {
+	job *dag.Job
+	jct time.Duration
+}
+
+// Service is the concurrency-safe façade over a driver running in
+// wall-clock time: job admission, state snapshots, metrics and the ordered
+// event bus. Every scheduler access is serialized onto the realtime
+// runner's loop goroutine, preserving the engine's single-threaded design.
+type Service struct {
+	cfg Config
+	eng *sim.Engine
+	cl  *cluster.Cluster
+	drv *driver.Driver
+	rt  *realtime.Runner
+	bus *Bus
+	rec *trace.Recorder
+
+	// Loop-goroutine state: written by Submit/Drain bodies and the driver
+	// event hook, all of which execute on the loop goroutine.
+	nextID      dag.JobID
+	jobs        map[dag.JobID]*jobEntry
+	order       []dag.JobID
+	outstanding int
+	submitted   int
+	running     int
+	completed   int
+	failed      int
+	draining    bool
+
+	baselineCh chan baselineReq
+	baselineWG sync.WaitGroup
+
+	sdMu      sync.Mutex
+	slowdowns []float64
+	sdDropped int
+
+	closeOnce sync.Once
+}
+
+// New builds and starts a service: engine, cluster, driver, event bus and
+// the wall-clock runner. The caller must Close it.
+func New(cfg Config) (*Service, error) {
+	cfg = cfg.withDefaults()
+	eng := sim.New()
+	cl, err := cluster.New(cfg.Nodes, cfg.SlotsPerNode)
+	if err != nil {
+		return nil, err
+	}
+	s := &Service{
+		cfg:    cfg,
+		eng:    eng,
+		cl:     cl,
+		bus:    NewBus(cfg.BusCapacity),
+		nextID: 1,
+		jobs:   make(map[dag.JobID]*jobEntry),
+	}
+	dopts := cfg.Driver
+	if cfg.RecordTrace && dopts.Trace == nil {
+		s.rec = trace.NewRecorder()
+		dopts.Trace = s.rec
+	} else {
+		s.rec = dopts.Trace
+	}
+	chained := dopts.OnEvent
+	dopts.OnEvent = func(ev driver.Event) {
+		s.onDriverEvent(ev)
+		if chained != nil {
+			chained(ev)
+		}
+	}
+	s.drv, err = driver.New(eng, cl, dopts)
+	if err != nil {
+		return nil, err
+	}
+	s.rt, err = realtime.New(eng, realtime.Options{Dilation: cfg.Dilation})
+	if err != nil {
+		return nil, err
+	}
+	if cfg.BaselineWorkers > 0 {
+		s.baselineCh = make(chan baselineReq, cfg.BaselineQueue)
+		for i := 0; i < cfg.BaselineWorkers; i++ {
+			s.baselineWG.Add(1)
+			go s.baselineWorker()
+		}
+	}
+	s.rt.Start()
+	return s, nil
+}
+
+// Close stops the wall-clock loop, the baseline workers and the bus. It
+// does not wait for in-flight jobs; use Drain first for a graceful stop.
+func (s *Service) Close() {
+	s.closeOnce.Do(func() {
+		s.rt.Stop()
+		if s.baselineCh != nil {
+			close(s.baselineCh)
+		}
+		s.baselineWG.Wait()
+		s.bus.Close()
+	})
+}
+
+// Dilation returns the configured virtual-to-real time ratio.
+func (s *Service) Dilation() float64 { return s.rt.Dilation() }
+
+// Trace returns the attached trace recorder, or nil.
+func (s *Service) Trace() *trace.Recorder { return s.rec }
+
+// Call runs fn on the scheduler's loop goroutine with exclusive access to
+// the driver (and, through it, the engine and cluster). It exists for
+// tests and tools that need views the wire API does not expose.
+func (s *Service) Call(fn func(d *driver.Driver)) error {
+	return s.rt.Call(func() { fn(s.drv) })
+}
+
+// Subscribe attaches an event consumer resuming at sequence number since;
+// see Bus.Subscribe.
+func (s *Service) Subscribe(since uint64, buffer int) ([]Event, *Subscription) {
+	return s.bus.Subscribe(since, buffer)
+}
+
+// Submit validates and admits a job at the current virtual time, returning
+// its assigned ID as part of the initial status. It fails with ErrDraining
+// once a drain has begun.
+func (s *Service) Submit(spec JobSpec) (JobStatus, error) {
+	if err := spec.Validate(); err != nil {
+		return JobStatus{}, err
+	}
+	var (
+		status JobStatus
+		serr   error
+	)
+	err := s.rt.Call(func() {
+		if s.draining {
+			serr = ErrDraining
+			return
+		}
+		id := s.nextID
+		job, err := spec.build(id, s.eng.Now())
+		if err != nil {
+			serr = err
+			return
+		}
+		if err := s.drv.Submit(job); err != nil {
+			serr = err
+			return
+		}
+		s.nextID++
+		entry := &jobEntry{job: job, state: StatePending}
+		s.jobs[id] = entry
+		s.order = append(s.order, id)
+		s.submitted++
+		s.outstanding++
+		status = s.statusOf(id, entry)
+	})
+	if err != nil {
+		return JobStatus{}, err
+	}
+	return status, serr
+}
+
+// onDriverEvent bridges driver lifecycle events onto the bus and keeps the
+// service's job-state machine in step. It runs on the loop goroutine,
+// inside the simulation event that caused it.
+func (s *Service) onDriverEvent(ev driver.Event) {
+	s.bus.Publish(Event{
+		TimeMs:  msOf(ev.Time),
+		Type:    ev.Type.String(),
+		Job:     int64(ev.Job),
+		JobName: ev.JobName,
+		Phase:   ev.Phase,
+		Task:    ev.Task,
+		Slot:    int(ev.Slot),
+		Copy:    ev.Copy,
+		Local:   ev.Local,
+	})
+	entry, ok := s.jobs[ev.Job]
+	if !ok {
+		return // static-partition sentinel or pre-service job
+	}
+	switch ev.Type {
+	case driver.EventJobStart:
+		entry.state = StateRunning
+		s.running++
+	case driver.EventJobDone:
+		if entry.state == StateRunning {
+			s.running--
+		}
+		entry.state = StateCompleted
+		s.completed++
+		s.outstanding--
+		if st, found := s.drv.Result(ev.Job); found {
+			s.requestBaseline(entry.job, st.JCT())
+		}
+	case driver.EventJobFail:
+		if entry.state == StateRunning {
+			s.running--
+		}
+		entry.state = StateFailed
+		s.failed++
+		s.outstanding--
+	}
+}
+
+// statusOf builds the wire view of one job; loop goroutine only.
+func (s *Service) statusOf(id dag.JobID, entry *jobEntry) JobStatus {
+	st := JobStatus{
+		ID:          int64(id),
+		Name:        entry.job.Name,
+		State:       entry.state,
+		Priority:    int(entry.job.Priority),
+		SubmittedMs: msOf(entry.job.Submit),
+		NumPhases:   entry.job.NumPhases(),
+	}
+	if p, ok := s.drv.Progress(id); ok {
+		st.PhasesDone = p.PhasesDone
+		st.RunningSlots = p.RunningSlots
+		st.ReservedIdle = p.ReservedIdle
+		for _, ph := range p.Phases {
+			ps := PhaseStatus{
+				ID:         ph.ID,
+				TasksDone:  ph.TasksDone,
+				Tasks:      ph.Tasks,
+				Running:    ph.Running,
+				DeadlineMs: -1,
+			}
+			if ph.DeadlineAt >= 0 {
+				ps.DeadlineMs = msOf(ph.DeadlineAt)
+			}
+			st.Phases = append(st.Phases, ps)
+		}
+	}
+	if js, ok := s.drv.Result(id); ok {
+		st.TasksRun = js.TasksRun
+		st.CopiesLaunched = js.CopiesLaunched
+		st.CopiesWon = js.CopiesWon
+		if TerminalState(entry.state) {
+			st.FinishedMs = msOf(js.Finish)
+			st.JCTMs = msOf(js.JCT())
+		}
+	}
+	return st
+}
+
+// Status returns one job's wire view; found is false for unknown IDs.
+func (s *Service) Status(id int64) (JobStatus, bool, error) {
+	var (
+		st    JobStatus
+		found bool
+	)
+	err := s.rt.Call(func() {
+		entry, ok := s.jobs[dag.JobID(id)]
+		if !ok {
+			return
+		}
+		found = true
+		st = s.statusOf(dag.JobID(id), entry)
+	})
+	return st, found, err
+}
+
+// List returns every admitted job in submission order.
+func (s *Service) List() ([]JobStatus, error) {
+	var out []JobStatus
+	err := s.rt.Call(func() {
+		out = make([]JobStatus, 0, len(s.order))
+		for _, id := range s.order {
+			out = append(out, s.statusOf(id, s.jobs[id]))
+		}
+	})
+	return out, err
+}
+
+// Cluster returns the per-slot cluster view.
+func (s *Service) Cluster() (ClusterStatus, error) {
+	var cs ClusterStatus
+	err := s.rt.Call(func() {
+		cs = ClusterStatus{
+			Nodes:    s.cl.NumNodes(),
+			Slots:    s.cl.NumSlots(),
+			Free:     s.cl.CountState(cluster.Free),
+			Reserved: s.cl.CountState(cluster.Reserved),
+			Busy:     s.cl.CountState(cluster.Busy),
+			Failed:   s.cl.CountState(cluster.Failed),
+		}
+		cs.SlotList = make([]SlotStatus, cs.Slots)
+		for i := 0; i < cs.Slots; i++ {
+			slot := s.cl.Slot(cluster.SlotID(i))
+			ss := SlotStatus{
+				ID:    int(slot.ID),
+				Node:  slot.Node,
+				Size:  slot.Size,
+				State: slot.State().String(),
+			}
+			if res, ok := slot.Reservation(); ok {
+				ss.ReservedJob = int64(res.Job)
+				ss.ReservedPhase = res.Phase
+			}
+			cs.SlotList[i] = ss
+		}
+	})
+	return cs, err
+}
+
+// Metrics returns the service-wide metrics view.
+func (s *Service) Metrics() (MetricsStatus, error) {
+	var ms MetricsStatus
+	err := s.rt.Call(func() {
+		now := s.eng.Now()
+		usage := s.drv.Usage()
+		ms = MetricsStatus{
+			VirtualNowMs:     msOf(now),
+			Dilation:         s.rt.Dilation(),
+			Slots:            s.cl.NumSlots(),
+			BusySlots:        s.cl.CountState(cluster.Busy),
+			ReservedSlots:    s.cl.CountState(cluster.Reserved),
+			FailedSlots:      s.cl.CountState(cluster.Failed),
+			Utilization:      usage.Utilization(now),
+			ReservedFraction: usage.ReservedFraction(now),
+			BusySlotSec:      usage.BusyTime().Seconds(),
+			ReservedIdleSec:  usage.ReservedIdleTime().Seconds(),
+			JobsSubmitted:    s.submitted,
+			JobsRunning:      s.running,
+			JobsCompleted:    s.completed,
+			JobsFailed:       s.failed,
+			EventsPublished:  s.bus.Published(),
+			Draining:         s.draining,
+		}
+	})
+	if err != nil {
+		return ms, err
+	}
+	ms.Slowdowns = s.slowdownStats()
+	return ms, nil
+}
+
+// Drain performs the graceful-shutdown protocol: stop admitting (Submit
+// returns ErrDraining), wait for in-flight jobs to finish, and — if ctx
+// expires first — abort whatever is left. It returns the number of jobs
+// aborted. The service is still usable for reads afterwards; call Close to
+// stop the loop.
+func (s *Service) Drain(ctx context.Context) (int, error) {
+	if err := s.rt.Call(func() { s.draining = true }); err != nil {
+		return 0, err
+	}
+	ticker := time.NewTicker(5 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		var left int
+		if err := s.rt.Call(func() { left = s.outstanding }); err != nil {
+			return 0, err
+		}
+		if left == 0 {
+			return 0, nil
+		}
+		select {
+		case <-ctx.Done():
+			aborted := 0
+			err := s.rt.Call(func() {
+				for _, id := range s.order {
+					if entry := s.jobs[id]; !TerminalState(entry.state) {
+						if err := s.drv.Abort(id); err == nil {
+							aborted++
+						}
+					}
+				}
+			})
+			return aborted, err
+		case <-ticker.C:
+		}
+	}
+}
+
+// requestBaseline enqueues an alone-JCT computation for a completed job;
+// loop goroutine only. A full queue drops the sample (counted) rather than
+// stalling the scheduler.
+func (s *Service) requestBaseline(job *dag.Job, jct time.Duration) {
+	if s.baselineCh == nil {
+		return
+	}
+	select {
+	case s.baselineCh <- baselineReq{job: job, jct: jct}:
+	default:
+		s.sdMu.Lock()
+		s.sdDropped++
+		s.sdMu.Unlock()
+	}
+}
+
+// baselineWorker computes slowdown denominators off the loop goroutine.
+// Each alone-run uses a fresh engine and cluster, so it is independent of
+// the live scheduler and safe to run concurrently.
+func (s *Service) baselineWorker() {
+	defer s.baselineWG.Done()
+	for req := range s.baselineCh {
+		alone, err := driver.AloneJCT(req.job, s.cfg.Nodes, s.cfg.SlotsPerNode, s.cfg.Driver)
+		s.sdMu.Lock()
+		if err != nil || alone <= 0 {
+			s.sdDropped++
+		} else {
+			s.slowdowns = append(s.slowdowns, metrics.Slowdown(req.jct, alone))
+		}
+		s.sdMu.Unlock()
+	}
+}
+
+// slowdownStats summarizes the slowdowns recorded so far.
+func (s *Service) slowdownStats() SlowdownStats {
+	s.sdMu.Lock()
+	xs := append([]float64(nil), s.slowdowns...)
+	dropped := s.sdDropped
+	s.sdMu.Unlock()
+	out := SlowdownStats{Count: len(xs), Dropped: dropped}
+	if len(xs) == 0 {
+		return out
+	}
+	sort.Float64s(xs)
+	out.Mean = stats.Mean(xs)
+	out.P50 = stats.Percentile(xs, 0.50)
+	out.P95 = stats.Percentile(xs, 0.95)
+	out.Max = xs[len(xs)-1]
+	return out
+}
+
+// String identifies the service configuration for logs.
+func (s *Service) String() string {
+	return fmt.Sprintf("service: %d nodes x %d slots, mode %v, dilation %gx",
+		s.cfg.Nodes, s.cfg.SlotsPerNode, s.cfg.Driver.Mode, s.rt.Dilation())
+}

@@ -112,6 +112,18 @@ func (e *Engine) After(d time.Duration, fn func()) *Timer {
 	return e.At(e.now+d, fn)
 }
 
+// NextAt reports the virtual timestamp of the earliest live pending event.
+// ok is false when no live events are scheduled. Canceled timers encountered
+// on the way are discarded. Wall-clock adapters use it to decide how long to
+// sleep before the next event is due.
+func (e *Engine) NextAt() (Time, bool) {
+	tm := e.peek()
+	if tm == nil {
+		return 0, false
+	}
+	return tm.at, true
+}
+
 // Halt stops the run loop after the currently executing event returns. A
 // Halt issued while no run loop is active is remembered: the next Run or
 // RunUntil honors it immediately (returning ErrHalted before firing any

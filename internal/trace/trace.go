@@ -10,9 +10,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"ssr/internal/dag"
@@ -32,21 +34,37 @@ type Event struct {
 	End     time.Duration `json:"endNs"`
 }
 
-// Recorder accumulates events. The zero value is ready to use.
+// Recorder accumulates events. The zero value is ready to use. Recorder is
+// safe for concurrent use: the online service appends from the scheduler
+// loop while exports run from HTTP or shutdown goroutines.
 type Recorder struct {
+	mu     sync.Mutex
 	events []Event
 }
 
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
 // Append records one event.
-func (r *Recorder) Append(ev Event) { r.events = append(r.events, ev) }
+func (r *Recorder) Append(ev Event) {
+	r.mu.Lock()
+	r.events = append(r.events, ev)
+	r.mu.Unlock()
+}
 
 // Len returns the number of recorded events.
-func (r *Recorder) Len() int { return len(r.events) }
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
 
 // Events returns the recorded events sorted by (start, job, phase, task).
 // The returned slice is a copy.
 func (r *Recorder) Events() []Event {
+	r.mu.Lock()
 	out := append([]Event(nil), r.events...)
+	r.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Start != b.Start {
@@ -102,6 +120,28 @@ func (r *Recorder) WriteJSON(w io.Writer) error {
 		return fmt.Errorf("trace: encode: %w", err)
 	}
 	return nil
+}
+
+// WriteFile exports the recorded events to path in the format implied by
+// the file extension: .json for JSON, anything else CSV.
+func (r *Recorder) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		// Close errors surface through the write path below; a second
+		// close is harmless.
+		_ = f.Close()
+	}()
+	if strings.HasSuffix(path, ".json") {
+		if err := r.WriteJSON(f); err != nil {
+			return err
+		}
+	} else if err := r.WriteCSV(f); err != nil {
+		return err
+	}
+	return f.Close()
 }
 
 // GanttOptions configures the text rendering.

@@ -4,7 +4,10 @@ import (
 	"bytes"
 	"encoding/csv"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -156,5 +159,80 @@ func TestSummarize(t *testing.T) {
 	}
 	if len(Summarize(nil)) != 0 {
 		t.Error("empty trace should summarize to nothing")
+	}
+}
+
+// TestRecorderConcurrentAppend hammers the recorder from many goroutines
+// while exports run: the online service appends from the scheduler loop
+// while HTTP and shutdown goroutines read. Run under -race.
+func TestRecorderConcurrentAppend(t *testing.T) {
+	r := NewRecorder()
+	const writers, perWriter = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				r.Append(Event{Job: 1, JobName: "cc", Task: w*perWriter + i,
+					Start: sec(float64(i)), End: sec(float64(i) + 1)})
+			}
+		}(w)
+	}
+	// Concurrent readers exercising Len, Events and the writers.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			_ = r.Len()
+			_ = r.Events()
+			var buf bytes.Buffer
+			if err := r.WriteCSV(&buf); err != nil {
+				t.Errorf("concurrent WriteCSV: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := r.Len(); got != writers*perWriter {
+		t.Errorf("Len = %d, want %d", got, writers*perWriter)
+	}
+	seen := make(map[int]bool)
+	for _, ev := range r.Events() {
+		if seen[ev.Task] {
+			t.Fatalf("task %d recorded twice", ev.Task)
+		}
+		seen[ev.Task] = true
+	}
+}
+
+func TestRecorderWriteFile(t *testing.T) {
+	r := recorderWith(sample())
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "t.csv")
+	jsonPath := filepath.Join(dir, "t.json")
+	if err := r.WriteFile(csvPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteFile(jsonPath); err != nil {
+		t.Fatal(err)
+	}
+	csvData, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(csvData), "job,jobName") {
+		t.Errorf("csv missing header: %q", string(csvData[:20]))
+	}
+	jsonData, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(strings.TrimSpace(string(jsonData)), "[") {
+		t.Error("json export should be an array")
+	}
+	if err := r.WriteFile("/no/such/dir/x.csv"); err == nil {
+		t.Error("unwritable path should error")
 	}
 }

@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the online daemon: build ssrd, boot it on a
+# random port, run a two-phase job through the HTTP API with curl, check
+# the metrics and event endpoints, then verify a clean SIGTERM drain.
+#
+# Usage: scripts/e2e_smoke.sh   (from the repo root; needs go + curl)
+set -euo pipefail
+
+workdir=$(mktemp -d)
+ssrd_pid=""
+cleanup() {
+    if [[ -n "$ssrd_pid" ]] && kill -0 "$ssrd_pid" 2>/dev/null; then
+        kill -KILL "$ssrd_pid" 2>/dev/null || true
+    fi
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "e2e_smoke: FAIL: $*" >&2
+    echo "--- ssrd log ---" >&2
+    cat "$workdir/ssrd.log" >&2 || true
+    exit 1
+}
+
+echo "e2e_smoke: building ssrd"
+go build -o "$workdir/ssrd" ./cmd/ssrd
+
+# Port 0 lets the kernel pick; the daemon prints the bound address.
+"$workdir/ssrd" -addr 127.0.0.1:0 -nodes 4 -slots 2 -mode ssr \
+    -dilation 100 -drain 5s -trace "$workdir/run.csv" \
+    >"$workdir/ssrd.log" 2>&1 &
+ssrd_pid=$!
+
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^ssrd: listening on \([^ ]*\).*/\1/p' "$workdir/ssrd.log")
+    [[ -n "$addr" ]] && break
+    kill -0 "$ssrd_pid" 2>/dev/null || fail "daemon exited before listening"
+    sleep 0.1
+done
+[[ -n "$addr" ]] || fail "daemon never reported its address"
+base="http://$addr"
+echo "e2e_smoke: daemon up at $base"
+
+curl -fsS "$base/healthz" >/dev/null || fail "healthz"
+
+# A two-phase workflow: 4x10s map feeding a 2x4s reduce (virtual time;
+# ~0.14 wall seconds at dilation 100).
+job=$(curl -fsS -X POST "$base/jobs" -d '{
+  "name": "smoke", "priority": 10,
+  "phases": [
+    {"durationsMs": [10000, 10000, 10000, 10000]},
+    {"durationsMs": [4000, 4000], "deps": [0]}
+  ]}') || fail "job submission"
+id=$(echo "$job" | sed -n 's/.*"id": \([0-9]*\),.*/\1/p' | head -n1)
+[[ -n "$id" ]] || fail "no job id in response: $job"
+echo "e2e_smoke: submitted job $id"
+
+state=""
+for _ in $(seq 1 100); do
+    state=$(curl -fsS "$base/jobs/$id" | sed -n 's/.*"state": "\([a-z]*\)".*/\1/p' | head -n1)
+    [[ "$state" == "completed" || "$state" == "failed" ]] && break
+    sleep 0.1
+done
+[[ "$state" == "completed" ]] || fail "job state = '$state', want completed"
+echo "e2e_smoke: job $id completed"
+
+metrics=$(curl -fsS "$base/metrics")
+echo "$metrics" | grep -q '"jobsCompleted": 1' || fail "metrics: $metrics"
+# The SSE stream never ends on its own; let curl's --max-time cut it.
+events=$(curl -fs --max-time 2 "$base/events?since=1" || true)
+echo "$events" | grep -q 'job_done' || fail "event stream missing job_done"
+
+kill -TERM "$ssrd_pid"
+rc=0
+wait "$ssrd_pid" || rc=$?
+[[ "$rc" -eq 0 ]] || fail "exit code $rc after SIGTERM, want 0"
+grep -q 'drained clean' "$workdir/ssrd.log" || fail "no clean-drain log line"
+[[ -s "$workdir/run.csv" ]] || fail "trace file missing or empty"
+lines=$(wc -l <"$workdir/run.csv")
+[[ "$lines" -ge 7 ]] || fail "trace has $lines lines, want >= 7 (header + 6 attempts)"
+ssrd_pid=""
+
+echo "e2e_smoke: PASS"
