@@ -9,6 +9,10 @@
 //	GET  /events      server-sent lifecycle event stream
 //	GET  /healthz     liveness
 //
+// With -shards K > 1 the cluster is partitioned into K independent
+// scheduler shards; -router picks the job-placement policy and idle slots
+// are lent across shards for SSR pre-reservation (cap it with -lend).
+//
 // On SIGTERM/SIGINT the daemon drains gracefully: it stops admitting jobs
 // (503 on POST /jobs), gives in-flight jobs the -drain grace to finish,
 // aborts the rest, flushes the trace file if one was requested, and exits 0.
@@ -16,15 +20,18 @@
 // Example:
 //
 //	ssrd -addr 127.0.0.1:8347 -nodes 20 -slots 2 -mode ssr -p 0.9 -dilation 100
+//	ssrd -nodes 20 -shards 4 -router least-loaded -pprof 127.0.0.1:6060
 package main
 
 import (
 	"context"
 	"errors"
+	_ "expvar" // registers /debug/vars on the -pprof listener
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the -pprof listener
 	"os"
 	"os/signal"
 	"syscall"
@@ -33,6 +40,7 @@ import (
 	"ssr/internal/core"
 	"ssr/internal/driver"
 	"ssr/internal/service"
+	"ssr/internal/shard"
 )
 
 func main() {
@@ -64,17 +72,32 @@ func run(args []string, sigC <-chan os.Signal, ready func(addr string)) error {
 		drain     = fs.Duration("drain", 10*time.Second, "grace for in-flight jobs on shutdown before aborting them")
 		traceOut  = fs.String("trace", "", "flush a per-attempt trace to this file on shutdown (.csv or .json)")
 		baseline  = fs.Int("baseline-workers", 2, "workers computing alone-JCT slowdown baselines (negative disables)")
+		shards    = fs.Int("shards", 1, "scheduler shards the cluster is partitioned into")
+		router    = fs.String("router", "hash", "job placement across shards: hash, least-loaded, best-fit")
+		lend      = fs.Float64("lend", 0.5, "max fraction of a shard's slots lendable cross-shard (0 disables lending)")
+		pprofAddr = fs.String("pprof", "", "serve net/http/pprof and expvar on this address (off when empty)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	routerImpl, err := shard.ParseRouter(*router)
+	if err != nil {
+		return err
+	}
 	cfg := service.Config{
 		Nodes:           *nodes,
 		SlotsPerNode:    *perNode,
+		Shards:          *shards,
+		Router:          routerImpl,
 		Dilation:        *dilation,
 		BaselineWorkers: *baseline,
 		RecordTrace:     *traceOut != "",
+	}
+	if *lend <= 0 {
+		cfg.Lending.Disabled = true
+	} else {
+		cfg.Lending.MaxLendFraction = *lend
 	}
 	switch *modeName {
 	case "none":
@@ -104,6 +127,19 @@ func run(args []string, sigC <-chan os.Signal, ready func(addr string)) error {
 		return err
 	}
 	defer svc.Close()
+
+	if *pprofAddr != "" {
+		// Opt-in debug endpoints on their own listener, kept off the API
+		// mux: net/http/pprof and expvar register on DefaultServeMux.
+		debugLn, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listen: %w", err)
+		}
+		debugSrv := &http.Server{Handler: http.DefaultServeMux}
+		go func() { _ = debugSrv.Serve(debugLn) }()
+		defer debugSrv.Close()
+		fmt.Printf("ssrd: pprof/expvar on http://%s/debug/pprof/\n", debugLn.Addr())
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

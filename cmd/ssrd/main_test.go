@@ -2,6 +2,9 @@ package main
 
 import (
 	"context"
+	"io"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -196,5 +199,115 @@ func TestDaemonBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-mode", "ssr", "-p", "7"}, sigC, nil); err == nil {
 		t.Error("invalid isolation P should error")
+	}
+	if err := run([]string{"-router", "bogus"}, sigC, nil); err == nil {
+		t.Error("unknown router should error")
+	}
+	if err := run([]string{"-shards", "8", "-nodes", "4"}, sigC, nil); err == nil {
+		t.Error("more shards than nodes should error")
+	}
+}
+
+// TestDaemonShardedWithPprof starts a 4-shard daemon with the debug
+// listener enabled: jobs complete across shards, /metrics carries the
+// per-shard breakdown, and pprof + expvar answer on the side port.
+func TestDaemonShardedWithPprof(t *testing.T) {
+	silence(t)
+	cli, sigC, exitC := startDaemon(t,
+		"-nodes", "8", "-slots", "2", "-mode", "ssr",
+		"-shards", "4", "-router", "least-loaded",
+		"-dilation", "200", "-drain", "5s",
+		"-pprof", "127.0.0.1:0")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	spec := service.JobSpec{Name: "fanout", Priority: 5, Phases: []service.PhaseSpec{
+		{DurationsMs: []float64{300, 300}},
+		{DurationsMs: []float64{150}, Deps: []int{0}},
+	}}
+	var ids []int64
+	for i := 0; i < 8; i++ {
+		st, err := cli.Submit(ctx, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, st.ID)
+	}
+	shards := make(map[int]bool)
+	for _, id := range ids {
+		final, err := cli.WaitJob(ctx, id, 5*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if final.State != service.StateCompleted {
+			t.Fatalf("job %d ended %q", id, final.State)
+		}
+		shards[final.Shard] = true
+	}
+	if len(shards) < 2 {
+		t.Errorf("least-loaded routing kept all jobs on one shard: %v", shards)
+	}
+	ms, err := cli.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.NumShards != 4 || len(ms.Shards) != 4 || ms.JobsCompleted != 8 {
+		t.Errorf("sharded metrics = %d shards (%d detailed), %d completed",
+			ms.NumShards, len(ms.Shards), ms.JobsCompleted)
+	}
+
+	sigC <- syscall.SIGTERM
+	select {
+	case err := <-exitC:
+		if err != nil {
+			t.Fatalf("daemon exit: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+}
+
+// TestDaemonPprofServes checks the opt-in debug listener actually answers
+// pprof and expvar requests while the daemon runs.
+func TestDaemonPprofServes(t *testing.T) {
+	silence(t)
+
+	// Grab a free port for the debug listener so the test can dial it.
+	probe, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	debugAddr := probe.Addr().String()
+	probe.Close()
+
+	_, sigC, exitC := startDaemon(t,
+		"-nodes", "2", "-slots", "1", "-mode", "none",
+		"-pprof", debugAddr)
+	for path, want := range map[string]string{
+		"/debug/pprof/cmdline": "",
+		"/debug/vars":          "memstats",
+	} {
+		resp, err := http.Get("http://" + debugAddr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d, err %v", path, resp.StatusCode, err)
+		}
+		if want != "" && !strings.Contains(string(body), want) {
+			t.Errorf("GET %s body lacks %q", path, want)
+		}
+	}
+
+	sigC <- syscall.SIGTERM
+	select {
+	case err := <-exitC:
+		if err != nil {
+			t.Fatalf("daemon exit: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
 	}
 }

@@ -16,6 +16,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -28,6 +29,47 @@ import (
 	"ssr/internal/stats"
 	"ssr/internal/workload"
 )
+
+// latencySummary is the client-observed latency section of the -json report.
+type latencySummary struct {
+	MeanSec float64 `json:"meanSec"`
+	P50Sec  float64 `json:"p50Sec"`
+	P90Sec  float64 `json:"p90Sec"`
+	P99Sec  float64 `json:"p99Sec"`
+	MaxSec  float64 `json:"maxSec"`
+}
+
+// report is the machine-readable run summary written by -json: the client's
+// view of the run (counts, wall time, throughput, latency percentiles) plus
+// the server's own /metrics snapshot taken after the last job.
+type report struct {
+	Suite                string                 `json:"suite"`
+	Mode                 string                 `json:"mode"` // "open" or "closed"
+	RateJobsPerSec       float64                `json:"rateJobsPerSec,omitempty"`
+	Concurrency          int                    `json:"concurrency,omitempty"`
+	Jobs                 int                    `json:"jobs"`
+	Completed            int                    `json:"completed"`
+	Failed               int                    `json:"failed"`
+	Refused              int                    `json:"refused"`
+	WallSec              float64                `json:"wallSec"`
+	ThroughputJobsPerSec float64                `json:"throughputJobsPerSec"`
+	Latency              *latencySummary        `json:"latencySeconds,omitempty"`
+	Server               *service.MetricsStatus `json:"server,omitempty"`
+}
+
+// writeReport marshals the report to path ("-" = stdout).
+func writeReport(rep report, path string) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -97,6 +139,7 @@ func run(args []string) error {
 		poll    = fs.Duration("poll", 20*time.Millisecond, "completion poll interval")
 		timeout = fs.Duration("timeout", 5*time.Minute, "overall deadline")
 		seed    = fs.Int64("seed", 42, "random seed (durations and interarrivals)")
+		jsonOut = fs.String("json", "", `write a machine-readable JSON report to this file ("-" = stdout)`)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -190,18 +233,51 @@ func run(args []string) error {
 	fmt.Printf("ssrload: %s suite %q: %d completed, %d failed, %d refused in %v (%.1f jobs/sec)\n",
 		mode, *suite, completed, failed, refused, elapsed.Round(time.Millisecond),
 		float64(completed+failed)/elapsed.Seconds())
+	rep := report{
+		Suite:                *suite,
+		Mode:                 "closed",
+		Concurrency:          *conc,
+		Jobs:                 *jobs,
+		Completed:            completed,
+		Failed:               failed,
+		Refused:              refused,
+		WallSec:              elapsed.Seconds(),
+		ThroughputJobsPerSec: float64(completed+failed) / elapsed.Seconds(),
+	}
+	if *rate > 0 {
+		rep.Mode = "open"
+		rep.RateJobsPerSec = *rate
+		rep.Concurrency = 0
+	}
 	if len(latencies) > 0 {
 		s := stats.Summarize(latencies)
 		fmt.Printf("client latency (s): mean=%.3f p50=%.3f p90=%.3f p99=%.3f max=%.3f\n",
 			s.Mean, s.Median, s.P90, s.P99, s.Max)
+		rep.Latency = &latencySummary{
+			MeanSec: s.Mean, P50Sec: s.Median, P90Sec: s.P90, P99Sec: s.P99, MaxSec: s.Max,
+		}
 	}
 	if ms, err := cli.Metrics(ctx); err == nil {
+		rep.Server = &ms
 		fmt.Printf("server: virtual %.1fs at %gx, utilization %.1f%%, reserved-idle %.2f%%\n",
 			ms.VirtualNowMs/1000, ms.Dilation, 100*ms.Utilization, 100*ms.ReservedFraction)
+		if ms.NumShards > 1 {
+			fmt.Printf("server shards: %d", ms.NumShards)
+			if ms.Lending != nil {
+				fmt.Printf(", lending granted=%d finished=%d returned=%d outstanding=%d",
+					ms.Lending.Granted, ms.Lending.Finished, ms.Lending.Returned, ms.Lending.Outstanding)
+			}
+			fmt.Println()
+		}
 		if ms.Slowdowns.Count > 0 {
 			fmt.Printf("server slowdowns: n=%d mean=%.2f p50=%.2f p95=%.2f max=%.2f (dropped %d)\n",
 				ms.Slowdowns.Count, ms.Slowdowns.Mean, ms.Slowdowns.P50,
 				ms.Slowdowns.P95, ms.Slowdowns.Max, ms.Slowdowns.Dropped)
+		}
+	}
+	if *jsonOut != "" {
+		if err := writeReport(rep, *jsonOut); err != nil {
+			return fmt.Errorf("write -json report: %w", err)
 		}
 	}
 	if failed > 0 {

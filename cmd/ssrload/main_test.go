@@ -1,14 +1,17 @@
 package main
 
 import (
+	"encoding/json"
 	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"ssr/internal/core"
 	"ssr/internal/driver"
 	"ssr/internal/service"
+	"ssr/internal/shard"
 )
 
 // silence routes stdout to /dev/null for the duration of a test.
@@ -123,6 +126,77 @@ func TestSuites(t *testing.T) {
 			"-suite", suite, "-poll", "5ms", "-timeout", "2m"}); err != nil {
 			t.Errorf("suite %s: %v", suite, err)
 		}
+	}
+}
+
+// TestJSONReport drives a closed loop against a sharded service with -json
+// and checks the machine-readable report: counts, throughput, latency
+// percentiles, and the embedded server metrics with the shard breakdown.
+func TestJSONReport(t *testing.T) {
+	svc, err := service.New(service.Config{
+		Nodes:        8,
+		SlotsPerNode: 2,
+		Shards:       2,
+		Router:       shard.LeastLoadedRouter{},
+		Dilation:     500,
+		Driver: driver.Options{
+			Mode: driver.ModeSSR,
+			SSR:  core.Config{Enabled: true, IsolationP: 0.9, Alpha: 1.6, PreReserveThreshold: 0.5},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	ts := httptest.NewServer(service.NewHandler(svc))
+	t.Cleanup(ts.Close)
+
+	path := filepath.Join(t.TempDir(), "report.json")
+	capture(t, func() error {
+		return run([]string{"-addr", ts.URL, "-jobs", "20", "-concurrency", "5",
+			"-suite", "tiny", "-poll", "5ms", "-timeout", "2m", "-json", path})
+	})
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("report not written: %v", err)
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report does not parse: %v\n%s", err, data)
+	}
+	if rep.Suite != "tiny" || rep.Mode != "closed" || rep.Concurrency != 5 {
+		t.Errorf("run shape = suite %q, mode %q, conc %d", rep.Suite, rep.Mode, rep.Concurrency)
+	}
+	if rep.Jobs != 20 || rep.Completed != 20 || rep.Failed != 0 || rep.Refused != 0 {
+		t.Errorf("counts = %d jobs / %d completed / %d failed / %d refused",
+			rep.Jobs, rep.Completed, rep.Failed, rep.Refused)
+	}
+	if rep.WallSec <= 0 || rep.ThroughputJobsPerSec <= 0 {
+		t.Errorf("wall %.3fs, throughput %.3f jobs/sec", rep.WallSec, rep.ThroughputJobsPerSec)
+	}
+	if rep.Latency == nil {
+		t.Fatal("report missing latency summary")
+	}
+	if rep.Latency.MeanSec <= 0 || rep.Latency.P99Sec < rep.Latency.P50Sec ||
+		rep.Latency.MaxSec < rep.Latency.P99Sec {
+		t.Errorf("latency summary inconsistent: %+v", *rep.Latency)
+	}
+	if rep.Server == nil {
+		t.Fatal("report missing server metrics")
+	}
+	if rep.Server.JobsCompleted != 20 || rep.Server.NumShards != 2 || len(rep.Server.Shards) != 2 {
+		t.Errorf("server metrics = %d completed, %d shards (%d detailed)",
+			rep.Server.JobsCompleted, rep.Server.NumShards, len(rep.Server.Shards))
+	}
+
+	// "-" writes the report to stdout instead.
+	out := capture(t, func() error {
+		return run([]string{"-addr", ts.URL, "-jobs", "4", "-concurrency", "2",
+			"-suite", "tiny", "-poll", "5ms", "-timeout", "2m", "-json", "-"})
+	})
+	if !strings.Contains(out, `"throughputJobsPerSec"`) {
+		t.Errorf("stdout report missing JSON fields:\n%s", out)
 	}
 }
 

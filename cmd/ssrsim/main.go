@@ -256,4 +256,3 @@ func dumpWorkload(path string, groups ...[]*dag.Job) error {
 	}
 	return f.Close()
 }
-

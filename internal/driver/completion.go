@@ -34,7 +34,6 @@ func (d *Driver) onFinish(att *attempt) {
 	delete(d.slotOwner, att.slot)
 
 	// Kill the losing sibling attempt, vacating its slot.
-	var loserSlot cluster.SlotID
 	haveLoser := false
 	loser := task.orig
 	if att.isCopy {
@@ -46,7 +45,6 @@ func (d *Driver) onFinish(att *attempt) {
 		loser.timer.Cancel()
 		delete(d.slotOwner, loser.slot)
 		jr.running--
-		loserSlot = loser.slot
 		haveLoser = true
 	}
 	if d.opts.Trace != nil {
@@ -74,9 +72,9 @@ func (d *Driver) onFinish(att *attempt) {
 
 	// Algorithm 1 for the winner's slot, extra-slot rule for the loser's.
 	decision, extra := pr.tracker.HandleCompletion()
-	d.applyDecision(pr, att.slot, decision)
+	d.routeFreedSlot(pr, att, decision)
 	if haveLoser {
-		d.applyDecision(pr, loserSlot, pr.tracker.HandleExtraSlotFreed())
+		d.routeFreedSlot(pr, loser, pr.tracker.HandleExtraSlotFreed())
 	}
 	if extra > 0 {
 		pr.preWant += extra
@@ -110,6 +108,24 @@ func (d *Driver) traceAttempt(att *attempt, killed bool) {
 		Start:   att.start,
 		End:     d.eng.Now(),
 	})
+}
+
+// routeFreedSlot applies a tracker decision to the slot vacated by a
+// finished or killed attempt. A home slot goes through Algorithm 1
+// directly; a borrowed sibling slot always travels back to its owner
+// through the lender, and a Reserve decision is converted into
+// pre-reservation quota so the capacity is re-captured locally (or
+// borrowed afresh) rather than holding the loan idle.
+func (d *Driver) routeFreedSlot(pr *phaseRun, att *attempt, decision core.Decision) {
+	if !att.remote {
+		d.applyDecision(pr, att.slot, decision)
+		return
+	}
+	d.opts.Lender.Finish(att.loan)
+	if d.opts.Mode == ModeSSR && decision == core.Reserve {
+		pr.preWant++
+		d.addPreReserver(pr)
+	}
 }
 
 // applyDecision routes a vacated slot according to the active reservation
@@ -224,6 +240,9 @@ func (d *Driver) expireDeadline(pr *phaseRun) {
 		d.emitReservation(EventUnreserve, slot, res)
 		d.notifyWaiters(slot)
 	}
+	// Borrowed sibling slots were pre-reserved under this same deadline D;
+	// idle ones go home with it (Sec. IV-B applied across shards).
+	d.returnLoans(pr.jr, pr.phase.ID, -1)
 	d.recordTimeline(pr.jr)
 	d.scheduleDispatch()
 }
@@ -314,7 +333,7 @@ func (d *Driver) reconcileReservations(jr *jobRun) {
 			need += nd
 		}
 	}
-	excess := d.cl.ReservedCount(jr.job.ID) - need
+	excess := d.cl.ReservedCount(jr.job.ID) + jr.borrowed - need
 	if excess <= 0 {
 		return
 	}
@@ -327,6 +346,11 @@ func (d *Driver) reconcileReservations(jr *jobRun) {
 		d.emitReservation(EventUnreserve, slots[i], res)
 		d.notifyWaiters(slots[i])
 		excess--
+	}
+	// Local reservations released first; remaining excess comes out of
+	// idle cross-shard loans.
+	if excess > 0 {
+		d.returnLoans(jr, -1, excess)
 	}
 	d.recordTimeline(jr)
 	d.scheduleDispatch()
@@ -346,6 +370,7 @@ func (d *Driver) onJobComplete(jr *jobRun) {
 		d.emitReservation(EventUnreserve, slot, res)
 		d.notifyWaiters(slot)
 	}
+	d.returnLoans(jr, -1, -1)
 	d.loc.ForgetJob(jr.job.ID)
 	d.emitJob(EventJobDone, jr)
 	d.recordTimeline(jr)

@@ -132,7 +132,9 @@ func (d *Driver) serveOne(pr *phaseRun) bool {
 		}
 		return false
 	}
-	return false
+	// Last resort: a slot borrowed from a sibling shard, at the locality
+	// penalty for constrained tasks.
+	return d.serveLoan(pr)
 }
 
 // servePreReservers lets phases with outstanding pre-reservation quota
@@ -171,6 +173,10 @@ func (d *Driver) servePreReservers(minPrio *dag.Priority) {
 				d.emitReservation(EventReserve, slot, res)
 				d.notifyWaiters(slot)
 			}
+			// The home pool is exhausted but quota remains: past
+			// threshold R the downstream demand may be covered by
+			// sibling shards (cross-shard pre-reservation).
+			d.requestLoan(pr)
 		}
 		if pr.preWant > 0 {
 			kept = append(kept, pr)

@@ -125,6 +125,12 @@ type Options struct {
 	// different slots in different phases" to measure the locality
 	// penalty end to end.
 	ForceRemote bool
+	// Lender, when non-nil, lets this driver borrow slots from sibling
+	// cluster shards once a phase's SSR pre-reservation quota exhausts
+	// the home cluster (internal/shard wires the federation's lending
+	// broker here). Nil — the default — disables cross-shard lending and
+	// leaves scheduling bit-identical to a standalone driver.
+	Lender SlotLender
 }
 
 func (o *Options) withDefaults() Options {
@@ -247,6 +253,11 @@ func (d *Driver) Engine() *sim.Engine { return d.eng }
 
 // Cluster returns the driver's cluster.
 func (d *Driver) Cluster() *cluster.Cluster { return d.cl }
+
+// Poke schedules a dispatch pass at the current virtual time. The lending
+// broker calls it on a shard whose cluster just got capacity back (a loan
+// returned home) so waiting work is matched to it within the same instant.
+func (d *Driver) Poke() { d.scheduleDispatch() }
 
 // Usage returns the slot usage integrator.
 func (d *Driver) Usage() *metrics.SlotUsage { return d.usage }

@@ -47,6 +47,14 @@ const (
 	// EventJobFail fires when a job is aborted (retry budget exhausted or
 	// an explicit Abort).
 	EventJobFail
+	// EventBorrow fires when a phase's unmet pre-reservation quota is
+	// covered by slots borrowed from sibling shards; Count is the number
+	// of loans granted.
+	EventBorrow
+	// EventLoanReturn fires when idle borrowed slots are handed back to
+	// their owning shards (deadline expiry, reconciliation, or job end);
+	// Count is the number returned.
+	EventLoanReturn
 )
 
 func (t EventType) String() string {
@@ -73,6 +81,10 @@ func (t EventType) String() string {
 		return "job_done"
 	case EventJobFail:
 		return "job_fail"
+	case EventBorrow:
+		return "borrow"
+	case EventLoanReturn:
+		return "loan_return"
 	default:
 		return fmt.Sprintf("EventType(%d)", int(t))
 	}
@@ -92,6 +104,9 @@ type Event struct {
 	Slot    cluster.SlotID
 	Copy    bool
 	Local   bool
+	// Count is the number of slots involved in a borrow or loan-return
+	// event; zero otherwise.
+	Count int
 }
 
 // emit delivers a lifecycle event to the OnEvent hook, stamping the current

@@ -294,9 +294,12 @@ func (d *Driver) abortJob(jr *jobRun) {
 					d.traceAttempt(att, true)
 				}
 				d.emitAttempt(EventAttemptKill, att)
-				// Attempts on already-failed slots have no slot to give
+				// Borrowed sibling slots travel home through the lender;
+				// attempts on already-failed slots have no slot to give
 				// back; the others return to the pool.
-				if d.cl.Slot(att.slot).State() == cluster.Busy {
+				if att.remote {
+					d.opts.Lender.Finish(att.loan)
+				} else if d.cl.Slot(att.slot).State() == cluster.Busy {
 					d.mustRelease(att.slot)
 				}
 			}
@@ -314,6 +317,7 @@ func (d *Driver) abortJob(jr *jobRun) {
 		d.emitReservation(EventUnreserve, slot, res)
 		d.notifyWaiters(slot)
 	}
+	d.returnLoans(jr, -1, -1)
 	d.loc.ForgetJob(jr.job.ID)
 	d.emitJob(EventJobFail, jr)
 	d.recordTimeline(jr)

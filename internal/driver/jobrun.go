@@ -22,6 +22,9 @@ type jobRun struct {
 	phasesDone int
 	running    int // busy slots currently held (originals + copies)
 	finished   bool
+	// borrowed counts idle cross-shard loans held by the job (granted by
+	// Options.Lender, not yet consumed by a task or returned).
+	borrowed int
 
 	stats metrics.JobStats
 }
@@ -64,7 +67,9 @@ type taskState struct {
 }
 
 // attempt is one execution of a task (original or speculative copy) on a
-// slot.
+// slot. A remote attempt runs on a slot borrowed from a sibling shard:
+// slot is NoSlot (it is not in the home cluster), and loan identifies the
+// checked-out slot at the lender.
 type attempt struct {
 	pr      *phaseRun
 	taskIdx int
@@ -73,6 +78,8 @@ type attempt struct {
 	slot    cluster.SlotID
 	start   sim.Time
 	timer   *sim.Timer
+	remote  bool
+	loan    LoanID
 }
 
 // phaseRun is the runtime state of one phase (TaskSetManager role). It
@@ -129,6 +136,9 @@ type phaseRun struct {
 	inQueue        bool
 	preWant        int
 	inPreReservers bool
+	// loanPending marks an asynchronous Borrow in flight for this phase,
+	// so dispatch does not issue duplicate requests.
+	loanPending bool
 }
 
 var _ sched.Item = (*phaseRun)(nil)
@@ -312,7 +322,17 @@ func (d *Driver) submitPhase(jr *jobRun, pid int) {
 			pr.downDemand = cd
 		}
 	}
-	if taskPref, ok := d.loc.NarrowPrefs(job, pid); ok {
+	taskPref, narrowOK := d.loc.NarrowPrefs(job, pid)
+	for _, s := range taskPref {
+		if s == cluster.NoSlot {
+			// An upstream partition produced on a borrowed sibling slot
+			// has no home placement; fall back to the wide-preference
+			// path, which skips unrecorded slots.
+			narrowOK = false
+			break
+		}
+	}
+	if narrowOK {
 		pr.narrow = true
 		pr.taskPref = taskPref
 		pr.prefBySlot = make(map[cluster.SlotID][]int, m)

@@ -179,6 +179,7 @@ func init() {
 		backgroundImpactExperiment(),
 		mitigationExperiment(),
 		faultToleranceExperiment(),
+		shardScalingExperiment(),
 	} {
 		Register(e)
 	}

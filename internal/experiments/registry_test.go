@@ -53,7 +53,7 @@ func TestDefaultRegistryCanonicalOrder(t *testing.T) {
 	want := []string{
 		"fig1", "fig4", "fig5", "fig6", "fig8", "fig10", "fig12", "fig13",
 		"fig14", "fig15", "fig16", "fig17", "bgimpact", "mitcompare",
-		"faulttolerance",
+		"faulttolerance", "shardscaling",
 	}
 	if got := Names(); !reflect.DeepEqual(got, want) {
 		t.Errorf("Default registry order = %v, want %v", got, want)
@@ -141,6 +141,7 @@ func TestCellCountsMatchExpectedDecomposition(t *testing.T) {
 		"bgimpact":       2,         // none + ssr
 		"mitcompare":     3,         // strategies
 		"faulttolerance": 3 * 2,     // quick MTTFs x policies
+		"shardscaling":   3 * 2,     // quick shard counts x quick runs
 	}
 	for name, n := range want {
 		e, ok := Lookup(name)

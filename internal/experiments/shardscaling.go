@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"ssr/internal/dag"
+	"ssr/internal/driver"
+	"ssr/internal/metrics"
+	"ssr/internal/shard"
+	"ssr/internal/stats"
+	"ssr/internal/workload"
+)
+
+// shardKs returns the swept shard counts. The 48x2 cluster divides evenly
+// by every K, so capacity per shard is exact at each point.
+func shardKs(scale Scale) []int {
+	if scale == Quick {
+		return []int{1, 2, 4}
+	}
+	return []int{1, 2, 4, 8}
+}
+
+// shardRuns returns the per-K averaging count.
+func shardRuns(scale Scale) int {
+	if scale == Quick {
+		return 2
+	}
+	return 5
+}
+
+// shardEnv is the fixed-capacity setting the sweep partitions: 96 slots
+// total regardless of K, with the standard background stream.
+func shardEnv() contentionEnv {
+	e := contentionEnv{nodes: 48, perNode: 2, bg: workload.DefaultBackground()}
+	e.fgSubmit = e.bg.Window / 4
+	return e
+}
+
+// shardRow is one (K, run) measurement of the shard sweep.
+type shardRow struct {
+	k int
+	// slowdown is the foreground JCT over its alone JCT on the home
+	// partition — the capacity the router actually granted it, so the
+	// number prices scheduling interference, not the partition size.
+	slowdown float64
+	// util is the federation-wide busy-slot fraction.
+	util float64
+	// makespan is when the last job finished anywhere.
+	makespan time.Duration
+	// loans is the broker's lifetime ledger (zero when K = 1).
+	loans shard.LoanStats
+	// remote counts task attempts that ran on borrowed sibling slots.
+	remote int
+}
+
+// shardScalingCell runs the foreground-vs-background contention workload on
+// a K-shard federation with cross-shard lending and measures the foreground
+// outcome plus federation-level lending activity.
+func shardScalingCell(env contentionEnv, k int, seed int64) (shardRow, error) {
+	opts := ssrOpts()
+	// The foreground is a scan-join-aggregate pipeline whose join stage
+	// widens 12 -> 48 tasks. Pre-reservation quota (and hence borrowing)
+	// only arises when the downstream phase is wider than the current one,
+	// and 48 exceeds every partition's capacity once K >= 4, so the unmet
+	// remainder goes to the lending broker. A constant-width foreground
+	// like KMeans would never exercise the lending path.
+	spec := workload.SQLSpec{
+		Name:         "scanjoin",
+		Parallelisms: []int{12, 48, 48, 8},
+		MeanTask:     4 * time.Second,
+		Sigma:        0.4,
+	}
+	fg, err := spec.Build(1, fgPriority, env.fgSubmit, stats.Stream(seed, "shard-fg"))
+	if err != nil {
+		return shardRow{}, err
+	}
+	bgJobs, err := workload.Background(env.bg, 1000, bgPriority, stats.Stream(seed, "bg"))
+	if err != nil {
+		return shardRow{}, err
+	}
+	f, err := shard.New(shard.Options{
+		Shards:       k,
+		Nodes:        env.nodes,
+		SlotsPerNode: env.perNode,
+		Driver:       opts,
+	})
+	if err != nil {
+		return shardRow{}, err
+	}
+	for _, j := range append([]*dag.Job{fg}, bgJobs...) {
+		if _, err := f.Submit(j); err != nil {
+			return shardRow{}, err
+		}
+	}
+	if err := f.Run(); err != nil {
+		return shardRow{}, err
+	}
+	st, ok := f.Result(fg.ID)
+	if !ok {
+		return shardRow{}, fmt.Errorf("foreground job missing from results")
+	}
+	// Baseline: the job alone on its home partition. Lending can push the
+	// contended JCT below this bound, so slowdowns under 1 are possible.
+	split := shard.NodeSplit(env.nodes, k)
+	alone, err := driver.AloneJCT(fg, split[f.Home(fg.ID)], env.perNode, opts)
+	if err != nil {
+		return shardRow{}, err
+	}
+	row := shardRow{
+		k:        k,
+		slowdown: metrics.Slowdown(st.JCT(), alone),
+		util:     f.Utilization(),
+		makespan: f.Makespan(),
+	}
+	if b := f.Broker(); b != nil {
+		row.loans = b.Stats()
+	}
+	for _, js := range f.Results() {
+		row.remote += js.RemoteTasks
+	}
+	return row, nil
+}
+
+// shardScalingExperiment sweeps the shard count K at fixed total capacity
+// (96 slots) and reports, per K, the foreground slowdown against its
+// home-partition alone baseline, federation utilization, makespan and the
+// lending broker's activity. The question the sweep answers: how much
+// isolation does partitioning cost, and how much of that cost does
+// cross-shard SSR pre-reservation (slot lending) buy back? Hash routing is
+// used throughout so placement — and hence the whole table — depends only
+// on the seed.
+func shardScalingExperiment() Experiment {
+	cells := func(p Params) ([]Cell, error) {
+		env := shardEnv()
+		seeds := runSeeds(p.Seed, shardRuns(p.Scale))
+		var cells []Cell
+		for _, k := range shardKs(p.Scale) {
+			for r, seed := range seeds {
+				k, seed := k, seed
+				cells = append(cells, Cell{
+					Key: fmt.Sprintf("shardscaling/K%d/run%d", k, r),
+					Run: func() (any, error) {
+						row, err := shardScalingCell(env, k, seed)
+						if err != nil {
+							return nil, fmt.Errorf("experiments: shard cell K=%d: %w", k, err)
+						}
+						return row, nil
+					},
+				})
+			}
+		}
+		return cells, nil
+	}
+	assemble := func(p Params, values []any) (*Result, error) {
+		runs := shardRuns(p.Scale)
+		res := NewResult("Shard scaling: fg slowdown and lending activity vs shard count (96 slots total, hash routing)",
+			Column{"shards", KindInt}, Column{"fg slowdown", KindFloat2},
+			Column{"utilization", KindPercent}, Column{"makespan", KindDuration},
+			Column{"loans granted", KindInt}, Column{"loans used", KindInt},
+			Column{"remote tasks", KindInt})
+		cur := cursor{values: values}
+		for _, k := range shardKs(p.Scale) {
+			var slow, util float64
+			var span time.Duration
+			var loans shard.LoanStats
+			remote := 0
+			for r := 0; r < runs; r++ {
+				row := cur.next().(shardRow)
+				slow += row.slowdown
+				util += row.util
+				span += row.makespan
+				loans.Granted += row.loans.Granted
+				loans.Consumed += row.loans.Consumed
+				remote += row.remote
+			}
+			slow /= float64(runs)
+			util /= float64(runs)
+			res.AddRow(k, slow, 100*util, span/time.Duration(runs),
+				loans.Granted, loans.Consumed, remote)
+			res.Metrics[fmt.Sprintf("slowdown-K%d", k)] = slow
+			if k == shardKs(p.Scale)[len(shardKs(p.Scale))-1] {
+				res.Metrics["lending-granted-maxK"] = float64(loans.Granted)
+			}
+		}
+		return res, nil
+	}
+	return Define("shardscaling", "fg slowdown and lending activity vs shard count", cells, assemble)
+}

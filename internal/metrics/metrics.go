@@ -217,6 +217,12 @@ type JobStats struct {
 	// Retries counts task re-queues after a fault killed the task's only
 	// live attempt.
 	Retries int
+	// BorrowedSlots counts cross-shard loans granted to the job by a
+	// federation's lending broker (zero without one).
+	BorrowedSlots int
+	// RemoteTasks counts task attempts executed on borrowed sibling-shard
+	// slots.
+	RemoteTasks int
 	// Failed reports the job was aborted because a task exhausted its
 	// retry budget.
 	Failed bool

@@ -14,15 +14,18 @@
 // Virtual time advances Dilation times faster than real time: with
 // Dilation 1 a 40-second job takes 40 wall-clock seconds; with Dilation
 // 1000 a simulated day replays in about 86 seconds. The mapping is anchored
-// once at Start, so the virtual clock does not drift when the loop is
-// briefly descheduled; events that have fallen due fire back to back until
-// the loop catches up.
+// at Start, so the virtual clock does not drift when the loop is briefly
+// descheduled; events that have fallen due fire back to back until the loop
+// catches up. SetDilation changes the rate mid-run by re-anchoring the
+// mapping at the current instant, keeping virtual time continuous.
 package realtime
 
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ssr/internal/sim"
@@ -57,10 +60,15 @@ type call struct {
 
 // Runner owns a sim.Engine and fires its events in wall-clock time.
 type Runner struct {
-	eng      *sim.Engine
-	dilation float64
+	eng *sim.Engine
+	// dilation holds the virtual-to-real ratio as math.Float64bits, so
+	// Dilation() stays readable from any goroutine while SetDilation
+	// swaps it on the loop.
+	dilation atomic.Uint64
 
-	// realAnchor/virtAnchor fix the wall-to-virtual mapping at Start.
+	// realAnchor/virtAnchor fix the wall-to-virtual mapping. Set at
+	// Start, re-anchored by SetDilation from inside a Call (i.e. on the
+	// loop goroutine), and otherwise only read on the loop.
 	realAnchor time.Time
 	virtAnchor sim.Time
 
@@ -77,17 +85,39 @@ func New(eng *sim.Engine, opts Options) (*Runner, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Runner{
-		eng:      eng,
-		dilation: o.Dilation,
-		calls:    make(chan call),
-		stopC:    make(chan struct{}),
-		done:     make(chan struct{}),
-	}, nil
+	r := &Runner{
+		eng:   eng,
+		calls: make(chan call),
+		stopC: make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	r.dilation.Store(math.Float64bits(o.Dilation))
+	return r, nil
 }
 
-// Dilation returns the virtual-to-real time ratio.
-func (r *Runner) Dilation() float64 { return r.dilation }
+// Dilation returns the virtual-to-real time ratio. Safe from any goroutine.
+func (r *Runner) Dilation() float64 {
+	return math.Float64frombits(r.dilation.Load())
+}
+
+// SetDilation changes the virtual-to-real time ratio mid-run. The clock
+// mapping is re-anchored at the current instant on the loop goroutine, so
+// virtual time stays continuous: everything before the change elapsed at
+// the old rate, everything after at the new one. Like Call, it blocks
+// until the loop picks it up (in particular, until Start) and returns
+// ErrStopped after Stop.
+func (r *Runner) SetDilation(d float64) error {
+	if d <= 0 {
+		return fmt.Errorf("realtime: dilation %v must be positive", d)
+	}
+	return r.Call(func() {
+		// Call already caught the engine up to the wall-mapped instant
+		// under the old rate; anchor the new rate there.
+		r.realAnchor = time.Now()
+		r.virtAnchor = r.eng.Now()
+		r.dilation.Store(math.Float64bits(d))
+	})
+}
 
 // Start anchors the clock mapping and launches the loop goroutine. It must
 // be called exactly once.
@@ -110,7 +140,7 @@ func (r *Runner) Done() <-chan struct{} { return r.done }
 
 // virtualNow maps the current wall clock onto virtual time.
 func (r *Runner) virtualNow() sim.Time {
-	return r.virtAnchor + time.Duration(float64(time.Since(r.realAnchor))*r.dilation)
+	return r.virtAnchor + time.Duration(float64(time.Since(r.realAnchor))*r.Dilation())
 }
 
 // realDelay converts a virtual interval into the wall-clock wait for it.
@@ -118,7 +148,7 @@ func (r *Runner) realDelay(dv sim.Time) time.Duration {
 	if dv <= 0 {
 		return 0
 	}
-	return time.Duration(float64(dv) / r.dilation)
+	return time.Duration(float64(dv) / r.Dilation())
 }
 
 // Call runs fn on the loop goroutine, with the engine's virtual clock

@@ -221,3 +221,117 @@ func TestDriverUnderRunner(t *testing.T) {
 		}
 	}
 }
+
+// TestSetDilationReAnchorsMidRun switches from a fast to a near-frozen rate
+// mid-run and checks both sides of the anchor: virtual time accumulated at
+// the fast rate is kept (not recomputed under the new rate), and the clock
+// barely moves afterwards.
+func TestSetDilationReAnchorsMidRun(t *testing.T) {
+	eng := sim.New()
+	r := newRunner(t, eng, Options{Dilation: 2000})
+	// Let well over 10 virtual seconds accumulate at dilation 2000
+	// (10ms real = 20s virtual).
+	var at sim.Time
+	deadline := time.Now().Add(5 * time.Second)
+	for at < 10*time.Second {
+		if time.Now().After(deadline) {
+			t.Fatalf("virtual clock only reached %v at dilation 2000", at)
+		}
+		time.Sleep(time.Millisecond)
+		var err error
+		if at, err = r.Now(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.SetDilation(0.001); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Dilation(); got != 0.001 {
+		t.Fatalf("Dilation() = %v after SetDilation(0.001)", got)
+	}
+	anchor, err := r.Now()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if anchor < 10*time.Second {
+		t.Fatalf("re-anchoring lost accumulated virtual time: %v", anchor)
+	}
+	// A bad anchor would keep scaling the full wall-clock-since-Start by
+	// the old or mixed rate; at 0.001 the clock must be nearly frozen.
+	time.Sleep(20 * time.Millisecond)
+	after, err := r.Now()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drift := after - anchor; drift < 0 || drift > 100*time.Millisecond {
+		t.Errorf("virtual clock moved %v at dilation 0.001, want ~20µs", drift)
+	}
+	if err := r.SetDilation(-1); err == nil {
+		t.Error("SetDilation accepted a negative rate")
+	}
+}
+
+// TestCallBeforeStartBlocks pins Call's pre-Start contract: the call parks
+// until Start launches the loop, then runs.
+func TestCallBeforeStartBlocks(t *testing.T) {
+	eng := sim.New()
+	r, err := New(eng, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := make(chan struct{})
+	errC := make(chan error, 1)
+	go func() {
+		errC <- r.Call(func() { close(ran) })
+	}()
+	select {
+	case <-ran:
+		t.Fatal("Call ran before Start")
+	case err := <-errC:
+		t.Fatalf("Call returned %v before Start", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	r.Start()
+	defer r.Stop()
+	select {
+	case <-ran:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Call never ran after Start")
+	}
+	if err := <-errC; err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+}
+
+// TestStopWithPendingTimers stops a runner whose engine still has far-future
+// events queued: Stop must return promptly, leave the events unfired in the
+// engine, and fail subsequent Calls with ErrStopped.
+func TestStopWithPendingTimers(t *testing.T) {
+	eng := sim.New()
+	fired := false
+	for i := 1; i <= 5; i++ {
+		eng.After(time.Duration(i)*time.Hour, func() { fired = true })
+	}
+	r, err := New(eng, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Start()
+	stopped := make(chan struct{})
+	go func() { r.Stop(); close(stopped) }()
+	select {
+	case <-stopped:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop hung on a runner with pending timers")
+	}
+	// The loop has exited: the engine is safe to inspect directly.
+	if fired {
+		t.Error("an hours-away event fired during Stop")
+	}
+	if n := eng.Pending(); n != 5 {
+		t.Errorf("engine has %d pending events after Stop, want 5", n)
+	}
+	if err := r.Call(func() {}); err != ErrStopped {
+		t.Errorf("Call after Stop = %v, want ErrStopped", err)
+	}
+}

@@ -188,20 +188,28 @@ type JobStatus struct {
 	FinishedMs  float64 `json:"finishedMs,omitempty"`
 	// JCTMs is the virtual job completion time (finish - submit), set
 	// once terminal.
-	JCTMs          float64       `json:"jctMs,omitempty"`
-	PhasesDone     int           `json:"phasesDone"`
-	NumPhases      int           `json:"numPhases"`
-	RunningSlots   int           `json:"runningSlots"`
-	ReservedIdle   int           `json:"reservedIdle"`
-	TasksRun       int           `json:"tasksRun"`
-	CopiesLaunched int           `json:"copiesLaunched,omitempty"`
-	CopiesWon      int           `json:"copiesWon,omitempty"`
-	Phases         []PhaseStatus `json:"phases,omitempty"`
+	JCTMs          float64 `json:"jctMs,omitempty"`
+	PhasesDone     int     `json:"phasesDone"`
+	NumPhases      int     `json:"numPhases"`
+	RunningSlots   int     `json:"runningSlots"`
+	ReservedIdle   int     `json:"reservedIdle"`
+	TasksRun       int     `json:"tasksRun"`
+	CopiesLaunched int     `json:"copiesLaunched,omitempty"`
+	CopiesWon      int     `json:"copiesWon,omitempty"`
+	// Shard is the scheduler shard the job was routed to (always 0 on an
+	// unsharded service). BorrowedSlots and RemoteTasks count cross-shard
+	// lending activity on the job's behalf.
+	Shard         int           `json:"shard,omitempty"`
+	BorrowedSlots int           `json:"borrowedSlots,omitempty"`
+	RemoteTasks   int           `json:"remoteTasks,omitempty"`
+	Phases        []PhaseStatus `json:"phases,omitempty"`
 }
 
-// SlotStatus is the wire view of one cluster slot.
+// SlotStatus is the wire view of one cluster slot. IDs are per-shard:
+// (Shard, ID) identifies a slot on a sharded service.
 type SlotStatus struct {
 	ID    int    `json:"id"`
+	Shard int    `json:"shard,omitempty"`
 	Node  int    `json:"node"`
 	Size  int    `json:"size"`
 	State string `json:"state"`
@@ -211,15 +219,17 @@ type SlotStatus struct {
 	ReservedPhase int   `json:"reservedPhase,omitempty"`
 }
 
-// ClusterStatus is the wire view of the whole cluster.
+// ClusterStatus is the wire view of the whole cluster, aggregated across
+// shards; NumShards is set (above 1) when the service is sharded.
 type ClusterStatus struct {
-	Nodes    int          `json:"nodes"`
-	Slots    int          `json:"slots"`
-	Free     int          `json:"free"`
-	Reserved int          `json:"reserved"`
-	Busy     int          `json:"busy"`
-	Failed   int          `json:"failed"`
-	SlotList []SlotStatus `json:"slotList"`
+	Nodes     int          `json:"nodes"`
+	Slots     int          `json:"slots"`
+	Free      int          `json:"free"`
+	Reserved  int          `json:"reserved"`
+	Busy      int          `json:"busy"`
+	Failed    int          `json:"failed"`
+	NumShards int          `json:"numShards,omitempty"`
+	SlotList  []SlotStatus `json:"slotList"`
 }
 
 // SlowdownStats summarizes online slowdowns: each completed job's virtual
@@ -236,11 +246,44 @@ type SlowdownStats struct {
 	Dropped int `json:"dropped,omitempty"`
 }
 
-// MetricsStatus is the wire view of GET /metrics.
+// ShardStatus is one scheduler shard's slice of GET /metrics.
+type ShardStatus struct {
+	Shard         int `json:"shard"`
+	Nodes         int `json:"nodes"`
+	Slots         int `json:"slots"`
+	BusySlots     int `json:"busySlots"`
+	ReservedSlots int `json:"reservedSlots"`
+	FailedSlots   int `json:"failedSlots"`
+	// VirtualNowMs is the shard's own virtual clock: shards run on
+	// independent engines, so their clocks need not agree.
+	VirtualNowMs float64 `json:"virtualNowMs"`
+	Utilization  float64 `json:"utilization"`
+	JobsAssigned int     `json:"jobsAssigned"`
+	JobsPending  int     `json:"jobsPending"`
+	// SlotsLent counts this shard's slots currently checked out to
+	// borrowing siblings.
+	SlotsLent int `json:"slotsLent"`
+}
+
+// LendingStatus is the cross-shard lending broker's slice of GET /metrics.
+type LendingStatus struct {
+	Requests    int `json:"requests"`
+	Granted     int `json:"granted"`
+	Consumed    int `json:"consumed"`
+	Finished    int `json:"finished"`
+	Returned    int `json:"returned"`
+	Outstanding int `json:"outstanding"`
+}
+
+// MetricsStatus is the wire view of GET /metrics. On a sharded service the
+// top-level figures aggregate every shard (VirtualNowMs is the furthest
+// shard clock; Utilization weights each shard by its slot-seconds of
+// capacity) and Shards carries the per-shard breakdown.
 type MetricsStatus struct {
 	VirtualNowMs float64 `json:"virtualNowMs"`
 	Dilation     float64 `json:"dilation"`
 	Slots        int     `json:"slots"`
+	NumShards    int     `json:"numShards"`
 
 	BusySlots     int `json:"busySlots"`
 	ReservedSlots int `json:"reservedSlots"`
@@ -260,15 +303,22 @@ type MetricsStatus struct {
 	JobsFailed    int `json:"jobsFailed"`
 
 	EventsPublished uint64 `json:"eventsPublished"`
-	Draining        bool   `json:"draining"`
+	// DroppedSubscribers counts event-stream consumers disconnected for
+	// lagging behind the bus (they resume via Last-Event-ID).
+	DroppedSubscribers int  `json:"droppedSubscribers"`
+	Draining           bool `json:"draining"`
+
+	Shards  []ShardStatus  `json:"shards,omitempty"`
+	Lending *LendingStatus `json:"lending,omitempty"`
 
 	Slowdowns SlowdownStats `json:"slowdowns"`
 }
 
 // Event is one scheduler lifecycle event on the wire (SSE data payload).
-// Seq is a contiguous bus sequence number; TimeMs is virtual time. Phase,
-// Task, Slot, Copy and Local are meaningful only for the event types that
-// concern them (phase/attempt/reservation events).
+// Seq is a contiguous bus sequence number; TimeMs is virtual time on the
+// originating shard's clock. Phase, Task, Slot, Copy and Local are
+// meaningful only for the event types that concern them (phase/attempt/
+// reservation events); Count carries the slot count of borrow events.
 type Event struct {
 	Seq     uint64  `json:"seq"`
 	TimeMs  float64 `json:"timeMs"`
@@ -278,6 +328,8 @@ type Event struct {
 	Phase   int     `json:"phase"`
 	Task    int     `json:"task"`
 	Slot    int     `json:"slot"`
+	Shard   int     `json:"shard,omitempty"`
+	Count   int     `json:"count,omitempty"`
 	Copy    bool    `json:"copy,omitempty"`
 	Local   bool    `json:"local,omitempty"`
 }

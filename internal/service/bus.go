@@ -10,14 +10,14 @@ import "sync"
 // is dropped (its channel closed), and it can resubscribe from its last
 // seen sequence number — the standard SSE Last-Event-ID contract.
 type Bus struct {
-	mu       sync.Mutex
-	ring     []Event
-	start    int    // ring index of the oldest retained event
-	count    int    // retained events
-	nextSeq  uint64 // sequence number the next published event gets
-	subs     map[*Subscription]struct{}
-	closed   bool
-	dropped  int
+	mu      sync.Mutex
+	ring    []Event
+	start   int    // ring index of the oldest retained event
+	count   int    // retained events
+	nextSeq uint64 // sequence number the next published event gets
+	subs    map[*Subscription]struct{}
+	closed  bool
+	dropped int
 }
 
 // Subscription is one live consumer of the bus.

@@ -120,3 +120,55 @@ func TestBusCloseIdempotent(t *testing.T) {
 		t.Error("post-close subscription should be closed")
 	}
 }
+
+// TestBusLagResumeNoGapNoDup drives a slow consumer through the full SSE
+// recovery cycle: it lags, gets dropped, and resubscribes from the sequence
+// number after the last event it saw — while publishing continues — and the
+// union of what it saw before and after the drop is every sequence number
+// exactly once.
+func TestBusLagResumeNoGapNoDup(t *testing.T) {
+	const total = 400
+	b := NewBus(1 << 10)
+	_, sub := b.Subscribe(0, 4)
+	for i := 1; i <= total/2; i++ {
+		b.Publish(busEvent(int64(i), "e"))
+	}
+	if b.Dropped() != 1 {
+		t.Fatalf("Dropped = %d, want 1", b.Dropped())
+	}
+	seen := make(map[uint64]int)
+	var last uint64
+	for ev := range sub.C { // buffered events, then the drop closes C
+		seen[ev.Seq]++
+		last = ev.Seq
+	}
+	if last == 0 || last >= total/2 {
+		t.Fatalf("consumer saw up to seq %d before the drop", last)
+	}
+
+	replay, sub2 := b.Subscribe(last+1, total+16)
+	defer sub2.Cancel()
+	for _, ev := range replay {
+		seen[ev.Seq]++
+	}
+	for i := total/2 + 1; i <= total; i++ {
+		b.Publish(busEvent(int64(i), "e")) // delivered live to sub2
+	}
+	b.Close()
+	for ev := range sub2.C {
+		seen[ev.Seq]++
+	}
+
+	for seq := uint64(1); seq <= total; seq++ {
+		switch seen[seq] {
+		case 0:
+			t.Fatalf("gap: seq %d never delivered", seq)
+		case 1:
+		default:
+			t.Fatalf("duplicate: seq %d delivered %d times", seq, seen[seq])
+		}
+	}
+	if len(seen) != total {
+		t.Fatalf("saw %d distinct seqs, want %d", len(seen), total)
+	}
+}

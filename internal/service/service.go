@@ -13,6 +13,7 @@ import (
 	"ssr/internal/driver"
 	"ssr/internal/metrics"
 	"ssr/internal/realtime"
+	"ssr/internal/shard"
 	"ssr/internal/sim"
 	"ssr/internal/stats"
 	"ssr/internal/trace"
@@ -23,11 +24,27 @@ var ErrDraining = errors.New("service: draining, not admitting jobs")
 
 // Config assembles an online scheduling service.
 type Config struct {
-	// Nodes and SlotsPerNode size the simulated cluster.
+	// Nodes and SlotsPerNode size the simulated cluster. With Shards > 1
+	// the nodes are split across shards as evenly as possible
+	// (shard.NodeSplit).
 	Nodes        int
 	SlotsPerNode int
+	// Shards partitions the cluster into independent scheduler shards,
+	// each with its own engine, driver and wall-clock runner. Default 1,
+	// which behaves bit-identically to the unsharded service.
+	Shards int
+	// Router places admitted jobs onto shards (ignored with one shard).
+	// Default shard.HashRouter. Online routing sees each shard's
+	// outstanding demand rather than instantaneous slot states, which
+	// would require stalling every shard's loop on each admission.
+	Router shard.Router
+	// Lending configures cross-shard SSR slot lending (Shards > 1).
+	Lending shard.LendingConfig
 	// Driver configures the scheduling policy. Trace and OnEvent set here
-	// are honored alongside the service's own wiring.
+	// are honored alongside the service's own wiring; with Shards > 1
+	// both are invoked from every shard's loop goroutine (trace.Recorder
+	// is locked; a custom OnEvent must be concurrency-safe). Lender must
+	// be nil — the service wires its own broker.
 	Driver driver.Options
 	// Dilation is the virtual-to-real time ratio (realtime.Options).
 	Dilation float64
@@ -40,11 +57,18 @@ type Config struct {
 	// beyond it are counted as dropped. Default 256.
 	BaselineQueue int
 	// RecordTrace attaches a trace.Recorder capturing every task attempt,
-	// exportable at shutdown.
+	// exportable at shutdown. With Shards > 1 all shards share it; slot
+	// IDs in the trace are then per-shard.
 	RecordTrace bool
 }
 
 func (c Config) withDefaults() Config {
+	if c.Shards == 0 {
+		c.Shards = 1
+	}
+	if c.Router == nil {
+		c.Router = shard.HashRouter{}
+	}
 	if c.BusCapacity == 0 {
 		c.BusCapacity = 1 << 16
 	}
@@ -57,34 +81,57 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// jobEntry is the service-side record of one admitted job. It is touched
-// only on the runner's loop goroutine (Submit and the event hook both run
-// there), so it needs no lock of its own.
+// svcShard is one scheduler partition: an engine, cluster and driver of its
+// own, driven by its own wall-clock runner. Everything reachable through
+// drv is touched only on rt's loop goroutine; the placement gauges at the
+// bottom are guarded by Service.mu.
+type svcShard struct {
+	index int
+	nodes int
+	eng   *sim.Engine
+	cl    *cluster.Cluster
+	drv   *driver.Driver
+	rt    *realtime.Runner
+
+	assigned int // cumulative jobs routed here; guarded by Service.mu
+	pending  int // routed jobs not yet terminal; guarded by Service.mu
+	demand   int // peak slot demand of pending jobs; guarded by Service.mu
+}
+
+// jobEntry is the service-side record of one admitted job. All fields are
+// guarded by Service.mu; job is set once the home shard accepts the
+// submission and is immutable afterwards.
 type jobEntry struct {
-	job   *dag.Job
-	state string
+	job    *dag.Job
+	state  string
+	shard  int
+	demand int
 }
 
 type baselineReq struct {
-	job *dag.Job
-	jct time.Duration
+	job   *dag.Job
+	nodes int
+	jct   time.Duration
 }
 
-// Service is the concurrency-safe façade over a driver running in
-// wall-clock time: job admission, state snapshots, metrics and the ordered
-// event bus. Every scheduler access is serialized onto the realtime
-// runner's loop goroutine, preserving the engine's single-threaded design.
+// Service is the concurrency-safe façade over one or more drivers running
+// in wall-clock time: job admission with shard routing, state snapshots,
+// metrics and the ordered event bus. Every scheduler access is serialized
+// onto the owning shard's loop goroutine, preserving each engine's
+// single-threaded design; the cross-shard job table is guarded by a mutex
+// that is never held across a loop call, so shards stall neither each
+// other nor the admission path.
 type Service struct {
-	cfg Config
-	eng *sim.Engine
-	cl  *cluster.Cluster
-	drv *driver.Driver
-	rt  *realtime.Runner
-	bus *Bus
-	rec *trace.Recorder
+	cfg    Config
+	shards []*svcShard
+	broker *shard.Broker
+	bus    *Bus
+	rec    *trace.Recorder
 
-	// Loop-goroutine state: written by Submit/Drain bodies and the driver
-	// event hook, all of which execute on the loop goroutine.
+	// mu guards the job table, the service counters and the per-shard
+	// placement gauges. Loop goroutines take it briefly inside event
+	// hooks; nothing holds it while waiting on a runner Call.
+	mu          sync.Mutex
 	nextID      dag.JobID
 	jobs        map[dag.JobID]*jobEntry
 	order       []dag.JobID
@@ -105,45 +152,78 @@ type Service struct {
 	closeOnce sync.Once
 }
 
-// New builds and starts a service: engine, cluster, driver, event bus and
-// the wall-clock runner. The caller must Close it.
+// New builds and starts a service: per-shard engines, clusters, drivers and
+// wall-clock runners, the lending broker (Shards > 1), and the shared event
+// bus. The caller must Close it.
 func New(cfg Config) (*Service, error) {
 	cfg = cfg.withDefaults()
-	eng := sim.New()
-	cl, err := cluster.New(cfg.Nodes, cfg.SlotsPerNode)
-	if err != nil {
-		return nil, err
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("service: Shards %d must be >= 1", cfg.Shards)
+	}
+	if cfg.Nodes < cfg.Shards {
+		return nil, fmt.Errorf("service: %d nodes cannot cover %d shards", cfg.Nodes, cfg.Shards)
+	}
+	if cfg.Driver.Lender != nil {
+		return nil, errors.New("service: Driver.Lender must be nil (the service wires its broker)")
 	}
 	s := &Service{
 		cfg:    cfg,
-		eng:    eng,
-		cl:     cl,
 		bus:    NewBus(cfg.BusCapacity),
 		nextID: 1,
 		jobs:   make(map[dag.JobID]*jobEntry),
 	}
-	dopts := cfg.Driver
-	if cfg.RecordTrace && dopts.Trace == nil {
+	if cfg.RecordTrace && cfg.Driver.Trace == nil {
 		s.rec = trace.NewRecorder()
-		dopts.Trace = s.rec
 	} else {
-		s.rec = dopts.Trace
+		s.rec = cfg.Driver.Trace
 	}
-	chained := dopts.OnEvent
-	dopts.OnEvent = func(ev driver.Event) {
-		s.onDriverEvent(ev)
-		if chained != nil {
-			chained(ev)
+
+	split := shard.NodeSplit(cfg.Nodes, cfg.Shards)
+	for i := 0; i < cfg.Shards; i++ {
+		eng := sim.New()
+		cl, err := cluster.New(split[i], cfg.SlotsPerNode)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		rt, err := realtime.New(eng, realtime.Options{Dilation: cfg.Dilation})
+		if err != nil {
+			return nil, err
+		}
+		s.shards = append(s.shards, &svcShard{index: i, nodes: split[i], eng: eng, cl: cl, rt: rt})
+	}
+
+	if cfg.Shards > 1 && !cfg.Lending.Disabled {
+		peers := make([]shard.Peer, cfg.Shards)
+		for i, sh := range s.shards {
+			peers[i] = shard.Peer{Cluster: sh.cl, Call: sh.rt.Call}
+		}
+		s.broker = shard.NewAsyncBroker(peers, cfg.Lending)
+	}
+
+	for i, sh := range s.shards {
+		i, sh := i, sh
+		dopts := cfg.Driver
+		dopts.Trace = s.rec
+		chained := cfg.Driver.OnEvent
+		dopts.OnEvent = func(ev driver.Event) {
+			s.onDriverEvent(i, ev)
+			if chained != nil {
+				chained(ev)
+			}
+		}
+		if s.broker != nil {
+			dopts.Lender = s.broker.Lender(i)
+		}
+		drv, err := driver.New(sh.eng, sh.cl, dopts)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		sh.drv = drv
+		if s.broker != nil {
+			s.broker.BindDriver(i, drv)
 		}
 	}
-	s.drv, err = driver.New(eng, cl, dopts)
-	if err != nil {
-		return nil, err
-	}
-	s.rt, err = realtime.New(eng, realtime.Options{Dilation: cfg.Dilation})
-	if err != nil {
-		return nil, err
-	}
+
 	if cfg.BaselineWorkers > 0 {
 		s.baselineCh = make(chan baselineReq, cfg.BaselineQueue)
 		for i := 0; i < cfg.BaselineWorkers; i++ {
@@ -151,15 +231,25 @@ func New(cfg Config) (*Service, error) {
 			go s.baselineWorker()
 		}
 	}
-	s.rt.Start()
+	for _, sh := range s.shards {
+		sh.rt.Start()
+	}
 	return s, nil
 }
 
-// Close stops the wall-clock loop, the baseline workers and the bus. It
-// does not wait for in-flight jobs; use Drain first for a graceful stop.
+// Close stops the lending broker, every shard's wall-clock loop, the
+// baseline workers and the bus. It does not wait for in-flight jobs; use
+// Drain first for a graceful stop.
 func (s *Service) Close() {
 	s.closeOnce.Do(func() {
-		s.rt.Stop()
+		if s.broker != nil {
+			// Drain pending grants/releases while the runners still
+			// accept calls, so no slot is stranded mid-loan.
+			s.broker.Close()
+		}
+		for _, sh := range s.shards {
+			sh.rt.Stop()
+		}
 		if s.baselineCh != nil {
 			close(s.baselineCh)
 		}
@@ -169,16 +259,34 @@ func (s *Service) Close() {
 }
 
 // Dilation returns the configured virtual-to-real time ratio.
-func (s *Service) Dilation() float64 { return s.rt.Dilation() }
+func (s *Service) Dilation() float64 { return s.shards[0].rt.Dilation() }
+
+// NumShards returns the number of scheduler shards.
+func (s *Service) NumShards() int { return len(s.shards) }
+
+// Broker returns the cross-shard lending broker, or nil when lending is
+// off (one shard, or disabled by config).
+func (s *Service) Broker() *shard.Broker { return s.broker }
 
 // Trace returns the attached trace recorder, or nil.
 func (s *Service) Trace() *trace.Recorder { return s.rec }
 
-// Call runs fn on the scheduler's loop goroutine with exclusive access to
-// the driver (and, through it, the engine and cluster). It exists for
-// tests and tools that need views the wire API does not expose.
+// Call runs fn on shard 0's loop goroutine with exclusive access to that
+// shard's driver (and, through it, its engine and cluster). It exists for
+// tests and tools that need views the wire API does not expose; sharded
+// services expose the other partitions through CallShard.
 func (s *Service) Call(fn func(d *driver.Driver)) error {
-	return s.rt.Call(func() { fn(s.drv) })
+	return s.CallShard(0, fn)
+}
+
+// CallShard runs fn on shard i's loop goroutine with exclusive access to
+// that shard's driver.
+func (s *Service) CallShard(i int, fn func(d *driver.Driver)) error {
+	if i < 0 || i >= len(s.shards) {
+		return fmt.Errorf("service: no shard %d", i)
+	}
+	sh := s.shards[i]
+	return sh.rt.Call(func() { fn(sh.drv) })
 }
 
 // Subscribe attaches an event consumer resuming at sequence number since;
@@ -187,50 +295,117 @@ func (s *Service) Subscribe(since uint64, buffer int) ([]Event, *Subscription) {
 	return s.bus.Subscribe(since, buffer)
 }
 
-// Submit validates and admits a job at the current virtual time, returning
-// its assigned ID as part of the initial status. It fails with ErrDraining
-// once a drain has begun.
+// loadsLocked snapshots every shard's occupancy for the router. Online,
+// Busy is the outstanding peak demand routed to the shard (the instant
+// slot states live on K loop goroutines; stalling them all per admission
+// would serialize the service), so routing tracks commitments rather than
+// the momentary schedule. Callers hold s.mu.
+func (s *Service) loadsLocked() []shard.Load {
+	out := make([]shard.Load, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = shard.Load{
+			Slots:    sh.cl.NumSlots(),
+			Busy:     sh.demand,
+			Pending:  sh.pending,
+			Assigned: sh.assigned,
+		}
+	}
+	return out
+}
+
+// Submit validates and admits a job at the current virtual time, routing it
+// to a shard, and returns its assigned ID as part of the initial status. It
+// fails with ErrDraining once a drain has begun.
 func (s *Service) Submit(spec JobSpec) (JobStatus, error) {
 	if err := spec.Validate(); err != nil {
 		return JobStatus{}, err
 	}
+	// Shape-only build: the router needs the job's parallelism and demand
+	// before a home shard (and so a submission timestamp) exists.
+	probe, err := spec.build(1, 0)
+	if err != nil {
+		return JobStatus{}, err
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return JobStatus{}, ErrDraining
+	}
+	id := s.nextID
+	s.nextID++
+	idx := s.cfg.Router.Pick(shard.JobInfo{
+		ID:             id,
+		Name:           spec.Name,
+		Priority:       dag.Priority(spec.Priority),
+		MaxParallelism: probe.MaxParallelism(),
+		TotalTasks:     probe.TotalTasks(),
+		MaxDemand:      probe.MaxDemand(),
+	}, s.loadsLocked())
+	if idx < 0 || idx >= len(s.shards) {
+		s.mu.Unlock()
+		return JobStatus{}, fmt.Errorf("service: router %s picked out-of-range shard %d", s.cfg.Router.Name(), idx)
+	}
+	sh := s.shards[idx]
+	entry := &jobEntry{state: StatePending, shard: idx, demand: probe.MaxParallelism()}
+	s.jobs[id] = entry
+	s.order = append(s.order, id)
+	s.submitted++
+	s.outstanding++
+	sh.assigned++
+	sh.pending++
+	sh.demand += entry.demand
+	s.mu.Unlock()
+
 	var (
 		status JobStatus
 		serr   error
 	)
-	err := s.rt.Call(func() {
-		if s.draining {
-			serr = ErrDraining
-			return
-		}
-		id := s.nextID
-		job, err := spec.build(id, s.eng.Now())
+	err = sh.rt.Call(func() {
+		job, err := spec.build(id, sh.eng.Now())
 		if err != nil {
 			serr = err
 			return
 		}
-		if err := s.drv.Submit(job); err != nil {
+		if err := sh.drv.Submit(job); err != nil {
 			serr = err
 			return
 		}
-		s.nextID++
-		entry := &jobEntry{job: job, state: StatePending}
-		s.jobs[id] = entry
-		s.order = append(s.order, id)
-		s.submitted++
-		s.outstanding++
-		status = s.statusOf(id, entry)
+		s.mu.Lock()
+		entry.job = job
+		status = s.statusOfLocked(sh, id, entry)
+		s.mu.Unlock()
 	})
-	if err != nil {
-		return JobStatus{}, err
+	if err == nil && serr == nil {
+		return status, nil
 	}
-	return status, serr
+	// The home shard refused (or its loop is gone): roll the admission back.
+	s.mu.Lock()
+	delete(s.jobs, id)
+	for i, oid := range s.order {
+		if oid == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	s.submitted--
+	s.outstanding--
+	sh.assigned--
+	sh.pending--
+	sh.demand -= entry.demand
+	s.mu.Unlock()
+	if serr != nil {
+		return JobStatus{}, serr
+	}
+	return JobStatus{}, err
 }
 
-// onDriverEvent bridges driver lifecycle events onto the bus and keeps the
-// service's job-state machine in step. It runs on the loop goroutine,
-// inside the simulation event that caused it.
-func (s *Service) onDriverEvent(ev driver.Event) {
+// onDriverEvent bridges one shard's driver lifecycle events onto the shared
+// bus and keeps the service's job-state machine in step. It runs on the
+// originating shard's loop goroutine, inside the simulation event that
+// caused it; with multiple shards the bus interleaves their streams, so
+// wire timestamps are monotone per shard, not globally.
+func (s *Service) onDriverEvent(shardIdx int, ev driver.Event) {
 	s.bus.Publish(Event{
 		TimeMs:  msOf(ev.Time),
 		Type:    ev.Type.String(),
@@ -241,11 +416,17 @@ func (s *Service) onDriverEvent(ev driver.Event) {
 		Slot:    int(ev.Slot),
 		Copy:    ev.Copy,
 		Local:   ev.Local,
+		Shard:   shardIdx,
+		Count:   ev.Count,
 	})
+	s.mu.Lock()
 	entry, ok := s.jobs[ev.Job]
-	if !ok {
+	if !ok || entry.shard != shardIdx {
+		s.mu.Unlock()
 		return // static-partition sentinel or pre-service job
 	}
+	var baseJob *dag.Job
+	var baseNodes int
 	switch ev.Type {
 	case driver.EventJobStart:
 		entry.state = StateRunning
@@ -257,9 +438,10 @@ func (s *Service) onDriverEvent(ev driver.Event) {
 		entry.state = StateCompleted
 		s.completed++
 		s.outstanding--
-		if st, found := s.drv.Result(ev.Job); found {
-			s.requestBaseline(entry.job, st.JCT())
-		}
+		s.shards[shardIdx].pending--
+		s.shards[shardIdx].demand -= entry.demand
+		baseJob = entry.job
+		baseNodes = s.shards[shardIdx].nodes
 	case driver.EventJobFail:
 		if entry.state == StateRunning {
 			s.running--
@@ -267,20 +449,32 @@ func (s *Service) onDriverEvent(ev driver.Event) {
 		entry.state = StateFailed
 		s.failed++
 		s.outstanding--
+		s.shards[shardIdx].pending--
+		s.shards[shardIdx].demand -= entry.demand
+	}
+	s.mu.Unlock()
+	if baseJob != nil {
+		// Slowdown baselines run alone on a cluster shaped like the home
+		// shard: that is the isolation the paper's metric normalizes by.
+		if st, found := s.shards[shardIdx].drv.Result(ev.Job); found {
+			s.requestBaseline(baseJob, baseNodes, st.JCT())
+		}
 	}
 }
 
-// statusOf builds the wire view of one job; loop goroutine only.
-func (s *Service) statusOf(id dag.JobID, entry *jobEntry) JobStatus {
+// statusOfLocked builds the wire view of one job. Callers hold s.mu and run
+// on the job's home-shard loop goroutine (sh is the home shard).
+func (s *Service) statusOfLocked(sh *svcShard, id dag.JobID, entry *jobEntry) JobStatus {
 	st := JobStatus{
 		ID:          int64(id),
 		Name:        entry.job.Name,
 		State:       entry.state,
+		Shard:       entry.shard,
 		Priority:    int(entry.job.Priority),
 		SubmittedMs: msOf(entry.job.Submit),
 		NumPhases:   entry.job.NumPhases(),
 	}
-	if p, ok := s.drv.Progress(id); ok {
+	if p, ok := sh.drv.Progress(id); ok {
 		st.PhasesDone = p.PhasesDone
 		st.RunningSlots = p.RunningSlots
 		st.ReservedIdle = p.ReservedIdle
@@ -298,10 +492,12 @@ func (s *Service) statusOf(id dag.JobID, entry *jobEntry) JobStatus {
 			st.Phases = append(st.Phases, ps)
 		}
 	}
-	if js, ok := s.drv.Result(id); ok {
+	if js, ok := sh.drv.Result(id); ok {
 		st.TasksRun = js.TasksRun
 		st.CopiesLaunched = js.CopiesLaunched
 		st.CopiesWon = js.CopiesWon
+		st.BorrowedSlots = js.BorrowedSlots
+		st.RemoteTasks = js.RemoteTasks
 		if TerminalState(entry.state) {
 			st.FinishedMs = msOf(js.Finish)
 			st.JCTMs = msOf(js.JCT())
@@ -312,91 +508,187 @@ func (s *Service) statusOf(id dag.JobID, entry *jobEntry) JobStatus {
 
 // Status returns one job's wire view; found is false for unknown IDs.
 func (s *Service) Status(id int64) (JobStatus, bool, error) {
-	var (
-		st    JobStatus
-		found bool
-	)
-	err := s.rt.Call(func() {
-		entry, ok := s.jobs[dag.JobID(id)]
-		if !ok {
-			return
-		}
-		found = true
-		st = s.statusOf(dag.JobID(id), entry)
+	s.mu.Lock()
+	entry, ok := s.jobs[dag.JobID(id)]
+	s.mu.Unlock()
+	if !ok {
+		return JobStatus{}, false, nil
+	}
+	sh := s.shards[entry.shard]
+	var st JobStatus
+	err := sh.rt.Call(func() {
+		s.mu.Lock()
+		st = s.statusOfLocked(sh, dag.JobID(id), entry)
+		s.mu.Unlock()
 	})
-	return st, found, err
+	return st, true, err
 }
 
 // List returns every admitted job in submission order.
 func (s *Service) List() ([]JobStatus, error) {
-	var out []JobStatus
-	err := s.rt.Call(func() {
-		out = make([]JobStatus, 0, len(s.order))
-		for _, id := range s.order {
-			out = append(out, s.statusOf(id, s.jobs[id]))
+	s.mu.Lock()
+	ids := append([]dag.JobID(nil), s.order...)
+	entries := make([]*jobEntry, len(ids))
+	perShard := make([][]int, len(s.shards))
+	for i, id := range ids {
+		e := s.jobs[id]
+		entries[i] = e
+		perShard[e.shard] = append(perShard[e.shard], i)
+	}
+	s.mu.Unlock()
+	out := make([]JobStatus, len(ids))
+	for k, members := range perShard {
+		if len(members) == 0 {
+			continue
 		}
-	})
-	return out, err
+		sh := s.shards[k]
+		err := sh.rt.Call(func() {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			for _, i := range members {
+				out[i] = s.statusOfLocked(sh, ids[i], entries[i])
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }
 
-// Cluster returns the per-slot cluster view.
+// Cluster returns the per-slot cluster view, aggregated across shards.
+// Slot IDs are per-shard; the Shard field disambiguates them.
 func (s *Service) Cluster() (ClusterStatus, error) {
 	var cs ClusterStatus
-	err := s.rt.Call(func() {
-		cs = ClusterStatus{
-			Nodes:    s.cl.NumNodes(),
-			Slots:    s.cl.NumSlots(),
-			Free:     s.cl.CountState(cluster.Free),
-			Reserved: s.cl.CountState(cluster.Reserved),
-			Busy:     s.cl.CountState(cluster.Busy),
-			Failed:   s.cl.CountState(cluster.Failed),
-		}
-		cs.SlotList = make([]SlotStatus, cs.Slots)
-		for i := 0; i < cs.Slots; i++ {
-			slot := s.cl.Slot(cluster.SlotID(i))
-			ss := SlotStatus{
-				ID:    int(slot.ID),
-				Node:  slot.Node,
-				Size:  slot.Size,
-				State: slot.State().String(),
+	if len(s.shards) > 1 {
+		cs.NumShards = len(s.shards)
+	}
+	for _, sh := range s.shards {
+		sh := sh
+		err := sh.rt.Call(func() {
+			cs.Nodes += sh.cl.NumNodes()
+			cs.Slots += sh.cl.NumSlots()
+			cs.Free += sh.cl.CountState(cluster.Free)
+			cs.Reserved += sh.cl.CountState(cluster.Reserved)
+			cs.Busy += sh.cl.CountState(cluster.Busy)
+			cs.Failed += sh.cl.CountState(cluster.Failed)
+			for i := 0; i < sh.cl.NumSlots(); i++ {
+				slot := sh.cl.Slot(cluster.SlotID(i))
+				ss := SlotStatus{
+					ID:    int(slot.ID),
+					Shard: sh.index,
+					Node:  slot.Node,
+					Size:  slot.Size,
+					State: slot.State().String(),
+				}
+				if res, ok := slot.Reservation(); ok {
+					ss.ReservedJob = int64(res.Job)
+					ss.ReservedPhase = res.Phase
+				}
+				cs.SlotList = append(cs.SlotList, ss)
 			}
-			if res, ok := slot.Reservation(); ok {
-				ss.ReservedJob = int64(res.Job)
-				ss.ReservedPhase = res.Phase
-			}
-			cs.SlotList[i] = ss
+		})
+		if err != nil {
+			return cs, err
 		}
-	})
-	return cs, err
+	}
+	return cs, nil
 }
 
-// Metrics returns the service-wide metrics view.
+// Metrics returns the service-wide metrics view: federated totals plus a
+// per-shard breakdown (and lending-broker counters) when sharded.
 func (s *Service) Metrics() (MetricsStatus, error) {
-	var ms MetricsStatus
-	err := s.rt.Call(func() {
-		now := s.eng.Now()
-		usage := s.drv.Usage()
-		ms = MetricsStatus{
-			VirtualNowMs:     msOf(now),
-			Dilation:         s.rt.Dilation(),
-			Slots:            s.cl.NumSlots(),
-			BusySlots:        s.cl.CountState(cluster.Busy),
-			ReservedSlots:    s.cl.CountState(cluster.Reserved),
-			FailedSlots:      s.cl.CountState(cluster.Failed),
-			Utilization:      usage.Utilization(now),
-			ReservedFraction: usage.ReservedFraction(now),
-			BusySlotSec:      usage.BusyTime().Seconds(),
-			ReservedIdleSec:  usage.ReservedIdleTime().Seconds(),
-			JobsSubmitted:    s.submitted,
-			JobsRunning:      s.running,
-			JobsCompleted:    s.completed,
-			JobsFailed:       s.failed,
-			EventsPublished:  s.bus.Published(),
-			Draining:         s.draining,
+	type snap struct {
+		now                    sim.Time
+		busy, reserved, failed int
+		slots                  int
+		busySec, reservedSec   float64
+	}
+	snaps := make([]snap, len(s.shards))
+	for i, sh := range s.shards {
+		i, sh := i, sh
+		err := sh.rt.Call(func() {
+			usage := sh.drv.Usage()
+			snaps[i] = snap{
+				now:         sh.eng.Now(),
+				busy:        sh.cl.CountState(cluster.Busy),
+				reserved:    sh.cl.CountState(cluster.Reserved),
+				failed:      sh.cl.CountState(cluster.Failed),
+				slots:       sh.cl.NumSlots(),
+				busySec:     usage.BusyTime().Seconds(),
+				reservedSec: usage.ReservedIdleTime().Seconds(),
+			}
+		})
+		if err != nil {
+			return MetricsStatus{}, err
 		}
-	})
-	if err != nil {
-		return ms, err
+	}
+
+	ms := MetricsStatus{
+		Dilation:           s.Dilation(),
+		NumShards:          len(s.shards),
+		EventsPublished:    s.bus.Published(),
+		DroppedSubscribers: s.bus.Dropped(),
+	}
+	var capSec float64 // slot-seconds of capacity across shards
+	for _, sn := range snaps {
+		if msv := msOf(sn.now); msv > ms.VirtualNowMs {
+			ms.VirtualNowMs = msv
+		}
+		ms.Slots += sn.slots
+		ms.BusySlots += sn.busy
+		ms.ReservedSlots += sn.reserved
+		ms.FailedSlots += sn.failed
+		ms.BusySlotSec += sn.busySec
+		ms.ReservedIdleSec += sn.reservedSec
+		capSec += sn.now.Seconds() * float64(sn.slots)
+	}
+	if capSec > 0 {
+		ms.Utilization = ms.BusySlotSec / capSec
+		ms.ReservedFraction = ms.ReservedIdleSec / capSec
+	}
+
+	s.mu.Lock()
+	ms.JobsSubmitted = s.submitted
+	ms.JobsRunning = s.running
+	ms.JobsCompleted = s.completed
+	ms.JobsFailed = s.failed
+	ms.Draining = s.draining
+	if len(s.shards) > 1 {
+		for i, sh := range s.shards {
+			sn := snaps[i]
+			sd := ShardStatus{
+				Shard:         sh.index,
+				Nodes:         sh.nodes,
+				Slots:         sn.slots,
+				BusySlots:     sn.busy,
+				ReservedSlots: sn.reserved,
+				FailedSlots:   sn.failed,
+				VirtualNowMs:  msOf(sn.now),
+				JobsAssigned:  sh.assigned,
+				JobsPending:   sh.pending,
+			}
+			if sec := sn.now.Seconds() * float64(sn.slots); sec > 0 {
+				sd.Utilization = sn.busySec / sec
+			}
+			if s.broker != nil {
+				sd.SlotsLent = s.broker.LentBy(i)
+			}
+			ms.Shards = append(ms.Shards, sd)
+		}
+	}
+	s.mu.Unlock()
+
+	if s.broker != nil {
+		ls := s.broker.Stats()
+		ms.Lending = &LendingStatus{
+			Requests:    ls.Requests,
+			Granted:     ls.Granted,
+			Consumed:    ls.Consumed,
+			Finished:    ls.Finished,
+			Returned:    ls.Returned,
+			Outstanding: s.broker.Outstanding(),
+		}
 	}
 	ms.Slowdowns = s.slowdownStats()
 	return ms, nil
@@ -404,50 +696,65 @@ func (s *Service) Metrics() (MetricsStatus, error) {
 
 // Drain performs the graceful-shutdown protocol: stop admitting (Submit
 // returns ErrDraining), wait for in-flight jobs to finish, and — if ctx
-// expires first — abort whatever is left. It returns the number of jobs
-// aborted. The service is still usable for reads afterwards; call Close to
-// stop the loop.
+// expires first — abort whatever is left, shard by shard. It returns the
+// number of jobs aborted. The service is still usable for reads afterwards;
+// call Close to stop the loops.
 func (s *Service) Drain(ctx context.Context) (int, error) {
-	if err := s.rt.Call(func() { s.draining = true }); err != nil {
-		return 0, err
-	}
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
 	ticker := time.NewTicker(5 * time.Millisecond)
 	defer ticker.Stop()
 	for {
-		var left int
-		if err := s.rt.Call(func() { left = s.outstanding }); err != nil {
-			return 0, err
-		}
+		s.mu.Lock()
+		left := s.outstanding
+		s.mu.Unlock()
 		if left == 0 {
 			return 0, nil
 		}
 		select {
 		case <-ctx.Done():
+			s.mu.Lock()
+			victims := make([][]dag.JobID, len(s.shards))
+			for _, id := range s.order {
+				if entry := s.jobs[id]; !TerminalState(entry.state) {
+					victims[entry.shard] = append(victims[entry.shard], id)
+				}
+			}
+			s.mu.Unlock()
 			aborted := 0
-			err := s.rt.Call(func() {
-				for _, id := range s.order {
-					if entry := s.jobs[id]; !TerminalState(entry.state) {
-						if err := s.drv.Abort(id); err == nil {
+			for k, ids := range victims {
+				if len(ids) == 0 {
+					continue
+				}
+				sh := s.shards[k]
+				err := sh.rt.Call(func() {
+					for _, id := range ids {
+						// A job may have finished since the snapshot;
+						// Abort then errors and is not counted.
+						if err := sh.drv.Abort(id); err == nil {
 							aborted++
 						}
 					}
+				})
+				if err != nil {
+					return aborted, err
 				}
-			})
-			return aborted, err
+			}
+			return aborted, nil
 		case <-ticker.C:
 		}
 	}
 }
 
-// requestBaseline enqueues an alone-JCT computation for a completed job;
-// loop goroutine only. A full queue drops the sample (counted) rather than
-// stalling the scheduler.
-func (s *Service) requestBaseline(job *dag.Job, jct time.Duration) {
+// requestBaseline enqueues an alone-JCT computation for a completed job. A
+// full queue drops the sample (counted) rather than stalling the scheduler.
+func (s *Service) requestBaseline(job *dag.Job, nodes int, jct time.Duration) {
 	if s.baselineCh == nil {
 		return
 	}
 	select {
-	case s.baselineCh <- baselineReq{job: job, jct: jct}:
+	case s.baselineCh <- baselineReq{job: job, nodes: nodes, jct: jct}:
 	default:
 		s.sdMu.Lock()
 		s.sdDropped++
@@ -455,13 +762,14 @@ func (s *Service) requestBaseline(job *dag.Job, jct time.Duration) {
 	}
 }
 
-// baselineWorker computes slowdown denominators off the loop goroutine.
-// Each alone-run uses a fresh engine and cluster, so it is independent of
-// the live scheduler and safe to run concurrently.
+// baselineWorker computes slowdown denominators off the loop goroutines.
+// Each alone-run uses a fresh engine and a cluster shaped like the job's
+// home shard, so it is independent of the live scheduler and safe to run
+// concurrently.
 func (s *Service) baselineWorker() {
 	defer s.baselineWG.Done()
 	for req := range s.baselineCh {
-		alone, err := driver.AloneJCT(req.job, s.cfg.Nodes, s.cfg.SlotsPerNode, s.cfg.Driver)
+		alone, err := driver.AloneJCT(req.job, req.nodes, s.cfg.SlotsPerNode, s.cfg.Driver)
 		s.sdMu.Lock()
 		if err != nil || alone <= 0 {
 			s.sdDropped++
@@ -492,6 +800,11 @@ func (s *Service) slowdownStats() SlowdownStats {
 
 // String identifies the service configuration for logs.
 func (s *Service) String() string {
+	if len(s.shards) > 1 {
+		return fmt.Sprintf("service: %d nodes x %d slots over %d shards (%s routing), mode %v, dilation %gx",
+			s.cfg.Nodes, s.cfg.SlotsPerNode, len(s.shards), s.cfg.Router.Name(),
+			s.cfg.Driver.Mode, s.Dilation())
+	}
 	return fmt.Sprintf("service: %d nodes x %d slots, mode %v, dilation %gx",
-		s.cfg.Nodes, s.cfg.SlotsPerNode, s.cfg.Driver.Mode, s.rt.Dilation())
+		s.cfg.Nodes, s.cfg.SlotsPerNode, s.cfg.Driver.Mode, s.Dilation())
 }

@@ -1,0 +1,454 @@
+package shard
+
+import (
+	"sync"
+
+	"ssr/internal/cluster"
+	"ssr/internal/dag"
+	"ssr/internal/driver"
+	"ssr/internal/sim"
+)
+
+// LendingConfig parameterizes the cross-shard lending broker.
+type LendingConfig struct {
+	// Disabled turns cross-shard lending off; every shard then schedules
+	// strictly within its own partition.
+	Disabled bool
+	// MaxLendFraction caps how much of a shard's capacity may be lent out
+	// at once, so a borrowing storm cannot starve the lender's own
+	// workload. Default 0.5.
+	MaxLendFraction float64
+}
+
+func (c LendingConfig) withDefaults() LendingConfig {
+	if c.MaxLendFraction == 0 {
+		c.MaxLendFraction = 0.5
+	}
+	return c
+}
+
+// LoanStats aggregates the broker's lifetime lending activity.
+type LoanStats struct {
+	// Requests counts Borrow calls that reached the broker.
+	Requests int
+	// Granted counts slots checked out to borrowers.
+	Granted int
+	// Consumed counts grants that went on to run a task.
+	Consumed int
+	// Finished counts consumed grants released after their task ended.
+	Finished int
+	// Returned counts idle grants handed back unused (deadline expiry,
+	// reconciliation, or job end).
+	Returned int
+}
+
+// Peer is one shard as the broker reaches it. The broker checks slots out
+// of a peer's cluster and releases them back strictly inside the peer's
+// engine context, supplied by Call / At.
+type Peer struct {
+	// Cluster is the shard's slot pool.
+	Cluster *cluster.Cluster
+	// Driver is the shard's scheduler; the broker pokes it when a loan
+	// returns capacity, and resolves asynchronous borrows through it.
+	Driver *driver.Driver
+	// Call runs fn synchronously in the shard's engine context. The
+	// offline federation steps every engine on one goroutine, so its
+	// Call just invokes fn; the online service passes
+	// realtime.Runner.Call. A Call error (runner stopped) aborts the
+	// operation silently.
+	Call func(fn func()) error
+	// At schedules fn in the shard's engine context at virtual time t.
+	// Only the offline federation sets it (t is the global instant of
+	// the triggering event, always >= the shard's local clock); the
+	// online broker defers through Call on its worker goroutine instead.
+	At func(t sim.Time, fn func())
+	// Now reports the shard's current virtual clock; used with At.
+	Now func() sim.Time
+}
+
+// loanRec is the broker's record of one checked-out slot.
+type loanRec struct {
+	id       driver.LoanID
+	job      dag.JobID
+	phase    int // borrowing phase
+	home     int // borrower shard
+	size     int // slot capacity
+	consumed bool
+}
+
+// Broker implements cross-shard SSR pre-reservation: when a borrowing
+// shard's phase is past threshold R with unmet quota, the broker checks
+// idle unreserved slots out of sibling shards (the checkout shows as Busy
+// on the owner, so the owner cannot double-book it) and hands them to the
+// borrower as driver loans. Slots travel home when the borrowed task
+// finishes, the phase's reservation deadline D expires, or the job ends.
+//
+// The broker runs in one of two modes. Synchronous (offline): every shard
+// is stepped by one goroutine, so grants and record-keeping happen inline
+// and releases are scheduled on the owner's engine at the global instant.
+// Asynchronous (online): each shard has its own event loop; Borrow queues
+// the request for the broker's worker goroutine, which grabs slots via the
+// owner's Call and delivers the outcome through Driver.ResolveLoan on the
+// borrower's loop. Record flips (Consume/Unconsume) never touch owner
+// state, so no loop goroutine ever blocks on another loop.
+type Broker struct {
+	cfg   LendingConfig
+	peers []Peer
+	async bool
+
+	mu     sync.Mutex
+	lent   []int // per owner shard: slots currently checked out
+	loans  map[dag.JobID][]*loanRec
+	byID   map[driver.LoanID]*loanRec
+	stats  LoanStats
+	closed bool
+
+	// Asynchronous mode: an unbounded op queue drained by one worker, so
+	// loop goroutines never block enqueueing.
+	ops    []func()
+	signal chan struct{}
+	done   chan struct{}
+}
+
+// NewBroker creates a synchronous (offline) broker over the given peers.
+func NewBroker(peers []Peer, cfg LendingConfig) *Broker {
+	return &Broker{
+		cfg:   cfg.withDefaults(),
+		peers: peers,
+		lent:  make([]int, len(peers)),
+		loans: make(map[dag.JobID][]*loanRec),
+		byID:  make(map[driver.LoanID]*loanRec),
+	}
+}
+
+// NewAsyncBroker creates an asynchronous (online) broker over the given
+// peers and starts its worker goroutine. Close must be called to stop it.
+func NewAsyncBroker(peers []Peer, cfg LendingConfig) *Broker {
+	b := NewBroker(peers, cfg)
+	b.async = true
+	b.signal = make(chan struct{}, 1)
+	b.done = make(chan struct{})
+	go b.worker()
+	return b
+}
+
+// Close stops an asynchronous broker's worker after it drains queued work.
+// Synchronous brokers need no Close. Pending releases are still delivered
+// through peer Calls, which report stopped runners as errors the broker
+// ignores.
+func (b *Broker) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	b.mu.Unlock()
+	if b.async {
+		select {
+		case b.signal <- struct{}{}:
+		default:
+		}
+		<-b.done
+	}
+}
+
+// Stats returns a snapshot of lifetime lending activity.
+func (b *Broker) Stats() LoanStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}
+
+// Outstanding returns the number of slots currently checked out across the
+// federation.
+func (b *Broker) Outstanding() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	for _, l := range b.lent {
+		n += l
+	}
+	return n
+}
+
+// LentBy returns how many of shard i's slots are currently checked out.
+func (b *Broker) LentBy(i int) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.lent[i]
+}
+
+// Lender returns shard home's driver-facing lending hook.
+func (b *Broker) Lender(home int) driver.SlotLender {
+	return &lenderView{b: b, home: home}
+}
+
+// BindDriver attaches shard i's driver after construction. The broker and
+// the drivers reference each other, so callers build the broker first
+// (handing each driver its Lender) and bind the drivers once they exist,
+// before any job is submitted.
+func (b *Broker) BindDriver(i int, d *driver.Driver) {
+	b.peers[i].Driver = d
+}
+
+// enqueue appends an op to the asynchronous worker's queue.
+func (b *Broker) enqueue(op func()) bool {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return false
+	}
+	b.ops = append(b.ops, op)
+	b.mu.Unlock()
+	select {
+	case b.signal <- struct{}{}:
+	default:
+	}
+	return true
+}
+
+// worker drains the op queue until Close.
+func (b *Broker) worker() {
+	defer close(b.done)
+	for {
+		b.mu.Lock()
+		var op func()
+		if len(b.ops) > 0 {
+			op = b.ops[0]
+			b.ops = b.ops[1:]
+		} else if b.closed {
+			b.mu.Unlock()
+			return
+		}
+		b.mu.Unlock()
+		if op != nil {
+			op()
+			continue
+		}
+		<-b.signal
+	}
+}
+
+// allowance returns how many more slots shard o may lend right now.
+func (b *Broker) allowance(o int) int {
+	cap := int(b.cfg.MaxLendFraction * float64(b.peers[o].Cluster.NumSlots()))
+	return cap - b.lent[o]
+}
+
+// grant checks out up to req.Want free slots from home's siblings, visiting
+// them in the deterministic order home+1 .. home+K-1 (mod K), and records
+// the loans. It returns the number granted. Asynchronous mode runs it on
+// the worker goroutine only, so grants are serialized and the per-owner
+// lending cap cannot be overshot.
+func (b *Broker) grant(home int, req driver.LoanRequest) int {
+	granted := 0
+	k := len(b.peers)
+	for off := 1; off < k && granted < req.Want; off++ {
+		o := (home + off) % k
+		b.mu.Lock()
+		allow := b.allowance(o)
+		b.mu.Unlock()
+		if allow > req.Want-granted {
+			allow = req.Want - granted
+		}
+		if allow <= 0 {
+			continue
+		}
+		type grab struct {
+			slot cluster.SlotID
+			size int
+		}
+		var got []grab
+		peer := b.peers[o]
+		err := peer.Call(func() {
+			for len(got) < allow {
+				slot, ok := peer.Cluster.AcquireFree(req.MinSize)
+				if !ok {
+					break
+				}
+				got = append(got, grab{slot, peer.Cluster.Slot(slot).Size})
+			}
+		})
+		if err != nil || len(got) == 0 {
+			continue
+		}
+		b.mu.Lock()
+		for _, g := range got {
+			rec := &loanRec{
+				id:    driver.LoanID{Shard: o, Slot: g.slot},
+				job:   req.Job,
+				phase: req.Phase,
+				home:  home,
+				size:  g.size,
+			}
+			b.loans[req.Job] = append(b.loans[req.Job], rec)
+			b.byID[rec.id] = rec
+			b.lent[o]++
+			b.stats.Granted++
+		}
+		b.mu.Unlock()
+		granted += len(got)
+	}
+	return granted
+}
+
+// release sends one checked-out slot home: the slot is freed in the owner's
+// engine context and the owner's scheduler poked to re-match waiting work.
+// The caller must already have removed the loan record.
+func (b *Broker) release(rec *loanRec, now sim.Time) {
+	owner := rec.id.Shard
+	peer := b.peers[owner]
+	fn := func() {
+		// The slot can be gone: a node failure on the owner marks leased
+		// slots Failed, and recovery returns them straight to the pool.
+		if s := peer.Cluster.Slot(rec.id.Slot); s != nil && s.State() == cluster.Busy {
+			if err := peer.Cluster.Release(rec.id.Slot); err == nil {
+				peer.Driver.Poke()
+			}
+		}
+	}
+	if b.async {
+		b.enqueue(func() { _ = peer.Call(fn) })
+		return
+	}
+	peer.At(now, fn)
+}
+
+// removeLocked deletes a loan record. Caller holds b.mu.
+func (b *Broker) removeLocked(rec *loanRec) {
+	delete(b.byID, rec.id)
+	recs := b.loans[rec.job]
+	for i, r := range recs {
+		if r == rec {
+			b.loans[rec.job] = append(recs[:i], recs[i+1:]...)
+			break
+		}
+	}
+	if len(b.loans[rec.job]) == 0 {
+		delete(b.loans, rec.job)
+	}
+	b.lent[rec.id.Shard]--
+}
+
+// lenderView adapts the broker to one borrowing shard's driver.
+type lenderView struct {
+	b    *Broker
+	home int
+}
+
+var _ driver.SlotLender = (*lenderView)(nil)
+
+// now returns the home shard's current virtual clock (the global instant
+// of the event invoking the lender).
+func (v *lenderView) now() sim.Time {
+	if p := v.b.peers[v.home]; p.Now != nil {
+		return p.Now()
+	}
+	return 0
+}
+
+// Borrow implements driver.SlotLender.
+func (v *lenderView) Borrow(req driver.LoanRequest) (int, bool) {
+	b := v.b
+	b.mu.Lock()
+	closed := b.closed
+	if !closed {
+		b.stats.Requests++
+	}
+	b.mu.Unlock()
+	if closed {
+		return 0, false
+	}
+	if !b.async {
+		return b.grant(v.home, req), false
+	}
+	home := v.home
+	ok := b.enqueue(func() {
+		granted := b.grant(home, req)
+		err := b.peers[home].Call(func() {
+			b.peers[home].Driver.ResolveLoan(req.Job, req.Phase, granted)
+		})
+		if err != nil && granted > 0 {
+			// The borrower's loop is gone; strand no slots.
+			v.returnGrants(req.Job, req.Phase, -1)
+		}
+	})
+	if !ok {
+		return 0, false
+	}
+	return 0, true
+}
+
+// Consume implements driver.SlotLender.
+func (v *lenderView) Consume(job dag.JobID, minSize int) (driver.LoanID, bool) {
+	b := v.b
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, rec := range b.loans[job] {
+		if !rec.consumed && rec.size >= minSize {
+			rec.consumed = true
+			b.stats.Consumed++
+			return rec.id, true
+		}
+	}
+	return driver.LoanID{}, false
+}
+
+// Unconsume implements driver.SlotLender.
+func (v *lenderView) Unconsume(id driver.LoanID) {
+	b := v.b
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if rec := b.byID[id]; rec != nil && rec.consumed {
+		rec.consumed = false
+		b.stats.Consumed--
+	}
+}
+
+// Finish implements driver.SlotLender.
+func (v *lenderView) Finish(id driver.LoanID) {
+	b := v.b
+	b.mu.Lock()
+	rec := b.byID[id]
+	if rec != nil {
+		b.removeLocked(rec)
+		b.stats.Finished++
+	}
+	b.mu.Unlock()
+	if rec != nil {
+		b.release(rec, v.now())
+	}
+}
+
+// Return implements driver.SlotLender.
+func (v *lenderView) Return(job dag.JobID, phase int, max int) int {
+	return v.returnGrants(job, phase, max)
+}
+
+// returnGrants releases up to max idle loans of the job (phase >= 0
+// restricts; max < 0 means all) and reports the number returned.
+func (v *lenderView) returnGrants(job dag.JobID, phase int, max int) int {
+	b := v.b
+	b.mu.Lock()
+	var out []*loanRec
+	for _, rec := range b.loans[job] {
+		if max >= 0 && len(out) >= max {
+			break
+		}
+		if rec.consumed || (phase >= 0 && rec.phase != phase) {
+			continue
+		}
+		out = append(out, rec)
+	}
+	for _, rec := range out {
+		b.removeLocked(rec)
+		b.stats.Returned++
+	}
+	b.mu.Unlock()
+	now := v.now()
+	for _, rec := range out {
+		b.release(rec, now)
+	}
+	return len(out)
+}

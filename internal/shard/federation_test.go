@@ -1,0 +1,380 @@
+package shard
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"ssr/internal/cluster"
+	"ssr/internal/core"
+	"ssr/internal/dag"
+	"ssr/internal/driver"
+	"ssr/internal/metrics"
+	"ssr/internal/sim"
+)
+
+func durations(secs ...float64) []time.Duration {
+	out := make([]time.Duration, len(secs))
+	for i, s := range secs {
+		out[i] = time.Duration(s * float64(time.Second))
+	}
+	return out
+}
+
+func chain(t *testing.T, id dag.JobID, name string, specs []dag.PhaseSpec, opts ...dag.Option) *dag.Job {
+	t.Helper()
+	j, err := dag.Chain(id, name, 5, specs, opts...)
+	if err != nil {
+		t.Fatalf("chain %q: %v", name, err)
+	}
+	return j
+}
+
+func ssrOptions() driver.Options {
+	return driver.Options{
+		Mode: driver.ModeSSR,
+		SSR: core.Config{
+			IsolationP:          0.9,
+			Alpha:               1.1,
+			PreReserveThreshold: 0.4,
+		},
+	}
+}
+
+func TestNodeSplit(t *testing.T) {
+	got := NodeSplit(10, 4)
+	want := []int{3, 3, 2, 2}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("NodeSplit(10,4) = %v, want %v", got, want)
+	}
+	if got := NodeSplit(8, 1); !reflect.DeepEqual(got, []int{8}) {
+		t.Fatalf("NodeSplit(8,1) = %v", got)
+	}
+}
+
+func TestRouters(t *testing.T) {
+	info := JobInfo{ID: 7, Name: "kmeans", MaxParallelism: 3}
+	loads := []Load{
+		{Slots: 4, Busy: 4},
+		{Slots: 4, Busy: 1},
+		{Slots: 4, Busy: 3},
+		{Slots: 4},
+	}
+	h := HashRouter{}
+	first := h.Pick(info, loads)
+	for i := 0; i < 5; i++ {
+		if got := h.Pick(info, loads); got != first {
+			t.Fatalf("hash router not stable: %d then %d", first, got)
+		}
+	}
+	if got := (LeastLoadedRouter{}).Pick(info, loads); got != 3 {
+		t.Fatalf("least-loaded picked %d, want 3", got)
+	}
+	// Best fit: shards 1 and 3 fit 3 free slots; shard 1 has exactly 3
+	// free (tighter) so it wins over the empty shard 3.
+	if got := (BestFitRouter{}).Pick(info, loads); got != 1 {
+		t.Fatalf("best-fit picked %d, want 1", got)
+	}
+	// Nothing fits a parallelism-9 job: fall back to least loaded.
+	wide := JobInfo{Name: "wide", MaxParallelism: 9}
+	if got := (BestFitRouter{}).Pick(wide, loads); got != 3 {
+		t.Fatalf("best-fit fallback picked %d, want 3", got)
+	}
+	for _, name := range []string{"hash", "least-loaded", "best-fit"} {
+		r, err := ParseRouter(name)
+		if err != nil {
+			t.Fatalf("ParseRouter(%q): %v", name, err)
+		}
+		if r.Name() != name {
+			t.Fatalf("router %q reports name %q", name, r.Name())
+		}
+	}
+	if _, err := ParseRouter("nope"); err == nil {
+		t.Fatal("ParseRouter accepted an unknown name")
+	}
+}
+
+// testJobs builds a small mixed workload with known parallelism.
+func testJobs(t *testing.T) []*dag.Job {
+	t.Helper()
+	var jobs []*dag.Job
+	for i := 0; i < 6; i++ {
+		specs := []dag.PhaseSpec{
+			{Durations: durations(2, 2.5, 3, 2)},
+			{Durations: durations(1, 1.5)},
+		}
+		jobs = append(jobs, chain(t, dag.JobID(i+1), "job-"+string(rune('a'+i)), specs,
+			dag.WithKnownParallelism(),
+			dag.WithSubmit(time.Duration(i)*500*time.Millisecond)))
+	}
+	return jobs
+}
+
+// TestFederationK1MatchesPlainDriver is the bit-identical K=1 guarantee:
+// a single-shard federation must reproduce a plain driver's per-job stats
+// exactly.
+func TestFederationK1MatchesPlainDriver(t *testing.T) {
+	runPlain := func() []metrics.JobStats {
+		eng := sim.New()
+		cl, err := cluster.New(4, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		drv, err := driver.New(eng, cl, ssrOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, j := range testJobs(t) {
+			if err := drv.Submit(j); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := drv.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return drv.Results()
+	}
+	runFed := func() []metrics.JobStats {
+		fed, err := New(Options{Shards: 1, Nodes: 4, SlotsPerNode: 2, Driver: ssrOptions()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, j := range testJobs(t) {
+			if idx, err := fed.Submit(j); err != nil || idx != 0 {
+				t.Fatalf("submit: shard %d, err %v", idx, err)
+			}
+		}
+		if err := fed.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if fed.Broker() != nil {
+			t.Fatal("K=1 federation built a lending broker")
+		}
+		return fed.Results()
+	}
+	plain, fed := runPlain(), runFed()
+	if len(plain) != len(fed) {
+		t.Fatalf("job counts differ: %d vs %d", len(plain), len(fed))
+	}
+	for i := range plain {
+		a, b := plain[i], fed[i]
+		a.Job, b.Job = nil, nil
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("job %d stats differ:\nplain: %+v\nfed:   %+v", plain[i].Job.ID, a, b)
+		}
+	}
+}
+
+// shardDeterminismJobs builds the shard-local workload for the K=1 vs K=4
+// comparison: jobs whose names hash-route them across 4 buckets, staggered
+// within each bucket so a shard of 4 slots serves each job contention-free,
+// while the K=1 run still overlaps jobs from different buckets.
+func shardDeterminismJobs(t *testing.T) []*dag.Job {
+	t.Helper()
+	probe := make([]Load, 4)
+	perBucket := make(map[int]int)
+	var jobs []*dag.Job
+	for i := 0; i < 12; i++ {
+		name := "det-job-" + string(rune('a'+i))
+		bucket := HashRouter{}.Pick(JobInfo{Name: name}, probe)
+		at := time.Duration(perBucket[bucket]) * 30 * time.Second
+		perBucket[bucket]++
+		specs := []dag.PhaseSpec{
+			{Durations: durations(2, 2, 2, 2)},
+			{Durations: durations(1, 1)},
+		}
+		jobs = append(jobs, chain(t, dag.JobID(i+1), name, specs,
+			dag.WithKnownParallelism(), dag.WithSubmit(at)))
+	}
+	return jobs
+}
+
+// TestShardDeterminismK1VsK4 replays the same hash-routed, shard-local
+// workload at K=1 and K=4 over the same total capacity and demands
+// identical per-job JCTs: shards only re-partition the cluster, they do not
+// change any job's schedule when each job fits its home shard.
+func TestShardDeterminismK1VsK4(t *testing.T) {
+	run := func(k int) map[dag.JobID]time.Duration {
+		fed, err := New(Options{
+			Shards:       k,
+			Nodes:        8,
+			SlotsPerNode: 2,
+			Driver:       ssrOptions(),
+			Router:       HashRouter{},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, j := range shardDeterminismJobs(t) {
+			if _, err := fed.Submit(j); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := fed.Run(); err != nil {
+			t.Fatal(err)
+		}
+		out := make(map[dag.JobID]time.Duration)
+		for _, st := range fed.Results() {
+			out[st.Job.ID] = st.JCT()
+			if st.BorrowedSlots != 0 {
+				t.Fatalf("K=%d: job %d borrowed %d slots in a contention-free workload",
+					k, st.Job.ID, st.BorrowedSlots)
+			}
+		}
+		return out
+	}
+	k1, k4 := run(1), run(4)
+	if len(k1) != len(k4) {
+		t.Fatalf("job counts differ: %d vs %d", len(k1), len(k4))
+	}
+	for id, jct := range k1 {
+		if k4[id] != jct {
+			t.Errorf("job %d JCT: K=1 %v, K=4 %v", id, jct, k4[id])
+		}
+	}
+	// Replays of the same K must also be bit-identical.
+	again := run(4)
+	if !reflect.DeepEqual(k4, again) {
+		t.Fatal("K=4 replay diverged from itself")
+	}
+}
+
+// lendingFed builds a 2-shard federation where shard homes have 2 slots
+// each, so a job with downstream parallelism 4 must borrow.
+func lendingFed(t *testing.T, frac float64) *Federation {
+	t.Helper()
+	fed, err := New(Options{
+		Shards:       2,
+		Nodes:        2,
+		SlotsPerNode: 2,
+		Driver:       ssrOptions(),
+		Router:       HashRouter{},
+		Lending:      LendingConfig{MaxLendFraction: frac},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fed
+}
+
+// TestCrossShardLending is the Algorithm 1 n > m case across shards: the
+// home shard has m = 2 slots, downstream parallelism n = 4, so past
+// threshold R the broker checks 2 sibling slots out, downstream tasks run
+// on them remotely, and the slots travel home when they finish.
+func TestCrossShardLending(t *testing.T) {
+	fed := lendingFed(t, 1.0)
+	job := chain(t, 1, "borrower", []dag.PhaseSpec{
+		{Durations: durations(1, 1.2)},
+		{Durations: durations(1, 1, 1, 1)},
+	}, dag.WithKnownParallelism())
+	home, err := fed.Submit(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fed.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st, ok := fed.Result(job.ID)
+	if !ok {
+		t.Fatal("job missing from results")
+	}
+	if st.BorrowedSlots != 2 {
+		t.Errorf("BorrowedSlots = %d, want 2", st.BorrowedSlots)
+	}
+	if st.RemoteTasks != 2 {
+		t.Errorf("RemoteTasks = %d, want 2", st.RemoteTasks)
+	}
+	stats := fed.Broker().Stats()
+	if stats.Granted != 2 || stats.Consumed != 2 || stats.Finished != 2 {
+		t.Errorf("broker stats %+v, want 2 granted/consumed/finished", stats)
+	}
+	if n := fed.Broker().Outstanding(); n != 0 {
+		t.Errorf("%d loans outstanding after run", n)
+	}
+	sibling := fed.Shards()[1-home].Cl
+	if free := sibling.CountState(cluster.Free); free != sibling.NumSlots() {
+		t.Errorf("sibling has %d/%d slots free after run", free, sibling.NumSlots())
+	}
+	// The borrowed capacity must actually shorten the job: phase 1's four
+	// tasks run fully parallel (one 1s wave after the 1.2s upstream
+	// phase) instead of two waves on the two home slots.
+	if want := 2200 * time.Millisecond; st.JCT() != want {
+		t.Errorf("JCT = %v, want %v (full downstream parallelism)", st.JCT(), want)
+	}
+}
+
+// TestLendingRespectsFraction caps the lender at half its capacity: only
+// one of the sibling's two slots may be checked out.
+func TestLendingRespectsFraction(t *testing.T) {
+	fed := lendingFed(t, 0.5)
+	job := chain(t, 1, "borrower", []dag.PhaseSpec{
+		{Durations: durations(1, 1.2)},
+		{Durations: durations(1, 1, 1, 1)},
+	}, dag.WithKnownParallelism())
+	if _, err := fed.Submit(job); err != nil {
+		t.Fatal(err)
+	}
+	if err := fed.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := fed.Result(job.ID)
+	if st.BorrowedSlots != 1 {
+		t.Errorf("BorrowedSlots = %d, want 1 under MaxLendFraction 0.5", st.BorrowedSlots)
+	}
+	if n := fed.Broker().Outstanding(); n != 0 {
+		t.Errorf("%d loans outstanding after run", n)
+	}
+}
+
+// TestLendingReturnsAtDeadline pins the reservation-deadline D protocol
+// across shards: a straggling upstream task holds the barrier past D, so
+// the borrowed slots are returned unused at expiry, together with the home
+// shard's own reservations (Fig. 7b generalized to the federation).
+func TestLendingReturnsAtDeadline(t *testing.T) {
+	fed := lendingFed(t, 1.0)
+	job := chain(t, 1, "straggler", []dag.PhaseSpec{
+		{Durations: durations(1, 500)},
+		{Durations: durations(1, 1, 1, 1)},
+	}, dag.WithKnownParallelism())
+	home, err := fed.Submit(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Watch the sibling while the run progresses: loans must be back well
+	// before the straggler ends at t=500s.
+	sibling := fed.Shards()[1-home]
+	backAt := sim.Time(-1)
+	for fed.Step() {
+		if backAt < 0 && fed.Broker().Stats().Returned > 0 {
+			backAt = fed.now
+		}
+	}
+	for _, sh := range fed.Shards() {
+		if n := sh.Drv.Unfinished(); n > 0 {
+			t.Fatalf("shard %d: %d unfinished", sh.Index, n)
+		}
+	}
+	st, _ := fed.Result(job.ID)
+	if st.BorrowedSlots != 2 {
+		t.Errorf("BorrowedSlots = %d, want 2", st.BorrowedSlots)
+	}
+	if st.DeadlineExpiries != 1 {
+		t.Errorf("DeadlineExpiries = %d, want 1", st.DeadlineExpiries)
+	}
+	if st.RemoteTasks != 0 {
+		t.Errorf("RemoteTasks = %d, want 0 (loans expired unused)", st.RemoteTasks)
+	}
+	stats := fed.Broker().Stats()
+	if stats.Returned != 2 {
+		t.Errorf("broker returned %d loans, want 2", stats.Returned)
+	}
+	if backAt < 0 || backAt > 100*time.Second {
+		t.Errorf("loans returned at %v, want at deadline expiry well before the 500s straggler", backAt)
+	}
+	if free := sibling.Cl.CountState(cluster.Free); free != sibling.Cl.NumSlots() {
+		t.Errorf("sibling has %d/%d slots free after run", free, sibling.Cl.NumSlots())
+	}
+	if n := fed.Broker().Outstanding(); n != 0 {
+		t.Errorf("%d loans outstanding after run", n)
+	}
+}
