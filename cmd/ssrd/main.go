@@ -5,7 +5,11 @@
 //	POST /jobs        submit a workflow job (service.JobSpec)
 //	GET  /jobs        list jobs; GET /jobs/{id} for one
 //	GET  /cluster     per-slot state
-//	GET  /metrics     utilization, counters, online slowdowns
+//	GET  /metrics     utilization, counters, online slowdowns (JSON);
+//	                  ?format=prometheus for text exposition 0.0.4
+//	GET  /trace       recorded task attempts (requires -trace);
+//	                  ?format=perfetto for Chrome trace-event JSON
+//	GET  /audit       reservation-decision audit stream (JSON Lines)
 //	GET  /events      server-sent lifecycle event stream
 //	GET  /healthz     liveness
 //
@@ -71,6 +75,7 @@ func run(args []string, sigC <-chan os.Signal, ready func(addr string)) error {
 		dilation  = fs.Float64("dilation", 1, "virtual seconds per wall-clock second")
 		drain     = fs.Duration("drain", 10*time.Second, "grace for in-flight jobs on shutdown before aborting them")
 		traceOut  = fs.String("trace", "", "flush a per-attempt trace to this file on shutdown (.csv or .json)")
+		auditCap  = fs.Int("audit-cap", 0, "audit ring retention in events (0 = default 8192, negative disables)")
 		baseline  = fs.Int("baseline-workers", 2, "workers computing alone-JCT slowdown baselines (negative disables)")
 		shards    = fs.Int("shards", 1, "scheduler shards the cluster is partitioned into")
 		router    = fs.String("router", "hash", "job placement across shards: hash, least-loaded, best-fit")
@@ -93,6 +98,7 @@ func run(args []string, sigC <-chan os.Signal, ready func(addr string)) error {
 		Dilation:        *dilation,
 		BaselineWorkers: *baseline,
 		RecordTrace:     *traceOut != "",
+		AuditCapacity:   *auditCap,
 	}
 	if *lend <= 0 {
 		cfg.Lending.Disabled = true

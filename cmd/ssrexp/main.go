@@ -33,10 +33,12 @@ func main() {
 	}
 }
 
-// namedResult wraps one experiment's table for -json output.
+// namedResult wraps one experiment's table for -json output, together with
+// the scheduler-metrics dumps of its instrumented cells.
 type namedResult struct {
-	Name   string              `json:"name"`
-	Result *experiments.Result `json:"result"`
+	Name        string                    `json:"name"`
+	Result      *experiments.Result       `json:"result"`
+	CellMetrics []experiments.CellMetrics `json:"cellMetrics,omitempty"`
 }
 
 func run(args []string, stdout, stderr io.Writer) error {
@@ -91,6 +93,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	var results []namedResult
 	for _, name := range selected {
 		e, _ := experiments.Lookup(name)
+		expParams := params
+		if *asJSON {
+			// Per-cell scheduler metrics ride along in the JSON output;
+			// a fresh collector per experiment keeps the dumps separate.
+			expParams.Obs = experiments.NewCollector()
+		}
 		opts := runner.Options{Parallel: *parallel}
 		if *progress {
 			opts.Progress = func(done, total int, key string) {
@@ -98,14 +106,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 			}
 		}
 		start := time.Now()
-		res, err := runner.Run(e, params, opts)
+		res, err := runner.Run(e, expParams, opts)
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.Name(), err)
 		}
 		fmt.Fprintf(stderr, "(%s completed in %v at %s scale)\n",
 			e.Name(), time.Since(start).Round(time.Millisecond), scale)
 		if *asJSON {
-			results = append(results, namedResult{Name: e.Name(), Result: res})
+			results = append(results, namedResult{
+				Name: e.Name(), Result: res, CellMetrics: expParams.Obs.Snapshots(),
+			})
 			continue
 		}
 		fmt.Fprintln(stdout, res)

@@ -131,3 +131,58 @@ func TestBadFlag(t *testing.T) {
 		t.Error("bad flag should error")
 	}
 }
+
+// TestRunJSONCellMetrics checks the per-cell scheduler-metrics dump that
+// rides along in -json output: instrumented experiments carry one entry per
+// cell with reservation counters, and the bytes are identical for any
+// worker count (the metrics ride the virtual clock).
+func TestRunJSONCellMetrics(t *testing.T) {
+	serial, _, err := runCmd("-scale", "quick", "-json", "-parallel", "1", "mitcompare", "fig4")
+	if err != nil {
+		t.Fatalf("serial run: %v", err)
+	}
+	par, _, err := runCmd("-scale", "quick", "-json", "-parallel", "8", "mitcompare", "fig4")
+	if err != nil {
+		t.Fatalf("parallel run: %v", err)
+	}
+	if serial != par {
+		t.Errorf("parallel -json output differs from serial:\n--- serial\n%s\n--- parallel\n%s", serial, par)
+	}
+	var decoded []struct {
+		Name        string `json:"name"`
+		CellMetrics []struct {
+			Cell     string `json:"cell"`
+			Families []struct {
+				Name   string `json:"name"`
+				Type   string `json:"type"`
+				Series []struct {
+					Value float64 `json:"value"`
+				} `json:"series"`
+			} `json:"families"`
+		} `json:"cellMetrics"`
+	}
+	if err := json.Unmarshal([]byte(serial), &decoded); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v", err)
+	}
+	mit := decoded[0]
+	if len(mit.CellMetrics) != 3 {
+		t.Fatalf("mitcompare dumped %d cells, want one per strategy (3)", len(mit.CellMetrics))
+	}
+	for _, cm := range mit.CellMetrics {
+		if !strings.HasPrefix(cm.Cell, "mitcompare/") {
+			t.Errorf("unexpected cell key %q", cm.Cell)
+		}
+		reservations := 0.0
+		for _, f := range cm.Families {
+			if f.Name == "ssr_reservations_total" && len(f.Series) > 0 {
+				reservations = f.Series[0].Value
+			}
+		}
+		if reservations <= 0 {
+			t.Errorf("cell %s: no reservations recorded under SSR", cm.Cell)
+		}
+	}
+	if len(decoded[1].CellMetrics) == 0 {
+		t.Error("fig4 dumped no cell metrics")
+	}
+}

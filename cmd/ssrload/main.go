@@ -25,18 +25,23 @@ import (
 	"time"
 
 	"ssr/internal/dag"
+	"ssr/internal/obs"
 	"ssr/internal/service"
 	"ssr/internal/stats"
 	"ssr/internal/workload"
 )
 
 // latencySummary is the client-observed latency section of the -json report.
+// Percentiles come from the raw sample; Histogram is the same sample binned
+// into obs.LatencyBuckets, so reports from separate runs (or separate load
+// generators) can be merged bucket-wise.
 type latencySummary struct {
-	MeanSec float64 `json:"meanSec"`
-	P50Sec  float64 `json:"p50Sec"`
-	P90Sec  float64 `json:"p90Sec"`
-	P99Sec  float64 `json:"p99Sec"`
-	MaxSec  float64 `json:"maxSec"`
+	MeanSec   float64                `json:"meanSec"`
+	P50Sec    float64                `json:"p50Sec"`
+	P90Sec    float64                `json:"p90Sec"`
+	P99Sec    float64                `json:"p99Sec"`
+	MaxSec    float64                `json:"maxSec"`
+	Histogram *obs.HistogramSnapshot `json:"histogram,omitempty"`
 }
 
 // report is the machine-readable run summary written by -json: the client's
@@ -169,6 +174,7 @@ func run(args []string) error {
 		failed    int
 		refused   int
 	)
+	latHist := obs.NewHistogram(obs.LatencyBuckets)
 	var wg sync.WaitGroup
 	launch := func(spec service.JobSpec) {
 		defer wg.Done()
@@ -190,6 +196,7 @@ func run(args []string) error {
 		default:
 			completed++
 			latencies = append(latencies, elapsed)
+			latHist.Observe(elapsed)
 		}
 	}
 
@@ -253,8 +260,10 @@ func run(args []string) error {
 		s := stats.Summarize(latencies)
 		fmt.Printf("client latency (s): mean=%.3f p50=%.3f p90=%.3f p99=%.3f max=%.3f\n",
 			s.Mean, s.Median, s.P90, s.P99, s.Max)
+		snap := latHist.Snapshot()
 		rep.Latency = &latencySummary{
 			MeanSec: s.Mean, P50Sec: s.Median, P90Sec: s.P90, P99Sec: s.P99, MaxSec: s.Max,
+			Histogram: &snap,
 		}
 	}
 	if ms, err := cli.Metrics(ctx); err == nil {

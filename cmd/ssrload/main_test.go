@@ -182,6 +182,22 @@ func TestJSONReport(t *testing.T) {
 		rep.Latency.MaxSec < rep.Latency.P99Sec {
 		t.Errorf("latency summary inconsistent: %+v", *rep.Latency)
 	}
+	h := rep.Latency.Histogram
+	if h == nil {
+		t.Fatal("latency summary missing histogram")
+	}
+	if h.Count != 20 {
+		t.Errorf("histogram count = %d, want every completed job (20)", h.Count)
+	}
+	if len(h.CumCounts) != len(h.Bounds)+1 {
+		t.Errorf("histogram has %d cumulative counts for %d bounds", len(h.CumCounts), len(h.Bounds))
+	}
+	if inf := h.CumCounts[len(h.CumCounts)-1]; inf != h.Count {
+		t.Errorf("+Inf bucket = %d, want count %d", inf, h.Count)
+	}
+	if h.Sum <= 0 {
+		t.Errorf("histogram sum = %v, want > 0", h.Sum)
+	}
 	if rep.Server == nil {
 		t.Fatal("report missing server metrics")
 	}

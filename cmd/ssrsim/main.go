@@ -18,6 +18,7 @@ import (
 	"ssr/internal/dag"
 	"ssr/internal/driver"
 	"ssr/internal/faults"
+	"ssr/internal/obs"
 	"ssr/internal/runner"
 	"ssr/internal/sim"
 	"ssr/internal/stats"
@@ -56,6 +57,8 @@ func run(args []string) error {
 		seed      = fs.Int64("seed", 42, "random seed")
 		verbose   = fs.Bool("v", false, "print every job, not only the foreground")
 		traceOut  = fs.String("trace", "", "write a per-attempt trace to this file (.csv or .json)")
+		perfetto  = fs.String("perfetto", "", "write a Chrome/Perfetto trace-event JSON to this file (load at ui.perfetto.dev)")
+		auditOut  = fs.String("audit", "", "write the reservation-decision audit stream to this file (JSONL)")
 		gantt     = fs.Bool("gantt", false, "render a text Gantt chart of the run")
 		jobsIn    = fs.String("jobs", "", "load foreground jobs from a workload trace CSV instead of -suite")
 		dumpJobs  = fs.String("dumpjobs", "", "write the synthesized workload (foreground+background) to this CSV")
@@ -74,9 +77,16 @@ func run(args []string) error {
 		opts.Retry = driver.RetryPolicy{MaxAttempts: 10}
 	}
 	var rec *trace.Recorder
-	if *traceOut != "" || *gantt {
+	if *traceOut != "" || *gantt || *perfetto != "" {
 		rec = &trace.Recorder{}
 		opts.Trace = rec
+	}
+	var audit *obs.Audit
+	if *perfetto != "" || *auditOut != "" {
+		// Retain the whole run: offline exports want every decision, not a
+		// live tail.
+		audit = obs.NewAudit(1 << 20)
+		opts.Audit = audit
 	}
 	switch *modeName {
 	case "none":
@@ -223,6 +233,19 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Printf("wrote %d trace events to %s\n", rec.Len(), *traceOut)
+	}
+	if *perfetto != "" {
+		if err := obs.WritePerfettoFile(*perfetto, rec.Events(), audit.Events()); err != nil {
+			return err
+		}
+		fmt.Printf("wrote Perfetto trace to %s (open at ui.perfetto.dev)\n", *perfetto)
+	}
+	if *auditOut != "" {
+		if err := audit.WriteFile(*auditOut); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d audit events to %s (%d dropped by retention)\n",
+			audit.Len(), *auditOut, audit.Dropped())
 	}
 	return nil
 }

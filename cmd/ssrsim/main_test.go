@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -194,5 +195,56 @@ func TestRunJobsFileRoundTrip(t *testing.T) {
 	}
 	if err := run(tiny("-suite", "none", "-dumpjobs", "/no/such/dir/x.csv")); err == nil {
 		t.Error("unwritable dump path should error")
+	}
+}
+
+func TestRunPerfettoAndAuditExports(t *testing.T) {
+	silence(t)
+	dir := t.TempDir()
+	perf := filepath.Join(dir, "perfetto.json")
+	audit := filepath.Join(dir, "audit.jsonl")
+	if err := run(tiny("-mode", "ssr", "-suite", "none",
+		"-perfetto", perf, "-audit", audit)); err != nil {
+		t.Fatalf("run -perfetto -audit: %v", err)
+	}
+	perfData, err := os.ReadFile(perf)
+	if err != nil {
+		t.Fatalf("read perfetto: %v", err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(perfData, &doc); err != nil {
+		t.Fatalf("perfetto output is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Error("perfetto trace has no events")
+	}
+	cats := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		if c, ok := ev["cat"].(string); ok {
+			cats[c] = true
+		}
+	}
+	if !cats["task"] {
+		t.Error("perfetto trace missing task events")
+	}
+	if !cats["reservation"] {
+		t.Error("perfetto trace missing reservation spans")
+	}
+	auditData, err := os.ReadFile(audit)
+	if err != nil {
+		t.Fatalf("read audit: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(auditData)), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("empty audit JSONL")
+	}
+	var first map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("audit line 0 not JSON: %v", err)
+	}
+	if _, ok := first["kind"]; !ok {
+		t.Errorf("audit line missing kind: %v", first)
 	}
 }

@@ -3,6 +3,7 @@ package driver
 import (
 	"ssr/internal/cluster"
 	"ssr/internal/core"
+	"ssr/internal/obs"
 	"ssr/internal/sim"
 	"ssr/internal/trace"
 )
@@ -30,6 +31,11 @@ func (d *Driver) onFinish(att *attempt) {
 	}
 	if att.isCopy {
 		jr.stats.CopiesWon++
+		if d.opts.Metrics != nil {
+			d.opts.Metrics.CopiesWon.Inc()
+		}
+		d.audit(obs.AuditEvent{Kind: obs.KindCopyWin, Job: int64(jr.job.ID),
+			JobName: jr.job.Name, Phase: pr.phase.ID, Task: att.taskIdx, Slot: int(att.slot)})
 	}
 	delete(d.slotOwner, att.slot)
 
@@ -46,6 +52,13 @@ func (d *Driver) onFinish(att *attempt) {
 		delete(d.slotOwner, loser.slot)
 		jr.running--
 		haveLoser = true
+		if loser.isCopy {
+			if d.opts.Metrics != nil {
+				d.opts.Metrics.CopiesKilled.Inc()
+			}
+			d.audit(obs.AuditEvent{Kind: obs.KindCopyKill, Job: int64(jr.job.ID),
+				JobName: jr.job.Name, Phase: pr.phase.ID, Task: loser.taskIdx, Slot: int(loser.slot)})
+		}
 	}
 	if d.opts.Trace != nil {
 		d.traceAttempt(att, false)
@@ -122,6 +135,7 @@ func (d *Driver) routeFreedSlot(pr *phaseRun, att *attempt, decision core.Decisi
 		return
 	}
 	d.opts.Lender.Finish(att.loan)
+	d.loansHome(pr.jr, pr.phase.ID, 1, obs.KindLoanFinish)
 	if d.opts.Mode == ModeSSR && decision == core.Reserve {
 		pr.preWant++
 		d.addPreReserver(pr)
@@ -140,6 +154,7 @@ func (d *Driver) applyDecision(pr *phaseRun, slot cluster.SlotID, decision core.
 				// downstream tasks — release it immediately and
 				// pre-reserve one of the right size instead.
 				d.mustRelease(slot)
+				d.auditRelease(pr, slot)
 				pr.preWant++
 				d.addPreReserver(pr)
 				return
@@ -152,6 +167,7 @@ func (d *Driver) applyDecision(pr *phaseRun, slot cluster.SlotID, decision core.
 			return
 		}
 		d.mustRelease(slot)
+		d.auditRelease(pr, slot)
 	case ModeTimeout:
 		// Blind reservation: hold every freed slot for the job for a
 		// fixed timeout, downstream work or not (Sec. III-A.2).
@@ -211,6 +227,14 @@ func (d *Driver) armDeadline(pr *phaseRun, firstTaskDuration sim.Time) {
 	if !ok {
 		return
 	}
+	if d.opts.Metrics != nil {
+		d.opts.Metrics.DeadlinesArmed.Inc()
+	}
+	d.audit(obs.AuditEvent{Kind: obs.KindDeadlineArmed, Job: int64(pr.jr.job.ID),
+		JobName: pr.jr.job.Name, Phase: pr.phase.ID, Slot: -1,
+		TmSec: firstTaskDuration.Seconds(), N: pr.phase.Parallelism(),
+		P: d.opts.SSR.IsolationP, Alpha: d.opts.SSR.Alpha,
+		DeadlineSec: dl.Seconds()})
 	expireAt := pr.start + dl
 	if expireAt <= d.eng.Now() {
 		d.expireDeadline(pr)
@@ -226,6 +250,11 @@ func (d *Driver) expireDeadline(pr *phaseRun) {
 	pr.deadlineTimer = nil
 	pr.tracker.ExpireDeadline()
 	pr.jr.stats.DeadlineExpiries++
+	if d.opts.Metrics != nil {
+		d.opts.Metrics.DeadlinesExpired.Inc()
+	}
+	d.audit(obs.AuditEvent{Kind: obs.KindDeadlineExpire, Job: int64(pr.jr.job.ID),
+		JobName: pr.jr.job.Name, Phase: pr.phase.ID, Slot: -1})
 	d.emitPhase(EventDeadlineExpire, pr)
 	d.dropPreReserver(pr)
 	jobID := pr.jr.job.ID
@@ -276,6 +305,9 @@ func (d *Driver) maybeMitigate(pr *phaseRun) {
 // schedulable and inherit the job's reserved slots.
 func (d *Driver) onPhaseComplete(pr *phaseRun) {
 	jr := pr.jr
+	if d.opts.Metrics != nil {
+		d.opts.Metrics.PhaseJCT.ObserveDuration(d.eng.Now() - pr.start)
+	}
 	d.emitPhase(EventPhaseDone, pr)
 	d.stopSpeculation(pr)
 	if pr.localityTimer != nil {

@@ -29,6 +29,7 @@ import (
 	"ssr/internal/core"
 	"ssr/internal/dag"
 	"ssr/internal/metrics"
+	"ssr/internal/obs"
 	"ssr/internal/sched"
 	"ssr/internal/sim"
 	"ssr/internal/trace"
@@ -131,6 +132,19 @@ type Options struct {
 	// broker here). Nil — the default — disables cross-shard lending and
 	// leaves scheduling bit-identical to a standalone driver.
 	Lender SlotLender
+	// Audit, when non-nil, receives a typed event for every reservation
+	// decision (reserve, release, pre-reserve, deadline arm/expiry,
+	// straggler-copy lifecycle, loan grant/return), stamped with the
+	// virtual clock. The stream is passive: attaching it never changes a
+	// scheduling decision. AuditShard tags the events when several
+	// drivers share one Audit.
+	Audit      *obs.Audit
+	AuditShard int
+	// Metrics, when non-nil, receives hot-path counter and histogram
+	// observations (queue wait, phase JCT, reservation hold times,
+	// lending round-trips). Like Audit it is passive and rides the
+	// virtual clock.
+	Metrics *obs.SchedMetrics
 }
 
 func (o *Options) withDefaults() Options {
@@ -204,6 +218,11 @@ type Driver struct {
 	usage    *metrics.SlotUsage
 	timeline *metrics.Timeline
 	fc       metrics.FaultCounters
+	// resAt remembers each live reservation's owner and start time, so
+	// Reserved->X transitions can be attributed and timed after the
+	// cluster has already cleared the slot's reservation record. Nil
+	// unless observability is attached.
+	resAt map[cluster.SlotID]resInfo
 
 	unfinished        int
 	dispatchScheduled bool
@@ -230,7 +249,15 @@ func New(eng *sim.Engine, cl *cluster.Cluster, opts Options) (*Driver, error) {
 		lastReserve: make(map[cluster.SlotID]sim.Time),
 	}
 	d.usage = metrics.NewSlotUsage(cl.NumSlots(), eng.Now)
-	cl.SetListener(d.usage.Listener())
+	if ul := d.usage.Listener(); o.Audit != nil || o.Metrics != nil {
+		d.resAt = make(map[cluster.SlotID]resInfo)
+		cl.SetListener(func(id cluster.SlotID, from, to cluster.SlotState) {
+			ul(id, from, to)
+			d.onSlotTransition(id, from, to)
+		})
+	} else {
+		cl.SetListener(ul)
+	}
 	if o.RecordTimeline {
 		d.timeline = metrics.NewTimeline(eng.Now)
 	}
@@ -305,6 +332,9 @@ func (d *Driver) Run() error {
 		return fmt.Errorf("driver: %d of %d jobs unfinished after event queue drained",
 			d.unfinished, len(d.jobs))
 	}
+	// Pin the usage integrals at the drained clock so utilization reads
+	// include the interval since the last slot transition.
+	d.usage.Finish(d.eng.Now())
 	return nil
 }
 

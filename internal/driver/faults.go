@@ -8,6 +8,7 @@ import (
 
 	"ssr/internal/cluster"
 	"ssr/internal/metrics"
+	"ssr/internal/obs"
 )
 
 // RetryPolicy governs task re-execution after node failures. A task attempt
@@ -299,6 +300,7 @@ func (d *Driver) abortJob(jr *jobRun) {
 				// back; the others return to the pool.
 				if att.remote {
 					d.opts.Lender.Finish(att.loan)
+					d.loansHome(jr, pr.phase.ID, 1, obs.KindLoanFinish)
 				} else if d.cl.Slot(att.slot).State() == cluster.Busy {
 					d.mustRelease(att.slot)
 				}

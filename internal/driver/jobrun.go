@@ -8,6 +8,7 @@ import (
 	"ssr/internal/core"
 	"ssr/internal/dag"
 	"ssr/internal/metrics"
+	"ssr/internal/obs"
 	"ssr/internal/sched"
 	"ssr/internal/sim"
 )
@@ -25,6 +26,10 @@ type jobRun struct {
 	// borrowed counts idle cross-shard loans held by the job (granted by
 	// Options.Lender, not yet consumed by a task or returned).
 	borrowed int
+	// loanGrants holds the grant times of outstanding loans (oldest first,
+	// home virtual clock) for the lending round-trip histogram. Only
+	// maintained when Options.Metrics is set.
+	loanGrants []sim.Time
 
 	stats metrics.JobStats
 }
@@ -337,14 +342,18 @@ func (d *Driver) submitPhase(jr *jobRun, pid int) {
 		pr.taskPref = taskPref
 		pr.prefBySlot = make(map[cluster.SlotID][]int, m)
 		pr.pending = make([]bool, m)
+		// Collect preferred in task order, not by ranging the map: the
+		// slice drives slot visit order downstream (placePreferred, the
+		// waiter lists), and map iteration order would make per-slot
+		// assignment — and everything observing it — vary across runs.
 		for idx, s := range taskPref {
+			if _, seen := pr.prefBySlot[s]; !seen {
+				pr.preferred = append(pr.preferred, s)
+			}
 			pr.prefBySlot[s] = append(pr.prefBySlot[s], idx)
 			pr.pending[idx] = true
 		}
 		pr.consLeft = m
-		for s := range pr.prefBySlot {
-			pr.preferred = append(pr.preferred, s)
-		}
 	} else {
 		pr.preferred = d.loc.PreferredSlots(job, pid)
 		pr.constrained = len(pr.preferred)
@@ -459,6 +468,7 @@ func (d *Driver) assign(pr *phaseRun, idx int, slot cluster.SlotID, local bool) 
 	} else {
 		jr.stats.LocalPlacements++
 	}
+	d.observePlacement(pr)
 	att := &attempt{pr: pr, taskIdx: idx, local: local || !constrained, slot: slot, start: d.eng.Now()}
 	att.timer = d.eng.After(dur, func() { d.onFinish(att) })
 	pr.tasks[idx].orig = att
@@ -484,6 +494,11 @@ func (d *Driver) launchCopy(pr *phaseRun, idx int, slot cluster.SlotID) {
 	d.slotOwner[slot] = att
 	jr.running++
 	jr.stats.CopiesLaunched++
+	if d.opts.Metrics != nil {
+		d.opts.Metrics.CopiesLaunched.Inc()
+	}
+	d.audit(obs.AuditEvent{Kind: obs.KindCopyLaunch, Job: int64(jr.job.ID),
+		JobName: jr.job.Name, Phase: pr.phase.ID, Task: idx, Slot: int(slot)})
 	d.emitAttempt(EventAttemptStart, att)
 	d.recordTimeline(jr)
 }

@@ -5,6 +5,7 @@ import (
 
 	"ssr/internal/cluster"
 	"ssr/internal/dag"
+	"ssr/internal/obs"
 )
 
 // SlotLender is the driver's window into a cross-shard lending broker
@@ -103,6 +104,7 @@ func (d *Driver) applyLoanGrant(pr *phaseRun, granted int) {
 	if pr.preWant < 0 {
 		pr.preWant = 0
 	}
+	d.loanGranted(pr, granted)
 	d.emit(Event{Type: EventBorrow, Job: jr.job.ID, JobName: jr.job.Name,
 		Phase: pr.phase.ID, Count: granted})
 }
@@ -158,6 +160,7 @@ func (d *Driver) returnLoans(jr *jobRun, phase int, max int) {
 	if jr.borrowed < 0 {
 		jr.borrowed = 0
 	}
+	d.loansHome(jr, phase, returned, obs.KindLoanReturn)
 	d.emit(Event{Type: EventLoanReturn, Job: jr.job.ID, JobName: jr.job.Name,
 		Phase: phase, Count: returned})
 }
@@ -175,6 +178,7 @@ func (d *Driver) serveLoan(pr *phaseRun) bool {
 	if !ok {
 		// Every recorded loan was stale; resynchronize the gauge.
 		jr.borrowed = 0
+		jr.loanGrants = nil
 		return false
 	}
 	jr.borrowed--
@@ -206,6 +210,7 @@ func (d *Driver) assignRemote(pr *phaseRun, idx int, loan LoanID, local bool) {
 	} else {
 		jr.stats.LocalPlacements++
 	}
+	d.observePlacement(pr)
 	att := &attempt{pr: pr, taskIdx: idx, local: local || !constrained,
 		slot: cluster.NoSlot, remote: true, loan: loan, start: d.eng.Now()}
 	att.timer = d.eng.After(dur, func() { d.onFinish(att) })

@@ -1,0 +1,155 @@
+package driver
+
+import (
+	"ssr/internal/cluster"
+	"ssr/internal/dag"
+	"ssr/internal/obs"
+	"ssr/internal/sim"
+)
+
+// This file is the driver's observability seam: every audit event and
+// metric observation funnels through here. All of it is passive — appending
+// to the audit stream or bumping a counter never changes a scheduling
+// decision — and timestamped from the virtual clock, so offline runs stay
+// bit-identical with observability attached.
+
+// resInfo remembers one live reservation for attribution on its closing
+// transition (the cluster clears the slot's reservation record before the
+// listener fires on Reserved->X).
+type resInfo struct {
+	at    sim.Time
+	job   dag.JobID
+	phase int
+	pre   bool
+}
+
+// audit appends one decision event, stamping time and shard. No-op without
+// an attached audit stream.
+func (d *Driver) audit(ev obs.AuditEvent) {
+	if d.opts.Audit == nil {
+		return
+	}
+	ev.Time = d.eng.Now()
+	ev.Shard = d.opts.AuditShard
+	d.opts.Audit.Append(ev)
+}
+
+// auditJobName resolves a job's name for audit events; the static-fence
+// sentinel reads "static".
+func (d *Driver) auditJobName(id dag.JobID) string {
+	if id == StaticJobID {
+		return "static"
+	}
+	if jr := d.jobsByID[id]; jr != nil {
+		return jr.job.Name
+	}
+	return ""
+}
+
+// onSlotTransition observes every cluster state change: reservation spans
+// open on ->Reserved (where the slot's reservation record is still
+// readable) and close on Reserved->, feeding the audit stream and the
+// hold-time histograms. It runs after the usage integrator's listener.
+func (d *Driver) onSlotTransition(id cluster.SlotID, from, to cluster.SlotState) {
+	now := d.eng.Now()
+	m := d.opts.Metrics
+	if to == cluster.Reserved {
+		ri := resInfo{at: now, job: StaticJobID, pre: from == cluster.Free}
+		if res, ok := d.cl.Slot(id).Reservation(); ok {
+			ri.job, ri.phase = res.Job, res.Phase
+		}
+		d.resAt[id] = ri
+		kind := obs.KindReserve
+		if ri.pre {
+			kind = obs.KindPreReserve
+			if m != nil {
+				m.PreReservations.Inc()
+			}
+		} else if m != nil {
+			m.Reservations.Inc()
+		}
+		d.audit(obs.AuditEvent{Kind: kind, Job: int64(ri.job),
+			JobName: d.auditJobName(ri.job), Phase: ri.phase, Slot: int(id)})
+		return
+	}
+	if from != cluster.Reserved {
+		return
+	}
+	ri, ok := d.resAt[id]
+	if !ok {
+		return
+	}
+	delete(d.resAt, id)
+	hold := now - ri.at
+	var kind obs.Kind
+	switch to {
+	case cluster.Busy:
+		kind = obs.KindReserveConsumed
+		if m != nil {
+			m.ReservationsConsumed.Inc()
+		}
+	case cluster.Failed:
+		kind = obs.KindReserveVoided
+		if m != nil {
+			m.ReservedIdleLoss.ObserveDuration(hold)
+		}
+	default:
+		kind = obs.KindUnreserve
+		if m != nil {
+			m.Unreserves.Inc()
+			m.ReservedIdleLoss.ObserveDuration(hold)
+		}
+	}
+	if m != nil {
+		m.ReservationHold.ObserveDuration(hold)
+	}
+	d.audit(obs.AuditEvent{Kind: kind, Job: int64(ri.job),
+		JobName: d.auditJobName(ri.job), Phase: ri.phase, Slot: int(id)})
+}
+
+// observePlacement records one task placement's queue wait (task-set
+// submission to dispatch).
+func (d *Driver) observePlacement(pr *phaseRun) {
+	if m := d.opts.Metrics; m != nil {
+		m.QueueWait.ObserveDuration(d.eng.Now() - pr.start)
+	}
+}
+
+// auditRelease records an Algorithm 1 Release decision.
+func (d *Driver) auditRelease(pr *phaseRun, slot cluster.SlotID) {
+	if m := d.opts.Metrics; m != nil {
+		m.Releases.Inc()
+	}
+	d.audit(obs.AuditEvent{Kind: obs.KindRelease, Job: int64(pr.jr.job.ID),
+		JobName: pr.jr.job.Name, Phase: pr.phase.ID, Slot: int(slot)})
+}
+
+// loanGranted records granted loans and their grant times for round-trip
+// measurement on the borrower's clock.
+func (d *Driver) loanGranted(pr *phaseRun, granted int) {
+	jr := pr.jr
+	if d.opts.Metrics != nil {
+		d.opts.Metrics.LoansGranted.Add(float64(granted))
+		now := d.eng.Now()
+		for i := 0; i < granted; i++ {
+			jr.loanGrants = append(jr.loanGrants, now)
+		}
+	}
+	d.audit(obs.AuditEvent{Kind: obs.KindLoanGrant, Job: int64(jr.job.ID),
+		JobName: jr.job.Name, Phase: pr.phase.ID, Slot: -1, Count: granted})
+}
+
+// loansHome records n loans going back to their owners (idle returns or a
+// consumed loan finishing), closing their round-trip observations FIFO.
+func (d *Driver) loansHome(jr *jobRun, phase int, n int, kind obs.Kind) {
+	if m := d.opts.Metrics; m != nil {
+		m.LoansReturned.Add(float64(n))
+		now := d.eng.Now()
+		for k := n; k > 0 && len(jr.loanGrants) > 0; k-- {
+			m.LendRoundTrip.ObserveDuration(now - jr.loanGrants[0])
+			jr.loanGrants = jr.loanGrants[1:]
+		}
+	}
+	d.audit(obs.AuditEvent{Kind: kind, Job: int64(jr.job.ID),
+		JobName: jr.job.Name, Phase: phase, Slot: -1, Count: n})
+}

@@ -185,10 +185,11 @@ func fig4Experiment() Experiment {
 		for _, spec := range workload.MLSuite() {
 			for _, setting := range contentionSettings {
 				for r, seed := range seeds {
+					key := fmt.Sprintf("fig4/%s/%s/run%d", spec.Name, setting.name, r)
 					cells = append(cells, Cell{
-						Key: fmt.Sprintf("fig4/%s/%s/run%d", spec.Name, setting.name, r),
+						Key: key,
 						Run: func() (any, error) {
-							return runOneForeground(env, spec, opts, seed, setting.scale)
+							return runOneForeground(env, spec, p.Obs.Instrument(key, opts), seed, setting.scale)
 						},
 					})
 				}
@@ -248,7 +249,7 @@ func fig5Experiment() Experiment {
 				if err != nil {
 					return nil, err
 				}
-				res, err := runSim(env.nodes, env.perNode, opts, []*dag.Job{fg})
+				res, err := runSim(env.nodes, env.perNode, p.Obs.Instrument("fig5/alone", opts), []*dag.Job{fg})
 				if err != nil {
 					return nil, err
 				}
@@ -263,7 +264,7 @@ func fig5Experiment() Experiment {
 				if err != nil {
 					return nil, err
 				}
-				res, err := runSim(env.nodes, env.perNode, opts, []*dag.Job{fg}, bgJobs)
+				res, err := runSim(env.nodes, env.perNode, p.Obs.Instrument("fig5/contended", opts), []*dag.Job{fg}, bgJobs)
 				if err != nil {
 					return nil, err
 				}

@@ -52,6 +52,9 @@ type Params struct {
 	Seed int64
 	// Scale selects Quick or Full dimensions.
 	Scale Scale
+	// Obs, when non-nil, collects per-cell scheduler metrics from the
+	// cells that support instrumentation (ssrexp -json dumps them).
+	Obs *Collector
 }
 
 // DefaultParams returns Full-scale parameters with a fixed seed.

@@ -41,9 +41,10 @@ var mitigationStrategies = []struct {
 	}},
 }
 
-func mitigationOne(env contentionEnv, name string, tweak func(*driver.Options), seed int64) (mitigationRow, error) {
+func mitigationOne(env contentionEnv, name string, tweak func(*driver.Options), seed int64, obsc *Collector) (mitigationRow, error) {
 	opts := ssrOpts()
 	tweak(&opts)
+	opts = obsc.Instrument("mitcompare/"+name, opts)
 
 	base, err := workload.KMeans.Build(1, fgPriority, env.fgSubmit, stats.Stream(seed, "mit-fg"))
 	if err != nil {
@@ -96,7 +97,7 @@ func mitigationExperiment() Experiment {
 		for _, st := range mitigationStrategies {
 			cells = append(cells, Cell{
 				Key: "mitcompare/" + st.name,
-				Run: func() (any, error) { return mitigationOne(env, st.name, st.tweak, p.Seed) },
+				Run: func() (any, error) { return mitigationOne(env, st.name, st.tweak, p.Seed, p.Obs) },
 			})
 		}
 		return cells, nil

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"sort"
+	"sync"
+
+	"ssr/internal/driver"
+	"ssr/internal/obs"
+)
+
+// A Collector gathers per-cell scheduler metrics during an experiment run.
+// Cells opt in by routing their driver options through Instrument with
+// their cell key; the simulation then records reservation counters and
+// latency histograms into a registry private to that cell. Because the
+// metrics ride the virtual clock and never influence scheduling, the dumps
+// are deterministic and identical for any runner worker count.
+//
+// A nil *Collector disables collection: Instrument returns the options
+// unchanged and Snapshots returns nil, so cells need no conditionals.
+type Collector struct {
+	mu    sync.Mutex
+	cells map[string]*obs.Registry
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{cells: map[string]*obs.Registry{}}
+}
+
+// Instrument wires a metrics registry keyed by cell into the options and
+// returns them. Repeated calls with one key share the registry, so a cell
+// running several simulations aggregates them.
+func (c *Collector) Instrument(key string, opts driver.Options) driver.Options {
+	if c == nil {
+		return opts
+	}
+	c.mu.Lock()
+	r := c.cells[key]
+	if r == nil {
+		r = obs.NewRegistry()
+		c.cells[key] = r
+	}
+	c.mu.Unlock()
+	opts.Metrics = obs.NewSchedMetrics(r)
+	return opts
+}
+
+// CellMetrics is one instrumented cell's scheduler-metrics dump.
+type CellMetrics struct {
+	Cell     string               `json:"cell"`
+	Families []obs.FamilySnapshot `json:"families"`
+}
+
+// Snapshots dumps every instrumented cell's registry, sorted by cell key
+// for deterministic output.
+func (c *Collector) Snapshots() []CellMetrics {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]CellMetrics, 0, len(c.cells))
+	for key, r := range c.cells {
+		out = append(out, CellMetrics{Cell: key, Families: r.Snapshot()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Cell < out[j].Cell })
+	return out
+}

@@ -232,11 +232,17 @@ func fig16Experiment() Experiment {
 		setting := largeSettings()[0]
 		var cells []Cell
 		for _, r := range fig16Thresholds {
+			key := fmt.Sprintf("fig16/R%.2f", r)
 			cells = append(cells, Cell{
-				Key: fmt.Sprintf("fig16/R%.2f", r),
+				Key: key,
 				Run: func() (any, error) {
+					// The tweak hook is also where instrumentation lands:
+					// runLarge builds its options internally.
 					mean, _, _, err := runLarge(env, suiteSQL, setting, true, p.Seed,
-						func(o *driver.Options) { o.SSR.PreReserveThreshold = r })
+						func(o *driver.Options) {
+							o.SSR.PreReserveThreshold = r
+							*o = p.Obs.Instrument(key, *o)
+						})
 					return mean, err
 				},
 			})

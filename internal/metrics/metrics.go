@@ -35,6 +35,7 @@ type SlotUsage struct {
 	last         time.Duration
 	busyTime     time.Duration
 	reservedTime time.Duration
+	done         bool
 }
 
 // NewSlotUsage creates a usage integrator over a cluster of the given size.
@@ -63,7 +64,13 @@ func (u *SlotUsage) Listener() cluster.StateListener {
 }
 
 func (u *SlotUsage) advance() {
-	t := u.now()
+	if u.done {
+		return
+	}
+	u.advanceTo(u.now())
+}
+
+func (u *SlotUsage) advanceTo(t time.Duration) {
 	dt := t - u.last
 	if dt <= 0 {
 		return
@@ -71,6 +78,18 @@ func (u *SlotUsage) advance() {
 	u.busyTime += time.Duration(u.busy) * dt
 	u.reservedTime += time.Duration(u.reserved) * dt
 	u.last = t
+}
+
+// Finish finalizes the integrals at the end of a run: occupancy is
+// integrated up to now and the accumulators freeze, so late reads (an
+// exporter flushing after the engine stopped, a scrape racing a drain)
+// cannot stretch the horizon past the run. Finishing twice is a no-op.
+func (u *SlotUsage) Finish(now time.Duration) {
+	if u.done {
+		return
+	}
+	u.advanceTo(now)
+	u.done = true
 }
 
 // BusySlots returns the instantaneous busy-slot gauge.

@@ -284,3 +284,36 @@ func TestJobStats(t *testing.T) {
 		t.Error("String should be non-empty")
 	}
 }
+
+// TestSlotUsageFinish pins the integrals at end-of-run: a fully busy run
+// reads utilization exactly 1.0, and reads after Finish cannot stretch the
+// horizon even when the clock keeps moving.
+func TestSlotUsageFinish(t *testing.T) {
+	clock := &fakeClock{}
+	u := NewSlotUsage(2, clock.now)
+	l := u.Listener()
+
+	// Both slots busy for the whole 10s run.
+	l(0, cluster.Free, cluster.Busy)
+	l(1, cluster.Free, cluster.Busy)
+	clock.t = 10 * time.Second
+	u.Finish(clock.t)
+
+	if got := u.Utilization(10 * time.Second); got != 1.0 {
+		t.Errorf("fully busy run: Utilization = %v, want exactly 1.0", got)
+	}
+	// The clock drifting past the run (a scrape after the engine stopped)
+	// must not accrue more slot-time.
+	clock.t = 100 * time.Second
+	if got, want := u.BusyTime(), 20*time.Second; got != want {
+		t.Errorf("BusyTime after Finish = %v, want %v", got, want)
+	}
+	if got := u.Utilization(10 * time.Second); got != 1.0 {
+		t.Errorf("Utilization after clock drift = %v, want exactly 1.0", got)
+	}
+	// Finishing twice is a no-op.
+	u.Finish(200 * time.Second)
+	if got, want := u.BusyTime(), 20*time.Second; got != want {
+		t.Errorf("BusyTime after double Finish = %v, want %v", got, want)
+	}
+}

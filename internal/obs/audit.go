@@ -1,0 +1,247 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Kind enumerates the reservation-decision audit event types.
+type Kind uint8
+
+// Audit event kinds. The slot-transition kinds mirror the cluster state
+// machine; the decision kinds record Algorithm 1 and its refinements as the
+// driver takes them.
+const (
+	// KindReserve: a freed slot was reserved for its job's downstream
+	// computation (Algorithm 1 Reserve, Busy -> Reserved). Static fences
+	// and timeout-mode holds also appear here, owned by their sentinel or
+	// job.
+	KindReserve Kind = iota + 1
+	// KindPreReserve: a free slot was captured by pre-reservation quota at
+	// threshold R (Free -> Reserved).
+	KindPreReserve
+	// KindReserveConsumed: a reserved slot started one of its owner's
+	// tasks (Reserved -> Busy).
+	KindReserveConsumed
+	// KindUnreserve: an idle reservation was canceled — deadline or
+	// timeout expiry, reconciliation, or job end (Reserved -> Free).
+	KindUnreserve
+	// KindReserveVoided: a reservation died with its node
+	// (Reserved -> Failed).
+	KindReserveVoided
+	// KindRelease: Algorithm 1 released a freed slot to the pool instead
+	// of reserving it (the first m-n completions of the m > n case, the
+	// too-small-slot rule, or a non-reserving tracker state).
+	KindRelease
+	// KindDeadlineArmed: the phase's first completion estimated t_m and
+	// armed the reservation deadline D = t_m (1-P^(1/N))^(-1/alpha); the
+	// event carries the inputs and the computed deadline.
+	KindDeadlineArmed
+	// KindDeadlineExpire: the deadline passed before the barrier cleared;
+	// the phase's reservations were returned to the pool.
+	KindDeadlineExpire
+	// KindCopyLaunch: a straggler-mitigation copy was launched on a
+	// reserved slot.
+	KindCopyLaunch
+	// KindCopyWin: a mitigation copy finished before its original.
+	KindCopyWin
+	// KindCopyKill: a mitigation copy was killed because its original
+	// finished first.
+	KindCopyKill
+	// KindLoanGrant: Count cross-shard slot loans were granted to the job.
+	KindLoanGrant
+	// KindLoanReturn: Count idle loans were handed back to their owners.
+	KindLoanReturn
+	// KindLoanFinish: one consumed loan's task finished and the slot went
+	// home.
+	KindLoanFinish
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindReserve:
+		return "reserve"
+	case KindPreReserve:
+		return "pre_reserve"
+	case KindReserveConsumed:
+		return "reserve_consumed"
+	case KindUnreserve:
+		return "unreserve"
+	case KindReserveVoided:
+		return "reserve_voided"
+	case KindRelease:
+		return "release"
+	case KindDeadlineArmed:
+		return "deadline_armed"
+	case KindDeadlineExpire:
+		return "deadline_expire"
+	case KindCopyLaunch:
+		return "copy_launch"
+	case KindCopyWin:
+		return "copy_win"
+	case KindCopyKill:
+		return "copy_kill"
+	case KindLoanGrant:
+		return "loan_grant"
+	case KindLoanReturn:
+		return "loan_return"
+	case KindLoanFinish:
+		return "loan_finish"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// MarshalJSON renders the kind as its string name.
+func (k Kind) MarshalJSON() ([]byte, error) {
+	return []byte(strconv.Quote(k.String())), nil
+}
+
+// AuditEvent is one reservation decision, stamped with the virtual clock.
+// Fields beyond Seq, Time, Shard and Kind are meaningful only for the kinds
+// that concern them; Slot is -1 when no home-cluster slot is involved.
+type AuditEvent struct {
+	// Seq is the global append sequence number (order across shards).
+	Seq uint64 `json:"seq"`
+	// Time is the originating scheduler's virtual clock.
+	Time time.Duration `json:"tNs"`
+	// Shard is the originating scheduler's shard index (0 unsharded).
+	Shard int `json:"shard"`
+	// Kind is the decision type.
+	Kind Kind `json:"kind"`
+
+	Job     int64  `json:"job,omitempty"`
+	JobName string `json:"jobName,omitempty"`
+	Phase   int    `json:"phase,omitempty"`
+	Task    int    `json:"task,omitempty"`
+	Slot    int    `json:"slot"`
+	// Count is the number of slots in a loan grant/return event.
+	Count int `json:"count,omitempty"`
+
+	// Deadline inputs and result (KindDeadlineArmed): t_m estimate, task
+	// count N, isolation guarantee P, Pareto tail alpha, and the computed
+	// deadline D, all on the virtual clock.
+	TmSec       float64 `json:"tmSec,omitempty"`
+	N           int     `json:"n,omitempty"`
+	P           float64 `json:"p,omitempty"`
+	Alpha       float64 `json:"alpha,omitempty"`
+	DeadlineSec float64 `json:"deadlineSec,omitempty"`
+}
+
+// DefaultAuditCapacity is the ring-buffer retention used when NewAudit is
+// given a non-positive capacity.
+const DefaultAuditCapacity = 8192
+
+// Audit is a bounded ring buffer of decision events. Appends are O(1) and
+// never allocate past the ring; once full, the oldest events are
+// overwritten (Dropped counts them). It is safe for concurrent use: the
+// online service shares one Audit across K shard loops, interleaving their
+// streams in append order.
+type Audit struct {
+	mu    sync.Mutex
+	buf   []AuditEvent
+	total uint64
+}
+
+// NewAudit creates an audit stream retaining up to capacity events
+// (DefaultAuditCapacity when capacity <= 0).
+func NewAudit(capacity int) *Audit {
+	if capacity <= 0 {
+		capacity = DefaultAuditCapacity
+	}
+	return &Audit{buf: make([]AuditEvent, 0, capacity)}
+}
+
+// Append records one event, stamping its sequence number. Appending to a
+// nil Audit is a no-op.
+func (a *Audit) Append(ev AuditEvent) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	ev.Seq = a.total
+	if len(a.buf) < cap(a.buf) {
+		a.buf = append(a.buf, ev)
+	} else {
+		a.buf[a.total%uint64(cap(a.buf))] = ev
+	}
+	a.total++
+	a.mu.Unlock()
+}
+
+// Total returns the number of events ever appended.
+func (a *Audit) Total() uint64 {
+	if a == nil {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.total
+}
+
+// Len returns the number of events currently retained.
+func (a *Audit) Len() int {
+	if a == nil {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.buf)
+}
+
+// Dropped returns the number of events evicted by the ring.
+func (a *Audit) Dropped() uint64 {
+	if a == nil {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.total - uint64(len(a.buf))
+}
+
+// Events returns the retained events oldest first.
+func (a *Audit) Events() []AuditEvent {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]AuditEvent, 0, len(a.buf))
+	if len(a.buf) < cap(a.buf) {
+		return append(out, a.buf...)
+	}
+	head := int(a.total % uint64(cap(a.buf)))
+	out = append(out, a.buf[head:]...)
+	return append(out, a.buf[:head]...)
+}
+
+// WriteJSONL writes the retained events as JSON Lines, oldest first.
+func (a *Audit) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, ev := range a.Events() {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteFile writes the retained events to path as JSONL.
+func (a *Audit) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := a.WriteJSONL(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}

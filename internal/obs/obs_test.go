@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ssr_test_total", "help")
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-1) // negative deltas dropped
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter = %v, want 3.5", got)
+	}
+	if again := r.Counter("ssr_test_total", "help"); again != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+	g := r.Gauge("ssr_gauge", "help")
+	g.Set(7)
+	g.Set(-2)
+	if got := g.Value(); got != -2 {
+		t.Fatalf("gauge = %v, want -2", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	snap := h.Snapshot()
+	// le=1: 0.5 and the inclusive 1; le=2: +1.5; le=5: +3; +Inf: +100.
+	want := []uint64{2, 3, 4, 5}
+	for i, w := range want {
+		if snap.CumCounts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (snap %+v)", i, snap.CumCounts[i], w, snap)
+		}
+	}
+	if snap.Count != 5 || snap.Sum != 106 {
+		t.Fatalf("count/sum = %d/%v, want 5/106", snap.Count, snap.Sum)
+	}
+}
+
+// expositionLineOK mirrors the CI lint: every non-empty line is a comment
+// or a sample.
+func expositionLineOK(line string) bool {
+	if line == "" {
+		return true
+	}
+	if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+		return true
+	}
+	// name{labels} value  |  name value
+	sp := strings.LastIndexByte(line, ' ')
+	if sp <= 0 {
+		return false
+	}
+	name := line[:sp]
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		if !strings.HasSuffix(name, "}") {
+			return false
+		}
+		name = name[:i]
+	}
+	return nameOK(name)
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ssr_jobs_total", "Jobs.", Label{"shard", "0"}).Add(3)
+	r.Counter("ssr_jobs_total", "Jobs.", Label{"shard", "1"}).Add(4)
+	r.Gauge("ssr_busy_slots", "Busy.").Set(12)
+	h := r.Histogram("ssr_wait_seconds", "Wait.", []float64{0.5, 1})
+	h.Observe(0.2)
+	h.Observe(3)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE ssr_jobs_total counter",
+		`ssr_jobs_total{shard="0"} 3`,
+		`ssr_jobs_total{shard="1"} 4`,
+		"# TYPE ssr_busy_slots gauge",
+		"ssr_busy_slots 12",
+		"# TYPE ssr_wait_seconds histogram",
+		`ssr_wait_seconds_bucket{le="0.5"} 1`,
+		`ssr_wait_seconds_bucket{le="+Inf"} 2`,
+		"ssr_wait_seconds_sum 3.2",
+		"ssr_wait_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		if !expositionLineOK(sc.Text()) {
+			t.Errorf("malformed exposition line: %q", sc.Text())
+		}
+	}
+	// Deterministic rendering.
+	var b2 strings.Builder
+	if err := r.WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != out {
+		t.Error("exposition not deterministic across renders")
+	}
+}
+
+func TestSchedMetricsFamilies(t *testing.T) {
+	r := NewRegistry()
+	NewSchedMetrics(r, Label{"shard", "0"})
+	NewSchedMetrics(r, Label{"shard", "1"}) // federated: same families, new series
+	snap := r.Snapshot()
+	if len(snap) < 10 {
+		t.Fatalf("SchedMetrics registered %d families, want >= 10", len(snap))
+	}
+	histograms := 0
+	for _, f := range snap {
+		if f.Type == "histogram" {
+			histograms++
+		}
+		if len(f.Series) != 2 {
+			t.Errorf("family %s has %d series, want 2 (one per shard)", f.Name, len(f.Series))
+		}
+	}
+	if histograms < 1 {
+		t.Fatal("no histogram family registered")
+	}
+}
+
+func TestNilMetricsSafe(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	g.Set(1)
+	h.Observe(1)
+	h.ObserveDuration(time.Second)
+	if c.Value() != 0 || g.Value() != 0 {
+		t.Fatal("nil metrics must read zero")
+	}
+}
+
+func TestAuditRing(t *testing.T) {
+	a := NewAudit(4)
+	for i := 0; i < 6; i++ {
+		a.Append(AuditEvent{Kind: KindReserve, Slot: i, Time: time.Duration(i) * time.Second})
+	}
+	if a.Total() != 6 || a.Len() != 4 || a.Dropped() != 2 {
+		t.Fatalf("total/len/dropped = %d/%d/%d, want 6/4/2", a.Total(), a.Len(), a.Dropped())
+	}
+	evs := a.Events()
+	for i, ev := range evs {
+		if want := uint64(i + 2); ev.Seq != want {
+			t.Fatalf("event %d seq = %d, want %d", i, ev.Seq, want)
+		}
+		if ev.Slot != i+2 {
+			t.Fatalf("event %d slot = %d, want %d (oldest-first order broken)", i, ev.Slot, i+2)
+		}
+	}
+}
+
+func TestAuditJSONL(t *testing.T) {
+	a := NewAudit(0)
+	a.Append(AuditEvent{Kind: KindDeadlineArmed, Job: 3, Phase: 1,
+		TmSec: 2.5, N: 8, P: 0.9, Alpha: 1.6, DeadlineSec: 10.5, Time: 42 * time.Second})
+	a.Append(AuditEvent{Kind: KindRelease, Job: 3, Slot: 7})
+	var b strings.Builder
+	if err := a.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d JSONL lines, want 2", len(lines))
+	}
+	var first map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("line 0 not JSON: %v", err)
+	}
+	if first["kind"] != "deadline_armed" || first["p"] != 0.9 || first["n"] != 8.0 {
+		t.Fatalf("deadline event lost its inputs: %v", first)
+	}
+	var nilAudit *Audit
+	nilAudit.Append(AuditEvent{}) // must not panic
+	if nilAudit.Total() != 0 {
+		t.Fatal("nil audit total != 0")
+	}
+}

@@ -1,0 +1,473 @@
+// Package obs is the scheduler's observability layer: a typed decision
+// audit stream, a metrics registry with Prometheus text exposition, and a
+// Perfetto/Chrome trace-event exporter.
+//
+// Everything in this package is passive and deterministic: metrics and
+// audit events are appended from inside simulation events, stamped with the
+// virtual clock, and never feed back into scheduling. An offline run with
+// observability attached is bit-identical to the same run without it.
+// Writers use atomics so the online service can scrape a registry while K
+// shard loops update it.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LatencyBuckets is the shared fixed bucket layout (seconds) used by every
+// duration histogram in the registry and by ssrload's client-side report,
+// so load-test output and server metrics are directly comparable.
+var LatencyBuckets = []float64{0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300, 600}
+
+// Counter is a monotonically increasing float64.
+type Counter struct {
+	bits atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds v (must be >= 0; negative deltas are dropped).
+func (c *Counter) Add(v float64) {
+	if c == nil || v <= 0 {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current total.
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return math.Float64frombits(c.bits.Load())
+}
+
+// Gauge is a settable float64.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket histogram: per-bucket counts plus sum and
+// count, observable concurrently.
+type Histogram struct {
+	bounds  []float64       // ascending upper bounds, excluding +Inf
+	counts  []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// NewHistogram creates a histogram over the given ascending upper bounds
+// (the +Inf bucket is implicit). It is usable standalone or via a Registry.
+func NewHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not ascending at %d: %v", i, bounds))
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// HistogramSnapshot is a point-in-time copy of a histogram. CumCounts are
+// cumulative per bound in Prometheus le semantics; the final entry is the
+// +Inf bucket and equals Count.
+type HistogramSnapshot struct {
+	Bounds    []float64 `json:"le"`
+	CumCounts []uint64  `json:"cumulativeCounts"`
+	Count     uint64    `json:"count"`
+	Sum       float64   `json:"sum"`
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	snap := HistogramSnapshot{
+		Bounds:    append([]float64(nil), h.bounds...),
+		CumCounts: make([]uint64, len(h.counts)),
+		Count:     h.count.Load(),
+		Sum:       math.Float64frombits(h.sumBits.Load()),
+	}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		snap.CumCounts[i] = cum
+	}
+	return snap
+}
+
+// Label is one metric dimension (e.g. shard="2").
+type Label struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota + 1
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "untyped"
+	}
+}
+
+// series is one labeled instance of a family.
+type series struct {
+	labels []Label
+	key    string // canonical label rendering, also the sort key
+	ctr    *Counter
+	gauge  *Gauge
+	hist   *Histogram
+}
+
+// family groups all series of one metric name.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	series map[string]*series
+}
+
+// Registry holds metric families in registration order. Registration is
+// idempotent: asking for an existing (name, labels) pair returns the same
+// metric, so per-shard and federated components can share one registry.
+type Registry struct {
+	mu    sync.Mutex
+	order []string
+	fams  map[string]*family
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+var nameOK = func(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		alpha := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// labelKey renders labels in sorted-by-key canonical form.
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// register finds or creates the series for (name, labels); mismatched
+// re-registration (same name, different kind) panics — a programming error.
+func (r *Registry) register(name, help string, kind metricKind, labels []Label) *series {
+	if !nameOK(name) {
+		panic("obs: invalid metric name " + strconv.Quote(name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fams[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind, series: make(map[string]*series)}
+		r.fams[name] = f
+		r.order = append(r.order, name)
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %s re-registered as %v (was %v)", name, kind, f.kind))
+	}
+	key := labelKey(labels)
+	s := f.series[key]
+	if s == nil {
+		s = &series{labels: append([]Label(nil), labels...), key: key}
+		f.series[key] = s
+	}
+	return s
+}
+
+// Counter finds or creates a counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	s := r.register(name, help, kindCounter, labels)
+	if s.ctr == nil {
+		s.ctr = &Counter{}
+	}
+	return s.ctr
+}
+
+// Gauge finds or creates a gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	s := r.register(name, help, kindGauge, labels)
+	if s.gauge == nil {
+		s.gauge = &Gauge{}
+	}
+	return s.gauge
+}
+
+// Histogram finds or creates a histogram series over the given bounds. The
+// bounds of an existing series are kept; callers of a shared registry must
+// agree on them.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	s := r.register(name, help, kindHistogram, labels)
+	if s.hist == nil {
+		s.hist = NewHistogram(bounds)
+	}
+	return s.hist
+}
+
+// SeriesSnapshot is one labeled series in a registry snapshot. Value holds
+// counter/gauge readings; Histogram is set for histogram series.
+type SeriesSnapshot struct {
+	Labels    []Label            `json:"labels,omitempty"`
+	Value     float64            `json:"value"`
+	Histogram *HistogramSnapshot `json:"histogram,omitempty"`
+}
+
+// FamilySnapshot is one metric family in a registry snapshot.
+type FamilySnapshot struct {
+	Name   string           `json:"name"`
+	Help   string           `json:"help,omitempty"`
+	Type   string           `json:"type"`
+	Series []SeriesSnapshot `json:"series"`
+}
+
+// Snapshot copies the whole registry: families in registration order,
+// series sorted by label key — a deterministic, JSON-friendly dump.
+func (r *Registry) Snapshot() []FamilySnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]FamilySnapshot, 0, len(r.order))
+	for _, name := range r.order {
+		f := r.fams[name]
+		fs := FamilySnapshot{Name: f.name, Help: f.help, Type: f.kind.String()}
+		for _, s := range sortedSeries(f) {
+			ss := SeriesSnapshot{Labels: s.labels}
+			switch f.kind {
+			case kindCounter:
+				ss.Value = s.ctr.Value()
+			case kindGauge:
+				ss.Value = s.gauge.Value()
+			case kindHistogram:
+				h := s.hist.Snapshot()
+				ss.Histogram = &h
+			}
+			fs.Series = append(fs.Series, ss)
+		}
+		out = append(out, fs)
+	}
+	return out
+}
+
+func sortedSeries(f *family) []*series {
+	out := make([]*series, 0, len(f.series))
+	for _, s := range f.series {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
+	return out
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): # HELP / # TYPE headers, one line per sample,
+// histograms as cumulative _bucket{le=...} plus _sum and _count. Output is
+// deterministic: families in registration order, series sorted by labels.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var b strings.Builder
+	for _, name := range r.order {
+		f := r.fams[name]
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " "))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range sortedSeries(f) {
+			switch f.kind {
+			case kindCounter:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, s.key, formatValue(s.ctr.Value()))
+			case kindGauge:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, s.key, formatValue(s.gauge.Value()))
+			case kindHistogram:
+				snap := s.hist.Snapshot()
+				for i, bound := range snap.Bounds {
+					fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name,
+						withLE(s.labels, formatValue(bound)), snap.CumCounts[i])
+				}
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name,
+					withLE(s.labels, "+Inf"), snap.Count)
+				fmt.Fprintf(&b, "%s_sum%s %s\n", f.name, s.key, formatValue(snap.Sum))
+				fmt.Fprintf(&b, "%s_count%s %d\n", f.name, s.key, snap.Count)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// withLE renders labels plus an le bound for histogram bucket lines.
+func withLE(labels []Label, le string) string {
+	return labelKey(append(append([]Label(nil), labels...), Label{Key: "le", Value: le}))
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}
+
+// SchedMetrics bundles the per-scheduler (per-shard) metric series the
+// driver updates on its hot paths: the paper's latency distributions plus
+// decision counters. Create one per driver via NewSchedMetrics and hand it
+// to driver.Options.Metrics; a nil *SchedMetrics disables collection.
+type SchedMetrics struct {
+	// QueueWait observes task-set submission to task placement, per task.
+	QueueWait *Histogram
+	// PhaseJCT observes phase-barrier latency: submission to last finish.
+	PhaseJCT *Histogram
+	// ReservationHold observes how long each reservation was held, from
+	// reserve to consume, cancel or void.
+	ReservationHold *Histogram
+	// ReservedIdleLoss observes the hold time of reservations that were
+	// never consumed — pure utilization loss (canceled or voided).
+	ReservedIdleLoss *Histogram
+	// LendRoundTrip observes loan grant to return/finish, on the
+	// borrower's clock.
+	LendRoundTrip *Histogram
+
+	Reservations         *Counter // Algorithm 1 Reserve decisions (Busy -> Reserved)
+	PreReservations      *Counter // pre-reservations at threshold R (Free -> Reserved)
+	ReservationsConsumed *Counter // reservations used by a task (Reserved -> Busy)
+	Unreserves           *Counter // reservations canceled idle (Reserved -> Free)
+	Releases             *Counter // Algorithm 1 Release decisions (incl. first m-n)
+	DeadlinesArmed       *Counter // deadlines D computed and armed
+	DeadlinesExpired     *Counter // deadlines that fired before the barrier
+	CopiesLaunched       *Counter // straggler copies launched on reserved slots
+	CopiesWon            *Counter // copies that finished first
+	CopiesKilled         *Counter // copies killed by their original finishing
+	LoansGranted         *Counter // cross-shard loans granted to this scheduler
+	LoansReturned        *Counter // loans sent home (idle returns and finishes)
+}
+
+// NewSchedMetrics registers the scheduler metric families in r under the
+// given labels (typically a shard tag) and returns the bundle.
+func NewSchedMetrics(r *Registry, labels ...Label) *SchedMetrics {
+	h := func(name, help string) *Histogram {
+		return r.Histogram(name, help, LatencyBuckets, labels...)
+	}
+	c := func(name, help string) *Counter {
+		return r.Counter(name, help, labels...)
+	}
+	return &SchedMetrics{
+		QueueWait:        h("ssr_queue_wait_seconds", "Task-set submission to task placement, per task."),
+		PhaseJCT:         h("ssr_phase_duration_seconds", "Phase submission to barrier clear."),
+		ReservationHold:  h("ssr_reservation_hold_seconds", "Reservation lifetime: reserve to consume, cancel or void."),
+		ReservedIdleLoss: h("ssr_reserved_idle_loss_seconds", "Hold time of reservations canceled or voided unconsumed."),
+		LendRoundTrip:    h("ssr_lending_roundtrip_seconds", "Cross-shard loan grant to return, borrower clock."),
+
+		Reservations:         c("ssr_reservations_total", "Algorithm 1 Reserve decisions."),
+		PreReservations:      c("ssr_pre_reservations_total", "Pre-reservations captured at threshold R."),
+		ReservationsConsumed: c("ssr_reservations_consumed_total", "Reservations used by a task."),
+		Unreserves:           c("ssr_unreserves_total", "Reservations canceled while idle."),
+		Releases:             c("ssr_releases_total", "Algorithm 1 Release decisions."),
+		DeadlinesArmed:       c("ssr_deadlines_armed_total", "Reservation deadlines computed and armed."),
+		DeadlinesExpired:     c("ssr_deadlines_expired_total", "Reservation deadlines that expired before the barrier."),
+		CopiesLaunched:       c("ssr_copies_launched_total", "Straggler-mitigation copies launched."),
+		CopiesWon:            c("ssr_copies_won_total", "Straggler-mitigation copies that won."),
+		CopiesKilled:         c("ssr_copies_killed_total", "Straggler-mitigation copies killed by their original."),
+		LoansGranted:         c("ssr_loans_granted_total", "Cross-shard slot loans granted."),
+		LoansReturned:        c("ssr_loans_returned_total", "Cross-shard slot loans sent home."),
+	}
+}

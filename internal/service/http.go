@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"ssr/internal/obs"
 	"ssr/internal/realtime"
 )
 
@@ -33,7 +34,11 @@ func writeError(w http.ResponseWriter, code int, err error) {
 //	GET  /jobs        list all jobs
 //	GET  /jobs/{id}   one job's status
 //	GET  /cluster     per-slot cluster state
-//	GET  /metrics     utilization, counters, slowdowns
+//	GET  /metrics     utilization, counters, slowdowns (JSON);
+//	                  ?format=prometheus for text exposition 0.0.4
+//	GET  /trace       recorded task attempts (JSON); ?format=csv, or
+//	                  ?format=perfetto for Chrome trace-event JSON
+//	GET  /audit       reservation-decision stream as JSON Lines
 //	GET  /events      server-sent event stream (Last-Event-ID resume)
 //	GET  /healthz     liveness
 //
@@ -89,12 +94,51 @@ func NewHandler(svc *Service) http.Handler {
 		writeJSON(w, http.StatusOK, cs)
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "prometheus" {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			if err := svc.WritePrometheus(w); err != nil {
+				writeError(w, http.StatusServiceUnavailable, err)
+			}
+			return
+		}
 		ms, err := svc.Metrics()
 		if err != nil {
 			writeError(w, http.StatusServiceUnavailable, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, ms)
+	})
+	mux.HandleFunc("GET /trace", func(w http.ResponseWriter, r *http.Request) {
+		rec := svc.Trace()
+		if rec == nil {
+			writeError(w, http.StatusNotFound,
+				errors.New("trace recording disabled (Config.RecordTrace)"))
+			return
+		}
+		switch r.URL.Query().Get("format") {
+		case "", "json":
+			w.Header().Set("Content-Type", "application/json")
+			_ = rec.WriteJSON(w)
+		case "csv":
+			w.Header().Set("Content-Type", "text/csv")
+			_ = rec.WriteCSV(w)
+		case "perfetto":
+			w.Header().Set("Content-Type", "application/json")
+			_ = obs.WritePerfetto(w, rec.Events(), svc.Audit().Events())
+		default:
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("unknown trace format %q", r.URL.Query().Get("format")))
+		}
+	})
+	mux.HandleFunc("GET /audit", func(w http.ResponseWriter, r *http.Request) {
+		audit := svc.Audit()
+		if audit == nil {
+			writeError(w, http.StatusNotFound,
+				errors.New("audit stream disabled (Config.AuditCapacity < 0)"))
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = audit.WriteJSONL(w)
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})

@@ -1,0 +1,84 @@
+package service
+
+import (
+	"io"
+
+	"ssr/internal/obs"
+)
+
+// svcGauges are the service-wide families layered over the per-shard
+// scheduler metrics: cluster occupancy, the usage integrals, the job-state
+// machine and the event bus. They are refreshed from a MetricsStatus
+// snapshot on each scrape, so the exposition and the JSON /metrics view
+// always agree.
+type svcGauges struct {
+	virtualTime     *obs.Gauge
+	slots           *obs.Gauge
+	slotsBusy       *obs.Gauge
+	slotsReserved   *obs.Gauge
+	slotsFailed     *obs.Gauge
+	busySlotSec     *obs.Gauge
+	reservedIdleSec *obs.Gauge
+	utilization     *obs.Gauge
+	reservedIdle    *obs.Gauge
+	jobsSubmitted   *obs.Gauge
+	jobsRunning     *obs.Gauge
+	jobsCompleted   *obs.Gauge
+	jobsFailed      *obs.Gauge
+	busPublished    *obs.Gauge
+	busDropped      *obs.Gauge
+	auditTotal      *obs.Gauge
+	auditDropped    *obs.Gauge
+}
+
+func newSvcGauges(r *obs.Registry) svcGauges {
+	return svcGauges{
+		virtualTime:     r.Gauge("ssr_virtual_time_seconds", "Latest shard virtual clock."),
+		slots:           r.Gauge("ssr_slots", "Total slots across shards."),
+		slotsBusy:       r.Gauge("ssr_slots_busy", "Slots currently running a task."),
+		slotsReserved:   r.Gauge("ssr_slots_reserved", "Slots currently held reserved-idle."),
+		slotsFailed:     r.Gauge("ssr_slots_failed", "Slots on failed nodes."),
+		busySlotSec:     r.Gauge("ssr_busy_slot_seconds", "Integrated busy slot-time (virtual)."),
+		reservedIdleSec: r.Gauge("ssr_reserved_idle_slot_seconds", "Integrated reserved-idle slot-time: the paper's utilization loss."),
+		utilization:     r.Gauge("ssr_utilization_ratio", "Busy slot-time over capacity."),
+		reservedIdle:    r.Gauge("ssr_reserved_idle_ratio", "Reserved-idle slot-time over capacity."),
+		jobsSubmitted:   r.Gauge("ssr_jobs_submitted", "Jobs admitted since start."),
+		jobsRunning:     r.Gauge("ssr_jobs_running", "Jobs currently running."),
+		jobsCompleted:   r.Gauge("ssr_jobs_completed", "Jobs finished successfully."),
+		jobsFailed:      r.Gauge("ssr_jobs_failed", "Jobs aborted or failed."),
+		busPublished:    r.Gauge("ssr_bus_events_published", "Events published on the bus."),
+		busDropped:      r.Gauge("ssr_bus_dropped_subscribers", "Subscribers dropped for falling behind."),
+		auditTotal:      r.Gauge("ssr_audit_events_total", "Reservation-decision audit events appended."),
+		auditDropped:    r.Gauge("ssr_audit_events_dropped", "Audit events evicted by the retention ring."),
+	}
+}
+
+// WritePrometheus refreshes the service gauges from a live MetricsStatus
+// snapshot and renders the whole registry — service families plus the
+// per-shard scheduler counters and histograms — in Prometheus text
+// exposition format 0.0.4.
+func (s *Service) WritePrometheus(w io.Writer) error {
+	ms, err := s.Metrics()
+	if err != nil {
+		return err
+	}
+	g := &s.gauges
+	g.virtualTime.Set(float64(ms.VirtualNowMs) / 1000)
+	g.slots.Set(float64(ms.Slots))
+	g.slotsBusy.Set(float64(ms.BusySlots))
+	g.slotsReserved.Set(float64(ms.ReservedSlots))
+	g.slotsFailed.Set(float64(ms.FailedSlots))
+	g.busySlotSec.Set(ms.BusySlotSec)
+	g.reservedIdleSec.Set(ms.ReservedIdleSec)
+	g.utilization.Set(ms.Utilization)
+	g.reservedIdle.Set(ms.ReservedFraction)
+	g.jobsSubmitted.Set(float64(ms.JobsSubmitted))
+	g.jobsRunning.Set(float64(ms.JobsRunning))
+	g.jobsCompleted.Set(float64(ms.JobsCompleted))
+	g.jobsFailed.Set(float64(ms.JobsFailed))
+	g.busPublished.Set(float64(ms.EventsPublished))
+	g.busDropped.Set(float64(ms.DroppedSubscribers))
+	g.auditTotal.Set(float64(s.audit.Total()))
+	g.auditDropped.Set(float64(s.audit.Dropped()))
+	return s.reg.WritePrometheus(w)
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -12,6 +13,7 @@ import (
 	"ssr/internal/dag"
 	"ssr/internal/driver"
 	"ssr/internal/metrics"
+	"ssr/internal/obs"
 	"ssr/internal/realtime"
 	"ssr/internal/shard"
 	"ssr/internal/sim"
@@ -60,6 +62,11 @@ type Config struct {
 	// exportable at shutdown. With Shards > 1 all shards share it; slot
 	// IDs in the trace are then per-shard.
 	RecordTrace bool
+	// AuditCapacity bounds the reservation-decision audit ring shared by
+	// all shards (GET /audit, and the reservation spans of GET
+	// /trace?format=perfetto). 0 means obs.DefaultAuditCapacity; negative
+	// disables the audit stream entirely.
+	AuditCapacity int
 }
 
 func (c Config) withDefaults() Config {
@@ -127,6 +134,9 @@ type Service struct {
 	broker *shard.Broker
 	bus    *Bus
 	rec    *trace.Recorder
+	reg    *obs.Registry
+	audit  *obs.Audit
+	gauges svcGauges
 
 	// mu guards the job table, the service counters and the per-shard
 	// placement gauges. Loop goroutines take it briefly inside event
@@ -166,11 +176,19 @@ func New(cfg Config) (*Service, error) {
 	if cfg.Driver.Lender != nil {
 		return nil, errors.New("service: Driver.Lender must be nil (the service wires its broker)")
 	}
+	if cfg.Driver.Audit != nil || cfg.Driver.Metrics != nil {
+		return nil, errors.New("service: Driver.Audit/Metrics must be nil (the service wires its own)")
+	}
 	s := &Service{
 		cfg:    cfg,
 		bus:    NewBus(cfg.BusCapacity),
 		nextID: 1,
 		jobs:   make(map[dag.JobID]*jobEntry),
+		reg:    obs.NewRegistry(),
+	}
+	s.gauges = newSvcGauges(s.reg)
+	if cfg.AuditCapacity >= 0 {
+		s.audit = obs.NewAudit(cfg.AuditCapacity)
 	}
 	if cfg.RecordTrace && cfg.Driver.Trace == nil {
 		s.rec = trace.NewRecorder()
@@ -214,6 +232,10 @@ func New(cfg Config) (*Service, error) {
 		if s.broker != nil {
 			dopts.Lender = s.broker.Lender(i)
 		}
+		dopts.Audit = s.audit
+		dopts.AuditShard = i
+		dopts.Metrics = obs.NewSchedMetrics(s.reg,
+			obs.Label{Key: "shard", Value: strconv.Itoa(i)})
 		drv, err := driver.New(sh.eng, sh.cl, dopts)
 		if err != nil {
 			return nil, fmt.Errorf("shard %d: %w", i, err)
@@ -270,6 +292,14 @@ func (s *Service) Broker() *shard.Broker { return s.broker }
 
 // Trace returns the attached trace recorder, or nil.
 func (s *Service) Trace() *trace.Recorder { return s.rec }
+
+// Registry returns the service's metrics registry: per-shard scheduler
+// families plus the service-level gauges WritePrometheus refreshes.
+func (s *Service) Registry() *obs.Registry { return s.reg }
+
+// Audit returns the shared reservation-decision audit stream, or nil when
+// disabled by Config.AuditCapacity < 0.
+func (s *Service) Audit() *obs.Audit { return s.audit }
 
 // Call runs fn on shard 0's loop goroutine with exclusive access to that
 // shard's driver (and, through it, its engine and cluster). It exists for

@@ -3,12 +3,14 @@ package shard
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"time"
 
 	"ssr/internal/cluster"
 	"ssr/internal/dag"
 	"ssr/internal/driver"
 	"ssr/internal/metrics"
+	"ssr/internal/obs"
 	"ssr/internal/sim"
 )
 
@@ -75,6 +77,12 @@ func New(opts Options) (*Federation, error) {
 		}
 		if f.broker != nil {
 			dopts.Lender = f.broker.Lender(i)
+		}
+		dopts.Audit = o.Audit
+		dopts.AuditShard = i
+		if o.Registry != nil {
+			dopts.Metrics = obs.NewSchedMetrics(o.Registry,
+				obs.Label{Key: "shard", Value: strconv.Itoa(i)})
 		}
 		drv, err := driver.New(sh.Eng, sh.Cl, dopts)
 		if err != nil {
@@ -176,6 +184,12 @@ func (f *Federation) Run() error {
 		if n := sh.Drv.Unfinished(); n > 0 {
 			return fmt.Errorf("shard %d: %d jobs unfinished after event queues drained", i, n)
 		}
+	}
+	// Pin every shard's usage integrals at its drained clock, mirroring
+	// driver.Run (which the federation bypasses by stepping engines
+	// directly).
+	for _, sh := range f.shards {
+		sh.Drv.Usage().Finish(sh.Eng.Now())
 	}
 	return nil
 }

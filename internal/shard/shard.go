@@ -19,6 +19,7 @@ import (
 
 	"ssr/internal/cluster"
 	"ssr/internal/driver"
+	"ssr/internal/obs"
 	"ssr/internal/sim"
 )
 
@@ -45,6 +46,14 @@ type Options struct {
 	// tagged with the originating shard index. Like driver.Options.
 	// OnEvent it runs synchronously inside simulation events.
 	OnEvent func(shard int, ev driver.Event)
+	// Audit, when non-nil, receives every shard's reservation-decision
+	// events tagged with the shard index (driver.Options.AuditShard).
+	// Set it here, not on Driver: the federation owns the shard tags.
+	Audit *obs.Audit
+	// Registry, when non-nil, gets one SchedMetrics family set per shard,
+	// each labeled shard="i", so a single scrape reads the whole
+	// federation.
+	Registry *obs.Registry
 }
 
 // Shard is one partition: an engine, a cluster and a driver of its own.
@@ -98,6 +107,9 @@ func (o *Options) validate() error {
 	}
 	if o.Driver.Lender != nil {
 		return errors.New("shard: Driver.Lender must be nil (the federation wires its broker)")
+	}
+	if o.Driver.Audit != nil || o.Driver.Metrics != nil {
+		return errors.New("shard: use Options.Audit/Registry, not Driver.Audit/Metrics (the federation tags shards)")
 	}
 	if o.Shards > 1 {
 		if o.Driver.OnEvent != nil {

@@ -68,6 +68,24 @@ echo "e2e_smoke: job $id completed"
 
 metrics=$(curl -fsS "$base/metrics")
 echo "$metrics" | grep -q '"jobsCompleted": 1' || fail "metrics: $metrics"
+
+# Prometheus exposition: every line must be a comment (# HELP / # TYPE) or a
+# "name{labels} value" sample, and the family set must be rich enough to be
+# worth scraping (>= 10 families, at least one histogram).
+prom=$(curl -fsS "$base/metrics?format=prometheus")
+bad=$(echo "$prom" | grep -Ev \
+    -e '^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]*( .*)?$' \
+    -e '^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? [^ ]+$' \
+    -e '^$' || true)
+[[ -z "$bad" ]] || fail "malformed exposition lines: $bad"
+families=$(echo "$prom" | grep -c '^# TYPE ') || true
+[[ "$families" -ge 10 ]] || fail "exposition has $families families, want >= 10"
+echo "$prom" | grep -q '^# TYPE [a-z_]* histogram' || fail "exposition has no histogram"
+echo "$prom" | grep -q '^ssr_jobs_completed 1' || fail "exposition missing completed job"
+echo "e2e_smoke: prometheus exposition ok ($families families)"
+
+# The audit stream records the run's reservation decisions as JSON lines.
+curl -fsS "$base/audit" | head -n1 | grep -q '"kind"' || fail "audit stream empty"
 # The SSE stream never ends on its own; let curl's --max-time cut it.
 events=$(curl -fs --max-time 2 "$base/events?since=1" || true)
 echo "$events" | grep -q 'job_done' || fail "event stream missing job_done"
