@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"testing"
+)
+
+// TestScenarioDeterminism runs every offline scenario twice at the fixed
+// bench seed and asserts identical decision counts and fingerprints: the
+// property that makes ns/decision comparable across PRs. The online
+// scenario's decision count is also wall-clock independent, but its run
+// spins up real goroutines and timers, so it is exercised separately in
+// TestOnlineScenarioStableTotals.
+func TestScenarioDeterminism(t *testing.T) {
+	for _, s := range Scenarios() {
+		if s.Name == "online_admission" {
+			continue
+		}
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			d1, f1, err := s.Run(true)
+			if err != nil {
+				t.Fatalf("first run: %v", err)
+			}
+			d2, f2, err := s.Run(true)
+			if err != nil {
+				t.Fatalf("second run: %v", err)
+			}
+			if d1 != d2 {
+				t.Errorf("decision count changed across identical runs: %d vs %d", d1, d2)
+			}
+			if f1 != f2 {
+				t.Errorf("fingerprint changed across identical runs:\n  first:  %s\n  second: %s", f1, f2)
+			}
+			if d1 == 0 {
+				t.Errorf("scenario made no decisions")
+			}
+			t.Logf("decisions=%d fingerprint=%q", d1, f1)
+		})
+	}
+}
+
+// TestOnlineScenarioStableTotals runs the online scenario twice and checks
+// the wall-clock-independent totals (jobs completed, attempts started)
+// agree, even though event interleaving across runner goroutines may not.
+func TestOnlineScenarioStableTotals(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins up the realtime service")
+	}
+	var run func(bool) (uint64, string, error)
+	for _, s := range Scenarios() {
+		if s.Name == "online_admission" {
+			run = s.Run
+		}
+	}
+	if run == nil {
+		t.Fatal("online_admission scenario missing")
+	}
+	_, f1, err := run(true)
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	_, f2, err := run(true)
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if f1 != f2 {
+		t.Errorf("online totals changed across identical runs:\n  first:  %s\n  second: %s", f1, f2)
+	}
+	t.Logf("fingerprint=%q", f1)
+}
+
+// TestCompare exercises the regression gate's arithmetic.
+func TestCompare(t *testing.T) {
+	base := &Report{Short: true, Scenarios: []Result{
+		{Name: "a", NsPerDecision: 100},
+		{Name: "b", NsPerDecision: 100},
+		{Name: "gone", NsPerDecision: 50},
+	}}
+	cur := &Report{Short: true, Scenarios: []Result{
+		{Name: "a", NsPerDecision: 115}, // +15%: within tolerance
+		{Name: "b", NsPerDecision: 130}, // +30%: regression
+		{Name: "new", NsPerDecision: 9999},
+	}}
+	regs, err := Compare(base, cur, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Name != "b" {
+		t.Fatalf("want exactly scenario b flagged, got %+v", regs)
+	}
+	if regs[0].Ratio < 1.29 || regs[0].Ratio > 1.31 {
+		t.Errorf("ratio = %v, want ~1.30", regs[0].Ratio)
+	}
+	if _, err := Compare(&Report{Short: false}, cur, 0.20); err == nil {
+		t.Error("comparing short against full reports should fail")
+	}
+}
+
+// TestReportRoundTrip checks BENCH_*.json write/read symmetry.
+func TestReportRoundTrip(t *testing.T) {
+	path := t.TempDir() + "/BENCH_test.json"
+	rep := &Report{
+		Schema: SchemaVersion, PR: 6, GoVersion: "go0.0", Short: true,
+		Scenarios: []Result{{
+			Name: "x", NsPerOp: 10, AllocsPerOp: 2, BytesPerOp: 3,
+			Decisions: 4, NsPerDecision: 2.5, DecisionsPerSec: 4e8,
+			Extras: map[string]float64{"p50": 1.5},
+		}},
+	}
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != rep.Schema || got.PR != rep.PR || len(got.Scenarios) != 1 {
+		t.Fatalf("round trip mangled header: %+v", got)
+	}
+	if got.Scenarios[0].NsPerDecision != 2.5 || got.Scenarios[0].Extras["p50"] != 1.5 {
+		t.Fatalf("round trip mangled scenario: %+v", got.Scenarios[0])
+	}
+}

@@ -113,7 +113,11 @@ type Cluster struct {
 	maxSize int
 	// reserved tracks idle reserved slots per job, each kept sorted.
 	reserved map[dag.JobID]*jobReservations
-	listener StateListener
+	// reservedOrder mirrors reserved's keys sorted ascending, so the
+	// scheduler's per-dispatch sweeps and override scans iterate in
+	// deterministic order without sorting map keys each time.
+	reservedOrder []dag.JobID
+	listener      StateListener
 }
 
 type jobReservations struct {
@@ -266,12 +270,14 @@ func (c *Cluster) AcquireOverride(prio dag.Priority, minSize int) (SlotID, bool)
 	bestPrio := prio
 	found := false
 	// The set of jobs holding reservations is small (foreground jobs);
-	// a deterministic scan is cheap.
-	for job, jr := range c.reserved {
+	// the sorted slice walk is cheap and deterministic — ascending job
+	// ID, so the first hit at the winning priority is the lowest job.
+	for _, job := range c.reservedOrder {
+		jr := c.reserved[job]
 		if jr.priority >= prio || !jr.hasAtLeast(c, minSize) {
 			continue
 		}
-		if !found || jr.priority < bestPrio || (jr.priority == bestPrio && job < bestJob) {
+		if !found || jr.priority < bestPrio {
 			found = true
 			bestPrio = jr.priority
 			bestJob = job
@@ -302,11 +308,7 @@ func (c *Cluster) ReserveAnyFree(r Reservation, minSize int) (SlotID, bool) {
 			}
 			s.res = r
 			c.transition(s, Reserved)
-			jr := c.reserved[r.Job]
-			if jr == nil {
-				jr = &jobReservations{priority: r.Priority}
-				c.reserved[r.Job] = jr
-			}
+			jr := c.reservationsFor(r.Job, r.Priority)
 			jr.priority = r.Priority
 			jr.insert(s.ID)
 			return s.ID, true
@@ -318,15 +320,15 @@ func (c *Cluster) ReserveAnyFree(r Reservation, minSize int) (SlotID, bool) {
 // ReservedJobs returns the jobs currently holding idle reservations, sorted
 // by job ID for deterministic iteration.
 func (c *Cluster) ReservedJobs() []dag.JobID {
-	if len(c.reserved) == 0 {
-		return nil
-	}
-	jobs := make([]dag.JobID, 0, len(c.reserved))
-	for job := range c.reserved {
-		jobs = append(jobs, job)
-	}
-	sort.Slice(jobs, func(i, j int) bool { return jobs[i] < jobs[j] })
-	return jobs
+	return c.AppendReservedJobs(nil)
+}
+
+// AppendReservedJobs appends the jobs currently holding idle reservations,
+// sorted by job ID, to buf and returns the extended slice. Per-dispatch
+// sweeps pass a scratch buffer they reuse, so snapshotting the set costs
+// no allocation in steady state.
+func (c *Cluster) AppendReservedJobs(buf []dag.JobID) []dag.JobID {
+	return append(buf, c.reservedOrder...)
 }
 
 // TryAcquire attempts to take a specific slot for a task of the given job
@@ -389,11 +391,7 @@ func (c *Cluster) Reserve(id SlotID, r Reservation) error {
 	}
 	s.res = r
 	c.transition(s, Reserved)
-	jr := c.reserved[r.Job]
-	if jr == nil {
-		jr = &jobReservations{priority: r.Priority}
-		c.reserved[r.Job] = jr
-	}
+	jr := c.reservationsFor(r.Job, r.Priority)
 	jr.priority = r.Priority
 	jr.insert(id)
 	return nil
@@ -437,8 +435,8 @@ func (c *Cluster) ReservedCount(job dag.JobID) int {
 // TotalReserved returns the number of reserved slots across all jobs.
 func (c *Cluster) TotalReserved() int {
 	n := 0
-	for _, jr := range c.reserved {
-		n += len(jr.slots)
+	for _, job := range c.reservedOrder {
+		n += len(c.reserved[job].slots)
 	}
 	return n
 }
@@ -507,9 +505,32 @@ func (c *Cluster) consumeReservation(s *Slot) {
 		jr.remove(s.ID)
 		if len(jr.slots) == 0 {
 			delete(c.reserved, s.res.Job)
+			c.removeReservedJob(s.res.Job)
 		}
 	}
 	s.res = Reservation{}
+}
+
+// reservationsFor returns the job's reservation record, creating it (and
+// registering the job in reservedOrder) on first use.
+func (c *Cluster) reservationsFor(job dag.JobID, prio dag.Priority) *jobReservations {
+	jr := c.reserved[job]
+	if jr == nil {
+		jr = &jobReservations{priority: prio}
+		c.reserved[job] = jr
+		i := sort.Search(len(c.reservedOrder), func(i int) bool { return c.reservedOrder[i] >= job })
+		c.reservedOrder = append(c.reservedOrder, 0)
+		copy(c.reservedOrder[i+1:], c.reservedOrder[i:])
+		c.reservedOrder[i] = job
+	}
+	return jr
+}
+
+func (c *Cluster) removeReservedJob(job dag.JobID) {
+	i := sort.Search(len(c.reservedOrder), func(i int) bool { return c.reservedOrder[i] >= job })
+	if i < len(c.reservedOrder) && c.reservedOrder[i] == job {
+		c.reservedOrder = append(c.reservedOrder[:i], c.reservedOrder[i+1:]...)
+	}
 }
 
 func (c *Cluster) pushFree(s *Slot) {

@@ -131,7 +131,7 @@ func (r *LocalityRegistry) EvictSlots(slots []SlotID) int {
 		dead[s] = true
 	}
 	evicted := 0
-	for _, ts := range r.byPhase {
+	for _, ts := range r.byPhase { //maporder:ok per-entry mutation; evicted is an order-free sum
 		for i, s := range ts {
 			if s != NoSlot && dead[s] {
 				ts[i] = NoSlot

@@ -104,6 +104,13 @@ func (d *Driver) onFinish(att *attempt) {
 		d.onPhaseComplete(pr)
 	}
 	d.scheduleDispatch()
+
+	// Both attempts are now fully detached (task slots and slotOwner
+	// cleared above, timers fired or canceled): recycle them.
+	d.freeAttempt(att)
+	if haveLoser {
+		d.freeAttempt(loser)
+	}
 }
 
 // traceAttempt exports one finished or killed attempt to the trace
@@ -240,13 +247,14 @@ func (d *Driver) armDeadline(pr *phaseRun, firstTaskDuration sim.Time) {
 		d.expireDeadline(pr)
 		return
 	}
-	pr.deadlineTimer = d.eng.At(expireAt, func() { d.expireDeadline(pr) })
+	pr.deadlineTimer = d.eng.AtArg(expireAt, d.expireDeadlineArg, pr)
 }
 
 // expireDeadline fires when a phase's reservation deadline passes before
 // its barrier clears: all slots reserved on behalf of this phase return to
 // the pool and the phase stops reserving (Fig. 7b).
 func (d *Driver) expireDeadline(pr *phaseRun) {
+	d.eng.Release(pr.deadlineTimer)
 	pr.deadlineTimer = nil
 	pr.tracker.ExpireDeadline()
 	pr.jr.stats.DeadlineExpiries++
@@ -312,11 +320,13 @@ func (d *Driver) onPhaseComplete(pr *phaseRun) {
 	d.stopSpeculation(pr)
 	if pr.localityTimer != nil {
 		pr.localityTimer.Cancel()
+		d.eng.Release(pr.localityTimer)
 		pr.localityTimer = nil
 	}
 	if pr.deadlineTimer != nil {
 		// The reservation was effective: every task beat the deadline.
 		pr.deadlineTimer.Cancel()
+		d.eng.Release(pr.deadlineTimer)
 		pr.deadlineTimer = nil
 	}
 	d.dropPreReserver(pr)

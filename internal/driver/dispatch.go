@@ -8,16 +8,18 @@ import (
 )
 
 // scheduleDispatch coalesces dispatch requests raised during the current
-// event into a single dispatch pass at the same virtual instant.
+// event into a single dispatch pass at the same virtual instant. This is
+// also where resource offers are batched: every slot freed or reserved
+// during the current event is served by one dispatch sweep instead of a
+// per-slot probe. The timer and its callback are recycled (AtArg with a
+// long-lived func, Release after firing), so steady-state stepping
+// allocates nothing here.
 func (d *Driver) scheduleDispatch() {
 	if d.dispatchScheduled {
 		return
 	}
 	d.dispatchScheduled = true
-	d.eng.At(d.eng.Now(), func() {
-		d.dispatchScheduled = false
-		d.dispatch()
-	})
+	d.dispatchTimer = d.eng.AtArg(d.eng.Now(), d.dispatchTick, nil)
 }
 
 // dispatch is the TaskSchedulerImpl role: match queued tasks (and
@@ -50,8 +52,11 @@ func (d *Driver) dispatch() {
 	}
 	// Jobs holding reservations can place their queued tasks regardless
 	// of queue order; sweep them so a blocked high-priority head of the
-	// queue cannot starve them.
-	for _, jobID := range d.cl.ReservedJobs() {
+	// queue cannot starve them. The snapshot (placements below mutate the
+	// reservation set) goes into a reused scratch buffer so steady-state
+	// sweeps allocate nothing.
+	d.reservedScratch = d.cl.AppendReservedJobs(d.reservedScratch[:0])
+	for _, jobID := range d.reservedScratch {
 		jr := d.jobsByID[jobID]
 		if jr == nil || jr.finished {
 			continue
@@ -145,17 +150,11 @@ func (d *Driver) servePreReservers(minPrio *dag.Priority) {
 	if len(d.preReservers) == 0 {
 		return
 	}
-	// Highest priority first; ties by job then phase for determinism.
-	sort.SliceStable(d.preReservers, func(i, j int) bool {
-		a, b := d.preReservers[i], d.preReservers[j]
-		if a.Priority() != b.Priority() {
-			return a.Priority() > b.Priority()
-		}
-		if a.JobID() != b.JobID() {
-			return a.JobID() < b.JobID()
-		}
-		return a.PhaseID() < b.PhaseID()
-	})
+	// The slice is kept sorted by addPreReserver (the sort key — priority
+	// desc, then job and phase asc for determinism — is static per
+	// phase), so serving is a single in-order sweep with no per-dispatch
+	// sort. Entries whose quota was zeroed (dropPreReserver marks, this
+	// sweep prunes) fall out here.
 	kept := d.preReservers[:0]
 	for _, pr := range d.preReservers {
 		if pr.preWant > 0 && (minPrio == nil || pr.Priority() > *minPrio) {
@@ -191,28 +190,43 @@ func (d *Driver) servePreReservers(minPrio *dag.Priority) {
 	d.preReservers = kept
 }
 
-// addPreReserver registers a phase with outstanding pre-reservation quota.
-func (d *Driver) addPreReserver(pr *phaseRun) {
-	if !pr.inPreReservers && pr.preWant > 0 {
-		pr.inPreReservers = true
-		d.preReservers = append(d.preReservers, pr)
+// preReserverLess is the static total order of the pre-reserver list:
+// highest priority first, ties by job then phase. Every key is fixed for
+// the lifetime of a phase, so the list stays sorted under insertion alone.
+func preReserverLess(a, b *phaseRun) bool {
+	if a.Priority() != b.Priority() {
+		return a.Priority() > b.Priority()
 	}
+	if a.JobID() != b.JobID() {
+		return a.JobID() < b.JobID()
+	}
+	return a.PhaseID() < b.PhaseID()
+}
+
+// addPreReserver registers a phase with outstanding pre-reservation quota,
+// inserting it at its sorted position. A phase already in the list (even
+// one marked for pruning whose quota was re-granted before the sweep ran)
+// is left where it is.
+func (d *Driver) addPreReserver(pr *phaseRun) {
+	if pr.inPreReservers || pr.preWant <= 0 {
+		return
+	}
+	pr.inPreReservers = true
+	i := sort.Search(len(d.preReservers), func(i int) bool {
+		return preReserverLess(pr, d.preReservers[i])
+	})
+	d.preReservers = append(d.preReservers, nil)
+	copy(d.preReservers[i+1:], d.preReservers[i:])
+	d.preReservers[i] = pr
 }
 
 // dropPreReserver cancels a phase's outstanding quota (its barrier cleared
-// or the job finished).
+// or the job finished). The list entry is only marked dead here — zero
+// quota — and physically pruned by the next servePreReservers sweep, so
+// dropping is O(1) and safe against callers holding an iteration over the
+// list.
 func (d *Driver) dropPreReserver(pr *phaseRun) {
 	pr.preWant = 0
-	if !pr.inPreReservers {
-		return
-	}
-	pr.inPreReservers = false
-	for i, x := range d.preReservers {
-		if x == pr {
-			d.preReservers = append(d.preReservers[:i], d.preReservers[i+1:]...)
-			return
-		}
-	}
 }
 
 // notifyWaiters offers a slot that just became Free or Reserved to phases

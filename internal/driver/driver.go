@@ -226,6 +226,25 @@ type Driver struct {
 
 	unfinished        int
 	dispatchScheduled bool
+	// dispatchTimer is the pending coalesced-dispatch event; its storage
+	// is recycled through the engine's free list after each pass.
+	dispatchTimer *sim.Timer
+
+	// onFinishArg, dispatchTick, expireDeadlineArg and openLocalityArg
+	// are the long-lived callbacks behind sim.Engine.AtArg: created once
+	// here so the per-attempt, per-dispatch and per-phase schedule sites
+	// allocate no closure.
+	onFinishArg       func(any)
+	dispatchTick      func(any)
+	expireDeadlineArg func(any)
+	openLocalityArg   func(any)
+	// attFree recycles attempt structs: an attempt is returned here by
+	// onFinish once every reference to it (task slots, slotOwner, its
+	// timer's argument) has been dropped.
+	attFree []*attempt
+	// reservedScratch is the reusable snapshot buffer for the dispatch
+	// sweep over reservation-holding jobs.
+	reservedScratch []dag.JobID
 }
 
 // New creates a driver over an engine and cluster.
@@ -247,6 +266,16 @@ func New(eng *sim.Engine, cl *cluster.Cluster, opts Options) (*Driver, error) {
 		slotOwner:   make(map[cluster.SlotID]*attempt),
 		waiters:     make(map[cluster.SlotID][]*phaseRun),
 		lastReserve: make(map[cluster.SlotID]sim.Time),
+	}
+	d.onFinishArg = func(a any) { d.onFinish(a.(*attempt)) }
+	d.expireDeadlineArg = func(a any) { d.expireDeadline(a.(*phaseRun)) }
+	d.openLocalityArg = func(a any) { d.openLocality(a.(*phaseRun)) }
+	d.dispatchTick = func(any) {
+		t := d.dispatchTimer
+		d.dispatchTimer = nil
+		d.dispatchScheduled = false
+		d.eng.Release(t)
+		d.dispatch()
 	}
 	d.usage = metrics.NewSlotUsage(cl.NumSlots(), eng.Now)
 	if ul := d.usage.Listener(); o.Audit != nil || o.Metrics != nil {

@@ -87,6 +87,35 @@ type attempt struct {
 	loan    LoanID
 }
 
+// newAttempt takes an attempt from the driver's free list (or allocates
+// one) and resets it to the given state. The hot path recycles attempts
+// through freeAttempt, so steady-state task launches allocate nothing.
+func (d *Driver) newAttempt(a attempt) *attempt {
+	if n := len(d.attFree); n > 0 {
+		att := d.attFree[n-1]
+		d.attFree[n-1] = nil
+		d.attFree = d.attFree[:n-1]
+		*att = a
+		return att
+	}
+	att := new(attempt)
+	*att = a
+	return att
+}
+
+// freeAttempt recycles an attempt after its task completed. The caller
+// must already have dropped every reference: the task's orig/dup slots,
+// slotOwner, and the timer's callback argument (cleared by the engine on
+// fire or cancel). The timer handle itself is released to the engine's
+// free list on the way. Fault-path kills do not recycle — those attempts
+// are simply left to the garbage collector, keeping the invariant simple:
+// only onFinish frees.
+func (d *Driver) freeAttempt(att *attempt) {
+	d.eng.Release(att.timer)
+	*att = attempt{}
+	d.attFree = append(d.attFree, att)
+}
+
 // phaseRun is the runtime state of one phase (TaskSetManager role). It
 // implements sched.Item so the scheduling queue can order it.
 type phaseRun struct {
@@ -377,7 +406,7 @@ func (d *Driver) submitPhase(jr *jobRun, pid int) {
 		for _, s := range pr.preferred {
 			d.waiters[s] = append(d.waiters[s], pr)
 		}
-		pr.localityTimer = d.eng.After(d.opts.LocalityWait, func() { d.openLocality(pr) })
+		pr.localityTimer = d.eng.AfterArg(d.opts.LocalityWait, d.openLocalityArg, pr)
 		// Constrained tasks may start immediately on preferred slots
 		// that are idle (typically the job's own reserved slots).
 		d.placePreferred(pr)
@@ -396,6 +425,7 @@ func (d *Driver) submitPhase(jr *jobRun, pid int) {
 // slot (at the locality penalty) from now on.
 func (d *Driver) openLocality(pr *phaseRun) {
 	pr.localityOpen = true
+	d.eng.Release(pr.localityTimer)
 	pr.localityTimer = nil
 	d.syncQueue(pr)
 	d.scheduleDispatch()
@@ -469,8 +499,8 @@ func (d *Driver) assign(pr *phaseRun, idx int, slot cluster.SlotID, local bool) 
 		jr.stats.LocalPlacements++
 	}
 	d.observePlacement(pr)
-	att := &attempt{pr: pr, taskIdx: idx, local: local || !constrained, slot: slot, start: d.eng.Now()}
-	att.timer = d.eng.After(dur, func() { d.onFinish(att) })
+	att := d.newAttempt(attempt{pr: pr, taskIdx: idx, local: local || !constrained, slot: slot, start: d.eng.Now()})
+	att.timer = d.eng.AfterArg(dur, d.onFinishArg, att)
 	pr.tasks[idx].orig = att
 	d.slotOwner[slot] = att
 	pr.runningTasks++
@@ -488,8 +518,8 @@ func (d *Driver) assign(pr *phaseRun, idx int, slot cluster.SlotID, local bool) 
 func (d *Driver) launchCopy(pr *phaseRun, idx int, slot cluster.SlotID) {
 	jr := pr.jr
 	task := pr.phase.Tasks[idx]
-	att := &attempt{pr: pr, taskIdx: idx, isCopy: true, local: true, slot: slot, start: d.eng.Now()}
-	att.timer = d.eng.After(task.CopyDuration, func() { d.onFinish(att) })
+	att := d.newAttempt(attempt{pr: pr, taskIdx: idx, isCopy: true, local: true, slot: slot, start: d.eng.Now()})
+	att.timer = d.eng.AfterArg(task.CopyDuration, d.onFinishArg, att)
 	pr.tasks[idx].dup = att
 	d.slotOwner[slot] = att
 	jr.running++

@@ -211,9 +211,9 @@ func (d *Driver) assignRemote(pr *phaseRun, idx int, loan LoanID, local bool) {
 		jr.stats.LocalPlacements++
 	}
 	d.observePlacement(pr)
-	att := &attempt{pr: pr, taskIdx: idx, local: local || !constrained,
-		slot: cluster.NoSlot, remote: true, loan: loan, start: d.eng.Now()}
-	att.timer = d.eng.After(dur, func() { d.onFinish(att) })
+	att := d.newAttempt(attempt{pr: pr, taskIdx: idx, local: local || !constrained,
+		slot: cluster.NoSlot, remote: true, loan: loan, start: d.eng.Now()})
+	att.timer = d.eng.AfterArg(dur, d.onFinishArg, att)
 	pr.tasks[idx].orig = att
 	pr.runningTasks++
 	jr.running++

@@ -69,6 +69,7 @@ func (d *Driver) startSpeculation(pr *phaseRun) {
 	}
 	var tick func()
 	tick = func() {
+		d.eng.Release(pr.specTimer)
 		pr.specTimer = nil
 		if pr.tracker.Done() || pr.jr.finished {
 			return
@@ -85,6 +86,7 @@ func (d *Driver) startSpeculation(pr *phaseRun) {
 func (d *Driver) stopSpeculation(pr *phaseRun) {
 	if pr.specTimer != nil {
 		pr.specTimer.Cancel()
+		d.eng.Release(pr.specTimer)
 		pr.specTimer = nil
 	}
 }
@@ -140,8 +142,8 @@ func (d *Driver) launchSpecCopy(pr *phaseRun, idx int, slot cluster.SlotID) {
 	if !local {
 		dur = time.Duration(float64(dur) * d.opts.LocalityFactor)
 	}
-	att := &attempt{pr: pr, taskIdx: idx, isCopy: true, local: local, slot: slot, start: d.eng.Now()}
-	att.timer = d.eng.After(dur, func() { d.onFinish(att) })
+	att := d.newAttempt(attempt{pr: pr, taskIdx: idx, isCopy: true, local: local, slot: slot, start: d.eng.Now()})
+	att.timer = d.eng.AfterArg(dur, d.onFinishArg, att)
 	pr.tasks[idx].dup = att
 	d.slotOwner[slot] = att
 	jr.running++

@@ -1,0 +1,189 @@
+// Package lint holds repo-local static checks that run as ordinary tests,
+// so CI needs no extra tooling.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// schedulingPackages are the import paths whose iteration order can leak
+// into scheduling decisions or deterministic output. Ranging over a map in
+// one of these is flagged unless the site carries a //maporder:ok comment
+// (same line or the line above) stating why the order cannot matter.
+var schedulingPackages = []string{
+	"ssr/internal/cluster",
+	"ssr/internal/driver",
+	"ssr/internal/obs",
+	"ssr/internal/realtime",
+	"ssr/internal/sched",
+	"ssr/internal/service",
+	"ssr/internal/shard",
+	"ssr/internal/sim",
+}
+
+// TestNoUnorderedMapIterationOnSchedulingPaths is the determinism guard
+// from the hot-path speed program: Go randomizes map iteration order, so
+// any `for range m` on a scheduling-visible path is a latent replay
+// divergence. Fix sites by iterating a sorted slice (see
+// cluster.reservedOrder) or annotate provably order-independent ones.
+func TestNoUnorderedMapIterationOnSchedulingPaths(t *testing.T) {
+	root := repoRoot(t)
+	im := &srcImporter{
+		root:  root,
+		fset:  token.NewFileSet(),
+		cache: map[string]*types.Package{},
+		files: map[string][]*ast.File{},
+	}
+	var violations []string
+	for _, path := range schedulingPackages {
+		pkg, err := im.Import(path)
+		if err != nil {
+			t.Fatalf("type-checking %s: %v", path, err)
+		}
+		info := im.infos[pkg.Path()]
+		for _, file := range im.files[pkg.Path()] {
+			allowed := suppressedLines(im.fset, file)
+			ast.Inspect(file, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				tv := info.TypeOf(rs.X)
+				if tv == nil {
+					return true
+				}
+				if _, isMap := tv.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				pos := im.fset.Position(rs.Pos())
+				if allowed[pos.Line] {
+					return true
+				}
+				rel, _ := filepath.Rel(root, pos.Filename)
+				violations = append(violations, fmt.Sprintf("%s:%d: range over %s", rel, pos.Line, tv.String()))
+				return true
+			})
+		}
+	}
+	sort.Strings(violations)
+	for _, v := range violations {
+		t.Errorf("unordered map iteration on scheduling path: %s", v)
+	}
+	if len(violations) > 0 {
+		t.Log("iterate a sorted slice instead, or annotate the `for` line " +
+			"with `//maporder:ok <reason>` if the order provably cannot " +
+			"affect decisions or deterministic output")
+	}
+}
+
+// suppressedLines returns the line numbers carrying a //maporder:ok
+// comment, plus the line below each (annotation on its own line above the
+// range statement).
+func suppressedLines(fset *token.FileSet, file *ast.File) map[int]bool {
+	out := map[int]bool{}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, "maporder:ok") {
+				line := fset.Position(c.Pos()).Line
+				out[line] = true
+				out[line+1] = true
+			}
+		}
+	}
+	return out
+}
+
+// srcImporter type-checks ssr packages from source (the module is not in
+// GOPATH, so the stock source importer cannot find it) and delegates
+// standard-library imports to the compiler's source importer. Stdlib-only:
+// no x/tools dependency.
+type srcImporter struct {
+	root  string
+	fset  *token.FileSet
+	cache map[string]*types.Package
+	infos map[string]*types.Info
+	files map[string][]*ast.File
+	std   types.Importer
+}
+
+func (im *srcImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := im.cache[path]; ok {
+		return pkg, nil
+	}
+	if !strings.HasPrefix(path, "ssr/") {
+		if im.std == nil {
+			im.std = importer.ForCompiler(im.fset, "source", nil)
+		}
+		pkg, err := im.std.Import(path)
+		if err != nil {
+			return nil, fmt.Errorf("stdlib import %s: %w", path, err)
+		}
+		im.cache[path] = pkg
+		return pkg, nil
+	}
+	dir := filepath.Join(im.root, strings.TrimPrefix(path, "ssr/"))
+	pkgs, err := parser.ParseDir(im.fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	if len(pkgs) != 1 {
+		return nil, fmt.Errorf("%s: expected one package, found %d", dir, len(pkgs))
+	}
+	var files []*ast.File
+	var names []string
+	var astPkg *ast.Package
+	for _, p := range pkgs { //maporder:ok single entry; file order re-sorted below
+		astPkg = p
+	}
+	for name := range astPkg.Files { //maporder:ok keys collected then sorted
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		files = append(files, astPkg.Files[name])
+	}
+	info := &types.Info{Types: map[ast.Expr]types.TypeAndValue{}}
+	conf := types.Config{Importer: im, Error: func(error) {}}
+	pkg, err := conf.Check(path, im.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("check %s: %w", path, err)
+	}
+	im.cache[path] = pkg
+	if im.infos == nil {
+		im.infos = map[string]*types.Info{}
+	}
+	im.infos[path] = info
+	im.files[path] = files
+	return pkg, nil
+}
+
+// repoRoot walks up from the test's working directory to the module root.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above test directory")
+		}
+		dir = parent
+	}
+}

@@ -197,7 +197,7 @@ func Perfetto(attempts []trace.Event, audit []AuditEvent) ([]byte, error) {
 
 	// Close any span still open at the end of the recorded window.
 	openKeys := make([]resKey, 0, len(openResv))
-	for k := range openResv {
+	for k := range openResv { //maporder:ok keys collected then sorted below
 		openKeys = append(openKeys, k)
 	}
 	sort.Slice(openKeys, func(i, j int) bool {
@@ -210,7 +210,7 @@ func Perfetto(attempts []trace.Event, audit []AuditEvent) ([]byte, error) {
 		closeRes(openResv[k].ev, "end_of_trace", maxTs)
 	}
 	loanShards := make([]int, 0, len(openLoans))
-	for sh := range openLoans {
+	for sh := range openLoans { //maporder:ok keys collected then sorted below
 		loanShards = append(loanShards, sh)
 	}
 	sort.Ints(loanShards)
@@ -231,7 +231,7 @@ func Perfetto(attempts []trace.Event, audit []AuditEvent) ([]byte, error) {
 	// read "shard 0 / slot 3" instead of bare numbers.
 	var meta []perfEvent
 	pids := make([]int, 0, len(tracks))
-	for pid := range tracks {
+	for pid := range tracks { //maporder:ok keys collected then sorted below
 		pids = append(pids, pid)
 	}
 	sort.Ints(pids)
@@ -241,7 +241,7 @@ func Perfetto(attempts []trace.Event, audit []AuditEvent) ([]byte, error) {
 			Args: map[string]any{"name": fmt.Sprintf("shard %d", pid)},
 		})
 		tids := make([]int, 0, len(tracks[pid]))
-		for tid := range tracks[pid] {
+		for tid := range tracks[pid] { //maporder:ok keys collected then sorted below
 			tids = append(tids, tid)
 		}
 		sort.Ints(tids)

@@ -346,7 +346,7 @@ func (r *Registry) Snapshot() []FamilySnapshot {
 
 func sortedSeries(f *family) []*series {
 	out := make([]*series, 0, len(f.series))
-	for _, s := range f.series {
+	for _, s := range f.series { //maporder:ok collected then sorted by key below
 		out = append(out, s)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })

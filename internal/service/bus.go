@@ -1,6 +1,9 @@
 package service
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Bus is an ordered, replayable event fan-out. Events get contiguous
 // sequence numbers in publish order; a bounded ring retains recent history
@@ -10,14 +13,16 @@ import "sync"
 // is dropped (its channel closed), and it can resubscribe from its last
 // seen sequence number — the standard SSE Last-Event-ID contract.
 type Bus struct {
-	mu      sync.Mutex
-	ring    []Event
-	start   int    // ring index of the oldest retained event
-	count   int    // retained events
-	nextSeq uint64 // sequence number the next published event gets
-	subs    map[*Subscription]struct{}
-	closed  bool
-	dropped int
+	mu    sync.Mutex
+	ring  []Event
+	start int // ring index of the oldest retained event
+	count int // retained events
+	subs  map[*Subscription]struct{}
+	closed bool
+	// published and dropped are atomics so metrics scrapes read them
+	// without contending on mu with the publish hot path.
+	published atomic.Uint64 // events published; next seq = published+1
+	dropped   atomic.Int64  // subscribers dropped for lagging
 }
 
 // Subscription is one live consumer of the bus.
@@ -42,9 +47,8 @@ func NewBus(capacity int) *Bus {
 		capacity = 1
 	}
 	return &Bus{
-		ring:    make([]Event, capacity),
-		nextSeq: 1,
-		subs:    make(map[*Subscription]struct{}),
+		ring: make([]Event, capacity),
+		subs: make(map[*Subscription]struct{}),
 	}
 }
 
@@ -56,8 +60,7 @@ func (b *Bus) Publish(ev Event) uint64 {
 	if b.closed {
 		return 0
 	}
-	ev.Seq = b.nextSeq
-	b.nextSeq++
+	ev.Seq = b.published.Add(1)
 	if b.count == len(b.ring) {
 		b.ring[b.start] = ev
 		b.start = (b.start + 1) % len(b.ring)
@@ -65,14 +68,14 @@ func (b *Bus) Publish(ev Event) uint64 {
 		b.ring[(b.start+b.count)%len(b.ring)] = ev
 		b.count++
 	}
-	for sub := range b.subs {
+	for sub := range b.subs { //maporder:ok fan-out only; every subscriber sees the same ordered stream
 		select {
 		case sub.C <- ev:
 		default:
 			// Lagging consumer: drop it rather than stall the
 			// scheduler. It can resume from Last-Event-ID.
 			b.detach(sub)
-			b.dropped++
+			b.dropped.Add(1)
 		}
 	}
 	return ev.Seq
@@ -87,18 +90,15 @@ func (b *Bus) detach(s *Subscription) {
 	close(s.C)
 }
 
-// Published returns the number of events published so far.
+// Published returns the number of events published so far. Lock-free:
+// safe to call from metrics scrapes without stalling publishers.
 func (b *Bus) Published() uint64 {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.nextSeq - 1
+	return b.published.Load()
 }
 
-// Dropped returns the number of subscribers dropped for lagging.
+// Dropped returns the number of subscribers dropped for lagging. Lock-free.
 func (b *Bus) Dropped() int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.dropped
+	return int(b.dropped.Load())
 }
 
 // Subscribe registers a consumer resuming at sequence number since (0 or 1
@@ -152,7 +152,7 @@ func (b *Bus) Close() {
 		return
 	}
 	b.closed = true
-	for sub := range b.subs {
+	for sub := range b.subs { //maporder:ok every subscriber is detached; order-free
 		b.detach(sub)
 	}
 }

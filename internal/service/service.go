@@ -449,6 +449,14 @@ func (s *Service) onDriverEvent(shardIdx int, ev driver.Event) {
 		Shard:   shardIdx,
 		Count:   ev.Count,
 	})
+	switch ev.Type {
+	case driver.EventJobStart, driver.EventJobDone, driver.EventJobFail:
+	default:
+		// Only job-lifecycle events touch the service's state machine.
+		// Attempt and reservation events — the bulk of the stream — skip
+		// s.mu entirely so shard loops do not contend with API readers.
+		return
+	}
 	s.mu.Lock()
 	entry, ok := s.jobs[ev.Job]
 	if !ok || entry.shard != shardIdx {

@@ -208,22 +208,28 @@ func (b *Broker) enqueue(op func()) bool {
 	return true
 }
 
-// worker drains the op queue until Close.
+// worker drains the op queue until Close. Each pass swaps the whole queue
+// out under one lock acquisition and runs the batch unlocked, so enqueuing
+// loop goroutines contend once per batch rather than once per op, and the
+// drained buffer is recycled for the next batch.
 func (b *Broker) worker() {
 	defer close(b.done)
+	var batch []func()
 	for {
 		b.mu.Lock()
-		var op func()
 		if len(b.ops) > 0 {
-			op = b.ops[0]
-			b.ops = b.ops[1:]
+			batch, b.ops = b.ops, batch[:0]
 		} else if b.closed {
 			b.mu.Unlock()
 			return
 		}
 		b.mu.Unlock()
-		if op != nil {
-			op()
+		if len(batch) > 0 {
+			for i, op := range batch {
+				op()
+				batch[i] = nil
+			}
+			batch = batch[:0]
 			continue
 		}
 		<-b.signal

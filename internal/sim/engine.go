@@ -25,12 +25,24 @@ var ErrHalted = errors.New("sim: engine halted")
 // Timer is a handle to a scheduled event. It can be used to cancel the event
 // before it fires.
 type Timer struct {
-	eng      *Engine
-	at       Time
-	seq      uint64
-	fn       func()
+	eng *Engine
+	at  Time
+	seq uint64
+	fn  func()
+	// fnArg/arg are the allocation-free callback form (AtArg): a shared
+	// function plus a per-event argument, so hot paths that schedule one
+	// event per task need not allocate a closure each time.
+	fnArg    func(any)
+	arg      any
 	canceled bool
 	fired    bool
+	// inq tracks heap membership: set on push, cleared on pop or
+	// compaction. A canceled timer stays in the heap (lazy deletion)
+	// until popped, so recycling must wait for inq to clear.
+	inq bool
+	// release marks the timer for return to the engine's free list as
+	// soon as it leaves the heap (see Engine.Release).
+	release bool
 }
 
 // At reports the virtual time the timer is scheduled to fire.
@@ -44,7 +56,9 @@ func (t *Timer) Cancel() bool {
 		return false
 	}
 	t.canceled = true
-	t.fn = nil // release closure for GC
+	t.fn = nil // release closures/args for GC
+	t.fnArg = nil
+	t.arg = nil
 	if t.eng != nil {
 		t.eng.canceled++
 		t.eng.maybeCompact()
@@ -66,6 +80,9 @@ type Engine struct {
 	// queue; when they outnumber the live ones the heap is compacted so
 	// workloads that cancel en masse do not bloat it.
 	canceled int
+	// free holds recycled Timer structs (see Release) so steady-state
+	// stepping allocates no timer per event.
+	free []*Timer
 }
 
 // New returns a fresh engine with the clock at zero.
@@ -77,8 +94,30 @@ func (e *Engine) Now() Time { return e.now }
 // Events returns the number of events fired so far.
 func (e *Engine) Events() uint64 { return e.stepped }
 
-// Pending returns the number of events currently scheduled.
-func (e *Engine) Pending() int { return len(e.queue) }
+// Pending returns the number of live events currently scheduled. Canceled
+// timers awaiting lazy removal from the queue are not counted.
+func (e *Engine) Pending() int { return len(e.queue) - e.canceled }
+
+// newTimer takes a Timer from the free list (or allocates one) and fully
+// resets it, so no state from a previous life — cancellation, release
+// marks, stale callbacks — can leak into the new event.
+func (e *Engine) newTimer(t Time) *Timer {
+	var tm *Timer
+	if n := len(e.free); n > 0 {
+		tm = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		*tm = Timer{}
+	} else {
+		tm = &Timer{}
+	}
+	tm.eng = e
+	tm.at = t
+	tm.seq = e.seq
+	tm.inq = true
+	e.seq++
+	return tm
+}
 
 // At schedules fn to run at virtual time t. Scheduling in the past (t less
 // than Now) is an error: the event fires immediately at the current time
@@ -88,10 +127,63 @@ func (e *Engine) At(t Time, fn func()) *Timer {
 	if t < e.now {
 		t = e.now
 	}
-	tm := &Timer{eng: e, at: t, seq: e.seq, fn: fn}
-	e.seq++
+	tm := e.newTimer(t)
+	tm.fn = fn
 	heap.Push(&e.queue, tm)
 	return tm
+}
+
+// AtArg schedules fn(arg) to run at virtual time t, with the same
+// past-clamping as At. Callers on hot paths use it with a long-lived fn
+// (typically a method value captured once) so scheduling one event per
+// task does not allocate one closure per task.
+func (e *Engine) AtArg(t Time, fn func(any), arg any) *Timer {
+	if t < e.now {
+		t = e.now
+	}
+	tm := e.newTimer(t)
+	tm.fnArg = fn
+	tm.arg = arg
+	heap.Push(&e.queue, tm)
+	return tm
+}
+
+// AfterArg schedules fn(arg) to run d after the current virtual time,
+// clamping negative delays to zero. See AtArg.
+func (e *Engine) AfterArg(d time.Duration, fn func(any), arg any) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return e.AtArg(e.now+d, fn, arg)
+}
+
+// Release returns a finished timer's storage to the engine's free list so
+// the next At/AtArg reuses it instead of allocating. The caller asserts it
+// holds the only reference and will not touch the handle again — a
+// released handle may be reused for an unrelated future event, so a stale
+// Cancel through it would cancel someone else's timer. Releasing nil or a
+// timer still live in the queue is a no-op for safety; a canceled timer
+// still awaiting lazy removal is marked and recycled when it leaves the
+// heap.
+func (e *Engine) Release(t *Timer) {
+	if t == nil || t.eng != e {
+		return
+	}
+	if t.inq {
+		if t.canceled {
+			t.release = true
+		}
+		return
+	}
+	if t.fired || t.canceled {
+		e.recycle(t)
+	}
+}
+
+// recycle resets a timer that is out of the heap and shelves it for reuse.
+func (e *Engine) recycle(t *Timer) {
+	*t = Timer{}
+	e.free = append(e.free, t)
 }
 
 // Schedule schedules fn to run at virtual time t and returns an error if t
@@ -145,6 +237,11 @@ func (e *Engine) maybeCompact() {
 	for _, tm := range e.queue {
 		if !tm.canceled {
 			kept = append(kept, tm)
+			continue
+		}
+		tm.inq = false
+		if tm.release {
+			e.recycle(tm)
 		}
 	}
 	// Zero the tail so dropped timers are collectable.
@@ -165,16 +262,26 @@ func (e *Engine) Step() bool {
 		if !ok {
 			panic("sim: heap contained a non-timer element")
 		}
+		tm.inq = false
 		if tm.canceled {
 			e.canceled--
+			if tm.release {
+				e.recycle(tm)
+			}
 			continue
 		}
 		e.now = tm.at
 		tm.fired = true
-		fn := tm.fn
+		fn, fnArg, arg := tm.fn, tm.fnArg, tm.arg
 		tm.fn = nil
+		tm.fnArg = nil
+		tm.arg = nil
 		e.stepped++
-		fn()
+		if fn != nil {
+			fn()
+		} else {
+			fnArg(arg)
+		}
 		return true
 	}
 	return false
@@ -226,7 +333,11 @@ func (e *Engine) peek() *Timer {
 			return tm
 		}
 		heap.Pop(&e.queue)
+		tm.inq = false
 		e.canceled--
+		if tm.release {
+			e.recycle(tm)
+		}
 	}
 	return nil
 }
