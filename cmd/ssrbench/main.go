@@ -2,9 +2,9 @@
 // per-PR BENCH_*.json trajectory snapshot. It is the engine behind
 // scripts/bench.sh and the CI bench job.
 //
-//	ssrbench -short -out BENCH_6.json
+//	ssrbench -short -out BENCH_7.json
 //	ssrbench -list
-//	ssrbench -short -out /tmp/cur.json -baseline BENCH_5.json -max-regress 0.20
+//	ssrbench -short -out /tmp/cur.json -baseline BENCH_6.json -max-regress 0.20
 //
 // With -baseline, the run exits 1 when any scenario's ns/decision
 // regresses by more than -max-regress relative to the baseline report.
@@ -22,7 +22,7 @@ func main() {
 	var (
 		short      = flag.Bool("short", false, "run scenarios at reduced scale (CI)")
 		out        = flag.String("out", "", "write BENCH JSON report to this path")
-		pr         = flag.Int("pr", 6, "PR number stamped into the report")
+		pr         = flag.Int("pr", 7, "PR number stamped into the report")
 		scenarios  = flag.String("scenarios", "", "regexp filtering scenario names (default all)")
 		baseline   = flag.String("baseline", "", "prior BENCH_*.json to gate against")
 		maxRegress = flag.Float64("max-regress", 0.20, "tolerated ns/decision growth vs baseline (0.20 = +20%)")

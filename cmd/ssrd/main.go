@@ -2,29 +2,40 @@
 // cluster driven in wall-clock time (with configurable time dilation)
 // behind an HTTP/JSON API.
 //
-//	POST /jobs        submit a workflow job (service.JobSpec)
-//	GET  /jobs        list jobs; GET /jobs/{id} for one
-//	GET  /cluster     per-slot state
-//	GET  /metrics     utilization, counters, online slowdowns (JSON);
-//	                  ?format=prometheus for text exposition 0.0.4
-//	GET  /trace       recorded task attempts (requires -trace);
-//	                  ?format=perfetto for Chrome trace-event JSON
-//	GET  /audit       reservation-decision audit stream (JSON Lines)
-//	GET  /events      server-sent lifecycle event stream
-//	GET  /healthz     liveness
+//	POST /v1/jobs          submit a workflow job (service.JobSpec, with an
+//	                       optional "tenant" field); 429 + Retry-After when
+//	                       the tenant's quota rejects it
+//	GET  /v1/jobs          paginated list (?limit=&after=&tenant=);
+//	                       GET /v1/jobs/{id} for one
+//	GET  /v1/tenants       per-tenant quotas and usage; /v1/tenants/{id}
+//	GET  /v1/cluster       per-slot state
+//	GET  /v1/metrics       utilization, counters, online slowdowns (JSON);
+//	                       ?format=prometheus for text exposition 0.0.4
+//	GET  /v1/trace         recorded task attempts (requires -trace);
+//	                       ?format=perfetto for Chrome trace-event JSON
+//	GET  /v1/audit         reservation-decision audit stream (JSON Lines)
+//	GET  /v1/events        server-sent lifecycle event stream
+//	GET  /v1/healthz       liveness
+//
+// Errors use the uniform envelope {"error": {"code", "message",
+// "retry_after_ms"}}. The unversioned routes of earlier releases remain as
+// deprecated aliases for one release.
 //
 // With -shards K > 1 the cluster is partitioned into K independent
 // scheduler shards; -router picks the job-placement policy and idle slots
 // are lent across shards for SSR pre-reservation (cap it with -lend).
+// -tenants declares per-tenant quotas ("gold:cap=16,weight=3;batch:cap=8");
+// -policy swaps the per-shard slot policy (ssr, dagps, sgpack).
 //
 // On SIGTERM/SIGINT the daemon drains gracefully: it stops admitting jobs
-// (503 on POST /jobs), gives in-flight jobs the -drain grace to finish,
+// (503 on POST /v1/jobs), gives in-flight jobs the -drain grace to finish,
 // aborts the rest, flushes the trace file if one was requested, and exits 0.
 //
 // Example:
 //
 //	ssrd -addr 127.0.0.1:8347 -nodes 20 -slots 2 -mode ssr -p 0.9 -dilation 100
 //	ssrd -nodes 20 -shards 4 -router least-loaded -pprof 127.0.0.1:6060
+//	ssrd -nodes 20 -tenants 'gold:cap=24,weight=3,p=0.95;batch:weight=1'
 package main
 
 import (
@@ -45,6 +56,7 @@ import (
 	"ssr/internal/driver"
 	"ssr/internal/service"
 	"ssr/internal/shard"
+	"ssr/internal/tenant"
 )
 
 func main() {
@@ -80,6 +92,8 @@ func run(args []string, sigC <-chan os.Signal, ready func(addr string)) error {
 		shards    = fs.Int("shards", 1, "scheduler shards the cluster is partitioned into")
 		router    = fs.String("router", "hash", "job placement across shards: hash, least-loaded, best-fit")
 		lend      = fs.Float64("lend", 0.5, "max fraction of a shard's slots lendable cross-shard (0 disables lending)")
+		policy    = fs.String("policy", "", "slot policy preset: ssr, dagps, sgpack (empty keeps -mode's queue)")
+		tenants   = fs.String("tenants", "", "per-tenant quotas: 'name[:cap=N][,weight=W][,p=P][;name2...]'")
 		pprofAddr = fs.String("pprof", "", "serve net/http/pprof and expvar on this address (off when empty)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -105,27 +119,53 @@ func run(args []string, sigC <-chan os.Signal, ready func(addr string)) error {
 	} else {
 		cfg.Lending.MaxLendFraction = *lend
 	}
-	switch *modeName {
-	case "none":
-		cfg.Driver.Mode = driver.ModeNone
-	case "ssr":
-		cfg.Driver.Mode = driver.ModeSSR
-		cfg.Driver.SSR = core.Config{
-			Enabled:             true,
-			IsolationP:          *isolation,
-			Alpha:               *alpha,
-			PreReserveThreshold: *threshold,
-			MitigateStragglers:  *mitigate,
+	if *tenants != "" {
+		reg, err := tenant.ParseSpec(*tenants)
+		if err != nil {
+			return err
 		}
-	case "timeout":
-		cfg.Driver.Mode = driver.ModeTimeout
-		cfg.Driver.Timeout = *timeout
-	case "static":
-		cfg.Driver.Mode = driver.ModeStatic
-		cfg.Driver.StaticSlots = *static
-		cfg.Driver.StaticMinPriority = 10
-	default:
-		return fmt.Errorf("unknown mode %q", *modeName)
+		cfg.Tenants = reg
+	}
+	applyMode := true
+	if *policy != "" {
+		pol, err := driver.ParsePolicy(*policy)
+		if err != nil {
+			return err
+		}
+		cfg.Driver.Policy = pol
+		// With -policy and no explicit -mode, the policy's own reservation
+		// mode governs (dagps/sgpack are work conserving, ssr reserves with
+		// the paper defaults); an explicit -mode always wins over it.
+		applyMode = false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "mode" {
+				applyMode = true
+			}
+		})
+	}
+	if applyMode {
+		switch *modeName {
+		case "none":
+			cfg.Driver.Mode = driver.ModeNone
+		case "ssr":
+			cfg.Driver.Mode = driver.ModeSSR
+			cfg.Driver.SSR = core.Config{
+				Enabled:             true,
+				IsolationP:          *isolation,
+				Alpha:               *alpha,
+				PreReserveThreshold: *threshold,
+				MitigateStragglers:  *mitigate,
+			}
+		case "timeout":
+			cfg.Driver.Mode = driver.ModeTimeout
+			cfg.Driver.Timeout = *timeout
+		case "static":
+			cfg.Driver.Mode = driver.ModeStatic
+			cfg.Driver.StaticSlots = *static
+			cfg.Driver.StaticMinPriority = 10
+		default:
+			return fmt.Errorf("unknown mode %q", *modeName)
+		}
 	}
 
 	svc, err := service.New(cfg)

@@ -9,9 +9,14 @@
 //   - Closed loop (-rate 0): -concurrency workers each keep exactly one
 //     job in flight, submitting the next as soon as the last completes.
 //
+// With -tenants N, jobs are spread round-robin over tenants t0..tN-1; 429
+// quota rejections are retried after the server's Retry-After advice (a
+// bounded number of times) and counted separately as "throttled".
+//
 // Example:
 //
 //	ssrload -addr http://127.0.0.1:8347 -jobs 200 -rate 20 -suite tiny
+//	ssrload -jobs 100 -tenants 4 -concurrency 16
 package main
 
 import (
@@ -52,10 +57,12 @@ type report struct {
 	Mode                 string                 `json:"mode"` // "open" or "closed"
 	RateJobsPerSec       float64                `json:"rateJobsPerSec,omitempty"`
 	Concurrency          int                    `json:"concurrency,omitempty"`
+	Tenants              int                    `json:"tenants,omitempty"`
 	Jobs                 int                    `json:"jobs"`
 	Completed            int                    `json:"completed"`
 	Failed               int                    `json:"failed"`
 	Refused              int                    `json:"refused"`
+	Throttled            int                    `json:"throttled"`
 	WallSec              float64                `json:"wallSec"`
 	ThroughputJobsPerSec float64                `json:"throughputJobsPerSec"`
 	Latency              *latencySummary        `json:"latencySeconds,omitempty"`
@@ -144,6 +151,7 @@ func run(args []string) error {
 		poll    = fs.Duration("poll", 20*time.Millisecond, "completion poll interval")
 		timeout = fs.Duration("timeout", 5*time.Minute, "overall deadline")
 		seed    = fs.Int64("seed", 42, "random seed (durations and interarrivals)")
+		tenants = fs.Int("tenants", 0, "spread jobs round-robin over N tenants t0..tN-1 (0 = default tenant)")
 		jsonOut = fs.String("json", "", `write a machine-readable JSON report to this file ("-" = stdout)`)
 	)
 	if err := fs.Parse(args); err != nil {
@@ -159,6 +167,11 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *tenants > 0 {
+		for i := range specs {
+			specs[i].Tenant = fmt.Sprintf("t%d", i%*tenants)
+		}
+	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
@@ -173,6 +186,7 @@ func run(args []string) error {
 		completed int
 		failed    int
 		refused   int
+		throttled int
 	)
 	latHist := obs.NewHistogram(obs.LatencyBuckets)
 	var wg sync.WaitGroup
@@ -180,6 +194,23 @@ func run(args []string) error {
 		defer wg.Done()
 		start := time.Now()
 		st, err := cli.Submit(ctx, spec)
+		// Quota backpressure: honor the server's Retry-After advice for a
+		// bounded number of attempts before giving the job up as refused.
+		for attempt := 0; err != nil && service.IsQuotaExhausted(err) && attempt < 8; attempt++ {
+			mu.Lock()
+			throttled++
+			mu.Unlock()
+			backoff := service.RetryAfter(err)
+			if backoff <= 0 {
+				backoff = 100 * time.Millisecond
+			}
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				break
+			}
+			st, err = cli.Submit(ctx, spec)
+		}
 		if err != nil {
 			mu.Lock()
 			refused++
@@ -237,17 +268,19 @@ func run(args []string) error {
 	if *rate > 0 {
 		mode = fmt.Sprintf("open loop at %.3g jobs/sec", *rate)
 	}
-	fmt.Printf("ssrload: %s suite %q: %d completed, %d failed, %d refused in %v (%.1f jobs/sec)\n",
-		mode, *suite, completed, failed, refused, elapsed.Round(time.Millisecond),
+	fmt.Printf("ssrload: %s suite %q: %d completed, %d failed, %d refused, %d throttled in %v (%.1f jobs/sec)\n",
+		mode, *suite, completed, failed, refused, throttled, elapsed.Round(time.Millisecond),
 		float64(completed+failed)/elapsed.Seconds())
 	rep := report{
 		Suite:                *suite,
 		Mode:                 "closed",
 		Concurrency:          *conc,
+		Tenants:              *tenants,
 		Jobs:                 *jobs,
 		Completed:            completed,
 		Failed:               failed,
 		Refused:              refused,
+		Throttled:            throttled,
 		WallSec:              elapsed.Seconds(),
 		ThroughputJobsPerSec: float64(completed+failed) / elapsed.Seconds(),
 	}

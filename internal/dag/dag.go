@@ -113,6 +113,10 @@ type Job struct {
 	// Case 2). Recurring production jobs and jobs with user-specified
 	// parallelism set this; ad-hoc jobs do not.
 	ParallelismKnown bool
+	// Tenant names the owning tenant for multi-tenant deployments.
+	// Empty means the default tenant; the scheduler itself never
+	// branches on it — quotas are enforced at admission, above.
+	Tenant string
 
 	phases   []*Phase
 	children [][]int
@@ -136,6 +140,9 @@ func WithSubmit(at time.Duration) Option { return func(j *Job) { j.Submit = at }
 // WithKnownParallelism marks the downstream degree of parallelism as known
 // a priori to the scheduler.
 func WithKnownParallelism() Option { return func(j *Job) { j.ParallelismKnown = true } }
+
+// WithTenant sets the owning tenant.
+func WithTenant(t string) Option { return func(j *Job) { j.Tenant = t } }
 
 // NewJob builds and validates a job from phase specifications.
 func NewJob(id JobID, name string, priority Priority, specs []PhaseSpec, opts ...Option) (*Job, error) {

@@ -26,6 +26,9 @@ func (d *Driver) onFinish(att *attempt) {
 	pr.runningTasks--
 	jr.running--
 	jr.stats.TasksRun++
+	if jr.remaining -= pr.phase.Tasks[att.taskIdx].Duration; jr.remaining < 0 {
+		jr.remaining = 0
+	}
 	if d.opts.Speculation.Enabled {
 		pr.doneDurations = append(pr.doneDurations, d.eng.Now()-att.start)
 	}
@@ -240,7 +243,7 @@ func (d *Driver) armDeadline(pr *phaseRun, firstTaskDuration sim.Time) {
 	d.audit(obs.AuditEvent{Kind: obs.KindDeadlineArmed, Job: int64(pr.jr.job.ID),
 		JobName: pr.jr.job.Name, Phase: pr.phase.ID, Slot: -1,
 		TmSec: firstTaskDuration.Seconds(), N: pr.phase.Parallelism(),
-		P: d.opts.SSR.IsolationP, Alpha: d.opts.SSR.Alpha,
+		P: pr.jr.ssrCfg.IsolationP, Alpha: pr.jr.ssrCfg.Alpha,
 		DeadlineSec: dl.Seconds()})
 	expireAt := pr.start + dl
 	if expireAt <= d.eng.Now() {

@@ -145,10 +145,31 @@ type Options struct {
 	// lending round-trips). Like Audit it is passive and rides the
 	// virtual clock.
 	Metrics *obs.SchedMetrics
+	// Policy, when non-nil, bundles a queue discipline and reservation
+	// mode into one named slot policy (SSR, DAGPS, packing). It only
+	// fills fields the caller left zero: an explicit Queue or Mode
+	// always wins, so existing configurations are untouched.
+	Policy SlotPolicy
+	// TenantSSR, when non-nil, transforms the effective SSR config per
+	// job by tenant (the service layer wires per-tenant Eq. 3 isolation
+	// P here). It is consulted once at job submission, only when SSR is
+	// enabled for the job; nil leaves every job on Options.SSR.
+	TenantSSR func(tenant string, cfg core.Config) core.Config
 }
 
 func (o *Options) withDefaults() Options {
 	out := *o
+	if out.Policy != nil {
+		if out.Queue == nil {
+			out.Queue = out.Policy.NewQueue()
+		}
+		if m := out.Policy.Mode(); m != 0 && out.Mode == 0 {
+			out.Mode = m
+			if m == ModeSSR && out.SSR == (core.Config{}) {
+				out.SSR = core.DefaultConfig()
+			}
+		}
+	}
 	if out.Queue == nil {
 		out.Queue = sched.NewPriorityQueue()
 	}

@@ -30,6 +30,13 @@ type jobRun struct {
 	// home virtual clock) for the lending round-trip histogram. Only
 	// maintained when Options.Metrics is set.
 	loanGrants []sim.Time
+	// ssrCfg is the job's effective SSR config, resolved once at
+	// submission: mode + ReserveMinPriority gate + per-tenant override.
+	ssrCfg core.Config
+	// remaining approximates the job's remaining serial work (sum of
+	// base durations of not-yet-finished tasks); the DAGPS queue orders
+	// on it.
+	remaining time.Duration
 
 	stats metrics.JobStats
 }
@@ -44,6 +51,14 @@ func newJobRun(d *Driver, job *dag.Job) *jobRun {
 	for _, p := range job.Phases() {
 		jr.depsLeft[p.ID] = len(p.Deps)
 	}
+	cfg := d.ssrConfig()
+	if job.Priority < d.opts.ReserveMinPriority {
+		cfg = core.Disabled()
+	} else if cfg.Enabled && d.opts.TenantSSR != nil {
+		cfg = d.opts.TenantSSR(job.Tenant, cfg)
+	}
+	jr.ssrCfg = cfg
+	jr.remaining = job.SerialWork()
 	jr.stats = metrics.JobStats{Job: job, Submit: job.Submit}
 	return jr
 }
@@ -192,6 +207,13 @@ func (pr *phaseRun) ReadyTime() time.Duration { return pr.start }
 // JobRunning implements sched.Item.
 func (pr *phaseRun) JobRunning() int { return pr.jr.running }
 
+// RemainingWork reports the owning job's remaining serial work (DAGPS
+// queue ordering).
+func (pr *phaseRun) RemainingWork() time.Duration { return pr.jr.remaining }
+
+// TaskDemand reports the per-task slot demand (packing queue ordering).
+func (pr *phaseRun) TaskDemand() int { return pr.demand }
+
 // preSize returns the slot capacity a pre-reservation for this phase's
 // downstream computation must have.
 func (pr *phaseRun) preSize() int {
@@ -332,11 +354,7 @@ func (d *Driver) submitPhase(jr *jobRun, pid int) {
 	if job.ParallelismKnown {
 		n = job.DownstreamParallelism(pid)
 	}
-	cfg := d.ssrConfig()
-	if job.Priority < d.opts.ReserveMinPriority {
-		cfg = core.Disabled()
-	}
-	tracker, err := core.NewPhaseTracker(cfg, m, n, job.IsFinal(pid))
+	tracker, err := core.NewPhaseTracker(jr.ssrCfg, m, n, job.IsFinal(pid))
 	if err != nil {
 		// Options and job were validated up front; a failure here is
 		// a programming error worth surfacing loudly in simulation.

@@ -60,6 +60,9 @@ type LoanRequest struct {
 	// capacity each must have (the phase's downstream demand).
 	Want    int
 	MinSize int
+	// Tenant is the borrowing job's owning tenant; the broker accounts
+	// granted loans against it.
+	Tenant string
 }
 
 // LoanID identifies one granted loan: the lending shard and the slot
@@ -82,6 +85,7 @@ func (d *Driver) requestLoan(pr *phaseRun) {
 		Priority: pr.jr.job.Priority,
 		Want:     pr.preWant,
 		MinSize:  pr.preSize(),
+		Tenant:   pr.jr.job.Tenant,
 	})
 	if pending {
 		pr.loanPending = true

@@ -31,6 +31,11 @@ func (d *Driver) audit(ev obs.AuditEvent) {
 	}
 	ev.Time = d.eng.Now()
 	ev.Shard = d.opts.AuditShard
+	if ev.Tenant == "" && ev.Job > 0 {
+		if jr := d.jobsByID[dag.JobID(ev.Job)]; jr != nil {
+			ev.Tenant = jr.job.Tenant
+		}
+	}
 	d.opts.Audit.Append(ev)
 }
 

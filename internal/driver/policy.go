@@ -1,0 +1,77 @@
+package driver
+
+import (
+	"fmt"
+
+	"ssr/internal/sched"
+)
+
+// SlotPolicy bundles a queue discipline and a reservation mode into one
+// named slot-scheduling policy. Options.withDefaults consults it only
+// for fields the caller left zero, so an explicit Queue or Mode always
+// wins; NewQueue is called once per driver instance (one fresh queue per
+// shard under federation).
+type SlotPolicy interface {
+	// Name identifies the policy ("ssr", "dagps", "sgpack").
+	Name() string
+	// NewQueue builds a fresh queue implementing the policy's ordering.
+	NewQueue() sched.Queue
+	// Mode is the reservation mode the policy implies, or 0 to leave
+	// Options.Mode alone.
+	Mode() Mode
+}
+
+// PolicySSR is the paper's speculative slot reservation: priority queue
+// plus ModeSSR reservations (Options.SSR defaulting to strict P = 1).
+type PolicySSR struct{}
+
+// Name implements SlotPolicy.
+func (PolicySSR) Name() string { return "ssr" }
+
+// NewQueue implements SlotPolicy.
+func (PolicySSR) NewQueue() sched.Queue { return sched.NewPriorityQueue() }
+
+// Mode implements SlotPolicy.
+func (PolicySSR) Mode() Mode { return ModeSSR }
+
+// PolicyDAGPS is DAGPS-style DAG prioritization (Grandl et al.,
+// "do the hard stuff first"): most-remaining-work-first ordering within
+// a priority level, no reservations — slots stay work conserving.
+type PolicyDAGPS struct{}
+
+// Name implements SlotPolicy.
+func (PolicyDAGPS) Name() string { return "dagps" }
+
+// NewQueue implements SlotPolicy.
+func (PolicyDAGPS) NewQueue() sched.Queue { return sched.NewDAGQueue() }
+
+// Mode implements SlotPolicy.
+func (PolicyDAGPS) Mode() Mode { return ModeNone }
+
+// PolicySGPack is a Shafiee–Ghaderi-style packing scheduler for
+// placement-constrained parallel tasks: largest per-task demand first
+// (best-fit decreasing), no reservations.
+type PolicySGPack struct{}
+
+// Name implements SlotPolicy.
+func (PolicySGPack) Name() string { return "sgpack" }
+
+// NewQueue implements SlotPolicy.
+func (PolicySGPack) NewQueue() sched.Queue { return sched.NewPackingQueue() }
+
+// Mode implements SlotPolicy.
+func (PolicySGPack) Mode() Mode { return ModeNone }
+
+// ParsePolicy maps a policy name to its implementation.
+func ParsePolicy(name string) (SlotPolicy, error) {
+	switch name {
+	case "ssr":
+		return PolicySSR{}, nil
+	case "dagps":
+		return PolicyDAGPS{}, nil
+	case "sgpack":
+		return PolicySGPack{}, nil
+	default:
+		return nil, fmt.Errorf("driver: unknown slot policy %q (want ssr, dagps, or sgpack)", name)
+	}
+}

@@ -180,6 +180,7 @@ func init() {
 		mitigationExperiment(),
 		faultToleranceExperiment(),
 		shardScalingExperiment(),
+		tenancyExperiment(),
 	} {
 		Register(e)
 	}

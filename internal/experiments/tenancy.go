@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"ssr/internal/dag"
+	"ssr/internal/driver"
+	"ssr/internal/stats"
+	"ssr/internal/workload"
+
+	"ssr/internal/core"
+)
+
+// tenancyPolicies returns the swept slot policies: the paper's SSR against
+// the two work-conserving baselines (DAGPS ordering and Shafiee–Ghaderi
+// packing).
+func tenancyPolicies() []driver.SlotPolicy {
+	return []driver.SlotPolicy{driver.PolicySSR{}, driver.PolicyDAGPS{}, driver.PolicySGPack{}}
+}
+
+// tenancyTs returns the swept tenant counts.
+func tenancyTs(scale Scale) []int {
+	if scale == Quick {
+		return []int{2, 4}
+	}
+	return []int{2, 4, 8}
+}
+
+// tenancyRuns returns the per-cell averaging count.
+func tenancyRuns(scale Scale) int {
+	if scale == Quick {
+		return 2
+	}
+	return 3
+}
+
+// tenancyEnv is the fixed setting of the sweep: the 48x2 cluster shared by
+// every tenant, with the standard background stream acting as the "batch"
+// tenant's load.
+func tenancyEnv() contentionEnv {
+	e := contentionEnv{nodes: 48, perNode: 2, bg: workload.DefaultBackground()}
+	e.fgSubmit = e.bg.Window / 4
+	return e
+}
+
+// tenantName returns the i-th foreground tenant's name.
+func tenantName(i int) string { return fmt.Sprintf("tenant-%d", i) }
+
+// tenantIsolationP is the per-tenant Eq. 3 isolation target: tenant 0 gets
+// the strictest guarantee and each later tenant 0.05 less, floored at 0.8 —
+// the differentiated-SLO setting the per-tenant deadline hook exists for.
+func tenantIsolationP(i int) float64 {
+	step := i
+	if step > 4 {
+		step = 4
+	}
+	return 1 - 0.05*float64(step)
+}
+
+// tenancyRow is one (policy, T, run) measurement.
+type tenancyRow struct {
+	// meanSlow / maxSlow summarize the per-tenant foreground slowdowns:
+	// the mean is the aggregate service quality, the max the worst tenant
+	// — the isolation number a per-tenant SLO would bind on.
+	meanSlow, maxSlow float64
+	// util is the cluster busy fraction over the makespan.
+	util float64
+}
+
+// tenancyCell runs T foreground tenants (one staggered job each, with a
+// per-tenant isolation P under SSR) against the shared background stream
+// under one slot policy and measures per-tenant slowdown and utilization.
+func tenancyCell(env contentionEnv, pol driver.SlotPolicy, tenants int, seed int64) (tenancyRow, error) {
+	// Mode and queue come from the policy, so the options leave both zero.
+	opts := driver.Options{
+		LocalityWait:   3 * time.Second,
+		LocalityFactor: 5,
+		Policy:         pol,
+	}
+	if pol.Mode() == driver.ModeSSR {
+		opts.TenantSSR = func(t string, cfg core.Config) core.Config {
+			var i int
+			if _, err := fmt.Sscanf(t, "tenant-%d", &i); err == nil {
+				cfg.IsolationP = tenantIsolationP(i)
+			}
+			return cfg
+		}
+	}
+
+	// One foreground job per tenant, submissions staggered across half the
+	// background window so tenants overlap without arriving in lockstep.
+	stagger := env.bg.Window / 2 / time.Duration(tenants)
+	fgs := make([]*dag.Job, tenants)
+	for i := range fgs {
+		submit := env.fgSubmit + time.Duration(i)*stagger
+		fg, err := workload.KMeans.Build(dag.JobID(i+1), fgPriority, submit,
+			stats.Stream(seed, fmt.Sprintf("tenancy-fg-%d", i)))
+		if err != nil {
+			return tenancyRow{}, err
+		}
+		fg.Tenant = tenantName(i)
+		fgs[i] = fg
+	}
+	bgJobs, err := workload.Background(env.bg, 1000, bgPriority, stats.Stream(seed, "bg"))
+	if err != nil {
+		return tenancyRow{}, err
+	}
+	for _, j := range bgJobs {
+		j.Tenant = "batch"
+	}
+
+	res, err := runSim(env.nodes, env.perNode, opts, fgs, bgJobs)
+	if err != nil {
+		return tenancyRow{}, err
+	}
+	var row tenancyRow
+	for _, fg := range fgs {
+		s, err := res.slowdown(fg, env.nodes, env.perNode, opts)
+		if err != nil {
+			return tenancyRow{}, err
+		}
+		row.meanSlow += s
+		if s > row.maxSlow {
+			row.maxSlow = s
+		}
+	}
+	row.meanSlow /= float64(tenants)
+	row.util = res.drv.Usage().Utilization(res.makespan)
+	return row, nil
+}
+
+// tenancyExperiment sweeps tenant count against slot policy on a shared
+// 96-slot cluster and reports, per (policy, T), the mean and worst
+// per-tenant foreground slowdown plus cluster utilization. The question the
+// table answers: as more tenants with differentiated isolation targets
+// share the cluster, how much service isolation does each policy preserve,
+// and at what utilization cost? SSR applies each tenant's own Eq. 3 P via
+// the per-tenant deadline hook; DAGPS and SG packing are work conserving,
+// so their columns price pure queue-ordering isolation.
+func tenancyExperiment() Experiment {
+	cells := func(p Params) ([]Cell, error) {
+		env := tenancyEnv()
+		seeds := runSeeds(p.Seed, tenancyRuns(p.Scale))
+		var cells []Cell
+		for _, pol := range tenancyPolicies() {
+			for _, tenants := range tenancyTs(p.Scale) {
+				for r, seed := range seeds {
+					pol, tenants, seed := pol, tenants, seed
+					cells = append(cells, Cell{
+						Key: fmt.Sprintf("tenancy/%s/T%d/run%d", pol.Name(), tenants, r),
+						Run: func() (any, error) {
+							row, err := tenancyCell(env, pol, tenants, seed)
+							if err != nil {
+								return nil, fmt.Errorf("experiments: tenancy cell %s T=%d: %w",
+									pol.Name(), tenants, err)
+							}
+							return row, nil
+						},
+					})
+				}
+			}
+		}
+		return cells, nil
+	}
+	assemble := func(p Params, values []any) (*Result, error) {
+		runs := tenancyRuns(p.Scale)
+		res := NewResult("Multi-tenant isolation: per-tenant fg slowdown vs slot policy and tenant count (96 slots, shared batch background)",
+			Column{"policy", KindString}, Column{"tenants", KindInt},
+			Column{"fg slowdown (mean)", KindFloat2}, Column{"fg slowdown (worst tenant)", KindFloat2},
+			Column{"utilization", KindPercent})
+		cur := cursor{values: values}
+		for _, pol := range tenancyPolicies() {
+			for _, tenants := range tenancyTs(p.Scale) {
+				var mean, worst, util float64
+				for r := 0; r < runs; r++ {
+					row := cur.next().(tenancyRow)
+					mean += row.meanSlow
+					worst += row.maxSlow
+					util += row.util
+				}
+				mean /= float64(runs)
+				worst /= float64(runs)
+				util /= float64(runs)
+				res.AddRow(pol.Name(), tenants, mean, worst, 100*util)
+				res.Metrics[fmt.Sprintf("slowdown-%s-T%d", pol.Name(), tenants)] = mean
+				res.Metrics[fmt.Sprintf("worst-%s-T%d", pol.Name(), tenants)] = worst
+			}
+		}
+		return res, nil
+	}
+	return Define("tenancy", "per-tenant fg slowdown vs slot policy and tenant count", cells, assemble)
+}

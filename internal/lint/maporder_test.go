@@ -29,6 +29,7 @@ var schedulingPackages = []string{
 	"ssr/internal/service",
 	"ssr/internal/shard",
 	"ssr/internal/sim",
+	"ssr/internal/tenant",
 }
 
 // TestNoUnorderedMapIterationOnSchedulingPaths is the determinism guard

@@ -61,6 +61,12 @@ const (
 	// KindLoanFinish: one consumed loan's task finished and the slot went
 	// home.
 	KindLoanFinish
+	// KindAdmit: service-level admission charged a job against its
+	// tenant's quota (Count is the job's slot demand).
+	KindAdmit
+	// KindAdmitReject: admission rejected a job for quota (Count is the
+	// requested slot demand).
+	KindAdmitReject
 )
 
 func (k Kind) String() string {
@@ -93,6 +99,10 @@ func (k Kind) String() string {
 		return "loan_return"
 	case KindLoanFinish:
 		return "loan_finish"
+	case KindAdmit:
+		return "admit"
+	case KindAdmitReject:
+		return "admit_reject"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -118,9 +128,12 @@ type AuditEvent struct {
 
 	Job     int64  `json:"job,omitempty"`
 	JobName string `json:"jobName,omitempty"`
-	Phase   int    `json:"phase,omitempty"`
-	Task    int    `json:"task,omitempty"`
-	Slot    int    `json:"slot"`
+	// Tenant is the owning job's tenant ("" pre-tenancy or for events
+	// with no owning job, elided from JSON either way).
+	Tenant string `json:"tenant,omitempty"`
+	Phase  int    `json:"phase,omitempty"`
+	Task   int    `json:"task,omitempty"`
+	Slot   int    `json:"slot"`
 	// Count is the number of slots in a loan grant/return event.
 	Count int `json:"count,omitempty"`
 

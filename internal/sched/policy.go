@@ -1,0 +1,149 @@
+package sched
+
+import "time"
+
+// Optional item capabilities consulted by the published-competitor
+// queues. The driver's phase runtime implements both; foreign Item
+// implementations that do not are ordered as if the value were zero.
+
+// remainingWorker exposes the owning job's remaining serial work.
+type remainingWorker interface {
+	RemainingWork() time.Duration
+}
+
+// taskDemander exposes the per-slot demand of one task of the phase.
+type taskDemander interface {
+	TaskDemand() int
+}
+
+func itemRemaining(it Item) time.Duration {
+	if r, ok := it.(remainingWorker); ok {
+		return r.RemainingWork()
+	}
+	return 0
+}
+
+func itemDemand(it Item) int {
+	if d, ok := it.(taskDemander); ok {
+		return d.TaskDemand()
+	}
+	return 0
+}
+
+// DAGQueue orders items DAGPS-style (Grandl et al.): within a priority
+// level, serve the job with the most remaining serial work first — "do
+// the hard stuff first" — so long critical paths start draining early.
+// Ties break by job ID then phase ID. Best is O(n), like FairQueue.
+type DAGQueue struct {
+	items []Item
+}
+
+// NewDAGQueue returns an empty DAGPS queue.
+func NewDAGQueue() *DAGQueue { return &DAGQueue{} }
+
+// Name implements Queue.
+func (q *DAGQueue) Name() string { return "dagps" }
+
+// Len implements Queue.
+func (q *DAGQueue) Len() int { return len(q.items) }
+
+// Add implements Queue.
+func (q *DAGQueue) Add(it Item) { q.items = append(q.items, it) }
+
+// Remove implements Queue.
+func (q *DAGQueue) Remove(it Item) {
+	for i, x := range q.items {
+		if x == it {
+			q.items = append(q.items[:i], q.items[i+1:]...)
+			return
+		}
+	}
+}
+
+// Best implements Queue.
+func (q *DAGQueue) Best() Item {
+	var best Item
+	for _, it := range q.items {
+		if best == nil || dagLess(it, best) {
+			best = it
+		}
+	}
+	return best
+}
+
+func dagLess(a, b Item) bool {
+	if a.Priority() != b.Priority() {
+		return a.Priority() > b.Priority()
+	}
+	if ra, rb := itemRemaining(a), itemRemaining(b); ra != rb {
+		return ra > rb
+	}
+	if a.JobID() != b.JobID() {
+		return a.JobID() < b.JobID()
+	}
+	return a.PhaseID() < b.PhaseID()
+}
+
+// PackingQueue orders items in the Shafiee–Ghaderi placement-constrained
+// style: within a priority level, serve the phase with the largest
+// per-task slot demand first (best-fit-decreasing over demands), so big
+// parallel tasks pack before fragmentation strands them. Ties break by
+// ready time, then job ID, then phase ID.
+type PackingQueue struct {
+	items []Item
+}
+
+// NewPackingQueue returns an empty packing queue.
+func NewPackingQueue() *PackingQueue { return &PackingQueue{} }
+
+// Name implements Queue.
+func (q *PackingQueue) Name() string { return "packing" }
+
+// Len implements Queue.
+func (q *PackingQueue) Len() int { return len(q.items) }
+
+// Add implements Queue.
+func (q *PackingQueue) Add(it Item) { q.items = append(q.items, it) }
+
+// Remove implements Queue.
+func (q *PackingQueue) Remove(it Item) {
+	for i, x := range q.items {
+		if x == it {
+			q.items = append(q.items[:i], q.items[i+1:]...)
+			return
+		}
+	}
+}
+
+// Best implements Queue.
+func (q *PackingQueue) Best() Item {
+	var best Item
+	for _, it := range q.items {
+		if best == nil || packLess(it, best) {
+			best = it
+		}
+	}
+	return best
+}
+
+func packLess(a, b Item) bool {
+	if a.Priority() != b.Priority() {
+		return a.Priority() > b.Priority()
+	}
+	if da, db := itemDemand(a), itemDemand(b); da != db {
+		return da > db
+	}
+	if a.ReadyTime() != b.ReadyTime() {
+		return a.ReadyTime() < b.ReadyTime()
+	}
+	if a.JobID() != b.JobID() {
+		return a.JobID() < b.JobID()
+	}
+	return a.PhaseID() < b.PhaseID()
+}
+
+// Compile-time interface checks.
+var (
+	_ Queue = (*DAGQueue)(nil)
+	_ Queue = (*PackingQueue)(nil)
+)

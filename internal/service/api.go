@@ -49,8 +49,24 @@ type JobSpec struct {
 	// ParallelismKnown lets the scheduler use downstream parallelism a
 	// priori (recurring production jobs; Algorithm 1, Case 2).
 	ParallelismKnown bool `json:"parallelismKnown,omitempty"`
+	// Tenant names the submitting tenant for quota accounting and
+	// per-tenant isolation; empty means the default tenant.
+	Tenant string `json:"tenant,omitempty"`
 	// Phases is the workflow DAG.
 	Phases []PhaseSpec `json:"phases"`
+}
+
+// validTenantName restricts tenant names to Prometheus-label-safe
+// characters, so per-tenant metric labels never need escaping.
+func validTenantName(name string) bool {
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
 }
 
 // Validate checks the spec without building it.
@@ -65,6 +81,9 @@ func (s JobSpec) Validate() error {
 	case "", "foreground", "background":
 	default:
 		return fmt.Errorf("service: job %q class %q must be foreground or background", s.Name, s.Class)
+	}
+	if !validTenantName(s.Tenant) {
+		return fmt.Errorf("service: job %q tenant %q must match [a-zA-Z0-9_-]", s.Name, s.Tenant)
 	}
 	for i, ph := range s.Phases {
 		if len(ph.DurationsMs) == 0 {
@@ -119,6 +138,9 @@ func (s JobSpec) build(id dag.JobID, submit time.Duration) (*dag.Job, error) {
 	if s.ParallelismKnown {
 		opts = append(opts, dag.WithKnownParallelism())
 	}
+	if s.Tenant != "" {
+		opts = append(opts, dag.WithTenant(s.Tenant))
+	}
 	return dag.NewJob(id, s.Name, dag.Priority(s.Priority), specs, opts...)
 }
 
@@ -129,6 +151,7 @@ func SpecOf(job *dag.Job) JobSpec {
 		Name:             job.Name,
 		Priority:         int(job.Priority),
 		ParallelismKnown: job.ParallelismKnown,
+		Tenant:           job.Tenant,
 		Phases:           make([]PhaseSpec, job.NumPhases()),
 	}
 	if job.Class == dag.Background {
@@ -203,6 +226,39 @@ type JobStatus struct {
 	BorrowedSlots int           `json:"borrowedSlots,omitempty"`
 	RemoteTasks   int           `json:"remoteTasks,omitempty"`
 	Phases        []PhaseStatus `json:"phases,omitempty"`
+	// Tenant is the job's owning tenant ("default" when none was named).
+	Tenant string `json:"tenant,omitempty"`
+}
+
+// JobList is the paginated wire view of GET /v1/jobs.
+type JobList struct {
+	Jobs []JobStatus `json:"jobs"`
+	// NextAfter is the `after` cursor for the next page, or 0 when this
+	// page exhausts the listing.
+	NextAfter int64 `json:"nextAfter,omitempty"`
+}
+
+// TenantStatus is the wire view of one tenant's quota and usage
+// (GET /v1/tenants and the metrics snapshot).
+type TenantStatus struct {
+	Name string `json:"name"`
+	// Weight scales the tenant's DRF fair share.
+	Weight float64 `json:"weight"`
+	// MaxSlots is the hard slot cap; 0 means unlimited.
+	MaxSlots int `json:"maxSlots,omitempty"`
+	// IsolationP is the tenant's Eq. 3 override; 0 inherits the
+	// service-wide config.
+	IsolationP    float64 `json:"isolationP,omitempty"`
+	SlotsInUse    int     `json:"slotsInUse"`
+	TasksInFlight int     `json:"tasksInFlight"`
+	JobsPending   int     `json:"jobsPending"`
+	DominantShare float64 `json:"dominantShare"`
+	Admitted      int64   `json:"admitted"`
+	Rejected      int64   `json:"rejected"`
+	Completed     int64   `json:"completed"`
+	// BorrowedSlots counts cross-shard loans currently held by the
+	// tenant's jobs.
+	BorrowedSlots int `json:"borrowedSlots,omitempty"`
 }
 
 // SlotStatus is the wire view of one cluster slot. IDs are per-shard:
@@ -310,6 +366,7 @@ type MetricsStatus struct {
 
 	Shards  []ShardStatus  `json:"shards,omitempty"`
 	Lending *LendingStatus `json:"lending,omitempty"`
+	Tenants []TenantStatus `json:"tenants,omitempty"`
 
 	Slowdowns SlowdownStats `json:"slowdowns"`
 }

@@ -9,12 +9,15 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
+	"strconv"
 	"strings"
 	"time"
 )
 
 // Client is a programmatic client for the ssrd HTTP API, used by the load
 // generator (cmd/ssrload), the example client and the end-to-end tests.
+// It speaks the versioned /v1 surface.
 type Client struct {
 	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8347".
 	BaseURL string
@@ -34,21 +37,60 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
-// apiError is a non-2xx response decoded from the error body.
+// apiError is a non-2xx response decoded from the v1 error envelope.
 type apiError struct {
-	Status int
-	Msg    string
+	Status     int
+	Code       string
+	Msg        string
+	RetryAfter time.Duration
 }
 
 func (e *apiError) Error() string {
+	if e.Code != "" {
+		return fmt.Sprintf("service: http %d (%s): %s", e.Status, e.Code, e.Msg)
+	}
 	return fmt.Sprintf("service: http %d: %s", e.Status, e.Msg)
 }
 
 // IsUnavailable reports whether err is a 503 — the daemon refusing
-// admission because it is draining.
+// admission because it is draining or stopped.
 func IsUnavailable(err error) bool {
 	var ae *apiError
 	return errors.As(err, &ae) && ae.Status == http.StatusServiceUnavailable
+}
+
+// IsQuotaExhausted reports whether err is a 429 quota rejection.
+func IsQuotaExhausted(err error) bool {
+	var ae *apiError
+	return errors.As(err, &ae) && ae.Status == http.StatusTooManyRequests
+}
+
+// RetryAfter extracts the server's backpressure advice from a quota
+// rejection; zero when err carries none.
+func RetryAfter(err error) time.Duration {
+	var ae *apiError
+	if errors.As(err, &ae) {
+		return ae.RetryAfter
+	}
+	return 0
+}
+
+// decodeError turns a non-2xx response into an *apiError, reading the v1
+// envelope (and falling back to the HTTP status line for foreign bodies).
+func decodeError(resp *http.Response) error {
+	ae := &apiError{Status: resp.StatusCode, Msg: resp.Status}
+	var env errorEnvelope
+	if json.NewDecoder(resp.Body).Decode(&env) == nil && env.Error.Message != "" {
+		ae.Code = env.Error.Code
+		ae.Msg = env.Error.Message
+		ae.RetryAfter = time.Duration(env.Error.RetryAfterMs) * time.Millisecond
+	}
+	if ae.RetryAfter == 0 {
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			ae.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return ae
 }
 
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
@@ -73,12 +115,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
-		var eb errorBody
-		msg := resp.Status
-		if json.NewDecoder(resp.Body).Decode(&eb) == nil && eb.Error != "" {
-			msg = eb.Error
-		}
-		return &apiError{Status: resp.StatusCode, Msg: msg}
+		return decodeError(resp)
 	}
 	if out == nil {
 		return nil
@@ -87,38 +124,87 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 }
 
 // Submit admits a job and returns its initial status (including the
-// assigned ID).
+// assigned ID). A quota rejection is reported as an error satisfying
+// IsQuotaExhausted, carrying the server's RetryAfter advice.
 func (c *Client) Submit(ctx context.Context, spec JobSpec) (JobStatus, error) {
 	var st JobStatus
-	err := c.do(ctx, http.MethodPost, "/jobs", spec, &st)
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", spec, &st)
 	return st, err
 }
 
 // Job fetches one job's status.
 func (c *Client) Job(ctx context.Context, id int64) (JobStatus, error) {
 	var st JobStatus
-	err := c.do(ctx, http.MethodGet, fmt.Sprintf("/jobs/%d", id), nil, &st)
+	err := c.do(ctx, http.MethodGet, fmt.Sprintf("/v1/jobs/%d", id), nil, &st)
 	return st, err
 }
 
-// Jobs lists every admitted job.
+// Jobs lists every admitted job, walking the paginated v1 listing to
+// exhaustion.
 func (c *Client) Jobs(ctx context.Context) ([]JobStatus, error) {
 	var out []JobStatus
-	err := c.do(ctx, http.MethodGet, "/jobs", nil, &out)
+	after := int64(0)
+	for {
+		page, err := c.JobsPage(ctx, 0, after, "")
+		if err != nil {
+			return out, err
+		}
+		out = append(out, page.Jobs...)
+		if page.NextAfter == 0 {
+			return out, nil
+		}
+		after = page.NextAfter
+	}
+}
+
+// JobsPage fetches one page of the job listing: at most limit entries
+// (0 = no limit) with IDs greater than after, optionally filtered by
+// tenant.
+func (c *Client) JobsPage(ctx context.Context, limit int, after int64, tenant string) (JobList, error) {
+	q := url.Values{}
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	if after > 0 {
+		q.Set("after", strconv.FormatInt(after, 10))
+	}
+	if tenant != "" {
+		q.Set("tenant", tenant)
+	}
+	path := "/v1/jobs"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var out JobList
+	err := c.do(ctx, http.MethodGet, path, nil, &out)
+	return out, err
+}
+
+// Tenants lists every tenant's quota and usage.
+func (c *Client) Tenants(ctx context.Context) ([]TenantStatus, error) {
+	var out []TenantStatus
+	err := c.do(ctx, http.MethodGet, "/v1/tenants", nil, &out)
+	return out, err
+}
+
+// Tenant fetches one tenant's quota and usage.
+func (c *Client) Tenant(ctx context.Context, name string) (TenantStatus, error) {
+	var out TenantStatus
+	err := c.do(ctx, http.MethodGet, "/v1/tenants/"+url.PathEscape(name), nil, &out)
 	return out, err
 }
 
 // Cluster fetches the per-slot cluster view.
 func (c *Client) Cluster(ctx context.Context) (ClusterStatus, error) {
 	var cs ClusterStatus
-	err := c.do(ctx, http.MethodGet, "/cluster", nil, &cs)
+	err := c.do(ctx, http.MethodGet, "/v1/cluster", nil, &cs)
 	return cs, err
 }
 
 // Metrics fetches the service metrics view.
 func (c *Client) Metrics(ctx context.Context) (MetricsStatus, error) {
 	var ms MetricsStatus
-	err := c.do(ctx, http.MethodGet, "/metrics", nil, &ms)
+	err := c.do(ctx, http.MethodGet, "/v1/metrics", nil, &ms)
 	return ms, err
 }
 
@@ -151,7 +237,7 @@ func (c *Client) WaitJob(ctx context.Context, id int64, interval time.Duration) 
 // order. It returns when ctx is canceled, the stream ends, or fn returns a
 // non-nil error (which it propagates).
 func (c *Client) StreamEvents(ctx context.Context, since uint64, fn func(Event) error) error {
-	url := fmt.Sprintf("%s/events?since=%d", c.BaseURL, since)
+	url := fmt.Sprintf("%s/v1/events?since=%d", c.BaseURL, since)
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return err
@@ -162,12 +248,7 @@ func (c *Client) StreamEvents(ctx context.Context, since uint64, fn func(Event) 
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		var eb errorBody
-		msg := resp.Status
-		if json.NewDecoder(resp.Body).Decode(&eb) == nil && eb.Error != "" {
-			msg = eb.Error
-		}
-		return &apiError{Status: resp.StatusCode, Msg: msg}
+		return decodeError(resp)
 	}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)

@@ -9,11 +9,33 @@ import (
 
 	"ssr/internal/obs"
 	"ssr/internal/realtime"
+	"ssr/internal/tenant"
 )
 
-// errorBody is the JSON shape of every non-2xx response.
-type errorBody struct {
-	Error string `json:"error"`
+// Error codes used in the v1 error envelope.
+const (
+	CodeInvalidArgument = "invalid_argument"
+	CodeNotFound        = "not_found"
+	CodeQuotaExhausted  = "quota_exhausted"
+	CodeDraining        = "draining"
+	CodeUnavailable     = "unavailable"
+	CodeInternal        = "internal"
+)
+
+// ErrorInfo is the uniform error payload of every non-2xx response.
+type ErrorInfo struct {
+	// Code is a stable machine-readable identifier.
+	Code string `json:"code"`
+	// Message is the human-readable cause.
+	Message string `json:"message"`
+	// RetryAfterMs advises when to retry (quota backpressure); zero
+	// means no advice.
+	RetryAfterMs int64 `json:"retry_after_ms,omitempty"`
+}
+
+// errorEnvelope wraps ErrorInfo as {"error": {...}}.
+type errorEnvelope struct {
+	Error ErrorInfo `json:"error"`
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -24,44 +46,128 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, errorBody{Error: err.Error()})
+// writeError renders err through the uniform envelope, deriving status,
+// code and backpressure advice from its type: quota rejections become
+// 429 with a Retry-After header, drains 503, unknown IDs stay whatever
+// the handler passed.
+func writeError(w http.ResponseWriter, status int, err error) {
+	info := ErrorInfo{Message: err.Error()}
+	var qe *tenant.QuotaError
+	switch {
+	case errors.As(err, &qe):
+		status = http.StatusTooManyRequests
+		info.Code = CodeQuotaExhausted
+		info.RetryAfterMs = qe.RetryAfter.Milliseconds()
+		// Retry-After is whole seconds; round up so the client never
+		// retries before the advised instant.
+		secs := (info.RetryAfterMs + 999) / 1000
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	case errors.Is(err, ErrDraining):
+		status = http.StatusServiceUnavailable
+		info.Code = CodeDraining
+	case errors.Is(err, realtime.ErrStopped):
+		status = http.StatusServiceUnavailable
+		info.Code = CodeUnavailable
+	default:
+		switch status {
+		case http.StatusBadRequest:
+			info.Code = CodeInvalidArgument
+		case http.StatusNotFound:
+			info.Code = CodeNotFound
+		case http.StatusServiceUnavailable:
+			info.Code = CodeUnavailable
+		default:
+			info.Code = CodeInternal
+		}
+	}
+	writeJSON(w, status, errorEnvelope{Error: info})
 }
 
-// NewHandler exposes a Service over HTTP/JSON:
+// NewHandler exposes a Service over HTTP/JSON. The v1 surface:
 //
-//	POST /jobs        admit a JobSpec; 201 with the initial JobStatus
-//	GET  /jobs        list all jobs
-//	GET  /jobs/{id}   one job's status
-//	GET  /cluster     per-slot cluster state
-//	GET  /metrics     utilization, counters, slowdowns (JSON);
-//	                  ?format=prometheus for text exposition 0.0.4
-//	GET  /trace       recorded task attempts (JSON); ?format=csv, or
-//	                  ?format=perfetto for Chrome trace-event JSON
-//	GET  /audit       reservation-decision stream as JSON Lines
-//	GET  /events      server-sent event stream (Last-Event-ID resume)
-//	GET  /healthz     liveness
+//	POST /v1/jobs           admit a JobSpec (optional "tenant" field);
+//	                        201 with the initial JobStatus, 429 with
+//	                        Retry-After on quota rejection
+//	GET  /v1/jobs           paginated job list: ?limit=N&after=ID and
+//	                        ?tenant= filtering; returns {"jobs", "nextAfter"}
+//	GET  /v1/jobs/{id}      one job's status
+//	GET  /v1/tenants        every tenant's quota and usage
+//	GET  /v1/tenants/{id}   one tenant's quota and usage
+//	GET  /v1/cluster        per-slot cluster state
+//	GET  /v1/metrics        utilization, counters, slowdowns (JSON);
+//	                        ?format=prometheus for text exposition 0.0.4
+//	GET  /v1/trace          recorded task attempts (JSON); ?format=csv,
+//	                        or ?format=perfetto for Chrome trace-event JSON
+//	GET  /v1/audit          reservation-decision stream as JSON Lines
+//	GET  /v1/events         server-sent event stream (Last-Event-ID resume)
+//	GET  /v1/healthz        liveness
 //
-// Submission during a drain returns 503 Service Unavailable.
+// Every error response is the uniform envelope
+// {"error": {"code", "message", "retry_after_ms"}}. The unversioned
+// routes of earlier releases remain as deprecated aliases (marked with a
+// Deprecation response header) for one release; GET /jobs keeps its
+// legacy bare-array shape, everything else matches v1 exactly.
 func NewHandler(svc *Service) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+	// handle registers one route at its v1 path and, when legacyPattern
+	// is non-empty, at the legacy unversioned path with a Deprecation
+	// marker (draft-ietf-httpapi-deprecation-header).
+	handle := func(v1Pattern, legacyPattern string, h http.HandlerFunc) {
+		mux.HandleFunc(v1Pattern, h)
+		if legacyPattern != "" {
+			mux.HandleFunc(legacyPattern, func(w http.ResponseWriter, r *http.Request) {
+				w.Header().Set("Deprecation", "true")
+				h(w, r)
+			})
+		}
+	}
+
+	handle("POST /v1/jobs", "POST /jobs", func(w http.ResponseWriter, r *http.Request) {
 		var spec JobSpec
 		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("decode job spec: %w", err))
 			return
 		}
 		st, err := svc.Submit(spec)
-		switch {
-		case errors.Is(err, ErrDraining) || errors.Is(err, realtime.ErrStopped):
-			writeError(w, http.StatusServiceUnavailable, err)
-		case err != nil:
+		if err != nil {
 			writeError(w, http.StatusBadRequest, err)
-		default:
-			writeJSON(w, http.StatusCreated, st)
+			return
 		}
+		writeJSON(w, http.StatusCreated, st)
 	})
+	handle("GET /v1/jobs", "", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		limit := 0
+		if v := q.Get("limit"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", v))
+				return
+			}
+			limit = n
+		}
+		after := int64(0)
+		if v := q.Get("after"); v != "" {
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil || n < 0 {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("bad after %q", v))
+				return
+			}
+			after = n
+		}
+		list, err := svc.ListPage(limit, after, q.Get("tenant"))
+		if err != nil {
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, list)
+	})
+	// Legacy GET /jobs keeps the bare-array body earlier clients parse.
 	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
 		list, err := svc.List()
 		if err != nil {
 			writeError(w, http.StatusServiceUnavailable, err)
@@ -69,7 +175,7 @@ func NewHandler(svc *Service) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, list)
 	})
-	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/jobs/{id}", "GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("bad job id %q", r.PathValue("id")))
@@ -85,7 +191,20 @@ func NewHandler(svc *Service) http.Handler {
 			writeJSON(w, http.StatusOK, st)
 		}
 	})
-	mux.HandleFunc("GET /cluster", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/tenants", "", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, svc.TenantStatuses())
+	})
+	handle("GET /v1/tenants/{id}", "", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("id")
+		for _, ts := range svc.TenantStatuses() {
+			if ts.Name == name {
+				writeJSON(w, http.StatusOK, ts)
+				return
+			}
+		}
+		writeError(w, http.StatusNotFound, fmt.Errorf("no tenant %q", name))
+	})
+	handle("GET /v1/cluster", "GET /cluster", func(w http.ResponseWriter, r *http.Request) {
 		cs, err := svc.Cluster()
 		if err != nil {
 			writeError(w, http.StatusServiceUnavailable, err)
@@ -93,22 +212,26 @@ func NewHandler(svc *Service) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, cs)
 	})
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Query().Get("format") == "prometheus" {
+	handle("GET /v1/metrics", "GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Query().Get("format") {
+		case "prometheus":
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 			if err := svc.WritePrometheus(w); err != nil {
 				writeError(w, http.StatusServiceUnavailable, err)
 			}
-			return
+		case "", "json":
+			ms, err := svc.Metrics()
+			if err != nil {
+				writeError(w, http.StatusServiceUnavailable, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, ms)
+		default:
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("unknown metrics format %q", r.URL.Query().Get("format")))
 		}
-		ms, err := svc.Metrics()
-		if err != nil {
-			writeError(w, http.StatusServiceUnavailable, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, ms)
 	})
-	mux.HandleFunc("GET /trace", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/trace", "GET /trace", func(w http.ResponseWriter, r *http.Request) {
 		rec := svc.Trace()
 		if rec == nil {
 			writeError(w, http.StatusNotFound,
@@ -130,7 +253,7 @@ func NewHandler(svc *Service) http.Handler {
 				fmt.Errorf("unknown trace format %q", r.URL.Query().Get("format")))
 		}
 	})
-	mux.HandleFunc("GET /audit", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/audit", "GET /audit", func(w http.ResponseWriter, r *http.Request) {
 		audit := svc.Audit()
 		if audit == nil {
 			writeError(w, http.StatusNotFound,
@@ -140,10 +263,10 @@ func NewHandler(svc *Service) http.Handler {
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		_ = audit.WriteJSONL(w)
 	})
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/healthz", "GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
-	mux.HandleFunc("GET /events", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/events", "GET /events", func(w http.ResponseWriter, r *http.Request) {
 		serveEvents(svc, w, r)
 	})
 	return mux

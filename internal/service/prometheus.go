@@ -80,5 +80,17 @@ func (s *Service) WritePrometheus(w io.Writer) error {
 	g.busDropped.Set(float64(ms.DroppedSubscribers))
 	g.auditTotal.Set(float64(s.audit.Total()))
 	g.auditDropped.Set(float64(s.audit.Dropped()))
+	// Per-tenant families, one labeled child per tenant. Registry
+	// registration is idempotent, so re-resolving each scrape is cheap;
+	// ms.Tenants is sorted by name, keeping exposition order stable.
+	for _, t := range ms.Tenants {
+		lbl := obs.Label{Key: "tenant", Value: t.Name}
+		s.reg.Gauge("ssr_tenant_slots_in_use", "Slot demand of the tenant's outstanding jobs.", lbl).Set(float64(t.SlotsInUse))
+		s.reg.Gauge("ssr_tenant_jobs_pending", "Tenant jobs admitted and not yet finished.", lbl).Set(float64(t.JobsPending))
+		s.reg.Gauge("ssr_tenant_dominant_share", "Tenant's weighted DRF dominant share.", lbl).Set(t.DominantShare)
+		s.reg.Gauge("ssr_tenant_jobs_admitted", "Jobs admitted for the tenant since start.", lbl).Set(float64(t.Admitted))
+		s.reg.Gauge("ssr_tenant_jobs_rejected", "Jobs rejected for tenant quota since start.", lbl).Set(float64(t.Rejected))
+		s.reg.Gauge("ssr_tenant_borrowed_slots", "Cross-shard loans currently held by the tenant.", lbl).Set(float64(t.BorrowedSlots))
+	}
 	return s.reg.WritePrometheus(w)
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"ssr/internal/cluster"
+	"ssr/internal/core"
 	"ssr/internal/dag"
 	"ssr/internal/driver"
 	"ssr/internal/metrics"
@@ -18,6 +19,7 @@ import (
 	"ssr/internal/shard"
 	"ssr/internal/sim"
 	"ssr/internal/stats"
+	"ssr/internal/tenant"
 	"ssr/internal/trace"
 )
 
@@ -67,6 +69,11 @@ type Config struct {
 	// /trace?format=perfetto). 0 means obs.DefaultAuditCapacity; negative
 	// disables the audit stream entirely.
 	AuditCapacity int
+	// Tenants is the multi-tenant admission registry (quotas, DRF fair
+	// sharing, per-tenant isolation P). Nil creates an empty registry:
+	// every tenant is auto-created uncapped on first submission, which
+	// behaves identically to a tenancy-unaware service.
+	Tenants *tenant.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -113,6 +120,8 @@ type jobEntry struct {
 	state  string
 	shard  int
 	demand int
+	tenant string
+	tasks  int
 }
 
 type baselineReq struct {
@@ -129,14 +138,15 @@ type baselineReq struct {
 // that is never held across a loop call, so shards stall neither each
 // other nor the admission path.
 type Service struct {
-	cfg    Config
-	shards []*svcShard
-	broker *shard.Broker
-	bus    *Bus
-	rec    *trace.Recorder
-	reg    *obs.Registry
-	audit  *obs.Audit
-	gauges svcGauges
+	cfg     Config
+	shards  []*svcShard
+	broker  *shard.Broker
+	bus     *Bus
+	rec     *trace.Recorder
+	reg     *obs.Registry
+	audit   *obs.Audit
+	tenants *tenant.Registry
+	gauges  svcGauges
 
 	// mu guards the job table, the service counters and the per-shard
 	// placement gauges. Loop goroutines take it briefly inside event
@@ -179,13 +189,21 @@ func New(cfg Config) (*Service, error) {
 	if cfg.Driver.Audit != nil || cfg.Driver.Metrics != nil {
 		return nil, errors.New("service: Driver.Audit/Metrics must be nil (the service wires its own)")
 	}
-	s := &Service{
-		cfg:    cfg,
-		bus:    NewBus(cfg.BusCapacity),
-		nextID: 1,
-		jobs:   make(map[dag.JobID]*jobEntry),
-		reg:    obs.NewRegistry(),
+	if cfg.Driver.TenantSSR != nil {
+		return nil, errors.New("service: Driver.TenantSSR must be nil (the service wires the tenant registry)")
 	}
+	s := &Service{
+		cfg:     cfg,
+		bus:     NewBus(cfg.BusCapacity),
+		nextID:  1,
+		jobs:    make(map[dag.JobID]*jobEntry),
+		reg:     obs.NewRegistry(),
+		tenants: cfg.Tenants,
+	}
+	if s.tenants == nil {
+		s.tenants = tenant.NewRegistry()
+	}
+	s.tenants.SetCapacity(cfg.Nodes*cfg.SlotsPerNode, 0)
 	s.gauges = newSvcGauges(s.reg)
 	if cfg.AuditCapacity >= 0 {
 		s.audit = obs.NewAudit(cfg.AuditCapacity)
@@ -231,6 +249,15 @@ func New(cfg Config) (*Service, error) {
 		}
 		if s.broker != nil {
 			dopts.Lender = s.broker.Lender(i)
+		}
+		// Per-tenant Eq. 3: a tenant with a configured IsolationP gets
+		// its own reservation deadline; everyone else inherits the
+		// service-wide config unchanged.
+		dopts.TenantSSR = func(t string, cfg core.Config) core.Config {
+			if p, ok := s.tenants.IsolationP(t); ok {
+				cfg.IsolationP = p
+			}
+			return cfg
 		}
 		dopts.Audit = s.audit
 		dopts.AuditShard = i
@@ -350,17 +377,30 @@ func (s *Service) Submit(spec JobSpec) (JobStatus, error) {
 	if err := spec.Validate(); err != nil {
 		return JobStatus{}, err
 	}
+	if spec.Tenant == "" {
+		spec.Tenant = tenant.Default
+	}
 	// Shape-only build: the router needs the job's parallelism and demand
 	// before a home shard (and so a submission timestamp) exists.
 	probe, err := spec.build(1, 0)
 	if err != nil {
 		return JobStatus{}, err
 	}
+	demand, tasks := probe.MaxParallelism(), probe.TotalTasks()
 
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
 		return JobStatus{}, ErrDraining
+	}
+	// Quota gate before routing: a rejected job never reaches a shard.
+	// Lock order is always s.mu -> registry mutex; the TenantSSR hook
+	// takes only the registry mutex, so no cycle.
+	if err := s.tenants.Admit(spec.Tenant, demand, tasks); err != nil {
+		s.mu.Unlock()
+		s.audit.Append(obs.AuditEvent{Kind: obs.KindAdmitReject,
+			JobName: spec.Name, Tenant: spec.Tenant, Slot: -1, Count: demand})
+		return JobStatus{}, err
 	}
 	id := s.nextID
 	s.nextID++
@@ -368,16 +408,19 @@ func (s *Service) Submit(spec JobSpec) (JobStatus, error) {
 		ID:             id,
 		Name:           spec.Name,
 		Priority:       dag.Priority(spec.Priority),
-		MaxParallelism: probe.MaxParallelism(),
-		TotalTasks:     probe.TotalTasks(),
+		MaxParallelism: demand,
+		TotalTasks:     tasks,
 		MaxDemand:      probe.MaxDemand(),
+		Tenant:         spec.Tenant,
 	}, s.loadsLocked())
 	if idx < 0 || idx >= len(s.shards) {
+		s.tenants.Release(spec.Tenant, demand, tasks)
 		s.mu.Unlock()
 		return JobStatus{}, fmt.Errorf("service: router %s picked out-of-range shard %d", s.cfg.Router.Name(), idx)
 	}
 	sh := s.shards[idx]
-	entry := &jobEntry{state: StatePending, shard: idx, demand: probe.MaxParallelism()}
+	entry := &jobEntry{state: StatePending, shard: idx, demand: demand,
+		tenant: spec.Tenant, tasks: tasks}
 	s.jobs[id] = entry
 	s.order = append(s.order, id)
 	s.submitted++
@@ -407,6 +450,10 @@ func (s *Service) Submit(spec JobSpec) (JobStatus, error) {
 		s.mu.Unlock()
 	})
 	if err == nil && serr == nil {
+		// Admission decisions happen off the shard loops, so the event
+		// carries no virtual timestamp (Time 0); Seq still orders it.
+		s.audit.Append(obs.AuditEvent{Kind: obs.KindAdmit, Job: int64(id),
+			JobName: spec.Name, Tenant: spec.Tenant, Shard: idx, Slot: -1, Count: demand})
 		return status, nil
 	}
 	// The home shard refused (or its loop is gone): roll the admission back.
@@ -423,6 +470,7 @@ func (s *Service) Submit(spec JobSpec) (JobStatus, error) {
 	sh.assigned--
 	sh.pending--
 	sh.demand -= entry.demand
+	s.tenants.Release(entry.tenant, entry.demand, entry.tasks)
 	s.mu.Unlock()
 	if serr != nil {
 		return JobStatus{}, serr
@@ -478,6 +526,7 @@ func (s *Service) onDriverEvent(shardIdx int, ev driver.Event) {
 		s.outstanding--
 		s.shards[shardIdx].pending--
 		s.shards[shardIdx].demand -= entry.demand
+		s.tenants.Complete(entry.tenant, entry.demand, entry.tasks)
 		baseJob = entry.job
 		baseNodes = s.shards[shardIdx].nodes
 	case driver.EventJobFail:
@@ -489,6 +538,7 @@ func (s *Service) onDriverEvent(shardIdx int, ev driver.Event) {
 		s.outstanding--
 		s.shards[shardIdx].pending--
 		s.shards[shardIdx].demand -= entry.demand
+		s.tenants.Release(entry.tenant, entry.demand, entry.tasks)
 	}
 	s.mu.Unlock()
 	if baseJob != nil {
@@ -508,6 +558,7 @@ func (s *Service) statusOfLocked(sh *svcShard, id dag.JobID, entry *jobEntry) Jo
 		Name:        entry.job.Name,
 		State:       entry.state,
 		Shard:       entry.shard,
+		Tenant:      entry.tenant,
 		Priority:    int(entry.job.Priority),
 		SubmittedMs: msOf(entry.job.Submit),
 		NumPhases:   entry.job.NumPhases(),
@@ -592,6 +643,89 @@ func (s *Service) List() ([]JobStatus, error) {
 		}
 	}
 	return out, nil
+}
+
+// ListPage returns admitted jobs in submission order, starting after the
+// given job ID (0 = from the beginning), optionally filtered by tenant,
+// and at most limit entries (0 = no limit). NextAfter is the last
+// returned job's ID when more matching jobs remain, 0 otherwise.
+func (s *Service) ListPage(limit int, after int64, tenantFilter string) (JobList, error) {
+	s.mu.Lock()
+	var ids []dag.JobID
+	var entries []*jobEntry
+	more := false
+	for _, id := range s.order {
+		if int64(id) <= after {
+			continue
+		}
+		e := s.jobs[id]
+		if tenantFilter != "" && e.tenant != tenantFilter {
+			continue
+		}
+		if limit > 0 && len(ids) == limit {
+			more = true
+			break
+		}
+		ids = append(ids, id)
+		entries = append(entries, e)
+	}
+	perShard := make([][]int, len(s.shards))
+	for i, e := range entries {
+		perShard[e.shard] = append(perShard[e.shard], i)
+	}
+	s.mu.Unlock()
+	out := JobList{Jobs: make([]JobStatus, len(ids))}
+	for k, members := range perShard {
+		if len(members) == 0 {
+			continue
+		}
+		sh := s.shards[k]
+		err := sh.rt.Call(func() {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			for _, i := range members {
+				out.Jobs[i] = s.statusOfLocked(sh, ids[i], entries[i])
+			}
+		})
+		if err != nil {
+			return JobList{}, err
+		}
+	}
+	if more && len(ids) > 0 {
+		out.NextAfter = int64(ids[len(ids)-1])
+	}
+	return out, nil
+}
+
+// Tenants returns the registry used for admission control.
+func (s *Service) Tenants() *tenant.Registry { return s.tenants }
+
+// TenantStatuses returns every tenant's quota and live usage (sorted by
+// name), including cross-shard borrowed-slot attribution when lending is
+// active.
+func (s *Service) TenantStatuses() []TenantStatus {
+	snap := s.tenants.Snapshot()
+	out := make([]TenantStatus, 0, len(snap))
+	for _, t := range snap {
+		ts := TenantStatus{
+			Name:          t.Name,
+			Weight:        t.Weight,
+			MaxSlots:      t.MaxSlots,
+			IsolationP:    t.IsolationP,
+			SlotsInUse:    t.SlotsInUse,
+			TasksInFlight: t.TasksInFlight,
+			JobsPending:   t.JobsPending,
+			DominantShare: t.DominantShare,
+			Admitted:      t.Admitted,
+			Rejected:      t.Rejected,
+			Completed:     t.Completed,
+		}
+		if s.broker != nil {
+			ts.BorrowedSlots = s.broker.BorrowedByTenant(t.Name)
+		}
+		out = append(out, ts)
+	}
+	return out
 }
 
 // Cluster returns the per-slot cluster view, aggregated across shards.
@@ -728,6 +862,7 @@ func (s *Service) Metrics() (MetricsStatus, error) {
 			Outstanding: s.broker.Outstanding(),
 		}
 	}
+	ms.Tenants = s.TenantStatuses()
 	ms.Slowdowns = s.slowdownStats()
 	return ms, nil
 }

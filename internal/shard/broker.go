@@ -70,9 +70,10 @@ type Peer struct {
 type loanRec struct {
 	id       driver.LoanID
 	job      dag.JobID
-	phase    int // borrowing phase
-	home     int // borrower shard
-	size     int // slot capacity
+	phase    int    // borrowing phase
+	home     int    // borrower shard
+	size     int    // slot capacity
+	tenant   string // borrowing job's tenant
 	consumed bool
 }
 
@@ -102,6 +103,10 @@ type Broker struct {
 	byID   map[driver.LoanID]*loanRec
 	stats  LoanStats
 	closed bool
+	// tenantLent tracks slots currently checked out per borrowing
+	// tenant; tenantGranted counts lifetime grants per tenant.
+	tenantLent    map[string]int
+	tenantGranted map[string]int64
 
 	// Asynchronous mode: an unbounded op queue drained by one worker, so
 	// loop goroutines never block enqueueing.
@@ -113,11 +118,13 @@ type Broker struct {
 // NewBroker creates a synchronous (offline) broker over the given peers.
 func NewBroker(peers []Peer, cfg LendingConfig) *Broker {
 	return &Broker{
-		cfg:   cfg.withDefaults(),
-		peers: peers,
-		lent:  make([]int, len(peers)),
-		loans: make(map[dag.JobID][]*loanRec),
-		byID:  make(map[driver.LoanID]*loanRec),
+		cfg:           cfg.withDefaults(),
+		peers:         peers,
+		lent:          make([]int, len(peers)),
+		loans:         make(map[dag.JobID][]*loanRec),
+		byID:          make(map[driver.LoanID]*loanRec),
+		tenantLent:    make(map[string]int),
+		tenantGranted: make(map[string]int64),
 	}
 }
 
@@ -282,15 +289,18 @@ func (b *Broker) grant(home int, req driver.LoanRequest) int {
 		b.mu.Lock()
 		for _, g := range got {
 			rec := &loanRec{
-				id:    driver.LoanID{Shard: o, Slot: g.slot},
-				job:   req.Job,
-				phase: req.Phase,
-				home:  home,
-				size:  g.size,
+				id:     driver.LoanID{Shard: o, Slot: g.slot},
+				job:    req.Job,
+				phase:  req.Phase,
+				home:   home,
+				size:   g.size,
+				tenant: req.Tenant,
 			}
 			b.loans[req.Job] = append(b.loans[req.Job], rec)
 			b.byID[rec.id] = rec
 			b.lent[o]++
+			b.tenantLent[rec.tenant]++
+			b.tenantGranted[rec.tenant]++
 			b.stats.Granted++
 		}
 		b.mu.Unlock()
@@ -335,6 +345,25 @@ func (b *Broker) removeLocked(rec *loanRec) {
 		delete(b.loans, rec.job)
 	}
 	b.lent[rec.id.Shard]--
+	if b.tenantLent[rec.tenant]--; b.tenantLent[rec.tenant] <= 0 {
+		delete(b.tenantLent, rec.tenant)
+	}
+}
+
+// BorrowedByTenant returns how many borrowed slots the named tenant
+// currently holds across the federation.
+func (b *Broker) BorrowedByTenant(tenant string) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tenantLent[tenant]
+}
+
+// GrantedToTenant returns the lifetime count of loans granted to the
+// named tenant.
+func (b *Broker) GrantedToTenant(tenant string) int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tenantGranted[tenant]
 }
 
 // lenderView adapts the broker to one borrowing shard's driver.

@@ -139,6 +139,7 @@ func (f *Federation) Submit(job *dag.Job) (int, error) {
 		MaxParallelism: job.MaxParallelism(),
 		TotalTasks:     job.TotalTasks(),
 		MaxDemand:      job.MaxDemand(),
+		Tenant:         job.Tenant,
 	}, f.loads())
 	if idx < 0 || idx >= len(f.shards) {
 		return -1, fmt.Errorf("shard: router %s picked out-of-range shard %d", f.opts.Router.Name(), idx)

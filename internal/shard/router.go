@@ -22,6 +22,9 @@ type JobInfo struct {
 	TotalTasks int
 	// MaxDemand is the largest per-task slot capacity the job needs.
 	MaxDemand int
+	// Tenant is the job's owning tenant, carried for visibility and
+	// accounting; the stock routers do not branch on it.
+	Tenant string
 }
 
 // Load is the router's view of one shard's occupancy at placement time.

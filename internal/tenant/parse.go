@@ -1,0 +1,63 @@
+package tenant
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSpec builds a registry from a flag-friendly spec string:
+//
+//	name[:cap=N][,weight=W][,p=P][;name2:...]
+//
+// e.g. "ads:cap=8,weight=2,p=0.99;batch:weight=1". Attribute order is
+// free; unknown attributes are errors. An empty spec yields an empty
+// registry (every tenant auto-created with defaults on first submit).
+func ParseSpec(spec string) (*Registry, error) {
+	r := NewRegistry()
+	if strings.TrimSpace(spec) == "" {
+		return r, nil
+	}
+	for _, entry := range strings.Split(spec, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, attrs, _ := strings.Cut(entry, ":")
+		cfg := Config{Name: strings.TrimSpace(name)}
+		if attrs != "" {
+			for _, kv := range strings.Split(attrs, ",") {
+				k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+				if !ok {
+					return nil, fmt.Errorf("tenant: spec %q: attribute %q is not key=value", entry, kv)
+				}
+				switch k {
+				case "cap":
+					n, err := strconv.Atoi(v)
+					if err != nil {
+						return nil, fmt.Errorf("tenant: spec %q: cap: %v", entry, err)
+					}
+					cfg.MaxSlots = n
+				case "weight":
+					w, err := strconv.ParseFloat(v, 64)
+					if err != nil {
+						return nil, fmt.Errorf("tenant: spec %q: weight: %v", entry, err)
+					}
+					cfg.Weight = w
+				case "p":
+					p, err := strconv.ParseFloat(v, 64)
+					if err != nil {
+						return nil, fmt.Errorf("tenant: spec %q: p: %v", entry, err)
+					}
+					cfg.IsolationP = p
+				default:
+					return nil, fmt.Errorf("tenant: spec %q: unknown attribute %q", entry, k)
+				}
+			}
+		}
+		if err := r.Configure(cfg); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}

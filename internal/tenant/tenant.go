@@ -1,0 +1,362 @@
+// Package tenant implements multi-tenant admission control for the SSR
+// service layer: per-tenant slot quotas (a hard cap plus a weighted fair
+// share), DRF-style dominant-share accounting across tenants, and a
+// per-tenant isolation probability P so each tenant gets its own Eq. 3
+// speculative-reservation deadline.
+//
+// The registry sits strictly above the scheduler: admission decisions are
+// made before a job is routed to a shard, and the driver's slot policy
+// never consults tenancy. A single active tenant is never fair-share
+// rejected, which keeps the single-default-tenant path bit-identical to a
+// tenancy-unaware build.
+package tenant
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Default is the tenant jobs land on when the submitter names none.
+const Default = "default"
+
+// overcommit is the slack factor applied to a tenant's weighted fair
+// share before the DRF admission check rejects: a tenant may hold up to
+// overcommit × (w_t/Σw) of the dominant resource while the cluster is
+// contended. Values > 1 keep the cluster work-conserving when siblings
+// are idle; 2 matches the lending broker's default give-away fraction.
+const overcommit = 2.0
+
+// retryStep is the Retry-After unit: one step per job the tenant already
+// has outstanding, so backpressure grows with the tenant's queue depth.
+const retryStep = 100 * time.Millisecond
+
+// retryCap bounds Retry-After regardless of queue depth.
+const retryCap = 10 * time.Second
+
+// Config describes one tenant's quota.
+type Config struct {
+	// Name identifies the tenant.
+	Name string
+	// Weight scales the tenant's fair share; zero means 1.
+	Weight float64
+	// MaxSlots is a hard cap on concurrently held slots; zero means
+	// unlimited (only the weighted fair share applies).
+	MaxSlots int
+	// IsolationP, when in (0, 1], overrides the service-wide Eq. 3
+	// isolation probability for this tenant's jobs. Zero inherits.
+	IsolationP float64
+}
+
+func (c Config) validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("tenant: config needs a name")
+	}
+	if c.Weight < 0 {
+		return fmt.Errorf("tenant %q: negative weight %v", c.Name, c.Weight)
+	}
+	if c.MaxSlots < 0 {
+		return fmt.Errorf("tenant %q: negative slot cap %d", c.Name, c.MaxSlots)
+	}
+	if c.IsolationP < 0 || c.IsolationP > 1 {
+		return fmt.Errorf("tenant %q: isolation P %v outside (0, 1]", c.Name, c.IsolationP)
+	}
+	return nil
+}
+
+// state is one tenant's live accounting.
+type state struct {
+	cfg       Config
+	slots     int // slots demanded by outstanding jobs
+	tasks     int // tasks carried by outstanding jobs
+	jobs      int // outstanding (admitted, not yet finished) jobs
+	admitted  int64
+	rejected  int64
+	completed int64
+}
+
+// Status is a point-in-time copy of one tenant's quota and usage.
+type Status struct {
+	Name          string
+	Weight        float64
+	MaxSlots      int
+	IsolationP    float64
+	SlotsInUse    int
+	TasksInFlight int
+	JobsPending   int
+	DominantShare float64
+	Admitted      int64
+	Rejected      int64
+	Completed     int64
+}
+
+// QuotaError reports an admission rejection with backpressure advice.
+type QuotaError struct {
+	// Tenant is the rejected tenant.
+	Tenant string
+	// Reason says which limit tripped ("slot cap", "fair share").
+	Reason string
+	// RetryAfter advises when to retry, derived from the tenant's
+	// outstanding queue depth.
+	RetryAfter time.Duration
+}
+
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("tenant %q over quota (%s); retry after %s", e.Tenant, e.Reason, e.RetryAfter)
+}
+
+// IsQuota reports whether err is a quota rejection.
+func IsQuota(err error) bool {
+	_, ok := err.(*QuotaError)
+	return ok
+}
+
+// Registry tracks tenants, their quotas, and their live usage. The zero
+// capacity registry admits everything (no contention to arbitrate), so a
+// bare NewRegistry() behaves exactly like a tenancy-unaware service.
+type Registry struct {
+	mu      sync.Mutex
+	slotCap int
+	taskCap int
+	tenants map[string]*state
+	names   []string // sorted; deterministic iteration order
+}
+
+// NewRegistry returns an empty registry with no capacity set.
+func NewRegistry() *Registry {
+	return &Registry{tenants: make(map[string]*state)}
+}
+
+// SetCapacity declares the cluster's total slots and task headroom used
+// for share computation. tasks <= 0 derives a default from slots.
+func (r *Registry) SetCapacity(slots, tasks int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if tasks <= 0 {
+		tasks = slots * 16
+	}
+	r.slotCap, r.taskCap = slots, tasks
+}
+
+// Configure inserts or updates a tenant's quota. Updating an existing
+// tenant (e.g. changing its weight mid-run) keeps its live usage.
+func (r *Registry) Configure(cfg Config) error {
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	if cfg.Weight == 0 {
+		cfg.Weight = 1
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ensureLocked(cfg.Name).cfg = cfg
+	return nil
+}
+
+// ensureLocked returns the named tenant's state, creating a default
+// entry (weight 1, no caps) on first sight. Callers hold r.mu.
+func (r *Registry) ensureLocked(name string) *state {
+	if st, ok := r.tenants[name]; ok {
+		return st
+	}
+	st := &state{cfg: Config{Name: name, Weight: 1}}
+	r.tenants[name] = st
+	i := sort.SearchStrings(r.names, name)
+	r.names = append(r.names, "")
+	copy(r.names[i+1:], r.names[i:])
+	r.names[i] = name
+	return st
+}
+
+// Admit charges a job of the given slot demand and task count against
+// the named tenant, or rejects it with a *QuotaError. Unknown tenants
+// are auto-created with default quota (weight 1, uncapped).
+func (r *Registry) Admit(name string, slots, tasks int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.ensureLocked(name)
+	if reason := r.rejectLocked(st, slots); reason != "" {
+		st.rejected++
+		return &QuotaError{
+			Tenant:     name,
+			Reason:     reason,
+			RetryAfter: retryAfter(st.jobs),
+		}
+	}
+	st.slots += slots
+	st.tasks += tasks
+	st.jobs++
+	st.admitted++
+	return nil
+}
+
+// rejectLocked applies the two quota checks in order: the tenant's own
+// hard cap, then — only when the cluster is contended and at least two
+// tenants are active — the DRF weighted fair share. It returns the empty
+// string to admit.
+func (r *Registry) rejectLocked(st *state, slots int) string {
+	if cap := st.cfg.MaxSlots; cap > 0 && st.slots+slots > cap {
+		return "slot cap"
+	}
+	if r.slotCap <= 0 {
+		return ""
+	}
+	// Contention test: would total outstanding slot demand exceed the
+	// cluster? Below that, shares cannot conflict and DRF stays silent.
+	total := slots
+	active := 0
+	var weights float64
+	for _, n := range r.names {
+		t := r.tenants[n]
+		total += t.slots
+		if t.jobs > 0 || t == st {
+			active++
+			weights += weight(t)
+		}
+	}
+	if total <= r.slotCap || active < 2 {
+		return ""
+	}
+	// DRF: reject when the admission would push the tenant's dominant
+	// share past overcommit × its weighted fair share.
+	share := r.dominantLocked(st, slots, 0)
+	if share > overcommit*(weight(st)/weights) {
+		return "fair share"
+	}
+	return ""
+}
+
+// dominantLocked computes the tenant's dominant share — the max over
+// resources of usage/capacity — normalized by its weight, with the given
+// extra demand added.
+func (r *Registry) dominantLocked(st *state, extraSlots, extraTasks int) float64 {
+	var share float64
+	if r.slotCap > 0 {
+		share = float64(st.slots+extraSlots) / float64(r.slotCap)
+	}
+	if r.taskCap > 0 {
+		if ts := float64(st.tasks+extraTasks) / float64(r.taskCap); ts > share {
+			share = ts
+		}
+	}
+	return share / weight(st)
+}
+
+func weight(st *state) float64 {
+	if st.cfg.Weight <= 0 {
+		return 1
+	}
+	return st.cfg.Weight
+}
+
+// retryAfter derives backpressure advice from the tenant's outstanding
+// queue depth: deeper queues push retries further out.
+func retryAfter(outstanding int) time.Duration {
+	d := retryStep * time.Duration(outstanding+1)
+	if d > retryCap {
+		d = retryCap
+	}
+	return d
+}
+
+// Release returns an admitted job's demand without counting a
+// completion (submission rollback, job failure).
+func (r *Registry) Release(name string, slots, tasks int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.releaseLocked(name, slots, tasks)
+}
+
+// Complete returns an admitted job's demand and counts the completion.
+func (r *Registry) Complete(name string, slots, tasks int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if st := r.releaseLocked(name, slots, tasks); st != nil {
+		st.completed++
+	}
+}
+
+func (r *Registry) releaseLocked(name string, slots, tasks int) *state {
+	st, ok := r.tenants[name]
+	if !ok {
+		return nil
+	}
+	if st.slots -= slots; st.slots < 0 {
+		st.slots = 0
+	}
+	if st.tasks -= tasks; st.tasks < 0 {
+		st.tasks = 0
+	}
+	if st.jobs--; st.jobs < 0 {
+		st.jobs = 0
+	}
+	return st
+}
+
+// IsolationP returns the tenant's Eq. 3 isolation probability override,
+// if one is configured.
+func (r *Registry) IsolationP(name string) (float64, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.tenants[name]
+	if !ok || st.cfg.IsolationP <= 0 {
+		return 0, false
+	}
+	return st.cfg.IsolationP, true
+}
+
+// DominantShare returns the tenant's current weighted dominant share.
+func (r *Registry) DominantShare(name string) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.tenants[name]
+	if !ok {
+		return 0
+	}
+	return r.dominantLocked(st, 0, 0)
+}
+
+// Order returns all tenant names sorted by ascending dominant share —
+// the DRF serve order (the most underserved tenant first), ties broken
+// by name for determinism.
+func (r *Registry) Order() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := append([]string(nil), r.names...)
+	shares := make(map[string]float64, len(out))
+	for _, n := range out {
+		shares[n] = r.dominantLocked(r.tenants[n], 0, 0)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if shares[out[i]] != shares[out[j]] {
+			return shares[out[i]] < shares[out[j]]
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// Snapshot returns every tenant's quota and usage, sorted by name.
+func (r *Registry) Snapshot() []Status {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Status, 0, len(r.names))
+	for _, n := range r.names {
+		st := r.tenants[n]
+		out = append(out, Status{
+			Name:          n,
+			Weight:        weight(st),
+			MaxSlots:      st.cfg.MaxSlots,
+			IsolationP:    st.cfg.IsolationP,
+			SlotsInUse:    st.slots,
+			TasksInFlight: st.tasks,
+			JobsPending:   st.jobs,
+			DominantShare: r.dominantLocked(st, 0, 0),
+			Admitted:      st.admitted,
+			Rejected:      st.rejected,
+			Completed:     st.completed,
+		})
+	}
+	return out
+}

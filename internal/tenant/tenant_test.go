@@ -1,0 +1,206 @@
+package tenant
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestAdmitUncappedSingleTenant(t *testing.T) {
+	r := NewRegistry()
+	r.SetCapacity(8, 0)
+	// One tenant is never fair-share rejected, even far past capacity.
+	for i := 0; i < 10; i++ {
+		if err := r.Admit("solo", 4, 4); err != nil {
+			t.Fatalf("admit %d: %v", i, err)
+		}
+	}
+	snap := r.Snapshot()
+	if len(snap) != 1 || snap[0].SlotsInUse != 40 || snap[0].Admitted != 10 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+func TestHardCapExhaustion(t *testing.T) {
+	r := NewRegistry()
+	r.SetCapacity(16, 0)
+	if err := r.Configure(Config{Name: "tiny", MaxSlots: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Admit("tiny", 3, 3); err != nil {
+		t.Fatalf("first admit: %v", err)
+	}
+	err := r.Admit("tiny", 2, 2)
+	var qe *QuotaError
+	if !errors.As(err, &qe) {
+		t.Fatalf("expected QuotaError, got %v", err)
+	}
+	if qe.Reason != "slot cap" || qe.Tenant != "tiny" {
+		t.Fatalf("quota error = %+v", qe)
+	}
+	if qe.RetryAfter != 2*retryStep {
+		t.Fatalf("RetryAfter = %v, want %v (1 outstanding job + 1)", qe.RetryAfter, 2*retryStep)
+	}
+	// Releasing frees the cap again.
+	r.Release("tiny", 3, 3)
+	if err := r.Admit("tiny", 4, 4); err != nil {
+		t.Fatalf("admit after release: %v", err)
+	}
+}
+
+func TestRetryAfterGrowsWithQueueDepthAndCaps(t *testing.T) {
+	if got := retryAfter(0); got != retryStep {
+		t.Fatalf("retryAfter(0) = %v", got)
+	}
+	if got := retryAfter(3); got != 4*retryStep {
+		t.Fatalf("retryAfter(3) = %v", got)
+	}
+	if got := retryAfter(1 << 20); got != retryCap {
+		t.Fatalf("retryAfter(huge) = %v, want cap %v", got, retryCap)
+	}
+	_ = time.Second // keep time import honest if constants change
+}
+
+func TestFairShareRejectionUnderContention(t *testing.T) {
+	r := NewRegistry()
+	r.SetCapacity(10, 0)
+	// Two equal-weight tenants; fair share = 1/2, overcommit 2 → each
+	// may hold up to the full cluster but no more once contended.
+	if err := r.Admit("a", 6, 6); err != nil {
+		t.Fatalf("a: %v", err)
+	}
+	if err := r.Admit("b", 3, 3); err != nil {
+		t.Fatalf("b: %v", err)
+	}
+	// a now at 6/10; asking 6 more pushes total to 15 > 10 (contended)
+	// and a's share to 12/10 = 1.2 > 2.0 × 0.5 = 1.0 → reject.
+	err := r.Admit("a", 6, 6)
+	var qe *QuotaError
+	if !errors.As(err, &qe) || qe.Reason != "fair share" {
+		t.Fatalf("expected fair-share rejection, got %v", err)
+	}
+	// b asking the same is fine: 9/10 = 0.9 ≤ 1.0.
+	if err := r.Admit("b", 6, 6); err != nil {
+		t.Fatalf("b second admit: %v", err)
+	}
+}
+
+func TestDominantShareOrdering(t *testing.T) {
+	r := NewRegistry()
+	r.SetCapacity(100, 100)
+	for _, cfg := range []Config{
+		{Name: "a", Weight: 1},
+		{Name: "b", Weight: 2},
+		{Name: "c", Weight: 1},
+	} {
+		if err := r.Configure(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// a: 40/100 weighted 1 → 0.40
+	// b: 60/100 weighted 2 → 0.30 (dominant resource = slots)
+	// c: slots 10/100, tasks 50/100 weighted 1 → 0.50 (tasks dominate)
+	mustAdmit(t, r, "a", 40, 10)
+	mustAdmit(t, r, "b", 60, 10)
+	mustAdmit(t, r, "c", 10, 50)
+	got := r.Order()
+	want := []string{"b", "a", "c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("DRF order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestWeightChangeMidRun(t *testing.T) {
+	r := NewRegistry()
+	r.SetCapacity(10, 0)
+	mustAdmit(t, r, "a", 5, 5)
+	mustAdmit(t, r, "b", 5, 5)
+	// Contended (next admit pushes past 10). Equal weights: a at 5/10
+	// asking 6 more → 11/10 = 1.1 > 2.0 × 0.5 → rejected.
+	if err := r.Admit("a", 6, 6); !IsQuota(err) {
+		t.Fatalf("expected rejection pre-reweight, got %v", err)
+	}
+	// Tripling a's weight mid-run (usage preserved) lifts its share
+	// ceiling to 2.0 × 3/4 = 1.5 and divides its share by 3: 11/30 ≈
+	// 0.37 → admitted.
+	if err := r.Configure(Config{Name: "a", Weight: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Admit("a", 6, 6); err != nil {
+		t.Fatalf("expected admit post-reweight, got %v", err)
+	}
+	if got := r.Snapshot()[0]; got.SlotsInUse != 11 || got.Weight != 3 {
+		t.Fatalf("a status after reweight = %+v", got)
+	}
+}
+
+func TestCompleteCountsAndFloors(t *testing.T) {
+	r := NewRegistry()
+	mustAdmit(t, r, "x", 2, 4)
+	r.Complete("x", 2, 4)
+	// Double release must not go negative.
+	r.Release("x", 2, 4)
+	st := r.Snapshot()[0]
+	if st.SlotsInUse != 0 || st.TasksInFlight != 0 || st.JobsPending != 0 || st.Completed != 1 {
+		t.Fatalf("status = %+v", st)
+	}
+	// Releasing an unknown tenant is a no-op.
+	r.Release("ghost", 1, 1)
+	if len(r.Snapshot()) != 1 {
+		t.Fatal("release created a tenant")
+	}
+}
+
+func TestIsolationPOverride(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Configure(Config{Name: "strict", IsolationP: 0.99}); err != nil {
+		t.Fatal(err)
+	}
+	if p, ok := r.IsolationP("strict"); !ok || p != 0.99 {
+		t.Fatalf("IsolationP(strict) = %v, %v", p, ok)
+	}
+	if _, ok := r.IsolationP("other"); ok {
+		t.Fatal("unconfigured tenant reported an override")
+	}
+	if err := r.Configure(Config{Name: "bad", IsolationP: 1.5}); err == nil {
+		t.Fatal("accepted P > 1")
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	r, err := ParseSpec("ads:cap=8,weight=2,p=0.99; batch:weight=0.5 ;solo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("parsed %d tenants", len(snap))
+	}
+	ads := snap[0]
+	if ads.Name != "ads" || ads.MaxSlots != 8 || ads.Weight != 2 || ads.IsolationP != 0.99 {
+		t.Fatalf("ads = %+v", ads)
+	}
+	if snap[1].Name != "batch" || snap[1].Weight != 0.5 {
+		t.Fatalf("batch = %+v", snap[1])
+	}
+	if snap[2].Name != "solo" || snap[2].Weight != 1 {
+		t.Fatalf("solo = %+v", snap[2])
+	}
+	for _, bad := range []string{"x:cap=abc", "x:frob=1", "x:cap"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Fatalf("ParseSpec(%q) accepted", bad)
+		}
+	}
+	if empty, err := ParseSpec("  "); err != nil || len(empty.Snapshot()) != 0 {
+		t.Fatalf("empty spec: %v", err)
+	}
+}
+
+func mustAdmit(t *testing.T, r *Registry, name string, slots, tasks int) {
+	t.Helper()
+	if err := r.Admit(name, slots, tasks); err != nil {
+		t.Fatalf("admit %s: %v", name, err)
+	}
+}

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # End-to-end smoke test for the online daemon: build ssrd, boot it on a
-# random port, run a two-phase job through the HTTP API with curl, check
-# the metrics and event endpoints, then verify a clean SIGTERM drain.
+# random port with per-tenant quotas, run a two-phase job through the v1
+# HTTP API with curl, check quota backpressure (429 + Retry-After), the
+# metrics, tenant and event endpoints, the deprecated legacy aliases, then
+# verify a clean SIGTERM drain.
 #
 # Usage: scripts/e2e_smoke.sh   (from the repo root; needs go + curl)
 set -euo pipefail
@@ -26,8 +28,10 @@ fail() {
 echo "e2e_smoke: building ssrd"
 go build -o "$workdir/ssrd" ./cmd/ssrd
 
-# Port 0 lets the kernel pick; the daemon prints the bound address.
+# Port 0 lets the kernel pick; the daemon prints the bound address. The
+# "tiny" tenant's 1-slot cap exists to trip quota backpressure below.
 "$workdir/ssrd" -addr 127.0.0.1:0 -nodes 4 -slots 2 -mode ssr \
+    -tenants 'tiny:cap=1' \
     -dilation 100 -drain 5s -trace "$workdir/run.csv" \
     >"$workdir/ssrd.log" 2>&1 &
 ssrd_pid=$!
@@ -43,11 +47,11 @@ done
 base="http://$addr"
 echo "e2e_smoke: daemon up at $base"
 
-curl -fsS "$base/healthz" >/dev/null || fail "healthz"
+curl -fsS "$base/v1/healthz" >/dev/null || fail "healthz"
 
 # A two-phase workflow: 4x10s map feeding a 2x4s reduce (virtual time;
 # ~0.14 wall seconds at dilation 100).
-job=$(curl -fsS -X POST "$base/jobs" -d '{
+job=$(curl -fsS -X POST "$base/v1/jobs" -d '{
   "name": "smoke", "priority": 10,
   "phases": [
     {"durationsMs": [10000, 10000, 10000, 10000]},
@@ -57,22 +61,46 @@ id=$(echo "$job" | sed -n 's/.*"id": \([0-9]*\),.*/\1/p' | head -n1)
 [[ -n "$id" ]] || fail "no job id in response: $job"
 echo "e2e_smoke: submitted job $id"
 
+# Quota backpressure: a 4-wide job under the 1-slot "tiny" tenant must be
+# rejected with 429, a Retry-After header, and the quota_exhausted code in
+# the uniform error envelope.
+quota_headers="$workdir/quota_headers.txt"
+quota_body=$(curl -sS -D "$quota_headers" -o - -X POST "$base/v1/jobs" -d '{
+  "name": "overcap", "tenant": "tiny", "priority": 5,
+  "phases": [{"durationsMs": [1000, 1000, 1000, 1000]}]}')
+grep -q '^HTTP/[0-9.]* 429' "$quota_headers" || fail "quota breach status not 429: $(head -n1 "$quota_headers")"
+grep -qi '^Retry-After: [0-9]' "$quota_headers" || fail "429 missing Retry-After header"
+echo "$quota_body" | grep -q '"code": "quota_exhausted"' || fail "429 body not quota envelope: $quota_body"
+echo "e2e_smoke: quota backpressure ok (429 + Retry-After)"
+
+# Tenant listing reflects the rejection.
+tenants=$(curl -fsS "$base/v1/tenants")
+echo "$tenants" | grep -q '"name": "tiny"' || fail "tenant listing missing tiny: $tenants"
+curl -fsS "$base/v1/tenants/tiny" | grep -q '"rejected": 1' || fail "tiny tenant did not record the rejection"
+
 state=""
 for _ in $(seq 1 100); do
-    state=$(curl -fsS "$base/jobs/$id" | sed -n 's/.*"state": "\([a-z]*\)".*/\1/p' | head -n1)
+    state=$(curl -fsS "$base/v1/jobs/$id" | sed -n 's/.*"state": "\([a-z]*\)".*/\1/p' | head -n1)
     [[ "$state" == "completed" || "$state" == "failed" ]] && break
     sleep 0.1
 done
 [[ "$state" == "completed" ]] || fail "job state = '$state', want completed"
 echo "e2e_smoke: job $id completed"
 
-metrics=$(curl -fsS "$base/metrics")
+# Pagination: the v1 listing wraps jobs in an envelope.
+curl -fsS "$base/v1/jobs?limit=10" | grep -q '"jobs"' || fail "v1 job listing not paginated"
+
+# Error envelope: an unknown ID must return the uniform shape.
+curl -sS "$base/v1/jobs/424242" | grep -q '"code": "not_found"' || fail "404 body not the error envelope"
+
+metrics=$(curl -fsS "$base/v1/metrics")
 echo "$metrics" | grep -q '"jobsCompleted": 1' || fail "metrics: $metrics"
 
 # Prometheus exposition: every line must be a comment (# HELP / # TYPE) or a
 # "name{labels} value" sample, and the family set must be rich enough to be
-# worth scraping (>= 10 families, at least one histogram).
-prom=$(curl -fsS "$base/metrics?format=prometheus")
+# worth scraping (>= 10 families, at least one histogram, and the
+# per-tenant families carrying a tenant label).
+prom=$(curl -fsS "$base/v1/metrics?format=prometheus")
 bad=$(echo "$prom" | grep -Ev \
     -e '^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]*( .*)?$' \
     -e '^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? [^ ]+$' \
@@ -82,13 +110,22 @@ families=$(echo "$prom" | grep -c '^# TYPE ') || true
 [[ "$families" -ge 10 ]] || fail "exposition has $families families, want >= 10"
 echo "$prom" | grep -q '^# TYPE [a-z_]* histogram' || fail "exposition has no histogram"
 echo "$prom" | grep -q '^ssr_jobs_completed 1' || fail "exposition missing completed job"
-echo "e2e_smoke: prometheus exposition ok ($families families)"
+echo "$prom" | grep -Eq '^ssr_tenant_[a-z_]*\{tenant="' || fail "exposition missing per-tenant labeled families"
+echo "$prom" | grep -q '^ssr_tenant_jobs_rejected{tenant="tiny"} 1' || fail "tiny tenant rejection not in exposition"
+echo "e2e_smoke: prometheus exposition ok ($families families, tenant labels present)"
 
 # The audit stream records the run's reservation decisions as JSON lines.
-curl -fsS "$base/audit" | head -n1 | grep -q '"kind"' || fail "audit stream empty"
+curl -fsS "$base/v1/audit" | head -n1 | grep -q '"kind"' || fail "audit stream empty"
 # The SSE stream never ends on its own; let curl's --max-time cut it.
-events=$(curl -fs --max-time 2 "$base/events?since=1" || true)
+events=$(curl -fs --max-time 2 "$base/v1/events?since=1" || true)
 echo "$events" | grep -q 'job_done' || fail "event stream missing job_done"
+
+# Legacy unversioned routes must keep working for one release, marked with
+# a Deprecation header and serving the same data.
+legacy_headers="$workdir/legacy_headers.txt"
+curl -fsS -D "$legacy_headers" "$base/jobs/$id" | grep -q '"state": "completed"' || fail "legacy GET /jobs/{id}"
+grep -qi '^Deprecation: true' "$legacy_headers" || fail "legacy route missing Deprecation header"
+echo "e2e_smoke: legacy aliases ok (Deprecation header set)"
 
 kill -TERM "$ssrd_pid"
 rc=0
