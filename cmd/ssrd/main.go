@@ -9,6 +9,9 @@
 //	                       GET /v1/jobs/{id} for one
 //	GET  /v1/tenants       per-tenant quotas and usage; /v1/tenants/{id}
 //	GET  /v1/cluster       per-slot state
+//	GET  /v1/nodes         per-node lifecycle state (speed, pool, drain);
+//	                       POST /v1/nodes/{id}/drain and .../undrain manage
+//	                       preemption notices by hand
 //	GET  /v1/metrics       utilization, counters, online slowdowns (JSON);
 //	                       ?format=prometheus for text exposition 0.0.4
 //	GET  /v1/trace         recorded task attempts (requires -trace);
@@ -26,6 +29,11 @@
 // are lent across shards for SSR pre-reservation (cap it with -lend).
 // -tenants declares per-tenant quotas ("gold:cap=16,weight=3;batch:cap=8");
 // -policy swaps the per-shard slot policy (ssr, dagps, sgpack).
+//
+// Node lifecycle: -speeds sets heterogeneous per-node speed factors
+// ("2,1,1,0.5"), -autoscale runs an elastic node pool
+// ("min=2,max=8,warmup=2s,notice=1s"), and -preempt injects spot-style
+// reclamations with advance notice ("mtbp=30s,notice=2s,recover=10s").
 //
 // On SIGTERM/SIGINT the daemon drains gracefully: it stops admitting jobs
 // (503 on POST /v1/jobs), gives in-flight jobs the -drain grace to finish,
@@ -49,11 +57,15 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof on the -pprof listener
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"ssr/internal/core"
 	"ssr/internal/driver"
+	"ssr/internal/faults"
+	"ssr/internal/lifecycle"
 	"ssr/internal/service"
 	"ssr/internal/shard"
 	"ssr/internal/tenant"
@@ -95,6 +107,9 @@ func run(args []string, sigC <-chan os.Signal, ready func(addr string)) error {
 		policy    = fs.String("policy", "", "slot policy preset: ssr, dagps, sgpack (empty keeps -mode's queue)")
 		tenants   = fs.String("tenants", "", "per-tenant quotas: 'name[:cap=N][,weight=W][,p=P][;name2...]'")
 		pprofAddr = fs.String("pprof", "", "serve net/http/pprof and expvar on this address (off when empty)")
+		speeds    = fs.String("speeds", "", "per-node speed factors, comma separated ('2,1,1,0.5'); unlisted nodes run at 1")
+		autoscale = fs.String("autoscale", "", "elastic node pool: 'min=N[,max=N][,interval=D][,warmup=D][,notice=D][,queue=N][,slowdown=F][,idle=N]'")
+		preempt   = fs.String("preempt", "", "spot preemption injector: 'mtbp=D[,notice=D][,recover=D][,seed=N]'")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -125,6 +140,25 @@ func run(args []string, sigC <-chan os.Signal, ready func(addr string)) error {
 			return err
 		}
 		cfg.Tenants = reg
+	}
+	if *speeds != "" {
+		cfg.NodeSpeeds, err = parseSpeeds(*speeds)
+		if err != nil {
+			return err
+		}
+	}
+	if *autoscale != "" {
+		cfg.Autoscale, err = parseAutoscale(*autoscale)
+		if err != nil {
+			return err
+		}
+	}
+	var preemptor *faults.Preemptor
+	if *preempt != "" {
+		preemptor, err = parsePreempt(*preempt)
+		if err != nil {
+			return err
+		}
 	}
 	applyMode := true
 	if *policy != "" {
@@ -173,6 +207,16 @@ func run(args []string, sigC <-chan os.Signal, ready func(addr string)) error {
 		return err
 	}
 	defer svc.Close()
+
+	if preemptor != nil {
+		for i := 0; i < svc.NumShards(); i++ {
+			p := *preemptor
+			p.Seed += int64(i) // independent preemption streams per shard
+			if err := svc.CallShard(i, func(d *driver.Driver) { p.Install(d) }); err != nil {
+				return err
+			}
+		}
+	}
 
 	if *pprofAddr != "" {
 		// Opt-in debug endpoints on their own listener, kept off the API
@@ -243,4 +287,100 @@ func run(args []string, sigC <-chan os.Signal, ready func(addr string)) error {
 		fmt.Printf("ssrd: flushed %d trace events to %s\n", rec.Len(), *traceOut)
 	}
 	return nil
+}
+
+// parseSpeeds parses the -speeds value: comma-separated positive floats.
+func parseSpeeds(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("-speeds: bad factor %q", p)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// kvPairs splits "k=v,k=v" and calls set for each pair.
+func kvPairs(flagName, s string, set func(k, v string) error) error {
+	for _, kv := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok || v == "" {
+			return fmt.Errorf("%s: %q is not key=value", flagName, kv)
+		}
+		if err := set(k, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parseAutoscale parses the -autoscale value into an elastic-pool config;
+// unspecified keys keep the lifecycle package defaults.
+func parseAutoscale(s string) (*lifecycle.AutoscaleConfig, error) {
+	var as lifecycle.AutoscaleConfig
+	err := kvPairs("-autoscale", s, func(k, v string) error {
+		var err error
+		switch k {
+		case "min":
+			as.Min, err = strconv.Atoi(v)
+		case "max":
+			as.Max, err = strconv.Atoi(v)
+		case "interval":
+			as.Interval, err = time.ParseDuration(v)
+		case "warmup":
+			as.WarmUp, err = time.ParseDuration(v)
+		case "notice":
+			as.Notice, err = time.ParseDuration(v)
+		case "queue":
+			as.GrowQueue, err = strconv.Atoi(v)
+		case "slowdown":
+			as.GrowSlowdown, err = strconv.ParseFloat(v, 64)
+		case "idle":
+			as.ShrinkIdleTicks, err = strconv.Atoi(v)
+		default:
+			return fmt.Errorf("-autoscale: unknown key %q", k)
+		}
+		if err != nil {
+			return fmt.Errorf("-autoscale: bad %s %q", k, v)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &as, nil
+}
+
+// parsePreempt parses the -preempt value into a spot preemption injector.
+func parsePreempt(s string) (*faults.Preemptor, error) {
+	var p faults.Preemptor
+	err := kvPairs("-preempt", s, func(k, v string) error {
+		var err error
+		switch k {
+		case "mtbp":
+			p.MTBP, err = time.ParseDuration(v)
+		case "notice":
+			p.Notice, err = time.ParseDuration(v)
+		case "recover":
+			p.Recover, err = time.ParseDuration(v)
+		case "seed":
+			p.Seed, err = strconv.ParseInt(v, 10, 64)
+		default:
+			return fmt.Errorf("-preempt: unknown key %q", k)
+		}
+		if err != nil {
+			return fmt.Errorf("-preempt: bad %s %q", k, v)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if p.MTBP <= 0 {
+		return nil, fmt.Errorf("-preempt: mtbp must be positive")
+	}
+	return &p, nil
 }

@@ -67,6 +67,13 @@ type report struct {
 	ThroughputJobsPerSec float64                `json:"throughputJobsPerSec"`
 	Latency              *latencySummary        `json:"latencySeconds,omitempty"`
 	Server               *service.MetricsStatus `json:"server,omitempty"`
+	// Node-churn counters lifted out of Server for easy comparison across
+	// runs: attempts preempted by drains, reservations migrated to
+	// surviving slots, and reservations re-reserved through the Eq. 3
+	// pre-reservation machinery after their slot drained away.
+	Preempted  int `json:"preempted,omitempty"`
+	Migrated   int `json:"migrated,omitempty"`
+	Rereserved int `json:"rereserved,omitempty"`
 }
 
 // writeReport marshals the report to path ("-" = stdout).
@@ -310,6 +317,15 @@ func run(args []string) error {
 					ms.Lending.Granted, ms.Lending.Finished, ms.Lending.Returned, ms.Lending.Outstanding)
 			}
 			fmt.Println()
+		}
+		rep.Preempted = ms.AttemptsPreempted
+		rep.Migrated = ms.ReservationsMigrated
+		rep.Rereserved = ms.ReservationsReissued
+		if ms.NodeDrains > 0 || ms.AttemptsPreempted > 0 {
+			fmt.Printf("server node churn: drains=%d undrains=%d preempted=%d migrated=%d rereserved=%d (up=%d draining=%d down=%d)\n",
+				ms.NodeDrains, ms.NodeUndrains, ms.AttemptsPreempted,
+				ms.ReservationsMigrated, ms.ReservationsReissued,
+				ms.NodesUp, ms.NodesDraining, ms.NodesDown)
 		}
 		if ms.Slowdowns.Count > 0 {
 			fmt.Printf("server slowdowns: n=%d mean=%.2f p50=%.2f p95=%.2f max=%.2f (dropped %d)\n",

@@ -3,7 +3,7 @@
 // manipulates, and the data-locality registry recording which slots hold
 // which phase outputs.
 //
-// A slot is in one of four states:
+// A slot is in one of five states:
 //
 //   - Free: idle and unreserved — any task may take it (work conservation).
 //   - Reserved: idle but held for a job at that job's priority; only tasks
@@ -15,6 +15,16 @@
 //   - Failed: the hosting node is down. Failed slots accept no tasks and
 //     hold no reservations (failing voids them); RecoverNode returns them
 //     to Free.
+//   - Draining: idle on a node that received a preemption notice. Draining
+//     slots accept no new work; when the notice window closes they fail,
+//     and UndrainNode returns them to Free.
+//
+// Nodes carry their own lifecycle state (Up → Draining → Down → Up) plus
+// an optional per-node speed factor and pool tag for heterogeneous,
+// elastic clusters. The zero configuration — every node Up at speed 1 —
+// adds no branches to the acquisition hot path: Draining slots simply
+// never re-enter the free heaps, so the existing stale-entry skip
+// excludes them.
 //
 // The package holds no scheduling policy; it only enforces state-machine
 // invariants and provides deterministic, efficient slot lookup.
@@ -43,6 +53,9 @@ const (
 	Busy
 	// Failed means the hosting node is down.
 	Failed
+	// Draining means idle on a node serving a preemption notice: the slot
+	// accepts no new work and fails when the notice window closes.
+	Draining
 )
 
 func (s SlotState) String() string {
@@ -55,8 +68,39 @@ func (s SlotState) String() string {
 		return "busy"
 	case Failed:
 		return "failed"
+	case Draining:
+		return "draining"
 	default:
 		return fmt.Sprintf("SlotState(%d)", int(s))
+	}
+}
+
+// NodeState enumerates a node's lifecycle: Up (serving), Draining (serving
+// a preemption notice; running attempts may finish but no new work
+// starts), Down (all slots failed). The zero value is Up so a cluster
+// without lifecycle configuration behaves exactly as before.
+type NodeState int
+
+// Node lifecycle states.
+const (
+	// NodeUp means the node serves work normally.
+	NodeUp NodeState = iota
+	// NodeDraining means the node received a preemption notice.
+	NodeDraining
+	// NodeDown means the node is gone; its slots are Failed.
+	NodeDown
+)
+
+func (s NodeState) String() string {
+	switch s {
+	case NodeUp:
+		return "up"
+	case NodeDraining:
+		return "draining"
+	case NodeDown:
+		return "down"
+	default:
+		return fmt.Sprintf("NodeState(%d)", int(s))
 	}
 }
 
@@ -118,6 +162,15 @@ type Cluster struct {
 	// deterministic order without sorting map keys each time.
 	reservedOrder []dag.JobID
 	listener      StateListener
+	// nodeState holds each node's lifecycle state; the zero value (NodeUp
+	// everywhere) is the homogeneous always-on cluster.
+	nodeState []NodeState
+	// speeds holds per-node speed factors; nil means homogeneous speed 1.
+	// Allocated lazily so unconfigured clusters pay one nil check.
+	speeds []float64
+	// pools tags nodes with the elastic pool owning them; nil means no
+	// pool configuration.
+	pools []string
 }
 
 type jobReservations struct {
@@ -152,11 +205,12 @@ func NewSized(nodes int, slotSizes []int) (*Cluster, error) {
 	perNode := len(slotSizes)
 	total := nodes * perNode
 	c := &Cluster{
-		nodes:    nodes,
-		perNode:  perNode,
-		slots:    make([]*Slot, total),
-		free:     make(map[int]*intHeap),
-		reserved: make(map[dag.JobID]*jobReservations),
+		nodes:     nodes,
+		perNode:   perNode,
+		slots:     make([]*Slot, total),
+		free:      make(map[int]*intHeap),
+		reserved:  make(map[dag.JobID]*jobReservations),
+		nodeState: make([]NodeState, nodes),
 	}
 	for i := 0; i < total; i++ {
 		size := slotSizes[i%perNode]
@@ -356,7 +410,8 @@ func (c *Cluster) TryAcquire(id SlotID, job dag.JobID, prio dag.Priority, minSiz
 	}
 }
 
-// Release returns a busy or reserved slot to the free pool.
+// Release returns a busy or reserved slot to the free pool (or parks it
+// Draining when its node is serving a preemption notice).
 func (c *Cluster) Release(id SlotID) error {
 	s := c.Slot(id)
 	if s == nil {
@@ -369,9 +424,20 @@ func (c *Cluster) Release(id SlotID) error {
 	default:
 		return fmt.Errorf("cluster: release of %v slot %d", s.state, id)
 	}
+	c.freeSlot(s)
+	return nil
+}
+
+// freeSlot idles a slot: back to the free pool on an Up node, parked
+// Draining on a node serving a preemption notice. On an unconfigured
+// cluster the node-state check always takes the Up branch.
+func (c *Cluster) freeSlot(s *Slot) {
+	if c.nodeState[s.Node] != NodeUp {
+		c.transition(s, Draining)
+		return
+	}
 	c.transition(s, Free)
 	c.pushFree(s)
-	return nil
 }
 
 // Reserve marks a busy slot (whose task just completed) or a free slot
@@ -408,8 +474,7 @@ func (c *Cluster) CancelReservation(id SlotID) error {
 		return fmt.Errorf("cluster: cancel on %v slot %d", s.state, id)
 	}
 	c.consumeReservation(s)
-	c.transition(s, Free)
-	c.pushFree(s)
+	c.freeSlot(s)
 	return nil
 }
 
@@ -464,6 +529,7 @@ func (c *Cluster) FailNode(node int) (busy []SlotID, voided []Reservation, err e
 	if node < 0 || node >= c.nodes {
 		return nil, nil, fmt.Errorf("cluster: fail of unknown node %d", node)
 	}
+	c.nodeState[node] = NodeDown
 	for i := node * c.perNode; i < (node+1)*c.perNode; i++ {
 		s := c.slots[i]
 		switch s.state {
@@ -480,12 +546,17 @@ func (c *Cluster) FailNode(node int) (busy []SlotID, voided []Reservation, err e
 	return busy, voided, nil
 }
 
-// RecoverNode returns every Failed slot of node to the free pool and
-// reports the recovered slot IDs. Recovering a healthy node is a no-op.
+// RecoverNode marks node Up and returns every Failed slot to the free pool,
+// reporting the recovered slot IDs. Recovering a healthy node is a no-op;
+// recovering a Draining node is an error (undrain it instead).
 func (c *Cluster) RecoverNode(node int) ([]SlotID, error) {
 	if node < 0 || node >= c.nodes {
 		return nil, fmt.Errorf("cluster: recover of unknown node %d", node)
 	}
+	if c.nodeState[node] == NodeDraining {
+		return nil, fmt.Errorf("cluster: recover of draining node %d (undrain instead)", node)
+	}
+	c.nodeState[node] = NodeUp
 	var recovered []SlotID
 	for i := node * c.perNode; i < (node+1)*c.perNode; i++ {
 		s := c.slots[i]
@@ -497,6 +568,155 @@ func (c *Cluster) RecoverNode(node int) ([]SlotID, error) {
 		recovered = append(recovered, s.ID)
 	}
 	return recovered, nil
+}
+
+// NodeState returns node's lifecycle state, or NodeDown when out of range.
+func (c *Cluster) NodeState(node int) NodeState {
+	if node < 0 || node >= c.nodes {
+		return NodeDown
+	}
+	return c.nodeState[node]
+}
+
+// CountNodes returns the number of nodes currently in the given state.
+func (c *Cluster) CountNodes(state NodeState) int {
+	n := 0
+	for _, st := range c.nodeState {
+		if st == state {
+			n++
+		}
+	}
+	return n
+}
+
+// SetNodeSpeed installs node's speed factor: task service times scale by
+// 1/speed on its slots (2.0 = twice as fast). The factor table is
+// allocated on first use so unconfigured clusters keep SpeedOf at its
+// nil-check fast path.
+func (c *Cluster) SetNodeSpeed(node int, speed float64) error {
+	if node < 0 || node >= c.nodes {
+		return fmt.Errorf("cluster: speed of unknown node %d", node)
+	}
+	if speed <= 0 {
+		return fmt.Errorf("cluster: node %d speed %g must be positive", node, speed)
+	}
+	if c.speeds == nil {
+		c.speeds = make([]float64, c.nodes)
+		for i := range c.speeds {
+			c.speeds[i] = 1
+		}
+	}
+	c.speeds[node] = speed
+	return nil
+}
+
+// SpeedOf returns node's speed factor (1 when none was configured).
+func (c *Cluster) SpeedOf(node int) float64 {
+	if c.speeds == nil {
+		return 1
+	}
+	return c.speeds[node]
+}
+
+// SetNodePool tags node as a member of the named elastic pool.
+func (c *Cluster) SetNodePool(node int, pool string) error {
+	if node < 0 || node >= c.nodes {
+		return fmt.Errorf("cluster: pool of unknown node %d", node)
+	}
+	if c.pools == nil {
+		c.pools = make([]string, c.nodes)
+	}
+	c.pools[node] = pool
+	return nil
+}
+
+// NodePool returns node's pool tag ("" when none was configured).
+func (c *Cluster) NodePool(node int) string {
+	if c.pools == nil || node < 0 || node >= c.nodes {
+		return ""
+	}
+	return c.pools[node]
+}
+
+// DrainNode starts node's preemption notice: the node moves Up → Draining
+// and its idle Free slots park in the Draining state (they linger in the
+// free heaps; the acquire paths skip any entry whose slot is no longer
+// Free). Busy and Reserved slots are left untouched and returned so the
+// scheduler can decide, per attempt and per reservation, whether to let
+// it finish inside the notice window, migrate it, or release it early.
+func (c *Cluster) DrainNode(node int) (busy, reserved []SlotID, err error) {
+	if node < 0 || node >= c.nodes {
+		return nil, nil, fmt.Errorf("cluster: drain of unknown node %d", node)
+	}
+	if st := c.nodeState[node]; st != NodeUp {
+		return nil, nil, fmt.Errorf("cluster: drain of %v node %d", st, node)
+	}
+	c.nodeState[node] = NodeDraining
+	for i := node * c.perNode; i < (node+1)*c.perNode; i++ {
+		s := c.slots[i]
+		switch s.state {
+		case Free:
+			c.transition(s, Draining)
+		case Busy:
+			busy = append(busy, s.ID)
+		case Reserved:
+			reserved = append(reserved, s.ID)
+		}
+	}
+	return busy, reserved, nil
+}
+
+// CompleteDrain closes node's notice window: the node moves Draining →
+// Down and every slot fails. Slots still Busy (attempts the scheduler let
+// run to the wire) are returned so it can kill them; reservations still
+// held (the scheduler normally migrates or releases them at drain start)
+// are voided.
+func (c *Cluster) CompleteDrain(node int) (killed []SlotID, err error) {
+	if node < 0 || node >= c.nodes {
+		return nil, fmt.Errorf("cluster: drain-complete of unknown node %d", node)
+	}
+	if st := c.nodeState[node]; st != NodeDraining {
+		return nil, fmt.Errorf("cluster: drain-complete of %v node %d", st, node)
+	}
+	c.nodeState[node] = NodeDown
+	for i := node * c.perNode; i < (node+1)*c.perNode; i++ {
+		s := c.slots[i]
+		switch s.state {
+		case Failed:
+			continue
+		case Busy:
+			killed = append(killed, s.ID)
+		case Reserved:
+			c.consumeReservation(s)
+		}
+		c.transition(s, Failed)
+	}
+	return killed, nil
+}
+
+// UndrainNode cancels node's preemption notice: the node moves Draining →
+// Up and parked Draining slots return to the free pool. Busy and Reserved
+// slots (attempts and reservations that rode out the notice) are
+// untouched. It reports the revived slot IDs.
+func (c *Cluster) UndrainNode(node int) ([]SlotID, error) {
+	if node < 0 || node >= c.nodes {
+		return nil, fmt.Errorf("cluster: undrain of unknown node %d", node)
+	}
+	if st := c.nodeState[node]; st != NodeDraining {
+		return nil, fmt.Errorf("cluster: undrain of %v node %d", st, node)
+	}
+	c.nodeState[node] = NodeUp
+	var revived []SlotID
+	for i := node * c.perNode; i < (node+1)*c.perNode; i++ {
+		s := c.slots[i]
+		if s.state != Draining {
+			continue
+		}
+		c.transition(s, Free)
+		c.pushFree(s)
+		revived = append(revived, s.ID)
+	}
+	return revived, nil
 }
 
 func (c *Cluster) consumeReservation(s *Slot) {

@@ -156,6 +156,19 @@ func (d *Driver) routeFreedSlot(pr *phaseRun, att *attempt, decision core.Decisi
 // mode and, for SSR, the tracker's decision.
 func (d *Driver) applyDecision(pr *phaseRun, slot cluster.SlotID, decision core.Decision) {
 	jr := pr.jr
+	if d.cl.NodeState(d.cl.Slot(slot).Node) != cluster.NodeUp {
+		// The slot's node is draining: reserving capacity that disappears
+		// at the wire would strand the reservation. Release the slot (it
+		// parks in Draining) and under SSR convert a Reserve decision into
+		// pre-reservation quota on a surviving node.
+		d.mustRelease(slot)
+		d.auditRelease(pr, slot)
+		if d.opts.Mode == ModeSSR && decision == core.Reserve {
+			pr.preWant++
+			d.addPreReserver(pr)
+		}
+		return
+	}
 	switch d.opts.Mode {
 	case ModeSSR:
 		if decision == core.Reserve {

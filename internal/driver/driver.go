@@ -155,6 +155,11 @@ type Options struct {
 	// P here). It is consulted once at job submission, only when SSR is
 	// enabled for the job; nil leaves every job on Options.SSR.
 	TenantSSR func(tenant string, cfg core.Config) core.Config
+	// OnDrain, when non-nil, is invoked as a node enters the Draining
+	// state, before its notice timer is armed. The shard federation wires
+	// the lending broker's recall here so idle loans checked out of the
+	// draining node travel home immediately.
+	OnDrain func(node int)
 }
 
 func (o *Options) withDefaults() Options {
@@ -266,6 +271,10 @@ type Driver struct {
 	// reservedScratch is the reusable snapshot buffer for the dispatch
 	// sweep over reservation-holding jobs.
 	reservedScratch []dag.JobID
+	// drainTimers holds each draining node's pending notice-expiry event.
+	// Nil until the first DrainNode, so lifecycle-free runs never touch it.
+	drainTimers      map[int]*sim.Timer
+	completeDrainArg func(any)
 }
 
 // New creates a driver over an engine and cluster.
@@ -291,6 +300,7 @@ func New(eng *sim.Engine, cl *cluster.Cluster, opts Options) (*Driver, error) {
 	d.onFinishArg = func(a any) { d.onFinish(a.(*attempt)) }
 	d.expireDeadlineArg = func(a any) { d.expireDeadline(a.(*phaseRun)) }
 	d.openLocalityArg = func(a any) { d.openLocality(a.(*phaseRun)) }
+	d.completeDrainArg = func(a any) { d.completeDrain(a.(int)) }
 	d.dispatchTick = func(any) {
 		t := d.dispatchTimer
 		d.dispatchTimer = nil

@@ -55,6 +55,19 @@ const (
 	// their owning shards (deadline expiry, reconciliation, or job end);
 	// Count is the number returned.
 	EventLoanReturn
+	// EventNodeDrain fires when a node goes on preemption notice; Node is
+	// the node index and Count the notice window in whole milliseconds.
+	EventNodeDrain
+	// EventNodeUndrain fires when a preemption notice is canceled; Node is
+	// the node index and Count the slots returned to the pool.
+	EventNodeUndrain
+	// EventNodeDown fires when a notice window closes and the node's slots
+	// fail; Node is the node index and Count the attempts killed at the
+	// wire.
+	EventNodeDown
+	// EventNodeUp fires when an elastic pool activates a node; Node is the
+	// node index and Count the slots brought online.
+	EventNodeUp
 )
 
 func (t EventType) String() string {
@@ -85,6 +98,14 @@ func (t EventType) String() string {
 		return "borrow"
 	case EventLoanReturn:
 		return "loan_return"
+	case EventNodeDrain:
+		return "node_drain"
+	case EventNodeUndrain:
+		return "node_undrain"
+	case EventNodeDown:
+		return "node_down"
+	case EventNodeUp:
+		return "node_up"
 	default:
 		return fmt.Sprintf("EventType(%d)", int(t))
 	}
@@ -104,9 +125,16 @@ type Event struct {
 	Slot    cluster.SlotID
 	Copy    bool
 	Local   bool
-	// Count is the number of slots involved in a borrow or loan-return
-	// event; zero otherwise.
+	// Count is the number of slots involved in a borrow, loan-return or
+	// node lifecycle event; zero otherwise.
 	Count int
+	// Node is the node index of a node lifecycle event; zero otherwise.
+	Node int
+}
+
+// emitNode delivers a node lifecycle event.
+func (d *Driver) emitNode(t EventType, node, count int) {
+	d.emit(Event{Type: t, Node: node, Count: count})
 }
 
 // emit delivers a lifecycle event to the OnEvent hook, stamping the current

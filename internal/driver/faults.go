@@ -109,6 +109,13 @@ func (d *Driver) FailNode(node int) error {
 	}
 	d.fc.NodeFailures++
 
+	// A node can fail mid-notice; the pending wire event dies with it.
+	if t := d.drainTimers[node]; t != nil {
+		t.Cancel()
+		d.eng.Release(t)
+		delete(d.drainTimers, node)
+	}
+
 	// Lost outputs: downstream preferences onto this node are void. The
 	// registry's backing slices are shared with narrow phases' taskPref,
 	// so per-task preferences degrade to NoSlot in place.
@@ -338,16 +345,7 @@ func (d *Driver) RecoverNode(node int) error {
 		return nil
 	}
 	d.fc.NodeRecoveries++
-	for _, slot := range recovered {
-		if d.opts.Mode == ModeStatic && int(slot) < d.opts.StaticSlots {
-			d.mustReserve(slot, cluster.Reservation{
-				Job:      StaticJobID,
-				Priority: d.opts.StaticMinPriority - 1,
-			})
-			continue
-		}
-		d.notifyWaiters(slot)
-	}
+	d.reviveSlots(recovered)
 	d.scheduleDispatch()
 	return nil
 }

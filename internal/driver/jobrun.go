@@ -499,6 +499,17 @@ func hasLocal(pr *phaseRun, slot cluster.SlotID) bool {
 	return pr.queuedConstrained() > 0 && pr.prefSet[slot]
 }
 
+// scaleDur divides a service time by the hosting node's speed factor
+// (heterogeneous slots: a speed-2 node runs tasks twice as fast). On a
+// homogeneous cluster SpeedOf's nil-table fast path makes this a
+// branch-predictable no-op.
+func (d *Driver) scaleDur(dur time.Duration, slot cluster.SlotID) time.Duration {
+	if sp := d.cl.SpeedOf(d.cl.Slot(slot).Node); sp != 1 {
+		return time.Duration(float64(dur) / sp)
+	}
+	return dur
+}
+
 // assign starts the original attempt of task idx on an already-acquired
 // (Busy) slot. local reports whether the placement honors the task's data
 // locality.
@@ -518,7 +529,7 @@ func (d *Driver) assign(pr *phaseRun, idx int, slot cluster.SlotID, local bool) 
 	}
 	d.observePlacement(pr)
 	att := d.newAttempt(attempt{pr: pr, taskIdx: idx, local: local || !constrained, slot: slot, start: d.eng.Now()})
-	att.timer = d.eng.AfterArg(dur, d.onFinishArg, att)
+	att.timer = d.eng.AfterArg(d.scaleDur(dur, slot), d.onFinishArg, att)
 	pr.tasks[idx].orig = att
 	d.slotOwner[slot] = att
 	pr.runningTasks++
@@ -537,7 +548,7 @@ func (d *Driver) launchCopy(pr *phaseRun, idx int, slot cluster.SlotID) {
 	jr := pr.jr
 	task := pr.phase.Tasks[idx]
 	att := d.newAttempt(attempt{pr: pr, taskIdx: idx, isCopy: true, local: true, slot: slot, start: d.eng.Now()})
-	att.timer = d.eng.AfterArg(task.CopyDuration, d.onFinishArg, att)
+	att.timer = d.eng.AfterArg(d.scaleDur(task.CopyDuration, slot), d.onFinishArg, att)
 	pr.tasks[idx].dup = att
 	d.slotOwner[slot] = att
 	jr.running++

@@ -6,6 +6,7 @@ import (
 
 	"ssr/internal/core"
 	"ssr/internal/dag"
+	"ssr/internal/faults"
 	"ssr/internal/metrics"
 	"ssr/internal/obs"
 	"ssr/internal/trace"
@@ -214,5 +215,65 @@ func TestPerfettoExport(t *testing.T) {
 	}
 	if meta == 0 {
 		t.Error("no track metadata events")
+	}
+}
+
+// TestPerfettoDrainSpans renders a run with node drains and checks the
+// exporter pairs drain start with undrain/down into balanced lifecycle
+// spans on the control track, with preemptions as instant markers.
+func TestPerfettoDrainSpans(t *testing.T) {
+	audit := obs.NewAudit(0)
+	cfg := core.DefaultConfig()
+	e := newEnv(t, 2, 2, Options{Mode: ModeSSR, SSR: cfg, Audit: audit})
+	e.mustSubmit(t, chain(t, 1, "j1", 5, []dag.PhaseSpec{
+		{Durations: durations(10, 10, 10, 10)},
+	}))
+	faults.Script{
+		{At: sec(1), Node: 0, Notice: sec(2)},
+		{At: sec(2), Node: 0, Undrain: true},
+		{At: sec(4), Node: 1, Notice: sec(1)},
+	}.Install(e.d)
+	e.mustRun(t)
+
+	data, err := obs.Perfetto(nil, audit.Events())
+	if err != nil {
+		t.Fatalf("Perfetto: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Cat  string `json:"cat"`
+			Ph   string `json:"ph"`
+			ID   string `json:"id"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("invalid trace JSON: %v", err)
+	}
+	spansB, spansE, markers := 0, 0, 0
+	open := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Cat != "lifecycle" {
+			continue
+		}
+		switch ev.Ph {
+		case "b":
+			spansB++
+			open[ev.ID] = true
+		case "e":
+			spansE++
+			if !open[ev.ID] {
+				t.Errorf("lifecycle span %s closed without opening", ev.ID)
+			}
+			delete(open, ev.ID)
+		case "i":
+			markers++
+		}
+	}
+	if spansB != 2 || spansE != 2 {
+		t.Errorf("drain spans b/e = %d/%d, want 2/2 (one undrained, one completed)", spansB, spansE)
+	}
+	if markers == 0 {
+		t.Error("no lifecycle instant markers (preemptions) in trace")
 	}
 }

@@ -143,7 +143,7 @@ func (d *Driver) launchSpecCopy(pr *phaseRun, idx int, slot cluster.SlotID) {
 		dur = time.Duration(float64(dur) * d.opts.LocalityFactor)
 	}
 	att := d.newAttempt(attempt{pr: pr, taskIdx: idx, isCopy: true, local: local, slot: slot, start: d.eng.Now()})
-	att.timer = d.eng.AfterArg(dur, d.onFinishArg, att)
+	att.timer = d.eng.AfterArg(d.scaleDur(dur, slot), d.onFinishArg, att)
 	pr.tasks[idx].dup = att
 	d.slotOwner[slot] = att
 	jr.running++

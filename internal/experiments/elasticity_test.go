@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestElasticitySSRBeatsBaselinesAtEveryNotice(t *testing.T) {
+	p := QuickParams()
+	res := mustResult(t, "elasticity", p)
+	pols := len(elasticityPolicies())
+	points := len(elasticityRates(p.Scale)) * len(elasticityNotices(p.Scale))
+	if len(res.Rows) != points*pols {
+		t.Fatalf("rows = %d, want %d sweep points x %d policies", len(res.Rows), points, pols)
+	}
+	for g := 0; g < points; g++ {
+		ssr := g * pols
+		if res.Str(ssr, "policy") != "ssr" {
+			t.Fatalf("row %d policy %q, want ssr leading its group:\n%s", ssr, res.Str(ssr, "policy"), res)
+		}
+		for b := ssr + 1; b < ssr+pols; b++ {
+			if res.Str(b, "mtbp") != res.Str(ssr, "mtbp") || res.Str(b, "notice") != res.Str(ssr, "notice") {
+				t.Fatalf("group broken at row %d:\n%s", b, res)
+			}
+			if res.Float(ssr, "slowdown") >= res.Float(b, "slowdown") {
+				t.Errorf("mtbp %s notice %s: ssr slowdown %.2f not below %s %.2f",
+					res.Str(ssr, "mtbp"), res.Str(ssr, "notice"),
+					res.Float(ssr, "slowdown"), res.Str(b, "policy"), res.Float(b, "slowdown"))
+			}
+		}
+		if res.Int(ssr, "drains") == 0 {
+			t.Errorf("row %d: no churn injected", ssr)
+		}
+	}
+	// The crossover at the copy duration: with notice >= copy nearly all
+	// in-flight work rides out the window, so far fewer attempts are
+	// preempted than under the shortest positive notice.
+	notices := elasticityNotices(p.Scale)
+	shortIdx := 1 * len(elasticityPolicies()) // first positive notice, ssr row
+	longIdx := (len(notices) - 1) * pols
+	if got, want := res.Int(longIdx, "preempted"), res.Int(shortIdx, "preempted"); got >= want {
+		t.Errorf("notice >= copy duration preempted %d attempts, want fewer than %d at the shortest positive notice",
+			got, want)
+	}
+	margin, ok := res.Metrics["ssr-margin-longest-notice"]
+	if !ok {
+		t.Fatal("missing ssr-margin-longest-notice metric")
+	}
+	if margin <= 0 {
+		t.Errorf("ssr margin at the longest notice = %.2f, want strictly positive", margin)
+	}
+	for _, want := range []string{"notice", "ssr", "dagps", "sgpack", "crossover"} {
+		if !strings.Contains(res.String(), want) {
+			t.Errorf("String missing %q:\n%s", want, res)
+		}
+	}
+}
+
+func TestElasticityDeterministicPerSeed(t *testing.T) {
+	e, ok := Lookup("elasticity")
+	if !ok {
+		t.Fatal("elasticity not registered")
+	}
+	a, err := RunSerial(e, QuickParams())
+	if err != nil {
+		t.Fatalf("RunSerial: %v", err)
+	}
+	b, err := RunSerial(e, QuickParams())
+	if err != nil {
+		t.Fatalf("RunSerial: %v", err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed produced different sweeps:\n%v\n%v", a, b)
+	}
+}

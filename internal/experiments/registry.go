@@ -181,6 +181,7 @@ func init() {
 		faultToleranceExperiment(),
 		shardScalingExperiment(),
 		tenancyExperiment(),
+		elasticityExperiment(),
 	} {
 		Register(e)
 	}

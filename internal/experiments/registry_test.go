@@ -53,7 +53,7 @@ func TestDefaultRegistryCanonicalOrder(t *testing.T) {
 	want := []string{
 		"fig1", "fig4", "fig5", "fig6", "fig8", "fig10", "fig12", "fig13",
 		"fig14", "fig15", "fig16", "fig17", "bgimpact", "mitcompare",
-		"faulttolerance", "shardscaling", "tenancy",
+		"faulttolerance", "shardscaling", "tenancy", "elasticity",
 	}
 	if got := Names(); !reflect.DeepEqual(got, want) {
 		t.Errorf("Default registry order = %v, want %v", got, want)

@@ -88,7 +88,104 @@ func (p Poisson) armFailure(t Target, node int, rng *rand.Rand) {
 	})
 }
 
-// Event is one scripted fault action.
+// DrainTarget extends Target with advance-notice preemption — the node
+// lifecycle surface spot-style injectors drive. *driver.Driver implements
+// it.
+type DrainTarget interface {
+	Target
+	// DrainNode puts a node on preemption notice; its slots fail when the
+	// notice window closes.
+	DrainNode(node int, notice time.Duration) error
+	// UndrainNode cancels a pending preemption notice.
+	UndrainNode(node int) error
+}
+
+// Preemptor models spot-instance reclamation: each node is independently
+// reclaimed with exponentially distributed inter-preemption times of mean
+// MTBP, measured from the previous re-offer. A reclamation arrives with
+// Notice advance warning — the node drains, and the scheduler decides per
+// attempt and per reservation what survives the window. With Notice <= 0
+// the node is lost without warning (a plain crash). A reclaimed node is
+// re-offered Recover after it goes down; with Recover <= 0 reclamations
+// are permanent.
+type Preemptor struct {
+	// MTBP is the per-node mean time between preemptions. Zero or
+	// negative disables the injector entirely.
+	MTBP time.Duration
+	// Notice is the advance warning each preemption carries.
+	Notice time.Duration
+	// Recover is how long a reclaimed node stays down after its notice
+	// window closes. Zero or negative makes reclamations permanent.
+	Recover time.Duration
+	// Nodes caps how many nodes are preemptible — the highest Nodes node
+	// indices, modeling a mixed fleet where a stable on-demand core is
+	// topped up with spot capacity. (Placement prefers low slot indices,
+	// so the spot partition sits at the top like an elastic pool's
+	// overflow nodes.) Zero or negative makes every node preemptible.
+	Nodes int
+	// Seed roots the per-node random substreams.
+	Seed int64
+}
+
+// Install arms one preemption timer per node. With a positive Notice the
+// target must implement DrainTarget. It must be called before the engine
+// runs.
+func (p Preemptor) Install(t Target) {
+	if p.MTBP <= 0 {
+		return
+	}
+	dt, ok := t.(DrainTarget)
+	if p.Notice > 0 && !ok {
+		panic("faults: preemptor with notice requires a DrainTarget")
+	}
+	n := t.Cluster().NumNodes()
+	first := 0
+	if p.Nodes > 0 && p.Nodes < n {
+		first = n - p.Nodes
+	}
+	for node := first; node < n; node++ {
+		rng := stats.SubStream(p.Seed, "faults-preemptor", node)
+		p.armPreemption(t, dt, node, rng)
+	}
+}
+
+func (p Preemptor) armPreemption(t Target, dt DrainTarget, node int, rng *rand.Rand) {
+	delay := time.Duration(rng.ExpFloat64() * float64(p.MTBP))
+	t.Engine().After(delay, func() {
+		if t.Unfinished() == 0 {
+			return // workload drained; let the event queue empty out
+		}
+		// A reclamation can land on a node another lifecycle actor (an
+		// elastic autoscaler, a second injector) already drained or took
+		// down; the spot market does not coordinate, so the collision is
+		// absorbed and the renewal process keeps its cadence.
+		if p.Notice > 0 {
+			_ = dt.DrainNode(node, p.Notice)
+		} else {
+			_ = t.FailNode(node)
+		}
+		if p.Recover <= 0 {
+			return
+		}
+		// The node goes down when its notice window closes; the re-offer
+		// clock starts there.
+		down := p.Notice
+		if down < 0 {
+			down = 0
+		}
+		t.Engine().After(down+p.Recover, func() {
+			if t.Unfinished() == 0 {
+				return
+			}
+			_ = t.RecoverNode(node)
+			p.armPreemption(t, dt, node, rng)
+		})
+	})
+}
+
+// Event is one scripted fault action. The zero action is FailNode; set
+// exactly one of Recover, Undrain, or a positive Notice to select
+// RecoverNode, UndrainNode, or DrainNode instead.
 type Event struct {
 	// At is the virtual time the action fires.
 	At time.Duration
@@ -96,6 +193,11 @@ type Event struct {
 	Node int
 	// Recover selects RecoverNode instead of FailNode.
 	Recover bool
+	// Notice, when positive, selects DrainNode with this notice window.
+	// The target must implement DrainTarget.
+	Notice time.Duration
+	// Undrain selects UndrainNode. The target must implement DrainTarget.
+	Undrain bool
 }
 
 // Script is a one-shot injector replaying a fixed list of fault events —
@@ -110,9 +212,14 @@ func (s Script) Install(t Target) {
 		ev := ev
 		t.Engine().At(ev.At, func() {
 			var err error
-			if ev.Recover {
+			switch {
+			case ev.Recover:
 				err = t.RecoverNode(ev.Node)
-			} else {
+			case ev.Undrain:
+				err = t.(DrainTarget).UndrainNode(ev.Node)
+			case ev.Notice > 0:
+				err = t.(DrainTarget).DrainNode(ev.Node, ev.Notice)
+			default:
 				err = t.FailNode(ev.Node)
 			}
 			if err != nil {

@@ -1,0 +1,256 @@
+// Package lifecycle manages node pools above the driver: heterogeneous
+// per-node speed factors, elastic pool sizing driven by queue depth and a
+// foreground-slowdown signal, and spot-style shrink through the driver's
+// reservation-aware drain path. All decisions run as discrete events on
+// the driver's engine, so a configured manager keeps offline replays
+// deterministic; an absent (nil) config touches nothing at all.
+package lifecycle
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"ssr/internal/cluster"
+	"ssr/internal/driver"
+	"ssr/internal/sim"
+)
+
+// Pool is the pool tag the manager sets on every node it governs.
+const Pool = "elastic"
+
+// Config is the node lifecycle configuration for one scheduler (one shard).
+type Config struct {
+	// Speeds are per-node speed factors: task service times on node i's
+	// slots scale by 1/Speeds[i] (2.0 = twice as fast). Shorter slices
+	// leave the remaining nodes at 1; nil keeps the cluster homogeneous.
+	Speeds []float64
+	// Autoscale enables elastic pool sizing; nil keeps every node up.
+	Autoscale *AutoscaleConfig
+}
+
+// AutoscaleConfig parameterizes the elastic pool. The manager starts Min
+// nodes up (the rest deactivated), grows toward Max when backlog or
+// foreground slowdown crosses its thresholds, and shrinks back toward Min
+// by draining the highest idle node with a preemption notice.
+type AutoscaleConfig struct {
+	// Min and Max bound the pool size in nodes. Min defaults to 1; Max
+	// defaults to every node.
+	Min, Max int
+	// Interval is the evaluation period. Default 1s.
+	Interval time.Duration
+	// WarmUp is the provisioning delay between ordering a node and its
+	// slots coming online. Default 0 (instant).
+	WarmUp time.Duration
+	// Notice is the drain notice a shrink gives the scheduler. Default 1s.
+	Notice time.Duration
+	// GrowQueue grows the pool when at least this many tasks are queued
+	// unplaced. Default 1; negative disables the backlog trigger.
+	GrowQueue int
+	// GrowSlowdown grows the pool when Slowdown() reaches this value
+	// (e.g. 1.5 = foreground jobs running 50% over their alone time).
+	// Zero disables the trigger.
+	GrowSlowdown float64
+	// ShrinkIdleTicks is how many consecutive idle evaluations (no queued
+	// tasks and at least one node's worth of free slots) precede a
+	// shrink. Default 3.
+	ShrinkIdleTicks int
+	// Slowdown supplies the foreground slowdown signal read each tick
+	// (the service wires its admission-class slowdown here); nil disables
+	// the slowdown trigger.
+	Slowdown func() float64
+	// KeepAlive re-arms the evaluation timer even when no job is
+	// unfinished. The online service sets it (jobs arrive later); offline
+	// runs leave it false so the event queue can drain.
+	KeepAlive bool
+}
+
+func (c AutoscaleConfig) withDefaults() AutoscaleConfig {
+	if c.Min == 0 {
+		c.Min = 1
+	}
+	if c.Interval == 0 {
+		c.Interval = time.Second
+	}
+	if c.Notice == 0 {
+		c.Notice = time.Second
+	}
+	if c.GrowQueue == 0 {
+		c.GrowQueue = 1
+	}
+	if c.ShrinkIdleTicks == 0 {
+		c.ShrinkIdleTicks = 3
+	}
+	return c
+}
+
+// Manager applies a Config to one driver and runs its autoscale loop.
+type Manager struct {
+	drv *driver.Driver
+	cl  *cluster.Cluster
+	eng *sim.Engine
+	as  *AutoscaleConfig
+
+	// warming marks nodes ordered but still inside their warm-up delay.
+	warming   []bool
+	idleTicks int
+	started   bool
+}
+
+// New validates cfg and applies its static parts: speed factors and the
+// initial pool size (nodes beyond Autoscale.Min are deactivated). It must
+// run before any task is dispatched. Start arms the autoscale loop.
+func New(drv *driver.Driver, cfg Config) (*Manager, error) {
+	cl := drv.Cluster()
+	nodes := cl.NumNodes()
+	if len(cfg.Speeds) > nodes {
+		return nil, fmt.Errorf("lifecycle: %d speed factors for %d nodes", len(cfg.Speeds), nodes)
+	}
+	for i, sp := range cfg.Speeds {
+		if err := cl.SetNodeSpeed(i, sp); err != nil {
+			return nil, fmt.Errorf("lifecycle: %w", err)
+		}
+	}
+	m := &Manager{drv: drv, cl: cl, eng: drv.Engine()}
+	if cfg.Autoscale == nil {
+		return m, nil
+	}
+	as := cfg.Autoscale.withDefaults()
+	if as.Max == 0 {
+		as.Max = nodes
+	}
+	if as.Min < 1 || as.Min > as.Max || as.Max > nodes {
+		return nil, fmt.Errorf("lifecycle: pool bounds [%d, %d] invalid for %d nodes", as.Min, as.Max, nodes)
+	}
+	if as.Interval <= 0 || as.Notice <= 0 || as.WarmUp < 0 {
+		return nil, errors.New("lifecycle: autoscale intervals must be positive")
+	}
+	m.as = &as
+	m.warming = make([]bool, nodes)
+	for node := 0; node < nodes; node++ {
+		if err := cl.SetNodePool(node, Pool); err != nil {
+			return nil, fmt.Errorf("lifecycle: %w", err)
+		}
+	}
+	for node := as.Min; node < nodes; node++ {
+		if err := drv.DeactivateNode(node); err != nil {
+			return nil, fmt.Errorf("lifecycle: initial pool size: %w", err)
+		}
+	}
+	return m, nil
+}
+
+// Start arms the autoscale evaluation loop on the driver's engine. It is a
+// no-op without an Autoscale config or when already started.
+func (m *Manager) Start() {
+	if m.as == nil || m.started {
+		return
+	}
+	m.started = true
+	m.eng.After(m.as.Interval, m.tick)
+}
+
+func (m *Manager) tick() {
+	as := m.as
+	if !as.KeepAlive && m.drv.Unfinished() == 0 {
+		m.started = false
+		return // workload drained; let the event queue empty out
+	}
+	m.evaluate()
+	m.eng.After(as.Interval, m.tick)
+}
+
+// evaluate makes one grow-or-shrink decision from the current signals.
+func (m *Manager) evaluate() {
+	as := m.as
+	queued := m.drv.QueuedTasks()
+	slow := 0.0
+	if as.Slowdown != nil {
+		slow = as.Slowdown()
+	}
+	up := m.cl.CountNodes(cluster.NodeUp)
+	warming := 0
+	for _, w := range m.warming {
+		if w {
+			warming++
+		}
+	}
+
+	grow := (as.GrowQueue > 0 && queued >= as.GrowQueue) ||
+		(as.GrowSlowdown > 0 && slow >= as.GrowSlowdown)
+	if grow {
+		m.idleTicks = 0
+		if up+warming < as.Max {
+			m.grow()
+		}
+		return
+	}
+
+	perNode := m.cl.NumSlots() / m.cl.NumNodes()
+	idle := queued == 0 && m.cl.CountState(cluster.Free) >= perNode
+	if !idle {
+		m.idleTicks = 0
+		return
+	}
+	m.idleTicks++
+	if m.idleTicks >= as.ShrinkIdleTicks && up > as.Min && warming == 0 {
+		m.idleTicks = 0
+		m.shrink()
+	}
+}
+
+// grow orders the lowest Down node; its slots come online after WarmUp.
+func (m *Manager) grow() {
+	node := -1
+	for i := 0; i < m.cl.NumNodes(); i++ {
+		if m.cl.NodeState(i) == cluster.NodeDown && !m.warming[i] {
+			node = i
+			break
+		}
+	}
+	if node < 0 {
+		return
+	}
+	activate := func() {
+		m.warming[node] = false
+		if m.cl.NodeState(node) != cluster.NodeDown {
+			return // failed nodes under repair are not ours to revive
+		}
+		if err := m.drv.ActivateNode(node); err != nil {
+			panic("lifecycle: activate: " + err.Error())
+		}
+	}
+	if m.as.WarmUp <= 0 {
+		activate()
+		return
+	}
+	m.warming[node] = true
+	m.eng.After(m.as.WarmUp, activate)
+}
+
+// shrink drains the highest Up node running no attempts (preferring not
+// to preempt work the pool merely outgrew); with none fully idle it keeps
+// the pool as is. The driver migrates or re-issues the drained node's
+// reservations and decides per attempt whether to ride out the window.
+func (m *Manager) shrink() {
+	for node := m.cl.NumNodes() - 1; node >= 0; node-- {
+		if m.cl.NodeState(node) != cluster.NodeUp || m.busySlots(node) > 0 {
+			continue
+		}
+		if err := m.drv.DrainNode(node, m.as.Notice); err != nil {
+			panic("lifecycle: shrink: " + err.Error())
+		}
+		return
+	}
+}
+
+// busySlots counts node's slots currently running attempts.
+func (m *Manager) busySlots(node int) int {
+	n := 0
+	for _, s := range m.cl.NodeSlots(node) {
+		if m.cl.Slot(s).State() == cluster.Busy {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,234 @@
+package lifecycle
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"ssr/internal/cluster"
+	"ssr/internal/core"
+	"ssr/internal/dag"
+	"ssr/internal/driver"
+	"ssr/internal/faults"
+	"ssr/internal/sim"
+)
+
+func sec(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
+
+type env struct {
+	eng *sim.Engine
+	cl  *cluster.Cluster
+	drv *driver.Driver
+}
+
+func newEnv(t *testing.T, nodes, perNode int, opts driver.Options) *env {
+	t.Helper()
+	eng := sim.New()
+	cl, err := cluster.New(nodes, perNode)
+	if err != nil {
+		t.Fatalf("cluster.New: %v", err)
+	}
+	drv, err := driver.New(eng, cl, opts)
+	if err != nil {
+		t.Fatalf("driver.New: %v", err)
+	}
+	return &env{eng: eng, cl: cl, drv: drv}
+}
+
+func submitChain(t *testing.T, drv *driver.Driver, id dag.JobID, tasks int, dur, at time.Duration) {
+	t.Helper()
+	durs := make([]time.Duration, tasks)
+	for i := range durs {
+		durs[i] = dur
+	}
+	j, err := dag.Chain(id, fmt.Sprintf("j%d", id), 5,
+		[]dag.PhaseSpec{{Durations: durs}}, dag.WithSubmit(at))
+	if err != nil {
+		t.Fatalf("Chain: %v", err)
+	}
+	if err := drv.Submit(j); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	e := newEnv(t, 2, 2, driver.Options{})
+	if _, err := New(e.drv, Config{Speeds: []float64{1, 1, 1}}); err == nil {
+		t.Error("too many speed factors: want error")
+	}
+	if _, err := New(e.drv, Config{Speeds: []float64{-1}}); err == nil {
+		t.Error("negative speed: want error")
+	}
+	if _, err := New(e.drv, Config{Autoscale: &AutoscaleConfig{Min: 3}}); err == nil {
+		t.Error("Min > nodes: want error")
+	}
+	if _, err := New(e.drv, Config{Autoscale: &AutoscaleConfig{Min: 2, Max: 1}}); err == nil {
+		t.Error("Min > Max: want error")
+	}
+	m, err := New(e.drv, Config{Speeds: []float64{2}})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	m.Start() // no autoscale config: must be a no-op
+	if got := e.cl.SpeedOf(0); got != 2 {
+		t.Errorf("SpeedOf(0) = %v, want 2", got)
+	}
+	if got := e.cl.SpeedOf(1); got != 1 {
+		t.Errorf("SpeedOf(1) = %v, want 1 (unconfigured tail)", got)
+	}
+}
+
+// TestAutoscaleGrowShrink drives the pool through a full cycle: backlog
+// grows it from Min, the drained queue shrinks it back, and the workload
+// completes on the elastic capacity.
+func TestAutoscaleGrowShrink(t *testing.T) {
+	e := newEnv(t, 4, 2, driver.Options{Mode: driver.ModeSSR, SSR: core.DefaultConfig()})
+	m, err := New(e.drv, Config{Autoscale: &AutoscaleConfig{
+		Min:             1,
+		Max:             4,
+		Interval:        sec(1),
+		WarmUp:          sec(2),
+		Notice:          sec(1),
+		ShrinkIdleTicks: 2,
+	}})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if got := e.cl.CountNodes(cluster.NodeUp); got != 1 {
+		t.Fatalf("initial up nodes = %d, want Min=1", got)
+	}
+	if got := e.cl.NodePool(3); got != Pool {
+		t.Errorf("NodePool(3) = %q, want %q", got, Pool)
+	}
+	// A burst of 8-task jobs swamps the 2 initial slots, then a long thin
+	// tail job keeps the run alive while the pool idles back down.
+	submitChain(t, e.drv, 1, 8, sec(4), 0)
+	submitChain(t, e.drv, 2, 8, sec(4), sec(1))
+	submitChain(t, e.drv, 3, 1, sec(60), sec(2))
+	m.Start()
+	if err := e.drv.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	fc := e.drv.Faults()
+	if fc.NodeDrains == 0 {
+		t.Error("pool never shrank (no drains)")
+	}
+	if fc.NodeFailures != 0 || fc.JobsFailed != 0 {
+		t.Errorf("failures=%d jobsFailed=%d, want 0/0", fc.NodeFailures, fc.JobsFailed)
+	}
+	up := e.cl.CountNodes(cluster.NodeUp)
+	if up < 1 || up > 4 {
+		t.Errorf("final up nodes = %d, outside pool bounds", up)
+	}
+	// The burst must have grown the pool past Min: pinned at 2 slots the
+	// 16x4s burst would serialize and push the tail's finish past t=90.
+	if mk := e.drv.Makespan(); mk > sec(75) {
+		t.Errorf("makespan = %v; pool apparently never grew", mk)
+	}
+}
+
+// TestAutoscaleHammer churns the pool under a staggered many-job workload
+// with warm-up and drain cycling; run with -race in CI. Invariants: the
+// workload completes, no job fails, and the pool respects its bounds.
+func TestAutoscaleHammer(t *testing.T) {
+	e := newEnv(t, 6, 2, driver.Options{Mode: driver.ModeSSR, SSR: core.DefaultConfig()})
+	m, err := New(e.drv, Config{
+		Speeds: []float64{2, 1, 1, 0.5, 1, 1},
+		Autoscale: &AutoscaleConfig{
+			Min:             2,
+			Max:             6,
+			Interval:        sec(0.5),
+			WarmUp:          sec(1.5),
+			Notice:          sec(2),
+			ShrinkIdleTicks: 1,
+		},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 40; i++ {
+		tasks := 1 + rng.Intn(6)
+		dur := sec(1 + 4*rng.Float64())
+		at := sec(float64(i) * 1.5 * rng.Float64())
+		submitChain(t, e.drv, dag.JobID(i+1), tasks, dur, at)
+	}
+	m.Start()
+	if err := e.drv.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	fc := e.drv.Faults()
+	if fc.JobsFailed != 0 {
+		t.Errorf("JobsFailed = %d, want 0", fc.JobsFailed)
+	}
+	up := e.cl.CountNodes(cluster.NodeUp)
+	draining := e.cl.CountNodes(cluster.NodeDraining)
+	if up < 1 || up+draining > 6 {
+		t.Errorf("final pool state up=%d draining=%d outside bounds", up, draining)
+	}
+	for _, st := range e.drv.Results() {
+		if st.Failed {
+			t.Errorf("job %d failed", st.Job.ID)
+		}
+	}
+}
+
+// lifecycleFingerprint runs a fixed workload under a scripted preemption
+// process and summarizes everything order-sensitive about the run.
+func lifecycleFingerprint(t *testing.T) string {
+	t.Helper()
+	e := newEnv(t, 4, 2, driver.Options{Mode: driver.ModeSSR, SSR: core.DefaultConfig()})
+	m, err := New(e.drv, Config{
+		Speeds: []float64{1, 2, 1, 1},
+		Autoscale: &AutoscaleConfig{
+			Min:      3,
+			Max:      4,
+			Interval: sec(1),
+			WarmUp:   sec(1),
+			Notice:   sec(2),
+		},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 25; i++ {
+		tasks := 1 + rng.Intn(5)
+		dur := sec(0.5 + 3*rng.Float64())
+		at := sec(float64(i) * rng.Float64())
+		submitChain(t, e.drv, dag.JobID(i+1), tasks, dur, at)
+	}
+	faults.Preemptor{
+		MTBP:    20 * time.Second,
+		Notice:  2 * time.Second,
+		Recover: 5 * time.Second,
+		Seed:    3,
+	}.Install(e.drv)
+	m.Start()
+	if err := e.drv.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var jct time.Duration
+	for _, st := range e.drv.Results() {
+		jct += st.JCT()
+	}
+	fc := e.drv.Faults()
+	return fmt.Sprintf("makespan=%v jctsum=%v drains=%d preempted=%d migrated=%d released=%d",
+		e.drv.Makespan(), jct, fc.NodeDrains, fc.AttemptsPreempted,
+		fc.ReservationsMigrated, fc.ReservationsDrained)
+}
+
+// TestLifecycleDeterminism replays the same seeded preemption schedule
+// twice: heterogeneous speeds, elastic sizing, and drain decisions must be
+// bit-identical across runs. CI runs this under -race.
+func TestLifecycleDeterminism(t *testing.T) {
+	a := lifecycleFingerprint(t)
+	b := lifecycleFingerprint(t)
+	if a != b {
+		t.Fatalf("lifecycle replay diverged:\n  run1: %s\n  run2: %s", a, b)
+	}
+	if a == "makespan=0s jctsum=0s drains=0 preempted=0 migrated=0 released=0" {
+		t.Fatalf("degenerate fingerprint %q: the scenario exercised nothing", a)
+	}
+}

@@ -270,15 +270,35 @@ type FaultCounters struct {
 	ReservationsReissued int
 	// JobsFailed counts jobs aborted after a task exhausted its retries.
 	JobsFailed int
+	// NodeDrains counts DrainNode calls that put a live node on notice.
+	NodeDrains int
+	// NodeUndrains counts UndrainNode calls that canceled a notice.
+	NodeUndrains int
+	// AttemptsPreempted counts attempts killed by a drain because they
+	// could not finish inside the notice window.
+	AttemptsPreempted int
+	// ReservationsMigrated counts reservations moved off a draining node
+	// onto a surviving free slot.
+	ReservationsMigrated int
+	// ReservationsDrained counts reservations on a draining node released
+	// early (no surviving slot was free; SSR re-derives them through the
+	// Eq. 3 pre-reservation machinery, counted in ReservationsReissued).
+	ReservationsDrained int
 }
 
 // Any reports whether any fault was recorded.
 func (f FaultCounters) Any() bool { return f != FaultCounters{} }
 
 func (f FaultCounters) String() string {
-	return fmt.Sprintf("faults: nodes down=%d up=%d, attempts killed=%d, retries=%d, reservations voided=%d reissued=%d, jobs failed=%d",
+	s := fmt.Sprintf("faults: nodes down=%d up=%d, attempts killed=%d, retries=%d, reservations voided=%d reissued=%d, jobs failed=%d",
 		f.NodeFailures, f.NodeRecoveries, f.AttemptsKilled, f.TasksRetried,
 		f.ReservationsVoided, f.ReservationsReissued, f.JobsFailed)
+	if f.NodeDrains > 0 || f.NodeUndrains > 0 {
+		s += fmt.Sprintf("; drains=%d undrains=%d preempted=%d migrated=%d released=%d",
+			f.NodeDrains, f.NodeUndrains, f.AttemptsPreempted,
+			f.ReservationsMigrated, f.ReservationsDrained)
+	}
+	return s
 }
 
 func (s JobStats) String() string {

@@ -67,6 +67,25 @@ const (
 	// KindAdmitReject: admission rejected a job for quota (Count is the
 	// requested slot demand).
 	KindAdmitReject
+	// KindDrainStart: a node went on preemption notice (Slot carries the
+	// node index; Count the notice window in whole milliseconds).
+	KindDrainStart
+	// KindDrainEnd: a node's notice window closed and it went Down (Slot
+	// is the node index; Count the attempts killed at the wire).
+	KindDrainEnd
+	// KindUndrain: a node's preemption notice was canceled and its parked
+	// slots returned to the pool (Slot is the node index; Count the
+	// revived slots).
+	KindUndrain
+	// KindReserveMigrate: a reservation on a draining node was migrated to
+	// a surviving free slot (Slot is the destination slot).
+	KindReserveMigrate
+	// KindAttemptPreempt: an attempt on a draining node was killed because
+	// it could not finish inside the notice window.
+	KindAttemptPreempt
+	// KindNodeUp: an elastic pool activated a node (Slot is the node
+	// index; Count the slots brought online).
+	KindNodeUp
 )
 
 func (k Kind) String() string {
@@ -103,6 +122,18 @@ func (k Kind) String() string {
 		return "admit"
 	case KindAdmitReject:
 		return "admit_reject"
+	case KindDrainStart:
+		return "drain_start"
+	case KindDrainEnd:
+		return "drain_end"
+	case KindUndrain:
+		return "undrain"
+	case KindReserveMigrate:
+		return "reserve_migrate"
+	case KindAttemptPreempt:
+		return "attempt_preempt"
+	case KindNodeUp:
+		return "node_up"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}

@@ -111,6 +111,7 @@ func Perfetto(attempts []trace.Event, audit []AuditEvent) ([]byte, error) {
 	type resKey struct{ shard, slot int }
 	openResv := map[resKey]openRes{}
 	openLoans := map[int][]AuditEvent{} // shard -> granted, oldest first
+	openDrains := map[resKey]AuditEvent{}
 	spanSeq := 0
 
 	asyncSpan := func(prefix, name, cat string, pid, tid int, from, to int64, args map[string]any) {
@@ -175,6 +176,34 @@ func Perfetto(attempts []trace.Event, audit []AuditEvent) ([]byte, error) {
 					})
 			}
 			openLoans[ev.Shard] = q
+		case KindDrainStart:
+			openDrains[resKey{ev.Shard, ev.Slot}] = ev
+		case KindDrainEnd, KindUndrain:
+			k := resKey{ev.Shard, ev.Slot}
+			if open, ok := openDrains[k]; ok {
+				delete(openDrains, k)
+				asyncSpan("d", fmt.Sprintf("drain node %d", open.Slot), "lifecycle",
+					open.Shard, borrowedTid, usOf(open.Time), ts, map[string]any{
+						"node": open.Slot, "noticeMs": open.Count,
+						"endedBy": ev.Kind.String(),
+					})
+			}
+		case KindAttemptPreempt, KindReserveMigrate, KindNodeUp:
+			name := "attempt preempted"
+			args := map[string]any{"job": ev.Job, "phase": ev.Phase, "slot": ev.Slot}
+			switch ev.Kind {
+			case KindReserveMigrate:
+				name = "reservation migrated"
+				args["dest"] = ev.Count
+			case KindNodeUp:
+				name = "node up"
+				args = map[string]any{"node": ev.Slot, "slots": ev.Count}
+			}
+			touch(ev.Shard, slotTid(-1))
+			events = append(events, perfEvent{
+				Name: name, Cat: "lifecycle", Ph: "i", Ts: ts,
+				Pid: ev.Shard, Tid: slotTid(-1), Args: args,
+			})
 		case KindDeadlineArmed, KindDeadlineExpire:
 			name := "deadline armed"
 			args := map[string]any{"job": ev.Job, "phase": ev.Phase}
@@ -208,6 +237,23 @@ func Perfetto(attempts []trace.Event, audit []AuditEvent) ([]byte, error) {
 	})
 	for _, k := range openKeys {
 		closeRes(openResv[k].ev, "end_of_trace", maxTs)
+	}
+	drainKeys := make([]resKey, 0, len(openDrains))
+	for k := range openDrains { //maporder:ok keys collected then sorted below
+		drainKeys = append(drainKeys, k)
+	}
+	sort.Slice(drainKeys, func(i, j int) bool {
+		if drainKeys[i].shard != drainKeys[j].shard {
+			return drainKeys[i].shard < drainKeys[j].shard
+		}
+		return drainKeys[i].slot < drainKeys[j].slot
+	})
+	for _, k := range drainKeys {
+		open := openDrains[k]
+		asyncSpan("d", fmt.Sprintf("drain node %d", open.Slot), "lifecycle",
+			open.Shard, borrowedTid, usOf(open.Time), maxTs, map[string]any{
+				"node": open.Slot, "noticeMs": open.Count, "endedBy": "end_of_trace",
+			})
 	}
 	loanShards := make([]int, 0, len(openLoans))
 	for sh := range openLoans { //maporder:ok keys collected then sorted below

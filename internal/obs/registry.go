@@ -439,6 +439,15 @@ type SchedMetrics struct {
 	CopiesKilled         *Counter // copies killed by their original finishing
 	LoansGranted         *Counter // cross-shard loans granted to this scheduler
 	LoansReturned        *Counter // loans sent home (idle returns and finishes)
+
+	NodeDrains           *Counter // nodes put on preemption notice
+	NodeUndrains         *Counter // preemption notices canceled
+	NodeDrainsCompleted  *Counter // notice windows that closed (node went Down)
+	NodeActivations      *Counter // nodes brought online by elastic pools
+	AttemptsPreempted    *Counter // attempts killed by a closing notice window
+	ReservationsMigrated *Counter // reservations moved off draining nodes
+	NodesDraining        *Gauge   // nodes currently serving a notice
+	NodesDown            *Gauge   // nodes currently down (failed or drained away)
 }
 
 // NewSchedMetrics registers the scheduler metric families in r under the
@@ -469,5 +478,14 @@ func NewSchedMetrics(r *Registry, labels ...Label) *SchedMetrics {
 		CopiesKilled:         c("ssr_copies_killed_total", "Straggler-mitigation copies killed by their original."),
 		LoansGranted:         c("ssr_loans_granted_total", "Cross-shard slot loans granted."),
 		LoansReturned:        c("ssr_loans_returned_total", "Cross-shard slot loans sent home."),
+
+		NodeDrains:           c("ssr_node_drains_total", "Nodes put on preemption notice."),
+		NodeUndrains:         c("ssr_node_undrains_total", "Preemption notices canceled before expiry."),
+		NodeDrainsCompleted:  c("ssr_node_drains_completed_total", "Notice windows that closed with the node going down."),
+		NodeActivations:      c("ssr_node_activations_total", "Nodes brought online by elastic pools."),
+		AttemptsPreempted:    c("ssr_node_attempts_preempted_total", "Attempts killed because they could not finish inside a notice window."),
+		ReservationsMigrated: c("ssr_node_reservations_migrated_total", "Reservations migrated off draining nodes onto surviving slots."),
+		NodesDraining:        r.Gauge("ssr_nodes_draining", "Nodes currently serving a preemption notice.", labels...),
+		NodesDown:            r.Gauge("ssr_nodes_down", "Nodes currently down.", labels...),
 	}
 }

@@ -275,6 +275,29 @@ type SlotStatus struct {
 	ReservedPhase int   `json:"reservedPhase,omitempty"`
 }
 
+// NodeStatus is the wire view of one node's lifecycle state
+// (GET /v1/nodes). IDs are per-shard: (Shard, ID) identifies a node on a
+// sharded service.
+type NodeStatus struct {
+	ID    int    `json:"id"`
+	Shard int    `json:"shard,omitempty"`
+	// State is "up", "draining" or "down".
+	State string `json:"state"`
+	// Speed is the node's speed factor (1 = baseline; task service times
+	// scale by 1/speed).
+	Speed float64 `json:"speed"`
+	// Pool is the node's elastic pool tag, empty when unpooled.
+	Pool string `json:"pool,omitempty"`
+	// Busy, Reserved and Free count the node's slots by state; slots parked
+	// by a drain count as neither.
+	Busy     int `json:"busy"`
+	Reserved int `json:"reserved"`
+	Free     int `json:"free"`
+	// DrainDeadlineMs is the virtual time the node's preemption-notice
+	// window closes, negative when it is not draining.
+	DrainDeadlineMs float64 `json:"drainDeadlineMs"`
+}
+
 // ClusterStatus is the wire view of the whole cluster, aggregated across
 // shards; NumShards is set (above 1) when the service is sharded.
 type ClusterStatus struct {
@@ -344,6 +367,19 @@ type MetricsStatus struct {
 	BusySlots     int `json:"busySlots"`
 	ReservedSlots int `json:"reservedSlots"`
 	FailedSlots   int `json:"failedSlots"`
+
+	// NodesUp, NodesDraining and NodesDown count nodes by lifecycle state
+	// across shards; the churn counters below aggregate node-drain and
+	// preemption activity since start (GET /v1/nodes has the per-node view).
+	NodesUp              int `json:"nodesUp"`
+	NodesDraining        int `json:"nodesDraining"`
+	NodesDown            int `json:"nodesDown"`
+	NodeDrains           int `json:"nodeDrains,omitempty"`
+	NodeUndrains         int `json:"nodeUndrains,omitempty"`
+	AttemptsPreempted    int `json:"attemptsPreempted,omitempty"`
+	ReservationsMigrated int `json:"reservationsMigrated,omitempty"`
+	ReservationsDrained  int `json:"reservationsDrained,omitempty"`
+	ReservationsReissued int `json:"reservationsReissued,omitempty"`
 
 	// Utilization is busy slot-time over capacity since start;
 	// ReservedFraction is the reserved-idle loss over the same horizon

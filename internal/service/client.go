@@ -201,6 +201,26 @@ func (c *Client) Cluster(ctx context.Context) (ClusterStatus, error) {
 	return cs, err
 }
 
+// Nodes fetches every node's lifecycle view.
+func (c *Client) Nodes(ctx context.Context) ([]NodeStatus, error) {
+	var out []NodeStatus
+	err := c.do(ctx, http.MethodGet, "/v1/nodes", nil, &out)
+	return out, err
+}
+
+// DrainNode puts a node on preemption notice: the scheduler relocates its
+// reservations and work that cannot finish inside the window.
+func (c *Client) DrainNode(ctx context.Context, shard, node int, notice time.Duration) error {
+	path := fmt.Sprintf("/v1/nodes/%d/drain?shard=%d&noticeMs=%d", node, shard, notice.Milliseconds())
+	return c.do(ctx, http.MethodPost, path, nil, nil)
+}
+
+// UndrainNode cancels a pending drain notice, returning the node to Up.
+func (c *Client) UndrainNode(ctx context.Context, shard, node int) error {
+	path := fmt.Sprintf("/v1/nodes/%d/undrain?shard=%d", node, shard)
+	return c.do(ctx, http.MethodPost, path, nil, nil)
+}
+
 // Metrics fetches the service metrics view.
 func (c *Client) Metrics(ctx context.Context) (MetricsStatus, error) {
 	var ms MetricsStatus

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"ssr/internal/obs"
 	"ssr/internal/realtime"
@@ -97,6 +98,10 @@ func writeError(w http.ResponseWriter, status int, err error) {
 //	GET  /v1/tenants        every tenant's quota and usage
 //	GET  /v1/tenants/{id}   one tenant's quota and usage
 //	GET  /v1/cluster        per-slot cluster state
+//	GET  /v1/nodes          per-node lifecycle state (speed, pool, drain)
+//	POST /v1/nodes/{id}/drain    put a node on preemption notice
+//	                        (?shard=N&noticeMs=M, notice default 1s)
+//	POST /v1/nodes/{id}/undrain  cancel a pending notice (?shard=N)
 //	GET  /v1/metrics        utilization, counters, slowdowns (JSON);
 //	                        ?format=prometheus for text exposition 0.0.4
 //	GET  /v1/trace          recorded task attempts (JSON); ?format=csv,
@@ -211,6 +216,62 @@ func NewHandler(svc *Service) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, cs)
+	})
+	handle("GET /v1/nodes", "", func(w http.ResponseWriter, r *http.Request) {
+		ns, err := svc.Nodes()
+		if err != nil {
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, ns)
+	})
+	// nodeTarget parses the {id} path segment and ?shard= of the node
+	// admin endpoints; !ok means the error response is already written.
+	nodeTarget := func(w http.ResponseWriter, r *http.Request) (shard, node int, ok bool) {
+		node, err := strconv.Atoi(r.PathValue("id"))
+		if err != nil || node < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad node id %q", r.PathValue("id")))
+			return 0, 0, false
+		}
+		if v := r.URL.Query().Get("shard"); v != "" {
+			shard, err = strconv.Atoi(v)
+			if err != nil || shard < 0 {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("bad shard %q", v))
+				return 0, 0, false
+			}
+		}
+		return shard, node, true
+	}
+	handle("POST /v1/nodes/{id}/drain", "", func(w http.ResponseWriter, r *http.Request) {
+		shard, node, ok := nodeTarget(w, r)
+		if !ok {
+			return
+		}
+		notice := time.Second
+		if v := r.URL.Query().Get("noticeMs"); v != "" {
+			ms, err := strconv.ParseFloat(v, 64)
+			if err != nil || ms <= 0 {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("bad noticeMs %q", v))
+				return
+			}
+			notice = durOf(ms)
+		}
+		if err := svc.DrainNode(shard, node, notice); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "draining"})
+	})
+	handle("POST /v1/nodes/{id}/undrain", "", func(w http.ResponseWriter, r *http.Request) {
+		shard, node, ok := nodeTarget(w, r)
+		if !ok {
+			return
+		}
+		if err := svc.UndrainNode(shard, node); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "up"})
 	})
 	handle("GET /v1/metrics", "GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		switch r.URL.Query().Get("format") {

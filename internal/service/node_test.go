@@ -1,0 +1,248 @@
+package service
+
+import (
+	"context"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"ssr/internal/lifecycle"
+)
+
+// waitNodeState polls the node admin API until (shard, node) reaches the
+// wanted lifecycle state.
+func waitNodeState(t *testing.T, c *Client, shard, node int, want string) NodeStatus {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for {
+		ns, err := c.Nodes(ctx)
+		if err != nil {
+			t.Fatalf("Nodes: %v", err)
+		}
+		for _, n := range ns {
+			if n.Shard == shard && n.ID == node && n.State == want {
+				return n
+			}
+		}
+		select {
+		case <-ctx.Done():
+			t.Fatalf("node (%d,%d) never reached %q; last view %+v", shard, node, want, ns)
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+// TestNodeAdminAPI drives a node through drain -> undrain -> drain-to-down
+// over HTTP and checks the lifecycle views and churn counters along the way.
+func TestNodeAdminAPI(t *testing.T) {
+	svc := newTestService(t, Config{
+		Nodes: 2, SlotsPerNode: 2, Dilation: 200,
+		Driver:     ssrOptions(),
+		NodeSpeeds: []float64{2},
+	})
+	srv := httptest.NewServer(NewHandler(svc))
+	defer srv.Close()
+	c := NewClient(srv.URL)
+	ctx := context.Background()
+
+	ns, err := c.Nodes(ctx)
+	if err != nil {
+		t.Fatalf("Nodes: %v", err)
+	}
+	if len(ns) != 2 {
+		t.Fatalf("got %d nodes, want 2", len(ns))
+	}
+	if ns[0].Speed != 2 || ns[1].Speed != 1 {
+		t.Errorf("speeds = %v/%v, want 2/1", ns[0].Speed, ns[1].Speed)
+	}
+	if ns[0].State != "up" || ns[0].Free != 2 || ns[0].DrainDeadlineMs >= 0 {
+		t.Errorf("initial node 0 view %+v, want up with 2 free and no deadline", ns[0])
+	}
+
+	// Drain with a long notice so the draining state is observable, then
+	// cancel it.
+	if err := c.DrainNode(ctx, 0, 1, time.Minute); err != nil {
+		t.Fatalf("DrainNode: %v", err)
+	}
+	n := waitNodeState(t, c, 0, 1, "draining")
+	if n.DrainDeadlineMs < 0 {
+		t.Errorf("draining node has no deadline: %+v", n)
+	}
+	if err := c.DrainNode(ctx, 0, 1, time.Minute); err == nil {
+		t.Error("double drain should fail")
+	}
+	if err := c.UndrainNode(ctx, 0, 1); err != nil {
+		t.Fatalf("UndrainNode: %v", err)
+	}
+	waitNodeState(t, c, 0, 1, "up")
+
+	// Drain with a short notice and let the window close.
+	if err := c.DrainNode(ctx, 0, 1, 100*time.Millisecond); err != nil {
+		t.Fatalf("DrainNode: %v", err)
+	}
+	waitNodeState(t, c, 0, 1, "down")
+
+	ms, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("Metrics: %v", err)
+	}
+	if ms.NodeDrains != 2 || ms.NodeUndrains != 1 {
+		t.Errorf("drains=%d undrains=%d, want 2/1", ms.NodeDrains, ms.NodeUndrains)
+	}
+	if ms.NodesUp != 1 || ms.NodesDown != 1 || ms.NodesDraining != 0 {
+		t.Errorf("node census up=%d draining=%d down=%d, want 1/0/1",
+			ms.NodesUp, ms.NodesDraining, ms.NodesDown)
+	}
+
+	// Bad requests.
+	if err := c.DrainNode(ctx, 0, 99, time.Second); err == nil {
+		t.Error("drain of unknown node should fail")
+	}
+	if err := c.DrainNode(ctx, 9, 0, time.Second); err == nil {
+		t.Error("drain on unknown shard should fail")
+	}
+	if err := c.UndrainNode(ctx, 0, 0); err == nil {
+		t.Error("undrain of an up node should fail")
+	}
+}
+
+// TestServiceAutoscale checks the elastic pool wiring: the pool starts at
+// Min nodes, grows under backlog, and the workload completes.
+func TestServiceAutoscale(t *testing.T) {
+	svc := newTestService(t, Config{
+		Nodes: 3, SlotsPerNode: 2, Dilation: 500,
+		Driver: ssrOptions(),
+		Autoscale: &lifecycle.AutoscaleConfig{
+			Min:      1,
+			Interval: 20 * time.Millisecond,
+			WarmUp:   20 * time.Millisecond,
+			Notice:   20 * time.Millisecond,
+		},
+	})
+	srv := httptest.NewServer(NewHandler(svc))
+	defer srv.Close()
+	c := NewClient(srv.URL)
+	ctx := context.Background()
+
+	ns, err := c.Nodes(ctx)
+	if err != nil {
+		t.Fatalf("Nodes: %v", err)
+	}
+	up := 0
+	for _, n := range ns {
+		if n.State == "up" {
+			up++
+		}
+		if n.Pool != lifecycle.Pool {
+			t.Errorf("node %d pool %q, want %q", n.ID, n.Pool, lifecycle.Pool)
+		}
+	}
+	if up != 1 {
+		t.Fatalf("initial up nodes = %d, want Min=1", up)
+	}
+
+	// A 6-wide phase over 2 initial slots forces a backlog; the autoscaler
+	// must bring capacity online for the job to finish quickly.
+	st, err := c.Submit(ctx, JobSpec{Name: "burst", Priority: 5, Phases: []PhaseSpec{
+		{DurationsMs: []float64{200, 200, 200, 200, 200, 200}},
+	}})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	final, err := c.WaitJob(ctx, st.ID, 5*time.Millisecond)
+	if err != nil {
+		t.Fatalf("WaitJob: %v", err)
+	}
+	if final.State != StateCompleted {
+		t.Fatalf("job state %q, want completed", final.State)
+	}
+	ms, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("Metrics: %v", err)
+	}
+	// By now the idle pool may already have shrunk back toward Min; the
+	// growth then shows up as drains rather than nodes still up.
+	if ms.NodesUp < 2 && ms.NodeDrains == 0 {
+		t.Errorf("pool never grew: %d nodes up, %d drains", ms.NodesUp, ms.NodeDrains)
+	}
+}
+
+// TestServiceLifecycleHammer churns drain/undrain/status requests from
+// concurrent clients while the autoscaler cycles and jobs run — the
+// -race exercise for the lifecycle admin surface.
+func TestServiceLifecycleHammer(t *testing.T) {
+	svc := newTestService(t, Config{
+		Nodes: 4, SlotsPerNode: 2, Dilation: 200,
+		Driver: ssrOptions(),
+		Autoscale: &lifecycle.AutoscaleConfig{
+			Min:      2,
+			Interval: 20 * time.Millisecond,
+			WarmUp:   20 * time.Millisecond,
+			Notice:   20 * time.Millisecond,
+		},
+	})
+	srv := httptest.NewServer(NewHandler(svc))
+	defer srv.Close()
+	c := NewClient(srv.URL)
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(node int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Errors are expected: the autoscaler and sibling workers
+				// race for the same nodes. Only data races matter here.
+				_ = c.DrainNode(ctx, 0, node, 50*time.Millisecond)
+				_ = c.UndrainNode(ctx, 0, node)
+				if _, err := c.Nodes(ctx); err != nil {
+					t.Errorf("Nodes: %v", err)
+					return
+				}
+				if _, err := c.Metrics(ctx); err != nil {
+					t.Errorf("Metrics: %v", err)
+					return
+				}
+			}
+		}(w + 1)
+	}
+	var ids []int64
+	for i := 0; i < 5; i++ {
+		st, err := c.Submit(ctx, JobSpec{Name: "hammer", Priority: 5, Phases: []PhaseSpec{
+			{DurationsMs: []float64{100, 100, 100}},
+			{DurationsMs: []float64{100, 100}},
+		}})
+		if err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+		ids = append(ids, st.ID)
+	}
+	for _, id := range ids {
+		final, err := c.WaitJob(ctx, id, 5*time.Millisecond)
+		if err != nil {
+			t.Fatalf("WaitJob(%d): %v", id, err)
+		}
+		if final.State != StateCompleted {
+			t.Errorf("job %d state %q, want completed", id, final.State)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestServiceNodeSpeedValidation rejects oversized speed slices up front.
+func TestServiceNodeSpeedValidation(t *testing.T) {
+	_, err := New(Config{Nodes: 2, SlotsPerNode: 1, NodeSpeeds: []float64{1, 1, 1}})
+	if err == nil {
+		t.Fatal("3 speeds for 2 nodes: want error")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"ssr/internal/core"
 	"ssr/internal/dag"
 	"ssr/internal/driver"
+	"ssr/internal/lifecycle"
 	"ssr/internal/metrics"
 	"ssr/internal/obs"
 	"ssr/internal/realtime"
@@ -74,6 +75,16 @@ type Config struct {
 	// every tenant is auto-created uncapped on first submission, which
 	// behaves identically to a tenancy-unaware service.
 	Tenants *tenant.Registry
+	// NodeSpeeds are per-node speed factors indexed by global node number
+	// (task service times scale by 1/speed); with Shards > 1 the slice is
+	// carved along the same NodeSplit as the cluster. Shorter slices leave
+	// the remaining nodes at 1; nil keeps the cluster homogeneous.
+	NodeSpeeds []float64
+	// Autoscale enables elastic node pools. The config applies per shard
+	// with Min/Max clamped to each shard's node count; KeepAlive is forced
+	// on (an online service never runs out of future jobs) and a nil
+	// Slowdown trigger is wired to the service's mean foreground slowdown.
+	Autoscale *lifecycle.AutoscaleConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -192,6 +203,9 @@ func New(cfg Config) (*Service, error) {
 	if cfg.Driver.TenantSSR != nil {
 		return nil, errors.New("service: Driver.TenantSSR must be nil (the service wires the tenant registry)")
 	}
+	if len(cfg.NodeSpeeds) > cfg.Nodes {
+		return nil, fmt.Errorf("service: %d node speeds for %d nodes", len(cfg.NodeSpeeds), cfg.Nodes)
+	}
 	s := &Service{
 		cfg:     cfg,
 		bus:     NewBus(cfg.BusCapacity),
@@ -249,6 +263,16 @@ func New(cfg Config) (*Service, error) {
 		}
 		if s.broker != nil {
 			dopts.Lender = s.broker.Lender(i)
+			innerDrain := cfg.Driver.OnDrain
+			dopts.OnDrain = func(node int) {
+				// Runs on the shard loop inside the drain event: recall
+				// this shard's unconsumed loans parked on the draining
+				// node before borrowers place more work there.
+				s.broker.RecallNode(i, node, sh.eng.Now())
+				if innerDrain != nil {
+					innerDrain(node)
+				}
+			}
 		}
 		// Per-tenant Eq. 3: a tenant with a configured IsolationP gets
 		// its own reservation deadline; everyone else inherits the
@@ -270,6 +294,15 @@ func New(cfg Config) (*Service, error) {
 		sh.drv = drv
 		if s.broker != nil {
 			s.broker.BindDriver(i, drv)
+		}
+		// Lifecycle config applies before the runner starts: speeds and the
+		// initial pool size must be in place before any task dispatches.
+		if lc := shardLifecycle(cfg, split, i, s.meanSlowdown); lc != nil {
+			mgr, err := lifecycle.New(drv, *lc)
+			if err != nil {
+				return nil, fmt.Errorf("shard %d: %w", i, err)
+			}
+			mgr.Start()
 		}
 	}
 
@@ -767,6 +800,104 @@ func (s *Service) Cluster() (ClusterStatus, error) {
 	return cs, nil
 }
 
+// shardLifecycle derives shard i's lifecycle config from the service-wide
+// settings: NodeSpeeds are carved along the same NodeSplit as the cluster,
+// and the autoscale pool bounds are clamped to the shard's own node count.
+// It returns nil when the service has no lifecycle configuration at all.
+func shardLifecycle(cfg Config, split []int, i int, slowdown func() float64) *lifecycle.Config {
+	if len(cfg.NodeSpeeds) == 0 && cfg.Autoscale == nil {
+		return nil
+	}
+	off := 0
+	for k := 0; k < i; k++ {
+		off += split[k]
+	}
+	var lc lifecycle.Config
+	if off < len(cfg.NodeSpeeds) {
+		end := off + split[i]
+		if end > len(cfg.NodeSpeeds) {
+			end = len(cfg.NodeSpeeds)
+		}
+		lc.Speeds = cfg.NodeSpeeds[off:end]
+	}
+	if cfg.Autoscale != nil {
+		as := *cfg.Autoscale
+		as.KeepAlive = true // jobs keep arriving for the service's lifetime
+		if as.Max == 0 || as.Max > split[i] {
+			as.Max = split[i]
+		}
+		if as.Min > as.Max {
+			as.Min = as.Max
+		}
+		if as.Slowdown == nil {
+			as.Slowdown = slowdown
+		}
+		lc.Autoscale = &as
+	}
+	return &lc
+}
+
+// meanSlowdown feeds the autoscaler's grow trigger: the mean online
+// slowdown recorded so far. It runs on shard loop goroutines each
+// evaluation tick; sdMu is never held across a loop call, so no cycle.
+func (s *Service) meanSlowdown() float64 { return s.slowdownStats().Mean }
+
+// Nodes returns every node's lifecycle view, aggregated across shards.
+// Node IDs are per-shard; the Shard field disambiguates them.
+func (s *Service) Nodes() ([]NodeStatus, error) {
+	var out []NodeStatus
+	for _, sh := range s.shards {
+		sh := sh
+		err := sh.rt.Call(func() {
+			for _, ns := range sh.drv.Nodes() {
+				w := NodeStatus{
+					ID:              ns.Node,
+					Shard:           sh.index,
+					State:           ns.State.String(),
+					Speed:           ns.Speed,
+					Pool:            ns.Pool,
+					Busy:            ns.Busy,
+					Reserved:        ns.Reserved,
+					Free:            ns.Free,
+					DrainDeadlineMs: -1,
+				}
+				if ns.DrainDeadline >= 0 {
+					w.DrainDeadlineMs = msOf(ns.DrainDeadline)
+				}
+				out = append(out, w)
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// DrainNode puts one node on preemption notice (driver.DrainNode): the
+// scheduler migrates or re-issues its reservations immediately and lets
+// running attempts that fit inside the window finish.
+func (s *Service) DrainNode(shardIdx, node int, notice time.Duration) error {
+	var derr error
+	if err := s.CallShard(shardIdx, func(d *driver.Driver) {
+		derr = d.DrainNode(node, notice)
+	}); err != nil {
+		return err
+	}
+	return derr
+}
+
+// UndrainNode cancels a pending drain notice, returning the node to Up.
+func (s *Service) UndrainNode(shardIdx, node int) error {
+	var derr error
+	if err := s.CallShard(shardIdx, func(d *driver.Driver) {
+		derr = d.UndrainNode(node)
+	}); err != nil {
+		return err
+	}
+	return derr
+}
+
 // Metrics returns the service-wide metrics view: federated totals plus a
 // per-shard breakdown (and lending-broker counters) when sharded.
 func (s *Service) Metrics() (MetricsStatus, error) {
@@ -775,6 +906,8 @@ func (s *Service) Metrics() (MetricsStatus, error) {
 		busy, reserved, failed int
 		slots                  int
 		busySec, reservedSec   float64
+		up, draining, down     int
+		fc                     metrics.FaultCounters
 	}
 	snaps := make([]snap, len(s.shards))
 	for i, sh := range s.shards {
@@ -789,6 +922,10 @@ func (s *Service) Metrics() (MetricsStatus, error) {
 				slots:       sh.cl.NumSlots(),
 				busySec:     usage.BusyTime().Seconds(),
 				reservedSec: usage.ReservedIdleTime().Seconds(),
+				up:          sh.cl.CountNodes(cluster.NodeUp),
+				draining:    sh.cl.CountNodes(cluster.NodeDraining),
+				down:        sh.cl.CountNodes(cluster.NodeDown),
+				fc:          sh.drv.Faults(),
 			}
 		})
 		if err != nil {
@@ -813,6 +950,15 @@ func (s *Service) Metrics() (MetricsStatus, error) {
 		ms.FailedSlots += sn.failed
 		ms.BusySlotSec += sn.busySec
 		ms.ReservedIdleSec += sn.reservedSec
+		ms.NodesUp += sn.up
+		ms.NodesDraining += sn.draining
+		ms.NodesDown += sn.down
+		ms.NodeDrains += sn.fc.NodeDrains
+		ms.NodeUndrains += sn.fc.NodeUndrains
+		ms.AttemptsPreempted += sn.fc.AttemptsPreempted
+		ms.ReservationsMigrated += sn.fc.ReservationsMigrated
+		ms.ReservationsDrained += sn.fc.ReservationsDrained
+		ms.ReservationsReissued += sn.fc.ReservationsReissued
 		capSec += sn.now.Seconds() * float64(sn.slots)
 	}
 	if capSec > 0 {

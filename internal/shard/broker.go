@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"sort"
 	"sync"
 
 	"ssr/internal/cluster"
@@ -348,6 +349,39 @@ func (b *Broker) removeLocked(rec *loanRec) {
 	if b.tenantLent[rec.tenant]--; b.tenantLent[rec.tenant] <= 0 {
 		delete(b.tenantLent, rec.tenant)
 	}
+}
+
+// RecallNode returns every unconsumed loan checked out of the named node
+// of shard owner — the lending half of a node drain: idle borrowed
+// capacity goes home (and parks in the node's Draining state) before the
+// notice window closes, instead of failing at the wire. Consumed loans are
+// left with their borrowers; if the node goes down under them the release
+// finds the slot Failed and skips it. It reports the number recalled.
+func (b *Broker) RecallNode(owner, node int, now sim.Time) int {
+	peer := b.peers[owner]
+	b.mu.Lock()
+	var out []*loanRec
+	for _, rec := range b.byID { //maporder:ok records collected then sorted by slot below
+		if rec.id.Shard != owner || rec.consumed {
+			continue
+		}
+		if s := peer.Cluster.Slot(rec.id.Slot); s == nil || s.Node != node {
+			continue
+		}
+		out = append(out, rec)
+	}
+	// byID iteration order is random; releases schedule engine events, so
+	// sort by slot (unique per owner) to keep replays deterministic.
+	sort.Slice(out, func(i, j int) bool { return out[i].id.Slot < out[j].id.Slot })
+	for _, rec := range out {
+		b.removeLocked(rec)
+		b.stats.Returned++
+	}
+	b.mu.Unlock()
+	for _, rec := range out {
+		b.release(rec, now)
+	}
+	return len(out)
 }
 
 // BorrowedByTenant returns how many borrowed slots the named tenant

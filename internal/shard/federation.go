@@ -77,6 +77,13 @@ func New(opts Options) (*Federation, error) {
 		}
 		if f.broker != nil {
 			dopts.Lender = f.broker.Lender(i)
+			innerDrain := o.Driver.OnDrain
+			dopts.OnDrain = func(node int) {
+				f.broker.RecallNode(i, node, f.now)
+				if innerDrain != nil {
+					innerDrain(node)
+				}
+			}
 		}
 		dopts.Audit = o.Audit
 		dopts.AuditShard = i

@@ -25,6 +25,18 @@ fail() {
     exit 1
 }
 
+# require_alive fails fast — with the daemon's exit status and log — the
+# moment ssrd is gone, instead of letting the next curl hang or a poll
+# loop spin out its full timeout against a dead server.
+require_alive() {
+    if ! kill -0 "$ssrd_pid" 2>/dev/null; then
+        rc=0
+        wait "$ssrd_pid" || rc=$?
+        ssrd_pid=""
+        fail "ssrd exited unexpectedly (status $rc) $*"
+    fi
+}
+
 echo "e2e_smoke: building ssrd"
 go build -o "$workdir/ssrd" ./cmd/ssrd
 
@@ -40,14 +52,15 @@ addr=""
 for _ in $(seq 1 100); do
     addr=$(sed -n 's/^ssrd: listening on \([^ ]*\).*/\1/p' "$workdir/ssrd.log")
     [[ -n "$addr" ]] && break
-    kill -0 "$ssrd_pid" 2>/dev/null || fail "daemon exited before listening"
+    require_alive "during startup (before listening)"
     sleep 0.1
 done
 [[ -n "$addr" ]] || fail "daemon never reported its address"
 base="http://$addr"
 echo "e2e_smoke: daemon up at $base"
 
-curl -fsS "$base/v1/healthz" >/dev/null || fail "healthz"
+require_alive "right after startup"
+curl -fsS --max-time 5 "$base/v1/healthz" >/dev/null || fail "healthz"
 
 # A two-phase workflow: 4x10s map feeding a 2x4s reduce (virtual time;
 # ~0.14 wall seconds at dilation 100).
@@ -80,7 +93,8 @@ curl -fsS "$base/v1/tenants/tiny" | grep -q '"rejected": 1' || fail "tiny tenant
 
 state=""
 for _ in $(seq 1 100); do
-    state=$(curl -fsS "$base/v1/jobs/$id" | sed -n 's/.*"state": "\([a-z]*\)".*/\1/p' | head -n1)
+    require_alive "while waiting for job $id"
+    state=$(curl -fsS --max-time 5 "$base/v1/jobs/$id" | sed -n 's/.*"state": "\([a-z]*\)".*/\1/p' | head -n1)
     [[ "$state" == "completed" || "$state" == "failed" ]] && break
     sleep 0.1
 done
@@ -113,6 +127,18 @@ echo "$prom" | grep -q '^ssr_jobs_completed 1' || fail "exposition missing compl
 echo "$prom" | grep -Eq '^ssr_tenant_[a-z_]*\{tenant="' || fail "exposition missing per-tenant labeled families"
 echo "$prom" | grep -q '^ssr_tenant_jobs_rejected{tenant="tiny"} 1' || fail "tiny tenant rejection not in exposition"
 echo "e2e_smoke: prometheus exposition ok ($families families, tenant labels present)"
+
+# Node lifecycle admin: list nodes, drain one with a generous notice,
+# watch it report draining with a deadline, then cancel the notice.
+nodes=$(curl -fsS --max-time 5 "$base/v1/nodes")
+echo "$nodes" | grep -q '"state": "up"' || fail "node listing has no up nodes: $nodes"
+curl -fsS -X POST --max-time 5 "$base/v1/nodes/3/drain?noticeMs=60000" \
+    | grep -q '"status": "draining"' || fail "drain request"
+curl -fsS --max-time 5 "$base/v1/nodes" | grep -q '"state": "draining"' || fail "drained node not reported draining"
+curl -fsS -X POST --max-time 5 "$base/v1/nodes/3/undrain" \
+    | grep -q '"status": "up"' || fail "undrain request"
+curl -fsS --max-time 5 "$base/v1/metrics" | grep -q '"nodeDrains": 1' || fail "metrics missing node drain count"
+echo "e2e_smoke: node lifecycle admin ok (drain + undrain)"
 
 # The audit stream records the run's reservation decisions as JSON lines.
 curl -fsS "$base/v1/audit" | head -n1 | grep -q '"kind"' || fail "audit stream empty"
