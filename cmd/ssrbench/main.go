@@ -22,7 +22,7 @@ func main() {
 	var (
 		short      = flag.Bool("short", false, "run scenarios at reduced scale (CI)")
 		out        = flag.String("out", "", "write BENCH JSON report to this path")
-		pr         = flag.Int("pr", 8, "PR number stamped into the report")
+		pr         = flag.Int("pr", 9, "PR number stamped into the report")
 		scenarios  = flag.String("scenarios", "", "regexp filtering scenario names (default all)")
 		baseline   = flag.String("baseline", "", "prior BENCH_*.json to gate against")
 		maxRegress = flag.Float64("max-regress", 0.20, "tolerated ns/decision growth vs baseline (0.20 = +20%)")

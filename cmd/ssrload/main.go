@@ -24,7 +24,6 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 	"sync"
 	"time"
@@ -33,6 +32,7 @@ import (
 	"ssr/internal/obs"
 	"ssr/internal/service"
 	"ssr/internal/stats"
+	"ssr/internal/traceload"
 	"ssr/internal/workload"
 )
 
@@ -54,7 +54,7 @@ type latencySummary struct {
 // the server's own /metrics snapshot taken after the last job.
 type report struct {
 	Suite                string                 `json:"suite"`
-	Mode                 string                 `json:"mode"` // "open" or "closed"
+	Mode                 string                 `json:"mode"` // "open", "closed" or "trace"
 	RateJobsPerSec       float64                `json:"rateJobsPerSec,omitempty"`
 	Concurrency          int                    `json:"concurrency,omitempty"`
 	Tenants              int                    `json:"tenants,omitempty"`
@@ -63,10 +63,17 @@ type report struct {
 	Failed               int                    `json:"failed"`
 	Refused              int                    `json:"refused"`
 	Throttled            int                    `json:"throttled"`
+	Shed                 int                    `json:"shed,omitempty"`
 	WallSec              float64                `json:"wallSec"`
 	ThroughputJobsPerSec float64                `json:"throughputJobsPerSec"`
 	Latency              *latencySummary        `json:"latencySeconds,omitempty"`
 	Server               *service.MetricsStatus `json:"server,omitempty"`
+	// Trace-replay runs (-trace) carry the trace provenance and per-phase
+	// stats instead of a single latency summary.
+	Trace    string                  `json:"trace,omitempty"`
+	IATMode  string                  `json:"iat,omitempty"`
+	SpeedupX float64                 `json:"speedup,omitempty"`
+	Phases   []traceload.PhaseReport `json:"phases,omitempty"`
 	// Node-churn counters lifted out of Server for easy comparison across
 	// runs: attempts preempted by drains, reservations migrated to
 	// surviving slots, and reservations re-reserved through the Eq. 3
@@ -105,7 +112,7 @@ func buildSpecs(suite string, n int, prio int, scale float64, seed int64) ([]ser
 		// Small two-phase workflows with jittered task durations: the
 		// shape of the paper's foreground queries, sized so hundreds
 		// drain quickly under dilation.
-		rng := rand.New(rand.NewSource(seed))
+		rng := stats.Stream(seed, "ssrload-tiny")
 		for i := 0; i < n; i++ {
 			jitter := func(ms float64) float64 { return ms * scale * (0.5 + rng.Float64()) }
 			specs = append(specs, service.JobSpec{
@@ -160,9 +167,30 @@ func run(args []string) error {
 		seed    = fs.Int64("seed", 42, "random seed (durations and interarrivals)")
 		tenants = fs.Int("tenants", 0, "spread jobs round-robin over N tenants t0..tN-1 (0 = default tenant)")
 		jsonOut = fs.String("json", "", `write a machine-readable JSON report to this file ("-" = stdout)`)
+
+		// Trace-replay mode (-trace): sustained open-loop runs fed by a
+		// cluster trace instead of a synthetic suite.
+		trace     = fs.String("trace", "", "cluster trace CSV to replay (switches to trace mode)")
+		iat       = fs.String("iat", "replay", "trace arrival process: replay, fitted or poisson")
+		speedup   = fs.Float64("speedup", 1, "replay-mode arrival compression factor (2 = twice as fast)")
+		phases    = fs.String("phases", "", `phased run "warmup/measure[/drain]", e.g. "30s/2m/30s" (empty = single unbounded phase)`)
+		fitPrefix = fs.Int("fit-prefix", 1000, "fitted mode: trace jobs to fit the model on")
+		classes   = fs.String("classes", "", `class→tenant map, e.g. "prod=ml,batch=bulk" (empty = no tenant)`)
+		inflight  = fs.Int("inflight", 0, "trace mode: shed arrivals beyond this many in-flight jobs (0 = unlimited)")
+		out       = fs.String("out", "", "trace mode: stream per-job results to this file")
+		format    = fs.String("format", "csv", "result stream format: csv or jsonl")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *trace != "" {
+		return runTrace(traceOptions{
+			addr: *addr, path: *trace, iat: *iat, speedup: *speedup,
+			rate: *rate, phases: *phases, fitPrefix: *fitPrefix,
+			classes: *classes, inflight: *inflight, out: *out, format: *format,
+			jobs: *jobs, poll: *poll, timeout: *timeout, seed: *seed,
+			jsonOut: *jsonOut,
+		})
 	}
 	if *jobs <= 0 {
 		return fmt.Errorf("need a positive -jobs, got %d", *jobs)
@@ -240,8 +268,10 @@ func run(args []string) error {
 
 	wall := time.Now()
 	if *rate > 0 {
-		// Open loop: exponential interarrival gaps at the target rate.
-		arrivals := rand.New(rand.NewSource(*seed + 1))
+		// Open loop: exponential interarrival gaps at the target rate. The
+		// arrival stream is labeled so it stays independent of the
+		// duration-jitter streams however the flag set evolves.
+		arrivals := stats.Stream(*seed, "ssrload-arrivals")
 		for _, spec := range specs {
 			wg.Add(1)
 			go launch(spec)
@@ -306,33 +336,7 @@ func run(args []string) error {
 			Histogram: &snap,
 		}
 	}
-	if ms, err := cli.Metrics(ctx); err == nil {
-		rep.Server = &ms
-		fmt.Printf("server: virtual %.1fs at %gx, utilization %.1f%%, reserved-idle %.2f%%\n",
-			ms.VirtualNowMs/1000, ms.Dilation, 100*ms.Utilization, 100*ms.ReservedFraction)
-		if ms.NumShards > 1 {
-			fmt.Printf("server shards: %d", ms.NumShards)
-			if ms.Lending != nil {
-				fmt.Printf(", lending granted=%d finished=%d returned=%d outstanding=%d",
-					ms.Lending.Granted, ms.Lending.Finished, ms.Lending.Returned, ms.Lending.Outstanding)
-			}
-			fmt.Println()
-		}
-		rep.Preempted = ms.AttemptsPreempted
-		rep.Migrated = ms.ReservationsMigrated
-		rep.Rereserved = ms.ReservationsReissued
-		if ms.NodeDrains > 0 || ms.AttemptsPreempted > 0 {
-			fmt.Printf("server node churn: drains=%d undrains=%d preempted=%d migrated=%d rereserved=%d (up=%d draining=%d down=%d)\n",
-				ms.NodeDrains, ms.NodeUndrains, ms.AttemptsPreempted,
-				ms.ReservationsMigrated, ms.ReservationsReissued,
-				ms.NodesUp, ms.NodesDraining, ms.NodesDown)
-		}
-		if ms.Slowdowns.Count > 0 {
-			fmt.Printf("server slowdowns: n=%d mean=%.2f p50=%.2f p95=%.2f max=%.2f (dropped %d)\n",
-				ms.Slowdowns.Count, ms.Slowdowns.Mean, ms.Slowdowns.P50,
-				ms.Slowdowns.P95, ms.Slowdowns.Max, ms.Slowdowns.Dropped)
-		}
-	}
+	attachServerMetrics(ctx, cli, &rep)
 	if *jsonOut != "" {
 		if err := writeReport(rep, *jsonOut); err != nil {
 			return fmt.Errorf("write -json report: %w", err)
@@ -342,4 +346,38 @@ func run(args []string) error {
 		return fmt.Errorf("%d of %d jobs did not complete", failed, *jobs)
 	}
 	return nil
+}
+
+// attachServerMetrics snapshots the daemon's /metrics into the report and
+// prints the human-readable server summary.
+func attachServerMetrics(ctx context.Context, cli *service.Client, rep *report) {
+	ms, err := cli.Metrics(ctx)
+	if err != nil {
+		return
+	}
+	rep.Server = &ms
+	fmt.Printf("server: virtual %.1fs at %gx, utilization %.1f%%, reserved-idle %.2f%%\n",
+		ms.VirtualNowMs/1000, ms.Dilation, 100*ms.Utilization, 100*ms.ReservedFraction)
+	if ms.NumShards > 1 {
+		fmt.Printf("server shards: %d", ms.NumShards)
+		if ms.Lending != nil {
+			fmt.Printf(", lending granted=%d finished=%d returned=%d outstanding=%d",
+				ms.Lending.Granted, ms.Lending.Finished, ms.Lending.Returned, ms.Lending.Outstanding)
+		}
+		fmt.Println()
+	}
+	rep.Preempted = ms.AttemptsPreempted
+	rep.Migrated = ms.ReservationsMigrated
+	rep.Rereserved = ms.ReservationsReissued
+	if ms.NodeDrains > 0 || ms.AttemptsPreempted > 0 {
+		fmt.Printf("server node churn: drains=%d undrains=%d preempted=%d migrated=%d rereserved=%d (up=%d draining=%d down=%d)\n",
+			ms.NodeDrains, ms.NodeUndrains, ms.AttemptsPreempted,
+			ms.ReservationsMigrated, ms.ReservationsReissued,
+			ms.NodesUp, ms.NodesDraining, ms.NodesDown)
+	}
+	if ms.Slowdowns.Count > 0 {
+		fmt.Printf("server slowdowns: n=%d mean=%.2f p50=%.2f p95=%.2f max=%.2f (dropped %d)\n",
+			ms.Slowdowns.Count, ms.Slowdowns.Mean, ms.Slowdowns.P50,
+			ms.Slowdowns.P95, ms.Slowdowns.Max, ms.Slowdowns.Dropped)
+	}
 }

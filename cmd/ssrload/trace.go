@@ -1,0 +1,352 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"ssr/internal/service"
+	"ssr/internal/stats"
+	"ssr/internal/traceload"
+)
+
+// Trace mode turns ssrload into the front half of the traceload pipeline:
+// a cluster trace CSV is streamed (never materialized), re-timed by an
+// arrival process (replay / fitted / poisson), and submitted open loop
+// against a running ssrd through warmup → measurement → drain phases with
+// per-phase stats cutover. Per-job results stream to -out incrementally,
+// so a million-job soak holds neither the trace nor its results in memory.
+
+// traceOptions carries the parsed trace-mode flags.
+type traceOptions struct {
+	addr      string
+	path      string
+	iat       string
+	speedup   float64
+	rate      float64
+	phases    string
+	fitPrefix int
+	classes   string
+	inflight  int
+	out       string
+	format    string
+	jobs      int // 0 = unbounded (whole trace / submission window)
+	poll      time.Duration
+	timeout   time.Duration
+	seed      int64
+	jsonOut   string
+}
+
+// parseClassMap parses "prod=ml,batch=bulk" into class→tenant.
+func parseClassMap(s string) (map[string]string, error) {
+	m := make(map[string]string)
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return m, nil
+	}
+	for _, pair := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(pair, "=")
+		k, v = strings.TrimSpace(k), strings.TrimSpace(v)
+		if !ok || k == "" || v == "" {
+			return nil, fmt.Errorf("class map entry %q must be class=tenant", pair)
+		}
+		if _, dup := m[k]; dup {
+			return nil, fmt.Errorf("class %q mapped twice", k)
+		}
+		m[k] = v
+	}
+	return m, nil
+}
+
+// buildArrivals wires the trace reader to the chosen arrival process. The
+// returned closer owns the trace file.
+func buildArrivals(opts traceOptions) (traceload.ArrivalSource, io.Closer, error) {
+	f, err := os.Open(opts.path)
+	if err != nil {
+		return nil, nil, err
+	}
+	rd, err := traceload.NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	var src traceload.ArrivalSource
+	switch opts.iat {
+	case "replay":
+		src, err = traceload.Replay(rd, opts.speedup)
+	case "poisson":
+		if opts.rate <= 0 {
+			err = fmt.Errorf("-iat poisson needs a positive -rate")
+		} else {
+			src, err = traceload.Poisson(rd, opts.rate, stats.Stream(opts.seed, "ssrload-trace-poisson"))
+		}
+	case "fitted":
+		// Fit on a prefix, then generate unboundedly from the model: the
+		// trace is no longer consulted, so run length is decoupled from
+		// trace length.
+		fitter := traceload.NewFitter()
+		var model *traceload.Model
+		model, err = fitter.FitPrefix(rd, opts.fitPrefix)
+		if err == nil {
+			for _, cm := range model.Classes {
+				fmt.Printf("ssrload: fitted %s\n", cm)
+			}
+			src, err = traceload.Fitted(model, opts.seed, opts.jobs)
+		}
+	default:
+		err = fmt.Errorf("unknown -iat %q (replay, fitted, poisson)", opts.iat)
+	}
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return src, f, nil
+}
+
+func runTrace(opts traceOptions) error {
+	var plan traceload.PhasePlan
+	if opts.phases != "" {
+		var err error
+		if plan, err = traceload.ParsePhases(opts.phases); err != nil {
+			return err
+		}
+	}
+	if opts.jobs < 0 {
+		return fmt.Errorf("-jobs %d must be >= 0 in trace mode (0 = unbounded)", opts.jobs)
+	}
+	if opts.iat == "fitted" && opts.jobs == 0 && plan.SubmitWindow() == 0 {
+		return fmt.Errorf("-iat fitted generates forever: bound the run with -jobs or -phases")
+	}
+	classMap, err := parseClassMap(opts.classes)
+	if err != nil {
+		return err
+	}
+	src, closer, err := buildArrivals(opts)
+	if err != nil {
+		return err
+	}
+	defer closer.Close()
+
+	var results *traceload.ResultWriter
+	if opts.out != "" {
+		f, err := os.Create(opts.out)
+		if err != nil {
+			return fmt.Errorf("create -out: %w", err)
+		}
+		defer f.Close()
+		if results, err = traceload.NewResultWriter(f, opts.format, 0); err != nil {
+			return err
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), opts.timeout)
+	defer cancel()
+	cli := service.NewClient(opts.addr)
+	if _, err := cli.Metrics(ctx); err != nil {
+		return fmt.Errorf("daemon not reachable at %s: %w", opts.addr, err)
+	}
+
+	ps := traceload.NewPhaseStats()
+	writeResult := func(rec traceload.ResultRecord) {
+		if results == nil {
+			return
+		}
+		if err := results.Write(rec); err != nil {
+			fmt.Fprintln(os.Stderr, "ssrload:", err)
+		}
+	}
+
+	var (
+		wg        sync.WaitGroup
+		submitted int
+		shed      int
+		sem       chan struct{}
+	)
+	if opts.inflight > 0 {
+		sem = make(chan struct{}, opts.inflight)
+	}
+	launch := func(spec service.JobSpec, arr traceload.Arrival, phase traceload.Phase, tenant string) {
+		defer wg.Done()
+		if sem != nil {
+			defer func() { <-sem }()
+		}
+		start := time.Now()
+		st, err := cli.Submit(ctx, spec)
+		for attempt := 0; err != nil && service.IsQuotaExhausted(err) && attempt < 8; attempt++ {
+			ps.Throttled(phase)
+			backoff := service.RetryAfter(err)
+			if backoff <= 0 {
+				backoff = 100 * time.Millisecond
+			}
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+			}
+			st, err = cli.Submit(ctx, spec)
+		}
+		rec := traceload.ResultRecord{
+			Job: arr.Rec.ID, Name: arr.Rec.Name, Class: arr.Rec.Class,
+			Tenant: tenant, Phase: phase.String(), SubmitSec: arr.At.Seconds(),
+		}
+		if err != nil {
+			ps.Refused(phase)
+			rec.State = "refused"
+			writeResult(rec)
+			return
+		}
+		final, err := cli.WaitJob(ctx, st.ID, opts.poll)
+		rec.LatencySec = time.Since(start).Seconds()
+		if err != nil || final.State != service.StateCompleted {
+			ps.Failed(phase)
+			rec.State = "failed"
+		} else {
+			ps.Completed(phase, rec.LatencySec)
+			rec.State = "completed"
+		}
+		writeResult(rec)
+	}
+
+	// Submission loop: walk arrivals on the wall clock, cutting phases over
+	// as the run offset crosses the plan's boundaries.
+	start := time.Now()
+	cur := plan.PhaseAt(0)
+	fmt.Printf("ssrload: trace phase %s begins\n", cur)
+	window := plan.SubmitWindow()
+submitLoop:
+	for opts.jobs == 0 || submitted+shed < opts.jobs {
+		arr, err := src.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if wait := arr.At - time.Since(start); wait > 0 {
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				return fmt.Errorf("deadline passed mid-submission: %w", ctx.Err())
+			}
+		}
+		elapsed := time.Since(start)
+		if window > 0 && elapsed >= window {
+			break
+		}
+		phase := plan.PhaseAt(elapsed)
+		if phase != cur {
+			fmt.Printf("ssrload: trace phase cutover %s -> %s at %.1fs (%d submitted)\n",
+				cur, phase, elapsed.Seconds(), submitted)
+			cur = phase
+		}
+		tenant := classMap[arr.Rec.Class]
+		job, err := arr.Rec.Build(0, tenant)
+		if err != nil {
+			return fmt.Errorf("trace job %d: %w", arr.Rec.ID, err)
+		}
+		spec := service.SpecOf(job)
+		if sem != nil {
+			select {
+			case sem <- struct{}{}:
+			default:
+				// In-flight cap reached: shed the arrival instead of letting
+				// the open loop pile up unbounded client state.
+				shed++
+				ps.Shed(phase)
+				writeResult(traceload.ResultRecord{
+					Job: arr.Rec.ID, Name: arr.Rec.Name, Class: arr.Rec.Class,
+					Tenant: tenant, Phase: phase.String(), SubmitSec: arr.At.Seconds(),
+					State: "shed",
+				})
+				continue submitLoop
+			}
+		}
+		submitted++
+		ps.Submitted(phase)
+		wg.Add(1)
+		go launch(spec, arr, phase, tenant)
+	}
+
+	// Drain: submissions stop; wait for in-flight jobs, bounded by the
+	// plan's drain window when one is set.
+	if cur != traceload.PhaseDrain && (plan.Enabled() || plan.Drain > 0) {
+		fmt.Printf("ssrload: trace phase cutover %s -> drain at %.1fs (%d submitted)\n",
+			cur, time.Since(start).Seconds(), submitted)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	var drainExpiry <-chan time.Time
+	if plan.Drain > 0 {
+		drainExpiry = time.After(plan.Drain)
+	}
+	select {
+	case <-done:
+	case <-drainExpiry:
+		fmt.Println("ssrload: drain window expired with jobs still in flight")
+	case <-ctx.Done():
+		fmt.Println("ssrload: deadline passed while draining")
+	}
+	elapsed := time.Since(start)
+
+	reports := ps.Snapshot()
+	var completed, failed, refused, throttled int
+	for _, pr := range reports {
+		completed += pr.Completed
+		failed += pr.Failed
+		refused += pr.Refused
+		throttled += pr.Throttled
+		line := fmt.Sprintf("ssrload: trace phase %s: submitted=%d completed=%d", pr.Phase, pr.Submitted, pr.Completed)
+		if pr.Failed+pr.Refused+pr.Throttled+pr.Shed > 0 {
+			line += fmt.Sprintf(" failed=%d refused=%d throttled=%d shed=%d", pr.Failed, pr.Refused, pr.Throttled, pr.Shed)
+		}
+		if pr.Completed > 0 {
+			line += fmt.Sprintf(" latency p50=%.3fs p90=%.3fs p99=%.3fs max=%.3fs", pr.P50Sec, pr.P90Sec, pr.P99Sec, pr.MaxSec)
+		}
+		fmt.Println(line)
+	}
+	fmt.Printf("ssrload: trace %s via %s: %d submitted, %d completed, %d failed, %d refused, %d shed in %v (%.1f jobs/sec)\n",
+		opts.path, opts.iat, submitted, completed, failed, refused, shed,
+		elapsed.Round(time.Millisecond), float64(completed+failed)/elapsed.Seconds())
+
+	rep := report{
+		Suite:                "trace",
+		Mode:                 "trace",
+		Trace:                opts.path,
+		IATMode:              opts.iat,
+		Jobs:                 submitted,
+		Completed:            completed,
+		Failed:               failed,
+		Refused:              refused,
+		Throttled:            throttled,
+		Shed:                 shed,
+		WallSec:              elapsed.Seconds(),
+		ThroughputJobsPerSec: float64(completed+failed) / elapsed.Seconds(),
+		Phases:               reports,
+	}
+	if opts.iat == "replay" {
+		rep.SpeedupX = opts.speedup
+	}
+	if opts.iat == "poisson" {
+		rep.RateJobsPerSec = opts.rate
+	}
+	attachServerMetrics(ctx, cli, &rep)
+	if results != nil {
+		if err := results.Flush(); err != nil {
+			return err
+		}
+		fmt.Printf("ssrload: streamed %d results to %s\n", results.Count(), opts.out)
+	}
+	if opts.jsonOut != "" {
+		if err := writeReport(rep, opts.jsonOut); err != nil {
+			return fmt.Errorf("write -json report: %w", err)
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d trace jobs did not complete", failed, submitted)
+	}
+	return nil
+}

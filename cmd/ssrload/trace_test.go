@@ -1,0 +1,173 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ssr/internal/traceload"
+	"ssr/internal/workload"
+)
+
+// genTestTrace writes a small synthetic cluster trace and returns its path.
+func genTestTrace(t *testing.T, jobs int) string {
+	t.Helper()
+	cfg := traceload.DefaultGen()
+	cfg.Jobs = jobs
+	cfg.RatePerSec = 2
+	cfg.Batch = workload.DefaultBackground()
+	cfg.Batch.MaxParallelism = 8
+	cfg.ProdParallelism = 4
+	path := filepath.Join(t.TempDir(), "trace.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := traceload.Generate(f, cfg, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestTraceReplayPhased is the trace-mode acceptance run: a generated
+// cluster trace replayed at high speedup through warmup/measure/drain
+// phases, with streaming results and a JSON report carrying per-phase
+// percentiles.
+func TestTraceReplayPhased(t *testing.T) {
+	url := startService(t, 20000)
+	trace := genTestTrace(t, 60)
+	results := filepath.Join(t.TempDir(), "results.csv")
+	jsonPath := filepath.Join(t.TempDir(), "report.json")
+	out := capture(t, func() error {
+		return run([]string{"-addr", url, "-trace", trace, "-iat", "replay",
+			"-speedup", "50", "-phases", "150ms/5s/60s",
+			"-classes", "prod=ml,batch=bulk",
+			"-out", results, "-json", jsonPath,
+			"-poll", "5ms", "-timeout", "2m"})
+	})
+	if !strings.Contains(out, "trace phase warmup begins") {
+		t.Errorf("missing warmup start:\n%s", out)
+	}
+	if !strings.Contains(out, "phase cutover warmup -> measure") {
+		t.Errorf("missing measure cutover:\n%s", out)
+	}
+	if !strings.Contains(out, "60 submitted") || !strings.Contains(out, "0 failed") {
+		t.Errorf("unexpected summary:\n%s", out)
+	}
+
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("report not written: %v", err)
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report does not parse: %v", err)
+	}
+	if rep.Mode != "trace" || rep.IATMode != "replay" || rep.SpeedupX != 50 {
+		t.Errorf("report shape: mode=%q iat=%q speedup=%v", rep.Mode, rep.IATMode, rep.SpeedupX)
+	}
+	if rep.Jobs != 60 || rep.Completed != 60 || rep.Failed != 0 {
+		t.Errorf("counts: %d jobs / %d completed / %d failed", rep.Jobs, rep.Completed, rep.Failed)
+	}
+	if len(rep.Phases) == 0 {
+		t.Fatal("report missing phase breakdown")
+	}
+	var measure *traceload.PhaseReport
+	for i := range rep.Phases {
+		if rep.Phases[i].Phase == "measure" {
+			measure = &rep.Phases[i]
+		}
+	}
+	if measure == nil {
+		t.Fatalf("no measurement phase in %+v", rep.Phases)
+	}
+	if measure.Completed == 0 || measure.P50Sec <= 0 || measure.P99Sec < measure.P50Sec {
+		t.Errorf("measurement percentiles: %+v", *measure)
+	}
+
+	// Streaming results: header plus one terminal row per job.
+	res, err := os.ReadFile(results)
+	if err != nil {
+		t.Fatalf("results not written: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(res)), "\n")
+	if len(lines) != 61 {
+		t.Errorf("results have %d lines, want header + 60", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "job,name,class,tenant,phase,") {
+		t.Errorf("results header = %q", lines[0])
+	}
+	var sawTenant bool
+	for _, l := range lines[1:] {
+		if !strings.HasSuffix(l, ",completed") {
+			t.Errorf("non-completed result row: %q", l)
+		}
+		if strings.Contains(l, ",bulk,") || strings.Contains(l, ",ml,") {
+			sawTenant = true
+		}
+	}
+	if !sawTenant {
+		t.Error("class map not applied to result rows")
+	}
+}
+
+// TestTraceFitted fits a model on the trace prefix and generates a bounded
+// synthetic run from it.
+func TestTraceFitted(t *testing.T) {
+	url := startService(t, 20000)
+	trace := genTestTrace(t, 80)
+	out := capture(t, func() error {
+		return run([]string{"-addr", url, "-trace", trace, "-iat", "fitted",
+			"-fit-prefix", "80", "-jobs", "25", "-speedup", "1",
+			"-poll", "5ms", "-timeout", "2m"})
+	})
+	if !strings.Contains(out, "ssrload: fitted batch:") {
+		t.Errorf("missing fitted model summary:\n%s", out)
+	}
+	if !strings.Contains(out, "25 submitted") {
+		t.Errorf("fitted run not bounded by -jobs:\n%s", out)
+	}
+	if !strings.Contains(out, "0 failed") {
+		t.Errorf("fitted jobs failed:\n%s", out)
+	}
+}
+
+func TestTraceModeErrors(t *testing.T) {
+	silence(t)
+	trace := genTestTrace(t, 5)
+	cases := [][]string{
+		{"-trace", "/nonexistent/trace.csv"},
+		{"-trace", trace, "-iat", "warp"},
+		{"-trace", trace, "-iat", "poisson"},                           // needs -rate
+		{"-trace", trace, "-iat", "replay", "-speedup", "0"},           // bad speedup
+		{"-trace", trace, "-phases", "nope"},                           // bad phase spec
+		{"-trace", trace, "-iat", "fitted", "-jobs", "0"},              // unbounded fitted
+		{"-trace", trace, "-classes", "prodml"},                        // bad class map
+		{"-trace", trace, "-classes", "prod=a,prod=b"},                 // dup class
+		{"-trace", trace, "-jobs", "-1"},                               // negative jobs
+		{"-trace", trace, "-addr", "http://127.0.0.1:1", "-jobs", "1"}, // unreachable
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestParseClassMap(t *testing.T) {
+	m, err := parseClassMap(" prod = ml , batch = bulk ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["prod"] != "ml" || m["batch"] != "bulk" {
+		t.Errorf("map = %v", m)
+	}
+	if m, err := parseClassMap(""); err != nil || len(m) != 0 {
+		t.Errorf("empty map: %v, %v", m, err)
+	}
+}

@@ -182,6 +182,7 @@ func init() {
 		shardScalingExperiment(),
 		tenancyExperiment(),
 		elasticityExperiment(),
+		traceReplayExperiment(),
 	} {
 		Register(e)
 	}

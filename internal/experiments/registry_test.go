@@ -54,6 +54,7 @@ func TestDefaultRegistryCanonicalOrder(t *testing.T) {
 		"fig1", "fig4", "fig5", "fig6", "fig8", "fig10", "fig12", "fig13",
 		"fig14", "fig15", "fig16", "fig17", "bgimpact", "mitcompare",
 		"faulttolerance", "shardscaling", "tenancy", "elasticity",
+		"tracereplay",
 	}
 	if got := Names(); !reflect.DeepEqual(got, want) {
 		t.Errorf("Default registry order = %v, want %v", got, want)
@@ -142,6 +143,7 @@ func TestCellCountsMatchExpectedDecomposition(t *testing.T) {
 		"mitcompare":     3,         // strategies
 		"faulttolerance": 3 * 2,     // quick MTTFs x policies
 		"shardscaling":   3 * 2,     // quick shard counts x quick runs
+		"tracereplay":    2,         // replay + fitted
 	}
 	for name, n := range want {
 		e, ok := Lookup(name)

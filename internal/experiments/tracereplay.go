@@ -1,0 +1,225 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"ssr/internal/dag"
+	"ssr/internal/stats"
+	"ssr/internal/traceload"
+	"ssr/internal/workload"
+)
+
+// The tracereplay experiment exercises the full traceload pipeline
+// offline, with the simulator standing in for a live cluster: a synthetic
+// cluster trace is generated, streamed back through the bounded-memory
+// Reader, and driven through the SSR scheduler twice — once replaying the
+// recorded arrival process, once generating open-loop arrivals from a
+// model fitted on the trace. Both runs are pure functions of the seed, so
+// the printed table is bit-identical across runs and runners.
+
+// traceReplayGen returns the scale-dependent trace synthesis config.
+func traceReplayGen(scale Scale) traceload.GenConfig {
+	cfg := traceload.DefaultGen()
+	cfg.RatePerSec = 4
+	cfg.ProdParallelism = 8
+	if scale == Quick {
+		cfg.Jobs = 80
+		cfg.Batch.MaxParallelism = 16
+	} else {
+		cfg.Jobs = 800
+	}
+	return cfg
+}
+
+// traceReplayCluster returns the simulated cluster dimensions.
+func traceReplayCluster(scale Scale) (nodes, perNode int) {
+	if scale == Quick {
+		return 20, 2
+	}
+	return 50, 4
+}
+
+// traceClassAgg aggregates one workload class of a finished run.
+type traceClassAgg struct {
+	class     string
+	jobs      int
+	meanLat   time.Duration
+	p95Lat    time.Duration
+	tasksMean float64
+}
+
+// traceCellValue is the value of one tracereplay cell.
+type traceCellValue struct {
+	mode     string // "replay" or "fitted"
+	classes  []traceClassAgg
+	makespan time.Duration
+	notes    []string
+}
+
+// traceReplayRun streams arrivals into job DAGs, runs them through the SSR
+// scheduler, and aggregates completion latency per class.
+func traceReplayRun(mode string, src traceload.ArrivalSource, scale Scale) (traceCellValue, error) {
+	var jobs []*dag.Job
+	classOf := make(map[dag.JobID]string)
+	for {
+		arr, err := src.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return traceCellValue{}, err
+		}
+		job, err := arr.Rec.Build(arr.At, "")
+		if err != nil {
+			return traceCellValue{}, fmt.Errorf("trace job %d: %w", arr.Rec.ID, err)
+		}
+		jobs = append(jobs, job)
+		classOf[job.ID] = arr.Rec.Class
+	}
+	nodes, perNode := traceReplayCluster(scale)
+	res, err := runSim(nodes, perNode, ssrOpts(), jobs)
+	if err != nil {
+		return traceCellValue{}, err
+	}
+	type agg struct {
+		lats  []float64
+		tasks int
+	}
+	byClass := make(map[string]*agg)
+	for _, job := range jobs {
+		st, ok := res.stats[job.ID]
+		if !ok {
+			return traceCellValue{}, fmt.Errorf("job %d has no stats", job.ID)
+		}
+		a := byClass[classOf[job.ID]]
+		if a == nil {
+			a = &agg{}
+			byClass[classOf[job.ID]] = a
+		}
+		a.lats = append(a.lats, (st.Finish - st.Submit).Seconds())
+		a.tasks += job.TotalTasks()
+	}
+	names := make([]string, 0, len(byClass))
+	for name := range byClass {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := traceCellValue{mode: mode, makespan: res.makespan}
+	for _, name := range names {
+		a := byClass[name]
+		sort.Float64s(a.lats) // Percentile needs a sorted sample
+		s := stats.Summarize(a.lats)
+		out.classes = append(out.classes, traceClassAgg{
+			class:     name,
+			jobs:      len(a.lats),
+			meanLat:   time.Duration(s.Mean * float64(time.Second)),
+			p95Lat:    time.Duration(stats.Percentile(a.lats, 0.95) * float64(time.Second)),
+			tasksMean: float64(a.tasks) / float64(len(a.lats)),
+		})
+	}
+	return out, nil
+}
+
+// traceReplayTrace generates the experiment's synthetic trace.
+func traceReplayTrace(p Params) (*bytes.Buffer, traceload.GenConfig, error) {
+	cfg := traceReplayGen(p.Scale)
+	var buf bytes.Buffer
+	if err := traceload.Generate(&buf, cfg, stats.SubSeed(p.Seed, "tracereplay-gen", 0)); err != nil {
+		return nil, cfg, err
+	}
+	return &buf, cfg, nil
+}
+
+// traceReplayExperiment builds the offline trace-replay experiment.
+func traceReplayExperiment() Experiment {
+	return Define("tracereplay",
+		"offline trace replay: streamed ingest, fitted arrival model, SSR scheduling per class",
+		func(p Params) ([]Cell, error) {
+			return []Cell{
+				{Key: "tracereplay/replay", Run: func() (any, error) {
+					buf, _, err := traceReplayTrace(p)
+					if err != nil {
+						return nil, err
+					}
+					rd, err := traceload.NewReader(buf)
+					if err != nil {
+						return nil, err
+					}
+					// Recorded timestamps, compressed 2x: the paper's
+					// open-loop overload knob.
+					src, err := traceload.Replay(rd, 2)
+					if err != nil {
+						return nil, err
+					}
+					val, err := traceReplayRun("replay", src, p.Scale)
+					if err != nil {
+						return nil, err
+					}
+					val.notes = append(val.notes,
+						fmt.Sprintf("replay: recorded arrivals at 2x speedup, max %d rows buffered", rd.MaxBufferedRows()))
+					return val, nil
+				}},
+				{Key: "tracereplay/fitted", Run: func() (any, error) {
+					buf, cfg, err := traceReplayTrace(p)
+					if err != nil {
+						return nil, err
+					}
+					rd, err := traceload.NewReader(buf)
+					if err != nil {
+						return nil, err
+					}
+					// Fit on the whole trace, then generate the same job
+					// count from the model alone — the step that decouples
+					// run length from trace length.
+					model, err := traceload.NewFitter().FitPrefix(rd, 0)
+					if err != nil {
+						return nil, err
+					}
+					src, err := traceload.Fitted(model, stats.SubSeed(p.Seed, "tracereplay-fitted", 0), cfg.Jobs)
+					if err != nil {
+						return nil, err
+					}
+					val, err := traceReplayRun("fitted", src, p.Scale)
+					if err != nil {
+						return nil, err
+					}
+					for _, cm := range model.Classes {
+						val.notes = append(val.notes, "fitted "+cm.String())
+					}
+					return val, nil
+				}},
+			}, nil
+		},
+		func(p Params, values []any) (*Result, error) {
+			res := NewResult("Trace replay: recorded vs fitted open-loop arrivals under SSR",
+				Column{Name: "arrivals", Kind: KindString},
+				Column{Name: "class", Kind: KindString},
+				Column{Name: "jobs", Kind: KindInt},
+				Column{Name: "tasks/job", Kind: KindFloat1},
+				Column{Name: "mean-latency", Kind: KindDuration},
+				Column{Name: "p95-latency", Kind: KindDuration},
+				Column{Name: "makespan", Kind: KindDuration},
+			)
+			for _, v := range values {
+				val, ok := v.(traceCellValue)
+				if !ok {
+					return nil, fmt.Errorf("tracereplay: unexpected cell value %T", v)
+				}
+				res.Notes = append(res.Notes, val.notes...)
+				for _, c := range val.classes {
+					res.AddRow(val.mode, c.class, c.jobs, c.tasksMean, c.meanLat, c.p95Lat, val.makespan)
+					res.Metrics[val.mode+"-"+c.class+"-mean-sec"] = c.meanLat.Seconds()
+				}
+				res.Metrics[val.mode+"-makespan-sec"] = val.makespan.Seconds()
+			}
+			res.Notes = append(res.Notes,
+				fmt.Sprintf("trace: %d synthetic jobs (%s scale), prod=%s suite, batch=Google-trace shape",
+					traceReplayGen(p.Scale).Jobs, p.Scale, workload.MLSuite()[0].Name))
+			return res, nil
+		})
+}

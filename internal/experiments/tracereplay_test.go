@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTraceReplayQuick checks the offline trace-replay pipeline end to
+// end: both arrival modes schedule every class, and the table carries the
+// fitted-model provenance.
+func TestTraceReplayQuick(t *testing.T) {
+	e, ok := Lookup("tracereplay")
+	if !ok {
+		t.Fatal("tracereplay not registered")
+	}
+	res, err := RunSerial(e, QuickParams())
+	if err != nil {
+		t.Fatalf("RunSerial: %v", err)
+	}
+	modes := map[string]map[string]bool{}
+	for _, row := range res.Rows {
+		mode, class := row[0].(string), row[1].(string)
+		if modes[mode] == nil {
+			modes[mode] = map[string]bool{}
+		}
+		modes[mode][class] = true
+		if jobs := row[2].(int64); jobs <= 0 {
+			t.Errorf("%s/%s: %d jobs", mode, class, jobs)
+		}
+	}
+	for _, mode := range []string{"replay", "fitted"} {
+		if !modes[mode]["batch"] || !modes[mode]["prod"] {
+			t.Errorf("mode %s missing a class: %v", mode, modes[mode])
+		}
+	}
+	var sawFit bool
+	for _, n := range res.Notes {
+		if strings.HasPrefix(n, "fitted batch:") {
+			sawFit = true
+		}
+	}
+	if !sawFit {
+		t.Errorf("notes missing fitted model summary: %v", res.Notes)
+	}
+	for _, m := range []string{"replay-makespan-sec", "fitted-makespan-sec", "replay-batch-mean-sec"} {
+		if res.Metrics[m] <= 0 {
+			t.Errorf("metric %s = %v, want > 0", m, res.Metrics[m])
+		}
+	}
+}
+
+// TestTraceReplayBitIdentical runs the experiment twice and compares the
+// rendered output byte for byte — the determinism contract of the offline
+// pipeline (no wall clock, all randomness from labeled streams).
+func TestTraceReplayBitIdentical(t *testing.T) {
+	e, _ := Lookup("tracereplay")
+	p := QuickParams()
+	first, err := RunSerial(e, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := RunSerial(e, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != second.String() {
+		t.Errorf("two runs differ:\n%s\nvs\n%s", first, second)
+	}
+	// A different seed changes the trace and hence the table.
+	p.Seed = 43
+	other, err := RunSerial(e, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.String() == other.String() {
+		t.Error("different seeds produced identical tables")
+	}
+}

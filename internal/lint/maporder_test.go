@@ -31,6 +31,7 @@ var schedulingPackages = []string{
 	"ssr/internal/shard",
 	"ssr/internal/sim",
 	"ssr/internal/tenant",
+	"ssr/internal/traceload",
 }
 
 // TestNoUnorderedMapIterationOnSchedulingPaths is the determinism guard

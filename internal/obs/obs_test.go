@@ -196,3 +196,44 @@ func TestAuditJSONL(t *testing.T) {
 		t.Fatal("nil audit total != 0")
 	}
 }
+
+// TestHistogramQuantile checks the bucket-interpolated quantile estimate:
+// exact at bucket edges, interpolated inside, clamped at +Inf, zero when
+// empty.
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	if got := h.Snapshot().Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %v, want 0", got)
+	}
+	// 10 observations uniformly inside (1, 2]: the p-quantile interpolates
+	// linearly across that bucket.
+	for i := 0; i < 10; i++ {
+		h.Observe(1.5)
+	}
+	snap := h.Snapshot()
+	if got := snap.Quantile(0.5); got != 1.5 {
+		t.Errorf("Quantile(0.5) = %v, want 1.5 (midpoint of (1,2])", got)
+	}
+	if got := snap.Quantile(1); got != 2 {
+		t.Errorf("Quantile(1) = %v, want upper bucket edge 2", got)
+	}
+	if got := snap.Quantile(0); got != 1 {
+		t.Errorf("Quantile(0) = %v, want lower bucket edge 1", got)
+	}
+	// An observation beyond the last bound clamps to the highest finite
+	// bound rather than inventing a value.
+	h.Observe(100)
+	if got := h.Snapshot().Quantile(0.999); got != 4 {
+		t.Errorf("+Inf-bucket quantile = %v, want clamp to 4", got)
+	}
+	// Monotone in p.
+	snap = h.Snapshot()
+	last := -1.0
+	for p := 0.0; p <= 1.0; p += 0.05 {
+		q := snap.Quantile(p)
+		if q < last {
+			t.Fatalf("quantile not monotone: Quantile(%v) = %v < %v", p, q, last)
+		}
+		last = q
+	}
+}

@@ -147,6 +147,54 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	return snap
 }
 
+// Quantile estimates the value at probability p from the bucketed counts
+// by linear interpolation inside the containing bucket (the
+// histogram_quantile convention). Observations in the +Inf bucket clamp to
+// the highest finite bound, and an empty snapshot returns 0. This is what
+// lets long-running load generators report percentiles with O(buckets)
+// memory instead of retaining every sample.
+func (s HistogramSnapshot) Quantile(p float64) float64 {
+	if s.Count == 0 || len(s.CumCounts) == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := p * float64(s.Count)
+	var i int
+	for i = 0; i < len(s.CumCounts); i++ {
+		if float64(s.CumCounts[i]) >= rank {
+			break
+		}
+	}
+	if i >= len(s.Bounds) {
+		// +Inf bucket: no finite upper edge to interpolate toward.
+		if len(s.Bounds) == 0 {
+			return 0
+		}
+		return s.Bounds[len(s.Bounds)-1]
+	}
+	lo := 0.0
+	var below uint64
+	if i > 0 {
+		lo = s.Bounds[i-1]
+		below = s.CumCounts[i-1]
+	}
+	hi := s.Bounds[i]
+	inBucket := s.CumCounts[i] - below
+	if inBucket == 0 {
+		return hi
+	}
+	frac := (rank - float64(below)) / float64(inBucket)
+	if frac < 0 {
+		frac = 0
+	}
+	return lo + (hi-lo)*frac
+}
+
 // Label is one metric dimension (e.g. shard="2").
 type Label struct {
 	Key   string `json:"key"`

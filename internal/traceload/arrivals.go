@@ -1,0 +1,208 @@
+package traceload
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"ssr/internal/stats"
+)
+
+// An Arrival is a job plus the open-loop instant it should be submitted,
+// as an offset from the start of the run. Arrival sources are streaming
+// like trace Sources: Next returns io.EOF when the process ends, and a
+// source never holds more than O(1) records.
+type Arrival struct {
+	Rec JobRecord
+	At  time.Duration
+}
+
+// ArrivalSource generates an open-loop arrival sequence with
+// nondecreasing At.
+type ArrivalSource interface {
+	Next() (Arrival, error)
+}
+
+// replaySource replays recorded trace timestamps, compressed by a speedup
+// factor and rebased so the first job arrives at offset zero.
+type replaySource struct {
+	src     Source
+	speedup float64
+	base    time.Duration
+	started bool
+}
+
+// Replay returns an arrival source that submits each trace job at its
+// recorded timestamp divided by speedup (2 = twice as fast). Task
+// durations are untouched — speedup compresses the arrival process only,
+// the knob the paper's open-loop load experiments turn.
+func Replay(src Source, speedup float64) (ArrivalSource, error) {
+	if speedup <= 0 {
+		return nil, fmt.Errorf("traceload: replay speedup %v must be positive", speedup)
+	}
+	return &replaySource{src: src, speedup: speedup}, nil
+}
+
+func (r *replaySource) Next() (Arrival, error) {
+	rec, err := r.src.Next()
+	if err != nil {
+		return Arrival{}, err
+	}
+	if !r.started {
+		r.base = rec.Submit
+		r.started = true
+	}
+	at := time.Duration(float64(rec.Submit-r.base) / r.speedup)
+	return Arrival{Rec: rec, At: at}, nil
+}
+
+// poissonSource replays trace jobs in order but re-times them as a Poisson
+// process at a fixed aggregate rate, the classical open-loop baseline.
+type poissonSource struct {
+	src  Source
+	rate float64
+	rng  *rand.Rand
+	next time.Duration
+}
+
+// Poisson returns an arrival source that submits the trace's jobs with
+// exponential inter-arrival gaps at rate jobs/sec, ignoring recorded
+// timestamps.
+func Poisson(src Source, rate float64, rng *rand.Rand) (ArrivalSource, error) {
+	if rate <= 0 {
+		return nil, fmt.Errorf("traceload: poisson rate %v must be positive", rate)
+	}
+	return &poissonSource{src: src, rate: rate, rng: rng}, nil
+}
+
+func (p *poissonSource) Next() (Arrival, error) {
+	rec, err := p.src.Next()
+	if err != nil {
+		return Arrival{}, err
+	}
+	at := p.next
+	p.next += time.Duration(p.rng.ExpFloat64() / p.rate * float64(time.Second))
+	return Arrival{Rec: rec, At: at}, nil
+}
+
+// fittedClass is the per-class generation state of a fitted source.
+type fittedClass struct {
+	model ClassModel
+	rng   *rand.Rand // IAT draws for this class
+	next  time.Duration
+}
+
+// fittedSource samples the fitted model: each class runs its own renewal
+// arrival process, and the source merges them in time order. Job shapes
+// and durations come from a per-job labeled substream, so job i is the
+// same whatever the interleaving.
+type fittedSource struct {
+	seed    int64
+	classes []*fittedClass
+	maxJobs int // 0 = unbounded
+	emitted int
+	baseID  int64
+}
+
+// Fitted returns an open-loop arrival source that generates up to maxJobs
+// synthetic jobs (0 = unbounded) from a fitted model. This is the
+// million-job path: the source derives everything from the model and the
+// seed, so it never touches the trace again and runs in O(classes) memory.
+func Fitted(model *Model, seed int64, maxJobs int) (ArrivalSource, error) {
+	if model == nil || len(model.Classes) == 0 {
+		return nil, fmt.Errorf("traceload: fitted source needs a model with at least one class")
+	}
+	fs := &fittedSource{seed: seed, maxJobs: maxJobs, baseID: 1}
+	for _, cm := range model.Classes {
+		fc := &fittedClass{
+			model: cm,
+			rng:   stats.SubStream(seed, "traceload-iat-"+cm.Class, 0),
+		}
+		// Stagger first arrivals by one IAT draw so classes do not all
+		// fire at t=0.
+		fc.next = secDur(cm.IAT.Sample(fc.rng))
+		fs.classes = append(fs.classes, fc)
+	}
+	return fs, nil
+}
+
+func (f *fittedSource) Next() (Arrival, error) {
+	if f.maxJobs > 0 && f.emitted >= f.maxJobs {
+		return Arrival{}, io.EOF
+	}
+	// Pick the class whose next arrival is earliest; ties break on class
+	// order (sorted names), keeping the merge deterministic.
+	var pick *fittedClass
+	for _, fc := range f.classes {
+		if pick == nil || fc.next < pick.next {
+			pick = fc
+		}
+	}
+	at := pick.next
+	pick.next += secDur(pick.model.IAT.Sample(pick.rng))
+
+	id := f.baseID + int64(f.emitted)
+	rec := synthesizeJob(pick.model, f.seed, f.emitted, id, at)
+	f.emitted++
+	return Arrival{Rec: rec, At: at}, nil
+}
+
+// synthesizeJob draws one job from a class model. All randomness comes
+// from a substream labeled by the job's index, so the job is a pure
+// function of (seed, index, class).
+func synthesizeJob(m ClassModel, seed int64, index int, id int64, submit time.Duration) JobRecord {
+	rng := stats.SubStream(seed, "traceload-job-"+m.Class, index)
+	tasks := int(m.TaskCounts.Sample(rng) + 0.5)
+	if tasks < 1 {
+		tasks = 1
+	}
+	phases := 1
+	if rng.Float64() < m.MultiPhase {
+		phases = 2
+	}
+	rec := JobRecord{
+		ID:        id,
+		Name:      fmt.Sprintf("%s-%d", m.Class, index),
+		Class:     m.Class,
+		Priority:  m.Priority,
+		Submit:    submit,
+		Durations: make([][]time.Duration, phases),
+		Copies:    make([][]time.Duration, phases),
+	}
+	width := tasks
+	for p := 0; p < phases; p++ {
+		if p == 1 {
+			width = int(float64(tasks)*m.ReduceRatio + 0.5)
+			if width < 1 {
+				width = 1
+			}
+		}
+		ds := make([]time.Duration, width)
+		cs := make([]time.Duration, width)
+		for t := range ds {
+			ds[t] = clampTask(secDur(m.Duration.Sample(rng)))
+			cs[t] = clampTask(secDur(m.Duration.Sample(rng)))
+		}
+		rec.Durations[p] = ds
+		rec.Copies[p] = cs
+	}
+	return rec
+}
+
+// secDur converts non-negative seconds to a duration.
+func secDur(s float64) time.Duration {
+	if s < 0 {
+		s = 0
+	}
+	return time.Duration(s * float64(time.Second))
+}
+
+// clampTask floors task durations at one millisecond, matching the
+// workload synthesizers.
+func clampTask(d time.Duration) time.Duration {
+	if d < time.Millisecond {
+		return time.Millisecond
+	}
+	return d
+}

@@ -1,0 +1,222 @@
+package traceload
+
+import (
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+	"time"
+
+	"ssr/internal/stats"
+)
+
+// sliceSource serves canned records, for arrival-source tests.
+type sliceSource struct {
+	recs []JobRecord
+	i    int
+}
+
+func (s *sliceSource) Next() (JobRecord, error) {
+	if s.i >= len(s.recs) {
+		return JobRecord{}, io.EOF
+	}
+	rec := s.recs[s.i]
+	s.i++
+	return rec, nil
+}
+
+func simpleRec(id int64, submit time.Duration) JobRecord {
+	return JobRecord{
+		ID: id, Name: "j", Class: ClassBatch, Priority: 1, Submit: submit,
+		Durations: [][]time.Duration{{time.Second}},
+		Copies:    [][]time.Duration{{time.Second}},
+	}
+}
+
+func TestReplayRebasesAndCompresses(t *testing.T) {
+	src := &sliceSource{recs: []JobRecord{
+		simpleRec(1, 10*time.Second),
+		simpleRec(2, 12*time.Second),
+		simpleRec(3, 16*time.Second),
+	}}
+	rs, err := Replay(src, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{0, time.Second, 3 * time.Second}
+	for i, w := range want {
+		a, err := rs.Next()
+		if err != nil {
+			t.Fatalf("arrival %d: %v", i, err)
+		}
+		if a.At != w {
+			t.Errorf("arrival %d at %v, want %v", i, a.At, w)
+		}
+		if a.Rec.ID != int64(i+1) {
+			t.Errorf("arrival %d job %d, want %d", i, a.Rec.ID, i+1)
+		}
+	}
+	if _, err := rs.Next(); !errors.Is(err, io.EOF) {
+		t.Errorf("exhausted replay = %v, want io.EOF", err)
+	}
+	if _, err := Replay(src, 0); err == nil {
+		t.Error("zero speedup should fail")
+	}
+}
+
+func TestPoissonRetimes(t *testing.T) {
+	src := &sliceSource{recs: []JobRecord{
+		simpleRec(1, time.Hour), simpleRec(2, 2*time.Hour), simpleRec(3, 3*time.Hour),
+	}}
+	ps, err := Poisson(src, 100, stats.Stream(3, "poisson-test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev time.Duration
+	for i := 0; i < 3; i++ {
+		a, err := ps.Next()
+		if err != nil {
+			t.Fatalf("arrival %d: %v", i, err)
+		}
+		if a.At < prev {
+			t.Errorf("arrival %d at %v before %v (non-monotonic)", i, a.At, prev)
+		}
+		// Recorded timestamps are ignored: at rate 100/s three arrivals
+		// land in well under an hour.
+		if a.At >= time.Hour {
+			t.Errorf("arrival %d at %v still on the trace clock", i, a.At)
+		}
+		prev = a.At
+	}
+	if _, err := ps.Next(); !errors.Is(err, io.EOF) {
+		t.Errorf("exhausted poisson = %v, want io.EOF", err)
+	}
+	if _, err := Poisson(src, 0, stats.Stream(3, "poisson-test")); err == nil {
+		t.Error("zero rate should fail")
+	}
+}
+
+// fittedModel builds a small two-class model for source tests.
+func fittedModel(t *testing.T) *Model {
+	t.Helper()
+	counts, err := stats.NewEmpirical([]float64{1, 2, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Model{Classes: []ClassModel{
+		{
+			Class: ClassBatch, Jobs: 80, Share: 0.8, Priority: 1,
+			IAT: stats.Exponential{Rate: 4}, IATKind: "exp",
+			Duration: stats.Exponential{Rate: 0.5}, DurationKind: "exp",
+			TaskCounts: counts, MultiPhase: 0.3, ReduceRatio: 0.5,
+		},
+		{
+			Class: ClassProd, Jobs: 20, Share: 0.2, Priority: 10,
+			IAT: stats.Exponential{Rate: 1}, IATKind: "exp",
+			Duration: stats.Exponential{Rate: 1}, DurationKind: "exp",
+			TaskCounts: counts, MultiPhase: 1, ReduceRatio: 0.25,
+		},
+	}}
+}
+
+func TestFittedDeterministicAndBounded(t *testing.T) {
+	model := fittedModel(t)
+	const n = 500
+	draw := func() []Arrival {
+		fs, err := Fitted(model, 99, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []Arrival
+		for {
+			a, err := fs.Next()
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, a)
+		}
+		return out
+	}
+	first, second := draw(), draw()
+	if len(first) != n {
+		t.Fatalf("fitted source emitted %d jobs, want exactly %d", len(first), n)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Error("two fitted runs with the same seed diverge")
+	}
+	var prev time.Duration
+	classes := map[string]int{}
+	for i, a := range first {
+		if a.At < prev {
+			t.Fatalf("arrival %d at %v before %v (merge not time-ordered)", i, a.At, prev)
+		}
+		prev = a.At
+		classes[a.Rec.Class]++
+		if a.Rec.ID != int64(i+1) {
+			t.Errorf("arrival %d id %d, want %d", i, a.Rec.ID, i+1)
+		}
+		if a.Rec.Tasks() < 1 {
+			t.Errorf("arrival %d has no tasks", i)
+		}
+		if a.Rec.Class == ClassProd && len(a.Rec.Durations) != 2 {
+			t.Errorf("prod job %d has %d phases, want 2 (MultiPhase=1)", i, len(a.Rec.Durations))
+		}
+	}
+	// The batch class arrives 4x as often; both classes must show up.
+	if classes[ClassBatch] < classes[ClassProd] {
+		t.Errorf("class mix %v does not reflect rates", classes)
+	}
+	if classes[ClassProd] == 0 {
+		t.Error("prod class never generated")
+	}
+
+	// A different seed produces a different sequence.
+	fs, err := Fitted(model, 100, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a0, err := fs.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a0, first[0]) {
+		t.Error("different seeds produced identical first arrivals")
+	}
+
+	if _, err := Fitted(nil, 1, 1); err == nil {
+		t.Error("nil model should fail")
+	}
+	if _, err := Fitted(&Model{}, 1, 1); err == nil {
+		t.Error("empty model should fail")
+	}
+}
+
+func TestFittedJobDurationsClamped(t *testing.T) {
+	model := fittedModel(t)
+	fs, err := Fitted(model, 7, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		a, err := fs.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p, ph := range a.Rec.Durations {
+			for i, d := range ph {
+				if d < time.Millisecond {
+					t.Fatalf("job %d phase %d task %d duration %v under the 1ms floor", a.Rec.ID, p, i, d)
+				}
+				if a.Rec.Copies[p][i] < time.Millisecond {
+					t.Fatalf("job %d phase %d task %d copy under the 1ms floor", a.Rec.ID, p, i)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package traceload
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"ssr/internal/stats"
+)
+
+// synthClass streams n synthetic jobs of one class into the fitter, with
+// exponential inter-arrivals and the given duration distribution.
+func synthClass(f *Fitter, class string, n, priority int, rate float64, dur stats.Distribution, multiPhaseFrac float64, seed int64) {
+	arr := stats.Stream(seed, "fit-test-arr-"+class)
+	body := stats.Stream(seed, "fit-test-body-"+class)
+	var now time.Duration
+	for i := 0; i < n; i++ {
+		now += secDur(arr.ExpFloat64() / rate)
+		tasks := 1 + body.Intn(4)
+		rec := JobRecord{
+			ID: int64(i + 1), Name: class, Class: class, Priority: priority,
+			Submit:    now,
+			Durations: [][]time.Duration{make([]time.Duration, tasks)},
+			Copies:    [][]time.Duration{make([]time.Duration, tasks)},
+		}
+		for t := 0; t < tasks; t++ {
+			d := clampTask(secDur(dur.Sample(body)))
+			rec.Durations[0][t] = d
+			rec.Copies[0][t] = d
+		}
+		if body.Float64() < multiPhaseFrac {
+			rec.Durations = append(rec.Durations, []time.Duration{clampTask(secDur(dur.Sample(body)))})
+			rec.Copies = append(rec.Copies, []time.Duration{time.Second})
+		}
+		f.Add(rec)
+	}
+}
+
+func TestFitterRecoversClassModels(t *testing.T) {
+	f := NewFitter()
+	pareto, err := stats.NewPareto(2.2, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	synthClass(f, "batch", 2000, 1, 2.0, pareto, 0.3, 17)
+	synthClass(f, "prod", 500, 10, 0.25, stats.Exponential{Rate: 0.5}, 1.0, 18)
+	model, err := f.Fit()
+	if err != nil {
+		t.Fatalf("fit: %v", err)
+	}
+	if len(model.Classes) != 2 {
+		t.Fatalf("got %d classes, want 2", len(model.Classes))
+	}
+	// Classes are sorted by name.
+	if model.Classes[0].Class != "batch" || model.Classes[1].Class != "prod" {
+		t.Fatalf("class order %q, %q", model.Classes[0].Class, model.Classes[1].Class)
+	}
+	batch, ok := model.Class("batch")
+	if !ok {
+		t.Fatal("batch class missing")
+	}
+	if batch.Jobs != 2000 || batch.Priority != 1 {
+		t.Errorf("batch jobs=%d priority=%d, want 2000/1", batch.Jobs, batch.Priority)
+	}
+	if batch.IATKind != "exp" {
+		t.Errorf("batch IAT fitted as %q, want exp", batch.IATKind)
+	}
+	if iat, isExp := batch.IAT.(stats.Exponential); isExp {
+		if iat.Rate < 1.8 || iat.Rate > 2.2 {
+			t.Errorf("batch IAT rate = %v, want ~2.0", iat.Rate)
+		}
+	}
+	if batch.DurationKind != "pareto" {
+		t.Errorf("batch durations fitted as %q, want pareto", batch.DurationKind)
+	}
+	if batch.MultiPhase < 0.25 || batch.MultiPhase > 0.35 {
+		t.Errorf("batch multi-phase fraction = %v, want ~0.3", batch.MultiPhase)
+	}
+	prod, _ := model.Class("prod")
+	if prod.Share < 0.15 || prod.Share > 0.25 {
+		t.Errorf("prod share = %v, want ~0.2", prod.Share)
+	}
+	if prod.MultiPhase != 1.0 {
+		t.Errorf("prod multi-phase = %v, want 1.0", prod.MultiPhase)
+	}
+	if prod.ReduceRatio <= 0 || prod.ReduceRatio > 1 {
+		t.Errorf("prod reduce ratio = %v, want in (0, 1]", prod.ReduceRatio)
+	}
+	// The summary string should carry the fitted kinds.
+	s := batch.String()
+	if !strings.Contains(s, "iat=exp") || !strings.Contains(s, "dur=pareto") {
+		t.Errorf("summary %q missing fitted kinds", s)
+	}
+}
+
+func TestFitDistributionEmpiricalFallbacks(t *testing.T) {
+	// Tiny samples skip parametric fitting entirely.
+	_, kind, _, err := FitDistribution([]float64{1, 2, 3})
+	if err != nil || kind != "empirical" {
+		t.Errorf("tiny sample: kind=%q err=%v, want empirical", kind, err)
+	}
+	// A bimodal sample fits neither family well.
+	var bimodal []float64
+	for i := 0; i < 200; i++ {
+		bimodal = append(bimodal, 1.0)
+		bimodal = append(bimodal, 100.0)
+	}
+	_, kind, _, err = FitDistribution(bimodal)
+	if err != nil || kind != "empirical" {
+		t.Errorf("bimodal sample: kind=%q err=%v, want empirical", kind, err)
+	}
+	if _, _, _, err := FitDistribution(nil); err == nil {
+		t.Error("empty sample should fail")
+	}
+}
+
+func TestFitPrefixLeavesSourcePositioned(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteHeader(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		rec := JobRecord{
+			ID: int64(i + 1), Name: "j", Class: ClassBatch, Priority: 1,
+			Submit:    time.Duration(i) * time.Second,
+			Durations: [][]time.Duration{{time.Second}},
+			Copies:    [][]time.Duration{{time.Second}},
+		}
+		if err := WriteRecord(&sb, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rd, err := NewReader(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewFitter()
+	model, err := f.FitPrefix(rd, 3)
+	if err != nil {
+		t.Fatalf("fit prefix: %v", err)
+	}
+	if f.Jobs() != 3 {
+		t.Errorf("fitter consumed %d jobs, want 3", f.Jobs())
+	}
+	if len(model.Classes) != 1 || model.Classes[0].Jobs != 3 {
+		t.Errorf("model classes = %+v, want one batch class with 3 jobs", model.Classes)
+	}
+	// The remainder of the trace is still readable.
+	rec, err := rd.Next()
+	if err != nil {
+		t.Fatalf("next after prefix: %v", err)
+	}
+	if rec.ID != 4 {
+		t.Errorf("job after prefix = %d, want 4", rec.ID)
+	}
+}
+
+func TestFitterSingleArrivalFallback(t *testing.T) {
+	f := NewFitter()
+	f.Add(JobRecord{
+		ID: 1, Name: "only", Class: "rare", Priority: 5,
+		Durations: [][]time.Duration{{time.Second, 2 * time.Second}},
+		Copies:    [][]time.Duration{{time.Second, 2 * time.Second}},
+	})
+	model, err := f.Fit()
+	if err != nil {
+		t.Fatalf("fit: %v", err)
+	}
+	cm := model.Classes[0]
+	if cm.IATKind != "exp" {
+		t.Errorf("single-arrival IAT kind = %q, want exp fallback", cm.IATKind)
+	}
+	if exp, ok := cm.IAT.(stats.Exponential); !ok || exp.Rate != 1 {
+		t.Errorf("single-arrival IAT = %v, want Exponential{Rate: 1}", cm.IAT)
+	}
+}
+
+func TestFitEmptyFails(t *testing.T) {
+	if _, err := NewFitter().Fit(); err == nil {
+		t.Error("fitting an empty prefix should fail")
+	}
+}
+
+func TestFitPrefixPropagatesParseErrors(t *testing.T) {
+	trace := strings.Join(TraceHeader, ",") + "\n1.0,1,a,batch,1,0,0,bad,\n"
+	rd, err := NewReader(strings.NewReader(trace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFitter().FitPrefix(rd, 0); err == nil || errors.Is(err, io.EOF) {
+		t.Errorf("parse error not propagated: %v", err)
+	}
+}

@@ -1,0 +1,192 @@
+package traceload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"time"
+
+	"ssr/internal/dag"
+	"ssr/internal/stats"
+	"ssr/internal/workload"
+)
+
+// The generator synthesizes a cluster-trace-shaped CSV from the existing
+// workload presets, so tests, CI and users can produce arbitrarily large
+// traces without external downloads: "prod" jobs come from the SparkBench
+// ML suite (workload.MLSuite), "batch" jobs follow the Google-trace batch
+// statistics of workload.BackgroundConfig (heavy-tailed Pareto durations,
+// small-job-dominated task counts). Rows stream straight to the writer —
+// generating a 10M-job trace needs the same memory as a 100-job one.
+
+// GenConfig parameterizes trace synthesis.
+type GenConfig struct {
+	// Jobs is the number of jobs to emit.
+	Jobs int
+	// RatePerSec is the aggregate mean arrival rate (Poisson).
+	RatePerSec float64
+	// BatchFraction is the fraction of jobs in the batch class.
+	BatchFraction float64
+	// Batch shapes the batch class (MeanTask, Alpha, MaxParallelism are
+	// used; Jobs and Window are ignored — arrivals come from RatePerSec).
+	Batch workload.BackgroundConfig
+	// ProdPriority and BatchPriority are the per-class priorities.
+	ProdPriority, BatchPriority int
+	// ProdParallelism caps the ML suite's per-phase parallelism (the
+	// presets default to 20; small test traces use less).
+	ProdParallelism int
+}
+
+// DefaultGen mirrors the paper's cluster mix: batch-dominated arrivals
+// with a thin stream of production ML jobs.
+func DefaultGen() GenConfig {
+	return GenConfig{
+		Jobs:            1000,
+		RatePerSec:      2,
+		BatchFraction:   0.85,
+		Batch:           workload.DefaultBackground(),
+		ProdPriority:    10,
+		BatchPriority:   1,
+		ProdParallelism: 8,
+	}
+}
+
+func (c GenConfig) validate() error {
+	if c.Jobs <= 0 {
+		return fmt.Errorf("traceload: gen jobs %d must be positive", c.Jobs)
+	}
+	if c.RatePerSec <= 0 {
+		return fmt.Errorf("traceload: gen rate %v must be positive", c.RatePerSec)
+	}
+	if c.BatchFraction < 0 || c.BatchFraction > 1 {
+		return fmt.Errorf("traceload: gen batch fraction %v must be in [0, 1]", c.BatchFraction)
+	}
+	if c.Batch.Alpha <= 1 {
+		return fmt.Errorf("traceload: gen batch alpha %v must exceed 1", c.Batch.Alpha)
+	}
+	if c.Batch.MeanTask <= 0 || c.Batch.MaxParallelism <= 0 {
+		return fmt.Errorf("traceload: gen batch needs positive mean task and max parallelism")
+	}
+	if c.ProdParallelism <= 0 {
+		return fmt.Errorf("traceload: gen prod parallelism %d must be positive", c.ProdParallelism)
+	}
+	return nil
+}
+
+// Generate streams a synthetic cluster trace to w: header plus one row per
+// task, jobs sorted by arrival time. The trace is a pure function of
+// (cfg, seed).
+func Generate(w io.Writer, cfg GenConfig, seed int64) error {
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	if err := WriteHeader(bw); err != nil {
+		return err
+	}
+	arrivals := stats.Stream(seed, "traceload-gen-arrivals")
+	classPick := stats.Stream(seed, "traceload-gen-class")
+	batchDist, err := stats.ParetoWithMean(cfg.Batch.Alpha, cfg.Batch.MeanTask.Seconds())
+	if err != nil {
+		return err
+	}
+	suite := workload.MLSuite()
+	var now time.Duration
+	prodCount := 0
+	for i := 0; i < cfg.Jobs; i++ {
+		now += time.Duration(arrivals.ExpFloat64() / cfg.RatePerSec * float64(time.Second))
+		var rec JobRecord
+		if classPick.Float64() < cfg.BatchFraction {
+			rec = genBatch(cfg, seed, i, now, batchDist)
+		} else {
+			rec, err = genProd(cfg, seed, i, prodCount, now, suite)
+			if err != nil {
+				return err
+			}
+			prodCount++
+		}
+		if err := WriteRecord(bw, rec); err != nil {
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("traceload: flush trace: %w", err)
+	}
+	return nil
+}
+
+// genBatch synthesizes one batch job with the workload.Background shape
+// statistics: ~90% small jobs (<= 10 tasks), 70% single-phase, Pareto
+// durations.
+func genBatch(cfg GenConfig, seed int64, index int, submit time.Duration, dist stats.Distribution) JobRecord {
+	rng := stats.SubStream(seed, "traceload-gen-batch", index)
+	tasks := 1 + rng.Intn(10)
+	if rng.Float64() > 0.9 && cfg.Batch.MaxParallelism > 10 {
+		tasks = 11 + rng.Intn(cfg.Batch.MaxParallelism-10)
+	}
+	phases := 1
+	if rng.Float64() >= 0.7 {
+		phases = 2
+	}
+	rec := JobRecord{
+		ID:        int64(index + 1),
+		Name:      fmt.Sprintf("batch-%d", index),
+		Class:     ClassBatch,
+		Priority:  cfg.BatchPriority,
+		Submit:    submit,
+		Durations: make([][]time.Duration, phases),
+		Copies:    make([][]time.Duration, phases),
+	}
+	width := tasks
+	for p := 0; p < phases; p++ {
+		if p == 1 {
+			width = tasks / 2
+			if width < 1 {
+				width = 1
+			}
+		}
+		ds := make([]time.Duration, width)
+		cs := make([]time.Duration, width)
+		for t := range ds {
+			ds[t] = clampTask(secDur(dist.Sample(rng)))
+			cs[t] = clampTask(secDur(dist.Sample(rng)))
+		}
+		rec.Durations[p] = ds
+		rec.Copies[p] = cs
+	}
+	return rec
+}
+
+// genProd synthesizes one production job from the rotating ML suite
+// presets, capped at cfg.ProdParallelism per phase.
+func genProd(cfg GenConfig, seed int64, index, prodIndex int, submit time.Duration, suite []workload.MLSpec) (JobRecord, error) {
+	spec := suite[prodIndex%len(suite)]
+	if spec.Parallelism > cfg.ProdParallelism {
+		spec.Parallelism = cfg.ProdParallelism
+	}
+	job, err := spec.Build(dag.JobID(index+1), dag.Priority(cfg.ProdPriority), submit,
+		stats.SubStream(seed, "traceload-gen-prod", index))
+	if err != nil {
+		return JobRecord{}, fmt.Errorf("traceload: gen prod job %d: %w", index, err)
+	}
+	rec := JobRecord{
+		ID:        int64(index + 1),
+		Name:      fmt.Sprintf("%s-%d", spec.Name, prodIndex),
+		Class:     ClassProd,
+		Priority:  cfg.ProdPriority,
+		Submit:    submit,
+		Durations: make([][]time.Duration, job.NumPhases()),
+		Copies:    make([][]time.Duration, job.NumPhases()),
+	}
+	for _, ph := range job.Phases() {
+		ds := make([]time.Duration, len(ph.Tasks))
+		cs := make([]time.Duration, len(ph.Tasks))
+		for t, task := range ph.Tasks {
+			ds[t] = task.Duration
+			cs[t] = task.CopyDuration
+		}
+		rec.Durations[ph.ID] = ds
+		rec.Copies[ph.ID] = cs
+	}
+	return rec, nil
+}

@@ -1,0 +1,97 @@
+package traceload
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestGenerateRoundTrips(t *testing.T) {
+	cfg := DefaultGen()
+	cfg.Jobs = 150
+	var sb strings.Builder
+	if err := Generate(&sb, cfg, 42); err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	rd, err := NewReader(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("generated trace has a bad header: %v", err)
+	}
+	classes := map[string]int{}
+	count := 0
+	for {
+		rec, err := rd.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			// The Reader validates ordering, contiguity and positivity, so
+			// any error here means the generator emits malformed traces.
+			t.Fatalf("generated trace does not parse: %v", err)
+		}
+		classes[rec.Class]++
+		count++
+		if rec.Class == ClassProd && rec.Priority != cfg.ProdPriority {
+			t.Errorf("prod job %d priority %d, want %d", rec.ID, rec.Priority, cfg.ProdPriority)
+		}
+		if rec.Class == ClassBatch && rec.Priority != cfg.BatchPriority {
+			t.Errorf("batch job %d priority %d, want %d", rec.ID, rec.Priority, cfg.BatchPriority)
+		}
+		if rec.Class == ClassProd {
+			for _, ph := range rec.Durations {
+				if len(ph) > cfg.ProdParallelism {
+					t.Errorf("prod job %d phase width %d exceeds cap %d", rec.ID, len(ph), cfg.ProdParallelism)
+				}
+			}
+		}
+	}
+	if count != cfg.Jobs {
+		t.Fatalf("trace has %d jobs, want %d", count, cfg.Jobs)
+	}
+	// With BatchFraction 0.85 over 150 jobs both classes appear.
+	if classes[ClassBatch] == 0 || classes[ClassProd] == 0 {
+		t.Errorf("class mix %v missing a class", classes)
+	}
+	if classes[ClassBatch] <= classes[ClassProd] {
+		t.Errorf("class mix %v does not reflect batch fraction %v", classes, cfg.BatchFraction)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultGen()
+	cfg.Jobs = 60
+	var a, b strings.Builder
+	if err := Generate(&a, cfg, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := Generate(&b, cfg, 7); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("same seed produced different traces")
+	}
+	var c strings.Builder
+	if err := Generate(&c, cfg, 8); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() == c.String() {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestGenerateValidates(t *testing.T) {
+	bad := []GenConfig{
+		{},
+		func() GenConfig { c := DefaultGen(); c.Jobs = 0; return c }(),
+		func() GenConfig { c := DefaultGen(); c.RatePerSec = 0; return c }(),
+		func() GenConfig { c := DefaultGen(); c.BatchFraction = 1.5; return c }(),
+		func() GenConfig { c := DefaultGen(); c.Batch.Alpha = 1; return c }(),
+		func() GenConfig { c := DefaultGen(); c.ProdParallelism = 0; return c }(),
+	}
+	for i, cfg := range bad {
+		if err := Generate(io.Discard, cfg, 1); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}

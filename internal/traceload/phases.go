@@ -1,0 +1,233 @@
+package traceload
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"ssr/internal/obs"
+)
+
+// Phased runs split a sustained load test into warmup (cache and
+// steady-state ramp, measurements discarded), measurement (the numbers
+// that count) and drain (submissions stop; in-flight jobs finish). Stats
+// cut over per phase: each phase owns its counters and latency histogram,
+// and a completion is attributed to the phase its job was *submitted* in,
+// so a slow warmup job finishing late never pollutes the measurement
+// percentiles.
+
+// Phase identifies a run phase.
+type Phase int
+
+// Run phases, in order.
+const (
+	PhaseWarmup Phase = iota
+	PhaseMeasure
+	PhaseDrain
+)
+
+func (p Phase) String() string {
+	switch p {
+	case PhaseWarmup:
+		return "warmup"
+	case PhaseMeasure:
+		return "measure"
+	case PhaseDrain:
+		return "drain"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(p))
+	}
+}
+
+// PhasePlan is the phased-run schedule. A zero Warmup skips straight to
+// measurement; Measure 0 means "unbounded" (the source decides when the
+// run ends); Drain bounds how long the run waits for in-flight jobs after
+// submissions stop.
+type PhasePlan struct {
+	Warmup  time.Duration
+	Measure time.Duration
+	Drain   time.Duration
+}
+
+// Enabled reports whether the plan bounds the submission window.
+func (p PhasePlan) Enabled() bool { return p.Warmup > 0 || p.Measure > 0 }
+
+// SubmitWindow returns the total open-loop submission window (0 =
+// unbounded).
+func (p PhasePlan) SubmitWindow() time.Duration {
+	if p.Measure == 0 {
+		return 0
+	}
+	return p.Warmup + p.Measure
+}
+
+// PhaseAt returns the phase a submission at the given run offset belongs
+// to.
+func (p PhasePlan) PhaseAt(elapsed time.Duration) Phase {
+	if elapsed < p.Warmup {
+		return PhaseWarmup
+	}
+	if p.Measure == 0 || elapsed < p.Warmup+p.Measure {
+		return PhaseMeasure
+	}
+	return PhaseDrain
+}
+
+// ParsePhases parses "warmup/measure[/drain]" duration specs, e.g.
+// "30s/2m/30s" or "0/5m".
+func ParsePhases(s string) (PhasePlan, error) {
+	parts := strings.Split(strings.TrimSpace(s), "/")
+	if len(parts) < 2 || len(parts) > 3 {
+		return PhasePlan{}, fmt.Errorf("traceload: phases %q must be warmup/measure[/drain]", s)
+	}
+	parse := func(name, v string) (time.Duration, error) {
+		v = strings.TrimSpace(v)
+		if v == "0" {
+			return 0, nil
+		}
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			return 0, fmt.Errorf("traceload: phases %q: %s %q: %w", s, name, v, err)
+		}
+		if d < 0 {
+			return 0, fmt.Errorf("traceload: phases %q: %s must be non-negative", s, name)
+		}
+		return d, nil
+	}
+	var plan PhasePlan
+	var err error
+	if plan.Warmup, err = parse("warmup", parts[0]); err != nil {
+		return PhasePlan{}, err
+	}
+	if plan.Measure, err = parse("measure", parts[1]); err != nil {
+		return PhasePlan{}, err
+	}
+	if plan.Measure == 0 {
+		return PhasePlan{}, fmt.Errorf("traceload: phases %q: measure window must be positive", s)
+	}
+	if len(parts) == 3 {
+		if plan.Drain, err = parse("drain", parts[2]); err != nil {
+			return PhasePlan{}, err
+		}
+	}
+	return plan, nil
+}
+
+// phaseBucket accumulates one phase's counters and latencies.
+type phaseBucket struct {
+	submitted int
+	completed int
+	failed    int
+	refused   int
+	throttled int
+	shed      int
+	latency   *obs.Histogram
+	latSum    float64
+	latMax    float64
+}
+
+// PhaseStats is the concurrency-safe per-phase accounting of a phased run.
+// Latencies go into fixed-bucket histograms (obs.LatencyBuckets), so the
+// stats footprint is O(phases × buckets) — constant over a million-job
+// run.
+type PhaseStats struct {
+	mu      sync.Mutex
+	buckets [3]phaseBucket
+}
+
+// NewPhaseStats returns zeroed per-phase accounting.
+func NewPhaseStats() *PhaseStats {
+	ps := &PhaseStats{}
+	for i := range ps.buckets {
+		ps.buckets[i].latency = obs.NewHistogram(obs.LatencyBuckets)
+	}
+	return ps
+}
+
+// Submitted counts a submission in the given phase.
+func (ps *PhaseStats) Submitted(p Phase) {
+	ps.mu.Lock()
+	ps.buckets[p].submitted++
+	ps.mu.Unlock()
+}
+
+// Completed counts a completion (attributed to the submit phase) with its
+// client-observed latency in seconds.
+func (ps *PhaseStats) Completed(p Phase, latencySec float64) {
+	ps.mu.Lock()
+	b := &ps.buckets[p]
+	b.completed++
+	b.latSum += latencySec
+	if latencySec > b.latMax {
+		b.latMax = latencySec
+	}
+	ps.mu.Unlock()
+	ps.buckets[p].latency.Observe(latencySec)
+}
+
+// Failed counts a failed job.
+func (ps *PhaseStats) Failed(p Phase) { ps.count(p, func(b *phaseBucket) { b.failed++ }) }
+
+// Refused counts a job the service rejected after retries.
+func (ps *PhaseStats) Refused(p Phase) { ps.count(p, func(b *phaseBucket) { b.refused++ }) }
+
+// Throttled counts one 429 backpressure round trip.
+func (ps *PhaseStats) Throttled(p Phase) { ps.count(p, func(b *phaseBucket) { b.throttled++ }) }
+
+// Shed counts an arrival dropped by the client-side in-flight cap.
+func (ps *PhaseStats) Shed(p Phase) { ps.count(p, func(b *phaseBucket) { b.shed++ }) }
+
+func (ps *PhaseStats) count(p Phase, fn func(*phaseBucket)) {
+	ps.mu.Lock()
+	fn(&ps.buckets[p])
+	ps.mu.Unlock()
+}
+
+// PhaseReport is the snapshot of one phase.
+type PhaseReport struct {
+	Phase     string  `json:"phase"`
+	Submitted int     `json:"submitted"`
+	Completed int     `json:"completed"`
+	Failed    int     `json:"failed,omitempty"`
+	Refused   int     `json:"refused,omitempty"`
+	Throttled int     `json:"throttled,omitempty"`
+	Shed      int     `json:"shed,omitempty"`
+	MeanSec   float64 `json:"meanSec,omitempty"`
+	P50Sec    float64 `json:"p50Sec,omitempty"`
+	P90Sec    float64 `json:"p90Sec,omitempty"`
+	P99Sec    float64 `json:"p99Sec,omitempty"`
+	MaxSec    float64 `json:"maxSec,omitempty"`
+}
+
+// Snapshot returns per-phase reports in phase order, skipping phases that
+// saw no traffic.
+func (ps *PhaseStats) Snapshot() []PhaseReport {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	var out []PhaseReport
+	for p, b := range ps.buckets {
+		if b.submitted == 0 && b.completed == 0 && b.shed == 0 {
+			continue
+		}
+		rep := PhaseReport{
+			Phase:     Phase(p).String(),
+			Submitted: b.submitted,
+			Completed: b.completed,
+			Failed:    b.failed,
+			Refused:   b.refused,
+			Throttled: b.throttled,
+			Shed:      b.shed,
+			MaxSec:    b.latMax,
+		}
+		if b.completed > 0 {
+			snap := b.latency.Snapshot()
+			rep.MeanSec = b.latSum / float64(b.completed)
+			rep.P50Sec = snap.Quantile(0.50)
+			rep.P90Sec = snap.Quantile(0.90)
+			rep.P99Sec = snap.Quantile(0.99)
+		}
+		out = append(out, rep)
+	}
+	return out
+}

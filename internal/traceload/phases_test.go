@@ -1,0 +1,126 @@
+package traceload
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParsePhases(t *testing.T) {
+	plan, err := ParsePhases("30s/2m/45s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Warmup != 30*time.Second || plan.Measure != 2*time.Minute || plan.Drain != 45*time.Second {
+		t.Errorf("plan = %+v", plan)
+	}
+	plan, err = ParsePhases("0/5m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Warmup != 0 || plan.Measure != 5*time.Minute || plan.Drain != 0 {
+		t.Errorf("plan = %+v", plan)
+	}
+	for _, bad := range []string{"", "5m", "1s/2s/3s/4s", "x/5m", "5s/x", "5s/0", "-1s/5m", "5s/2m/x"} {
+		if _, err := ParsePhases(bad); err == nil {
+			t.Errorf("ParsePhases(%q) accepted", bad)
+		}
+	}
+}
+
+func TestPhasePlanWindows(t *testing.T) {
+	plan := PhasePlan{Warmup: 10 * time.Second, Measure: time.Minute, Drain: 5 * time.Second}
+	if !plan.Enabled() {
+		t.Error("plan should be enabled")
+	}
+	if w := plan.SubmitWindow(); w != 70*time.Second {
+		t.Errorf("submit window = %v, want 70s", w)
+	}
+	cases := []struct {
+		at   time.Duration
+		want Phase
+	}{
+		{0, PhaseWarmup},
+		{9 * time.Second, PhaseWarmup},
+		{10 * time.Second, PhaseMeasure},
+		{69 * time.Second, PhaseMeasure},
+		{70 * time.Second, PhaseDrain},
+		{time.Hour, PhaseDrain},
+	}
+	for _, tc := range cases {
+		if got := plan.PhaseAt(tc.at); got != tc.want {
+			t.Errorf("PhaseAt(%v) = %v, want %v", tc.at, got, tc.want)
+		}
+	}
+	// Unbounded measurement: everything after warmup is measure.
+	open := PhasePlan{Warmup: time.Second}
+	if open.SubmitWindow() != 0 {
+		t.Error("unbounded plan should report a zero submit window")
+	}
+	if open.PhaseAt(time.Hour) != PhaseMeasure {
+		t.Error("unbounded plan should never reach drain")
+	}
+	var zero PhasePlan
+	if zero.Enabled() {
+		t.Error("zero plan should be disabled")
+	}
+}
+
+func TestPhaseStatsAttribution(t *testing.T) {
+	ps := NewPhaseStats()
+	// Warmup traffic: must not leak into measurement numbers.
+	for i := 0; i < 5; i++ {
+		ps.Submitted(PhaseWarmup)
+		ps.Completed(PhaseWarmup, 100) // pathological warmup latencies
+	}
+	for i := 0; i < 20; i++ {
+		ps.Submitted(PhaseMeasure)
+		ps.Completed(PhaseMeasure, 0.5)
+	}
+	ps.Failed(PhaseMeasure)
+	ps.Refused(PhaseMeasure)
+	ps.Throttled(PhaseMeasure)
+	ps.Shed(PhaseMeasure)
+	reps := ps.Snapshot()
+	if len(reps) != 2 {
+		t.Fatalf("got %d phase reports, want 2 (drain untouched)", len(reps))
+	}
+	if reps[0].Phase != "warmup" || reps[1].Phase != "measure" {
+		t.Fatalf("report order: %q, %q", reps[0].Phase, reps[1].Phase)
+	}
+	m := reps[1]
+	if m.Submitted != 20 || m.Completed != 20 {
+		t.Errorf("measure submitted/completed = %d/%d, want 20/20", m.Submitted, m.Completed)
+	}
+	if m.Failed != 1 || m.Refused != 1 || m.Throttled != 1 || m.Shed != 1 {
+		t.Errorf("measure error counters = %+v", m)
+	}
+	if m.MeanSec != 0.5 || m.MaxSec != 0.5 {
+		t.Errorf("measure mean/max = %v/%v, want 0.5/0.5", m.MeanSec, m.MaxSec)
+	}
+	// Percentiles come from the histogram: nonzero and nowhere near the
+	// warmup's 100s tail.
+	if m.P50Sec <= 0 || m.P50Sec > 2 {
+		t.Errorf("measure p50 = %v, polluted by warmup?", m.P50Sec)
+	}
+	if m.P99Sec < m.P50Sec {
+		t.Errorf("p99 %v < p50 %v", m.P99Sec, m.P50Sec)
+	}
+	if reps[0].MaxSec != 100 {
+		t.Errorf("warmup max = %v, want 100", reps[0].MaxSec)
+	}
+}
+
+func TestPhaseStatsEmptySnapshot(t *testing.T) {
+	if reps := NewPhaseStats().Snapshot(); len(reps) != 0 {
+		t.Errorf("untouched stats produced %d reports", len(reps))
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	if PhaseWarmup.String() != "warmup" || PhaseMeasure.String() != "measure" || PhaseDrain.String() != "drain" {
+		t.Error("phase names wrong")
+	}
+	if Phase(9).String() != "Phase(9)" {
+		t.Error("unknown phase formatting wrong")
+	}
+}

@@ -1,0 +1,294 @@
+package traceload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// The cluster trace format is one CSV row per task, modeled on the task
+// event tables of the Google cluster traces:
+//
+//	time_sec,job,name,class,priority,phase,task,duration_sec,copy_sec
+//
+// where time_sec is the job's submission timestamp (every row of a job
+// carries the same value), phase is the 0-based pipeline stage (phase p
+// depends on phase p-1), task indexes tasks within the phase, duration_sec
+// is the task runtime and copy_sec an optional speculative-copy runtime
+// (empty means "same as duration"). Rows of one job must be contiguous,
+// phases in order, and jobs sorted by nondecreasing time_sec — the natural
+// order of an event trace, and what lets the Reader hold exactly one job's
+// rows at a time no matter how long the trace is.
+
+// TraceHeader is the expected header row of a cluster trace CSV.
+var TraceHeader = []string{
+	"time_sec", "job", "name", "class", "priority",
+	"phase", "task", "duration_sec", "copy_sec",
+}
+
+// Source is a streaming iterator over trace jobs. Next returns io.EOF
+// after the final record.
+type Source interface {
+	Next() (JobRecord, error)
+}
+
+// Reader streams JobRecords out of a cluster trace CSV with bounded
+// memory: it scans rows with bufio and buffers only the rows of the job
+// currently being assembled.
+type Reader struct {
+	sc      *bufio.Scanner
+	line    int
+	pending *partial // job being accumulated
+	done    bool
+	err     error
+
+	maxBuffered int // high-water mark of rows buffered for one job
+}
+
+// partial is the single in-flight job the Reader is assembling.
+type partial struct {
+	rec  JobRecord
+	rows int
+}
+
+// NewReader wraps a trace stream, reading and validating the header row.
+func NewReader(r io.Reader) (*Reader, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	rd := &Reader{sc: sc}
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("traceload: read trace header: %w", err)
+		}
+		return nil, fmt.Errorf("traceload: trace is empty (no header)")
+	}
+	rd.line = 1
+	fields := strings.Split(sc.Text(), ",")
+	if len(fields) != len(TraceHeader) {
+		return nil, fmt.Errorf("traceload: line 1: header has %d columns, want %d", len(fields), len(TraceHeader))
+	}
+	for i, want := range TraceHeader {
+		if strings.TrimSpace(fields[i]) != want {
+			return nil, fmt.Errorf("traceload: line 1: header column %d is %q, want %q", i, fields[i], want)
+		}
+	}
+	return rd, nil
+}
+
+// Line returns the last line number read (1-based; the header is line 1).
+func (r *Reader) Line() int { return r.line }
+
+// MaxBufferedRows returns the high-water mark of task rows held in memory
+// at once — the bounded-memory guarantee made testable: it is bounded by
+// the largest single job, never by the trace length.
+func (r *Reader) MaxBufferedRows() int { return r.maxBuffered }
+
+// Next returns the next job of the trace, or io.EOF after the last.
+func (r *Reader) Next() (JobRecord, error) {
+	if r.err != nil {
+		return JobRecord{}, r.err
+	}
+	for !r.done {
+		if !r.sc.Scan() {
+			if err := r.sc.Err(); err != nil {
+				r.err = fmt.Errorf("traceload: line %d: read trace: %w", r.line+1, err)
+				return JobRecord{}, r.err
+			}
+			r.done = true
+			break
+		}
+		r.line++
+		text := strings.TrimSpace(r.sc.Text())
+		if text == "" {
+			continue
+		}
+		row, err := parseRow(text, r.line)
+		if err != nil {
+			r.err = err
+			return JobRecord{}, err
+		}
+		finished, err := r.accumulate(row)
+		if err != nil {
+			r.err = err
+			return JobRecord{}, err
+		}
+		if finished != nil {
+			return *finished, nil
+		}
+	}
+	// Source exhausted: flush the final job, then report EOF.
+	if r.pending != nil {
+		rec, err := r.finish()
+		if err != nil {
+			r.err = err
+			return JobRecord{}, err
+		}
+		return rec, nil
+	}
+	r.err = io.EOF
+	return JobRecord{}, io.EOF
+}
+
+// taskRow is one parsed trace row.
+type taskRow struct {
+	line     int
+	submit   time.Duration
+	job      int64
+	name     string
+	class    string
+	priority int
+	phase    int
+	task     int
+	duration time.Duration
+	copy     time.Duration // 0 = default to duration
+}
+
+// parseRow validates one data row, reporting the line number in every
+// error.
+func parseRow(text string, line int) (taskRow, error) {
+	fields := strings.Split(text, ",")
+	if len(fields) != len(TraceHeader) {
+		return taskRow{}, fmt.Errorf("traceload: line %d: %d columns, want %d", line, len(fields), len(TraceHeader))
+	}
+	row := taskRow{line: line}
+	sec, err := strconv.ParseFloat(strings.TrimSpace(fields[0]), 64)
+	if err != nil || sec < 0 {
+		return taskRow{}, fmt.Errorf("traceload: line %d: time_sec %q invalid", line, fields[0])
+	}
+	row.submit = time.Duration(sec * float64(time.Second))
+	row.job, err = strconv.ParseInt(strings.TrimSpace(fields[1]), 10, 64)
+	if err != nil {
+		return taskRow{}, fmt.Errorf("traceload: line %d: job id %q: %w", line, fields[1], err)
+	}
+	row.name = strings.TrimSpace(fields[2])
+	row.class = strings.TrimSpace(fields[3])
+	if row.class == "" {
+		return taskRow{}, fmt.Errorf("traceload: line %d: empty class", line)
+	}
+	row.priority, err = strconv.Atoi(strings.TrimSpace(fields[4]))
+	if err != nil {
+		return taskRow{}, fmt.Errorf("traceload: line %d: priority %q: %w", line, fields[4], err)
+	}
+	row.phase, err = strconv.Atoi(strings.TrimSpace(fields[5]))
+	if err != nil || row.phase < 0 {
+		return taskRow{}, fmt.Errorf("traceload: line %d: phase %q invalid", line, fields[5])
+	}
+	row.task, err = strconv.Atoi(strings.TrimSpace(fields[6]))
+	if err != nil || row.task < 0 {
+		return taskRow{}, fmt.Errorf("traceload: line %d: task %q invalid", line, fields[6])
+	}
+	durSec, err := strconv.ParseFloat(strings.TrimSpace(fields[7]), 64)
+	if err != nil || durSec <= 0 {
+		return taskRow{}, fmt.Errorf("traceload: line %d: duration_sec %q invalid (must be positive)", line, fields[7])
+	}
+	row.duration = time.Duration(durSec * float64(time.Second))
+	if s := strings.TrimSpace(fields[8]); s != "" {
+		copySec, err := strconv.ParseFloat(s, 64)
+		if err != nil || copySec <= 0 {
+			return taskRow{}, fmt.Errorf("traceload: line %d: copy_sec %q invalid (must be positive)", line, fields[8])
+		}
+		row.copy = time.Duration(copySec * float64(time.Second))
+	}
+	return row, nil
+}
+
+// accumulate folds a row into the pending job. When the row opens a new
+// job, the finished previous record is returned.
+func (r *Reader) accumulate(row taskRow) (*JobRecord, error) {
+	var finished *JobRecord
+	if r.pending != nil && row.job != r.pending.rec.ID {
+		rec, err := r.finish()
+		if err != nil {
+			return nil, err
+		}
+		if row.submit < rec.Submit {
+			return nil, fmt.Errorf("traceload: line %d: job %d at %v arrives before predecessor %d at %v (trace must be time-sorted)",
+				row.line, row.job, row.submit, rec.ID, rec.Submit)
+		}
+		finished = &rec
+	}
+	if r.pending == nil || finished != nil {
+		r.pending = &partial{rec: JobRecord{
+			ID:       row.job,
+			Name:     row.name,
+			Class:    row.class,
+			Priority: row.priority,
+			Submit:   row.submit,
+		}}
+	}
+	p := r.pending
+	if row.submit != p.rec.Submit || row.name != p.rec.Name || row.class != p.rec.Class || row.priority != p.rec.Priority {
+		return nil, fmt.Errorf("traceload: line %d: job %d row disagrees with its first row (time/name/class/priority must match; interleaved jobs?)",
+			row.line, row.job)
+	}
+	switch {
+	case row.phase == len(p.rec.Durations):
+		p.rec.Durations = append(p.rec.Durations, nil)
+		p.rec.Copies = append(p.rec.Copies, nil)
+	case row.phase == len(p.rec.Durations)-1:
+		// continuing the current phase
+	default:
+		return nil, fmt.Errorf("traceload: line %d: job %d phase %d out of order (phases must be contiguous from 0)",
+			row.line, row.job, row.phase)
+	}
+	ph := row.phase
+	if row.task != len(p.rec.Durations[ph]) {
+		return nil, fmt.Errorf("traceload: line %d: job %d phase %d task %d out of order (tasks must be contiguous from 0)",
+			row.line, row.job, ph, row.task)
+	}
+	p.rec.Durations[ph] = append(p.rec.Durations[ph], row.duration)
+	copyDur := row.copy
+	if copyDur == 0 {
+		copyDur = row.duration
+	}
+	p.rec.Copies[ph] = append(p.rec.Copies[ph], copyDur)
+	p.rows++
+	if p.rows > r.maxBuffered {
+		r.maxBuffered = p.rows
+	}
+	return finished, nil
+}
+
+// finish seals the pending record.
+func (r *Reader) finish() (JobRecord, error) {
+	rec := r.pending.rec
+	r.pending = nil
+	for ph, durs := range rec.Durations {
+		if len(durs) == 0 {
+			return JobRecord{}, fmt.Errorf("traceload: line %d: job %d phase %d has no tasks", r.line, rec.ID, ph)
+		}
+	}
+	return rec, nil
+}
+
+// WriteRecord emits one job in the cluster trace format (rows appended to
+// w, no header). The generator and round-trip tests share it.
+func WriteRecord(w io.Writer, rec JobRecord) error {
+	sec := strconv.FormatFloat(rec.Submit.Seconds(), 'f', 6, 64)
+	for ph, durs := range rec.Durations {
+		for t, d := range durs {
+			copyField := ""
+			if ph < len(rec.Copies) && rec.Copies[ph] != nil && rec.Copies[ph][t] != d {
+				copyField = strconv.FormatFloat(rec.Copies[ph][t].Seconds(), 'f', 6, 64)
+			}
+			_, err := fmt.Fprintf(w, "%s,%d,%s,%s,%d,%d,%d,%s,%s\n",
+				sec, rec.ID, rec.Name, rec.Class, rec.Priority, ph, t,
+				strconv.FormatFloat(d.Seconds(), 'f', 6, 64), copyField)
+			if err != nil {
+				return fmt.Errorf("traceload: write record: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// WriteHeader emits the trace header row.
+func WriteHeader(w io.Writer) error {
+	if _, err := io.WriteString(w, strings.Join(TraceHeader, ",")+"\n"); err != nil {
+		return fmt.Errorf("traceload: write header: %w", err)
+	}
+	return nil
+}

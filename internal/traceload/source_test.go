@@ -1,0 +1,261 @@
+package traceload
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"ssr/internal/dag"
+)
+
+const sampleTrace = `time_sec,job,name,class,priority,phase,task,duration_sec,copy_sec
+0.5,1,bg-0,batch,1,0,0,4.0,
+0.5,1,bg-0,batch,1,0,1,6.0,5.0
+0.5,1,bg-0,batch,1,1,0,2.0,
+2.25,2,kmeans-0,prod,10,0,0,3.0,3.5
+5.0,3,bg-1,batch,1,0,0,8.0,
+`
+
+func TestReaderStreamsJobs(t *testing.T) {
+	rd, err := NewReader(strings.NewReader(sampleTrace))
+	if err != nil {
+		t.Fatalf("new reader: %v", err)
+	}
+	var recs []JobRecord
+	for {
+		rec, err := rd.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("next: %v", err)
+		}
+		recs = append(recs, rec)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d jobs, want 3", len(recs))
+	}
+	j := recs[0]
+	if j.ID != 1 || j.Name != "bg-0" || j.Class != ClassBatch || j.Priority != 1 {
+		t.Errorf("job 1 metadata wrong: %+v", j)
+	}
+	if j.Submit != 500*time.Millisecond {
+		t.Errorf("job 1 submit = %v, want 500ms", j.Submit)
+	}
+	if len(j.Durations) != 2 || len(j.Durations[0]) != 2 || len(j.Durations[1]) != 1 {
+		t.Fatalf("job 1 shape wrong: %v", j.Durations)
+	}
+	if j.Durations[0][1] != 6*time.Second {
+		t.Errorf("task duration = %v, want 6s", j.Durations[0][1])
+	}
+	// Empty copy_sec defaults the copy to the task duration; explicit
+	// values are kept.
+	if j.Copies[0][0] != 4*time.Second || j.Copies[0][1] != 5*time.Second {
+		t.Errorf("copies = %v, want [4s 5s]", j.Copies[0])
+	}
+	if recs[1].Class != ClassProd || recs[1].Tasks() != 1 {
+		t.Errorf("job 2 wrong: %+v", recs[1])
+	}
+	// A drained reader keeps returning io.EOF.
+	if _, err := rd.Next(); !errors.Is(err, io.EOF) {
+		t.Errorf("post-EOF Next = %v, want io.EOF", err)
+	}
+}
+
+func TestReaderBuildsJobs(t *testing.T) {
+	rd, err := NewReader(strings.NewReader(sampleTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := rd.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := rec.Build(rec.Submit, "bulk")
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if job.ID != 1 || job.Class != dag.Background || job.Tenant != "bulk" {
+		t.Errorf("built job wrong: id=%d class=%v tenant=%q", job.ID, job.Class, job.Tenant)
+	}
+	if job.NumPhases() != 2 {
+		t.Errorf("phases = %d, want 2", job.NumPhases())
+	}
+	if deps := job.Phase(1).Deps; len(deps) != 1 || deps[0] != 0 {
+		t.Errorf("phase 1 deps = %v, want [0] (chain)", deps)
+	}
+}
+
+// TestReaderErrorsCarryLineNumbers walks every malformed-row class and
+// asserts the error names the offending line.
+func TestReaderErrorsCarryLineNumbers(t *testing.T) {
+	header := "time_sec,job,name,class,priority,phase,task,duration_sec,copy_sec\n"
+	ok := "1.0,1,a,batch,1,0,0,2.0,\n"
+	cases := []struct {
+		name string
+		rows string
+		line int
+		want string
+	}{
+		{"column count", ok + "1.0,2,b,batch,1,0,0\n", 3, "columns"},
+		{"bad time", ok + "x,2,b,batch,1,0,0,2.0,\n", 3, "time_sec"},
+		{"negative time", ok + "-1,2,b,batch,1,0,0,2.0,\n", 3, "time_sec"},
+		{"bad job id", ok + "1.0,x,b,batch,1,0,0,2.0,\n", 3, "job id"},
+		{"empty class", ok + "1.0,2,b,,1,0,0,2.0,\n", 3, "class"},
+		{"bad priority", ok + "1.0,2,b,batch,p,0,0,2.0,\n", 3, "priority"},
+		{"bad phase", ok + "1.0,2,b,batch,1,-1,0,2.0,\n", 3, "phase"},
+		{"bad task", ok + "1.0,2,b,batch,1,0,x,2.0,\n", 3, "task"},
+		{"zero duration", ok + "1.0,2,b,batch,1,0,0,0,\n", 3, "duration_sec"},
+		{"bad copy", ok + "1.0,2,b,batch,1,0,0,2.0,-1\n", 3, "copy_sec"},
+		{"time goes backward", ok + "0.5,2,b,batch,1,0,0,2.0,\n", 3, "time-sorted"},
+		{"metadata drift", "1.0,1,a,batch,1,0,0,2.0,\n1.0,1,a,prod,1,0,1,2.0,\n", 3, "disagrees"},
+		{"phase gap", "1.0,1,a,batch,1,0,0,2.0,\n1.0,1,a,batch,1,2,0,2.0,\n", 3, "contiguous"},
+		{"task gap", "1.0,1,a,batch,1,0,0,2.0,\n1.0,1,a,batch,1,0,2,2.0,\n", 3, "contiguous"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rd, err := NewReader(strings.NewReader(header + tc.rows))
+			if err != nil {
+				t.Fatalf("header rejected: %v", err)
+			}
+			for err == nil {
+				_, err = rd.Next()
+			}
+			if errors.Is(err, io.EOF) {
+				t.Fatalf("malformed trace parsed clean")
+			}
+			if !strings.Contains(err.Error(), fmt.Sprintf("line %d", tc.line)) {
+				t.Errorf("error %q does not name line %d", err, tc.line)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestReaderHeaderErrors(t *testing.T) {
+	if _, err := NewReader(strings.NewReader("")); err == nil {
+		t.Error("empty trace should fail")
+	}
+	if _, err := NewReader(strings.NewReader("a,b\n")); err == nil {
+		t.Error("short header should fail")
+	}
+	if _, err := NewReader(strings.NewReader("time_sec,job,name,class,priority,phase,task,duration_sec,WRONG\n")); err == nil {
+		t.Error("mislabeled header should fail")
+	}
+}
+
+// rowGen synthesizes trace rows on the fly — an io.Reader over a trace
+// that is never materialized, for the bounded-memory test.
+type rowGen struct {
+	jobs        int // total jobs to emit
+	perJob      int // tasks per job
+	nextJob     int
+	buf         []byte
+	wroteHeader bool
+}
+
+func (g *rowGen) Read(p []byte) (int, error) {
+	for len(g.buf) == 0 {
+		if !g.wroteHeader {
+			g.buf = []byte(strings.Join(TraceHeader, ",") + "\n")
+			g.wroteHeader = true
+			break
+		}
+		if g.nextJob >= g.jobs {
+			return 0, io.EOF
+		}
+		id := g.nextJob + 1
+		var sb strings.Builder
+		for task := 0; task < g.perJob; task++ {
+			fmt.Fprintf(&sb, "%d.0,%d,j-%d,batch,1,0,%d,1.5,\n", id, id, id, task)
+		}
+		g.buf = []byte(sb.String())
+		g.nextJob++
+	}
+	n := copy(p, g.buf)
+	g.buf = g.buf[n:]
+	return n, nil
+}
+
+// TestReaderBoundedMemory feeds a trace source far larger than an explicit
+// row cap through the Reader and asserts the high-water mark of buffered
+// rows is the largest single job — not the trace length. This is the
+// no-full-trace-materialization guarantee behind sustained million-job
+// runs.
+func TestReaderBoundedMemory(t *testing.T) {
+	const (
+		jobs   = 60_000
+		perJob = 4
+		rowCap = 1_000 // explicit cap: trace has 240k rows, 240x larger
+	)
+	rd, err := NewReader(&rowGen{jobs: jobs, perJob: perJob})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for {
+		rec, err := rd.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("job %d: %v", count, err)
+		}
+		if rec.Tasks() != perJob {
+			t.Fatalf("job %d has %d tasks, want %d", rec.ID, rec.Tasks(), perJob)
+		}
+		count++
+	}
+	if count != jobs {
+		t.Fatalf("streamed %d jobs, want %d", count, jobs)
+	}
+	if got := rd.MaxBufferedRows(); got > rowCap {
+		t.Errorf("max buffered rows = %d, exceeds cap %d (trace materialized?)", got, rowCap)
+	}
+	if got := rd.MaxBufferedRows(); got != perJob {
+		t.Errorf("max buffered rows = %d, want exactly the largest job (%d)", got, perJob)
+	}
+}
+
+func TestWriteRecordRoundTrip(t *testing.T) {
+	rec := JobRecord{
+		ID: 7, Name: "rt", Class: ClassProd, Priority: 9,
+		Submit:    1500 * time.Millisecond,
+		Durations: [][]time.Duration{{2 * time.Second, 3 * time.Second}, {time.Second}},
+		Copies:    [][]time.Duration{{2 * time.Second, 4 * time.Second}, {time.Second}},
+	}
+	var sb strings.Builder
+	if err := WriteHeader(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteRecord(&sb, rec); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := NewReader(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rd.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != rec.ID || got.Name != rec.Name || got.Class != rec.Class ||
+		got.Priority != rec.Priority || got.Submit != rec.Submit {
+		t.Errorf("metadata round trip: got %+v", got)
+	}
+	for p := range rec.Durations {
+		for i := range rec.Durations[p] {
+			if got.Durations[p][i] != rec.Durations[p][i] {
+				t.Errorf("duration [%d][%d] = %v, want %v", p, i, got.Durations[p][i], rec.Durations[p][i])
+			}
+			if got.Copies[p][i] != rec.Copies[p][i] {
+				t.Errorf("copy [%d][%d] = %v, want %v", p, i, got.Copies[p][i], rec.Copies[p][i])
+			}
+		}
+	}
+}

@@ -1,0 +1,107 @@
+// Package traceload is the trace-replay front end: it streams
+// cluster-trace-shaped CSVs through the scheduler without ever
+// materializing a whole trace in memory, fits inter-arrival and
+// task-duration distributions per workload class from a trace prefix, and
+// generates open-loop arrivals either by replaying recorded timestamps (at
+// a configurable speedup) or by sampling the fitted model — which is how a
+// thousand-row sample trace can drive a sustained run of millions of jobs.
+//
+// The pipeline, each stage streaming into the next:
+//
+//	Reader (bufio-scanned rows -> JobRecord iterator, bounded memory)
+//	  -> Fitter (per-class IAT/duration/shape models from a prefix)
+//	  -> arrival sources (Replay | Fitted | Poisson, all open loop)
+//	  -> PhasePlan/PhaseStats (warmup -> measurement -> drain cutover)
+//	  -> ResultWriter (incremental CSV/JSONL completion records)
+//
+// Everything draws from labeled stats streams, so a generated trace, a
+// fitted model and a synthetic arrival sequence are pure functions of
+// their seeds; the offline `tracereplay` experiment relies on this for
+// bit-identical replays.
+package traceload
+
+import (
+	"fmt"
+	"time"
+
+	"ssr/internal/dag"
+)
+
+// Workload class labels used by the generator and the default class
+// mapping. A trace may carry arbitrary class labels; these two are the
+// conventional ones for latency-sensitive production jobs and throughput
+// batch work (the Google trace's scheduling-class split).
+const (
+	ClassProd  = "prod"
+	ClassBatch = "batch"
+)
+
+// DefaultClass maps a trace workload class to the scheduler's two-level
+// class model: "prod" is foreground (the paper's service jobs), everything
+// else is background batch.
+func DefaultClass(class string) dag.Class {
+	if class == ClassProd {
+		return dag.Foreground
+	}
+	return dag.Background
+}
+
+// JobRecord is one job of a trace: a chain of phases with pre-drawn task
+// durations, the streaming unit every pipeline stage exchanges. A record
+// is self-contained — holding one at a time is all the Reader needs, which
+// is what keeps ingest memory bounded regardless of trace length.
+type JobRecord struct {
+	// ID is the trace's job identifier (also used as the dag job ID).
+	ID int64
+	// Name labels the job ("bg-17", "kmeans-3").
+	Name string
+	// Class is the workload class label ("prod", "batch", ...).
+	Class string
+	// Priority is the scheduling priority recorded in the trace.
+	Priority int
+	// Submit is the recorded submission timestamp (trace time).
+	Submit time.Duration
+	// Durations holds per-phase task durations; phase p depends on p-1.
+	Durations [][]time.Duration
+	// Copies optionally holds matching speculative-copy durations; a nil
+	// inner slice defaults the phase's copies to its task durations.
+	Copies [][]time.Duration
+}
+
+// Tasks returns the total task count across phases.
+func (rec JobRecord) Tasks() int {
+	n := 0
+	for _, ph := range rec.Durations {
+		n += len(ph)
+	}
+	return n
+}
+
+// Build constructs the immutable dag.Job for the record, submitted at the
+// given (possibly rescaled) time. Phases form a chain, the class maps via
+// DefaultClass, and an optional tenant tags the job for quota accounting.
+func (rec JobRecord) Build(submit time.Duration, tenant string) (*dag.Job, error) {
+	if len(rec.Durations) == 0 {
+		return nil, fmt.Errorf("traceload: job %d has no phases", rec.ID)
+	}
+	specs := make([]dag.PhaseSpec, len(rec.Durations))
+	for p, durs := range rec.Durations {
+		spec := dag.PhaseSpec{Durations: append([]time.Duration(nil), durs...)}
+		if p < len(rec.Copies) && rec.Copies[p] != nil {
+			spec.CopyDurations = append([]time.Duration(nil), rec.Copies[p]...)
+		}
+		specs[p] = spec
+	}
+	opts := []dag.Option{
+		dag.WithSubmit(submit),
+		dag.WithClass(DefaultClass(rec.Class)),
+	}
+	if tenant != "" {
+		opts = append(opts, dag.WithTenant(tenant))
+	}
+	job, err := dag.Chain(dag.JobID(rec.ID), rec.Name, dag.Priority(rec.Priority), specs, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("traceload: job %d: %w", rec.ID, err)
+	}
+	return job, nil
+}

@@ -1,0 +1,110 @@
+package traceload
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// ResultRecord is one completed (or terminally failed/refused/shed) job of
+// a load run, as written by the streaming result writer.
+type ResultRecord struct {
+	Job        int64   `json:"job"`
+	Name       string  `json:"name"`
+	Class      string  `json:"class,omitempty"`
+	Tenant     string  `json:"tenant,omitempty"`
+	Phase      string  `json:"phase"`
+	SubmitSec  float64 `json:"submitSec"`
+	LatencySec float64 `json:"latencySec,omitempty"`
+	State      string  `json:"state"`
+}
+
+// Result writer formats.
+const (
+	FormatCSV   = "csv"
+	FormatJSONL = "jsonl"
+)
+
+// ResultWriter streams per-job completion records to a sink incrementally
+// — buffered writes, periodic flushes, no accumulation — so a multi-hour
+// run's results never live in memory. It is safe for concurrent use by the
+// completion goroutines of a load generator.
+type ResultWriter struct {
+	mu         sync.Mutex
+	w          *bufio.Writer
+	format     string
+	count      int
+	flushEvery int
+}
+
+// NewResultWriter wraps a sink in a streaming result writer using the
+// given format (FormatCSV or FormatJSONL). The CSV header is written
+// immediately; records are flushed every flushEvery writes (<= 0 picks a
+// default of 256).
+func NewResultWriter(w io.Writer, format string, flushEvery int) (*ResultWriter, error) {
+	if flushEvery <= 0 {
+		flushEvery = 256
+	}
+	rw := &ResultWriter{w: bufio.NewWriter(w), format: format, flushEvery: flushEvery}
+	switch format {
+	case FormatCSV:
+		if _, err := rw.w.WriteString("job,name,class,tenant,phase,submit_sec,latency_sec,state\n"); err != nil {
+			return nil, fmt.Errorf("traceload: write results header: %w", err)
+		}
+	case FormatJSONL:
+	default:
+		return nil, fmt.Errorf("traceload: result format %q must be %s or %s", format, FormatCSV, FormatJSONL)
+	}
+	return rw, nil
+}
+
+// Write appends one record.
+func (rw *ResultWriter) Write(rec ResultRecord) error {
+	rw.mu.Lock()
+	defer rw.mu.Unlock()
+	var err error
+	switch rw.format {
+	case FormatCSV:
+		_, err = fmt.Fprintf(rw.w, "%d,%s,%s,%s,%s,%s,%s,%s\n",
+			rec.Job, rec.Name, rec.Class, rec.Tenant, rec.Phase,
+			strconv.FormatFloat(rec.SubmitSec, 'f', 6, 64),
+			strconv.FormatFloat(rec.LatencySec, 'f', 6, 64),
+			rec.State)
+	case FormatJSONL:
+		var data []byte
+		if data, err = json.Marshal(rec); err == nil {
+			data = append(data, '\n')
+			_, err = rw.w.Write(data)
+		}
+	}
+	if err != nil {
+		return fmt.Errorf("traceload: write result: %w", err)
+	}
+	rw.count++
+	if rw.count%rw.flushEvery == 0 {
+		if err := rw.w.Flush(); err != nil {
+			return fmt.Errorf("traceload: flush results: %w", err)
+		}
+	}
+	return nil
+}
+
+// Count returns the number of records written.
+func (rw *ResultWriter) Count() int {
+	rw.mu.Lock()
+	defer rw.mu.Unlock()
+	return rw.count
+}
+
+// Flush drains the buffer to the sink.
+func (rw *ResultWriter) Flush() error {
+	rw.mu.Lock()
+	defer rw.mu.Unlock()
+	if err := rw.w.Flush(); err != nil {
+		return fmt.Errorf("traceload: flush results: %w", err)
+	}
+	return nil
+}

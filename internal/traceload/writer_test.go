@@ -1,0 +1,91 @@
+package traceload
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestResultWriterCSV(t *testing.T) {
+	var sb strings.Builder
+	rw, err := NewResultWriter(&sb, FormatCSV, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []ResultRecord{
+		{Job: 1, Name: "a", Class: "batch", Tenant: "bulk", Phase: "warmup", SubmitSec: 0.5, LatencySec: 1.25, State: "completed"},
+		{Job: 2, Name: "b", Class: "prod", Tenant: "ml", Phase: "measure", SubmitSec: 2, LatencySec: 0.75, State: "completed"},
+		{Job: 3, Name: "c", Class: "batch", Tenant: "bulk", Phase: "measure", SubmitSec: 3, State: "shed"},
+	}
+	for _, r := range recs {
+		if err := rw.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rw.Count() != 3 {
+		t.Errorf("count = %d, want 3", rw.Count())
+	}
+	if err := rw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want header + 3", len(lines))
+	}
+	if lines[0] != "job,name,class,tenant,phase,submit_sec,latency_sec,state" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "1,a,batch,bulk,warmup,0.500000,1.250000,completed") {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+	if !strings.Contains(lines[3], "shed") {
+		t.Errorf("row 3 = %q", lines[3])
+	}
+}
+
+func TestResultWriterJSONL(t *testing.T) {
+	var sb strings.Builder
+	rw, err := NewResultWriter(&sb, FormatJSONL, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ResultRecord{Job: 42, Name: "j", Class: "prod", Tenant: "ml", Phase: "measure", SubmitSec: 1.5, LatencySec: 2.5, State: "completed"}
+	if err := rw.Write(want); err != nil {
+		t.Fatal(err)
+	}
+	if err := rw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var got ResultRecord
+	if err := json.Unmarshal([]byte(strings.TrimSpace(sb.String())), &got); err != nil {
+		t.Fatalf("jsonl row does not parse: %v", err)
+	}
+	if got != want {
+		t.Errorf("round trip: got %+v, want %+v", got, want)
+	}
+}
+
+func TestResultWriterPeriodicFlush(t *testing.T) {
+	var sb strings.Builder
+	rw, err := NewResultWriter(&sb, FormatJSONL, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rw.Write(ResultRecord{Job: 1, Phase: "measure", State: "completed"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rw.Write(ResultRecord{Job: 2, Phase: "measure", State: "completed"}); err != nil {
+		t.Fatal(err)
+	}
+	// flushEvery=2: both rows must already be in the sink without an
+	// explicit Flush.
+	if n := strings.Count(sb.String(), "\n"); n != 2 {
+		t.Errorf("sink has %d rows before explicit flush, want 2", n)
+	}
+}
+
+func TestResultWriterBadFormat(t *testing.T) {
+	if _, err := NewResultWriter(&strings.Builder{}, "xml", 0); err == nil {
+		t.Error("unknown format accepted")
+	}
+}

@@ -1,0 +1,257 @@
+package workload
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"ssr/internal/dag"
+)
+
+// StreamCSV is the streaming counterpart to FromCSV: it yields jobs one at
+// a time and never materializes the trace, so memory is bounded by the
+// largest single job. The price of streaming is stricter input ordering
+// than FromCSV accepts: rows of one job must be contiguous and jobs must
+// appear in increasing ID order (phases within a job may still come in any
+// order). Every validation error names the offending line.
+type StreamCSV struct {
+	cr   *csv.Reader
+	line int
+	pend *streamAcc
+	done bool
+	err  error
+}
+
+// streamAcc is the single job being assembled.
+type streamAcc struct {
+	id        dag.JobID
+	firstLine int
+	acc       jobAcc
+}
+
+// NewStreamCSV wraps a workload trace stream, reading and validating the
+// header row.
+func NewStreamCSV(r io.Reader) (*StreamCSV, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(traceHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("workload: read trace header: %w", err)
+	}
+	for i, want := range traceHeader {
+		if strings.TrimSpace(header[i]) != want {
+			return nil, fmt.Errorf("workload: trace header column %d is %q, want %q", i, header[i], want)
+		}
+	}
+	return &StreamCSV{cr: cr, line: 1}, nil
+}
+
+// Line returns the last line read (1-based; the header is line 1).
+func (s *StreamCSV) Line() int { return s.line }
+
+// Next returns the next job of the trace, or io.EOF after the last. Errors
+// are terminal: once Next fails, it keeps returning the same error.
+func (s *StreamCSV) Next() (*dag.Job, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	for !s.done {
+		rec, err := s.cr.Read()
+		if errors.Is(err, io.EOF) {
+			s.done = true
+			break
+		}
+		if err != nil {
+			s.err = fmt.Errorf("workload: line %d: read trace: %w", s.line+1, err)
+			return nil, s.err
+		}
+		s.line++
+		job, err := s.accumulate(rec)
+		if err != nil {
+			s.err = err
+			return nil, err
+		}
+		if job != nil {
+			return job, nil
+		}
+	}
+	if s.pend != nil {
+		job, err := s.flush()
+		if err != nil {
+			s.err = err
+			return nil, err
+		}
+		return job, nil
+	}
+	s.err = io.EOF
+	return nil, io.EOF
+}
+
+// accumulate folds one row into the pending job; when the row opens a new
+// job, the finished previous one is returned.
+func (s *StreamCSV) accumulate(rec []string) (*dag.Job, error) {
+	row, err := parseTraceRow(rec, s.line)
+	if err != nil {
+		return nil, err
+	}
+	var finished *dag.Job
+	if s.pend != nil && row.id != s.pend.id {
+		// Non-increasing IDs mean an out-of-order or reopened job; either
+		// way the contiguity the streaming reader depends on is broken.
+		if row.id < s.pend.id {
+			return nil, fmt.Errorf("workload: line %d: job %d after job %d (streaming traces need jobs contiguous, in increasing ID order)",
+				s.line, row.id, s.pend.id)
+		}
+		finished, err = s.flush()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if s.pend == nil {
+		s.pend = &streamAcc{
+			id:        row.id,
+			firstLine: s.line,
+			acc: jobAcc{
+				name:     row.name,
+				priority: row.priority,
+				class:    row.class,
+				known:    row.known,
+				submit:   row.submit,
+				phases:   make(map[int]dag.PhaseSpec),
+			},
+		}
+	}
+	p := s.pend
+	if row.name != p.acc.name || row.priority != p.acc.priority || row.class != p.acc.class ||
+		row.known != p.acc.known || row.submit != p.acc.submit {
+		return nil, fmt.Errorf("workload: line %d: job %d row disagrees with line %d (job-level columns must match)",
+			s.line, row.id, p.firstLine)
+	}
+	if _, dup := p.acc.phases[row.phase]; dup {
+		return nil, fmt.Errorf("workload: line %d: duplicate phase %d for job %d", s.line, row.phase, row.id)
+	}
+	p.acc.phases[row.phase] = row.spec
+	return finished, nil
+}
+
+// flush seals the pending job.
+func (s *StreamCSV) flush() (*dag.Job, error) {
+	p := s.pend
+	s.pend = nil
+	job, err := buildTraceJob(p.id, p.acc)
+	if err != nil {
+		return nil, fmt.Errorf("workload: line %d: %w", s.line, err)
+	}
+	return job, nil
+}
+
+// jobAcc accumulates one job's rows; shared by FromCSV and StreamCSV.
+type jobAcc struct {
+	name     string
+	priority dag.Priority
+	class    dag.Class
+	known    bool
+	submit   time.Duration
+	phases   map[int]dag.PhaseSpec
+}
+
+// traceRow is one parsed and validated workload trace row.
+type traceRow struct {
+	id       dag.JobID
+	name     string
+	priority dag.Priority
+	class    dag.Class
+	known    bool
+	submit   time.Duration
+	phase    int
+	spec     dag.PhaseSpec
+}
+
+// parseTraceRow validates one data row of a workload trace; every error
+// names the line.
+func parseTraceRow(rec []string, line int) (traceRow, error) {
+	var row traceRow
+	jid, err := strconv.ParseInt(rec[0], 10, 64)
+	if err != nil {
+		return traceRow{}, fmt.Errorf("workload: line %d: job id %q: %w", line, rec[0], err)
+	}
+	row.id = dag.JobID(jid)
+	row.name = rec[1]
+	prio, err := strconv.Atoi(rec[2])
+	if err != nil {
+		return traceRow{}, fmt.Errorf("workload: line %d: priority %q: %w", line, rec[2], err)
+	}
+	row.priority = dag.Priority(prio)
+	row.class, err = parseClass(rec[3])
+	if err != nil {
+		return traceRow{}, fmt.Errorf("workload: line %d: %w", line, err)
+	}
+	row.known, err = strconv.ParseBool(strings.TrimSpace(rec[4]))
+	if err != nil {
+		return traceRow{}, fmt.Errorf("workload: line %d: known %q: %w", line, rec[4], err)
+	}
+	submitSec, err := strconv.ParseFloat(rec[5], 64)
+	if err != nil || submitSec < 0 {
+		return traceRow{}, fmt.Errorf("workload: line %d: submit_sec %q invalid", line, rec[5])
+	}
+	row.submit = time.Duration(submitSec * float64(time.Second))
+	row.phase, err = strconv.Atoi(rec[6])
+	if err != nil || row.phase < 0 {
+		return traceRow{}, fmt.Errorf("workload: line %d: phase %q invalid", line, rec[6])
+	}
+	deps, err := parseIntList(rec[7])
+	if err != nil {
+		return traceRow{}, fmt.Errorf("workload: line %d: deps: %w", line, err)
+	}
+	demand := 1
+	if strings.TrimSpace(rec[8]) != "" {
+		demand, err = strconv.Atoi(rec[8])
+		if err != nil {
+			return traceRow{}, fmt.Errorf("workload: line %d: demand %q: %w", line, rec[8], err)
+		}
+	}
+	durs, err := parseDurList(rec[9])
+	if err != nil {
+		return traceRow{}, fmt.Errorf("workload: line %d: durations: %w", line, err)
+	}
+	var copies []time.Duration
+	if strings.TrimSpace(rec[10]) != "" {
+		copies, err = parseDurList(rec[10])
+		if err != nil {
+			return traceRow{}, fmt.Errorf("workload: line %d: copy durations: %w", line, err)
+		}
+	}
+	row.spec = dag.PhaseSpec{
+		Durations:     durs,
+		CopyDurations: copies,
+		Deps:          deps,
+		Demand:        demand,
+	}
+	return row, nil
+}
+
+// buildTraceJob assembles a job from accumulated phase rows, checking that
+// phases form a contiguous range from 0.
+func buildTraceJob(id dag.JobID, acc jobAcc) (*dag.Job, error) {
+	specs := make([]dag.PhaseSpec, len(acc.phases))
+	for pi := range specs {
+		spec, ok := acc.phases[pi]
+		if !ok {
+			return nil, fmt.Errorf("job %d is missing phase %d", id, pi)
+		}
+		specs[pi] = spec
+	}
+	opts := []dag.Option{dag.WithSubmit(acc.submit), dag.WithClass(acc.class)}
+	if acc.known {
+		opts = append(opts, dag.WithKnownParallelism())
+	}
+	job, err := dag.NewJob(id, acc.name, acc.priority, specs, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("job %d: %w", id, err)
+	}
+	return job, nil
+}

@@ -1,0 +1,164 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"ssr/internal/dag"
+)
+
+const streamTrace = `job,name,priority,class,known,submit_sec,phase,deps,demand,durations_sec,copy_durations_sec
+1,map-reduce,10,fg,true,0.5,0,,1,2.0;3.0,2.5;3.5
+1,map-reduce,10,fg,true,0.5,1,0,1,4.0,
+2,scan,1,bg,false,1.0,0,,2,1.0,
+`
+
+func TestStreamCSVYieldsJobs(t *testing.T) {
+	sr, err := NewStreamCSV(strings.NewReader(streamTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jobs []*dag.Job
+	for {
+		job, err := sr.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("next: %v", err)
+		}
+		jobs = append(jobs, job)
+	}
+	if len(jobs) != 2 {
+		t.Fatalf("got %d jobs, want 2", len(jobs))
+	}
+	j := jobs[0]
+	if j.ID != 1 || j.Name != "map-reduce" || j.Priority != 10 || j.Class != dag.Foreground {
+		t.Errorf("job 1 metadata: %+v", j)
+	}
+	if !j.ParallelismKnown {
+		t.Error("job 1 should have known parallelism")
+	}
+	if j.Submit != 500*time.Millisecond {
+		t.Errorf("job 1 submit = %v", j.Submit)
+	}
+	if j.NumPhases() != 2 || len(j.Phase(0).Tasks) != 2 {
+		t.Errorf("job 1 shape: %d phases, %d tasks", j.NumPhases(), len(j.Phase(0).Tasks))
+	}
+	if j.Phase(0).Tasks[1].CopyDuration != 3500*time.Millisecond {
+		t.Errorf("copy duration = %v", j.Phase(0).Tasks[1].CopyDuration)
+	}
+	if jobs[1].ID != 2 || jobs[1].Class != dag.Background || jobs[1].Phase(0).Demand != 2 {
+		t.Errorf("job 2: %+v", jobs[1])
+	}
+	// Terminal EOF.
+	if _, err := sr.Next(); !errors.Is(err, io.EOF) {
+		t.Errorf("post-EOF Next = %v", err)
+	}
+}
+
+// TestStreamCSVMatchesFromCSV pins the streaming reader to the batch
+// parser: the same trace yields the same jobs.
+func TestStreamCSVMatchesFromCSV(t *testing.T) {
+	batch, err := FromCSV(strings.NewReader(streamTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := NewStreamCSV(strings.NewReader(streamTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range batch {
+		got, err := sr.Next()
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		if got.ID != want.ID || got.Name != want.Name || got.NumPhases() != want.NumPhases() {
+			t.Errorf("job %d: stream %v vs batch %v", i, got, want)
+		}
+	}
+	if _, err := sr.Next(); !errors.Is(err, io.EOF) {
+		t.Error("stream has more jobs than batch parse")
+	}
+}
+
+func TestStreamCSVErrorsCarryLineNumbers(t *testing.T) {
+	header := "job,name,priority,class,known,submit_sec,phase,deps,demand,durations_sec,copy_durations_sec\n"
+	ok := "1,a,10,fg,true,0.5,0,,1,2.0,\n"
+	cases := []struct {
+		name string
+		rows string
+		line int
+		want string
+	}{
+		{"bad job id", ok + "x,b,1,bg,false,1.0,0,,1,2.0,\n", 3, "job id"},
+		{"bad priority", ok + "2,b,p,bg,false,1.0,0,,1,2.0,\n", 3, "priority"},
+		{"bad class", ok + "2,b,1,neither,false,1.0,0,,1,2.0,\n", 3, "class"},
+		{"bad known", ok + "2,b,1,bg,maybe,1.0,0,,1,2.0,\n", 3, "known"},
+		{"bad submit", ok + "2,b,1,bg,false,-1,0,,1,2.0,\n", 3, "submit_sec"},
+		{"bad phase", ok + "2,b,1,bg,false,1.0,-1,,1,2.0,\n", 3, "phase"},
+		{"bad dep entry", ok + "2,b,1,bg,false,1.0,0,0;x,1,2.0,\n", 3, "entry 2 of 2"},
+		{"bad demand", ok + "2,b,1,bg,false,1.0,0,,x,2.0,\n", 3, "demand"},
+		{"empty durations", ok + "2,b,1,bg,false,1.0,0,,1,,\n", 3, "durations"},
+		{"bad duration entry", ok + "2,b,1,bg,false,1.0,0,,1,2.0;x;3.0,\n", 3, "entry 2 of 3"},
+		{"bad copy entry", ok + "2,b,1,bg,false,1.0,0,,1,2.0,x\n", 3, "copy durations"},
+		{"duplicate phase", ok + "1,a,10,fg,true,0.5,0,,1,2.0,\n", 3, "duplicate phase"},
+		{"job-level drift", ok + "1,a,9,fg,true,0.5,1,0,1,2.0,\n", 3, "disagrees with line 2"},
+		{"decreasing order", "2,b,1,bg,false,1.0,0,,1,2.0,\n" + ok, 3, "increasing ID order"},
+		{"reopened job", ok + "2,b,1,bg,false,1.0,0,,1,2.0,\n" + ok, 4, "contiguous"},
+		{"missing phase", "1,a,10,fg,true,0.5,1,0,1,2.0,\n", 2, "missing phase 0"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sr, err := NewStreamCSV(strings.NewReader(header + tc.rows))
+			if err != nil {
+				t.Fatalf("header rejected: %v", err)
+			}
+			for err == nil {
+				_, err = sr.Next()
+			}
+			if errors.Is(err, io.EOF) {
+				t.Fatal("malformed trace parsed clean")
+			}
+			if !strings.Contains(err.Error(), fmt.Sprintf("line %d", tc.line)) {
+				t.Errorf("error %q does not name line %d", err, tc.line)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+			// Errors are terminal and repeatable.
+			if _, err2 := sr.Next(); err2 == nil || err2.Error() != err.Error() {
+				t.Errorf("second Next = %v, want the same error", err2)
+			}
+		})
+	}
+}
+
+func TestStreamCSVHeaderErrors(t *testing.T) {
+	if _, err := NewStreamCSV(strings.NewReader("")); err == nil {
+		t.Error("empty trace accepted")
+	}
+	if _, err := NewStreamCSV(strings.NewReader("a,b,c\n")); err == nil {
+		t.Error("short header accepted")
+	}
+}
+
+// TestFromCSVListErrorsCarryPositions pins the entry-index context the
+// shared list parsers add for the batch path too.
+func TestFromCSVListErrorsCarryPositions(t *testing.T) {
+	trace := "job,name,priority,class,known,submit_sec,phase,deps,demand,durations_sec,copy_durations_sec\n" +
+		"1,a,10,fg,true,0.5,0,,1,2.0;bad;3.0;4.0,\n"
+	_, err := FromCSV(strings.NewReader(trace))
+	if err == nil {
+		t.Fatal("malformed durations accepted")
+	}
+	for _, want := range []string{"line 2", "durations", "entry 2 of 4", `"bad"`} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+}

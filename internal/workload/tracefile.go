@@ -44,14 +44,6 @@ func FromCSV(r io.Reader) ([]*dag.Job, error) {
 		}
 	}
 
-	type jobAcc struct {
-		name     string
-		priority dag.Priority
-		class    dag.Class
-		known    bool
-		submit   time.Duration
-		phases   map[int]dag.PhaseSpec
-	}
 	jobs := make(map[dag.JobID]*jobAcc)
 	line := 1
 	for {
@@ -63,74 +55,27 @@ func FromCSV(r io.Reader) ([]*dag.Job, error) {
 			return nil, fmt.Errorf("workload: read trace: %w", err)
 		}
 		line++
-		jid, err := strconv.ParseInt(rec[0], 10, 64)
+		row, err := parseTraceRow(rec, line)
 		if err != nil {
-			return nil, fmt.Errorf("workload: line %d: job id %q: %w", line, rec[0], err)
-		}
-		prio, err := strconv.Atoi(rec[2])
-		if err != nil {
-			return nil, fmt.Errorf("workload: line %d: priority %q: %w", line, rec[2], err)
-		}
-		class, err := parseClass(rec[3])
-		if err != nil {
-			return nil, fmt.Errorf("workload: line %d: %w", line, err)
-		}
-		known, err := strconv.ParseBool(strings.TrimSpace(rec[4]))
-		if err != nil {
-			return nil, fmt.Errorf("workload: line %d: known %q: %w", line, rec[4], err)
-		}
-		submitSec, err := strconv.ParseFloat(rec[5], 64)
-		if err != nil || submitSec < 0 {
-			return nil, fmt.Errorf("workload: line %d: submit_sec %q invalid", line, rec[5])
-		}
-		phase, err := strconv.Atoi(rec[6])
-		if err != nil || phase < 0 {
-			return nil, fmt.Errorf("workload: line %d: phase %q invalid", line, rec[6])
-		}
-		deps, err := parseIntList(rec[7])
-		if err != nil {
-			return nil, fmt.Errorf("workload: line %d: deps: %w", line, err)
-		}
-		demand := 1
-		if strings.TrimSpace(rec[8]) != "" {
-			demand, err = strconv.Atoi(rec[8])
-			if err != nil {
-				return nil, fmt.Errorf("workload: line %d: demand %q: %w", line, rec[8], err)
-			}
-		}
-		durs, err := parseDurList(rec[9])
-		if err != nil {
-			return nil, fmt.Errorf("workload: line %d: durations: %w", line, err)
-		}
-		var copies []time.Duration
-		if strings.TrimSpace(rec[10]) != "" {
-			copies, err = parseDurList(rec[10])
-			if err != nil {
-				return nil, fmt.Errorf("workload: line %d: copy durations: %w", line, err)
-			}
+			return nil, err
 		}
 
-		acc := jobs[dag.JobID(jid)]
+		acc := jobs[row.id]
 		if acc == nil {
 			acc = &jobAcc{
-				name:     rec[1],
-				priority: dag.Priority(prio),
-				class:    class,
-				known:    known,
-				submit:   time.Duration(submitSec * float64(time.Second)),
+				name:     row.name,
+				priority: row.priority,
+				class:    row.class,
+				known:    row.known,
+				submit:   row.submit,
 				phases:   make(map[int]dag.PhaseSpec),
 			}
-			jobs[dag.JobID(jid)] = acc
+			jobs[row.id] = acc
 		}
-		if _, dup := acc.phases[phase]; dup {
-			return nil, fmt.Errorf("workload: line %d: duplicate phase %d for job %d", line, phase, jid)
+		if _, dup := acc.phases[row.phase]; dup {
+			return nil, fmt.Errorf("workload: line %d: duplicate phase %d for job %d", line, row.phase, row.id)
 		}
-		acc.phases[phase] = dag.PhaseSpec{
-			Durations:     durs,
-			CopyDurations: copies,
-			Deps:          deps,
-			Demand:        demand,
-		}
+		acc.phases[row.phase] = row.spec
 	}
 
 	ids := make([]dag.JobID, 0, len(jobs))
@@ -140,22 +85,9 @@ func FromCSV(r io.Reader) ([]*dag.Job, error) {
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	out := make([]*dag.Job, 0, len(ids))
 	for _, id := range ids {
-		acc := jobs[id]
-		specs := make([]dag.PhaseSpec, len(acc.phases))
-		for pi := range specs {
-			spec, ok := acc.phases[pi]
-			if !ok {
-				return nil, fmt.Errorf("workload: job %d is missing phase %d", id, pi)
-			}
-			specs[pi] = spec
-		}
-		opts := []dag.Option{dag.WithSubmit(acc.submit), dag.WithClass(acc.class)}
-		if acc.known {
-			opts = append(opts, dag.WithKnownParallelism())
-		}
-		job, err := dag.NewJob(id, acc.name, acc.priority, specs, opts...)
+		job, err := buildTraceJob(id, *jobs[id])
 		if err != nil {
-			return nil, fmt.Errorf("workload: job %d: %w", id, err)
+			return nil, fmt.Errorf("workload: %w", err)
 		}
 		out = append(out, job)
 	}
@@ -230,7 +162,7 @@ func parseIntList(s string) ([]int, error) {
 	for i, p := range parts {
 		v, err := strconv.Atoi(strings.TrimSpace(p))
 		if err != nil {
-			return nil, fmt.Errorf("entry %q: %w", p, err)
+			return nil, fmt.Errorf("entry %d of %d (%q): %w", i+1, len(parts), p, err)
 		}
 		out[i] = v
 	}
@@ -247,7 +179,7 @@ func parseDurList(s string) ([]time.Duration, error) {
 	for i, p := range parts {
 		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
 		if err != nil {
-			return nil, fmt.Errorf("entry %q: %w", p, err)
+			return nil, fmt.Errorf("entry %d of %d (%q): %w", i+1, len(parts), p, err)
 		}
 		out[i] = time.Duration(v * float64(time.Second))
 	}

@@ -163,4 +163,52 @@ lines=$(wc -l <"$workdir/run.csv")
 [[ "$lines" -ge 7 ]] || fail "trace has $lines lines, want >= 7 (header + 6 attempts)"
 ssrd_pid=""
 
+# --- Trace soak: synthesize a cluster trace, replay it open-loop through
+# the phased ssrload driver against a fresh daemon, and check the phase
+# cutover fires and the measurement window records real percentiles.
+echo "e2e_smoke: trace soak (gen_trace -> ssrload -trace)"
+go build -o "$workdir/ssrload" ./cmd/ssrload
+go run ./scripts/gen_trace.go -jobs 40 -rate 2 -seed 7 \
+    -batch-parallelism 8 -prod-parallelism 4 -out "$workdir/trace.csv" 2>/dev/null
+[[ -s "$workdir/trace.csv" ]] || fail "gen_trace produced no trace"
+
+"$workdir/ssrd" -addr 127.0.0.1:0 -nodes 8 -slots 4 -mode ssr \
+    -dilation 2000 -drain 5s \
+    >"$workdir/ssrd.log" 2>&1 &
+ssrd_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^ssrd: listening on \([^ ]*\).*/\1/p' "$workdir/ssrd.log")
+    [[ -n "$addr" ]] && break
+    require_alive "during soak startup"
+    sleep 0.1
+done
+[[ -n "$addr" ]] || fail "soak daemon never reported its address"
+
+soak_out=$("$workdir/ssrload" -addr "http://$addr" -trace "$workdir/trace.csv" \
+    -iat replay -speedup 50 -phases 200ms/10s/60s \
+    -classes prod=ml,batch=bulk \
+    -out "$workdir/soak_results.csv" -json "$workdir/soak_report.json" \
+    -poll 10ms -timeout 2m 2>&1) || fail "trace soak run: $soak_out"
+echo "$soak_out" | grep -q 'trace phase warmup begins' || fail "soak missing warmup start: $soak_out"
+echo "$soak_out" | grep -q 'phase cutover warmup -> measure' || fail "soak missing phase cutover: $soak_out"
+echo "$soak_out" | grep -q '40 submitted' || fail "soak did not submit the full trace: $soak_out"
+echo "$soak_out" | grep -q ' 0 failed' || fail "soak jobs failed: $soak_out"
+
+# The measurement phase must have completions with nonzero latency
+# percentiles (p50 > 0 implies p99 > 0 in the report's omitempty JSON).
+grep -q '"phase": "measure"' "$workdir/soak_report.json" || fail "report missing measurement phase"
+measure_p50=$(tr -d ' \n' <"$workdir/soak_report.json" \
+    | grep -o '"phase":"measure"[^}]*' | grep -o '"p50Sec":[0-9.]*' | cut -d: -f2)
+[[ -n "$measure_p50" && "$measure_p50" != "0" ]] || fail "measurement p50 missing or zero: $measure_p50"
+results_lines=$(wc -l <"$workdir/soak_results.csv")
+[[ "$results_lines" -eq 41 ]] || fail "soak results have $results_lines lines, want header + 40"
+echo "e2e_smoke: trace soak ok (phase cutover + measure p50=${measure_p50}s, $((results_lines - 1)) result rows)"
+
+kill -TERM "$ssrd_pid"
+rc=0
+wait "$ssrd_pid" || rc=$?
+[[ "$rc" -eq 0 ]] || fail "soak daemon exit code $rc after SIGTERM, want 0"
+ssrd_pid=""
+
 echo "e2e_smoke: PASS"

@@ -1,0 +1,79 @@
+// Command gen_trace synthesizes a cluster-trace-shaped CSV from the
+// repository's workload presets, so soak tests and demos can produce
+// arbitrarily large traces without external downloads:
+//
+//	go run ./scripts/gen_trace.go -jobs 100000 -rate 4 -out trace.csv
+//
+// The output streams row by row — a 10M-job trace needs the same memory
+// as a 100-job one — and is a pure function of the flags and -seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ssr/internal/traceload"
+	"ssr/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "gen_trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	def := traceload.DefaultGen()
+	fs := flag.NewFlagSet("gen_trace", flag.ContinueOnError)
+	jobs := fs.Int("jobs", def.Jobs, "number of jobs to emit")
+	rate := fs.Float64("rate", def.RatePerSec, "aggregate arrival rate (jobs/sec, Poisson)")
+	batchFrac := fs.Float64("batch-fraction", def.BatchFraction, "fraction of jobs in the batch class")
+	meanTask := fs.Duration("mean-task", def.Batch.MeanTask, "batch mean task duration")
+	alpha := fs.Float64("alpha", def.Batch.Alpha, "batch Pareto tail index (>1)")
+	batchPar := fs.Int("batch-parallelism", def.Batch.MaxParallelism, "batch max tasks per phase")
+	prodPar := fs.Int("prod-parallelism", def.ProdParallelism, "production max tasks per phase")
+	seed := fs.Int64("seed", 1, "RNG seed (same flags + seed => identical trace)")
+	out := fs.String("out", "", "output path (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := def
+	cfg.Jobs = *jobs
+	cfg.RatePerSec = *rate
+	cfg.BatchFraction = *batchFrac
+	cfg.Batch = workload.DefaultBackground()
+	cfg.Batch.MeanTask = *meanTask
+	cfg.Batch.Alpha = *alpha
+	cfg.Batch.MaxParallelism = *batchPar
+	cfg.ProdParallelism = *prodPar
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	start := time.Now()
+	if err := traceload.Generate(w, cfg, *seed); err != nil {
+		return err
+	}
+	if *out != "" {
+		if err := w.Sync(); err != nil {
+			return err
+		}
+		st, err := w.Stat()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "gen_trace: wrote %d jobs (%d bytes) to %s in %s\n",
+			cfg.Jobs, st.Size(), *out, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
