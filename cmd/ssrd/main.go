@@ -17,6 +17,8 @@
 //	GET  /v1/trace         recorded task attempts (requires -trace);
 //	                       ?format=perfetto for Chrome trace-event JSON
 //	GET  /v1/audit         reservation-decision audit stream (JSON Lines)
+//	GET  /v1/estimators    live adaptive-SSR estimator snapshots
+//	                       (requires -adaptive; 404 otherwise)
 //	GET  /v1/events        server-sent lifecycle event stream
 //	GET  /v1/healthz       liveness
 //
@@ -94,6 +96,7 @@ func run(args []string, sigC <-chan os.Signal, ready func(addr string)) error {
 		alpha     = fs.Float64("alpha", 1.6, "operator's Pareto tail estimate for the deadline")
 		threshold = fs.Float64("r", 0.5, "SSR pre-reservation threshold R")
 		mitigate  = fs.Bool("mitigate", false, "use reserved slots as straggler mitigators")
+		adaptive  = fs.Bool("adaptive", false, "re-derive SSR deadlines from streaming tail estimators instead of -alpha alone")
 		timeout   = fs.Duration("timeout", 10*time.Second, "reservation timeout (mode=timeout)")
 		static    = fs.Int("static", 0, "statically fenced slots (mode=static)")
 		dilation  = fs.Float64("dilation", 1, "virtual seconds per wall-clock second")
@@ -128,6 +131,7 @@ func run(args []string, sigC <-chan os.Signal, ready func(addr string)) error {
 		BaselineWorkers: *baseline,
 		RecordTrace:     *traceOut != "",
 		AuditCapacity:   *auditCap,
+		Adaptive:        *adaptive,
 	}
 	if *lend <= 0 {
 		cfg.Lending.Disabled = true

@@ -17,6 +17,7 @@ import (
 	"ssr/internal/core"
 	"ssr/internal/dag"
 	"ssr/internal/driver"
+	"ssr/internal/estimate"
 	"ssr/internal/faults"
 	"ssr/internal/obs"
 	"ssr/internal/runner"
@@ -43,6 +44,7 @@ func run(args []string) error {
 		alpha     = fs.Float64("alpha", 1.6, "operator's Pareto tail estimate for the deadline")
 		threshold = fs.Float64("r", 0.5, "SSR pre-reservation threshold R")
 		mitigate  = fs.Bool("mitigate", false, "use reserved slots as straggler mitigators")
+		adaptive  = fs.Bool("adaptive", false, "re-derive SSR deadlines from streaming tail estimators instead of -alpha alone")
 		timeout   = fs.Duration("timeout", 10*time.Second, "reservation timeout (mode=timeout)")
 		static    = fs.Int("static", 0, "statically fenced slots (mode=static)")
 		suite     = fs.String("suite", "ml", "foreground suite: ml, ml2x, sql, none")
@@ -87,6 +89,11 @@ func run(args []string) error {
 		// live tail.
 		audit = obs.NewAudit(1 << 20)
 		opts.Audit = audit
+	}
+	var est *estimate.Registry
+	if *adaptive {
+		est = estimate.New(estimate.Config{})
+		opts.Adaptive = est
 	}
 	switch *modeName {
 	case "none":
@@ -203,6 +210,13 @@ func run(args []string) error {
 	if fc := d.Faults(); fc.Any() {
 		fmt.Println(fc)
 	}
+	if est != nil {
+		for _, cs := range est.Snapshot() {
+			fmt.Printf("estimator %s/%s: n=%d alpha=%.2f tm=%.2fs ks=%.3f stable=%v effP=%.3f hold=%.3f (fits=%d rejects=%d)\n",
+				orDefault(cs.Tenant), cs.Class, cs.Observed, cs.Alpha, cs.TmSec,
+				cs.KS, cs.Stable, cs.EffectiveP, cs.HoldEWMA, cs.Fits, cs.Rejects)
+		}
+	}
 
 	// The baselines replay each foreground job on an empty cluster — one
 	// independent simulation per job, so they parallelize cleanly.
@@ -248,6 +262,15 @@ func run(args []string) error {
 			audit.Len(), *auditOut, audit.Dropped())
 	}
 	return nil
+}
+
+// orDefault maps the empty (single-tenant) tenant name to "default" for
+// display, matching the metric-label convention.
+func orDefault(tenant string) string {
+	if tenant == "" {
+		return "default"
+	}
+	return tenant
 }
 
 // loadJobs reads a workload trace CSV.

@@ -205,12 +205,20 @@ func (t *PhaseTracker) fraction() float64 { return float64(t.finished) / float64
 // to reserve for). Deadline may be called once the first task completes;
 // it returns the same value thereafter.
 func (t *PhaseTracker) Deadline(firstTaskDuration time.Duration) (time.Duration, bool) {
-	if !t.cfg.Enabled || t.final || t.cfg.IsolationP >= 1 {
+	return t.DeadlineWith(firstTaskDuration, t.cfg.IsolationP, t.cfg.Alpha)
+}
+
+// DeadlineWith derives the reservation deadline from explicit Eq. 3 knobs
+// instead of the tracker's static configuration — the actuator half of
+// the adaptive control loop, which re-derives P and alpha from estimator
+// snapshots per completion. The gating rules are identical to Deadline's.
+func (t *PhaseTracker) DeadlineWith(firstTaskDuration time.Duration, p, alpha float64) (time.Duration, bool) {
+	if !t.cfg.Enabled || t.final || p >= 1 {
 		return 0, false
 	}
 	t.deadlineArmed = true
 	tm := firstTaskDuration.Seconds()
-	d := model.Deadline(t.cfg.IsolationP, tm, t.cfg.Alpha, t.m)
+	d := model.Deadline(p, tm, alpha, t.m)
 	if math.IsNaN(d) || math.IsInf(d, 1) {
 		return 0, false
 	}

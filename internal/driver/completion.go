@@ -32,6 +32,10 @@ func (d *Driver) onFinish(att *attempt) {
 	if d.opts.Speculation.Enabled {
 		pr.doneDurations = append(pr.doneDurations, d.eng.Now()-att.start)
 	}
+	// Sensor stage of the adaptive control loop: the winner's measured
+	// service time joins the class's sliding window (before the deadline
+	// below is armed, so even a phase's own first finisher counts).
+	d.observeFinish(jr, d.eng.Now()-att.start)
 	if att.isCopy {
 		jr.stats.CopiesWon++
 		if d.opts.Metrics != nil {
@@ -246,7 +250,8 @@ func (d *Driver) expireTimeoutReservation(slot cluster.SlotID, armedAt sim.Time)
 // armDeadline derives the phase's reservation deadline from the duration of
 // its first-finishing task and schedules the expiry event.
 func (d *Driver) armDeadline(pr *phaseRun, firstTaskDuration sim.Time) {
-	dl, ok := pr.tracker.Deadline(firstTaskDuration)
+	p, alpha, src := d.deadlineKnobs(pr.jr)
+	dl, ok := pr.tracker.DeadlineWith(firstTaskDuration, p, alpha)
 	if !ok {
 		return
 	}
@@ -256,7 +261,7 @@ func (d *Driver) armDeadline(pr *phaseRun, firstTaskDuration sim.Time) {
 	d.audit(obs.AuditEvent{Kind: obs.KindDeadlineArmed, Job: int64(pr.jr.job.ID),
 		JobName: pr.jr.job.Name, Phase: pr.phase.ID, Slot: -1,
 		TmSec: firstTaskDuration.Seconds(), N: pr.phase.Parallelism(),
-		P: pr.jr.ssrCfg.IsolationP, Alpha: pr.jr.ssrCfg.Alpha,
+		P: p, Alpha: alpha, Src: src,
 		DeadlineSec: dl.Seconds()})
 	expireAt := pr.start + dl
 	if expireAt <= d.eng.Now() {
@@ -274,6 +279,7 @@ func (d *Driver) expireDeadline(pr *phaseRun) {
 	pr.deadlineTimer = nil
 	pr.tracker.ExpireDeadline()
 	pr.jr.stats.DeadlineExpiries++
+	d.observeOutcome(pr.jr, true)
 	if d.opts.Metrics != nil {
 		d.opts.Metrics.DeadlinesExpired.Inc()
 	}
@@ -312,16 +318,38 @@ func (d *Driver) maybeMitigate(pr *phaseRun) {
 	if !pr.tracker.ShouldMitigate(pr.runningTasks, reservedIdle) {
 		return
 	}
+	// With an estimator attached, the copy budget caps concurrent
+	// duplicates per its tail-index stability gate; running copies count
+	// against it. Without one the paper's rule applies: duplicate every
+	// ongoing task.
+	budget := -1
+	if ad := d.opts.Adaptive; ad != nil {
+		budget = ad.CopyBudget(pr.jr.job.Tenant, pr.jr.class, pr.runningTasks)
+		for idx := range pr.tasks {
+			if pr.tasks[idx].dup != nil {
+				budget--
+			}
+		}
+		if budget < 0 {
+			budget = 0
+		}
+	}
 	for idx := range pr.tasks {
 		task := &pr.tasks[idx]
 		if task.done || task.orig == nil || task.dup != nil {
 			continue
+		}
+		if budget == 0 {
+			return
 		}
 		slot, ok := d.cl.AcquireReservedFor(jobID, pr.demand)
 		if !ok {
 			return
 		}
 		d.launchCopy(pr, idx, slot)
+		if budget > 0 {
+			budget--
+		}
 	}
 }
 
@@ -344,6 +372,7 @@ func (d *Driver) onPhaseComplete(pr *phaseRun) {
 		pr.deadlineTimer.Cancel()
 		d.eng.Release(pr.deadlineTimer)
 		pr.deadlineTimer = nil
+		d.observeOutcome(jr, false)
 	}
 	d.dropPreReserver(pr)
 	d.syncQueue(pr)

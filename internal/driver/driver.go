@@ -160,6 +160,16 @@ type Options struct {
 	// the lending broker's recall here so idle loans checked out of the
 	// draining node travel home immediately.
 	OnDrain func(node int)
+	// Adaptive, when non-nil, closes the SSR control loop: task
+	// completions, phase submissions and deadline outcomes feed the
+	// estimator, and deadlines re-derive their Eq. 3 knobs (alpha,
+	// effective P) from its accepted fits instead of static config, with
+	// straggler copies capped by its stability-gated budget. All calls
+	// ride engine events on the virtual clock, so replays stay
+	// deterministic. A federation passes one shared registry through
+	// shard.Options.Driver to every shard. Nil disables adaptation and
+	// keeps scheduling bit-identical to a build without the hook.
+	Adaptive AdaptiveSSR
 }
 
 func (o *Options) withDefaults() Options {

@@ -7,6 +7,7 @@ import (
 	"ssr/internal/cluster"
 	"ssr/internal/core"
 	"ssr/internal/dag"
+	"ssr/internal/estimate"
 	"ssr/internal/metrics"
 	"ssr/internal/obs"
 	"ssr/internal/sched"
@@ -33,6 +34,9 @@ type jobRun struct {
 	// ssrCfg is the job's effective SSR config, resolved once at
 	// submission: mode + ReserveMinPriority gate + per-tenant override.
 	ssrCfg core.Config
+	// class is the job's estimator class (estimate.ClassOf of its name),
+	// resolved once at submission; "" when no estimator is attached.
+	class string
 	// remaining approximates the job's remaining serial work (sum of
 	// base durations of not-yet-finished tasks); the DAGPS queue orders
 	// on it.
@@ -58,6 +62,9 @@ func newJobRun(d *Driver, job *dag.Job) *jobRun {
 		cfg = d.opts.TenantSSR(job.Tenant, cfg)
 	}
 	jr.ssrCfg = cfg
+	if d.opts.Adaptive != nil {
+		jr.class = estimate.ClassOf(job.Name)
+	}
 	jr.remaining = job.SerialWork()
 	jr.stats = metrics.JobStats{Job: job, Submit: job.Submit}
 	return jr
@@ -419,6 +426,9 @@ func (d *Driver) submitPhase(jr *jobRun, pid int) {
 	pr.localityOpen = pr.queuedConstrained() == 0
 	jr.phases[pid] = pr
 	d.emitPhase(EventPhaseStart, pr)
+	if ad := d.opts.Adaptive; ad != nil {
+		ad.ObservePhase(jr.job.Tenant, jr.class, m)
+	}
 
 	if !pr.localityOpen {
 		for _, s := range pr.preferred {

@@ -1,0 +1,98 @@
+package estimate
+
+import "ssr/internal/obs"
+
+// classMetrics holds one class's exported estimator series. The counters
+// double as freshness sources: obs last-observation tracking stamps each
+// update with a per-series ordinal, so scrapes can tell a live estimator
+// from a stalled one without a second bookkeeping path.
+type classMetrics struct {
+	alpha        *obs.Gauge
+	tmSec        *obs.Gauge
+	ks           *obs.Gauge
+	effP         *obs.Gauge
+	holdEWMA     *obs.Gauge
+	window       *obs.Gauge
+	stable       *obs.Gauge
+	tasksEWMA    *obs.Gauge
+	observations *obs.Counter
+	fits         *obs.Counter
+	rejects      *obs.Counter
+}
+
+// exporter lazily registers ssr_estimator_* series per class.
+type exporter struct {
+	reg    *obs.Registry
+	labels []obs.Label
+}
+
+// Export attaches an obs registry: every class present now and created
+// later publishes its state as ssr_estimator_* families labeled
+// {tenant, class} (plus any extra labels, e.g. a shard tag). Call before
+// feeding observations; attaching is idempotent per registry.
+func (r *Registry) Export(reg *obs.Registry, labels ...obs.Label) {
+	if reg == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.export = &exporter{reg: reg, labels: append([]obs.Label(nil), labels...)}
+	for _, key := range r.order {
+		cs := r.classes[key]
+		cs.metrics = r.export.forClass(key)
+		cs.publish()
+	}
+}
+
+func (e *exporter) forClass(key classKey) *classMetrics {
+	tenant := key.tenant
+	if tenant == "" {
+		tenant = "default"
+	}
+	ls := append(append([]obs.Label(nil), e.labels...),
+		obs.Label{Key: "tenant", Value: tenant},
+		obs.Label{Key: "class", Value: key.class})
+	g := func(name, help string) *obs.Gauge { return e.reg.Gauge(name, help, ls...) }
+	c := func(name, help string) *obs.Counter { return e.reg.Counter(name, help, ls...) }
+	return &classMetrics{
+		alpha:        g("ssr_estimator_alpha", "Last accepted Pareto tail index per class."),
+		tmSec:        g("ssr_estimator_tm_seconds", "Last accepted Pareto scale (window minimum) per class."),
+		ks:           g("ssr_estimator_ks", "Kolmogorov-Smirnov distance of the last accepted fit."),
+		effP:         g("ssr_estimator_p", "Effective Eq. 3 isolation level (target plus controller offset)."),
+		holdEWMA:     g("ssr_estimator_hold_ewma", "EWMA of deadline outcomes (1 = held through the barrier)."),
+		window:       g("ssr_estimator_window", "Sliding-window fill (task duration samples)."),
+		stable:       g("ssr_estimator_stable", "1 when consecutive accepted tail indices agree within StabilityEps."),
+		tasksEWMA:    g("ssr_estimator_tasks_ewma", "EWMA of submitted phase parallelism per class."),
+		observations: c("ssr_estimator_observations_total", "Task durations fed into the class's window."),
+		fits:         c("ssr_estimator_fits_total", "Accepted Pareto re-fits."),
+		rejects:      c("ssr_estimator_rejects_total", "Rejected Pareto re-fits (degenerate, KS, or alpha range)."),
+	}
+}
+
+// publish pushes the class's current state to its exported series. The
+// per-observation counter is incremented at its call site; everything
+// else is gauge state refreshed after fits and outcomes.
+func (cs *classState) publish() {
+	m := cs.metrics
+	if m == nil {
+		return
+	}
+	m.alpha.Set(cs.alpha)
+	m.tmSec.Set(cs.tmSec)
+	m.ks.Set(cs.ks)
+	m.effP.Set(cs.effP)
+	m.holdEWMA.Set(cs.holdEWMA)
+	m.window.Set(float64(cs.filled))
+	if cs.stable {
+		m.stable.Set(1)
+	} else {
+		m.stable.Set(0)
+	}
+	m.tasksEWMA.Set(cs.tasksEWMA)
+	if f := float64(cs.fits); f > m.fits.Value() {
+		m.fits.Add(f - m.fits.Value())
+	}
+	if rj := float64(cs.rejects); rj > m.rejects.Value() {
+		m.rejects.Add(rj - m.rejects.Value())
+	}
+}

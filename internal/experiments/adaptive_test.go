@@ -1,0 +1,38 @@
+package experiments
+
+import "testing"
+
+// TestAdaptiveRecoversIsolationUnderDrift is the PR's acceptance gate:
+// when the true tail drifts heavier than the configured prior, static SSR
+// misses the isolation target badly in the post-drift quarter while the
+// adaptive estimator recovers it.
+func TestAdaptiveRecoversIsolationUnderDrift(t *testing.T) {
+	res := mustResult(t, "adaptive", QuickParams())
+	if len(res.Rows) != len(adaptiveScenarios)*2 {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), len(adaptiveScenarios)*2)
+	}
+	for _, sc := range []string{"drift-down", "stale-prior"} {
+		static := res.Metrics["static-isolation-"+sc]
+		adaptive := res.Metrics["adaptive-isolation-"+sc]
+		if adaptive < 0.85 {
+			t.Errorf("%s: adaptive isolation = %.2f, want >= 0.85 (configured P = 0.9)", sc, adaptive)
+		}
+		if static > adaptive-0.3 {
+			t.Errorf("%s: static isolation %.2f should miss well below adaptive %.2f", sc, static, adaptive)
+		}
+	}
+	// Drift toward a lighter tail must not cost isolation: a pessimistic
+	// knob only over-reserves, and the estimator should track the shift.
+	if iso := res.Metrics["adaptive-isolation-drift-up"]; iso < 0.85 {
+		t.Errorf("drift-up: adaptive isolation = %.2f, want >= 0.85", iso)
+	}
+	for i := range res.Rows {
+		mode, est := res.Str(i, "mode"), res.Float(i, "est alpha")
+		if mode == "static" && est != 0 {
+			t.Errorf("row %d: static cell reports estimator alpha %.2f", i, est)
+		}
+		if mode == "adaptive" && (est < 0.9 || est > 3.5) {
+			t.Errorf("row %d: adaptive fitted alpha = %.2f, want near the true tail", i, est)
+		}
+	}
+}

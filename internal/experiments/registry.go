@@ -183,6 +183,7 @@ func init() {
 		tenancyExperiment(),
 		elasticityExperiment(),
 		traceReplayExperiment(),
+		adaptiveExperiment(),
 	} {
 		Register(e)
 	}

@@ -54,7 +54,7 @@ func TestDefaultRegistryCanonicalOrder(t *testing.T) {
 		"fig1", "fig4", "fig5", "fig6", "fig8", "fig10", "fig12", "fig13",
 		"fig14", "fig15", "fig16", "fig17", "bgimpact", "mitcompare",
 		"faulttolerance", "shardscaling", "tenancy", "elasticity",
-		"tracereplay",
+		"tracereplay", "adaptive",
 	}
 	if got := Names(); !reflect.DeepEqual(got, want) {
 		t.Errorf("Default registry order = %v, want %v", got, want)

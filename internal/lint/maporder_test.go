@@ -23,6 +23,7 @@ import (
 var schedulingPackages = []string{
 	"ssr/internal/cluster",
 	"ssr/internal/driver",
+	"ssr/internal/estimate",
 	"ssr/internal/lifecycle",
 	"ssr/internal/obs",
 	"ssr/internal/realtime",

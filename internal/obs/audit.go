@@ -86,6 +86,11 @@ const (
 	// KindNodeUp: an elastic pool activated a node (Slot is the node
 	// index; Count the slots brought online).
 	KindNodeUp
+	// KindAdapt: the streaming estimator re-fit a class's Eq. 3 knobs.
+	// Src carries the accept/reject reason, Count the window size, KS the
+	// fit distance, OldAlpha/OldP the previous knobs and Alpha/P/TmSec
+	// the new (unchanged on a rejected fit).
+	KindAdapt
 )
 
 func (k Kind) String() string {
@@ -134,6 +139,8 @@ func (k Kind) String() string {
 		return "attempt_preempt"
 	case KindNodeUp:
 		return "node_up"
+	case KindAdapt:
+		return "adapt"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -176,6 +183,18 @@ type AuditEvent struct {
 	P           float64 `json:"p,omitempty"`
 	Alpha       float64 `json:"alpha,omitempty"`
 	DeadlineSec float64 `json:"deadlineSec,omitempty"`
+
+	// Adaptive control-loop attribution. Src on KindDeadlineArmed says
+	// where P/Alpha came from ("static" config or "estimated" knobs); on
+	// KindAdapt it is the estimator's accept/reject reason. Class, the
+	// old knob values and the fit's KS distance accompany KindAdapt.
+	// Every field is omitted from JSON when unset, so runs without an
+	// estimator attached serialize byte-identically to earlier builds.
+	Src      string  `json:"src,omitempty"`
+	Class    string  `json:"class,omitempty"`
+	OldAlpha float64 `json:"oldAlpha,omitempty"`
+	OldP     float64 `json:"oldP,omitempty"`
+	KS       float64 `json:"ks,omitempty"`
 }
 
 // DefaultAuditCapacity is the ring-buffer retention used when NewAudit is

@@ -237,3 +237,44 @@ func TestHistogramQuantile(t *testing.T) {
 		last = q
 	}
 }
+
+func TestLastObservationTracking(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ssr_last_total", "help")
+	if _, ok := c.Last(); ok {
+		t.Error("Last ok on a never-updated counter")
+	}
+	c.Add(2)
+	c.Inc()
+	c.Add(-1) // dropped: must not advance the observation seq
+	last, ok := c.Last()
+	if !ok || last.Value != 1 || last.Seq != 2 {
+		t.Errorf("counter Last = %+v (ok=%v), want value 1 seq 2", last, ok)
+	}
+
+	h := r.Histogram("ssr_last_seconds", "help", []float64{1, 5})
+	if _, ok := h.Last(); ok {
+		t.Error("Last ok on a never-updated histogram")
+	}
+	h.Observe(0.5)
+	h.Observe(42)
+	last, ok = h.Last()
+	if !ok || last.Value != 42 || last.Seq != 2 {
+		t.Errorf("histogram Last = %+v (ok=%v), want value 42 seq 2", last, ok)
+	}
+
+	// The JSON snapshot carries the freshness fields; gauges never do.
+	r.Gauge("ssr_last_gauge", "help").Set(3)
+	for _, fam := range r.Snapshot() {
+		switch fam.Name {
+		case "ssr_last_total":
+			if s := fam.Series[0]; s.Last == nil || s.Last.Value != 1 || s.Last.Seq != 2 {
+				t.Errorf("counter snapshot Last = %+v", s.Last)
+			}
+		case "ssr_last_gauge":
+			if fam.Series[0].Last != nil {
+				t.Errorf("gauge snapshot has Last = %+v", fam.Series[0].Last)
+			}
+		}
+	}
+}

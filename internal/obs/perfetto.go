@@ -213,6 +213,9 @@ func Perfetto(attempts []trace.Event, audit []AuditEvent) ([]byte, error) {
 				args["p"] = ev.P
 				args["alpha"] = ev.Alpha
 				args["deadlineSec"] = ev.DeadlineSec
+				if ev.Src != "" {
+					args["src"] = ev.Src
+				}
 			} else {
 				name = "deadline expired"
 			}
@@ -221,6 +224,28 @@ func Perfetto(attempts []trace.Event, audit []AuditEvent) ([]byte, error) {
 				Name: name, Cat: "deadline", Ph: "i", Ts: ts,
 				Pid: ev.Shard, Tid: slotTid(-1), Args: args,
 			})
+		case KindAdapt:
+			// Estimator state as Perfetto counter tracks: one alpha track
+			// and one effective-P track per (tenant, class), stepping at
+			// each re-fit, plus an instant marker carrying the full
+			// old -> new record.
+			cls := ev.Class
+			if ev.Tenant != "" {
+				cls = ev.Tenant + "/" + cls
+			}
+			touch(ev.Shard, slotTid(-1))
+			events = append(events,
+				perfEvent{Name: "estimator alpha " + cls, Cat: "estimator", Ph: "C",
+					Ts: ts, Pid: ev.Shard, Args: map[string]any{"alpha": ev.Alpha}},
+				perfEvent{Name: "estimator P " + cls, Cat: "estimator", Ph: "C",
+					Ts: ts, Pid: ev.Shard, Args: map[string]any{"p": ev.P}},
+				perfEvent{Name: "adapt " + cls, Cat: "estimator", Ph: "i", Ts: ts,
+					Pid: ev.Shard, Tid: slotTid(-1), Args: map[string]any{
+						"reason": ev.Src, "window": ev.Count, "ks": ev.KS,
+						"oldAlpha": ev.OldAlpha, "alpha": ev.Alpha,
+						"oldP": ev.OldP, "p": ev.P, "tmSec": ev.TmSec,
+					}},
+			)
 		}
 	}
 

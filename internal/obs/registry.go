@@ -27,9 +27,44 @@ import (
 // so load-test output and server metrics are directly comparable.
 var LatencyBuckets = []float64{0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300, 600}
 
+// LastObs is the most recent update of a counter or histogram series:
+// the observed value (the increment, for counters) and a 1-based
+// per-series update ordinal. The ordinal is deterministic — it counts
+// this series' own updates, not a global clock — so replay output stays
+// reproducible; scrapes compare it across polls to tell a live series
+// from a stalled one (exemplar-style freshness without a second
+// bookkeeping path).
+type LastObs struct {
+	Value float64 `json:"value"`
+	Seq   uint64  `json:"seq"`
+}
+
+// lastObs tracks a series' most recent update with two atomics. Value and
+// ordinal are not updated as one unit; a reader racing a writer may pair
+// a value with the neighboring ordinal, which is fine for freshness
+// reporting.
+type lastObs struct {
+	seq  atomic.Uint64
+	bits atomic.Uint64
+}
+
+func (l *lastObs) record(v float64) {
+	l.bits.Store(math.Float64bits(v))
+	l.seq.Add(1)
+}
+
+func (l *lastObs) load() (LastObs, bool) {
+	seq := l.seq.Load()
+	if seq == 0 {
+		return LastObs{}, false
+	}
+	return LastObs{Value: math.Float64frombits(l.bits.Load()), Seq: seq}, true
+}
+
 // Counter is a monotonically increasing float64.
 type Counter struct {
 	bits atomic.Uint64
+	last lastObs
 }
 
 // Inc adds 1.
@@ -44,9 +79,19 @@ func (c *Counter) Add(v float64) {
 		old := c.bits.Load()
 		next := math.Float64bits(math.Float64frombits(old) + v)
 		if c.bits.CompareAndSwap(old, next) {
+			c.last.record(v)
 			return
 		}
 	}
+}
+
+// Last returns the counter's most recent increment and update ordinal;
+// ok is false before the first Add.
+func (c *Counter) Last() (LastObs, bool) {
+	if c == nil {
+		return LastObs{}, false
+	}
+	return c.last.load()
 }
 
 // Value returns the current total.
@@ -85,6 +130,7 @@ type Histogram struct {
 	counts  []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
 	count   atomic.Uint64
 	sumBits atomic.Uint64
+	last    lastObs
 }
 
 // NewHistogram creates a histogram over the given ascending upper bounds
@@ -113,6 +159,7 @@ func (h *Histogram) Observe(v float64) {
 		old := h.sumBits.Load()
 		next := math.Float64bits(math.Float64frombits(old) + v)
 		if h.sumBits.CompareAndSwap(old, next) {
+			h.last.record(v)
 			return
 		}
 	}
@@ -120,6 +167,15 @@ func (h *Histogram) Observe(v float64) {
 
 // ObserveDuration records a duration in seconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Last returns the histogram's most recent observation and update
+// ordinal; ok is false before the first Observe.
+func (h *Histogram) Last() (LastObs, bool) {
+	if h == nil {
+		return LastObs{}, false
+	}
+	return h.last.load()
+}
 
 // HistogramSnapshot is a point-in-time copy of a histogram. CumCounts are
 // cumulative per bound in Prometheus le semantics; the final entry is the
@@ -355,6 +411,9 @@ type SeriesSnapshot struct {
 	Labels    []Label            `json:"labels,omitempty"`
 	Value     float64            `json:"value"`
 	Histogram *HistogramSnapshot `json:"histogram,omitempty"`
+	// Last is the series' most recent update (counters and histograms);
+	// absent for gauges and never-updated series.
+	Last *LastObs `json:"last,omitempty"`
 }
 
 // FamilySnapshot is one metric family in a registry snapshot.
@@ -379,11 +438,17 @@ func (r *Registry) Snapshot() []FamilySnapshot {
 			switch f.kind {
 			case kindCounter:
 				ss.Value = s.ctr.Value()
+				if last, ok := s.ctr.Last(); ok {
+					ss.Last = &last
+				}
 			case kindGauge:
 				ss.Value = s.gauge.Value()
 			case kindHistogram:
 				h := s.hist.Snapshot()
 				ss.Histogram = &h
+				if last, ok := s.hist.Last(); ok {
+					ss.Last = &last
+				}
 			}
 			fs.Series = append(fs.Series, ss)
 		}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"ssr/internal/dag"
+	"ssr/internal/estimate"
 )
 
 // msOf converts a virtual duration/timestamp to wire milliseconds.
@@ -405,6 +406,13 @@ type MetricsStatus struct {
 	Tenants []TenantStatus `json:"tenants,omitempty"`
 
 	Slowdowns SlowdownStats `json:"slowdowns"`
+}
+
+// EstimatorList is the GET /v1/estimators payload: live adaptive-SSR
+// estimator state per (tenant, class), sorted by tenant then class. The
+// endpoint 404s when the service runs without Config.Adaptive.
+type EstimatorList struct {
+	Classes []estimate.ClassSnapshot `json:"classes"`
 }
 
 // Event is one scheduler lifecycle event on the wire (SSE data payload).

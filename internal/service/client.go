@@ -228,6 +228,15 @@ func (c *Client) Metrics(ctx context.Context) (MetricsStatus, error) {
 	return ms, err
 }
 
+// Estimators fetches the live adaptive-SSR estimator snapshots
+// (GET /v1/estimators); it errors when the service runs without
+// Config.Adaptive.
+func (c *Client) Estimators(ctx context.Context) (EstimatorList, error) {
+	var el EstimatorList
+	err := c.do(ctx, http.MethodGet, "/v1/estimators", nil, &el)
+	return el, err
+}
+
 // WaitJob polls until the job reaches a terminal state, the poll interval
 // defaulting to 10ms when interval is zero or negative.
 func (c *Client) WaitJob(ctx context.Context, id int64, interval time.Duration) (JobStatus, error) {

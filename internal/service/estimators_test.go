@@ -1,0 +1,81 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestEstimatorsEndpoint exercises the introspection surface end to end:
+// a service with Config.Adaptive wires one shared estimator, GET
+// /v1/estimators serves its per-class snapshots, and the estimator
+// metric families show up in the Prometheus exposition.
+func TestEstimatorsEndpoint(t *testing.T) {
+	svc := newTestService(t, Config{
+		Nodes: 2, SlotsPerNode: 2, Dilation: 500,
+		Driver: ssrOptions(), Adaptive: true,
+	})
+	if svc.Estimators() == nil {
+		t.Fatal("Estimators() nil with Config.Adaptive")
+	}
+	ts := httptest.NewServer(NewHandler(svc))
+	defer ts.Close()
+
+	if _, err := svc.Submit(tinySpec("est-1", 5)); err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, svc, 1)
+
+	resp, err := http.Get(ts.URL + "/v1/estimators")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/estimators: %d, want 200", resp.StatusCode)
+	}
+	var el EstimatorList
+	if err := json.NewDecoder(resp.Body).Decode(&el); err != nil {
+		t.Fatal(err)
+	}
+	if len(el.Classes) != 1 {
+		t.Fatalf("classes = %d, want 1 (the single submitted class)", len(el.Classes))
+	}
+	cs := el.Classes[0]
+	// "est-1" strips its numeric suffix into class "est"; all 5 task
+	// completions of the tiny job must have been observed.
+	if cs.Class != "est" || cs.Observed != 5 {
+		t.Errorf("snapshot = class %q observed %d, want est/5", cs.Class, cs.Observed)
+	}
+
+	var b strings.Builder
+	if err := svc.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "ssr_estimator_observations_total") {
+		t.Error("Prometheus exposition missing ssr_estimator_* families")
+	}
+}
+
+// TestEstimatorsDisabled: without Config.Adaptive the endpoint 404s and
+// no estimator families register.
+func TestEstimatorsDisabled(t *testing.T) {
+	svc := newTestService(t, Config{
+		Nodes: 2, SlotsPerNode: 2, Dilation: 500, Driver: ssrOptions(),
+	})
+	if svc.Estimators() != nil {
+		t.Fatal("Estimators() non-nil without Config.Adaptive")
+	}
+	ts := httptest.NewServer(NewHandler(svc))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/v1/estimators")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET /v1/estimators without Adaptive: %d, want 404", resp.StatusCode)
+	}
+}

@@ -107,6 +107,8 @@ func writeError(w http.ResponseWriter, status int, err error) {
 //	GET  /v1/trace          recorded task attempts (JSON); ?format=csv,
 //	                        or ?format=perfetto for Chrome trace-event JSON
 //	GET  /v1/audit          reservation-decision stream as JSON Lines
+//	GET  /v1/estimators     live adaptive-SSR estimator snapshots per
+//	                        (tenant, class); 404 unless Config.Adaptive
 //	GET  /v1/events         server-sent event stream (Last-Event-ID resume)
 //	GET  /v1/healthz        liveness
 //
@@ -323,6 +325,15 @@ func NewHandler(svc *Service) http.Handler {
 		}
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		_ = audit.WriteJSONL(w)
+	})
+	handle("GET /v1/estimators", "", func(w http.ResponseWriter, r *http.Request) {
+		est := svc.Estimators()
+		if est == nil {
+			writeError(w, http.StatusNotFound,
+				errors.New("adaptive estimation disabled (Config.Adaptive)"))
+			return
+		}
+		writeJSON(w, http.StatusOK, EstimatorList{Classes: est.Snapshot()})
 	})
 	handle("GET /v1/healthz", "GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})

@@ -13,6 +13,7 @@ import (
 	"ssr/internal/core"
 	"ssr/internal/dag"
 	"ssr/internal/driver"
+	"ssr/internal/estimate"
 	"ssr/internal/lifecycle"
 	"ssr/internal/metrics"
 	"ssr/internal/obs"
@@ -85,6 +86,16 @@ type Config struct {
 	// on (an online service never runs out of future jobs) and a nil
 	// Slowdown trigger is wired to the service's mean foreground slowdown.
 	Autoscale *lifecycle.AutoscaleConfig
+	// Adaptive closes the SSR control loop: one estimate.Registry, shared
+	// by every shard, observes task completions and deadline outcomes and
+	// re-derives each deadline's Eq. 3 knobs from its accepted fits.
+	// Estimator state is exported as ssr_estimator_* metric families and
+	// served at GET /v1/estimators. Off by default — scheduling then
+	// stays bit-identical to a non-adaptive service.
+	Adaptive bool
+	// Estimator overrides the estimator parameters when Adaptive is set;
+	// zero fields take estimate defaults.
+	Estimator estimate.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -156,6 +167,7 @@ type Service struct {
 	rec     *trace.Recorder
 	reg     *obs.Registry
 	audit   *obs.Audit
+	est     *estimate.Registry
 	tenants *tenant.Registry
 	gauges  svcGauges
 
@@ -203,6 +215,9 @@ func New(cfg Config) (*Service, error) {
 	if cfg.Driver.TenantSSR != nil {
 		return nil, errors.New("service: Driver.TenantSSR must be nil (the service wires the tenant registry)")
 	}
+	if cfg.Driver.Adaptive != nil {
+		return nil, errors.New("service: Driver.Adaptive must be nil (set Config.Adaptive; the service wires one shared estimator)")
+	}
 	if len(cfg.NodeSpeeds) > cfg.Nodes {
 		return nil, fmt.Errorf("service: %d node speeds for %d nodes", len(cfg.NodeSpeeds), cfg.Nodes)
 	}
@@ -221,6 +236,10 @@ func New(cfg Config) (*Service, error) {
 	s.gauges = newSvcGauges(s.reg)
 	if cfg.AuditCapacity >= 0 {
 		s.audit = obs.NewAudit(cfg.AuditCapacity)
+	}
+	if cfg.Adaptive {
+		s.est = estimate.New(cfg.Estimator)
+		s.est.Export(s.reg)
 	}
 	if cfg.RecordTrace && cfg.Driver.Trace == nil {
 		s.rec = trace.NewRecorder()
@@ -287,6 +306,12 @@ func New(cfg Config) (*Service, error) {
 		dopts.AuditShard = i
 		dopts.Metrics = obs.NewSchedMetrics(s.reg,
 			obs.Label{Key: "shard", Value: strconv.Itoa(i)})
+		if s.est != nil {
+			// One estimator shared across shards: a class's tail is a
+			// property of the workload, not of the partition it landed
+			// on, so every shard's completions sharpen the same fit.
+			dopts.Adaptive = s.est
+		}
 		drv, err := driver.New(sh.eng, sh.cl, dopts)
 		if err != nil {
 			return nil, fmt.Errorf("shard %d: %w", i, err)
@@ -360,6 +385,10 @@ func (s *Service) Registry() *obs.Registry { return s.reg }
 // Audit returns the shared reservation-decision audit stream, or nil when
 // disabled by Config.AuditCapacity < 0.
 func (s *Service) Audit() *obs.Audit { return s.audit }
+
+// Estimators returns the shared adaptive-SSR estimator registry, or nil
+// when Config.Adaptive is off.
+func (s *Service) Estimators() *estimate.Registry { return s.est }
 
 // Call runs fn on shard 0's loop goroutine with exclusive access to that
 // shard's driver (and, through it, its engine and cluster). It exists for

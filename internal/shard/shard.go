@@ -37,6 +37,10 @@ type Options struct {
 	// the federation wires the lender and event fan-in) — except that
 	// with Shards == 1, OnEvent and Trace pass through untouched so a
 	// single-shard federation stays bit-identical to a plain driver.
+	// Driver.Adaptive passes through to every shard as-is: a class's tail
+	// is a property of the workload, not of the partition, so all shards
+	// should share one estimate.Registry. Offline this stays deterministic
+	// because a single goroutine steps every shard engine in turn.
 	Driver driver.Options
 	// Router places submitted jobs onto shards. Default HashRouter.
 	Router Router

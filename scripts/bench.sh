@@ -4,14 +4,14 @@
 #
 # Usage: scripts/bench.sh [-short] [extra ssrbench flags...]
 #   -short          reduced scale (what CI runs)
-#   BENCH_OUT=path  output report path (default BENCH_9.json at repo root)
+#   BENCH_OUT=path  output report path (default BENCH_10.json at repo root)
 #   BENCH_BASE=path gate against a prior snapshot (fails on >20% ns/decision
 #                   regression); CI passes the previous committed BENCH_*.json
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-out="${BENCH_OUT:-BENCH_9.json}"
+out="${BENCH_OUT:-BENCH_10.json}"
 
 args=(-out "$out")
 if [[ -n "${BENCH_BASE:-}" ]]; then
